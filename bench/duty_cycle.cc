@@ -1,0 +1,43 @@
+// Duty-cycle admission capacity (§2.2.1): the number of slots per disk cycle
+// as a function of block size and per-stream rate, plus the worst-case
+// startup delay a client sees — including the striped-layout variant whose
+// delay is D times longer (§2.3.3's trade-off).
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/sched/duty_cycle.h"
+#include "src/util/table.h"
+
+int main() {
+  using namespace calliope;
+  PrintHeader("Disk duty-cycle slot capacity", "USENIX '96 Calliope paper, section 2.2.1");
+
+  const MachineParams machine = MicronP66();
+  std::printf("Worst-case slot time (256 KB block): %s  (full seek + rotation + transfer)\n\n",
+              WorstCaseSlotTime(machine.disk, machine.hba, Bytes::KiB(256)).ToString().c_str());
+
+  AsciiTable table({"block size", "stream rate", "slots/disk", "worst start delay",
+                    "striped (4 disks) delay"});
+  const std::vector<Bytes> blocks = {Bytes::KiB(64), Bytes::KiB(128), Bytes::KiB(256),
+                                     Bytes::KiB(512)};
+  const std::vector<DataRate> rates = {DataRate::MegabitsPerSec(1.5),
+                                       DataRate::KilobitsPerSec(650),
+                                       DataRate::MegabitsPerSec(4.0)};
+  for (Bytes block : blocks) {
+    for (DataRate rate : rates) {
+      DutyCycleAllocator flat(machine.disk, machine.hba, block, 1, /*striped=*/false);
+      DutyCycleAllocator striped(machine.disk, machine.hba, block, 4, /*striped=*/true);
+      table.AddRow({block.ToString(), rate.ToString(),
+                    std::to_string(flat.CapacityPerDisk(rate)),
+                    flat.WorstCaseStartupDelay(rate).ToString(),
+                    striped.WorstCaseStartupDelay(rate).ToString()});
+    }
+  }
+  std::printf("%s\n", table.Render().c_str());
+  std::printf("Paper: \"the number of slots in a cycle is the maximum number of block\n");
+  std::printf("transfers that can be accomplished during the time it takes for a single\n");
+  std::printf("stream to transmit its block\"; a striped cycle has N*D slots, so VCR\n");
+  std::printf("commands wait D times longer (section 2.3.3).\n");
+  return 0;
+}

@@ -1,0 +1,66 @@
+// Reproduces the §2.3.3 disk-head-scheduling experiment.
+//
+// "Using a simple program that simulated 24 concurrent users reading random
+// 256 KByte disk blocks, we found that an elevator scheduling algorithm
+// improves throughput by only about 6% for our disks" — because rotation and
+// settle time dominate, and the 256 KB block size already amortizes seeks.
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/util/rng.h"
+#include "src/util/table.h"
+
+namespace calliope {
+namespace {
+
+constexpr Bytes kBlock = Bytes::KiB(256);
+
+Task RandomReader(Disk& disk, uint64_t seed) {
+  Rng rng(seed);
+  const int64_t blocks = disk.capacity() / kBlock;
+  for (;;) {
+    const Bytes offset =
+        kBlock * static_cast<int64_t>(rng.NextBelow(static_cast<uint64_t>(blocks)));
+    co_await disk.Read(offset, kBlock);
+  }
+}
+
+double Throughput(DiskQueueDiscipline discipline, int users, SimTime duration) {
+  Simulator sim;
+  MachineParams params = MicronP66();
+  params.disks_per_hba = {1};
+  Machine machine(sim, params, "bench");
+  machine.disk(0).set_discipline(discipline);
+  for (int u = 0; u < users; ++u) {
+    RandomReader(machine.disk(0), 7000 + static_cast<uint64_t>(u));
+  }
+  sim.RunFor(duration);
+  return machine.disk(0).bytes_transferred().megabytes() / duration.seconds();
+}
+
+}  // namespace
+}  // namespace calliope
+
+int main() {
+  using namespace calliope;
+  PrintHeader("Disk head scheduling: elevator (SCAN) vs round-robin FCFS",
+              "USENIX '96 Calliope paper, section 2.3.3");
+
+  const SimTime duration = FastBenchMode() ? SimTime::Seconds(60) : SimTime::Seconds(240);
+  AsciiTable table({"concurrent readers", "FCFS MB/s", "elevator MB/s", "gain"});
+  for (int users : {1, 4, 8, 16, 24, 32}) {
+    const double fcfs = Throughput(DiskQueueDiscipline::kFifo, users, duration);
+    const double elevator = Throughput(DiskQueueDiscipline::kElevator, users, duration);
+    char f[32], e[32], g[32];
+    std::snprintf(f, sizeof(f), "%.2f", fcfs);
+    std::snprintf(e, sizeof(e), "%.2f", elevator);
+    std::snprintf(g, sizeof(g), "%+.1f%%", 100.0 * (elevator / fcfs - 1.0));
+    table.AddRow({std::to_string(users), f, e, g});
+  }
+  std::printf("%s\n", table.Render().c_str());
+  std::printf("Paper: at 24 concurrent readers the elevator improves throughput by only ~6%%\n");
+  std::printf("(rotation + settle dominate; 256 KB transfers already amortize seeks), which\n");
+  std::printf("is why the MSU ships with round-robin service and no head scheduling.\n");
+  return 0;
+}

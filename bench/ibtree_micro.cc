@@ -1,0 +1,97 @@
+// Micro-benchmarks for the Integrated B-tree (§2.2.1), using
+// google-benchmark: build throughput, sequential-scan cost with and without
+// embedded internal pages, and seek cost. Also verifies the paper's claim
+// that internal pages appear in ~0.1% of data pages.
+#include <benchmark/benchmark.h>
+
+#include "src/ibtree/ibtree.h"
+#include "src/media/sources.h"
+
+namespace calliope {
+namespace {
+
+PacketSequence MakeCbrPackets(SimTime duration) {
+  return GenerateCbr(CbrSourceConfig{}, duration);
+}
+
+IbTreeFile BuildFile(const PacketSequence& packets) {
+  IbTreeBuilder builder;
+  for (const MediaPacket& packet : packets) {
+    (void)builder.Add(packet);
+  }
+  return builder.Finish();
+}
+
+void BM_IbTreeBuild(benchmark::State& state) {
+  const PacketSequence packets = MakeCbrPackets(SimTime::Seconds(state.range(0)));
+  for (auto _ : state) {
+    IbTreeFile file = BuildFile(packets);
+    benchmark::DoNotOptimize(file.page_count());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(packets.size()));
+}
+BENCHMARK(BM_IbTreeBuild)->Arg(60)->Arg(600);
+
+void BM_IbTreeSequentialScan(benchmark::State& state) {
+  const IbTreeFile file = BuildFile(MakeCbrPackets(SimTime::Seconds(600)));
+  for (auto _ : state) {
+    int64_t records = 0;
+    Bytes payload;
+    for (size_t p = 0; p < file.page_count(); ++p) {
+      // Sequential reads take internal pages in as part of the data page but
+      // ignore them — no decode on this path.
+      records += static_cast<int64_t>(file.page(p).records.size());
+      payload += file.page(p).payload_bytes();
+    }
+    benchmark::DoNotOptimize(records);
+    benchmark::DoNotOptimize(payload.count());
+  }
+  state.SetItemsProcessed(state.iterations() * file.record_count());
+}
+BENCHMARK(BM_IbTreeSequentialScan);
+
+void BM_IbTreeSeek(benchmark::State& state) {
+  const IbTreeFile file = BuildFile(MakeCbrPackets(SimTime::Seconds(state.range(0))));
+  const SimTime duration = file.duration();
+  uint64_t x = 12345;
+  for (auto _ : state) {
+    x = x * 6364136223846793005ULL + 1442695040888963407ULL;
+    const SimTime target = SimTime(static_cast<int64_t>(x % static_cast<uint64_t>(
+                                        duration.nanos() > 0 ? duration.nanos() : 1)));
+    auto result = file.Seek(target);
+    benchmark::DoNotOptimize(result.ok());
+  }
+  state.SetLabel("height=" + std::to_string(file.height()));
+}
+BENCHMARK(BM_IbTreeSeek)->Arg(60)->Arg(3600);
+
+void BM_InternalPageEncodeDecode(benchmark::State& state) {
+  std::vector<InternalEntry> entries;
+  for (size_t i = 0; i < kMaxInternalEntries; ++i) {
+    entries.push_back(InternalEntry{static_cast<int64_t>(i) * 1000000, static_cast<int64_t>(i)});
+  }
+  for (auto _ : state) {
+    auto encoded = EncodeInternalPage(entries);
+    auto decoded = DecodeInternalPage(encoded);
+    benchmark::DoNotOptimize(decoded.ok());
+  }
+}
+BENCHMARK(BM_InternalPageEncodeDecode);
+
+// Not a timing benchmark: checks the 0.1% embedded-internal-page claim on a
+// two-hour-movie-sized file and reports it as a counter.
+void BM_InternalPageFraction(benchmark::State& state) {
+  const IbTreeFile file = BuildFile(MakeCbrPackets(SimTime::Seconds(7200)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(file.internal_page_fraction());
+  }
+  state.counters["pages"] = static_cast<double>(file.page_count());
+  state.counters["internal_fraction_pct"] = file.internal_page_fraction() * 100.0;
+  // Paper: internal pages "only appear in 0.1% of the data pages".
+}
+BENCHMARK(BM_InternalPageFraction)->Iterations(1);
+
+}  // namespace
+}  // namespace calliope
+
+BENCHMARK_MAIN();

@@ -1,0 +1,122 @@
+// Micro-benchmark for the MSU's lock-free shared-memory queue (§2.3):
+// "Instead of using expensive semaphore operations, the MSU processes
+// communicate using a shared memory queue structure that relies on the
+// atomicity of memory read and write instructions."
+//
+// Compares the SPSC ring against a mutex+condvar queue, single-threaded
+// (the ping-pong cost the MSU cares about) and across two real threads.
+#include <benchmark/benchmark.h>
+
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <thread>
+
+#include "src/msu/spsc_queue.h"
+
+namespace calliope {
+namespace {
+
+// The "expensive semaphore" strawman.
+class MutexQueue {
+ public:
+  bool TryPush(int64_t value) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (items_.size() >= 1024) {
+      return false;
+    }
+    items_.push_back(value);
+    return true;
+  }
+  std::optional<int64_t> TryPop() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (items_.empty()) {
+      return std::nullopt;
+    }
+    int64_t value = items_.front();
+    items_.pop_front();
+    return value;
+  }
+
+ private:
+  std::mutex mutex_;
+  std::deque<int64_t> items_;
+};
+
+template <typename Queue>
+void PingPong(benchmark::State& state, Queue& queue) {
+  for (auto _ : state) {
+    queue.TryPush(1);
+    auto out = queue.TryPop();
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+void BM_SpscSingleThread(benchmark::State& state) {
+  SpscQueue<int64_t> queue(1024);
+  PingPong(state, queue);
+}
+BENCHMARK(BM_SpscSingleThread);
+
+void BM_MutexQueueSingleThread(benchmark::State& state) {
+  MutexQueue queue;
+  PingPong(state, queue);
+}
+BENCHMARK(BM_MutexQueueSingleThread);
+
+void BM_SpscTwoThreads(benchmark::State& state) {
+  constexpr int64_t kBatch = 1 << 16;
+  for (auto _ : state) {
+    SpscQueue<int64_t> queue(1024);
+    std::thread producer([&queue] {
+      for (int64_t i = 0; i < kBatch;) {
+        if (queue.TryPush(i)) {
+          ++i;
+        }
+      }
+    });
+    int64_t sum = 0;
+    for (int64_t received = 0; received < kBatch;) {
+      if (auto value = queue.TryPop()) {
+        sum += *value;
+        ++received;
+      }
+    }
+    producer.join();
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetItemsProcessed(state.iterations() * kBatch);
+}
+BENCHMARK(BM_SpscTwoThreads);
+
+void BM_MutexQueueTwoThreads(benchmark::State& state) {
+  constexpr int64_t kBatch = 1 << 16;
+  for (auto _ : state) {
+    MutexQueue queue;
+    std::thread producer([&queue] {
+      for (int64_t i = 0; i < kBatch;) {
+        if (queue.TryPush(i)) {
+          ++i;
+        }
+      }
+    });
+    int64_t sum = 0;
+    for (int64_t received = 0; received < kBatch;) {
+      if (auto value = queue.TryPop()) {
+        sum += *value;
+        ++received;
+      }
+    }
+    producer.join();
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetItemsProcessed(state.iterations() * kBatch);
+}
+BENCHMARK(BM_MutexQueueTwoThreads);
+
+}  // namespace
+}  // namespace calliope
+
+BENCHMARK_MAIN();

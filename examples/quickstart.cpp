@@ -1,0 +1,106 @@
+// Quickstart: boot a one-MSU Calliope installation, load a movie, play it,
+// and watch the delivery statistics — the smallest end-to-end use of the
+// public API.
+//
+//   $ ./build/examples/quickstart
+#include <cstdio>
+
+#include "src/calliope/calliope.h"
+
+using namespace calliope;
+
+namespace {
+
+// Helper: run the simulation until `done` flips or `timeout` passes.
+bool Pump(Simulator& sim, const bool& done, SimTime timeout) {
+  const SimTime deadline = sim.Now() + timeout;
+  while (!done && sim.Now() < deadline) {
+    sim.RunFor(SimTime::Millis(10));
+  }
+  return done;
+}
+
+}  // namespace
+
+int main() {
+  // 1. Build an installation: a Coordinator plus one MSU (two disks on one
+  //    SCSI chain — the paper's measurement configuration), all inside a
+  //    deterministic simulation.
+  Installation calliope;
+  if (Status booted = calliope.Boot(); !booted.ok()) {
+    std::fprintf(stderr, "boot failed: %s\n", booted.ToString().c_str());
+    return 1;
+  }
+  std::printf("Booted: coordinator + %zu MSU(s); MSU0 free space %s\n", calliope.msu_count(),
+              calliope.msu(0).fs().TotalFreeSpace().ToString().c_str());
+
+  // 2. Load a two-minute synthetic MPEG-1 movie (with fast-forward and
+  //    fast-backward variants produced by the offline filter).
+  if (Status loaded =
+          calliope.LoadMpegMovie("big-buck-bellcore", SimTime::Seconds(120), 0, true);
+      !loaded.ok()) {
+    std::fprintf(stderr, "load failed: %s\n", loaded.ToString().c_str());
+    return 1;
+  }
+
+  // 3. Attach a client host to the delivery network and open a session.
+  CalliopeClient& client = calliope.AddClient("livingroom");
+  bool ready = false;
+  GroupId group = 0;
+  [](CalliopeClient* c, bool* done, GroupId* group_out) -> Task {
+    if (Status s = co_await c->Connect("bob", "bob-key"); !s.ok()) {
+      std::fprintf(stderr, "connect: %s\n", s.ToString().c_str());
+      co_return;
+    }
+    // The table of contents, as a video-on-demand browser would fetch it.
+    auto listing = co_await c->ListContent();
+    if (listing.ok()) {
+      for (const ContentInfo& info : *listing) {
+        std::printf("catalog: %-20s type=%-10s duration=%-8s fast-scan=%s\n", info.name.c_str(),
+                    info.type.c_str(), info.duration.ToString().c_str(),
+                    info.has_fast_scan ? "yes" : "no");
+      }
+    }
+    // Register a display port (the software decoder's UDP socket) and play.
+    if (!(co_await c->RegisterPort("tv", "mpeg1")).ok()) {
+      co_return;
+    }
+    auto play = co_await c->Play("big-buck-bellcore", "tv");
+    if (!play.ok()) {
+      std::fprintf(stderr, "play: %s\n", play.status().ToString().c_str());
+      co_return;
+    }
+    *group_out = play->group;
+    *done = true;
+  }(&client, &ready, &group);
+
+  if (!Pump(calliope.sim(), ready, SimTime::Seconds(10))) {
+    std::fprintf(stderr, "stream never started\n");
+    return 1;
+  }
+
+  // 4. Watch 10 seconds of playback.
+  calliope.sim().RunFor(SimTime::Seconds(10));
+  const ClientDisplayPort* tv = client.FindPort("tv");
+  std::printf("\nafter 10s: %lld packets (%s) received, worst arrival lateness %s\n",
+              static_cast<long long>(tv->packets_received()),
+              tv->bytes_received().ToString().c_str(),
+              tv->arrival_lateness().MaxRecorded().ToString().c_str());
+
+  // 5. Use the VCR: skip to the last 15 seconds, then fast-forward.
+  bool vcr_done = false;
+  [](CalliopeClient* c, GroupId g, bool* done) -> Task {
+    co_await c->Vcr(g, VcrCommand::Op::kSeek, SimTime::Seconds(105));
+    co_await c->Vcr(g, VcrCommand::Op::kFastForward);
+    *done = true;
+  }(&client, group, &vcr_done);
+  Pump(calliope.sim(), vcr_done, SimTime::Seconds(10));
+
+  // 6. Let the movie run out; the MSU terminates the stream itself.
+  calliope.sim().RunFor(SimTime::Seconds(20));
+  std::printf("stream over: %s; MSU sent %lld packets, %.1f%% within 50 ms of schedule\n",
+              client.GroupTerminated(group) ? "yes" : "no",
+              static_cast<long long>(calliope.msu(0).AggregateLateness().total_count()),
+              100.0 * calliope.msu(0).AggregateLateness().FractionWithin(SimTime::Millis(50)));
+  return 0;
+}

@@ -1,0 +1,150 @@
+// Seminar recorder (§2.1/§2.2): records an MBone-style seminar as the
+// composite "seminar" type — one RTP video stream plus one VAT audio stream
+// in a single stream group — then replays it with an index that lets a
+// viewer skip to the talk they care about. Stream groups keep both
+// components on one MSU so VCR commands hit them simultaneously.
+//
+//   $ ./build/examples/seminar_recorder
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "src/calliope/calliope.h"
+
+using namespace calliope;
+
+namespace {
+
+// A simple seminar index, as the paper's indexed-seminar application keeps.
+struct IndexEntry {
+  const char* speaker;
+  SimTime offset;
+};
+
+}  // namespace
+
+int main() {
+  Installation calliope;
+  if (!calliope.Boot().ok()) {
+    return 1;
+  }
+
+  CalliopeClient& recorder = calliope.AddClient("lecture-hall");
+  bool recorded = false;
+  [](CalliopeClient* c, bool* done) -> Task {
+    if (!(co_await c->Connect("alice", "alice-key")).ok()) {
+      co_return;
+    }
+    // Component ports first, then the composite port built from them
+    // ("Display ports for composite types can be constructed from
+    // previously-registered display ports of the component types").
+    if (!(co_await c->RegisterPort("cam", "rtp-video")).ok()) {
+      co_return;
+    }
+    if (!(co_await c->RegisterPort("mic", "vat-audio")).ok()) {
+      co_return;
+    }
+    std::vector<std::string> components = {"cam", "mic"};
+    auto composite = co_await c->RegisterCompositePort("room", "seminar", std::move(components));
+    if (!composite.ok()) {
+      std::fprintf(stderr, "composite port: %s\n", composite.status().ToString().c_str());
+      co_return;
+    }
+
+    auto record = co_await c->Record("usenix-seminar", "seminar", "room", SimTime::Seconds(60));
+    if (!record.ok()) {
+      std::fprintf(stderr, "record: %s\n", record.status().ToString().c_str());
+      co_return;
+    }
+    std::printf("recording seminar as stream group %lld (video + audio on one MSU)\n",
+                static_cast<long long>(record->group));
+
+    // 30 seconds of camera video and microphone audio, fed concurrently.
+    VbrSourceConfig video;
+    video.target_average = DataRate::KilobitsPerSec(650);
+    video.seed = 2026;
+    VbrSourceConfig audio;
+    audio.target_average = DataRate::KilobitsPerSec(64);
+    audio.frames_per_sec = 25;  // small audio chunks
+    audio.seed = 2027;
+    const PacketSequence video_packets = GenerateVbr(video, SimTime::Seconds(30));
+    const PacketSequence audio_packets = GenerateVbr(audio, SimTime::Seconds(30));
+    auto video_sent = c->SendRecording(record->group, 0, video_packets);
+    auto audio_sent = c->SendRecording(record->group, 1, audio_packets);
+    auto video_count = co_await std::move(video_sent);
+    auto audio_count = co_await std::move(audio_sent);
+    std::printf("captured %lld video + %lld audio packets\n",
+                video_count.ok() ? static_cast<long long>(*video_count) : -1,
+                audio_count.ok() ? static_cast<long long>(*audio_count) : -1);
+    co_await c->Quit(record->group);
+    *done = true;
+  }(&recorder, &recorded);
+
+  while (!recorded && calliope.sim().Now() < SimTime::Seconds(90)) {
+    calliope.sim().RunFor(SimTime::Millis(50));
+  }
+  if (!recorded) {
+    std::fprintf(stderr, "seminar recording failed\n");
+    return 1;
+  }
+  std::printf("\nseminar stored; catalog duration %s\n\n",
+              calliope.coordinator()
+                  .catalog()
+                  .FindContent("usenix-seminar")
+                  .value()
+                  ->duration.ToString()
+                  .c_str());
+
+  // --- A viewer uses the index to jump between talks ---------------------
+  const std::vector<IndexEntry> index = {
+      {"Heybey: the MSU data path", SimTime::Seconds(2)},
+      {"Sullivan: IB-trees", SimTime::Seconds(12)},
+      {"England: scaling it up", SimTime::Seconds(22)},
+  };
+
+  CalliopeClient& viewer = calliope.AddClient("office");
+  bool viewing = false;
+  GroupId group = 0;
+  [](CalliopeClient* c, bool* done, GroupId* out) -> Task {
+    if (!(co_await c->Connect("bob", "bob-key")).ok()) {
+      co_return;
+    }
+    (void)co_await c->RegisterPort("v", "rtp-video");
+    (void)co_await c->RegisterPort("a", "vat-audio");
+    std::vector<std::string> components = {"v", "a"};
+    auto sem = co_await c->RegisterCompositePort("sem", "seminar", std::move(components));
+    if (!sem.ok()) {
+      co_return;
+    }
+    auto play = co_await c->Play("usenix-seminar", "sem");
+    if (!play.ok()) {
+      std::fprintf(stderr, "play: %s\n", play.status().ToString().c_str());
+      co_return;
+    }
+    *out = play->group;
+    *done = true;
+  }(&viewer, &viewing, &group);
+  while (!viewing && calliope.sim().Now() < SimTime::Seconds(200)) {
+    calliope.sim().RunFor(SimTime::Millis(50));
+  }
+
+  for (const IndexEntry& entry : index) {
+    std::printf("skipping to \"%s\" (%s)...\n", entry.speaker, entry.offset.ToString().c_str());
+    bool sought = false;
+    [](CalliopeClient* c, GroupId g, SimTime offset, bool* done) -> Task {
+      // One seek repositions *both* streams of the group simultaneously.
+      *done = (co_await c->Vcr(g, VcrCommand::Op::kSeek, offset)).ok();
+    }(&viewer, group, entry.offset, &sought);
+    calliope.sim().RunFor(SimTime::Seconds(4));
+    const ClientDisplayPort* v = viewer.FindPort("v");
+    const ClientDisplayPort* a = viewer.FindPort("a");
+    std::printf("  seek %s; running totals: %lld video / %lld audio packets\n",
+                sought ? "ok" : "FAILED", static_cast<long long>(v->packets_received()),
+                static_cast<long long>(a->packets_received()));
+  }
+
+  [](CalliopeClient* c, GroupId g) -> Task { co_await c->Quit(g); }(&viewer, group);
+  calliope.sim().RunFor(SimTime::Seconds(1));
+  std::printf("\ndone; both component streams started, sought and stopped together.\n");
+  return 0;
+}

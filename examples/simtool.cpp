@@ -1,0 +1,195 @@
+// simtool: a command-line driver for ad-hoc capacity experiments.
+//
+//   simtool [--msus N] [--streams N] [--seconds N] [--vbr]
+//                [--disks-per-hba a,b,...] [--striped] [--elevator]
+//                [--jitter MS] [--loss PCT] [--seed N]
+//
+// Boots an installation, loads one title per requested stream, plays them
+// all, and prints an operator-style report: admission, delivery quality,
+// device utilizations. Handy for exploring configurations beyond the
+// paper's tables — e.g. "what does this box do with 3 disks on 2 HBAs?"
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/calliope/calliope.h"
+
+using namespace calliope;
+
+namespace {
+
+struct Options {
+  int msus = 1;
+  int streams = 22;
+  int seconds = 30;
+  bool vbr = false;
+  bool striped = false;
+  bool elevator = false;
+  std::vector<int> disks_per_hba = {2};
+  int jitter_ms = 0;
+  double loss = 0;
+  uint64_t seed = 1996;
+};
+
+bool ParseArgs(int argc, char** argv, Options* options) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next_value = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (arg == "--msus") {
+      options->msus = std::atoi(next_value());
+    } else if (arg == "--streams") {
+      options->streams = std::atoi(next_value());
+    } else if (arg == "--seconds") {
+      options->seconds = std::atoi(next_value());
+    } else if (arg == "--vbr") {
+      options->vbr = true;
+    } else if (arg == "--striped") {
+      options->striped = true;
+    } else if (arg == "--elevator") {
+      options->elevator = true;
+    } else if (arg == "--jitter") {
+      options->jitter_ms = std::atoi(next_value());
+    } else if (arg == "--loss") {
+      options->loss = std::atof(next_value()) / 100.0;
+    } else if (arg == "--seed") {
+      options->seed = static_cast<uint64_t>(std::atoll(next_value()));
+    } else if (arg == "--disks-per-hba") {
+      options->disks_per_hba.clear();
+      const char* spec = next_value();
+      while (spec != nullptr && *spec != '\0') {
+        options->disks_per_hba.push_back(std::atoi(spec));
+        const char* comma = std::strchr(spec, ',');
+        spec = comma != nullptr ? comma + 1 : nullptr;
+      }
+    } else {
+      std::fprintf(stderr,
+                   "usage: simtool [--msus N] [--streams N] [--seconds N] [--vbr]\n"
+                   "               [--disks-per-hba a,b,...] [--striped] [--elevator]\n"
+                   "               [--jitter MS] [--loss PCT] [--seed N]\n");
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options options;
+  if (!ParseArgs(argc, argv, &options)) {
+    return 2;
+  }
+
+  InstallationConfig config;
+  config.msu_count = options.msus;
+  config.msu_machine.disks_per_hba = options.disks_per_hba;
+  config.msu.striped_layout = options.striped;
+  config.msu.elevator_scheduling = options.elevator;
+  config.coordinator.disk_budget = DataRate::MegabytesPerSec(2.5);
+  config.network.udp_jitter_max = SimTime::Millis(options.jitter_ms);
+  config.network.udp_loss_rate = options.loss;
+  config.seed = options.seed;
+  Installation calliope(config);
+  if (Status booted = calliope.Boot(); !booted.ok()) {
+    std::fprintf(stderr, "boot: %s\n", booted.ToString().c_str());
+    return 1;
+  }
+
+  const std::string type = options.vbr ? "rtp-video" : "mpeg1";
+  for (int i = 0; i < options.streams; ++i) {
+    const size_t msu = static_cast<size_t>(i % options.msus);
+    Status loaded;
+    if (options.vbr) {
+      VbrSourceConfig source = Graph2File(i % 3);
+      source.seed ^= static_cast<uint64_t>(i) * 131;
+      loaded = calliope.LoadPackets(
+          "title" + std::to_string(i), type,
+          GenerateVbr(source, SimTime::Seconds(options.seconds + 60)), msu);
+    } else {
+      loaded = calliope.LoadMpegMovie("title" + std::to_string(i),
+                                      SimTime::Seconds(options.seconds + 60), msu, false);
+    }
+    if (!loaded.ok()) {
+      std::fprintf(stderr, "load: %s\n", loaded.ToString().c_str());
+      return 1;
+    }
+  }
+
+  CalliopeClient& client = calliope.AddClient("viewers");
+  bool connected = false;
+  [](CalliopeClient* c, bool* flag) -> Task {
+    *flag = (co_await c->Connect("bob", "bob-key")).ok();
+  }(&client, &connected);
+  calliope.sim().RunFor(SimTime::Seconds(1));
+
+  int done = 0;
+  int admitted = 0;
+  int queued = 0;
+  for (int i = 0; i < options.streams; ++i) {
+    [](CalliopeClient* c, std::string title, std::string port, std::string port_type, int* n,
+       int* ok, int* q) -> Task {
+      if ((co_await c->RegisterPort(port, port_type)).ok()) {
+        auto play = co_await c->Play(std::move(title), std::move(port));
+        if (play.ok() && !play->queued) {
+          ++*ok;
+        } else if (play.ok() && play->queued) {
+          ++*q;
+        }
+      }
+      ++*n;
+    }(&client, "title" + std::to_string(i), "tv" + std::to_string(i), type, &done, &admitted,
+      &queued);
+  }
+  while (done < options.streams && calliope.sim().Now() < SimTime::Seconds(120)) {
+    calliope.sim().RunFor(SimTime::Millis(20));
+  }
+  calliope.sim().RunFor(SimTime::Seconds(options.seconds));
+
+  // ---- report ----
+  std::printf("configuration: %d MSU(s), disks/hba=[", options.msus);
+  for (size_t i = 0; i < options.disks_per_hba.size(); ++i) {
+    std::printf("%s%d", i != 0 ? "," : "", options.disks_per_hba[i]);
+  }
+  std::printf("], %s, %s layout, %s scheduling\n", type.c_str(),
+              options.striped ? "striped" : "per-disk",
+              options.elevator ? "elevator" : "round-robin");
+  std::printf("requests: %d, admitted: %d, queued: %d\n", options.streams, admitted, queued);
+
+  LatenessHistogram lateness;
+  Bytes disk_bytes;
+  for (int m = 0; m < options.msus; ++m) {
+    Msu& msu = calliope.msu(static_cast<size_t>(m));
+    lateness.Merge(msu.AggregateLateness());
+    for (size_t d = 0; d < msu.machine().disk_count(); ++d) {
+      disk_bytes += msu.machine().disk(d).bytes_transferred();
+    }
+    std::printf("msu%d: cpu %.0f%%, %d active streams, %.2f MB/s from disks\n", m,
+                msu.machine().cpu().Utilization() * 100.0, msu.active_stream_count(),
+                msu.machine().fddi().bytes_sent().megabytes() /
+                    calliope.sim().Now().seconds());
+  }
+  std::printf("delivery: %lld packets, %.1f%% within 50 ms of schedule, max %s late\n",
+              static_cast<long long>(lateness.total_count()),
+              100.0 * lateness.FractionWithin(SimTime::Millis(50)),
+              lateness.MaxRecorded().ToString().c_str());
+  int64_t received = 0;
+  for (int i = 0; i < options.streams; ++i) {
+    const ClientDisplayPort* port = client.FindPort("tv" + std::to_string(i));
+    if (port != nullptr) {
+      received += port->packets_received();
+    }
+  }
+  std::printf("clients received %lld packets", static_cast<long long>(received));
+  if (options.loss > 0 || options.jitter_ms > 0) {
+    std::printf(" (network: %.1f%% loss, up to %d ms jitter; %lld dropped)",
+                options.loss * 100.0, options.jitter_ms,
+                static_cast<long long>(calliope.network().udp_dropped()));
+  }
+  std::printf("\n");
+  return 0;
+}

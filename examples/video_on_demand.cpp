@@ -1,0 +1,128 @@
+// Video-on-demand: a three-MSU installation serving a neighborhood of
+// viewers, the paper's headline application. Demonstrates multi-MSU
+// placement, request queueing when a box fills up, MSU failure and recovery,
+// and the load the Coordinator sees.
+//
+//   $ ./build/examples/video_on_demand
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/calliope/calliope.h"
+#include "src/util/rng.h"
+
+using namespace calliope;
+
+namespace {
+
+struct Viewer {
+  std::unique_ptr<bool> started = std::make_unique<bool>(false);
+  GroupId group = 0;
+};
+
+Task WatchMovie(CalliopeClient* client, std::string movie, std::string port, Viewer* viewer) {
+  if (!(co_await client->RegisterPort(port, "mpeg1")).ok()) {
+    co_return;
+  }
+  auto play = co_await client->Play(movie, port);
+  if (!play.ok()) {
+    std::printf("  viewer on %-12s rejected: %s\n", port.c_str(),
+                play.status().ToString().c_str());
+    co_return;
+  }
+  viewer->group = play->group;
+  *viewer->started = true;
+  if (play->queued) {
+    std::printf("  viewer on %-12s queued (no resources yet)\n", port.c_str());
+  }
+}
+
+}  // namespace
+
+int main() {
+  InstallationConfig config;
+  config.msu_count = 3;
+  Installation calliope(config);
+  if (!calliope.Boot().ok()) {
+    return 1;
+  }
+  std::printf("three MSUs up: %zu disks total\n\n", calliope.msu(0).machine().disk_count() * 3);
+
+  // A small library spread across the MSUs by the emptiest-disk policy.
+  const std::vector<std::string> titles = {"heat", "casino", "babe",     "seven",
+                                           "toy-story", "goldeneye", "apollo13", "jumanji"};
+  for (size_t i = 0; i < titles.size(); ++i) {
+    if (Status s = calliope.LoadMpegMovie(titles[i], SimTime::Seconds(300), i % 3, true);
+        !s.ok()) {
+      std::fprintf(stderr, "load %s: %s\n", titles[i].c_str(), s.ToString().c_str());
+      return 1;
+    }
+  }
+
+  // Thirty viewers pick movies with a popularity skew.
+  CalliopeClient& client = calliope.AddClient("neighborhood");
+  bool connected = false;
+  [](CalliopeClient* c, bool* flag) -> Task {
+    *flag = (co_await c->Connect("bob", "bob-key")).ok();
+  }(&client, &connected);
+  calliope.sim().RunFor(SimTime::Seconds(1));
+
+  Rng rng(7);
+  ZipfDistribution zipf(titles.size(), 1.0);
+  std::vector<Viewer> viewers(30);
+  std::printf("30 viewers tuning in...\n");
+  for (size_t v = 0; v < viewers.size(); ++v) {
+    WatchMovie(&client, titles[zipf.Sample(rng)], "tv" + std::to_string(v), &viewers[v]);
+  }
+  calliope.sim().RunFor(SimTime::Seconds(5));
+  std::printf("active streams: %zu, queued requests: %zu\n\n",
+              calliope.coordinator().active_stream_count(),
+              calliope.coordinator().pending_request_count());
+
+  // Some viewers drive the VCR.
+  [](CalliopeClient* c, GroupId g) -> Task {
+    co_await c->Vcr(g, VcrCommand::Op::kPause);
+  }(&client, viewers[0].group);
+  [](CalliopeClient* c, GroupId g) -> Task {
+    co_await c->Vcr(g, VcrCommand::Op::kSeek, SimTime::Seconds(120));
+  }(&client, viewers[1].group);
+  [](CalliopeClient* c, GroupId g) -> Task {
+    co_await c->Vcr(g, VcrCommand::Op::kFastForward);
+  }(&client, viewers[2].group);
+  calliope.sim().RunFor(SimTime::Seconds(10));
+
+  // An MSU dies mid-show; the Coordinator notices via the broken TCP
+  // connection, and the box comes back a few seconds later.
+  std::printf("msu1 crashes...\n");
+  calliope.msu(1).Crash();
+  calliope.sim().RunFor(SimTime::Seconds(2));
+  std::printf("coordinator sees msu1 up=%s; active streams now %zu\n",
+              calliope.coordinator().MsuUp("msu1") ? "yes" : "no",
+              calliope.coordinator().active_stream_count());
+  [](Msu* msu) -> Task { co_await msu->Restart("coordinator"); }(&calliope.msu(1));
+  calliope.sim().RunFor(SimTime::Seconds(2));
+  std::printf("msu1 restarted; up=%s (content on its disks survived)\n\n",
+              calliope.coordinator().MsuUp("msu1") ? "yes" : "no");
+
+  // Watch for a while and report per-viewer delivery quality.
+  calliope.sim().RunFor(SimTime::Seconds(20));
+  int64_t delivered = 0;
+  int happy = 0, watching = 0;
+  for (size_t v = 0; v < viewers.size(); ++v) {
+    const ClientDisplayPort* port = client.FindPort("tv" + std::to_string(v));
+    if (port == nullptr || port->packets_received() == 0) {
+      continue;
+    }
+    ++watching;
+    delivered += port->packets_received();
+    if (port->glitches() == 0) {
+      ++happy;
+    }
+  }
+  std::printf("%d viewers receiving video (%d glitch-free), %lld packets delivered\n", watching,
+              happy, static_cast<long long>(delivered));
+  std::printf("coordinator handled %lld control messages total\n",
+              static_cast<long long>(calliope.coordinator().requests_handled()));
+  return 0;
+}

@@ -1,0 +1,208 @@
+#include "src/calliope/calliope.h"
+
+#include <utility>
+
+namespace calliope {
+
+MachineParams DisklessHost() {
+  MachineParams params = MicronP66();
+  params.disks_per_hba.clear();
+  return params;
+}
+
+Installation::Installation(InstallationConfig config)
+    : config_(std::move(config)), network_(sim_, config_.network) {
+  for (int i = 0; i < config_.msu_count; ++i) {
+    MachineParams msu_params = config_.msu_machine;
+    msu_params.rng_seed = config_.seed + static_cast<uint64_t>(i) * 7919;
+    const std::string name = "msu" + std::to_string(i);
+    msu_machines_.push_back(std::make_unique<Machine>(sim_, msu_params, name));
+    msu_nodes_.push_back(network_.AddNode(name, msu_machines_.back().get(), /*on_intra=*/true));
+    msus_.push_back(
+        std::make_unique<Msu>(*msu_machines_.back(), *msu_nodes_.back(), config_.msu));
+  }
+
+  if (config_.colocate_coordinator && !msus_.empty()) {
+    // Small installation: the Coordinator runs on msu0's machine and shares
+    // its host name; MSUs register against "msu0".
+    coordinator_node_ = msu_nodes_.front();
+    coordinator_ = std::make_unique<Coordinator>(*msu_machines_.front(), *coordinator_node_,
+                                                 Catalog::WithStandardTypes(),
+                                                 config_.coordinator);
+  } else {
+    MachineParams coord_params = DisklessHost();
+    coord_params.rng_seed = config_.seed ^ 0xC00D;
+    coordinator_machine_ = std::make_unique<Machine>(sim_, coord_params, "coordinator");
+    coordinator_node_ = network_.AddNode("coordinator", coordinator_machine_.get(),
+                                         /*on_intra=*/true);
+    coordinator_ = std::make_unique<Coordinator>(*coordinator_machine_, *coordinator_node_,
+                                                 Catalog::WithStandardTypes(),
+                                                 config_.coordinator);
+  }
+  AddDefaultCustomers();
+}
+
+const std::string& Installation::coordinator_host() const {
+  return coordinator_node_->name();
+}
+
+Status Installation::Boot(SimTime timeout) {
+  for (auto& msu : msus_) {
+    // Fire-and-forget registration tasks.
+    [](Msu* m, std::string host) -> Task {
+      co_await m->RegisterWithCoordinator(std::move(host));
+    }(msu.get(), coordinator_host());
+  }
+  const SimTime deadline = sim_.Now() + timeout;
+  while (sim_.Now() < deadline) {
+    bool all_up = true;
+    for (size_t i = 0; i < msus_.size(); ++i) {
+      if (!coordinator_->MsuUp("msu" + std::to_string(i))) {
+        all_up = false;
+        break;
+      }
+    }
+    if (all_up) {
+      return OkStatus();
+    }
+    sim_.RunFor(SimTime::Millis(10));
+  }
+  return DeadlineExceededError("MSUs failed to register");
+}
+
+CalliopeClient& Installation::AddClient(const std::string& name) {
+  MachineParams client_params = DisklessHost();
+  client_params.rng_seed = config_.seed ^ (clients_.size() + 0xC11E47);
+  client_machines_.push_back(std::make_unique<Machine>(sim_, client_params, name));
+  NetNode* node = network_.AddNode(name, client_machines_.back().get(), /*on_intra=*/false);
+  clients_.push_back(std::make_unique<CalliopeClient>(*node, coordinator_host(),
+                                                      config_.coordinator.listen_port));
+  return *clients_.back();
+}
+
+void Installation::AddDefaultCustomers() {
+  (void)coordinator_->catalog().AddCustomer(Customer{"alice", "alice-key", /*admin=*/true});
+  (void)coordinator_->catalog().AddCustomer(Customer{"bob", "bob-key", /*admin=*/false});
+}
+
+Status Installation::InstallFile(const std::string& file_name, const PacketSequence& packets,
+                                 size_t msu_index, int disk, IbTreeFile* out_image) {
+  IbTreeBuilder builder;
+  for (const MediaPacket& packet : packets) {
+    CALLIOPE_RETURN_IF_ERROR(builder.Add(packet));
+  }
+  IbTreeFile image = builder.Finish();
+  if (out_image != nullptr) {
+    *out_image = image;  // copy: caller inspects, file system keeps its own
+  }
+  auto installed = msus_.at(msu_index)->fs().InstallImage(file_name, std::move(image),
+                                                          config_.msu.striped_layout, disk);
+  return installed.status();
+}
+
+Status Installation::ReplicateContent(const std::string& name, size_t msu_index, int disk) {
+  auto record = coordinator_->catalog().FindContent(name);
+  if (!record.ok()) {
+    return record.status();
+  }
+  if ((*record)->is_composite()) {
+    for (const std::string& item : (*record)->component_items) {
+      CALLIOPE_RETURN_IF_ERROR(ReplicateContent(item, msu_index, disk));
+    }
+    return OkStatus();
+  }
+  if ((*record)->locations.empty()) {
+    return FailedPreconditionError("content has no source copy: " + name);
+  }
+  // Source image comes from the MSU currently holding the content.
+  const ContentLocation& source = (*record)->locations.front();
+  size_t source_index = 0;
+  for (size_t i = 0; i < msus_.size(); ++i) {
+    if ("msu" + std::to_string(i) == source.msu_node) {
+      source_index = i;
+      break;
+    }
+  }
+  const bool same_msu = msu_index == source_index;
+  // A same-MSU replica on another disk needs a distinct file name; fast-scan
+  // variants are shared with the original copy in that case.
+  const std::string suffix =
+      same_msu ? ".copy" + std::to_string((*record)->locations.size()) : "";
+  auto replicate_file = [&](const std::string& file_name, const std::string& copy_suffix,
+                            int* home_disk) -> Status {
+    if (file_name.empty()) {
+      return OkStatus();
+    }
+    CALLIOPE_ASSIGN_OR_RETURN(MsuFile * source_file,
+                              msus_.at(source_index)->fs().Lookup(file_name));
+    IbTreeFile image = source_file->image();  // deep copy of the content image
+    CALLIOPE_ASSIGN_OR_RETURN(MsuFile * copy, msus_.at(msu_index)->fs().InstallImage(
+                                                  file_name + copy_suffix, std::move(image),
+                                                  config_.msu.striped_layout, disk));
+    if (home_disk != nullptr) {
+      *home_disk = copy->home_disk();
+    }
+    return OkStatus();
+  };
+  int copy_disk = 0;
+  CALLIOPE_RETURN_IF_ERROR(replicate_file((*record)->file_name, suffix, &copy_disk));
+  if (!same_msu) {
+    CALLIOPE_RETURN_IF_ERROR(replicate_file((*record)->fast_forward_file, "", nullptr));
+    CALLIOPE_RETURN_IF_ERROR(replicate_file((*record)->fast_backward_file, "", nullptr));
+  }
+  ContentLocation copy_location{"msu" + std::to_string(msu_index), copy_disk};
+  if (same_msu) {
+    copy_location.file_name = (*record)->file_name + suffix;
+  }
+  (*record)->locations.push_back(std::move(copy_location));
+  return OkStatus();
+}
+
+Status Installation::LoadPackets(const std::string& name, const std::string& type_name,
+                                 const PacketSequence& packets, size_t msu_index, int disk) {
+  CALLIOPE_RETURN_IF_ERROR(InstallFile(name + ".dat", packets, msu_index, disk, nullptr));
+  auto file = msus_.at(msu_index)->fs().Lookup(name + ".dat");
+  ContentRecord record;
+  record.name = name;
+  record.type_name = type_name;
+  record.file_name = name + ".dat";
+  record.duration = packets.empty() ? SimTime() : packets.back().delivery_offset;
+  record.locations.push_back(
+      ContentLocation{"msu" + std::to_string(msu_index), (*file)->home_disk()});
+  return coordinator_->catalog().AddContent(std::move(record));
+}
+
+Status Installation::LoadMpegMovie(const std::string& name, SimTime duration, size_t msu_index,
+                                   bool with_fast_scan, int disk) {
+  MpegEncoderConfig encoder;
+  const MpegStream stream = EncodeMpeg(encoder, duration, config_.seed ^ std::hash<std::string>{}(name));
+  const Bytes packet_size = Bytes::KiB(4);
+
+  CALLIOPE_RETURN_IF_ERROR(
+      InstallFile(name + ".mpg", PacketizeCbr(stream, packet_size), msu_index, disk, nullptr));
+  auto file = msus_.at(msu_index)->fs().Lookup(name + ".mpg");
+  const int home_disk = (*file)->home_disk();
+
+  ContentRecord record;
+  record.name = name;
+  record.type_name = "mpeg1";
+  record.file_name = name + ".mpg";
+  record.duration = stream.duration();
+  record.locations.push_back(ContentLocation{"msu" + std::to_string(msu_index), home_disk});
+
+  if (with_fast_scan) {
+    // The administrator's offline filtering program (§2.3.1): every 15th
+    // frame, recompressed; reversed for fast-backward.
+    const MpegStream ff = FilterFastForward(stream, encoder.gop_size);
+    const MpegStream fb = FilterFastBackward(stream, encoder.gop_size);
+    CALLIOPE_RETURN_IF_ERROR(
+        InstallFile(name + ".ff", PacketizeCbr(ff, packet_size), msu_index, home_disk, nullptr));
+    CALLIOPE_RETURN_IF_ERROR(
+        InstallFile(name + ".fb", PacketizeCbr(fb, packet_size), msu_index, home_disk, nullptr));
+    record.fast_forward_file = name + ".ff";
+    record.fast_backward_file = name + ".fb";
+  }
+  return coordinator_->catalog().AddContent(std::move(record));
+}
+
+}  // namespace calliope

@@ -1,0 +1,114 @@
+// One-call construction of a complete Calliope installation inside a
+// simulation: a Coordinator host, N MSU hosts, the intra-server Ethernet and
+// the FDDI delivery network — plus admin helpers to bulk-load content (with
+// fast-forward / fast-backward variants) and to attach client hosts.
+//
+// This is the entry point examples and benchmarks use:
+//
+//   InstallationConfig config;
+//   config.msu_count = 3;
+//   Installation calliope(config);
+//   calliope.Boot();
+//   calliope.LoadMpegMovie("movie0", SimTime::Seconds(120), 0, true);
+//   CalliopeClient& client = calliope.AddClient("client0");
+//   ... client.Connect / RegisterPort / Play ...
+//   calliope.sim().RunFor(SimTime::Seconds(60));
+#ifndef CALLIOPE_SRC_CALLIOPE_CALLIOPE_H_
+#define CALLIOPE_SRC_CALLIOPE_CALLIOPE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/client/client.h"
+#include "src/coord/coordinator.h"
+#include "src/media/mpeg.h"
+#include "src/media/sources.h"
+#include "src/msu/msu.h"
+#include "src/net/network.h"
+
+namespace calliope {
+
+struct InstallationConfig {
+  int msu_count = 1;
+  MachineParams msu_machine = MicronP66();
+  CoordinatorParams coordinator;
+  MsuParams msu;
+  NetworkParams network;
+  // "For very small installations, the Coordinator and MSU software may run
+  // on the same machine": the Coordinator shares msu0's host, competing for
+  // its CPU instead of having its own box.
+  bool colocate_coordinator = false;
+  uint64_t seed = 1996;
+};
+
+class Installation {
+ public:
+  explicit Installation(InstallationConfig config = InstallationConfig());
+
+  Installation(const Installation&) = delete;
+  Installation& operator=(const Installation&) = delete;
+
+  Simulator& sim() { return sim_; }
+  Network& network() { return network_; }
+  Coordinator& coordinator() { return *coordinator_; }
+  // Node name the Coordinator answers on ("coordinator", or "msu0" when
+  // colocated).
+  const std::string& coordinator_host() const;
+  size_t msu_count() const { return msus_.size(); }
+  Msu& msu(size_t i) { return *msus_.at(i); }
+  NetNode& msu_node(size_t i) { return *msu_nodes_.at(i); }
+  NetNode& coordinator_node() { return *coordinator_node_; }
+
+  // Runs the simulation until every MSU has registered with the Coordinator.
+  Status Boot(SimTime timeout = SimTime::Seconds(30));
+
+  // Creates a (diskless) client host attached to the delivery network.
+  CalliopeClient& AddClient(const std::string& name);
+
+  // ---- administrative bulk-load (no simulated time consumed) ----
+
+  // Installs a synthetic MPEG-1 movie as content `name` on MSU `msu_index`;
+  // with_fast_scan also produces and loads the offline-filtered fast-forward
+  // and fast-backward variants (§2.3.1; every-15th-frame filter).
+  Status LoadMpegMovie(const std::string& name, SimTime duration, size_t msu_index,
+                       bool with_fast_scan, int disk = -1);
+
+  // Installs an arbitrary packet sequence as content of an existing atomic
+  // type (e.g. NV traces as "rtp-video").
+  Status LoadPackets(const std::string& name, const std::string& type_name,
+                     const PacketSequence& packets, size_t msu_index, int disk = -1);
+
+  // Standard demo customers: "alice" (admin) and "bob".
+  void AddDefaultCustomers();
+
+  // Copies existing content (and its fast-scan variants) onto another
+  // MSU/disk and registers the copy in the catalog — the §2.3.3 mitigation
+  // for skewed popularity: "we can make copies of popular content on several
+  // disks, but we must anticipate usage trends". The scheduler then spreads
+  // streams across the copies.
+  Status ReplicateContent(const std::string& name, size_t msu_index, int disk = -1);
+
+ private:
+  Status InstallFile(const std::string& file_name, const PacketSequence& packets,
+                     size_t msu_index, int disk, IbTreeFile* out_image);
+
+  InstallationConfig config_;
+  Simulator sim_;
+  Network network_;
+  std::unique_ptr<Machine> coordinator_machine_;
+  NetNode* coordinator_node_ = nullptr;
+  std::unique_ptr<Coordinator> coordinator_;
+  std::vector<std::unique_ptr<Machine>> msu_machines_;
+  std::vector<NetNode*> msu_nodes_;
+  std::vector<std::unique_ptr<Msu>> msus_;
+  std::vector<std::unique_ptr<Machine>> client_machines_;
+  std::vector<std::unique_ptr<CalliopeClient>> clients_;
+};
+
+// A diskless host profile for Coordinator and client machines.
+MachineParams DisklessHost();
+
+}  // namespace calliope
+
+#endif  // CALLIOPE_SRC_CALLIOPE_CALLIOPE_H_

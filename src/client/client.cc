@@ -1,0 +1,375 @@
+#include "src/client/client.h"
+
+#include <utility>
+
+#include "src/msu/msu.h"  // MediaDatagramPayload
+#include "src/util/logging.h"
+
+namespace calliope {
+
+CalliopeClient::CalliopeClient(NetNode& node, std::string coordinator_node, int coordinator_port)
+    : node_(&node),
+      coordinator_node_(std::move(coordinator_node)),
+      coordinator_port_(coordinator_port),
+      group_events_(std::make_unique<Condition>(node.machine().sim())) {
+  // One listener accepts the VCR control connections MSUs open back to us.
+  control_listen_port_ = node_->AllocateEphemeralPort();
+  (void)node_->ListenTcp(control_listen_port_, [this](TcpConn* conn) { OnControlAccept(conn); });
+}
+
+Co<Status> CalliopeClient::Connect(std::string customer, std::string credential) {
+  auto conn = co_await node_->ConnectTcp(coordinator_node_, coordinator_port_);
+  if (!conn.ok()) {
+    co_return conn.status();
+  }
+  conn_ = *conn;
+  auto response = co_await conn_->Call(MessageBody{OpenSessionRequest{customer, credential}});
+  if (!response.ok()) {
+    co_return response.status();
+  }
+  const auto* open = std::get_if<OpenSessionResponse>(&response->body);
+  if (open == nullptr) {
+    co_return InternalError("bad response to OpenSession");
+  }
+  if (!open->ok) {
+    co_return PermissionDeniedError(open->error);
+  }
+  session_ = open->session;
+  co_return OkStatus();
+}
+
+void CalliopeClient::Disconnect() {
+  if (conn_ != nullptr) {
+    conn_->Close();
+    conn_ = nullptr;
+  }
+  session_ = 0;
+}
+
+Co<Result<std::vector<ContentInfo>>> CalliopeClient::ListContent() {
+  using Out = Result<std::vector<ContentInfo>>;
+  if (!connected()) {
+    co_return Out(FailedPreconditionError("not connected"));
+  }
+  auto response = co_await conn_->Call(MessageBody{ListContentRequest{session_}});
+  if (!response.ok()) {
+    co_return Out(response.status());
+  }
+  const auto* list = std::get_if<ListContentResponse>(&response->body);
+  if (list == nullptr) {
+    co_return Out(InternalError("bad response to ListContent"));
+  }
+  if (!list->ok) {
+    co_return Out(InternalError(list->error));
+  }
+  co_return Out(list->items);
+}
+
+Co<Result<ClientDisplayPort*>> CalliopeClient::RegisterPort(std::string name,
+                                                            std::string type_name) {
+  return RegisterCompositePort(std::move(name), std::move(type_name), {});
+}
+
+Co<Result<ClientDisplayPort*>> CalliopeClient::RegisterCompositePort(
+    std::string name, std::string type_name, std::vector<std::string> component_ports) {
+  using Out = Result<ClientDisplayPort*>;
+  if (!connected()) {
+    co_return Out(FailedPreconditionError("not connected"));
+  }
+  if (ports_.contains(name)) {
+    co_return Out(AlreadyExistsError("port exists: " + name));
+  }
+  auto port = std::make_unique<ClientDisplayPort>();
+  port->name_ = name;
+  port->type_name_ = type_name;
+  port->component_ports_ = component_ports;
+  if (component_ports.empty()) {
+    // Atomic port: bind a data socket and the adjacent control socket
+    // (protocols like RTP use data + control port pairs).
+    port->udp_port_ = node_->AllocateEphemeralPort();
+    node_->AllocateEphemeralPort();  // reserve udp_port + 1 for control
+    ClientDisplayPort* raw = port.get();
+    if (Status bound = node_->BindUdp(
+            raw->udp_port_, [this, raw](const Datagram& d) { OnMediaDatagram(*raw, d); });
+        !bound.ok()) {
+      co_return Out(bound);
+    }
+    if (Status bound = node_->BindUdp(
+            raw->udp_port_ + 1, [this, raw](const Datagram& d) { OnMediaDatagram(*raw, d); });
+        !bound.ok()) {
+      co_return Out(bound);
+    }
+  }
+
+  RegisterPortRequest request;
+  request.session = session_;
+  request.port_name = name;
+  request.type_name = type_name;
+  request.node = node_->name();
+  request.udp_port = port->udp_port_;
+  request.control_port = control_listen_port_;
+  request.component_ports = component_ports;
+  auto response = co_await conn_->Call(MessageBody{std::move(request)});
+  if (!response.ok()) {
+    co_return Out(response.status());
+  }
+  const auto* ack = std::get_if<SimpleResponse>(&response->body);
+  if (ack == nullptr || !ack->ok) {
+    co_return Out(InvalidArgumentError(ack != nullptr ? ack->error : "bad response"));
+  }
+  ClientDisplayPort* raw = port.get();
+  ports_[name] = std::move(port);
+  co_return Out(raw);
+}
+
+Co<Status> CalliopeClient::UnregisterPort(std::string name) {
+  if (!connected()) {
+    co_return FailedPreconditionError("not connected");
+  }
+  auto it = ports_.find(name);
+  if (it == ports_.end()) {
+    co_return NotFoundError("no such port: " + name);
+  }
+  auto response =
+      co_await conn_->Call(MessageBody{UnregisterPortRequest{session_, name}});
+  if (!response.ok()) {
+    co_return response.status();
+  }
+  if (it->second->udp_port_ != 0) {
+    (void)node_->CloseUdp(it->second->udp_port_);
+    (void)node_->CloseUdp(it->second->udp_port_ + 1);
+  }
+  ports_.erase(it);
+  co_return OkStatus();
+}
+
+ClientDisplayPort* CalliopeClient::FindPort(const std::string& name) {
+  auto it = ports_.find(name);
+  return it == ports_.end() ? nullptr : it->second.get();
+}
+
+void CalliopeClient::OnMediaDatagram(ClientDisplayPort& port, const Datagram& datagram) {
+  auto payload = std::static_pointer_cast<const MediaDatagramPayload>(datagram.payload);
+  if (payload == nullptr) {
+    return;
+  }
+  const SimTime lateness = sim().Now() - payload->deadline;
+  if (payload->is_control) {
+    ++port.control_packets_received_;
+  } else {
+    if (port.first_arrival_ == SimTime()) {
+      port.first_arrival_ = sim().Now();
+    }
+    ++port.packets_received_;
+    port.arrival_lateness_.Record(lateness);
+    if (lateness > port.buffer_allowance_) {
+      ++port.glitches_;
+    }
+    if (port.playout_.has_value()) {
+      // A backwards jump in media time is a seek/rewind: new playout epoch.
+      if (payload->packet.delivery_offset + SimTime::Seconds(1) < port.last_media_offset_) {
+        port.playout_->Reset();
+      }
+      port.last_media_offset_ = payload->packet.delivery_offset;
+      port.playout_->OnArrival(sim().Now(), payload->packet.delivery_offset,
+                               payload->packet.size);
+    }
+  }
+  port.bytes_received_ += payload->packet.size;
+}
+
+void CalliopeClient::OnControlAccept(TcpConn* conn) {
+  conn->set_receive_handler([this, conn](TcpConn*, const Envelope& envelope) {
+    if (const auto* info = std::get_if<StreamGroupInfo>(&envelope.body)) {
+      GroupState& group = GroupFor(info->group);
+      group.control_conn = conn;
+      group.info = *info;
+      group.info_received = true;
+      group_events_->NotifyAll();
+    }
+  });
+  conn->set_close_handler([this](TcpConn* closed) {
+    for (auto& [id, group] : groups_) {
+      if (group.control_conn == closed) {
+        group.terminated = true;
+      }
+    }
+    group_events_->NotifyAll();
+  });
+}
+
+CalliopeClient::GroupState& CalliopeClient::GroupFor(GroupId group) {
+  GroupState& state = groups_[group];
+  state.group = group;
+  return state;
+}
+
+Co<Result<CalliopeClient::StartResult>> CalliopeClient::Play(std::string content,
+                                                             std::string port_name) {
+  using Out = Result<StartResult>;
+  if (!connected()) {
+    co_return Out(FailedPreconditionError("not connected"));
+  }
+  auto response =
+      co_await conn_->Call(MessageBody{PlayRequest{session_, content, port_name}});
+  if (!response.ok()) {
+    co_return Out(response.status());
+  }
+  const auto* play = std::get_if<PlayResponse>(&response->body);
+  if (play == nullptr) {
+    co_return Out(InternalError("bad response to Play"));
+  }
+  if (!play->ok) {
+    co_return Out(InvalidArgumentError(play->error));
+  }
+  GroupFor(play->group);
+  co_return Out(StartResult{play->group, play->queued});
+}
+
+Co<Result<CalliopeClient::StartResult>> CalliopeClient::Record(std::string content_name,
+                                                               std::string type_name,
+                                                               std::string port_name,
+                                                               SimTime estimated_length) {
+  using Out = Result<StartResult>;
+  if (!connected()) {
+    co_return Out(FailedPreconditionError("not connected"));
+  }
+  auto response = co_await conn_->Call(
+      MessageBody{RecordRequest{session_, content_name, type_name, port_name, estimated_length}});
+  if (!response.ok()) {
+    co_return Out(response.status());
+  }
+  const auto* record = std::get_if<RecordResponse>(&response->body);
+  if (record == nullptr) {
+    co_return Out(InternalError("bad response to Record"));
+  }
+  if (!record->ok) {
+    co_return Out(InvalidArgumentError(record->error));
+  }
+  GroupFor(record->group);
+  co_return Out(StartResult{record->group, record->queued});
+}
+
+Co<Status> CalliopeClient::DeleteContent(std::string content) {
+  if (!connected()) {
+    co_return FailedPreconditionError("not connected");
+  }
+  auto response =
+      co_await conn_->Call(MessageBody{DeleteContentRequest{session_, content}});
+  if (!response.ok()) {
+    co_return response.status();
+  }
+  const auto* ack = std::get_if<SimpleResponse>(&response->body);
+  if (ack == nullptr || !ack->ok) {
+    co_return InvalidArgumentError(ack != nullptr ? ack->error : "bad response");
+  }
+  co_return OkStatus();
+}
+
+Co<Status> CalliopeClient::LoadFastScan(std::string content, std::string ff_file,
+                                        std::string fb_file) {
+  if (!connected()) {
+    co_return FailedPreconditionError("not connected");
+  }
+  auto response = co_await conn_->Call(
+      MessageBody{LoadFastScanRequest{session_, content, ff_file, fb_file}});
+  if (!response.ok()) {
+    co_return response.status();
+  }
+  const auto* ack = std::get_if<SimpleResponse>(&response->body);
+  if (ack == nullptr || !ack->ok) {
+    co_return InvalidArgumentError(ack != nullptr ? ack->error : "bad response");
+  }
+  co_return OkStatus();
+}
+
+Co<Status> CalliopeClient::WaitForGroupReady(GroupId group, SimTime timeout) {
+  const SimTime deadline = sim().Now() + timeout;
+  GroupState& state = GroupFor(group);
+  while (!state.info_received && !state.terminated) {
+    if (sim().Now() >= deadline) {
+      co_return DeadlineExceededError("group never became ready");
+    }
+    // Wake on group events or every 100 ms to re-check the deadline.
+    EventToken tick = sim().ScheduleCancelableAt(sim().Now() + SimTime::Millis(100),
+                                                 [this] { group_events_->NotifyAll(); });
+    co_await group_events_->Wait();
+    tick.Cancel();
+  }
+  if (state.terminated && !state.info_received) {
+    co_return UnavailableError("group terminated before becoming ready");
+  }
+  co_return OkStatus();
+}
+
+bool CalliopeClient::GroupTerminated(GroupId group) const {
+  auto it = groups_.find(group);
+  return it != groups_.end() && it->second.terminated;
+}
+
+Co<Status> CalliopeClient::Vcr(GroupId group, VcrCommand::Op op, SimTime seek_to) {
+  CALLIOPE_CO_RETURN_IF_ERROR(co_await WaitForGroupReady(group));
+  GroupState& state = GroupFor(group);
+  if (state.control_conn == nullptr || state.control_conn->closed()) {
+    co_return UnavailableError("group control connection closed");
+  }
+  VcrCommand command;
+  command.op = op;
+  command.group = group;
+  command.seek_to = seek_to;
+  auto response = co_await state.control_conn->Call(MessageBody{command});
+  if (!response.ok()) {
+    co_return response.status();
+  }
+  const auto* ack = std::get_if<VcrAck>(&response->body);
+  if (ack == nullptr) {
+    co_return InternalError("bad response to VCR command");
+  }
+  if (!ack->ok) {
+    co_return FailedPreconditionError(ack->error);
+  }
+  co_return OkStatus();
+}
+
+Co<Result<int64_t>> CalliopeClient::SendRecording(GroupId group, int component_index,
+                                                  const PacketSequence& packets) {
+  using Out = Result<int64_t>;
+  CALLIOPE_CO_RETURN_IF_ERROR(co_await WaitForGroupReady(group));
+  GroupState& state = GroupFor(group);
+  StreamId stream = 0;
+  bool found = false;
+  for (const auto& member : state.info.members) {
+    if (member.component_index == component_index) {
+      stream = member.stream;
+      found = true;
+      break;
+    }
+  }
+  if (!found) {
+    co_return Out(NotFoundError("no group member with index " +
+                                std::to_string(component_index)));
+  }
+  const std::string msu_node = state.info.msu_node;
+  const int media_port = state.info.media_udp_port;
+  const SimTime start = sim().Now();
+  int64_t sent = 0;
+  for (const MediaPacket& packet : packets) {
+    if (state.terminated) {
+      break;
+    }
+    const SimTime when = start + packet.delivery_offset;
+    if (when > sim().Now()) {
+      co_await sim().Delay(when - sim().Now());
+    }
+    auto payload = std::make_shared<MediaDatagramPayload>();
+    payload->stream = stream;
+    payload->seq = sent;
+    payload->deadline = when;
+    payload->packet = packet;
+    co_await node_->SendUdp(msu_node, media_port, packet.size, std::move(payload));
+    ++sent;
+  }
+  co_return Out(sent);
+}
+
+}  // namespace calliope

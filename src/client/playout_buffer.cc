@@ -1,0 +1,49 @@
+#include "src/client/playout_buffer.h"
+
+#include <algorithm>
+
+namespace calliope {
+
+void PlayoutBuffer::Reset() {
+  started_ = false;
+  pending_.clear();
+  occupancy_ = Bytes(0);
+}
+
+void PlayoutBuffer::DrainUpTo(SimTime now) {
+  while (!pending_.empty() && pending_.front().playout_time <= now) {
+    occupancy_ -= pending_.front().size;
+    pending_.pop_front();
+  }
+}
+
+void PlayoutBuffer::OnArrival(SimTime arrival, SimTime media_offset, Bytes size) {
+  ++packets_;
+  if (!started_) {
+    started_ = true;
+    origin_ = media_offset;
+    epoch_ = arrival + prebuffer_;
+  }
+  const SimTime playout_time = epoch_ + (media_offset - origin_);
+  DrainUpTo(arrival);
+  if (arrival > playout_time) {
+    // The decoder already needed this packet: interruption / still frame.
+    ++glitches_;
+    return;
+  }
+  if (occupancy_ + size > capacity_) {
+    ++overflow_drops_;
+    return;
+  }
+  // Insert in playout order (arrivals are almost always already ordered).
+  Buffered entry{playout_time, size};
+  auto it = pending_.end();
+  while (it != pending_.begin() && std::prev(it)->playout_time > playout_time) {
+    --it;
+  }
+  pending_.insert(it, entry);
+  occupancy_ += size;
+  max_occupancy_ = std::max(max_occupancy_, occupancy_);
+}
+
+}  // namespace calliope

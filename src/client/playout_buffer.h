@@ -1,0 +1,78 @@
+// Client playout buffer model (§2.2.1).
+//
+// "Clients have limited buffering, so data that arrives too late will result
+// in an interruption in audio or a still frame; data that arrives too early
+// will overflow the buffer and be discarded. ... A 200 KByte buffer will hold
+// more than one second of 1.5 Mbit/sec video. Calliope will not add more than
+// 150 milliseconds of jitter in the worst case and any network that
+// introduces more than 850 milliseconds of jitter is probably not usable for
+// video delivery."
+//
+// The model: the decoder prebuffers for `prebuffer` after the first packet,
+// then consumes each packet at (playout epoch + its media offset). A packet
+// arriving after its consumption time is a glitch; a packet that would push
+// occupancy past `capacity` is an overflow drop.
+#ifndef CALLIOPE_SRC_CLIENT_PLAYOUT_BUFFER_H_
+#define CALLIOPE_SRC_CLIENT_PLAYOUT_BUFFER_H_
+
+#include <cstdint>
+#include <deque>
+
+#include "src/util/units.h"
+
+namespace calliope {
+
+class PlayoutBuffer {
+ public:
+  PlayoutBuffer(Bytes capacity, SimTime prebuffer)
+      : capacity_(capacity), prebuffer_(prebuffer) {}
+
+  // Sizes the prebuffer delay so the buffer runs at half occupancy in the
+  // steady state: equal headroom against late packets (glitches) and early
+  // ones (overflow). A 200 KB buffer at 1.5 Mbit/s prebuffers ~0.55 s and
+  // absorbs +-0.55 s of jitter — comfortably covering the paper's <=150 ms
+  // server budget plus its 850 ms network allowance on the late side only
+  // when the full buffer is spent on it.
+  static PlayoutBuffer ForStream(Bytes capacity, DataRate rate) {
+    return PlayoutBuffer(capacity, rate.TransferTime(capacity) / 2);
+  }
+
+  // Feed one media packet: arrival wall time and its media-time offset.
+  // Restarting a stream (seek/rewind) is a new epoch: call Reset().
+  void OnArrival(SimTime arrival, SimTime media_offset, Bytes size);
+
+  void Reset();
+
+  int64_t packets() const { return packets_; }
+  // Packets that arrived after the decoder needed them (still frame/dropout).
+  int64_t glitches() const { return glitches_; }
+  // Packets discarded because the buffer was full ("data that arrives too
+  // early will overflow the buffer and be discarded").
+  int64_t overflow_drops() const { return overflow_drops_; }
+  Bytes max_occupancy() const { return max_occupancy_; }
+  SimTime prebuffer() const { return prebuffer_; }
+
+ private:
+  struct Buffered {
+    SimTime playout_time;
+    Bytes size;
+  };
+
+  void DrainUpTo(SimTime now);
+
+  Bytes capacity_;
+  SimTime prebuffer_;
+  bool started_ = false;
+  SimTime epoch_;             // wall time when media_offset origin_ plays
+  SimTime origin_;            // media offset of the first packet
+  std::deque<Buffered> pending_;
+  Bytes occupancy_;
+  Bytes max_occupancy_;
+  int64_t packets_ = 0;
+  int64_t glitches_ = 0;
+  int64_t overflow_drops_ = 0;
+};
+
+}  // namespace calliope
+
+#endif  // CALLIOPE_SRC_CLIENT_PLAYOUT_BUFFER_H_

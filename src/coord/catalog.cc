@@ -1,0 +1,118 @@
+#include "src/coord/catalog.h"
+
+namespace calliope {
+
+Catalog Catalog::WithStandardTypes() {
+  Catalog catalog;
+  // MPEG-1 system streams: constant 1.5 Mbit/s; bandwidth == storage rate.
+  ContentType mpeg1;
+  mpeg1.name = "mpeg1";
+  mpeg1.protocol = "raw-cbr";
+  mpeg1.bandwidth_rate = DataRate::MegabitsPerSec(1.5);
+  mpeg1.storage_rate = DataRate::MegabitsPerSec(1.5);
+  mpeg1.constant_rate = true;
+  (void)catalog.AddType(std::move(mpeg1));
+  // NV-style RTP video: bursty, reserve near the peak, store near the mean.
+  ContentType rtp_video;
+  rtp_video.name = "rtp-video";
+  rtp_video.protocol = "rtp";
+  rtp_video.bandwidth_rate = DataRate::KilobitsPerSec(1800);  // near the NV peak
+  rtp_video.storage_rate = DataRate::KilobitsPerSec(700);
+  (void)catalog.AddType(std::move(rtp_video));
+  ContentType vat_audio;
+  vat_audio.name = "vat-audio";
+  vat_audio.protocol = "vat";
+  vat_audio.bandwidth_rate = DataRate::KilobitsPerSec(80);
+  vat_audio.storage_rate = DataRate::KilobitsPerSec(64);
+  (void)catalog.AddType(std::move(vat_audio));
+  ContentType seminar;
+  seminar.name = "seminar";
+  seminar.components = {"rtp-video", "vat-audio"};
+  (void)catalog.AddType(std::move(seminar));
+  return catalog;
+}
+
+Status Catalog::AddType(ContentType type) {
+  if (types_.contains(type.name)) {
+    return AlreadyExistsError("type exists: " + type.name);
+  }
+  for (const auto& component : type.components) {
+    auto found = FindType(component);
+    if (!found.ok()) {
+      return found.status();
+    }
+    if ((*found)->is_composite()) {
+      return InvalidArgumentError("composite types must be composed of atomic types: " +
+                                  component);
+    }
+  }
+  types_[type.name] = std::move(type);
+  return OkStatus();
+}
+
+Result<const ContentType*> Catalog::FindType(const std::string& name) const {
+  auto it = types_.find(name);
+  if (it == types_.end()) {
+    return NotFoundError("no such content type: " + name);
+  }
+  return &it->second;
+}
+
+Status Catalog::AddCustomer(Customer customer) {
+  if (customers_.contains(customer.name)) {
+    return AlreadyExistsError("customer exists: " + customer.name);
+  }
+  customers_[customer.name] = std::move(customer);
+  return OkStatus();
+}
+
+Result<const Customer*> Catalog::Authenticate(const std::string& name,
+                                              const std::string& credential) const {
+  auto it = customers_.find(name);
+  if (it == customers_.end() || it->second.credential != credential) {
+    return PermissionDeniedError("bad customer name or credential");
+  }
+  return &it->second;
+}
+
+Status Catalog::AddContent(ContentRecord record) {
+  if (content_.contains(record.name)) {
+    return AlreadyExistsError("content exists: " + record.name);
+  }
+  content_[record.name] = std::move(record);
+  return OkStatus();
+}
+
+Result<ContentRecord*> Catalog::FindContent(const std::string& name) {
+  auto it = content_.find(name);
+  if (it == content_.end()) {
+    return NotFoundError("no such content: " + name);
+  }
+  return &it->second;
+}
+
+Result<const ContentRecord*> Catalog::FindContent(const std::string& name) const {
+  auto it = content_.find(name);
+  if (it == content_.end()) {
+    return NotFoundError("no such content: " + name);
+  }
+  return &it->second;
+}
+
+Status Catalog::RemoveContent(const std::string& name) {
+  if (content_.erase(name) == 0) {
+    return NotFoundError("no such content: " + name);
+  }
+  return OkStatus();
+}
+
+std::vector<const ContentRecord*> Catalog::ListContent() const {
+  std::vector<const ContentRecord*> records;
+  records.reserve(content_.size());
+  for (const auto& [name, record] : content_) {
+    records.push_back(&record);
+  }
+  return records;
+}
+
+}  // namespace calliope

@@ -1,0 +1,110 @@
+// The Coordinator's administrative database (§2.2): customers, content
+// types, and the table of contents.
+//
+// Content types may be atomic (a protocol plus rates) or composite ("we have
+// a VAT audio type, an RTP video type and a Seminar type composed of one VAT
+// and one RTP stream"). Each type carries *separate* bandwidth and storage
+// consumption rates: "The bandwidth consumption rate should be closer to the
+// stream's peak rate and the storage consumption rate should be closer to
+// the average rate" for variable-rate encodings.
+#ifndef CALLIOPE_SRC_COORD_CATALOG_H_
+#define CALLIOPE_SRC_COORD_CATALOG_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/util/status.h"
+#include "src/util/units.h"
+
+namespace calliope {
+
+// NOTE: catalog structs declare constructors so they are not aggregates;
+// GCC 12 miscompiles aggregate init/copies inside coroutine bodies (see
+// src/sim/co.h).
+struct ContentType {
+  ContentType() = default;
+
+  std::string name;
+  // Atomic leaf:
+  std::string protocol;     // MSU protocol module ("rtp", "vat", "raw-cbr")
+  DataRate bandwidth_rate;  // reservation rate (nearer the peak for VBR)
+  DataRate storage_rate;    // disk-space estimation rate (nearer the average)
+  bool constant_rate = false;
+  // Composite: names of component types (empty for atomic types).
+  std::vector<std::string> components;
+
+  bool is_composite() const { return !components.empty(); }
+};
+
+// Where one copy of an atomic content item lives.
+struct ContentLocation {
+  ContentLocation() = default;
+  ContentLocation(std::string msu, int disk_index)
+      : msu_node(std::move(msu)), disk(disk_index) {}
+
+  std::string msu_node;
+  int disk = 0;
+  // MSU file holding this copy when it differs from the record's file_name
+  // (same-MSU replicas on other disks need distinct file names).
+  std::string file_name;
+};
+
+struct ContentRecord {
+  ContentRecord() = default;
+
+  std::string name;          // public name ("lecture42", or "lecture42.0" components)
+  std::string type_name;     // atomic type of this item
+  std::string file_name;     // MSU file-system name
+  SimTime duration;
+  std::vector<ContentLocation> locations;  // copies (usually one)
+  std::string fast_forward_file;   // §2.3.1 filtered variants, if loaded
+  std::string fast_backward_file;
+  bool recording_in_progress = false;
+  // For composite items: the component item names, in type order.
+  std::vector<std::string> component_items;
+
+  bool is_composite() const { return !component_items.empty(); }
+  bool has_fast_scan() const { return !fast_forward_file.empty(); }
+};
+
+struct Customer {
+  Customer() = default;
+  Customer(std::string customer_name, std::string customer_credential, bool is_admin)
+      : name(std::move(customer_name)),
+        credential(std::move(customer_credential)),
+        admin(is_admin) {}
+
+  std::string name;
+  std::string credential;
+  bool admin = false;  // may delete content and load fast-scan variants
+};
+
+class Catalog {
+ public:
+  // Preloads the paper's standard types: vat, rtp, raw-cbr (MPEG-1 at
+  // 1.5 Mbit/s) and the composite seminar = rtp + vat.
+  static Catalog WithStandardTypes();
+
+  Status AddType(ContentType type);
+  Result<const ContentType*> FindType(const std::string& name) const;
+
+  Status AddCustomer(Customer customer);
+  Result<const Customer*> Authenticate(const std::string& name,
+                                       const std::string& credential) const;
+
+  Status AddContent(ContentRecord record);
+  Result<ContentRecord*> FindContent(const std::string& name);
+  Result<const ContentRecord*> FindContent(const std::string& name) const;
+  Status RemoveContent(const std::string& name);
+  std::vector<const ContentRecord*> ListContent() const;
+
+ private:
+  std::map<std::string, ContentType> types_;
+  std::map<std::string, ContentRecord> content_;
+  std::map<std::string, Customer> customers_;
+};
+
+}  // namespace calliope
+
+#endif  // CALLIOPE_SRC_COORD_CATALOG_H_

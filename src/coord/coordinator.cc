@@ -1,0 +1,739 @@
+#include "src/coord/coordinator.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "src/util/logging.h"
+
+namespace calliope {
+
+Coordinator::Coordinator(Machine& machine, NetNode& node, Catalog catalog,
+                         CoordinatorParams params)
+    : machine_(&machine), node_(&node), params_(params), catalog_(std::move(catalog)) {
+  (void)node_->ListenTcp(params_.listen_port, [this](TcpConn* conn) { OnAccept(conn); });
+}
+
+void Coordinator::OnAccept(TcpConn* conn) {
+  conn->set_request_handler(
+      [this, conn](const MessageBody& body) -> Co<MessageBody> {
+        co_return co_await Dispatch(conn, body);
+      });
+  conn->set_close_handler([this](TcpConn* closed) { OnConnClosed(closed); });
+}
+
+Co<MessageBody> Coordinator::Dispatch(TcpConn* conn, MessageArg request) {
+  const MessageBody& body = request.value;
+  // Every request consumes Coordinator CPU (the shared resource whose
+  // capacity bounds system size, §3.3).
+  co_await machine_->cpu().Run(params_.request_compute, 0);
+  ++requests_handled_;
+
+  if (const auto* m = std::get_if<OpenSessionRequest>(&body)) {
+    co_return co_await HandleOpenSession(conn, *m);
+  }
+  if (const auto* m = std::get_if<ListContentRequest>(&body)) {
+    co_return co_await HandleListContent(*m);
+  }
+  if (const auto* m = std::get_if<RegisterPortRequest>(&body)) {
+    co_return co_await HandleRegisterPort(conn, *m);
+  }
+  if (const auto* m = std::get_if<UnregisterPortRequest>(&body)) {
+    co_return co_await HandleUnregisterPort(conn, *m);
+  }
+  if (const auto* m = std::get_if<PlayRequest>(&body)) {
+    co_return co_await HandlePlay(conn, *m);
+  }
+  if (const auto* m = std::get_if<RecordRequest>(&body)) {
+    co_return co_await HandleRecord(conn, *m);
+  }
+  if (const auto* m = std::get_if<DeleteContentRequest>(&body)) {
+    co_return co_await HandleDelete(conn, *m);
+  }
+  if (const auto* m = std::get_if<LoadFastScanRequest>(&body)) {
+    co_return co_await HandleLoadFastScan(conn, *m);
+  }
+  if (const auto* m = std::get_if<MsuRegisterRequest>(&body)) {
+    co_return co_await HandleMsuRegister(conn, *m);
+  }
+  if (const auto* m = std::get_if<StreamTerminated>(&body)) {
+    HandleStreamTerminated(*m);
+    co_return MessageBody{SimpleResponse{true, ""}};
+  }
+  co_return MessageBody{SimpleResponse{false, "coordinator: unknown request"}};
+}
+
+void Coordinator::OnConnClosed(TcpConn* conn) {
+  // A broken MSU connection marks the MSU unavailable (§2.2 fault tolerance).
+  for (auto& [name, msu] : msus_) {
+    if (msu.conn == conn && msu.up) {
+      MarkMsuDown(msu);
+      return;
+    }
+  }
+  // A dropped client session deallocates its ports.
+  auto it = conn_sessions_.find(conn);
+  if (it != conn_sessions_.end()) {
+    sessions_.erase(it->second);
+    conn_sessions_.erase(it);
+  }
+}
+
+Result<Coordinator::SessionInfo*> Coordinator::FindSession(SessionId id) {
+  auto it = sessions_.find(id);
+  if (it == sessions_.end()) {
+    return NotFoundError("no such session: " + std::to_string(id));
+  }
+  return &it->second;
+}
+
+Co<MessageBody> Coordinator::HandleOpenSession(TcpConn* conn, const OpenSessionRequest& request) {
+  auto customer = catalog_.Authenticate(request.customer, request.credential);
+  if (!customer.ok()) {
+    co_return MessageBody{OpenSessionResponse{false, customer.status().ToString(), 0}};
+  }
+  const SessionId id = next_session_++;
+  SessionInfo session;
+  session.id = id;
+  session.customer = request.customer;
+  session.admin = (*customer)->admin;
+  session.conn = conn;
+  sessions_[id] = std::move(session);
+  conn_sessions_[conn] = id;
+  co_return MessageBody{OpenSessionResponse{true, "", id}};
+}
+
+Co<MessageBody> Coordinator::HandleListContent(const ListContentRequest& request) {
+  ListContentResponse response;
+  auto session = FindSession(request.session);
+  if (!session.ok()) {
+    response.error = session.status().ToString();
+    co_return MessageBody{std::move(response)};
+  }
+  response.ok = true;
+  for (const ContentRecord* record : catalog_.ListContent()) {
+    // Component items (parent.N) are internal; list only top-level entries.
+    if (record->name.find('.') != std::string::npos) {
+      continue;
+    }
+    ContentInfo info;
+    info.name = record->name;
+    info.type = record->type_name;
+    info.duration = record->duration;
+    info.has_fast_scan = record->has_fast_scan();
+    response.items.push_back(std::move(info));
+  }
+  co_return MessageBody{std::move(response)};
+}
+
+Co<MessageBody> Coordinator::HandleRegisterPort(TcpConn* conn,
+                                                const RegisterPortRequest& request) {
+  auto session = FindSession(request.session);
+  if (!session.ok()) {
+    co_return MessageBody{SimpleResponse{false, session.status().ToString()}};
+  }
+  auto type = catalog_.FindType(request.type_name);
+  if (!type.ok()) {
+    co_return MessageBody{SimpleResponse{false, type.status().ToString()}};
+  }
+  if ((*session)->ports.contains(request.port_name)) {
+    co_return MessageBody{SimpleResponse{false, "port exists: " + request.port_name}};
+  }
+  // Composite display ports are "constructed from previously-registered
+  // display ports of the component types".
+  if ((*type)->is_composite()) {
+    if (request.component_ports.size() != (*type)->components.size()) {
+      co_return MessageBody{
+          SimpleResponse{false, "composite port needs " +
+                                    std::to_string((*type)->components.size()) +
+                                    " component ports"}};
+    }
+    for (size_t i = 0; i < (*type)->components.size(); ++i) {
+      auto component = (*session)->ports.find(request.component_ports[i]);
+      if (component == (*session)->ports.end()) {
+        co_return MessageBody{
+            SimpleResponse{false, "unknown component port: " + request.component_ports[i]}};
+      }
+      if (component->second.type_name != (*type)->components[i]) {
+        co_return MessageBody{
+            SimpleResponse{false, "component port " + request.component_ports[i] +
+                                      " has type " + component->second.type_name +
+                                      ", expected " + (*type)->components[i]}};
+      }
+    }
+  }
+  DisplayPort port;
+  port.name = request.port_name;
+  port.type_name = request.type_name;
+  port.node = request.node;
+  port.udp_port = request.udp_port;
+  port.control_port = request.control_port;
+  port.component_ports = request.component_ports;
+  (*session)->ports[request.port_name] = std::move(port);
+  co_return MessageBody{SimpleResponse{true, ""}};
+}
+
+Co<MessageBody> Coordinator::HandleUnregisterPort(TcpConn* conn,
+                                                  const UnregisterPortRequest& request) {
+  auto session = FindSession(request.session);
+  if (!session.ok()) {
+    co_return MessageBody{SimpleResponse{false, session.status().ToString()}};
+  }
+  if ((*session)->ports.erase(request.port_name) == 0) {
+    co_return MessageBody{SimpleResponse{false, "no such port: " + request.port_name}};
+  }
+  co_return MessageBody{SimpleResponse{true, ""}};
+}
+
+Result<std::vector<Coordinator::Component>> Coordinator::ResolveComponents(
+    const PendingRequest& request, SessionInfo& session) {
+  std::vector<Component> components;
+  const DisplayPort& root = request.port;
+
+  auto port_for = [&](size_t index, size_t total) -> Result<DisplayPort> {
+    if (total == 1) {
+      return root;
+    }
+    if (index >= root.component_ports.size()) {
+      return InvalidArgumentError("composite port missing component " + std::to_string(index));
+    }
+    auto it = session.ports.find(root.component_ports[index]);
+    if (it == session.ports.end()) {
+      return NotFoundError("component port gone: " + root.component_ports[index]);
+    }
+    return it->second;
+  };
+
+  if (!request.record) {
+    CALLIOPE_ASSIGN_OR_RETURN(const ContentRecord* record,
+                              catalog_.FindContent(request.content));
+    if (record->recording_in_progress) {
+      return FailedPreconditionError("content still being recorded: " + request.content);
+    }
+    if (record->type_name != root.type_name) {
+      return InvalidArgumentError("content type " + record->type_name +
+                                  " does not match port type " + root.type_name);
+    }
+    std::vector<std::string> items =
+        record->is_composite() ? record->component_items : std::vector<std::string>{record->name};
+    for (size_t i = 0; i < items.size(); ++i) {
+      CALLIOPE_ASSIGN_OR_RETURN(const ContentRecord* item, catalog_.FindContent(items[i]));
+      CALLIOPE_ASSIGN_OR_RETURN(DisplayPort port, port_for(i, items.size()));
+      components.push_back(Component{item->name, item->file_name, item->type_name, port});
+    }
+    return components;
+  }
+
+  // Recording: items do not exist yet.
+  CALLIOPE_ASSIGN_OR_RETURN(const ContentType* type, catalog_.FindType(request.type_name));
+  if (type->name != root.type_name) {
+    return InvalidArgumentError("record type " + type->name + " does not match port type " +
+                                root.type_name);
+  }
+  const std::vector<std::string> leaf_types =
+      type->is_composite() ? type->components : std::vector<std::string>{type->name};
+  for (size_t i = 0; i < leaf_types.size(); ++i) {
+    CALLIOPE_ASSIGN_OR_RETURN(DisplayPort port, port_for(i, leaf_types.size()));
+    const std::string item_name = leaf_types.size() == 1
+                                      ? request.content
+                                      : request.content + "." + std::to_string(i);
+    components.push_back(Component{item_name, item_name + ".dat", leaf_types[i], port});
+  }
+  return components;
+}
+
+Co<Status> Coordinator::TryStartGroup(const PendingRequest& request) {
+  auto session = FindSession(request.session);
+  if (!session.ok()) {
+    co_return session.status();
+  }
+  auto resolved = ResolveComponents(request, **session);
+  if (!resolved.ok()) {
+    co_return resolved.status();
+  }
+  const std::vector<Component>& components = *resolved;
+
+  // Rates and space per component.
+  std::vector<DataRate> rates;
+  Bytes total_space;
+  for (const Component& component : components) {
+    auto type = catalog_.FindType(component.type_name);
+    if (!type.ok()) {
+      co_return type.status();
+    }
+    rates.push_back((*type)->bandwidth_rate);
+    if (request.record) {
+      total_space += (*type)->storage_rate.BytesIn(request.estimated_length);
+    }
+  }
+
+  // Placement: one MSU must host every member of the group ("Calliope
+  // assigns all streams in a group to the same MSU"). Among the feasible
+  // MSUs, pick the least loaded one.
+  std::string chosen_msu;
+  std::vector<int> chosen_disks(components.size(), -1);
+  std::vector<std::string> chosen_files(components.size());
+  DataRate chosen_load = DataRate(INT64_MAX);
+  for (auto& [msu_name, msu] : msus_) {
+    if (!msu.up) {
+      continue;
+    }
+    std::vector<DataRate> scratch_load = msu.disk_load;
+    std::vector<int> disks(components.size(), -1);
+    std::vector<std::string> files(components.size());
+    bool feasible = true;
+    for (size_t i = 0; i < components.size() && feasible; ++i) {
+      if (!request.record) {
+        // Find the least-loaded copy of this item on this MSU that still has
+        // bandwidth headroom (copies on several disks spread hot titles).
+        auto record = catalog_.FindContent(components[i].item_name);
+        if (!record.ok()) {
+          feasible = false;
+          break;
+        }
+        feasible = false;
+        const ContentLocation* best = nullptr;
+        for (const ContentLocation& location : (*record)->locations) {
+          if (location.msu_node != msu_name) {
+            continue;
+          }
+          const auto& load = scratch_load[static_cast<size_t>(location.disk)];
+          if (load + rates[i] <= params_.disk_budget &&
+              (best == nullptr || load < scratch_load[static_cast<size_t>(best->disk)])) {
+            best = &location;
+          }
+        }
+        if (best != nullptr) {
+          auto& load = scratch_load[static_cast<size_t>(best->disk)];
+          load = load + rates[i];
+          disks[i] = best->disk;
+          files[i] = best->file_name.empty() ? components[i].file_name : best->file_name;
+          feasible = true;
+        }
+      } else {
+        // Recording: least-loaded disk with headroom; MSU checks space.
+        int best = -1;
+        for (int d = 0; d < msu.disk_count; ++d) {
+          auto& load = scratch_load[static_cast<size_t>(d)];
+          if (load + rates[i] <= params_.disk_budget &&
+              (best < 0 || load < scratch_load[static_cast<size_t>(best)])) {
+            best = d;
+          }
+        }
+        if (best < 0) {
+          feasible = false;
+        } else {
+          scratch_load[static_cast<size_t>(best)] =
+              scratch_load[static_cast<size_t>(best)] + rates[i];
+          disks[i] = best;
+        }
+      }
+    }
+    if (feasible && request.record && msu.free_space < total_space) {
+      feasible = false;
+    }
+    if (feasible) {
+      DataRate msu_load;
+      for (const DataRate& load : msu.disk_load) {
+        msu_load = msu_load + load;
+      }
+      if (msu_load < chosen_load) {
+        chosen_load = msu_load;
+        chosen_msu = msu_name;
+        chosen_disks = disks;
+        chosen_files = files;
+      }
+    }
+  }
+  if (chosen_msu.empty()) {
+    co_return ResourceExhaustedError("no MSU with resources for " + request.content);
+  }
+
+  MsuInfo& msu = msus_[chosen_msu];
+  // Reserve the whole group's bandwidth and space *before* contacting the
+  // MSU: "As the Coordinator assigns resources to clients, it keeps track of
+  // load by processor and disk." Requests racing with this one must see the
+  // updated load, or they would all be admitted against stale numbers.
+  for (size_t i = 0; i < components.size(); ++i) {
+    auto& load = msu.disk_load[static_cast<size_t>(chosen_disks[i])];
+    load = load + rates[i];
+  }
+  if (request.record) {
+    msu.free_space -= total_space;
+  }
+  // Launch every member. The first member's stream carries the group's VCR
+  // control connection.
+  std::vector<StreamId> started;
+  for (size_t i = 0; i < components.size(); ++i) {
+    const Component& component = components[i];
+    MsuStartStream start;
+    start.group = request.group;
+    start.stream = next_stream_++;
+    start.file = !request.record && !chosen_files[i].empty() ? chosen_files[i]
+                                                             : component.file_name;
+    auto component_type = catalog_.FindType(component.type_name);
+    start.protocol = (*component_type)->protocol;
+    start.rate = rates[i];
+    start.record = request.record;
+    start.estimated_length = request.estimated_length;
+    start.disk_hint = chosen_disks[i];
+    start.client_node = component.port.node;
+    start.client_udp_port = component.port.udp_port;
+    start.client_control_port = request.port.control_port;
+    start.open_control_conn = (i == 0);
+    if (!request.record) {
+      auto content = catalog_.FindContent(component.item_name);
+      start.fast_forward_file = (*content)->fast_forward_file;
+      start.fast_backward_file = (*content)->fast_backward_file;
+    }
+
+    // The MSU may have died while earlier members were starting.
+    const auto* ack = static_cast<const MsuStartStreamResponse*>(nullptr);
+    Result<Envelope> response = UnavailableError("msu went down mid-launch");
+    if (msu.up && msu.conn != nullptr) {
+      response = co_await msu.conn->Call(MessageBody{start});
+      ack = response.ok() ? std::get_if<MsuStartStreamResponse>(&response->body) : nullptr;
+    }
+    if (ack == nullptr || !ack->ok) {
+      // Refund the reservations of this member and the members never
+      // launched; started members unwind through HandleStreamTerminated.
+      for (size_t j = i; j < components.size(); ++j) {
+        auto& load = msu.disk_load[static_cast<size_t>(chosen_disks[j])];
+        load = load - rates[j];
+        if (request.record) {
+          auto type = catalog_.FindType(components[j].type_name);
+          msu.free_space += (*type)->storage_rate.BytesIn(request.estimated_length);
+        }
+      }
+      for (StreamId id : started) {
+        StreamTerminated undo;
+        undo.stream = id;
+        undo.group = request.group;
+        undo.file = active_streams_[id].content_item;
+        undo.was_recording = request.record;
+        undo.disk = active_streams_[id].disk;
+        HandleStreamTerminated(undo);
+      }
+      co_return InternalError("msu refused stream: " +
+                              (ack != nullptr ? ack->error : response.status().ToString()));
+    }
+
+    ActiveStream active;
+    active.id = start.stream;
+    active.group = request.group;
+    active.msu = chosen_msu;
+    active.disk = chosen_disks[i];
+    active.rate = rates[i];
+    active.content_item = component.item_name;
+    active.recording = request.record;
+    active.session = request.session;
+    ++msu.disk_streams[static_cast<size_t>(active.disk)];
+    if (request.record) {
+      active.reserved_space =
+          (*component_type)->storage_rate.BytesIn(request.estimated_length);
+      // New catalog entry, playable once the recording completes.
+      ContentRecord record;
+      record.name = component.item_name;
+      record.type_name = component.type_name;
+      record.file_name = component.file_name;
+      record.recording_in_progress = true;
+      record.locations.push_back(ContentLocation{chosen_msu, chosen_disks[i]});
+      (void)catalog_.AddContent(std::move(record));
+    }
+    active_streams_[active.id] = active;
+    groups_[request.group].push_back(active.id);
+    started.push_back(active.id);
+  }
+
+  if (request.record && components.size() > 1) {
+    // Parent composite record pointing at the component items.
+    ContentRecord parent;
+    parent.name = request.content;
+    parent.type_name = request.type_name;
+    parent.recording_in_progress = true;
+    for (const Component& component : components) {
+      parent.component_items.push_back(component.item_name);
+    }
+    (void)catalog_.AddContent(std::move(parent));
+  }
+  co_return OkStatus();
+}
+
+Co<MessageBody> Coordinator::HandlePlay(TcpConn* conn, const PlayRequest& request) {
+  auto session = FindSession(request.session);
+  if (!session.ok()) {
+    co_return MessageBody{PlayResponse{false, session.status().ToString(), 0, false}};
+  }
+  auto port = (*session)->ports.find(request.display_port);
+  if (port == (*session)->ports.end()) {
+    co_return MessageBody{
+        PlayResponse{false, "no such display port: " + request.display_port, 0, false}};
+  }
+  PendingRequest pending;
+  pending.session = request.session;
+  pending.record = false;
+  pending.content = request.content;
+  pending.port = port->second;
+  pending.group = next_group_++;
+
+  const Status started = co_await TryStartGroup(pending);
+  if (started.ok()) {
+    co_return MessageBody{PlayResponse{true, "", pending.group, false}};
+  }
+  if (started.code() == StatusCode::kResourceExhausted) {
+    // "If a client's request cannot be satisfied, the Coordinator queues the
+    // request until an MSU with the necessary resources becomes available."
+    pending_.push_back(pending);
+    co_return MessageBody{PlayResponse{true, "", pending.group, true}};
+  }
+  co_return MessageBody{PlayResponse{false, started.ToString(), 0, false}};
+}
+
+Co<MessageBody> Coordinator::HandleRecord(TcpConn* conn, const RecordRequest& request) {
+  auto session = FindSession(request.session);
+  if (!session.ok()) {
+    co_return MessageBody{RecordResponse{false, session.status().ToString(), 0, false}};
+  }
+  auto port = (*session)->ports.find(request.display_port);
+  if (port == (*session)->ports.end()) {
+    co_return MessageBody{
+        RecordResponse{false, "no such display port: " + request.display_port, 0, false}};
+  }
+  if (catalog_.FindContent(request.content_name).ok()) {
+    co_return MessageBody{
+        RecordResponse{false, "content exists: " + request.content_name, 0, false}};
+  }
+  if (request.estimated_length <= SimTime()) {
+    // "the client request must also contain an estimate of the recording
+    // length" — it sizes the disk reservation.
+    co_return MessageBody{RecordResponse{false, "recording length estimate required", 0, false}};
+  }
+  PendingRequest pending;
+  pending.session = request.session;
+  pending.record = true;
+  pending.content = request.content_name;
+  pending.type_name = request.type_name;
+  pending.estimated_length = request.estimated_length;
+  pending.port = port->second;
+  pending.group = next_group_++;
+
+  const Status started = co_await TryStartGroup(pending);
+  if (started.ok()) {
+    co_return MessageBody{RecordResponse{true, "", pending.group, false}};
+  }
+  if (started.code() == StatusCode::kResourceExhausted) {
+    pending_.push_back(pending);
+    co_return MessageBody{RecordResponse{true, "", pending.group, true}};
+  }
+  co_return MessageBody{RecordResponse{false, started.ToString(), 0, false}};
+}
+
+Co<MessageBody> Coordinator::HandleDelete(TcpConn* conn, const DeleteContentRequest& request) {
+  auto session = FindSession(request.session);
+  if (!session.ok()) {
+    co_return MessageBody{SimpleResponse{false, session.status().ToString()}};
+  }
+  if (!(*session)->admin) {
+    co_return MessageBody{SimpleResponse{false, "delete requires administrative permission"}};
+  }
+  auto record = catalog_.FindContent(request.content);
+  if (!record.ok()) {
+    co_return MessageBody{SimpleResponse{false, record.status().ToString()}};
+  }
+  const bool composite = (*record)->is_composite();
+  std::vector<std::string> items =
+      composite ? (*record)->component_items : std::vector<std::string>{(*record)->name};
+  for (const auto& [id, active] : active_streams_) {
+    for (const auto& item : items) {
+      if (active.content_item == item) {
+        co_return MessageBody{SimpleResponse{false, "content is in use"}};
+      }
+    }
+  }
+  for (const std::string& item_name : items) {
+    auto item = catalog_.FindContent(item_name);
+    if (!item.ok()) {
+      continue;
+    }
+    for (const ContentLocation& location : (*item)->locations) {
+      auto msu_it = msus_.find(location.msu_node);
+      if (msu_it == msus_.end() || !msu_it->second.up) {
+        continue;
+      }
+      for (const std::string& file :
+           {(*item)->file_name, (*item)->fast_forward_file, (*item)->fast_backward_file}) {
+        if (!file.empty()) {
+          co_await msu_it->second.conn->Call(MessageBody{MsuDeleteFile{file}});
+        }
+      }
+    }
+    (void)catalog_.RemoveContent(item_name);
+  }
+  if (composite) {
+    (void)catalog_.RemoveContent(request.content);
+  }
+  RetryPendingQueue();
+  co_return MessageBody{SimpleResponse{true, ""}};
+}
+
+Co<MessageBody> Coordinator::HandleLoadFastScan(TcpConn* conn,
+                                                const LoadFastScanRequest& request) {
+  auto session = FindSession(request.session);
+  if (!session.ok()) {
+    co_return MessageBody{SimpleResponse{false, session.status().ToString()}};
+  }
+  if (!(*session)->admin) {
+    co_return MessageBody{SimpleResponse{false, "fast-scan load requires admin permission"}};
+  }
+  auto record = catalog_.FindContent(request.content);
+  if (!record.ok()) {
+    co_return MessageBody{SimpleResponse{false, record.status().ToString()}};
+  }
+  (*record)->fast_forward_file = request.fast_forward_file;
+  (*record)->fast_backward_file = request.fast_backward_file;
+  co_return MessageBody{SimpleResponse{true, ""}};
+}
+
+Co<MessageBody> Coordinator::HandleMsuRegister(TcpConn* conn, const MsuRegisterRequest& request) {
+  MsuInfo& msu = msus_[request.msu_node];
+  msu.node = request.msu_node;
+  msu.conn = conn;
+  msu.up = true;
+  msu.disk_count = request.disk_count;
+  msu.free_space = request.free_space;
+  msu.disk_load.assign(static_cast<size_t>(request.disk_count), DataRate());
+  msu.disk_streams.assign(static_cast<size_t>(request.disk_count), 0);
+  RetryPendingQueue();
+  co_return MessageBody{SimpleResponse{true, ""}};
+}
+
+void Coordinator::HandleStreamTerminated(const StreamTerminated& note) {
+  auto it = active_streams_.find(note.stream);
+  if (it == active_streams_.end()) {
+    return;
+  }
+  ActiveStream active = it->second;
+  active_streams_.erase(it);
+
+  auto msu_it = msus_.find(active.msu);
+  if (msu_it != msus_.end() && static_cast<size_t>(active.disk) < msu_it->second.disk_load.size()) {
+    auto& load = msu_it->second.disk_load[static_cast<size_t>(active.disk)];
+    load = load - active.rate;
+    if (load < DataRate()) {
+      load = DataRate();
+    }
+    --msu_it->second.disk_streams[static_cast<size_t>(active.disk)];
+    if (active.recording) {
+      // Refund the over-estimate: "If the client overestimates the length of
+      // the recording, the unused space will be returned to the system."
+      msu_it->second.free_space += active.reserved_space - note.bytes_moved;
+    }
+  }
+  if (active.recording) {
+    auto record = catalog_.FindContent(active.content_item);
+    if (record.ok()) {
+      (*record)->recording_in_progress = false;
+      (*record)->duration = note.recorded_duration;
+    }
+  }
+
+  auto group_it = groups_.find(active.group);
+  if (group_it != groups_.end()) {
+    auto& members = group_it->second;
+    members.erase(std::remove(members.begin(), members.end(), note.stream), members.end());
+    if (members.empty()) {
+      groups_.erase(group_it);
+      if (active.recording) {
+        // Composite parent becomes playable when all components are sealed.
+        for (const ContentRecord* candidate : catalog_.ListContent()) {
+          if (candidate->is_composite() &&
+              std::find(candidate->component_items.begin(), candidate->component_items.end(),
+                        active.content_item) != candidate->component_items.end()) {
+            auto parent = catalog_.FindContent(candidate->name);
+            if (parent.ok()) {
+              (*parent)->recording_in_progress = false;
+              SimTime longest;
+              for (const std::string& item_name : (*parent)->component_items) {
+                auto item = catalog_.FindContent(item_name);
+                if (item.ok()) {
+                  longest = std::max(longest, (*item)->duration);
+                }
+              }
+              (*parent)->duration = longest;
+            }
+            break;
+          }
+        }
+      }
+    }
+  }
+  RetryPendingQueue();
+}
+
+void Coordinator::MarkMsuDown(MsuInfo& msu) {
+  msu.up = false;
+  msu.conn = nullptr;
+  // Streams on the failed MSU are gone; release their allocations.
+  std::vector<StreamId> dead;
+  for (const auto& [id, active] : active_streams_) {
+    if (active.msu == msu.node) {
+      dead.push_back(id);
+    }
+  }
+  for (StreamId id : dead) {
+    const ActiveStream& active = active_streams_[id];
+    StreamTerminated note;
+    note.stream = id;
+    note.group = active.group;
+    note.was_recording = active.recording;
+    note.disk = active.disk;
+    HandleStreamTerminated(note);
+  }
+}
+
+Task Coordinator::RetryPendingQueue() {
+  if (retry_scheduled_ || pending_.empty()) {
+    co_return;
+  }
+  // Hold the guard for the whole pass: triggers landing mid-pass are covered
+  // because the loop re-reads pending_, which may grow meanwhile.
+  retry_scheduled_ = true;
+  co_await machine_->sim().Yield();  // run after the triggering event settles
+  std::deque<PendingRequest> still_waiting;
+  while (!pending_.empty()) {
+    PendingRequest request = std::move(pending_.front());
+    pending_.pop_front();
+    if (!FindSession(request.session).ok()) {
+      continue;  // client went away while queued
+    }
+    const Status started = co_await TryStartGroup(request);
+    if (started.code() == StatusCode::kResourceExhausted) {
+      still_waiting.push_back(std::move(request));
+    }
+    // Other errors drop the request; the client sees no stream arrive.
+  }
+  // Re-queue this pass's failures behind anything newly queued.
+  for (PendingRequest& request : still_waiting) {
+    pending_.push_back(std::move(request));
+  }
+  retry_scheduled_ = false;
+}
+
+bool Coordinator::MsuUp(const std::string& node) const {
+  auto it = msus_.find(node);
+  return it != msus_.end() && it->second.up;
+}
+
+DataRate Coordinator::DiskLoad(const std::string& msu, int disk) const {
+  auto it = msus_.find(msu);
+  if (it == msus_.end() || static_cast<size_t>(disk) >= it->second.disk_load.size()) {
+    return DataRate();
+  }
+  return it->second.disk_load[static_cast<size_t>(disk)];
+}
+
+Bytes Coordinator::MsuFreeSpace(const std::string& msu) const {
+  auto it = msus_.find(msu);
+  return it == msus_.end() ? Bytes(0) : it->second.free_space;
+}
+
+}  // namespace calliope

@@ -1,0 +1,175 @@
+// The Calliope Coordinator: global resource manager and the system's single
+// point of contact (§2.2).
+//
+// Non-real-time duties only: it authenticates clients, serves the table of
+// contents, registers display ports, allocates MSU disk bandwidth and disk
+// space, forms stream groups for composite types (all members on one MSU, so
+// VCR commands start and stop them together), queues requests that cannot be
+// satisfied yet, and detects MSU failures through broken TCP connections.
+// Once a stream is scheduled the client talks to the MSU directly; the
+// Coordinator only hears about it again at termination.
+#ifndef CALLIOPE_SRC_COORD_COORDINATOR_H_
+#define CALLIOPE_SRC_COORD_COORDINATOR_H_
+
+#include <deque>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/coord/catalog.h"
+#include "src/hw/machine.h"
+#include "src/ibtree/ibtree.h"
+#include "src/net/network.h"
+
+namespace calliope {
+
+struct CoordinatorParams {
+  int listen_port = 5000;
+  // CPU cost of handling one scheduling request (authentication, catalog
+  // lookups, placement decision, bookkeeping). Calibrated so the §3.3 load
+  // test (60 req/s) puts the Coordinator near 14% CPU.
+  SimTime request_compute = SimTime::Micros(900);
+  // Deliverable per-disk bandwidth budget used for admission accounting
+  // (Table 1: a Barracuda under concurrent load sustains ~2.4 MB/s).
+  DataRate disk_budget = DataRate::MegabytesPerSec(2.35);
+};
+
+class Coordinator {
+ public:
+  Coordinator(Machine& machine, NetNode& node, Catalog catalog,
+              CoordinatorParams params = CoordinatorParams());
+
+  Coordinator(const Coordinator&) = delete;
+  Coordinator& operator=(const Coordinator&) = delete;
+
+  Catalog& catalog() { return catalog_; }
+  const CoordinatorParams& params() const { return params_; }
+
+  // ---- introspection for tests, benches and examples ----
+  bool MsuUp(const std::string& node) const;
+  size_t msu_count() const { return msus_.size(); }
+  size_t active_stream_count() const { return active_streams_.size(); }
+  size_t pending_request_count() const { return pending_.size(); }
+  int64_t requests_handled() const { return requests_handled_; }
+  DataRate DiskLoad(const std::string& msu, int disk) const;
+  Bytes MsuFreeSpace(const std::string& msu) const;
+
+ private:
+  struct MsuInfo {
+    MsuInfo() = default;
+
+    std::string node;
+    TcpConn* conn = nullptr;
+    bool up = false;
+    int disk_count = 0;
+    Bytes free_space;
+    std::vector<DataRate> disk_load;    // reserved bandwidth per disk
+    std::vector<int> disk_streams;      // active streams per disk
+  };
+
+  struct DisplayPort {
+    DisplayPort() = default;
+
+    std::string name;
+    std::string type_name;
+    std::string node;
+    int udp_port = 0;
+    int control_port = 0;
+    std::vector<std::string> component_ports;  // for composite ports
+  };
+
+  struct SessionInfo {
+    SessionInfo() = default;
+
+    SessionId id = 0;
+    std::string customer;
+    bool admin = false;
+    TcpConn* conn = nullptr;
+    std::map<std::string, DisplayPort> ports;
+  };
+
+  struct ActiveStream {
+    ActiveStream() = default;
+
+    StreamId id = 0;
+    GroupId group = 0;
+    std::string msu;
+    int disk = 0;
+    DataRate rate;
+    std::string content_item;  // atomic item name
+    bool recording = false;
+    SessionId session = 0;
+    Bytes reserved_space;  // recordings: estimated space debit
+  };
+
+  // A play/record request waiting for resources.
+  struct PendingRequest {
+    PendingRequest() = default;
+
+    SessionId session = 0;
+    bool record = false;
+    std::string content;       // play: content name; record: new content name
+    std::string type_name;     // record only
+    SimTime estimated_length;  // record only
+    DisplayPort port;          // snapshot of the display port
+    GroupId group = 0;         // pre-assigned so the client can reference it
+  };
+
+  // ---- wiring ----
+  void OnAccept(TcpConn* conn);
+  Co<MessageBody> Dispatch(TcpConn* conn, MessageArg body);
+  void OnConnClosed(TcpConn* conn);
+
+  // ---- client request handlers ----
+  Co<MessageBody> HandleOpenSession(TcpConn* conn, const OpenSessionRequest& request);
+  Co<MessageBody> HandleListContent(const ListContentRequest& request);
+  Co<MessageBody> HandleRegisterPort(TcpConn* conn, const RegisterPortRequest& request);
+  Co<MessageBody> HandleUnregisterPort(TcpConn* conn, const UnregisterPortRequest& request);
+  Co<MessageBody> HandlePlay(TcpConn* conn, const PlayRequest& request);
+  Co<MessageBody> HandleRecord(TcpConn* conn, const RecordRequest& request);
+  Co<MessageBody> HandleDelete(TcpConn* conn, const DeleteContentRequest& request);
+  Co<MessageBody> HandleLoadFastScan(TcpConn* conn, const LoadFastScanRequest& request);
+
+  // ---- MSU-facing ----
+  Co<MessageBody> HandleMsuRegister(TcpConn* conn, const MsuRegisterRequest& request);
+  void HandleStreamTerminated(const StreamTerminated& note);
+  void MarkMsuDown(MsuInfo& msu);
+
+  // ---- scheduling core ----
+  // Starts all component streams of a (possibly composite) request on one
+  // MSU. Returns kResourceExhausted when no MSU currently qualifies (the
+  // caller queues the request).
+  Co<Status> TryStartGroup(const PendingRequest& request);
+  Task RetryPendingQueue();
+  Result<SessionInfo*> FindSession(SessionId id);
+  // Resolves the atomic (item, port) component pairs of a request.
+  struct Component {
+    std::string item_name;  // catalog item ("sem1.0") — or new item for records
+    std::string file_name;
+    std::string type_name;
+    DisplayPort port;
+  };
+  Result<std::vector<Component>> ResolveComponents(const PendingRequest& request,
+                                                   SessionInfo& session);
+
+  Machine* machine_;
+  NetNode* node_;
+  CoordinatorParams params_;
+  Catalog catalog_;
+  std::map<std::string, MsuInfo> msus_;
+  std::map<SessionId, SessionInfo> sessions_;
+  std::map<TcpConn*, SessionId> conn_sessions_;
+  std::map<StreamId, ActiveStream> active_streams_;
+  std::map<GroupId, std::vector<StreamId>> groups_;
+  std::deque<PendingRequest> pending_;
+  SessionId next_session_ = 1;
+  StreamId next_stream_ = 1;
+  GroupId next_group_ = 1;
+  int64_t requests_handled_ = 0;
+  bool retry_scheduled_ = false;
+};
+
+}  // namespace calliope
+
+#endif  // CALLIOPE_SRC_COORD_COORDINATOR_H_

@@ -1,0 +1,56 @@
+#include "src/fs/volume.h"
+
+namespace calliope {
+
+Volume::Volume(Disk& disk, bool reserve_metadata_block) : disk_(&disk) {
+  const int64_t blocks = disk.capacity() / kDataPageSize;
+  bitmap_.assign(static_cast<size_t>(blocks), false);
+  free_ = blocks;
+  if (reserve_metadata_block && blocks > 0) {
+    bitmap_[0] = true;  // block 0 holds the serialized file table
+    --free_;
+    next_fit_ = 1;
+  }
+}
+
+Result<int64_t> Volume::AllocateBlock() {
+  if (free_ == 0) {
+    return ResourceExhaustedError("volume full");
+  }
+  const int64_t n = total_blocks();
+  for (int64_t i = 0; i < n; ++i) {
+    const int64_t candidate = (next_fit_ + i) % n;
+    if (!bitmap_[static_cast<size_t>(candidate)]) {
+      bitmap_[static_cast<size_t>(candidate)] = true;
+      --free_;
+      next_fit_ = (candidate + 1) % n;
+      return candidate;
+    }
+  }
+  return InternalError("bitmap/free count mismatch");
+}
+
+Status Volume::Reserve(int64_t count) {
+  if (count > unreserved_free_blocks()) {
+    return ResourceExhaustedError("not enough free space to reserve " + std::to_string(count) +
+                                  " blocks");
+  }
+  reserved_ += count;
+  return OkStatus();
+}
+
+void Volume::Unreserve(int64_t count) {
+  reserved_ -= count;
+  if (reserved_ < 0) {
+    reserved_ = 0;
+  }
+}
+
+void Volume::FreeBlock(int64_t block) {
+  if (bitmap_[static_cast<size_t>(block)]) {
+    bitmap_[static_cast<size_t>(block)] = false;
+    ++free_;
+  }
+}
+
+}  // namespace calliope

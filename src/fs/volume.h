@@ -1,0 +1,56 @@
+// Volume: block allocation over one raw disk.
+//
+// The MSU file system uses large (256 KB) file blocks so "the file system
+// meta-data ... can be entirely cached in main memory" (§2.3.3). A 2 GB
+// Barracuda holds 8192 such blocks; the allocation bitmap is a few KB.
+#ifndef CALLIOPE_SRC_FS_VOLUME_H_
+#define CALLIOPE_SRC_FS_VOLUME_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/hw/disk.h"
+#include "src/ibtree/ibtree.h"
+#include "src/util/status.h"
+
+namespace calliope {
+
+class Volume {
+ public:
+  // `reserve_metadata_block` pins block 0 for the on-disk copy of the file
+  // table (the in-memory metadata's persistence home).
+  explicit Volume(Disk& disk, bool reserve_metadata_block = false);
+
+  Volume(const Volume&) = delete;
+  Volume& operator=(const Volume&) = delete;
+
+  // Next-fit allocation: sequential allocations land on consecutive blocks
+  // when possible, so sequentially-written files read back without seeks.
+  Result<int64_t> AllocateBlock();
+  // Reserves `count` blocks without choosing addresses yet (space
+  // accounting for recording-length estimates).
+  Status Reserve(int64_t count);
+  void Unreserve(int64_t count);
+  void FreeBlock(int64_t block);
+
+  int64_t total_blocks() const { return static_cast<int64_t>(bitmap_.size()); }
+  int64_t free_blocks() const { return free_; }
+  int64_t reserved_blocks() const { return reserved_; }
+  // Blocks available for new reservations.
+  int64_t unreserved_free_blocks() const { return free_ - reserved_; }
+
+  Disk& disk() { return *disk_; }
+  const Disk& disk() const { return *disk_; }
+  Bytes BlockOffset(int64_t block) const { return kDataPageSize * block; }
+
+ private:
+  Disk* disk_;
+  std::vector<bool> bitmap_;  // true = allocated
+  int64_t free_;
+  int64_t reserved_ = 0;
+  int64_t next_fit_ = 0;
+};
+
+}  // namespace calliope
+
+#endif  // CALLIOPE_SRC_FS_VOLUME_H_

@@ -1,0 +1,34 @@
+#include "src/hw/cpu.h"
+
+#include <algorithm>
+
+namespace calliope {
+
+Cpu::Cpu(Simulator& sim, const CpuParams& params, uint64_t seed)
+    : params_(params), resource_(sim, "cpu"), rng_(seed) {}
+
+SimTime Cpu::PortIoStall(int port_ops) {
+  if (port_ops <= 0) {
+    return SimTime();
+  }
+  SimTime mean;
+  if (active_hbas_ >= 2) {
+    mean = params_.port_io_two_hba;
+  } else if (active_hbas_ == 1) {
+    mean = params_.port_io_one_hba;
+  } else {
+    mean = params_.port_io_idle;
+  }
+  // Exponential per-op stalls capped at 4x the mean: the bug is bursty but
+  // bounded (the paper saw ~20 ms worst cases, not unbounded hangs).
+  const SimTime cap = mean * 4;
+  SimTime total;
+  for (int i = 0; i < port_ops; ++i) {
+    auto stall = SimTime::Nanos(static_cast<int64_t>(
+        rng_.NextExponential(static_cast<double>(mean.nanos()))));
+    total += std::min(stall, cap);
+  }
+  return total;
+}
+
+}  // namespace calliope

@@ -1,0 +1,63 @@
+// The MSU host CPU: a single FIFO execution resource plus the motherboard's
+// port-I/O stall bug.
+//
+// Paper §3.1: "'in' and 'out' instructions ... could take a very long time
+// when two HBAs were running. Specifically, the sequence of instructions
+// needed to read the hardware timer took approximately 4 microseconds with no
+// disk activity; it occasionally took a millisecond with one HBA running, and
+// often took 20 milliseconds with two HBAs running."
+//
+// Every driver path (SCSI interrupt service, NIC doorbells, timer reads)
+// performs port operations; their stall time scales with the number of
+// *concurrently active* SCSI HBAs, which is what collapses FDDI throughput in
+// the two-HBA rows of Table 1.
+#ifndef CALLIOPE_SRC_HW_CPU_H_
+#define CALLIOPE_SRC_HW_CPU_H_
+
+#include "src/hw/params.h"
+#include "src/sim/resource.h"
+#include "src/sim/simulator.h"
+#include "src/util/rng.h"
+
+namespace calliope {
+
+class Cpu {
+ public:
+  Cpu(Simulator& sim, const CpuParams& params, uint64_t seed);
+
+  // Awaitable: occupies the CPU for `compute` plus the stall time of
+  // `port_ops` port-mapped I/O operations at the current HBA activity level.
+  auto Run(SimTime compute, int port_ops) {
+    return resource_.Use(compute + PortIoStall(port_ops));
+  }
+
+  // Callback form (for device completion paths).
+  void Submit(SimTime compute, int port_ops, UniqueFunction<void()> done) {
+    resource_.Submit(compute + PortIoStall(port_ops), std::move(done));
+  }
+
+  // Draws the total stall for a sequence of port operations.
+  SimTime PortIoStall(int port_ops);
+
+  // HBAs report activity transitions so the stall model can see them.
+  void HbaBecameActive() { ++active_hbas_; }
+  void HbaBecameIdle() { --active_hbas_; }
+  int active_hbas() const { return active_hbas_; }
+
+  double Utilization() const { return resource_.Utilization(); }
+  SimTime BusyTime() const { return resource_.BusyTime(); }
+  void ResetStats() { resource_.ResetStats(); }
+  const CpuParams& params() const { return params_; }
+  // The underlying execution resource; the memory bus serializes onto it.
+  Resource& resource() { return resource_; }
+
+ private:
+  CpuParams params_;
+  Resource resource_;
+  Rng rng_;
+  int active_hbas_ = 0;
+};
+
+}  // namespace calliope
+
+#endif  // CALLIOPE_SRC_HW_CPU_H_

@@ -1,0 +1,109 @@
+#include "src/hw/disk.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace calliope {
+
+Disk::Disk(Simulator& sim, Cpu& cpu, MemoryBus& memory, ScsiBus& scsi, const DiskParams& params,
+           int id, uint64_t seed)
+    : sim_(&sim),
+      cpu_(&cpu),
+      memory_(&memory),
+      scsi_(&scsi),
+      params_(params),
+      id_(id),
+      rng_(seed),
+      work_available_(sim) {
+  ServiceLoop();
+}
+
+void Disk::Enqueue(Request request) {
+  queue_.push_back(std::move(request));
+  work_available_.NotifyAll();
+}
+
+SimTime Disk::PositioningTime(double target_frac) {
+  const double distance = std::abs(target_frac - head_frac_);
+  SimTime positioning = params_.controller_overhead;
+  if (distance > 1e-9) {
+    // Seek: settle + base + sqrt curve, then wait out rotational latency.
+    positioning += params_.seek_settle + params_.seek_base +
+                   SimTime(static_cast<int64_t>(
+                       static_cast<double>(params_.seek_sqrt_coeff.nanos()) * std::sqrt(distance)));
+    positioning += SimTime(static_cast<int64_t>(
+        rng_.NextDouble() * static_cast<double>(params_.rotation_period.nanos())));
+  }
+  return positioning;
+}
+
+size_t Disk::PickNextIndex() {
+  if (discipline_ == DiskQueueDiscipline::kFifo || queue_.size() == 1) {
+    return 0;
+  }
+  // Elevator (SCAN): continue in the current direction; reverse at the edge.
+  for (int attempt = 0; attempt < 2; ++attempt) {
+    size_t best = queue_.size();
+    double best_distance = 2.0;
+    for (size_t i = 0; i < queue_.size(); ++i) {
+      const double frac =
+          static_cast<double>(queue_[i].offset.count()) / static_cast<double>(params_.capacity.count());
+      const double delta = frac - head_frac_;
+      const bool ahead = sweep_inward_ ? delta >= 0 : delta <= 0;
+      if (ahead && std::abs(delta) < best_distance) {
+        best_distance = std::abs(delta);
+        best = i;
+      }
+    }
+    if (best < queue_.size()) {
+      return best;
+    }
+    sweep_inward_ = !sweep_inward_;
+  }
+  return 0;  // unreachable with a non-empty queue, but keep it safe
+}
+
+Task Disk::ServiceLoop() {
+  for (;;) {
+    while (queue_.empty()) {
+      co_await work_available_.Wait();
+    }
+    const size_t index = PickNextIndex();
+    Request request = std::move(queue_[index]);
+    queue_.erase(queue_.begin() + static_cast<std::deque<Request>::difference_type>(index));
+
+    scsi_->RequestStarted();
+
+    const double target_frac =
+        static_cast<double>(request.offset.count()) / static_cast<double>(params_.capacity.count());
+    co_await sim_->Delay(PositioningTime(target_frac));
+
+    // Media transfer gated by the SCSI chain: the disk streams at its media
+    // rate but cannot finish before its share of the chain is available.
+    const SimTime media_time = params_.media_rate.TransferTime(request.size);
+    const SimTime start = sim_->Now();
+    // DMA between host memory and the HBA trickles across the transfer window
+    // (a read DMA *writes* host memory).
+    memory_->SubmitDma(request.size, media_time, /*is_write=*/request.op == Op::kRead);
+    co_await scsi_->Transfer(request.size);
+    const SimTime elapsed = sim_->Now() - start;
+    if (elapsed < media_time) {
+      co_await sim_->Delay(media_time - elapsed);
+    }
+
+    head_frac_ = std::min(
+        1.0, target_frac + static_cast<double>(request.size.count()) /
+                               static_cast<double>(params_.capacity.count()));
+
+    // Completion interrupt: SCSI mailbox port I/O on the host CPU. This is
+    // where the two-HBA stall bug bites.
+    co_await cpu_->Run(cpu_->params().disk_interrupt_compute, cpu_->params().disk_interrupt_ops);
+
+    scsi_->RequestFinished();
+    ++completed_;
+    bytes_transferred_ += request.size;
+    request.waiter.Resume();
+  }
+}
+
+}  // namespace calliope

@@ -1,0 +1,29 @@
+#include "src/hw/machine.h"
+
+#include <utility>
+
+#include "src/util/rng.h"
+
+namespace calliope {
+
+Machine::Machine(Simulator& sim, const MachineParams& params, std::string name)
+    : sim_(&sim),
+      params_(params),
+      name_(std::move(name)),
+      cpu_(sim, params.cpu, params.rng_seed ^ 0x637075ULL),
+      memory_(sim, params.memory, cpu_.resource()),
+      fddi_(sim, cpu_, memory_, params.fddi, name_ + ".fddi"),
+      ethernet_(sim, cpu_, memory_, params.ethernet, name_ + ".en"),
+      timer_(sim) {
+  Rng seeder(params.rng_seed);
+  int disk_id = 0;
+  for (size_t h = 0; h < params.disks_per_hba.size(); ++h) {
+    hbas_.push_back(std::make_unique<ScsiBus>(sim, cpu_, params.hba, static_cast<int>(h)));
+    for (int d = 0; d < params.disks_per_hba[h]; ++d) {
+      disks_.push_back(std::make_unique<Disk>(sim, cpu_, memory_, *hbas_.back(), params.disk,
+                                              disk_id++, seeder.NextU64()));
+    }
+  }
+}
+
+}  // namespace calliope

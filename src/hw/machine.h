@@ -1,0 +1,58 @@
+// Machine: one simulated MSU/client/Coordinator host — CPU, memory bus, SCSI
+// chains with disks, an FDDI interface to the delivery network and an
+// Ethernet interface to the intra-server LAN, plus coarse timers.
+#ifndef CALLIOPE_SRC_HW_MACHINE_H_
+#define CALLIOPE_SRC_HW_MACHINE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/hw/cpu.h"
+#include "src/hw/disk.h"
+#include "src/hw/memory_bus.h"
+#include "src/hw/nic.h"
+#include "src/hw/params.h"
+#include "src/hw/scsi_bus.h"
+#include "src/hw/timer.h"
+
+namespace calliope {
+
+class Machine {
+ public:
+  Machine(Simulator& sim, const MachineParams& params, std::string name);
+
+  Machine(const Machine&) = delete;
+  Machine& operator=(const Machine&) = delete;
+
+  Simulator& sim() { return *sim_; }
+  Cpu& cpu() { return cpu_; }
+  MemoryBus& memory() { return memory_; }
+  Nic& fddi() { return fddi_; }
+  Nic& ethernet() { return ethernet_; }
+  CoarseTimer& timer() { return timer_; }
+
+  size_t disk_count() const { return disks_.size(); }
+  Disk& disk(size_t i) { return *disks_.at(i); }
+  size_t hba_count() const { return hbas_.size(); }
+  ScsiBus& hba(size_t i) { return *hbas_.at(i); }
+
+  const std::string& name() const { return name_; }
+  const MachineParams& params() const { return params_; }
+
+ private:
+  Simulator* sim_;
+  MachineParams params_;
+  std::string name_;
+  Cpu cpu_;
+  MemoryBus memory_;
+  std::vector<std::unique_ptr<ScsiBus>> hbas_;
+  std::vector<std::unique_ptr<Disk>> disks_;
+  Nic fddi_;
+  Nic ethernet_;
+  CoarseTimer timer_;
+};
+
+}  // namespace calliope
+
+#endif  // CALLIOPE_SRC_HW_MACHINE_H_

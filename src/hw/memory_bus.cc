@@ -1,0 +1,24 @@
+#include "src/hw/memory_bus.h"
+
+#include <algorithm>
+
+namespace calliope {
+
+MemoryBus::MemoryBus(Simulator& sim, const MemoryBusParams& params, Resource& shared)
+    : sim_(&sim), params_(params), bus_(&shared) {}
+
+void MemoryBus::SubmitDma(Bytes size, SimTime window, bool is_write) {
+  const DataRate rate = is_write ? params_.write_rate : params_.read_rate;
+  const Bytes chunk = params_.dma_chunk;
+  const int64_t chunks = std::max<int64_t>(1, (size.count() + chunk.count() - 1) / chunk.count());
+  const SimTime spacing = window / chunks;
+  Bytes remaining = size;
+  for (int64_t i = 0; i < chunks; ++i) {
+    const Bytes this_chunk = std::min(chunk, remaining);
+    remaining -= this_chunk;
+    const SimTime busy = OpTime(this_chunk, rate);
+    sim_->ScheduleAfter(spacing * i, [this, busy] { bus_->Submit(busy, [] {}); });
+  }
+}
+
+}  // namespace calliope

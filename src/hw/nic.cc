@@ -1,0 +1,67 @@
+#include "src/hw/nic.h"
+
+#include <utility>
+
+namespace calliope {
+
+Nic::Nic(Simulator& sim, Cpu& cpu, MemoryBus& memory, const NicParams& params, std::string name)
+    : sim_(&sim),
+      cpu_(&cpu),
+      memory_(&memory),
+      params_(params),
+      name_(std::move(name)),
+      wire_(sim, name_ + ".wire") {}
+
+Co<bool> Nic::TrySend(Frame frame) {
+  // Syscall + stack compute + driver doorbells.
+  co_await cpu_->Run(cpu_->params().udp_send_compute, cpu_->params().nic_send_ops);
+  // User -> mbuf copy, then the checksum read pass.
+  co_await memory_->Copy(frame.size);
+  if (params_.checksum_on_send) {
+    co_await memory_->Read(frame.size);
+  }
+  if (static_cast<int>(wire_.queue_length()) >= params_.output_queue_limit) {
+    ++enobufs_count_;
+    co_return false;
+  }
+  const SimTime wire_time = params_.wire_rate.TransferTime(frame.size);
+  // The NIC DMAs the mbuf out of memory while serializing.
+  memory_->SubmitDma(frame.size, wire_time, /*is_write=*/false);
+  frames_sent_ += 1;
+  bytes_sent_ += frame.size;
+  wire_.Submit(wire_time, [this, frame = std::move(frame)]() mutable {
+    if (wire_sink_) {
+      wire_sink_(std::move(frame));
+    }
+  });
+  co_return true;
+}
+
+Co<void> Nic::SendBlocking(Frame frame) {
+  for (;;) {
+    // Copy the metadata; payload pointer is shared, not duplicated.
+    const bool accepted = co_await TrySend(frame);
+    if (accepted) {
+      co_return;
+    }
+    co_await sim_->Delay(SimTime::Millis(1));
+  }
+}
+
+void Nic::DeliverFromWire(Frame frame) { RunReceivePath(std::move(frame)); }
+
+Task Nic::RunReceivePath(Frame frame) {
+  // DMA write into an mbuf happened during wire reception; charge the bus.
+  memory_->SubmitDma(frame.size, SimTime(), /*is_write=*/true);
+  // Rx interrupt + protocol processing.
+  co_await cpu_->Run(cpu_->params().udp_recv_compute, cpu_->params().nic_send_ops);
+  // Checksum verify and copy to user space.
+  co_await memory_->Read(frame.size);
+  co_await memory_->Copy(frame.size);
+  ++frames_received_;
+  if (rx_sink_) {
+    rx_sink_(std::move(frame));
+  }
+}
+
+}  // namespace calliope

@@ -1,0 +1,126 @@
+// Calibration constants for the simulated 1995 testbed.
+//
+// The paper's MSU host is a 66 MHz Pentium (Micron) with: Buslogic EISA
+// fast-differential SCSI HBAs, 2 GB Seagate Barracuda disks, 32 MB RAM, and a
+// DEC DEFPA PCI FDDI interface, running FreeBSD 2.0.5. Parameters below are
+// chosen so the simple baseline programs of paper §3.1 reproduce Table 1:
+//
+//  * random 256 KB reads from one idle disk sustain ~3.6 MB/s, which is ~70%
+//    of the sequential media rate (paper §2.3.3);
+//  * ttcp-style 4 KB UDP sends reach ~8.5 MB/s with no disk activity;
+//  * memory read/write/copy bandwidths are 53/25/18 MB/s and the diskless
+//    write+send pipeline reaches ~6.3 MB/s of a theoretical 7.5 MB/s
+//    (instruction-fetch interference, modeled as bus efficiency);
+//  * port-mapped I/O instructions stall when SCSI HBAs are active: ~4 us
+//    sequences when idle, occasionally ~1 ms with one HBA, often ~20 ms with
+//    two HBAs (the motherboard bug of paper §3.1).
+//
+// "MB/s" here means 10^6 bytes/sec, matching the paper's footnote.
+#ifndef CALLIOPE_SRC_HW_PARAMS_H_
+#define CALLIOPE_SRC_HW_PARAMS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/util/units.h"
+
+namespace calliope {
+
+struct DiskParams {
+  Bytes capacity = Bytes::GiB(2);
+  // Media (sequential) transfer rate. 256 KB transfers at 70% of this give
+  // the measured 3.6 MB/s random-read throughput.
+  DataRate media_rate = DataRate::MegabytesPerSec(5.15);
+  // Seek time = settle + a + b*sqrt(distance_fraction); zero for distance 0.
+  SimTime seek_settle = SimTime::Micros(8200);
+  SimTime seek_base = SimTime::Micros(1500);
+  SimTime seek_sqrt_coeff = SimTime::Micros(13000);  // multiplied by sqrt(d), d in [0,1]
+  // 7200 rpm => 8.33 ms per revolution; rotational latency ~ U(0, rev).
+  SimTime rotation_period = SimTime::Micros(8333);
+  // Fixed controller/command overhead per request.
+  SimTime controller_overhead = SimTime::Micros(700);
+};
+
+struct HbaParams {
+  // Effective SCSI-chain transfer bandwidth through the EISA HBA. Two disks
+  // on one chain saturate it (2 x 2.8 MB/s in Table 1).
+  DataRate bus_rate = DataRate::MegabytesPerSec(5.8);
+};
+
+struct CpuParams {
+  // Port-mapped I/O stall per in/out operation, by number of *other* active
+  // HBAs (the bug needs concurrent HBA activity to manifest badly).
+  // Values are means of exponential draws, capped at 4x the mean.
+  SimTime port_io_idle = SimTime::Nanos(1500);      // ~4 us for a short sequence
+  SimTime port_io_one_hba = SimTime::Micros(25);    // sequences occasionally ~1 ms
+  SimTime port_io_two_hba = SimTime::Micros(150);   // sequences often ~20 ms
+  // Port operations performed by each interrupt/driver path.
+  int disk_interrupt_ops = 55;   // SCSI mailbox + status: dozens of port touches
+  int nic_send_ops = 4;          // DEFPA descriptor ring doorbells
+  int timer_read_ops = 3;        // reading the 8254 timer (the clock-drift symptom)
+  // Pure compute portions (no port I/O, no memory-bus traffic).
+  SimTime disk_interrupt_compute = SimTime::Micros(180);
+  SimTime udp_send_compute = SimTime::Micros(20);  // syscall + ip/udp + driver
+  SimTime udp_recv_compute = SimTime::Micros(45);
+  // tsleep/wakeup + process switch when a paced sender's timer fires; the
+  // timer-read port I/O (timer_read_ops) stalls on top when HBAs are active.
+  SimTime timer_wakeup_compute = SimTime::Micros(40);
+  // Per-packet MSU network-process work that does not shed under load:
+  // delivery-schedule lookup, buffer bookkeeping, select() fd scans. This is
+  // the overhead that makes the MSU deliver ~90% of the raw ttcp baseline
+  // (paper section 3.2.1).
+  SimTime msu_packet_compute = SimTime::Micros(115);
+  // Extra per-packet cost when the delivery schedule is *stored* rather than
+  // computed (variable-rate protocols): each record's timing entry is parsed
+  // and compared, where constant-rate pacing is one multiply. Together with
+  // the small packets this is the paper's "four times as much processing
+  // overhead" for the NV workload (section 3.2.2).
+  SimTime msu_stored_schedule_compute = SimTime::Micros(230);
+};
+
+struct MemoryBusParams {
+  DataRate read_rate = DataRate::MegabytesPerSec(53);
+  DataRate write_rate = DataRate::MegabytesPerSec(25);
+  DataRate copy_rate = DataRate::MegabytesPerSec(18);
+  // Fraction of nominal bandwidth actually available to the data path; the
+  // rest is instruction fetches (paper: 7.5 MB/s theoretical -> 6.3 observed).
+  double efficiency = 0.84;
+  // DMA engines trickle onto the bus in chunks of this size.
+  Bytes dma_chunk = Bytes::KiB(8);
+};
+
+struct NicParams {
+  DataRate wire_rate = DataRate::MegabitsPerSec(100);  // FDDI
+  int output_queue_limit = 50;                          // ifq before ENOBUFS
+  Bytes max_frame = Bytes(4352);                        // FDDI MTU
+  bool checksum_on_send = true;                         // UDP checksum read pass
+};
+
+// The FreeBSD 2.0.5 system clock tick (paper §2.2.1: "FreeBSD timers have
+// only 10 ms granularity, so delivery times are only approximate").
+inline constexpr SimTime kTimerGranularity = SimTime::Millis(10);
+
+struct MachineParams {
+  CpuParams cpu;
+  MemoryBusParams memory;
+  DiskParams disk;
+  HbaParams hba;
+  NicParams fddi;
+  NicParams ethernet{
+      .wire_rate = DataRate::MegabitsPerSec(10),
+      .output_queue_limit = 50,
+      .max_frame = Bytes(1500),
+      .checksum_on_send = true,
+  };
+  // disks_per_hba[i] = number of disks on SCSI chain i.
+  // Default MSU build: two disks on one HBA (the Graph 1/2 configuration).
+  std::vector<int> disks_per_hba{2};
+  uint64_t rng_seed = 1996;
+};
+
+// The paper's measurement host.
+inline MachineParams MicronP66() { return MachineParams{}; }
+
+}  // namespace calliope
+
+#endif  // CALLIOPE_SRC_HW_PARAMS_H_

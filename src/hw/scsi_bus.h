@@ -1,0 +1,58 @@
+// One SCSI host bus adaptor (HBA) chain.
+//
+// The chain serializes data transfers of the disks attached to it at the
+// HBA's effective bandwidth (Table 1: two Barracudas saturate one Buslogic
+// EISA HBA at ~5.6-5.8 MB/s). The HBA also reports its activity to the CPU
+// model, because concurrently-active HBAs trigger the port-I/O stall bug.
+#ifndef CALLIOPE_SRC_HW_SCSI_BUS_H_
+#define CALLIOPE_SRC_HW_SCSI_BUS_H_
+
+#include <cassert>
+#include <string>
+
+#include "src/hw/cpu.h"
+#include "src/hw/params.h"
+#include "src/sim/resource.h"
+
+namespace calliope {
+
+class ScsiBus {
+ public:
+  ScsiBus(Simulator& sim, Cpu& cpu, const HbaParams& params, int id)
+      : params_(params), cpu_(&cpu), id_(id), transfer_(sim, "hba" + std::to_string(id)) {}
+
+  ScsiBus(const ScsiBus&) = delete;
+  ScsiBus& operator=(const ScsiBus&) = delete;
+
+  // Disks bracket each in-flight request so the CPU sees HBA activity.
+  void RequestStarted() {
+    if (in_flight_++ == 0) {
+      cpu_->HbaBecameActive();
+    }
+  }
+  void RequestFinished() {
+    assert(in_flight_ > 0);
+    if (--in_flight_ == 0) {
+      cpu_->HbaBecameIdle();
+    }
+  }
+
+  // Awaitable: stream `size` across the chain.
+  auto Transfer(Bytes size) { return transfer_.Use(params_.bus_rate.TransferTime(size)); }
+
+  int id() const { return id_; }
+  int in_flight() const { return in_flight_; }
+  double Utilization() const { return transfer_.Utilization(); }
+  const HbaParams& params() const { return params_; }
+
+ private:
+  HbaParams params_;
+  Cpu* cpu_;
+  int id_;
+  int in_flight_ = 0;
+  Resource transfer_;
+};
+
+}  // namespace calliope
+
+#endif  // CALLIOPE_SRC_HW_SCSI_BUS_H_

@@ -1,0 +1,46 @@
+// Coarse software timers, FreeBSD-2.x style.
+//
+// Paper §2.2.1: "Calliope does not use a real-time operating system and
+// FreeBSD timers have only 10 ms granularity, so delivery times are only
+// approximate." A process sleeping until T actually wakes at the first timer
+// tick at or after T. This quantization is the floor under the lateness
+// distributions of Graphs 1 and 2.
+#ifndef CALLIOPE_SRC_HW_TIMER_H_
+#define CALLIOPE_SRC_HW_TIMER_H_
+
+#include "src/hw/params.h"
+#include "src/sim/simulator.h"
+
+namespace calliope {
+
+class CoarseTimer {
+ public:
+  CoarseTimer(Simulator& sim, SimTime granularity = kTimerGranularity)
+      : sim_(&sim), granularity_(granularity) {}
+
+  // First tick at or after `t`.
+  SimTime NextTickAtOrAfter(SimTime t) const {
+    const int64_t g = granularity_.nanos();
+    const int64_t ticks = (t.nanos() + g - 1) / g;
+    return SimTime(ticks * g);
+  }
+
+  // Awaitable: sleep until the first tick at or after `deadline`; resumes
+  // immediately when that tick has already passed (the caller's deadline is
+  // due — there is nothing left to wait for).
+  auto WaitUntil(SimTime deadline) {
+    const SimTime wake = NextTickAtOrAfter(deadline);
+    const SimTime delay = wake > sim_->Now() ? wake - sim_->Now() : SimTime();
+    return sim_->Delay(delay);
+  }
+
+  SimTime granularity() const { return granularity_; }
+
+ private:
+  Simulator* sim_;
+  SimTime granularity_;
+};
+
+}  // namespace calliope
+
+#endif  // CALLIOPE_SRC_HW_TIMER_H_

@@ -1,0 +1,143 @@
+// The Integrated B-tree (IB-tree) of paper §2.2.1.
+//
+// Calliope stores a recording's delivery schedule interleaved with its data
+// in a single file laid out as a primary B-tree keyed by delivery time. A
+// sequential scan of the leaf (data) pages yields packets in delivery order;
+// seeks traverse the search tree.
+//
+// The "integrated" variant embeds internal pages inside data pages: "When an
+// internal page fills up, it is copied into the current data page instead of
+// being written separately on disk." Data pages are 256 KB; internal pages
+// are 28 KB holding up to 1024 keys, so internal pages appear in ~0.1% of
+// data pages and cost no extra disk transfer on write and no appreciable
+// bandwidth on sequential read.
+//
+// The topmost level of the search tree (at most 1024 entries) lives in the
+// file's metadata, which the MSU file system caches entirely in memory.
+//
+// Bulk payload bytes are accounted logically (the simulated disks carry
+// timing, not data); record tables and internal pages serialize to real
+// bytes with checksums, and the seek path decodes them.
+#ifndef CALLIOPE_SRC_IBTREE_IBTREE_H_
+#define CALLIOPE_SRC_IBTREE_IBTREE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "src/media/packet.h"
+#include "src/util/status.h"
+#include "src/util/units.h"
+
+namespace calliope {
+
+inline constexpr Bytes kDataPageSize = Bytes::KiB(256);
+inline constexpr Bytes kInternalPageSize = Bytes::KiB(28);
+inline constexpr size_t kMaxInternalEntries = 1024;
+// Per-record header in the page's record table: delivery offset (8),
+// size (4), flags (4), protocol timestamp (4), reserved (4).
+inline constexpr Bytes kRecordOverhead = Bytes(24);
+inline constexpr Bytes kDataPageHeaderSize = Bytes(64);
+
+// One key -> child reference in the search tree. A child is either a data
+// page (leaf level) or an internal page embedded in some data page.
+struct InternalEntry {
+  int64_t first_offset_ns;  // smallest delivery offset under this child
+  int64_t child_page;       // data page index the child lives in
+};
+
+// Serialized internal page: header + entries + checksum, exactly
+// kInternalPageSize when written to its data page.
+std::vector<std::byte> EncodeInternalPage(const std::vector<InternalEntry>& entries);
+Result<std::vector<InternalEntry>> DecodeInternalPage(const std::vector<std::byte>& bytes);
+
+// Serialized record table of a data page (the on-disk header region):
+// per-record delivery offset, size, flags and protocol timestamp, with a
+// checksum. The playback path verifies it when a page is read.
+std::vector<std::byte> EncodeRecordTable(const std::vector<MediaPacket>& records);
+Result<std::vector<MediaPacket>> DecodeRecordTable(const std::vector<std::byte>& bytes);
+
+struct DataPage {
+  int64_t index = 0;
+  std::vector<MediaPacket> records;
+  // Serialized internal page embedded in this data page, if any.
+  std::optional<std::vector<std::byte>> embedded_internal;
+  // Which tree level the embedded page belongs to (0 = leaf directory).
+  int embedded_level = -1;
+
+  Bytes payload_bytes() const;
+  Bytes fill_bytes() const;  // header + record table + payload + embedded
+  SimTime first_offset() const {
+    return records.empty() ? SimTime() : records.front().delivery_offset;
+  }
+  SimTime last_offset() const {
+    return records.empty() ? SimTime() : records.back().delivery_offset;
+  }
+};
+
+// An immutable, fully built IB-tree file image.
+class IbTreeFile {
+ public:
+  struct SeekResult {
+    size_t page_index;    // data page holding the target record
+    size_t record_index;  // first record with delivery_offset >= target
+    // Data pages that had to be read to walk the tree (excluding the leaf);
+    // the MSU charges one disk transfer per entry.
+    std::vector<int64_t> internal_pages_read;
+  };
+
+  size_t page_count() const { return pages_.size(); }
+  const DataPage& page(size_t i) const { return pages_.at(i); }
+  const std::vector<InternalEntry>& root() const { return root_; }
+  int height() const { return height_; }
+  SimTime duration() const;
+  Bytes total_payload() const;
+  int64_t record_count() const;
+  size_t internal_page_count() const { return internal_page_count_; }
+  // Fraction of data pages carrying an embedded internal page (paper: ~0.1%).
+  double internal_page_fraction() const;
+
+  // Finds the page/record for the first packet at or after `target`,
+  // decoding embedded internal pages along the way. Fails with kDataLoss on
+  // checksum mismatch and kNotFound past end of file.
+  Result<SeekResult> Seek(SimTime target) const;
+
+ private:
+  friend class IbTreeBuilder;
+  std::vector<DataPage> pages_;
+  std::vector<InternalEntry> root_;
+  int height_ = 1;
+  size_t internal_page_count_ = 0;
+};
+
+// Streaming builder: packets must arrive in non-decreasing delivery order
+// (they do — recording appends in arrival order).
+class IbTreeBuilder {
+ public:
+  IbTreeBuilder() = default;
+
+  Status Add(const MediaPacket& packet);
+  IbTreeFile Finish();
+
+  // Streaming recording support: pages already closed can be written behind
+  // while later packets are still arriving.
+  size_t pages_closed() const { return file_.pages_.size(); }
+  const DataPage& closed_page(size_t i) const { return file_.pages_.at(i); }
+
+ private:
+  void CloseDataPage();
+  // Adds a directory entry at `level`, spilling filled internal pages into
+  // the current data page.
+  void AddEntry(int level, InternalEntry entry);
+
+  IbTreeFile file_;
+  DataPage current_;
+  bool current_dirty_ = false;
+  SimTime last_offset_;
+  std::vector<std::vector<InternalEntry>> levels_;  // levels_[0] = leaf directory
+};
+
+}  // namespace calliope
+
+#endif  // CALLIOPE_SRC_IBTREE_IBTREE_H_

@@ -1,0 +1,139 @@
+#include "src/media/mpeg.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace calliope {
+
+Bytes MpegStream::total_bytes() const {
+  Bytes total;
+  for (const auto& frame : frames) {
+    total += frame.size;
+  }
+  return total;
+}
+
+MpegStream EncodeMpeg(const MpegEncoderConfig& config, SimTime duration, uint64_t seed) {
+  assert(config.gop_size > 0);
+  MpegStream stream;
+  stream.fps = config.fps;
+  stream.nominal_rate = config.rate;
+  Rng rng(seed);
+
+  const int64_t frame_count = static_cast<int64_t>(duration.seconds() * config.fps);
+  const double avg_frame_bytes =
+      static_cast<double>(config.rate.bytes_per_sec()) / config.fps;
+
+  // Normalize the per-type factors so one GOP averages to avg_frame_bytes.
+  double gop_weight = 0;
+  std::vector<MpegFrame::Type> pattern;
+  for (int i = 0; i < config.gop_size; ++i) {
+    MpegFrame::Type type;
+    if (i == 0) {
+      type = MpegFrame::Type::kIntra;
+      gop_weight += config.i_size_factor;
+    } else if ((i % (config.bidir_run + 1)) == 0) {
+      type = MpegFrame::Type::kPredicted;
+      gop_weight += config.p_size_factor;
+    } else {
+      type = MpegFrame::Type::kBidirectional;
+      gop_weight += 1.0;
+    }
+    pattern.push_back(type);
+  }
+  const double unit = avg_frame_bytes * config.gop_size / gop_weight;
+
+  stream.frames.reserve(static_cast<size_t>(frame_count));
+  for (int64_t i = 0; i < frame_count; ++i) {
+    const MpegFrame::Type type = pattern[static_cast<size_t>(i % config.gop_size)];
+    double factor = 1.0;
+    if (type == MpegFrame::Type::kIntra) {
+      factor = config.i_size_factor;
+    } else if (type == MpegFrame::Type::kPredicted) {
+      factor = config.p_size_factor;
+    }
+    const double jitter = 1.0 + config.size_jitter * (2.0 * rng.NextDouble() - 1.0);
+    stream.frames.push_back(
+        MpegFrame{type, Bytes(static_cast<int64_t>(unit * factor * jitter))});
+  }
+  return stream;
+}
+
+namespace {
+
+MpegStream FilterCommon(const MpegStream& stream, int keep_every, bool reverse) {
+  assert(keep_every > 0);
+  MpegStream filtered;
+  filtered.fps = stream.fps;
+  filtered.nominal_rate = stream.nominal_rate;
+  const double avg_frame_bytes =
+      static_cast<double>(stream.nominal_rate.bytes_per_sec()) / stream.fps;
+  for (size_t i = 0; i < stream.frames.size(); i += static_cast<size_t>(keep_every)) {
+    // Recompressed: every kept frame becomes an intra frame at the nominal
+    // average size, so the filtered file has the same content type (and thus
+    // the same bandwidth reservation) as the original.
+    filtered.frames.push_back(
+        MpegFrame{MpegFrame::Type::kIntra, Bytes(static_cast<int64_t>(avg_frame_bytes))});
+  }
+  if (reverse) {
+    std::reverse(filtered.frames.begin(), filtered.frames.end());
+  }
+  return filtered;
+}
+
+}  // namespace
+
+MpegStream FilterFastForward(const MpegStream& stream, int keep_every) {
+  return FilterCommon(stream, keep_every, /*reverse=*/false);
+}
+
+MpegStream FilterFastBackward(const MpegStream& stream, int keep_every) {
+  return FilterCommon(stream, keep_every, /*reverse=*/true);
+}
+
+PacketSequence PacketizeCbr(const MpegStream& stream, Bytes packet_size) {
+  PacketSequence packets;
+  const Bytes total = stream.total_bytes();
+  const int64_t count = (total.count() + packet_size.count() - 1) / packet_size.count();
+  if (count == 0) {
+    return packets;
+  }
+  const SimTime duration = stream.duration();
+  const SimTime interval = duration / count;
+  packets.reserve(static_cast<size_t>(count));
+
+  // Walk frames to mark which packet begins at (or spans) a keyframe.
+  size_t frame_index = 0;
+  Bytes frame_remaining = stream.frames.empty() ? Bytes(0) : stream.frames[0].size;
+  Bytes left = total;
+  for (int64_t i = 0; i < count; ++i) {
+    MediaPacket packet;
+    packet.delivery_offset = interval * i;
+    packet.size = std::min(packet_size, left);
+    left -= packet.size;
+    packet.protocol_timestamp = static_cast<uint32_t>(packet.delivery_offset.millis() * 90);
+    Bytes packet_left = packet.size;
+    while (packet_left > Bytes(0) && frame_index < stream.frames.size()) {
+      if (frame_remaining == stream.frames[frame_index].size) {
+        packet.flags |= kPacketFrameStart;
+        if (stream.frames[frame_index].type == MpegFrame::Type::kIntra) {
+          packet.flags |= kPacketKeyframe;
+        }
+      }
+      const Bytes used = std::min(packet_left, frame_remaining);
+      packet_left -= used;
+      frame_remaining -= used;
+      if (frame_remaining == Bytes(0)) {
+        ++frame_index;
+        if (frame_index < stream.frames.size()) {
+          frame_remaining = stream.frames[frame_index].size;
+        }
+      }
+    }
+    packets.push_back(packet);
+  }
+  return packets;
+}
+
+}  // namespace calliope

@@ -1,0 +1,68 @@
+// Synthetic MPEG-1 elementary stream model.
+//
+// Structure-accurate, content-free: a stream is a sequence of I/P/B frames in
+// a fixed group-of-pictures pattern ("intra-encoding is used for every N-th
+// frame, where N is a parameter determined at the time of encoding
+// (typically, fifteen to thirty)"). The encoded stream is *opaque* — the MSU
+// never parses it in real time — so fast-forward/fast-backward variants are
+// produced by the offline filter below, exactly as the paper's
+// administrator-run filtering program does (§2.3.1).
+#ifndef CALLIOPE_SRC_MEDIA_MPEG_H_
+#define CALLIOPE_SRC_MEDIA_MPEG_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/media/packet.h"
+#include "src/util/rng.h"
+
+namespace calliope {
+
+struct MpegFrame {
+  enum class Type { kIntra, kPredicted, kBidirectional };
+  Type type;
+  Bytes size;
+};
+
+struct MpegStream {
+  double fps = 30.0;
+  DataRate nominal_rate = DataRate::MegabitsPerSec(1.5);
+  std::vector<MpegFrame> frames;
+
+  SimTime duration() const {
+    return SimTime::SecondsF(static_cast<double>(frames.size()) / fps);
+  }
+  Bytes total_bytes() const;
+};
+
+struct MpegEncoderConfig {
+  double fps = 30.0;
+  DataRate rate = DataRate::MegabitsPerSec(1.5);
+  int gop_size = 15;          // N: I-frame every 15 frames
+  int bidir_run = 2;          // M-1: B-frames between reference frames
+  double i_size_factor = 3.0;  // relative to the average frame size
+  double p_size_factor = 1.3;
+  double size_jitter = 0.15;   // +/- relative noise on frame sizes
+};
+
+// Produces a synthetic stream whose average rate matches config.rate.
+MpegStream EncodeMpeg(const MpegEncoderConfig& config, SimTime duration, uint64_t seed);
+
+// Offline fast-forward filter: keeps every `keep_every`-th frame (the intra
+// frames when keep_every == gop_size), recompresses each kept frame back to
+// the nominal average size so the filtered stream plays at the same bit rate
+// and consumes the same disk/network slots as the original.
+MpegStream FilterFastForward(const MpegStream& stream, int keep_every);
+
+// Fast-backward: same selection, frames stored in reverse order.
+MpegStream FilterFastBackward(const MpegStream& stream, int keep_every);
+
+// Packetizes a (constant-rate) stream into fixed-size packets paced
+// uniformly, which is how constant bit-rate content is replayed — "the
+// delivery schedule is calculated rather than stored". Keyframe boundaries
+// are flagged for tests; the MSU treats the body as opaque.
+PacketSequence PacketizeCbr(const MpegStream& stream, Bytes packet_size);
+
+}  // namespace calliope
+
+#endif  // CALLIOPE_SRC_MEDIA_MPEG_H_

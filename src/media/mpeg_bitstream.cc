@@ -1,0 +1,144 @@
+#include "src/media/mpeg_bitstream.h"
+
+#include <cassert>
+
+namespace calliope {
+
+namespace {
+
+void PutStartCode(std::vector<std::byte>& out, uint8_t code) {
+  out.push_back(std::byte{0x00});
+  out.push_back(std::byte{0x00});
+  out.push_back(std::byte{0x01});
+  out.push_back(std::byte{code});
+}
+
+uint8_t PictureTypeBits(MpegFrame::Type type) {
+  switch (type) {
+    case MpegFrame::Type::kIntra:
+      return 1;
+    case MpegFrame::Type::kPredicted:
+      return 2;
+    case MpegFrame::Type::kBidirectional:
+      return 3;
+  }
+  return 1;
+}
+
+MpegFrame::Type TypeFromBits(uint8_t bits) {
+  switch (bits) {
+    case 1:
+      return MpegFrame::Type::kIntra;
+    case 2:
+      return MpegFrame::Type::kPredicted;
+    default:
+      return MpegFrame::Type::kBidirectional;
+  }
+}
+
+}  // namespace
+
+std::vector<std::byte> SerializeMpegBitstream(const MpegStream& stream) {
+  std::vector<std::byte> out;
+  out.reserve(static_cast<size_t>(stream.total_bytes().count()) + stream.frames.size() * 16 + 64);
+
+  // Sequence header: start code + 8 bytes (width/height/rates, synthetic).
+  PutStartCode(out, kSequenceHeaderCode);
+  for (int i = 0; i < 8; ++i) {
+    out.push_back(std::byte{0x55});
+  }
+
+  int frame_in_gop = 0;
+  uint16_t temporal_reference = 0;
+  for (const MpegFrame& frame : stream.frames) {
+    if (frame.type == MpegFrame::Type::kIntra) {
+      PutStartCode(out, kGroupStartCode);
+      for (int i = 0; i < 4; ++i) {  // time code
+        out.push_back(std::byte{0x44});
+      }
+      frame_in_gop = 0;
+      temporal_reference = 0;
+    }
+    ++frame_in_gop;
+    // Picture header: start code + temporal ref (2B) + type byte + vbv (2B).
+    // High bits are set on every header byte so the payload can never
+    // emulate a 00 00 01 start-code prefix.
+    PutStartCode(out, kPictureStartCode);
+    out.push_back(static_cast<std::byte>(0x80 | ((temporal_reference >> 8) & 0x7F)));
+    out.push_back(static_cast<std::byte>(0x80 | (temporal_reference & 0x7F)));
+    ++temporal_reference;
+    out.push_back(static_cast<std::byte>(0x80 | PictureTypeBits(frame.type)));
+    out.push_back(std::byte{0xBF});
+    out.push_back(std::byte{0xBF});
+
+    // Slice payload: filler with no 00 00 01 emulation (never two zero bytes
+    // in a row). Sized to the frame's coded size.
+    const auto payload = static_cast<size_t>(frame.size.count());
+    for (size_t i = 0; i < payload; ++i) {
+      out.push_back(i % 2 == 0 ? std::byte{0xA5} : std::byte{0x5A});
+    }
+  }
+  PutStartCode(out, kSequenceEndCode);
+  return out;
+}
+
+Result<ParsedMpeg> ParseMpegBitstream(const std::vector<std::byte>& bytes) {
+  ParsedMpeg parsed;
+  if (bytes.size() < 12) {
+    return DataLossError("mpeg stream truncated");
+  }
+
+  // Start-code scan: the three-byte 00 00 01 state machine every real
+  // MPEG demultiplexer runs.
+  size_t last_picture_offset = 0;
+  bool have_picture = false;
+  bool saw_sequence = false;
+  auto close_picture = [&](size_t here) {
+    if (have_picture && !parsed.pictures.empty()) {
+      // Coded size runs from the picture start code to this start code.
+      parsed.pictures.back().coded_size = here - last_picture_offset;
+    }
+    have_picture = false;
+  };
+
+  size_t i = 0;
+  const size_t n = bytes.size();
+  while (i + 3 < n) {
+    if (bytes[i] != std::byte{0x00} || bytes[i + 1] != std::byte{0x00} ||
+        bytes[i + 2] != std::byte{0x01}) {
+      ++i;
+      continue;
+    }
+    const auto code = static_cast<uint8_t>(bytes[i + 3]);
+    if (code == kSequenceHeaderCode) {
+      saw_sequence = true;
+      close_picture(i);
+    } else if (code == kGroupStartCode) {
+      close_picture(i);
+      ++parsed.gop_count;
+    } else if (code == kPictureStartCode) {
+      close_picture(i);
+      if (i + 6 >= n) {
+        return DataLossError("picture header truncated");
+      }
+      ParsedPicture picture;
+      picture.byte_offset = i;
+      picture.type = TypeFromBits(static_cast<uint8_t>(bytes[i + 6]) & 0x7F);
+      parsed.pictures.push_back(picture);
+      have_picture = true;
+      last_picture_offset = i;
+    } else if (code == kSequenceEndCode) {
+      close_picture(i);
+    }
+    i += 4;
+  }
+  if (!saw_sequence) {
+    return DataLossError("no sequence header");
+  }
+  if (parsed.pictures.empty()) {
+    return DataLossError("no pictures");
+  }
+  return parsed;
+}
+
+}  // namespace calliope

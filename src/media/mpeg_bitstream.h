@@ -1,0 +1,69 @@
+// Synthetic MPEG-1 video *bitstream* serialization and parsing.
+//
+// §2.3.1 rejects dynamic fast-forward partly because "the MPEG encoders that
+// we have produce an opaque stream with no framing information. While
+// recording, the MSU would have to search the stream to find the intra-coded
+// frames. Parsing the MPEG stream is too expensive to do in real time."
+//
+// To make that claim measurable, this module can serialize an MpegStream into
+// an actual byte stream with ISO 11172-2 start codes (sequence, GOP, picture
+// headers carrying the picture type, slice data as filler) and parse it back
+// by scanning for start codes — the exact byte-scan a dynamic filter would
+// run. bench/dynamic_ff charges the scan against the 66 MHz CPU model.
+#ifndef CALLIOPE_SRC_MEDIA_MPEG_BITSTREAM_H_
+#define CALLIOPE_SRC_MEDIA_MPEG_BITSTREAM_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "src/media/mpeg.h"
+#include "src/util/status.h"
+
+namespace calliope {
+
+// ISO 11172-2 start codes (the byte following 00 00 01).
+inline constexpr uint8_t kSequenceHeaderCode = 0xB3;
+inline constexpr uint8_t kGroupStartCode = 0xB8;
+inline constexpr uint8_t kPictureStartCode = 0x00;
+inline constexpr uint8_t kSequenceEndCode = 0xB7;
+
+// Serializes the frame structure into a byte stream: a sequence header, then
+// per GOP a group header, then per frame a picture header (with the 3-bit
+// picture_coding_type) followed by `frame.size` bytes of slice filler that is
+// guaranteed not to contain start-code emulation.
+std::vector<std::byte> SerializeMpegBitstream(const MpegStream& stream);
+
+struct ParsedPicture {
+  size_t byte_offset = 0;        // offset of the 00 00 01 00 picture header
+  MpegFrame::Type type = MpegFrame::Type::kIntra;
+  size_t coded_size = 0;         // bytes to the next start code
+};
+
+struct ParsedMpeg {
+  double fps = 0;
+  std::vector<ParsedPicture> pictures;
+  size_t gop_count = 0;
+};
+
+// Scans the stream for start codes and recovers the picture structure —
+// the work a dynamic fast-forward filter would do per recorded byte.
+Result<ParsedMpeg> ParseMpegBitstream(const std::vector<std::byte>& bytes);
+
+// The byte-scan cost model used to charge the parse against the simulated
+// CPU: a 66 MHz Pentium start-code scanner runs at roughly memory read speed
+// divided by the per-byte compare/branch work (~4 cycles/byte with the
+// three-byte state machine), i.e. ~16 MB/s — comparable to the whole
+// machine's memory copy bandwidth, which is why it cannot run inline with
+// the 4.7 MB/s data path.
+inline constexpr double kParseCyclesPerByte = 4.0;
+inline constexpr double kPentiumHz = 66e6;
+
+inline SimTime ParseCpuTime(Bytes scanned) {
+  return SimTime::SecondsF(static_cast<double>(scanned.count()) * kParseCyclesPerByte /
+                           kPentiumHz);
+}
+
+}  // namespace calliope
+
+#endif  // CALLIOPE_SRC_MEDIA_MPEG_BITSTREAM_H_

@@ -1,0 +1,50 @@
+#include "src/media/packet.h"
+
+#include <algorithm>
+
+namespace calliope {
+
+Bytes TotalBytes(const PacketSequence& packets) {
+  Bytes total;
+  for (const auto& packet : packets) {
+    total += packet.size;
+  }
+  return total;
+}
+
+SimTime Duration(const PacketSequence& packets) {
+  if (packets.size() < 2) {
+    return SimTime();
+  }
+  return packets.back().delivery_offset - packets.front().delivery_offset;
+}
+
+DataRate AverageRate(const PacketSequence& packets) {
+  const SimTime duration = Duration(packets);
+  if (duration <= SimTime()) {
+    return DataRate();
+  }
+  const double bytes_per_sec = static_cast<double>(TotalBytes(packets).count()) / duration.seconds();
+  return DataRate::BytesPerSec(static_cast<int64_t>(bytes_per_sec));
+}
+
+DataRate PeakRate(const PacketSequence& packets, SimTime window) {
+  if (packets.empty() || window <= SimTime()) {
+    return DataRate();
+  }
+  DataRate peak;
+  size_t tail = 0;
+  Bytes in_window;
+  for (size_t head = 0; head < packets.size(); ++head) {
+    in_window += packets[head].size;
+    while (packets[head].delivery_offset - packets[tail].delivery_offset > window) {
+      in_window -= packets[tail].size;
+      ++tail;
+    }
+    const double bytes_per_sec = static_cast<double>(in_window.count()) / window.seconds();
+    peak = std::max(peak, DataRate::BytesPerSec(static_cast<int64_t>(bytes_per_sec)));
+  }
+  return peak;
+}
+
+}  // namespace calliope

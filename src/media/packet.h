@@ -1,0 +1,61 @@
+// Media packet descriptors.
+//
+// The simulated disks and wires carry timing, not bytes, so recorded content
+// is represented by packet descriptors: delivery offset (from the start of
+// the recording — the paper's delivery schedules store offsets, not absolute
+// times), wire size, and protocol flags. File-system and IB-tree metadata is
+// serialized to real bytes; bulk payload is accounted by length only.
+#ifndef CALLIOPE_SRC_MEDIA_PACKET_H_
+#define CALLIOPE_SRC_MEDIA_PACKET_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/util/units.h"
+
+namespace calliope {
+
+enum MediaPacketFlags : uint32_t {
+  kPacketNone = 0,
+  // RTP-style control message interleaved with the data stream (§2.3.2:
+  // "the RTP module interleaves the control messages with the rest of the
+  // data stream before the data is given to the disk process").
+  kPacketControl = 1u << 0,
+  // Intra-coded (key) frame start; the offline fast-forward filter keeps
+  // only these.
+  kPacketKeyframe = 1u << 1,
+  // First packet of a media frame (frame boundary marker).
+  kPacketFrameStart = 1u << 2,
+};
+
+struct MediaPacket {
+  SimTime delivery_offset;  // when to send, relative to recording start
+  Bytes size;
+  uint32_t flags = kPacketNone;
+  // Sender-generated protocol timestamp (e.g. RTP ts). Protocol modules may
+  // derive the delivery schedule from this instead of arrival times, which
+  // removes network-induced jitter from recordings (§2.3.2).
+  uint32_t protocol_timestamp = 0;
+
+  bool operator==(const MediaPacket&) const = default;
+};
+
+using PacketSequence = std::vector<MediaPacket>;
+
+// Total payload bytes of a sequence.
+Bytes TotalBytes(const PacketSequence& packets);
+
+// Duration from first to last delivery offset (zero for <2 packets).
+SimTime Duration(const PacketSequence& packets);
+
+// Average data rate over the sequence duration.
+DataRate AverageRate(const PacketSequence& packets);
+
+// Peak rate measured with a sliding window, the metric the paper uses for
+// the NV files ("Measured using a 50 millisecond sliding window, the peak
+// rates of the files ranged from 2.0 to 5.4 MBit/sec").
+DataRate PeakRate(const PacketSequence& packets, SimTime window);
+
+}  // namespace calliope
+
+#endif  // CALLIOPE_SRC_MEDIA_PACKET_H_

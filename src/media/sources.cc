@@ -1,0 +1,87 @@
+#include "src/media/sources.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace calliope {
+
+PacketSequence GenerateCbr(const CbrSourceConfig& config, SimTime duration) {
+  PacketSequence packets;
+  const SimTime interval = config.rate.TransferTime(config.packet_size);
+  const int64_t count = duration / interval;
+  packets.reserve(static_cast<size_t>(count));
+  for (int64_t i = 0; i < count; ++i) {
+    MediaPacket packet;
+    packet.delivery_offset = interval * i;
+    packet.size = config.packet_size;
+    packet.flags = kPacketFrameStart;
+    packet.protocol_timestamp = static_cast<uint32_t>(packet.delivery_offset.millis());
+    packets.push_back(packet);
+  }
+  return packets;
+}
+
+PacketSequence GenerateVbr(const VbrSourceConfig& config, SimTime duration) {
+  PacketSequence packets;
+  Rng rng(config.seed);
+  const SimTime frame_interval = SimTime::SecondsF(1.0 / config.frames_per_sec);
+  const double mean_frame_bytes =
+      static_cast<double>(config.target_average.bytes_per_sec()) / config.frames_per_sec;
+  // Lognormal with the requested mean: mu = ln(mean) - sigma^2/2.
+  const double sigma = config.size_dispersion;
+  // Scene changes inflate the expectation; compensate so the average holds.
+  const double scene_inflation =
+      1.0 + config.scene_change_prob * (config.scene_change_multiplier - 1.0);
+  const double mu = std::log(mean_frame_bytes / scene_inflation) - sigma * sigma / 2.0;
+
+  for (SimTime t; t < duration; t += frame_interval) {
+    double frame_bytes = std::exp(rng.NextNormal(mu, sigma));
+    if (rng.NextBernoulli(config.scene_change_prob)) {
+      frame_bytes *= config.scene_change_multiplier;
+    }
+    frame_bytes = std::min(frame_bytes, mean_frame_bytes * config.max_frame_multiplier);
+    // At least one packet per frame; split into ~1 KB bursts.
+    const int64_t full_packets =
+        static_cast<int64_t>(frame_bytes) / config.packet_size.count();
+    const int64_t remainder =
+        static_cast<int64_t>(frame_bytes) % config.packet_size.count();
+    int64_t packet_index = 0;
+    auto emit = [&](Bytes size, bool first) {
+      MediaPacket packet;
+      packet.delivery_offset = t + config.burst_packet_spacing * packet_index++;
+      packet.size = size;
+      packet.flags = first ? kPacketFrameStart : kPacketNone;
+      packet.protocol_timestamp = static_cast<uint32_t>(t.millis() * 90);  // 90 kHz RTP clock
+      packets.push_back(packet);
+    };
+    for (int64_t p = 0; p < full_packets; ++p) {
+      emit(config.packet_size, p == 0);
+    }
+    if (remainder > 0 || full_packets == 0) {
+      emit(Bytes(std::max<int64_t>(remainder, 64)), full_packets == 0);
+    }
+  }
+  return packets;
+}
+
+VbrSourceConfig Graph2File(int index) {
+  VbrSourceConfig config;
+  switch (index % 3) {
+    case 0:
+      config.target_average = DataRate::KilobitsPerSec(650);
+      config.seed = 0xA11CE;
+      break;
+    case 1:
+      config.target_average = DataRate::KilobitsPerSec(635);
+      config.seed = 0xB0B;
+      break;
+    default:
+      config.target_average = DataRate::KilobitsPerSec(877);
+      config.size_dispersion = 0.7;
+      config.seed = 0xCAB;
+      break;
+  }
+  return config;
+}
+
+}  // namespace calliope

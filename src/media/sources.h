@@ -1,0 +1,53 @@
+// Workload sources: constant-rate (MPEG-1-like) and variable-rate (NV-like)
+// packet generators, calibrated to the paper's evaluation streams.
+#ifndef CALLIOPE_SRC_MEDIA_SOURCES_H_
+#define CALLIOPE_SRC_MEDIA_SOURCES_H_
+
+#include <cstdint>
+
+#include "src/media/packet.h"
+#include "src/util/rng.h"
+
+namespace calliope {
+
+// Constant bit-rate source: fixed-size packets at fixed intervals. The paper
+// uses 1.5 Mbit/s MPEG-1 in 4 KB FDDI packets (Graph 1); the delivery
+// schedule for such streams "is calculated rather than stored".
+struct CbrSourceConfig {
+  DataRate rate = DataRate::MegabitsPerSec(1.5);
+  Bytes packet_size = Bytes::KiB(4);
+};
+
+PacketSequence GenerateCbr(const CbrSourceConfig& config, SimTime duration);
+
+// Variable bit-rate source modeling NV ("Experiences with real-time software
+// video compression") software video: the encoder emits each frame "as
+// quickly as possible, resulting in bursts of back-to-back packets" of ~1 KB.
+// Frame sizes vary widely, so 50-ms-window peak rates reach several Mbit/s
+// while averages stay under 1 Mbit/s.
+struct VbrSourceConfig {
+  DataRate target_average = DataRate::KilobitsPerSec(650);
+  double frames_per_sec = 8.0;         // NV-era software coder frame rate
+  Bytes packet_size = Bytes(1024);     // "Most of the packets ... about one KByte"
+  double size_dispersion = 0.6;        // lognormal sigma of frame size
+  double scene_change_prob = 0.05;     // occasional large frames
+  double scene_change_multiplier = 3.0;
+  // Largest frame, as a multiple of the mean: bounds the 50 ms-window peak
+  // rate (the paper's files peak at 2.0-5.4 Mbit/s) and keeps each burst
+  // inside its frame interval.
+  double max_frame_multiplier = 3.2;
+  // Back-to-back spacing within a burst: the encoder writes packets as fast
+  // as it can push them to the socket.
+  SimTime burst_packet_spacing = SimTime::Micros(900);
+  uint64_t seed = 1;
+};
+
+PacketSequence GenerateVbr(const VbrSourceConfig& config, SimTime duration);
+
+// The three NV-encoded files used in Graph 2, with average rates of 650, 635
+// and 877 Kbit/s. index in [0, 3).
+VbrSourceConfig Graph2File(int index);
+
+}  // namespace calliope
+
+#endif  // CALLIOPE_SRC_MEDIA_SOURCES_H_

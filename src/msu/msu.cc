@@ -1,0 +1,376 @@
+#include "src/msu/msu.h"
+
+#include <utility>
+
+#include "src/util/logging.h"
+
+namespace calliope {
+
+namespace {
+
+std::vector<Disk*> MachineDisks(Machine& machine) {
+  std::vector<Disk*> disks;
+  for (size_t i = 0; i < machine.disk_count(); ++i) {
+    disks.push_back(&machine.disk(i));
+  }
+  return disks;
+}
+
+}  // namespace
+
+Msu::Msu(Machine& machine, NetNode& node, MsuParams params)
+    : machine_(&machine),
+      node_(&node),
+      params_(params),
+      fs_(MachineDisks(machine)),
+      duty_cycle_(machine.params().disk, machine.params().hba, params.block_size,
+                  static_cast<int>(machine.disk_count()), params.striped_layout),
+      protocols_(ProtocolRegistry::WithBuiltins()),
+      buffer_pool_(machine.sim(), params.buffer_count) {
+  for (size_t d = 0; d < machine.disk_count(); ++d) {
+    if (params_.elevator_scheduling) {
+      machine.disk(d).set_discipline(DiskQueueDiscipline::kElevator);
+    }
+    disk_work_.push_back(std::make_unique<Condition>(machine.sim()));
+    DiskProcess(static_cast<int>(d));
+  }
+  (void)node_->BindUdp(params_.media_udp_port,
+                       [this](const Datagram& datagram) { OnMediaDatagram(datagram); });
+}
+
+Task Msu::DiskProcess(int disk_index) {
+  // "The MSU services the customers for each disk in a round-robin fashion":
+  // one block of service per stream per pass, in stream-id order.
+  auto& work = *disk_work_[static_cast<size_t>(disk_index)];
+  StreamId cursor = 0;
+  for (;;) {
+    MsuStream* chosen = nullptr;
+    // Pick the first stream after `cursor` (wrapping) that needs service.
+    for (int pass = 0; pass < 2 && chosen == nullptr; ++pass) {
+      for (auto& [id, stream] : streams_) {
+        const bool after_cursor = pass == 1 || id > cursor;
+        if (after_cursor && stream->disk() == disk_index && stream->NeedsDiskService()) {
+          chosen = stream.get();
+          break;
+        }
+      }
+    }
+    if (chosen == nullptr) {
+      co_await work.Wait();
+      continue;
+    }
+    cursor = chosen->id();
+    co_await chosen->ServiceDisk();
+  }
+}
+
+void Msu::OnMediaDatagram(const Datagram& datagram) {
+  if (crashed_) {
+    return;
+  }
+  auto payload = std::static_pointer_cast<const MediaDatagramPayload>(datagram.payload);
+  if (payload == nullptr) {
+    return;
+  }
+  auto it = streams_.find(payload->stream);
+  if (it == streams_.end()) {
+    return;
+  }
+  it->second->OnRecordedPacket(payload->packet);
+}
+
+Co<Status> Msu::RegisterWithCoordinator(std::string coordinator_node) {
+  auto conn = co_await node_->ConnectTcp(coordinator_node, params_.coordinator_port);
+  if (!conn.ok()) {
+    co_return conn.status();
+  }
+  coordinator_conn_ = *conn;
+  coordinator_conn_->set_request_handler(
+      [this](const MessageBody& body) -> Co<MessageBody> {
+        if (const auto* start = std::get_if<MsuStartStream>(&body)) {
+          co_return co_await HandleStartStream(*start);
+        }
+        if (const auto* del = std::get_if<MsuDeleteFile>(&body)) {
+          const Status deleted = fs_.Delete(del->file);
+          if (deleted.ok()) {
+            FlushMetadataBehind();
+          }
+          co_return MessageBody{SimpleResponse{deleted.ok(), deleted.ok() ? "" : deleted.ToString()}};
+        }
+        co_return MessageBody{SimpleResponse{false, "msu: unexpected request"}};
+      });
+
+  MsuRegisterRequest reg;
+  reg.msu_node = node_->name();
+  reg.disk_count = static_cast<int>(machine_->disk_count());
+  reg.free_space = fs_.TotalFreeSpace();
+  auto response = co_await coordinator_conn_->Call(MessageBody{std::move(reg)});
+  if (!response.ok()) {
+    co_return response.status();
+  }
+  const auto* ack = std::get_if<SimpleResponse>(&response->body);
+  if (ack == nullptr || !ack->ok) {
+    co_return InternalError("coordinator rejected registration: " +
+                            (ack != nullptr ? ack->error : "bad response type"));
+  }
+  co_return OkStatus();
+}
+
+Co<void> Msu::EnsureControlConn(Group& group, const MsuStartStream& request) {
+  if (group.control_conn != nullptr || !request.open_control_conn ||
+      request.client_control_port == 0) {
+    co_return;
+  }
+  // "As soon as it is ready to deliver the content stream, the MSU
+  // establishes a control stream (TCP connection) with the client."
+  auto conn = co_await node_->ConnectTcp(request.client_node, request.client_control_port);
+  if (!conn.ok()) {
+    CALLIOPE_LOG(kWarning, "msu") << "control conn failed: " << conn.status().ToString();
+    co_return;
+  }
+  group.control_conn = *conn;
+  group.control_conn->set_request_handler(
+      [this](const MessageBody& body) -> Co<MessageBody> {
+        if (const auto* vcr = std::get_if<VcrCommand>(&body)) {
+          co_return co_await HandleVcr(*vcr);
+        }
+        co_return MessageBody{VcrAck{false, "msu: not a vcr command"}};
+      });
+}
+
+Co<MessageBody> Msu::HandleStartStream(MsuStartStream request) {
+  if (crashed_) {
+    co_return MessageBody{MsuStartStreamResponse{false, "msu down"}};
+  }
+  auto protocol = protocols_.Instantiate(request.protocol);
+  if (!protocol.ok()) {
+    co_return MessageBody{MsuStartStreamResponse{false, protocol.status().ToString()}};
+  }
+
+  auto stream = std::make_unique<MsuStream>(*this, request, std::move(*protocol));
+
+  // Attach or create the file and pick the disk.
+  if (request.record) {
+    const Bytes estimated = request.rate.BytesIn(request.estimated_length);
+    auto file = fs_.Create(request.file, estimated, params_.striped_layout, request.disk_hint);
+    if (!file.ok()) {
+      co_return MessageBody{MsuStartStreamResponse{false, file.status().ToString()}};
+    }
+    stream->file_ = *file;
+    stream->disk_ = (*file)->home_disk();
+  } else {
+    auto file = fs_.Lookup(request.file);
+    if (!file.ok()) {
+      co_return MessageBody{MsuStartStreamResponse{false, file.status().ToString()}};
+    }
+    if (!(*file)->committed()) {
+      co_return MessageBody{MsuStartStreamResponse{false, "content still recording"}};
+    }
+    stream->file_ = *file;
+    stream->disk_ = (*file)->home_disk();
+  }
+
+  // Admission: one duty-cycle slot on the stream's disk.
+  if (Status admitted = duty_cycle_.Admit(stream->disk_, request.rate); !admitted.ok()) {
+    if (request.record) {
+      (void)fs_.Delete(request.file);
+    }
+    co_return MessageBody{MsuStartStreamResponse{false, admitted.ToString()}};
+  }
+  // Double buffering: two large buffers per stream.
+  if (!buffer_pool_.TryAcquire() ) {
+    duty_cycle_.Release(stream->disk_, request.rate);
+    co_return MessageBody{MsuStartStreamResponse{false, "out of stream buffers"}};
+  }
+  if (!buffer_pool_.TryAcquire()) {
+    buffer_pool_.Release();
+    duty_cycle_.Release(stream->disk_, request.rate);
+    co_return MessageBody{MsuStartStreamResponse{false, "out of stream buffers"}};
+  }
+
+  MsuStream* raw = stream.get();
+  streams_[raw->id()] = std::move(stream);
+  auto& group = groups_[request.group];
+  group.id = request.group;
+  group.streams.push_back(raw->id());
+  co_await EnsureControlConn(group, request);
+
+  if (request.record) {
+    raw->state_ = MsuStream::State::kRunning;
+  } else {
+    raw->PlaybackLoop();
+    (void)raw->Resume();  // kStarting -> kRunning; first slot fills the buffer
+  }
+
+  // Tell the client the group is live (and, for recordings, where to send).
+  if (group.control_conn != nullptr && !group.control_conn->closed()) {
+    StreamGroupInfo info;
+    info.group = request.group;
+    info.msu_node = node_->name();
+    info.media_udp_port = params_.media_udp_port;
+    for (size_t i = 0; i < group.streams.size(); ++i) {
+      auto member_it = streams_.find(group.streams[i]);
+      if (member_it == streams_.end()) {
+        continue;
+      }
+      info.members.push_back(StreamGroupInfo::Member{
+          group.streams[i], static_cast<int>(i),
+          member_it->second->mode() == MsuStream::Mode::kRecord});
+    }
+    co_await group.control_conn->Send(Envelope{0, false, MessageBody{std::move(info)}});
+  }
+  co_return MessageBody{MsuStartStreamResponse{true, ""}};
+}
+
+Co<MessageBody> Msu::HandleVcr(VcrCommand command) {
+  auto group_it = groups_.find(command.group);
+  if (group_it == groups_.end()) {
+    co_return MessageBody{VcrAck{false, "no such stream group"}};
+  }
+  // "All streams in a stream group are controlled by the same VCR commands."
+  const std::vector<StreamId> members = group_it->second.streams;
+  Status overall = OkStatus();
+  for (StreamId id : members) {
+    auto it = streams_.find(id);
+    if (it == streams_.end()) {
+      continue;
+    }
+    MsuStream& stream = *it->second;
+    Status status = OkStatus();
+    switch (command.op) {
+      case VcrCommand::Op::kPlay:
+        // NOTE: co_await must be a full statement (never nested in ternary
+        // or argument expressions) — GCC 12 mishandles branch temporaries.
+        if (stream.state() == MsuStream::State::kPaused ||
+            stream.state() == MsuStream::State::kStarting) {
+          status = stream.Resume();
+        } else {
+          status = co_await stream.SwitchVariant(MsuStream::Variant::kNormal);
+        }
+        break;
+      case VcrCommand::Op::kPause:
+        status = stream.Pause();
+        break;
+      case VcrCommand::Op::kSeek:
+        status = co_await stream.SeekTo(command.seek_to);
+        break;
+      case VcrCommand::Op::kFastForward:
+        status = co_await stream.SwitchVariant(MsuStream::Variant::kFastForward);
+        break;
+      case VcrCommand::Op::kFastBackward:
+        status = co_await stream.SwitchVariant(MsuStream::Variant::kFastBackward);
+        break;
+      case VcrCommand::Op::kQuit:
+        status = co_await stream.Quit();
+        break;
+    }
+    if (!status.ok()) {
+      overall = status;
+    }
+  }
+  co_return MessageBody{VcrAck{overall.ok(), overall.ok() ? "" : overall.ToString()}};
+}
+
+void Msu::OnStreamFinished(MsuStream* stream) {
+  auto it = streams_.find(stream->id());
+  if (it == streams_.end()) {
+    return;  // already finished
+  }
+  duty_cycle_.Release(stream->disk(), stream->rate_);
+  buffer_pool_.Release();
+  buffer_pool_.Release();
+
+  // Group bookkeeping: drop this member; tear down the control connection
+  // when the last member ends.
+  auto group_it = groups_.find(stream->group());
+  if (group_it != groups_.end()) {
+    auto& members = group_it->second.streams;
+    members.erase(std::remove(members.begin(), members.end(), stream->id()), members.end());
+    if (members.empty()) {
+      // Defer the close: if this termination was triggered by a VCR "quit",
+      // the acknowledgment still has to travel back over this connection.
+      TcpConn* conn = group_it->second.control_conn;
+      groups_.erase(group_it);
+      if (conn != nullptr && !conn->closed()) {
+        sim().ScheduleAfter(SimTime::Millis(20), [conn] { conn->Close(); });
+      }
+    }
+  }
+
+  // "After a 'quit' command from the client, the MSU informs the coordinator
+  // that the stream has been terminated."
+  StreamTerminated note;
+  note.stream = stream->id();
+  note.group = stream->group();
+  note.file = stream->file_name();
+  note.bytes_moved = stream->bytes_moved();
+  note.was_recording = stream->mode() == MsuStream::Mode::kRecord;
+  note.disk = stream->disk();
+  if (note.was_recording && stream->file_ != nullptr && stream->file_->committed()) {
+    note.recorded_duration = stream->file_->image().duration();
+  }
+  NotifyTermination(std::move(note));
+
+  finished_streams_[stream->id()] = std::move(it->second);
+  streams_.erase(it);
+}
+
+Task Msu::NotifyTermination(StreamTerminated note) {
+  if (coordinator_conn_ == nullptr || coordinator_conn_->closed()) {
+    co_return;
+  }
+  co_await coordinator_conn_->Send(Envelope{0, false, MessageBody{std::move(note)}});
+}
+
+void Msu::Crash() {
+  crashed_ = true;
+  // Streams die with the process; content on disk survives.
+  for (auto& [id, stream] : streams_) {
+    stream->StopInternal();
+    finished_streams_[id] = std::move(stream);
+  }
+  streams_.clear();
+  for (auto& [id, group] : groups_) {
+    (void)id;
+    (void)group;  // conns break via the node going down
+  }
+  groups_.clear();
+  node_->SetDown(true);
+  coordinator_conn_ = nullptr;
+}
+
+Co<Status> Msu::Restart(std::string coordinator_node) {
+  node_->SetDown(false);
+  crashed_ = false;
+  co_return co_await RegisterWithCoordinator(std::move(coordinator_node));
+}
+
+Task Msu::FlushMetadataBehind() {
+  // Write-behind of the file table; failures only matter on recovery and
+  // the next mutation re-dirties the table anyway.
+  co_await fs_.FlushMetadata();
+}
+
+LatenessHistogram Msu::AggregateLateness() const {
+  LatenessHistogram total;
+  for (const auto& [id, stream] : streams_) {
+    total.Merge(stream->lateness());
+  }
+  for (const auto& [id, stream] : finished_streams_) {
+    total.Merge(stream->lateness());
+  }
+  return total;
+}
+
+int Msu::active_stream_count() const { return static_cast<int>(streams_.size()); }
+
+MsuStream* Msu::FindStream(StreamId id) {
+  auto it = streams_.find(id);
+  if (it != streams_.end()) {
+    return it->second.get();
+  }
+  auto fin = finished_streams_.find(id);
+  return fin == finished_streams_.end() ? nullptr : fin->second.get();
+}
+
+}  // namespace calliope

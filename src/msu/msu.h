@@ -1,0 +1,218 @@
+// The Multimedia Storage Unit (MSU): Calliope's real-time component (§2.3).
+//
+// Each MSU runs a central control process (RPCs from the Coordinator and VCR
+// commands from clients), one disk process per disk (round-robin duty-cycle
+// service with double buffering) and network delivery paced against stored or
+// computed delivery schedules through 10 ms coarse timers. Streams support
+// the full VCR set — play, pause, seek, quit — plus fast-forward and
+// fast-backward via administrator-produced filtered files (§2.3.1).
+#ifndef CALLIOPE_SRC_MSU_MSU_H_
+#define CALLIOPE_SRC_MSU_MSU_H_
+
+#include <deque>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/fs/msu_fs.h"
+#include "src/hw/machine.h"
+#include "src/net/network.h"
+#include "src/proto/protocol.h"
+#include "src/sched/duty_cycle.h"
+#include "src/sim/condition.h"
+#include "src/util/histogram.h"
+
+namespace calliope {
+
+class Msu;
+
+// Payload carried by every media UDP datagram; clients use it to measure
+// arrival lateness and feed software decoders.
+struct MediaDatagramPayload {
+  MediaDatagramPayload() = default;
+
+  StreamId stream = 0;
+  int64_t seq = 0;
+  SimTime deadline;        // sender-side delivery deadline (absolute)
+  MediaPacket packet;
+  bool is_control = false;
+};
+
+// One active stream on an MSU (one member of a stream group).
+class MsuStream {
+ public:
+  enum class Mode { kPlay, kRecord };
+  enum class State { kStarting, kRunning, kPaused, kStopped };
+  enum class Variant { kNormal, kFastForward, kFastBackward };
+
+  MsuStream(Msu& msu, const MsuStartStream& request, std::unique_ptr<ProtocolModule> protocol);
+
+  StreamId id() const { return id_; }
+  GroupId group() const { return group_; }
+  Mode mode() const { return mode_; }
+  State state() const { return state_; }
+  Variant variant() const { return variant_; }
+  int disk() const { return disk_; }
+  const std::string& file_name() const { return file_name_; }
+  Bytes bytes_moved() const { return bytes_moved_; }
+  int64_t packets_sent() const { return packets_sent_; }
+  const LatenessHistogram& lateness() const { return lateness_; }
+
+  // VCR surface (applied by the MSU's control process). Seek and variant
+  // switches are awaitable: they traverse IB-tree internal pages on disk.
+  Status Pause();
+  Status Resume();
+  Co<Status> SeekTo(SimTime media_offset);
+  Co<Status> SwitchVariant(Variant variant);
+  Co<Status> Quit();
+
+  // Recording input (from the MSU's UDP receive port).
+  void OnRecordedPacket(const MediaPacket& packet);
+
+  // Media-time position of the next packet to send.
+  SimTime CurrentMediaOffset() const;
+
+ private:
+  friend class Msu;
+
+  Task PlaybackLoop();
+  // Disk-process work unit: one block read (play prefetch) or one block
+  // write (recording flush). Returns false if there was nothing to do.
+  Co<bool> ServiceDisk();
+  Co<Status> FinishRecording();
+  bool NeedsDiskService() const;
+  void StopInternal();
+
+  Msu* msu_;
+  StreamId id_;
+  GroupId group_;
+  Mode mode_;
+  State state_ = State::kStarting;
+  Variant variant_ = Variant::kNormal;
+  std::string file_name_;
+  std::string ff_file_;
+  std::string fb_file_;
+  std::string protocol_name_;
+  std::unique_ptr<ProtocolModule> protocol_;
+  DataRate rate_;
+  int disk_ = 0;
+  std::string client_node_;
+  int client_udp_port_ = 0;
+
+  // Playback state.
+  MsuFile* file_ = nullptr;
+  size_t next_page_to_read_ = 0;   // disk process cursor
+  size_t play_page_ = 0;           // network process cursor
+  size_t play_record_ = 0;
+  std::deque<const DataPage*> prefetched_;  // double buffering: at most 2
+  Condition buffers_changed_;
+  // Wall-clock base: packet deadline = base_ + (delivery_offset - origin_).
+  SimTime base_;
+  SimTime origin_;
+  bool rebase_needed_ = true;
+  int64_t send_seq_ = 0;
+  // Bumped by every VCR operation that moves the position; the playback loop
+  // re-evaluates after timer sleeps when it changes.
+  int64_t position_gen_ = 0;
+
+  // Recording state.
+  IbTreeBuilder builder_;
+  SimTime record_start_;
+  bool record_started_ = false;
+  SimTime last_stored_offset_;
+  size_t pages_written_ = 0;
+  bool record_write_in_flight_ = false;
+  Condition record_pages_ready_;
+
+  // Stats.
+  Bytes bytes_moved_;
+  int64_t packets_sent_ = 0;
+  LatenessHistogram lateness_;
+};
+
+struct MsuParams {
+  // "available main memory is organized into large buffers" — 32 MB minus
+  // code/metadata leaves ~112 file-block buffers.
+  int buffer_count = 112;
+  Bytes block_size = kDataPageSize;
+  bool striped_layout = false;  // §2.3.3: current implementation does not stripe
+  // §2.3.3: "The current implementation of the MSU does not employ disk head
+  // scheduling" — optional elevator (SCAN) ordering, worth ~6%.
+  bool elevator_scheduling = false;
+  int coordinator_port = 5000;
+  int media_udp_port = 7000;    // MSU-side recording receive port base
+};
+
+class Msu {
+ public:
+  Msu(Machine& machine, NetNode& node, MsuParams params = MsuParams());
+
+  Msu(const Msu&) = delete;
+  Msu& operator=(const Msu&) = delete;
+
+  // Connects to the Coordinator and registers ("When the MSU becomes
+  // available again, it contacts the Coordinator").
+  // Coroutine parameters are by value (lazy start).
+  Co<Status> RegisterWithCoordinator(std::string coordinator_node);
+
+  // Local control surface (also reachable via the Coordinator RPCs / the
+  // group's client VCR connection).
+  Co<MessageBody> HandleStartStream(MsuStartStream request);
+  Co<MessageBody> HandleVcr(VcrCommand command);
+
+  MsuFileSystem& fs() { return fs_; }
+  Machine& machine() { return *machine_; }
+  NetNode& node() { return *node_; }
+  Simulator& sim() { return machine_->sim(); }
+  const MsuParams& params() const { return params_; }
+  DutyCycleAllocator& duty_cycle() { return duty_cycle_; }
+  ProtocolRegistry& protocols() { return protocols_; }
+
+  // Crash / recovery for fault-tolerance experiments.
+  void Crash();
+  Co<Status> Restart(std::string coordinator_node);
+  bool crashed() const { return crashed_; }
+
+  // Aggregate stats over streams that ran (including finished ones).
+  LatenessHistogram AggregateLateness() const;
+  int active_stream_count() const;
+  MsuStream* FindStream(StreamId id);
+
+ private:
+  friend class MsuStream;
+
+  struct Group {
+    Group() = default;
+
+    GroupId id = 0;
+    TcpConn* control_conn = nullptr;
+    std::vector<StreamId> streams;
+  };
+
+  Task DiskProcess(int disk_index);
+  Task FlushMetadataBehind();
+  void OnStreamFinished(MsuStream* stream);
+  Task NotifyTermination(StreamTerminated note);
+  Co<void> EnsureControlConn(Group& group, const MsuStartStream& request);
+  void OnMediaDatagram(const Datagram& datagram);
+
+  Machine* machine_;
+  NetNode* node_;
+  MsuParams params_;
+  MsuFileSystem fs_;
+  DutyCycleAllocator duty_cycle_;
+  ProtocolRegistry protocols_;
+  Semaphore buffer_pool_;
+  std::map<StreamId, std::unique_ptr<MsuStream>> streams_;
+  std::map<StreamId, std::unique_ptr<MsuStream>> finished_streams_;
+  std::map<GroupId, Group> groups_;
+  std::vector<std::unique_ptr<Condition>> disk_work_;
+  TcpConn* coordinator_conn_ = nullptr;
+  bool crashed_ = false;
+  StreamId next_local_stream_id_ = 1000000;  // for locally-initiated streams
+};
+
+}  // namespace calliope
+
+#endif  // CALLIOPE_SRC_MSU_MSU_H_

@@ -1,0 +1,80 @@
+// Lock-free single-producer/single-consumer queue (§2.3).
+//
+// "Instead of using expensive semaphore operations, the MSU processes
+// communicate using a shared memory queue structure that relies on the
+// atomicity of memory read and write instructions to produce atomic enqueue
+// and dequeue operations."
+//
+// A fixed-capacity ring buffer: the producer owns `head_`, the consumer owns
+// `tail_`; each reads the other's index with acquire ordering and publishes
+// its own with release ordering. Safe for exactly one producer thread and one
+// consumer thread (unit-tested with real threads; the simulated MSU uses it
+// single-threaded between its disk and network processes).
+#ifndef CALLIOPE_SRC_MSU_SPSC_QUEUE_H_
+#define CALLIOPE_SRC_MSU_SPSC_QUEUE_H_
+
+#include <atomic>
+#include <cassert>
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+namespace calliope {
+
+template <typename T>
+class SpscQueue {
+ public:
+  // Capacity must be a power of two (one slot is sacrificed to distinguish
+  // full from empty).
+  explicit SpscQueue(size_t capacity) : buffer_(capacity), mask_(capacity - 1) {
+    assert(capacity >= 2 && (capacity & (capacity - 1)) == 0);
+  }
+
+  SpscQueue(const SpscQueue&) = delete;
+  SpscQueue& operator=(const SpscQueue&) = delete;
+
+  // Producer side. Returns false when full.
+  bool TryPush(T value) {
+    const size_t head = head_.load(std::memory_order_relaxed);
+    const size_t next = (head + 1) & mask_;
+    if (next == tail_.load(std::memory_order_acquire)) {
+      return false;
+    }
+    buffer_[head] = std::move(value);
+    head_.store(next, std::memory_order_release);
+    return true;
+  }
+
+  // Consumer side. Empty optional when the queue is empty.
+  std::optional<T> TryPop() {
+    const size_t tail = tail_.load(std::memory_order_relaxed);
+    if (tail == head_.load(std::memory_order_acquire)) {
+      return std::nullopt;
+    }
+    T value = std::move(buffer_[tail]);
+    tail_.store((tail + 1) & mask_, std::memory_order_release);
+    return value;
+  }
+
+  bool Empty() const {
+    return tail_.load(std::memory_order_acquire) == head_.load(std::memory_order_acquire);
+  }
+
+  size_t SizeApprox() const {
+    const size_t head = head_.load(std::memory_order_acquire);
+    const size_t tail = tail_.load(std::memory_order_acquire);
+    return (head - tail) & mask_;
+  }
+
+  size_t capacity() const { return buffer_.size() - 1; }
+
+ private:
+  std::vector<T> buffer_;
+  const size_t mask_;
+  alignas(64) std::atomic<size_t> head_{0};
+  alignas(64) std::atomic<size_t> tail_{0};
+};
+
+}  // namespace calliope
+
+#endif  // CALLIOPE_SRC_MSU_SPSC_QUEUE_H_

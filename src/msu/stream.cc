@@ -1,0 +1,362 @@
+#include <algorithm>
+
+#include "src/msu/msu.h"
+#include "src/util/logging.h"
+
+namespace calliope {
+
+MsuStream::MsuStream(Msu& msu, const MsuStartStream& request,
+                     std::unique_ptr<ProtocolModule> protocol)
+    : msu_(&msu),
+      id_(request.stream),
+      group_(request.group),
+      mode_(request.record ? Mode::kRecord : Mode::kPlay),
+      file_name_(request.file),
+      ff_file_(request.fast_forward_file),
+      fb_file_(request.fast_backward_file),
+      protocol_name_(request.protocol),
+      protocol_(std::move(protocol)),
+      rate_(request.rate),
+      client_node_(request.client_node),
+      client_udp_port_(request.client_udp_port),
+      buffers_changed_(msu.sim()),
+      record_pages_ready_(msu.sim()) {}
+
+bool MsuStream::NeedsDiskService() const {
+  if (state_ == State::kStopped) {
+    return false;
+  }
+  if (mode_ == Mode::kPlay) {
+    return state_ == State::kRunning && file_ != nullptr && prefetched_.size() < 2 &&
+           next_page_to_read_ < file_->image().page_count();
+  }
+  return builder_.pages_closed() > pages_written_ && !record_write_in_flight_;
+}
+
+Co<bool> MsuStream::ServiceDisk() {
+  if (!NeedsDiskService()) {
+    co_return false;
+  }
+  if (mode_ == Mode::kPlay) {
+    const size_t target = next_page_to_read_;
+    auto page = co_await msu_->fs().ReadPage(file_, target);
+    if (!page.ok()) {
+      if (page.status().code() == StatusCode::kDataLoss) {
+        // Unrecoverable media: end the stream rather than stall the viewer.
+        CALLIOPE_LOG(kWarning, "msu") << "stream " << id_ << ": " << page.status().ToString();
+        StopInternal();
+        msu_->OnStreamFinished(this);
+      }
+      co_return false;
+    }
+    // A seek may have moved the cursor while the read was in flight; only
+    // keep the page if it is still the one the stream wants next.
+    if (state_ == State::kStopped || target != next_page_to_read_) {
+      co_return true;
+    }
+    ++next_page_to_read_;
+    prefetched_.push_back(*page);
+    bytes_moved_ += kDataPageSize;
+    buffers_changed_.NotifyAll();
+    co_return true;
+  }
+  // Recording: flush one closed page (write-behind).
+  record_write_in_flight_ = true;
+  const auto page_index = static_cast<int64_t>(pages_written_);
+  const Status written = co_await msu_->fs().WriteNextPage(file_, page_index);
+  record_write_in_flight_ = false;
+  if (written.ok()) {
+    ++pages_written_;
+    bytes_moved_ += kDataPageSize;
+  }
+  record_pages_ready_.NotifyAll();
+  co_return true;
+}
+
+SimTime MsuStream::CurrentMediaOffset() const {
+  if (file_ == nullptr || file_->image().page_count() == 0) {
+    return SimTime();
+  }
+  if (!prefetched_.empty() && play_record_ < prefetched_.front()->records.size()) {
+    return prefetched_.front()->records[play_record_].delivery_offset;
+  }
+  if (play_page_ < file_->image().page_count()) {
+    const DataPage& page = file_->image().page(play_page_);
+    if (play_record_ < page.records.size()) {
+      return page.records[play_record_].delivery_offset;
+    }
+    return page.last_offset();
+  }
+  return file_->image().duration();
+}
+
+Task MsuStream::PlaybackLoop() {
+  while (state_ != State::kStopped) {
+    if (state_ == State::kPaused || state_ == State::kStarting) {
+      co_await buffers_changed_.Wait();
+      continue;
+    }
+    if (prefetched_.empty()) {
+      if (file_ == nullptr || play_page_ >= file_->image().page_count()) {
+        break;  // end of content
+      }
+      msu_->disk_work_[static_cast<size_t>(disk_)]->NotifyAll();
+      co_await buffers_changed_.Wait();
+      continue;
+    }
+    const DataPage* page = prefetched_.front();
+    if (play_record_ >= page->records.size()) {
+      prefetched_.pop_front();
+      ++play_page_;
+      play_record_ = 0;
+      msu_->disk_work_[static_cast<size_t>(disk_)]->NotifyAll();
+      continue;
+    }
+    const MediaPacket record = page->records[play_record_];
+    if (rebase_needed_) {
+      origin_ = record.delivery_offset;
+      base_ = msu_->sim().Now();
+      rebase_needed_ = false;
+    }
+    const SimTime deadline = base_ + (record.delivery_offset - origin_);
+    const int64_t gen_before = position_gen_;
+    if (deadline > msu_->sim().Now()) {
+      // tsleep until the 10 ms tick at/after the deadline; a packet whose
+      // deadline already passed (mid-burst) goes out back to back instead.
+      co_await msu_->machine().timer().WaitUntil(deadline);
+      if (state_ != State::kRunning || position_gen_ != gen_before) {
+        continue;  // paused, stopped or repositioned while asleep
+      }
+      // Waking the network process costs a tsleep/wakeup switch. Timekeeping
+      // uses the Pentium cycle counter — the paper's workaround for the
+      // port-I/O stall bug — so no in/out stalls here.
+      co_await msu_->machine().cpu().Run(msu_->machine().cpu().params().timer_wakeup_compute, 0);
+      if (state_ != State::kRunning || position_gen_ != gen_before) {
+        continue;
+      }
+    }
+    // Per-packet MSU bookkeeping (schedule lookup, buffer accounting); this
+    // is charged whether or not the process slept — it is what caps the MSU
+    // at ~90% of the raw send baseline. Stored (variable-rate) delivery
+    // schedules cost more per packet than computed constant-rate ones.
+    SimTime per_packet = msu_->machine().cpu().params().msu_packet_compute;
+    if (!protocol_->is_constant_rate()) {
+      per_packet += msu_->machine().cpu().params().msu_stored_schedule_compute;
+    }
+    co_await msu_->machine().cpu().Run(per_packet, 0);
+    if (state_ != State::kRunning || position_gen_ != gen_before) {
+      continue;
+    }
+    const auto route = protocol_->RoutePlayback(record);
+    if (route.send) {
+      auto payload = std::make_shared<MediaDatagramPayload>();
+      payload->stream = id_;
+      payload->seq = send_seq_;
+      payload->deadline = deadline;
+      payload->packet = record;
+      payload->is_control = route.to_control_port;
+      const int port = route.to_control_port ? client_udp_port_ + 1 : client_udp_port_;
+      co_await msu_->node().SendUdp(client_node_, port, record.size, std::move(payload));
+      if (state_ != State::kRunning || position_gen_ != gen_before) {
+        continue;
+      }
+      lateness_.Record(msu_->sim().Now() - deadline);
+      ++packets_sent_;
+    }
+    ++send_seq_;
+    ++play_record_;
+  }
+  if (state_ != State::kStopped) {
+    StopInternal();
+    msu_->OnStreamFinished(this);
+  }
+}
+
+Status MsuStream::Pause() {
+  if (mode_ != Mode::kPlay) {
+    return FailedPreconditionError("cannot pause a recording");
+  }
+  if (state_ != State::kRunning) {
+    return FailedPreconditionError("stream not running");
+  }
+  state_ = State::kPaused;
+  ++position_gen_;
+  buffers_changed_.NotifyAll();
+  return OkStatus();
+}
+
+Status MsuStream::Resume() {
+  if (state_ == State::kStarting) {
+    state_ = State::kRunning;
+    buffers_changed_.NotifyAll();
+    msu_->disk_work_[static_cast<size_t>(disk_)]->NotifyAll();
+    return OkStatus();
+  }
+  if (state_ != State::kPaused) {
+    return FailedPreconditionError("stream not paused");
+  }
+  state_ = State::kRunning;
+  ++position_gen_;
+  rebase_needed_ = true;  // deadlines restart from the paused position
+  buffers_changed_.NotifyAll();
+  msu_->disk_work_[static_cast<size_t>(disk_)]->NotifyAll();
+  return OkStatus();
+}
+
+Co<Status> MsuStream::SeekTo(SimTime media_offset) {
+  if (mode_ != Mode::kPlay) {
+    co_return FailedPreconditionError("cannot seek a recording");
+  }
+  if (file_ == nullptr) {
+    co_return FailedPreconditionError("no file attached");
+  }
+  auto target = file_->image().Seek(media_offset);
+  if (!target.ok()) {
+    co_return target.status();
+  }
+  // Charge the internal-page reads of the tree walk.
+  for (const int64_t internal_page : target->internal_pages_read) {
+    auto read = co_await msu_->fs().ReadPage(file_, static_cast<size_t>(internal_page));
+    if (!read.ok()) {
+      co_return read.status();
+    }
+  }
+  prefetched_.clear();
+  play_page_ = target->page_index;
+  play_record_ = target->record_index;
+  next_page_to_read_ = target->page_index;
+  rebase_needed_ = true;
+  ++position_gen_;
+  buffers_changed_.NotifyAll();
+  msu_->disk_work_[static_cast<size_t>(disk_)]->NotifyAll();
+  co_return OkStatus();
+}
+
+Co<Status> MsuStream::SwitchVariant(Variant variant) {
+  if (mode_ != Mode::kPlay) {
+    co_return FailedPreconditionError("cannot fast-scan a recording");
+  }
+  if (variant == variant_) {
+    co_return OkStatus();
+  }
+  const std::string* target_name = nullptr;
+  switch (variant) {
+    case Variant::kNormal:
+      target_name = &file_name_;
+      break;
+    case Variant::kFastForward:
+      target_name = &ff_file_;
+      break;
+    case Variant::kFastBackward:
+      target_name = &fb_file_;
+      break;
+  }
+  if (target_name->empty()) {
+    co_return FailedPreconditionError("content has no fast-scan variant loaded");
+  }
+  auto target_file = msu_->fs().Lookup(*target_name);
+  if (!target_file.ok()) {
+    co_return target_file.status();
+  }
+
+  // Map the current media position between the normal-rate and filtered
+  // timelines. The filtered file covers the same content in 1/K of the time
+  // (every K-th frame kept), so positions scale by the duration ratio.
+  const SimTime old_duration = file_->image().duration();
+  const SimTime new_duration = (*target_file)->image().duration();
+  SimTime position = CurrentMediaOffset();
+  if (variant_ == Variant::kFastBackward) {
+    position = old_duration - position;  // fb timeline runs backwards
+  }
+  double scale = 1.0;
+  if (old_duration > SimTime()) {
+    scale = new_duration.seconds() / old_duration.seconds();
+  }
+  SimTime mapped = SimTime::SecondsF(position.seconds() * scale);
+  if (variant == Variant::kFastBackward) {
+    mapped = new_duration - mapped;
+  }
+  mapped = std::clamp(mapped, SimTime(), new_duration);
+
+  file_ = *target_file;
+  variant_ = variant;
+  CALLIOPE_CO_RETURN_IF_ERROR(co_await SeekTo(mapped));
+  co_return OkStatus();
+}
+
+void MsuStream::OnRecordedPacket(const MediaPacket& packet) {
+  if (mode_ != Mode::kRecord || state_ != State::kRunning) {
+    return;
+  }
+  if (!record_started_) {
+    record_started_ = true;
+    record_start_ = msu_->sim().Now();
+  }
+  const SimTime arrival_offset = msu_->sim().Now() - record_start_;
+
+  PacketSequence interleave;
+  protocol_->OnRecordPacket(packet, arrival_offset, interleave);
+  for (MediaPacket& control : interleave) {
+    control.delivery_offset = std::max(control.delivery_offset, last_stored_offset_);
+    last_stored_offset_ = control.delivery_offset;
+    (void)builder_.Add(control);
+  }
+
+  MediaPacket stored = packet;
+  stored.delivery_offset =
+      std::max(protocol_->RecordDeliveryOffset(packet, arrival_offset), last_stored_offset_);
+  last_stored_offset_ = stored.delivery_offset;
+  if (Status added = builder_.Add(stored); !added.ok()) {
+    CALLIOPE_LOG(kWarning, "msu") << "record drop: " << added.ToString();
+    return;
+  }
+  if (NeedsDiskService()) {
+    msu_->disk_work_[static_cast<size_t>(disk_)]->NotifyAll();
+  }
+}
+
+Co<Status> MsuStream::FinishRecording() {
+  state_ = State::kStopped;
+  // Wait out any write the disk process has in flight.
+  while (record_write_in_flight_) {
+    co_await record_pages_ready_.Wait();
+  }
+  IbTreeFile image = builder_.Finish();
+  // Drain the remaining closed pages.
+  while (pages_written_ < image.page_count()) {
+    const Status written =
+        co_await msu_->fs().WriteNextPage(file_, static_cast<int64_t>(pages_written_));
+    if (!written.ok()) {
+      co_return written;
+    }
+    ++pages_written_;
+    bytes_moved_ += kDataPageSize;
+  }
+  co_return msu_->fs().CommitRecording(file_, std::move(image));
+}
+
+Co<Status> MsuStream::Quit() {
+  if (state_ == State::kStopped) {
+    co_return OkStatus();
+  }
+  Status result = OkStatus();
+  if (mode_ == Mode::kRecord) {
+    result = co_await FinishRecording();
+    if (result.ok()) {
+      msu_->FlushMetadataBehind();
+    }
+  }
+  StopInternal();
+  msu_->OnStreamFinished(this);
+  co_return result;
+}
+
+void MsuStream::StopInternal() {
+  state_ = State::kStopped;
+  ++position_gen_;
+  prefetched_.clear();
+  buffers_changed_.NotifyAll();
+  record_pages_ready_.NotifyAll();
+}
+
+}  // namespace calliope

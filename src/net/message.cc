@@ -1,0 +1,109 @@
+#include "src/net/message.h"
+
+namespace calliope {
+
+namespace {
+
+Bytes StringBytes(const std::string& s) { return Bytes(static_cast<int64_t>(s.size())); }
+
+struct SizeVisitor {
+  Bytes operator()(const OpenSessionRequest& m) const {
+    return Bytes(16) + StringBytes(m.customer) + StringBytes(m.credential);
+  }
+  Bytes operator()(const OpenSessionResponse& m) const {
+    return Bytes(24) + StringBytes(m.error);
+  }
+  Bytes operator()(const ListContentRequest&) const { return Bytes(16); }
+  Bytes operator()(const ListContentResponse& m) const {
+    Bytes size(24);
+    for (const auto& item : m.items) {
+      size += Bytes(24) + StringBytes(item.name) + StringBytes(item.type);
+    }
+    return size;
+  }
+  Bytes operator()(const RegisterPortRequest& m) const {
+    Bytes size = Bytes(32) + StringBytes(m.port_name) + StringBytes(m.type_name) +
+                 StringBytes(m.node);
+    for (const auto& component : m.component_ports) {
+      size += Bytes(8) + StringBytes(component);
+    }
+    return size;
+  }
+  Bytes operator()(const UnregisterPortRequest& m) const {
+    return Bytes(16) + StringBytes(m.port_name);
+  }
+  Bytes operator()(const PlayRequest& m) const {
+    return Bytes(16) + StringBytes(m.content) + StringBytes(m.display_port);
+  }
+  Bytes operator()(const PlayResponse& m) const { return Bytes(32) + StringBytes(m.error); }
+  Bytes operator()(const RecordRequest& m) const {
+    return Bytes(32) + StringBytes(m.content_name) + StringBytes(m.type_name) +
+           StringBytes(m.display_port);
+  }
+  Bytes operator()(const RecordResponse& m) const { return Bytes(32) + StringBytes(m.error); }
+  Bytes operator()(const DeleteContentRequest& m) const {
+    return Bytes(16) + StringBytes(m.content);
+  }
+  Bytes operator()(const LoadFastScanRequest& m) const {
+    return Bytes(16) + StringBytes(m.content) + StringBytes(m.fast_forward_file) +
+           StringBytes(m.fast_backward_file);
+  }
+  Bytes operator()(const SimpleResponse& m) const { return Bytes(16) + StringBytes(m.error); }
+  Bytes operator()(const MsuStartStream& m) const {
+    return Bytes(96) + StringBytes(m.file) + StringBytes(m.protocol) +
+           StringBytes(m.client_node) + StringBytes(m.fast_forward_file) +
+           StringBytes(m.fast_backward_file);
+  }
+  Bytes operator()(const MsuStartStreamResponse& m) const {
+    return Bytes(16) + StringBytes(m.error);
+  }
+  Bytes operator()(const MsuRegisterRequest& m) const {
+    return Bytes(32) + StringBytes(m.msu_node);
+  }
+  Bytes operator()(const StreamTerminated& m) const { return Bytes(48) + StringBytes(m.file); }
+  Bytes operator()(const VcrCommand&) const { return Bytes(32); }
+  Bytes operator()(const VcrAck& m) const { return Bytes(16) + StringBytes(m.error); }
+  Bytes operator()(const MsuDeleteFile& m) const { return Bytes(16) + StringBytes(m.file); }
+  Bytes operator()(const StreamGroupInfo& m) const {
+    return Bytes(24) + StringBytes(m.msu_node) +
+           Bytes(static_cast<int64_t>(m.members.size()) * 16);
+  }
+};
+
+struct NameVisitor {
+  const char* operator()(const OpenSessionRequest&) const { return "OpenSessionRequest"; }
+  const char* operator()(const OpenSessionResponse&) const { return "OpenSessionResponse"; }
+  const char* operator()(const ListContentRequest&) const { return "ListContentRequest"; }
+  const char* operator()(const ListContentResponse&) const { return "ListContentResponse"; }
+  const char* operator()(const RegisterPortRequest&) const { return "RegisterPortRequest"; }
+  const char* operator()(const UnregisterPortRequest&) const { return "UnregisterPortRequest"; }
+  const char* operator()(const PlayRequest&) const { return "PlayRequest"; }
+  const char* operator()(const PlayResponse&) const { return "PlayResponse"; }
+  const char* operator()(const RecordRequest&) const { return "RecordRequest"; }
+  const char* operator()(const RecordResponse&) const { return "RecordResponse"; }
+  const char* operator()(const DeleteContentRequest&) const { return "DeleteContentRequest"; }
+  const char* operator()(const LoadFastScanRequest&) const { return "LoadFastScanRequest"; }
+  const char* operator()(const SimpleResponse&) const { return "SimpleResponse"; }
+  const char* operator()(const MsuStartStream&) const { return "MsuStartStream"; }
+  const char* operator()(const MsuStartStreamResponse&) const { return "MsuStartStreamResponse"; }
+  const char* operator()(const MsuRegisterRequest&) const { return "MsuRegisterRequest"; }
+  const char* operator()(const StreamTerminated&) const { return "StreamTerminated"; }
+  const char* operator()(const VcrCommand&) const { return "VcrCommand"; }
+  const char* operator()(const VcrAck&) const { return "VcrAck"; }
+  const char* operator()(const MsuDeleteFile&) const { return "MsuDeleteFile"; }
+  const char* operator()(const StreamGroupInfo&) const { return "StreamGroupInfo"; }
+};
+
+}  // namespace
+
+Bytes WireSize(const MessageBody& body) { return std::visit(SizeVisitor{}, body); }
+
+Bytes WireSize(const Envelope& envelope) {
+  // TCP/IP headers, RPC framing, and the ack segment the reliable stream
+  // generates per message.
+  return Bytes(150) + WireSize(envelope.body);
+}
+
+const char* MessageName(const MessageBody& body) { return std::visit(NameVisitor{}, body); }
+
+}  // namespace calliope

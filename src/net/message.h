@@ -1,0 +1,315 @@
+// Control-protocol messages exchanged between clients, the Coordinator and
+// MSUs. The components run inside one simulation, so messages travel as C++
+// structs; WireSize() estimates charge the simulated network realistically.
+//
+// IMPORTANT: none of these types may be an aggregate. GCC 12 miscompiles
+// aggregate initialization/copies emitted inside coroutine bodies (SSO string
+// pointers and shared_ptr refcounts end up aliasing the coroutine frame), so
+// every struct declares constructors. See the parameter rules in src/sim/co.h.
+#ifndef CALLIOPE_SRC_NET_MESSAGE_H_
+#define CALLIOPE_SRC_NET_MESSAGE_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <variant>
+#include <vector>
+
+#include "src/util/units.h"
+
+namespace calliope {
+
+using SessionId = int64_t;
+using StreamId = int64_t;
+using GroupId = int64_t;
+
+// ---------- client -> Coordinator ----------
+
+struct OpenSessionRequest {
+  OpenSessionRequest() = default;
+  OpenSessionRequest(std::string customer_name, std::string customer_credential)
+      : customer(std::move(customer_name)), credential(std::move(customer_credential)) {}
+
+  std::string customer;
+  std::string credential;
+};
+
+struct OpenSessionResponse {
+  OpenSessionResponse() = default;
+  OpenSessionResponse(bool success, std::string error_message, SessionId session_id)
+      : ok(success), error(std::move(error_message)), session(session_id) {}
+
+  bool ok = false;
+  std::string error;
+  SessionId session = 0;
+};
+
+struct ListContentRequest {
+  ListContentRequest() = default;
+  explicit ListContentRequest(SessionId session_id) : session(session_id) {}
+
+  SessionId session = 0;
+};
+
+struct ContentInfo {
+  ContentInfo() = default;
+
+  std::string name;
+  std::string type;
+  SimTime duration;
+  bool has_fast_scan = false;
+};
+
+struct ListContentResponse {
+  ListContentResponse() = default;
+
+  bool ok = false;
+  std::string error;
+  std::vector<ContentInfo> items;
+};
+
+// Display ports "associate a string name, a content type, and the socket's
+// IP address and port number". Composite ports list component port names.
+struct RegisterPortRequest {
+  RegisterPortRequest() = default;
+
+  SessionId session = 0;
+  std::string port_name;
+  std::string type_name;
+  std::string node;
+  int udp_port = 0;
+  int control_port = 0;  // where the client listens for the MSU's VCR conn
+  std::vector<std::string> component_ports;  // for composite types
+};
+
+struct UnregisterPortRequest {
+  UnregisterPortRequest() = default;
+  UnregisterPortRequest(SessionId session_id, std::string port)
+      : session(session_id), port_name(std::move(port)) {}
+
+  SessionId session = 0;
+  std::string port_name;
+};
+
+struct PlayRequest {
+  PlayRequest() = default;
+  PlayRequest(SessionId session_id, std::string content_name, std::string port)
+      : session(session_id), content(std::move(content_name)), display_port(std::move(port)) {}
+
+  SessionId session = 0;
+  std::string content;
+  std::string display_port;
+};
+
+struct PlayResponse {
+  PlayResponse() = default;
+  PlayResponse(bool success, std::string error_message, GroupId group_id, bool was_queued)
+      : ok(success), error(std::move(error_message)), group(group_id), queued(was_queued) {}
+
+  bool ok = false;
+  std::string error;
+  GroupId group = 0;
+  bool queued = false;  // no resources yet; Calliope will start it later
+};
+
+struct RecordRequest {
+  RecordRequest() = default;
+  RecordRequest(SessionId session_id, std::string content, std::string type, std::string port,
+                SimTime length_estimate)
+      : session(session_id),
+        content_name(std::move(content)),
+        type_name(std::move(type)),
+        display_port(std::move(port)),
+        estimated_length(length_estimate) {}
+
+  SessionId session = 0;
+  std::string content_name;
+  std::string type_name;
+  std::string display_port;
+  SimTime estimated_length;
+};
+
+struct RecordResponse {
+  RecordResponse() = default;
+  RecordResponse(bool success, std::string error_message, GroupId group_id, bool was_queued)
+      : ok(success), error(std::move(error_message)), group(group_id), queued(was_queued) {}
+
+  bool ok = false;
+  std::string error;
+  GroupId group = 0;
+  bool queued = false;
+};
+
+struct DeleteContentRequest {
+  DeleteContentRequest() = default;
+  DeleteContentRequest(SessionId session_id, std::string content_name)
+      : session(session_id), content(std::move(content_name)) {}
+
+  SessionId session = 0;
+  std::string content;
+};
+
+// Administrative: register filtered fast-forward / fast-backward versions of
+// existing content (§2.3.1 — produced offline by an administrator).
+struct LoadFastScanRequest {
+  LoadFastScanRequest() = default;
+  LoadFastScanRequest(SessionId session_id, std::string content_name, std::string ff_file,
+                      std::string fb_file)
+      : session(session_id),
+        content(std::move(content_name)),
+        fast_forward_file(std::move(ff_file)),
+        fast_backward_file(std::move(fb_file)) {}
+
+  SessionId session = 0;
+  std::string content;
+  std::string fast_forward_file;
+  std::string fast_backward_file;
+};
+
+struct SimpleResponse {
+  SimpleResponse() = default;
+  SimpleResponse(bool success, std::string error_message)
+      : ok(success), error(std::move(error_message)) {}
+
+  bool ok = false;
+  std::string error;
+};
+
+// ---------- Coordinator -> MSU ----------
+
+struct MsuStartStream {
+  MsuStartStream() = default;
+
+  GroupId group = 0;
+  StreamId stream = 0;
+  std::string file;
+  std::string protocol;  // protocol extension module name
+  DataRate rate;         // bandwidth consumption rate from the content type
+  bool record = false;
+  SimTime estimated_length;   // for recordings
+  int disk_hint = -1;         // which disk holds / should hold the file
+  std::string client_node;
+  int client_udp_port = 0;
+  int client_control_port = 0;  // MSU opens the VCR conn to this port
+  bool open_control_conn = true;
+  std::string fast_forward_file;   // optional fast-scan variants
+  std::string fast_backward_file;
+};
+
+struct MsuStartStreamResponse {
+  MsuStartStreamResponse() = default;
+  MsuStartStreamResponse(bool success, std::string error_message)
+      : ok(success), error(std::move(error_message)) {}
+
+  bool ok = false;
+  std::string error;
+};
+
+// ---------- MSU -> Coordinator ----------
+
+struct MsuRegisterRequest {
+  MsuRegisterRequest() = default;
+
+  std::string msu_node;
+  int disk_count = 0;
+  Bytes free_space;
+};
+
+struct StreamTerminated {
+  StreamTerminated() = default;
+
+  StreamId stream = 0;
+  GroupId group = 0;
+  std::string file;
+  Bytes bytes_moved;
+  bool was_recording = false;
+  SimTime recorded_duration;  // media length of a completed recording
+  int disk = 0;               // disk the file lives on (for space accounting)
+};
+
+// Coordinator -> MSU: remove a file (content deletion).
+struct MsuDeleteFile {
+  MsuDeleteFile() = default;
+  explicit MsuDeleteFile(std::string file_name) : file(std::move(file_name)) {}
+
+  std::string file;
+};
+
+// ---------- MSU -> client (over the group's VCR control connection) ----------
+
+// Sent when the MSU is ready to serve a stream group; tells the client which
+// MSU owns the group and, for recordings, where to send media packets.
+struct StreamGroupInfo {
+  StreamGroupInfo() = default;
+
+  struct Member {
+    Member() = default;
+    Member(StreamId stream_id, int index, bool is_recording)
+        : stream(stream_id), component_index(index), recording(is_recording) {}
+
+    StreamId stream = 0;
+    int component_index = 0;  // position within the composite type
+    bool recording = false;
+  };
+
+  GroupId group = 0;
+  std::string msu_node;
+  int media_udp_port = 0;
+  std::vector<Member> members;
+};
+
+// ---------- client <-> MSU (VCR control, §2.1) ----------
+
+struct VcrCommand {
+  enum class Op { kPlay, kPause, kSeek, kFastForward, kFastBackward, kQuit };
+
+  VcrCommand() = default;
+
+  Op op = Op::kPlay;
+  GroupId group = 0;
+  SimTime seek_to;  // for kSeek: media-time offset from the beginning
+};
+
+struct VcrAck {
+  VcrAck() = default;
+  VcrAck(bool success, std::string error_message)
+      : ok(success), error(std::move(error_message)) {}
+
+  bool ok = false;
+  std::string error;
+};
+
+using MessageBody =
+    std::variant<OpenSessionRequest, OpenSessionResponse, ListContentRequest, ListContentResponse,
+                 RegisterPortRequest, UnregisterPortRequest, PlayRequest, PlayResponse,
+                 RecordRequest, RecordResponse, DeleteContentRequest, LoadFastScanRequest,
+                 SimpleResponse, MsuStartStream, MsuStartStreamResponse, MsuRegisterRequest,
+                 StreamTerminated, VcrCommand, VcrAck, MsuDeleteFile, StreamGroupInfo>;
+
+struct Envelope {
+  Envelope() = default;
+  Envelope(uint64_t id, bool response, MessageBody message_body)
+      : rpc_id(id), is_response(response), body(std::move(message_body)) {}
+
+  uint64_t rpc_id = 0;
+  bool is_response = false;
+  MessageBody body;
+};
+
+// Non-aggregate carrier for passing a MessageBody into a coroutine by value.
+class MessageArg {
+ public:
+  MessageArg(MessageBody body) : value(std::move(body)) {}  // NOLINT(google-explicit-constructor)
+  MessageBody value;
+};
+
+// Estimated bytes on the wire (struct payload + strings + headers).
+Bytes WireSize(const MessageBody& body);
+Bytes WireSize(const Envelope& envelope);
+
+// Debug name of the message alternative.
+const char* MessageName(const MessageBody& body);
+
+}  // namespace calliope
+
+#endif  // CALLIOPE_SRC_NET_MESSAGE_H_

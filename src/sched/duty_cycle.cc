@@ -1,0 +1,83 @@
+#include "src/sched/duty_cycle.h"
+
+#include <algorithm>
+
+namespace calliope {
+
+SimTime WorstCaseSlotTime(const DiskParams& disk, const HbaParams& hba, Bytes block_size) {
+  // Full-stroke seek (distance 1.0) + a full rotation + the slower of the
+  // media and chain transfer + fixed overheads. A small margin covers
+  // interrupt service time.
+  const SimTime seek = disk.seek_settle + disk.seek_base + disk.seek_sqrt_coeff;
+  const SimTime transfer =
+      std::max(disk.media_rate.TransferTime(block_size), hba.bus_rate.TransferTime(block_size));
+  const SimTime interrupt_margin = SimTime::Millis(2);
+  return disk.controller_overhead + seek + disk.rotation_period + transfer + interrupt_margin;
+}
+
+int SlotsPerCycle(const DiskParams& disk, const HbaParams& hba, Bytes block_size, DataRate rate) {
+  if (rate.is_zero()) {
+    return 0;
+  }
+  const SimTime drain = BlockDrainTime(block_size, rate);
+  const SimTime slot = WorstCaseSlotTime(disk, hba, block_size);
+  return static_cast<int>(drain / slot);
+}
+
+DutyCycleAllocator::DutyCycleAllocator(const DiskParams& disk, const HbaParams& hba,
+                                       Bytes block_size, int disk_count, bool striped)
+    : disk_params_(disk),
+      hba_params_(hba),
+      block_size_(block_size),
+      striped_(striped),
+      per_disk_(static_cast<size_t>(disk_count), 0) {}
+
+int DutyCycleAllocator::CapacityPerDisk(DataRate rate) const {
+  return SlotsPerCycle(disk_params_, hba_params_, block_size_, rate);
+}
+
+SimTime DutyCycleAllocator::WorstCaseStartupDelay(DataRate rate) const {
+  // "it is allocated a disk slot and must wait at most N-1 slots before the
+  // MSU begins to deliver data" — N*D slots for striped layouts.
+  const int slots_per_disk = CapacityPerDisk(rate);
+  const int cycle_slots =
+      striped_ ? slots_per_disk * static_cast<int>(per_disk_.size()) : slots_per_disk;
+  const SimTime slot = WorstCaseSlotTime(disk_params_, hba_params_, block_size_);
+  return slot * std::max(0, cycle_slots - 1);
+}
+
+bool DutyCycleAllocator::CanAdmit(int disk, DataRate rate) const {
+  const int capacity = CapacityPerDisk(rate);
+  if (striped_) {
+    // Striped streams consume a slot on every disk's cycle; total machine
+    // capacity is still capacity * disk_count streams, but admission is
+    // machine-wide.
+    return total_active() < capacity * static_cast<int>(per_disk_.size());
+  }
+  return per_disk_.at(static_cast<size_t>(disk)) < capacity;
+}
+
+Status DutyCycleAllocator::Admit(int disk, DataRate rate) {
+  if (!CanAdmit(disk, rate)) {
+    return ResourceExhaustedError("no free duty-cycle slot on disk " + std::to_string(disk));
+  }
+  ++per_disk_.at(static_cast<size_t>(disk));
+  return OkStatus();
+}
+
+void DutyCycleAllocator::Release(int disk, DataRate rate) {
+  auto& count = per_disk_.at(static_cast<size_t>(disk));
+  if (count > 0) {
+    --count;
+  }
+}
+
+int DutyCycleAllocator::total_active() const {
+  int total = 0;
+  for (int count : per_disk_) {
+    total += count;
+  }
+  return total;
+}
+
+}  // namespace calliope

@@ -1,0 +1,67 @@
+// Disk duty-cycle admission control (§2.2.1).
+//
+// "To allocate bandwidth of a single disk, we give the disk a duty cycle
+// which is divided into slots. Each slot is long enough to read or write a
+// single disk block for one client stream. The number of slots in a cycle is
+// the maximum number of block transfers that can be accomplished during the
+// time it takes for a single stream to transmit its block."
+//
+// For striped layouts the cycle covers all D disks and has N*D slots, where N
+// is a single disk's slot count; an arriving client (or a VCR command) waits
+// at most one full cycle for its slot — D times longer than the non-striped
+// case, the latency trade-off §2.3.3 discusses.
+#ifndef CALLIOPE_SRC_SCHED_DUTY_CYCLE_H_
+#define CALLIOPE_SRC_SCHED_DUTY_CYCLE_H_
+
+#include <vector>
+
+#include "src/hw/params.h"
+#include "src/util/status.h"
+#include "src/util/units.h"
+
+namespace calliope {
+
+// Worst-case time to position and transfer one block: full-stroke seek,
+// full rotation, media transfer gated by the chain, interrupt overhead.
+SimTime WorstCaseSlotTime(const DiskParams& disk, const HbaParams& hba, Bytes block_size);
+
+// Time a stream takes to transmit (consume) one block at its rate.
+inline SimTime BlockDrainTime(Bytes block_size, DataRate rate) {
+  return rate.TransferTime(block_size);
+}
+
+// Slots per cycle for a single disk serving streams of `rate`.
+int SlotsPerCycle(const DiskParams& disk, const HbaParams& hba, Bytes block_size, DataRate rate);
+
+// Per-MSU admission bookkeeping: one slot per active stream on the stream's
+// disk (non-striped) or one slot in the machine-wide cycle (striped).
+class DutyCycleAllocator {
+ public:
+  DutyCycleAllocator(const DiskParams& disk, const HbaParams& hba, Bytes block_size,
+                     int disk_count, bool striped);
+
+  // Capacity per disk at the given per-stream rate.
+  int CapacityPerDisk(DataRate rate) const;
+  // Worst-case delay before a newly-admitted stream's first slot comes up.
+  SimTime WorstCaseStartupDelay(DataRate rate) const;
+
+  bool CanAdmit(int disk, DataRate rate) const;
+  Status Admit(int disk, DataRate rate);
+  void Release(int disk, DataRate rate);
+
+  int active_streams(int disk) const { return per_disk_.at(static_cast<size_t>(disk)); }
+  int total_active() const;
+  bool striped() const { return striped_; }
+  Bytes block_size() const { return block_size_; }
+
+ private:
+  DiskParams disk_params_;
+  HbaParams hba_params_;
+  Bytes block_size_;
+  bool striped_;
+  std::vector<int> per_disk_;
+};
+
+}  // namespace calliope
+
+#endif  // CALLIOPE_SRC_SCHED_DUTY_CYCLE_H_

@@ -1,0 +1,57 @@
+// RAII ownership of a parked coroutine frame. Park sites (event queue,
+// Condition wait lists, Resource queues) hold suspended frames through this
+// wrapper so tearing the site down destroys the frame (and, via Co's promise
+// destructor, its whole caller chain) instead of leaking it.
+#ifndef CALLIOPE_SRC_SIM_OWNED_CORO_H_
+#define CALLIOPE_SRC_SIM_OWNED_CORO_H_
+
+#include <coroutine>
+#include <utility>
+
+namespace calliope {
+
+class OwnedCoro {
+ public:
+  OwnedCoro() = default;
+  explicit OwnedCoro(std::coroutine_handle<> handle) : handle_(handle) {}
+
+  OwnedCoro(OwnedCoro&& other) noexcept : handle_(std::exchange(other.handle_, nullptr)) {}
+  OwnedCoro& operator=(OwnedCoro&& other) noexcept {
+    if (this != &other) {
+      DestroyIfOwned();
+      handle_ = std::exchange(other.handle_, nullptr);
+    }
+    return *this;
+  }
+  OwnedCoro(const OwnedCoro&) = delete;
+  OwnedCoro& operator=(const OwnedCoro&) = delete;
+
+  ~OwnedCoro() { DestroyIfOwned(); }
+
+  // Transfers ownership out and resumes the frame.
+  void Resume() {
+    auto handle = std::exchange(handle_, nullptr);
+    if (handle) {
+      handle.resume();
+    }
+  }
+
+  // Transfers ownership out without resuming.
+  std::coroutine_handle<> Release() { return std::exchange(handle_, nullptr); }
+
+  explicit operator bool() const { return handle_ != nullptr; }
+
+ private:
+  void DestroyIfOwned() {
+    if (handle_) {
+      handle_.destroy();
+      handle_ = nullptr;
+    }
+  }
+
+  std::coroutine_handle<> handle_{nullptr};
+};
+
+}  // namespace calliope
+
+#endif  // CALLIOPE_SRC_SIM_OWNED_CORO_H_

@@ -1,0 +1,97 @@
+#include "src/sim/resource.h"
+
+#include <cassert>
+#include <utility>
+
+namespace calliope {
+
+Resource::Resource(Simulator& sim, std::string name)
+    : sim_(&sim), name_(std::move(name)), stats_epoch_(sim.Now()) {}
+
+void Resource::Submit(SimTime service, UniqueFunction<void()> done) {
+  Enqueue(Request{service, std::move(done), OwnedCoro()});
+}
+
+void Resource::SubmitCoro(SimTime service, std::coroutine_handle<> handle) {
+  Enqueue(Request{service, nullptr, OwnedCoro(handle)});
+}
+
+void Resource::Enqueue(Request request) {
+  assert(request.service >= SimTime());
+  queue_.push_back(std::move(request));
+  if (!busy_) {
+    BeginService();
+  }
+}
+
+void Resource::BeginService() {
+  assert(!busy_ && !queue_.empty());
+  busy_ = true;
+  current_started_ = sim_->Now();
+  Request request = std::move(queue_.front());
+  queue_.pop_front();
+  const SimTime service = request.service;
+  // The closure owns the request; if the simulation is torn down before the
+  // completion event fires, OwnedCoro destroys the waiter's frame chain.
+  sim_->ScheduleAfter(service, [this, request = std::move(request)]() mutable {
+    busy_ = false;
+    busy_accum_ += request.service;
+    ++completed_;
+    if (!queue_.empty()) {
+      BeginService();
+    }
+    if (request.coro) {
+      request.coro.Resume();
+    } else if (request.done) {
+      request.done();
+    }
+  });
+}
+
+SimTime Resource::BusyTime() const {
+  SimTime busy = busy_accum_;
+  if (busy_) {
+    busy += sim_->Now() - current_started_;
+  }
+  return busy;
+}
+
+double Resource::Utilization() const {
+  const SimTime elapsed = sim_->Now() - stats_epoch_;
+  if (elapsed <= SimTime()) {
+    return 0.0;
+  }
+  return BusyTime().seconds() / elapsed.seconds();
+}
+
+void Resource::ResetStats() {
+  busy_accum_ = SimTime();
+  stats_epoch_ = sim_->Now();
+  if (busy_) {
+    current_started_ = sim_->Now();
+  }
+  completed_ = 0;
+}
+
+Semaphore::Semaphore(Simulator& sim, int64_t initial) : sim_(&sim), count_(initial) {}
+
+bool Semaphore::TryAcquire() {
+  if (count_ > 0) {
+    --count_;
+    return true;
+  }
+  return false;
+}
+
+void Semaphore::Release() {
+  if (!waiters_.empty()) {
+    OwnedCoro waiter = std::move(waiters_.front());
+    waiters_.pop_front();
+    // The released permit transfers directly to the waiter; count_ unchanged.
+    sim_->ScheduleResumeAt(sim_->Now(), waiter.Release());
+    return;
+  }
+  ++count_;
+}
+
+}  // namespace calliope

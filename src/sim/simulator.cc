@@ -1,0 +1,85 @@
+#include "src/sim/simulator.h"
+
+#include <cassert>
+
+namespace calliope {
+
+Simulator::~Simulator() {
+  // Destroy parked coroutine frames so abandoned simulations do not leak.
+  // Draining the queue is enough: destroying a frame runs destructors of its
+  // locals, which may own further conditions/frames, recursively.
+  while (!queue_.empty()) {
+    Event event = std::move(const_cast<Event&>(queue_.top()));
+    queue_.pop();
+    if (event.coro) {
+      event.coro.destroy();
+    }
+  }
+}
+
+void Simulator::Push(Event event) {
+  assert(event.at >= now_ && "cannot schedule in the past");
+  queue_.push(std::move(event));
+}
+
+void Simulator::ScheduleAt(SimTime at, UniqueFunction<void()> fn) {
+  Push(Event{at, next_seq_++, std::move(fn), nullptr, nullptr});
+}
+
+EventToken Simulator::ScheduleCancelableAt(SimTime at, UniqueFunction<void()> fn) {
+  auto cancelled = std::make_shared<bool>(false);
+  Push(Event{at, next_seq_++, std::move(fn), nullptr, cancelled});
+  return EventToken(std::move(cancelled));
+}
+
+void Simulator::ScheduleResumeAt(SimTime at, std::coroutine_handle<> handle) {
+  Push(Event{at, next_seq_++, nullptr, handle, nullptr});
+}
+
+void Simulator::Fire(Event& event) {
+  ++events_fired_;
+  if (event.coro) {
+    event.coro.resume();
+    return;
+  }
+  if (event.cancelled != nullptr && *event.cancelled) {
+    return;
+  }
+  event.fn();
+}
+
+bool Simulator::Step() {
+  if (queue_.empty()) {
+    return false;
+  }
+  Event event = std::move(const_cast<Event&>(queue_.top()));
+  queue_.pop();
+  now_ = event.at;
+  Fire(event);
+  return true;
+}
+
+int64_t Simulator::Run() {
+  int64_t fired = 0;
+  while (Step()) {
+    ++fired;
+  }
+  return fired;
+}
+
+int64_t Simulator::RunUntil(SimTime deadline) {
+  int64_t fired = 0;
+  while (!queue_.empty() && queue_.top().at <= deadline) {
+    Event event = std::move(const_cast<Event&>(queue_.top()));
+    queue_.pop();
+    now_ = event.at;
+    Fire(event);
+    ++fired;
+  }
+  if (now_ < deadline) {
+    now_ = deadline;
+  }
+  return fired;
+}
+
+}  // namespace calliope

@@ -1,0 +1,124 @@
+// Deterministic discrete-event simulator.
+//
+// All timing in the reproduction flows through one Simulator: hardware models
+// (disks, NICs, CPU stalls) schedule events, and component logic runs as
+// C++20 coroutine processes awaiting simulated time or conditions (task.h).
+//
+// Determinism: events at equal times fire in scheduling order (a per-event
+// sequence number breaks ties), so a run is a pure function of its inputs and
+// RNG seeds.
+//
+// Coroutine ownership: a suspended process frame is owned by exactly one park
+// site — the event queue (timed waits) or a Condition's wait list. Destroying
+// the Simulator destroys any still-parked frames, so abandoned simulations do
+// not leak.
+#ifndef CALLIOPE_SRC_SIM_SIMULATOR_H_
+#define CALLIOPE_SRC_SIM_SIMULATOR_H_
+
+#include <coroutine>
+#include <cstdint>
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "src/util/unique_function.h"
+#include "src/util/units.h"
+
+namespace calliope {
+
+// Handle for cancelling a scheduled callback. Cancellation is cooperative:
+// the event stays in the queue but becomes a no-op.
+class EventToken {
+ public:
+  EventToken() = default;
+
+  void Cancel() {
+    if (cancelled_) {
+      *cancelled_ = true;
+    }
+  }
+  bool valid() const { return cancelled_ != nullptr; }
+
+ private:
+  friend class Simulator;
+  explicit EventToken(std::shared_ptr<bool> cancelled) : cancelled_(std::move(cancelled)) {}
+  std::shared_ptr<bool> cancelled_;
+};
+
+class Simulator {
+ public:
+  Simulator() = default;
+  ~Simulator();
+
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  SimTime Now() const { return now_; }
+
+  // Schedules `fn` to run at absolute time `at` (>= Now()).
+  void ScheduleAt(SimTime at, UniqueFunction<void()> fn);
+  void ScheduleAfter(SimTime delay, UniqueFunction<void()> fn) {
+    ScheduleAt(now_ + delay, std::move(fn));
+  }
+
+  // As above but cancellable.
+  EventToken ScheduleCancelableAt(SimTime at, UniqueFunction<void()> fn);
+
+  // Schedules a coroutine resume (used by awaiters; not for general code).
+  void ScheduleResumeAt(SimTime at, std::coroutine_handle<> handle);
+
+  // Runs until the event queue is empty. Returns the number of events fired.
+  int64_t Run();
+  // Runs events with time <= deadline; the clock ends at `deadline` even if
+  // the queue drains early.
+  int64_t RunUntil(SimTime deadline);
+  int64_t RunFor(SimTime span) { return RunUntil(now_ + span); }
+  // Runs at most one event; returns false if the queue is empty.
+  bool Step();
+
+  bool Empty() const { return queue_.empty(); }
+  int64_t events_fired() const { return events_fired_; }
+
+  // Awaitable: resumes the awaiting coroutine after `delay` of simulated time.
+  auto Delay(SimTime delay) {
+    struct Awaiter {
+      Simulator* sim;
+      SimTime at;
+      bool await_ready() const noexcept { return false; }
+      void await_suspend(std::coroutine_handle<> handle) { sim->ScheduleResumeAt(at, handle); }
+      void await_resume() const noexcept {}
+    };
+    return Awaiter{this, now_ + delay};
+  }
+
+  // Awaitable: yields to any other events scheduled at the current instant.
+  auto Yield() { return Delay(SimTime()); }
+
+ private:
+  struct Event {
+    SimTime at;
+    uint64_t seq;
+    UniqueFunction<void()> fn;              // exactly one of fn / coro is set
+    std::coroutine_handle<> coro{nullptr};
+    std::shared_ptr<bool> cancelled;       // optional
+
+    bool operator>(const Event& other) const {
+      if (at != other.at) {
+        return at > other.at;
+      }
+      return seq > other.seq;
+    }
+  };
+
+  void Push(Event event);
+  void Fire(Event& event);
+
+  SimTime now_;
+  uint64_t next_seq_ = 0;
+  int64_t events_fired_ = 0;
+  std::priority_queue<Event, std::vector<Event>, std::greater<>> queue_;
+};
+
+}  // namespace calliope
+
+#endif  // CALLIOPE_SRC_SIM_SIMULATOR_H_

@@ -1,0 +1,129 @@
+#include "src/util/histogram.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdio>
+
+namespace calliope {
+
+LatenessHistogram::LatenessHistogram(SimTime bin_width, size_t bin_count)
+    : bin_width_(bin_width), bins_(bin_count, 0) {
+  assert(bin_width.nanos() > 0);
+  assert(bin_count > 0);
+}
+
+void LatenessHistogram::Record(SimTime lateness) {
+  ++total_;
+  max_recorded_ = std::max(max_recorded_, lateness);
+  if (lateness.nanos() > 0) {
+    lateness_sum_ns_ += lateness.nanos();
+  }
+  if (lateness.nanos() < 0) {
+    ++underflow_;
+    return;
+  }
+  const size_t bin = static_cast<size_t>(lateness.nanos() / bin_width_.nanos());
+  if (bin >= bins_.size()) {
+    ++overflow_;
+    return;
+  }
+  ++bins_[bin];
+}
+
+void LatenessHistogram::Merge(const LatenessHistogram& other) {
+  assert(bin_width_ == other.bin_width_ && bins_.size() == other.bins_.size());
+  for (size_t i = 0; i < bins_.size(); ++i) {
+    bins_[i] += other.bins_[i];
+  }
+  underflow_ += other.underflow_;
+  overflow_ += other.overflow_;
+  total_ += other.total_;
+  lateness_sum_ns_ += other.lateness_sum_ns_;
+  max_recorded_ = std::max(max_recorded_, other.max_recorded_);
+}
+
+double LatenessHistogram::FractionWithin(SimTime threshold) const {
+  if (total_ == 0) {
+    return 1.0;
+  }
+  int64_t covered = underflow_;
+  const int64_t last_bin = threshold.nanos() / bin_width_.nanos();
+  for (size_t i = 0; i < bins_.size() && static_cast<int64_t>(i) <= last_bin; ++i) {
+    covered += bins_[i];
+  }
+  return static_cast<double>(covered) / static_cast<double>(total_);
+}
+
+SimTime LatenessHistogram::Quantile(double q) const {
+  if (total_ == 0) {
+    return SimTime();
+  }
+  const auto target = static_cast<int64_t>(q * static_cast<double>(total_));
+  int64_t covered = underflow_;
+  if (covered >= target) {
+    return SimTime();
+  }
+  for (size_t i = 0; i < bins_.size(); ++i) {
+    covered += bins_[i];
+    if (covered >= target) {
+      return bin_width_ * static_cast<int64_t>(i + 1);
+    }
+  }
+  return SimTime::Max();
+}
+
+SimTime LatenessHistogram::MeanLateness() const {
+  if (total_ == 0) {
+    return SimTime();
+  }
+  return SimTime(lateness_sum_ns_ / total_);
+}
+
+std::vector<LatenessHistogram::CdfPoint> LatenessHistogram::CdfSeries(size_t points) const {
+  std::vector<CdfPoint> out;
+  if (total_ == 0 || points == 0) {
+    return out;
+  }
+  // Find the last non-empty bin so the series spans the interesting range.
+  size_t last = 0;
+  for (size_t i = 0; i < bins_.size(); ++i) {
+    if (bins_[i] > 0) {
+      last = i;
+    }
+  }
+  const size_t span = last + 1;
+  const size_t step = std::max<size_t>(1, span / points);
+  int64_t covered = underflow_;
+  for (size_t i = 0; i < span; ++i) {
+    covered += bins_[i];
+    if ((i + 1) % step == 0 || i == span - 1) {
+      out.push_back({bin_width_ * static_cast<int64_t>(i + 1),
+                     100.0 * static_cast<double>(covered) / static_cast<double>(total_)});
+    }
+  }
+  if (overflow_ > 0) {
+    out.push_back({SimTime::Max(), 100.0});
+  }
+  return out;
+}
+
+std::string LatenessHistogram::ToAsciiCdf(const std::string& label, size_t rows) const {
+  std::string out = label + " (n=" + std::to_string(total_) + ")\n";
+  const auto series = CdfSeries(rows);
+  char buf[128];
+  for (const auto& point : series) {
+    const int bar = static_cast<int>(point.cumulative_percent / 2.0);
+    if (point.lateness == SimTime::Max()) {
+      std::snprintf(buf, sizeof(buf), "  >tail  %6.2f%% ", point.cumulative_percent);
+    } else {
+      std::snprintf(buf, sizeof(buf), "  %5lldms %6.2f%% ",
+                    static_cast<long long>(point.lateness.millis()), point.cumulative_percent);
+    }
+    out += buf;
+    out.append(static_cast<size_t>(bar), '#');
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace calliope

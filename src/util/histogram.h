@@ -1,0 +1,65 @@
+// Latency histogram with cumulative-distribution queries.
+//
+// Graphs 1 and 2 in the paper plot "cumulative percent of packets" against
+// "milliseconds late" in one-millisecond bins; LatenessHistogram reproduces
+// exactly that view and also provides quantiles for tests.
+#ifndef CALLIOPE_SRC_UTIL_HISTOGRAM_H_
+#define CALLIOPE_SRC_UTIL_HISTOGRAM_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/util/units.h"
+
+namespace calliope {
+
+class LatenessHistogram {
+ public:
+  // Bins are `bin_width` wide, covering [0, bin_width * bin_count); samples
+  // beyond the last bin land in an overflow bin, samples below zero (early
+  // packets) in an underflow bin.
+  explicit LatenessHistogram(SimTime bin_width = SimTime::Millis(1), size_t bin_count = 1000);
+
+  void Record(SimTime lateness);
+  void Merge(const LatenessHistogram& other);
+
+  int64_t total_count() const { return total_; }
+  int64_t overflow_count() const { return overflow_; }
+  int64_t underflow_count() const { return underflow_; }
+
+  // Fraction (0..1) of samples with lateness <= threshold. Early samples
+  // count as on time, matching the paper's metric.
+  double FractionWithin(SimTime threshold) const;
+
+  // Smallest lateness L such that FractionWithin(L) >= q. Returns the upper
+  // edge of the containing bin; SimTime::Max() if q falls in overflow.
+  SimTime Quantile(double q) const;
+
+  SimTime MaxRecorded() const { return max_recorded_; }
+  SimTime MeanLateness() const;
+
+  // Rows of (upper bin edge, cumulative percent), thinned to `points` rows,
+  // for plotting the paper's cumulative distribution curves.
+  struct CdfPoint {
+    SimTime lateness;
+    double cumulative_percent;
+  };
+  std::vector<CdfPoint> CdfSeries(size_t points = 60) const;
+
+  // Compact ASCII rendering of the CDF for bench output.
+  std::string ToAsciiCdf(const std::string& label, size_t rows = 16) const;
+
+ private:
+  SimTime bin_width_;
+  std::vector<int64_t> bins_;
+  int64_t underflow_ = 0;
+  int64_t overflow_ = 0;
+  int64_t total_ = 0;
+  int64_t lateness_sum_ns_ = 0;  // clamped-at-zero sum for mean
+  SimTime max_recorded_ = SimTime::Nanos(INT64_MIN);
+};
+
+}  // namespace calliope
+
+#endif  // CALLIOPE_SRC_UTIL_HISTOGRAM_H_

@@ -1,0 +1,70 @@
+#include "src/util/logging.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace calliope {
+
+namespace {
+
+LogLevel InitialLevel() {
+  const char* env = std::getenv("CALLIOPE_LOG_LEVEL");
+  if (env == nullptr) {
+    return LogLevel::kOff;
+  }
+  if (std::strcmp(env, "trace") == 0) {
+    return LogLevel::kTrace;
+  }
+  if (std::strcmp(env, "debug") == 0) {
+    return LogLevel::kDebug;
+  }
+  if (std::strcmp(env, "info") == 0) {
+    return LogLevel::kInfo;
+  }
+  if (std::strcmp(env, "warning") == 0) {
+    return LogLevel::kWarning;
+  }
+  if (std::strcmp(env, "error") == 0) {
+    return LogLevel::kError;
+  }
+  return LogLevel::kOff;
+}
+
+LogLevel& CurrentLevel() {
+  static LogLevel level = InitialLevel();
+  return level;
+}
+
+const char* LevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kTrace:
+      return "T";
+    case LogLevel::kDebug:
+      return "D";
+    case LogLevel::kInfo:
+      return "I";
+    case LogLevel::kWarning:
+      return "W";
+    case LogLevel::kError:
+      return "E";
+    case LogLevel::kOff:
+      return "?";
+  }
+  return "?";
+}
+
+}  // namespace
+
+void SetLogLevel(LogLevel level) { CurrentLevel() = level; }
+
+LogLevel GetLogLevel() { return CurrentLevel(); }
+
+bool LogEnabled(LogLevel level) { return level >= CurrentLevel() && CurrentLevel() != LogLevel::kOff; }
+
+void LogLine(LogLevel level, std::string_view component, std::string_view message) {
+  std::fprintf(stderr, "[%s %.*s] %.*s\n", LevelName(level), static_cast<int>(component.size()),
+               component.data(), static_cast<int>(message.size()), message.data());
+}
+
+}  // namespace calliope

@@ -1,0 +1,45 @@
+// Minimal leveled logging. Off by default so benchmarks and tests stay quiet;
+// set CALLIOPE_LOG_LEVEL or call SetLogLevel for diagnostics.
+#ifndef CALLIOPE_SRC_UTIL_LOGGING_H_
+#define CALLIOPE_SRC_UTIL_LOGGING_H_
+
+#include <sstream>
+#include <string_view>
+
+namespace calliope {
+
+enum class LogLevel { kTrace = 0, kDebug, kInfo, kWarning, kError, kOff };
+
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+bool LogEnabled(LogLevel level);
+
+// Internal: emits one formatted line to stderr.
+void LogLine(LogLevel level, std::string_view component, std::string_view message);
+
+// Stream-style log statement; evaluates the stream only when enabled.
+#define CALLIOPE_LOG(level, component)                                    \
+  for (bool log_once = ::calliope::LogEnabled(::calliope::LogLevel::level); log_once; \
+       log_once = false)                                                  \
+  ::calliope::LogStream(::calliope::LogLevel::level, component)
+
+class LogStream {
+ public:
+  LogStream(LogLevel level, std::string_view component) : level_(level), component_(component) {}
+  ~LogStream() { LogLine(level_, component_, stream_.str()); }
+
+  template <typename T>
+  LogStream& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::string_view component_;
+  std::ostringstream stream_;
+};
+
+}  // namespace calliope
+
+#endif  // CALLIOPE_SRC_UTIL_LOGGING_H_

@@ -1,0 +1,73 @@
+// Deterministic pseudo-random number generation for simulations.
+//
+// xoshiro256++ core with convenience distributions. Every stochastic model in
+// the system draws from an Rng seeded from the experiment configuration, so a
+// given seed reproduces a run exactly.
+#ifndef CALLIOPE_SRC_UTIL_RNG_H_
+#define CALLIOPE_SRC_UTIL_RNG_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace calliope {
+
+class Rng {
+ public:
+  explicit Rng(uint64_t seed);
+
+  // Uniform over [0, 2^64).
+  uint64_t NextU64();
+
+  // Uniform over [0, bound). bound must be > 0.
+  uint64_t NextBelow(uint64_t bound);
+
+  // Uniform over [lo, hi] inclusive.
+  int64_t NextInRange(int64_t lo, int64_t hi);
+
+  // Uniform over [0, 1).
+  double NextDouble();
+
+  // Exponential with the given mean (> 0).
+  double NextExponential(double mean);
+
+  // Normal via Box-Muller.
+  double NextNormal(double mean, double stddev);
+
+  // True with probability p.
+  bool NextBernoulli(double p);
+
+  // Fork a statistically-independent child stream (for per-component RNGs).
+  Rng Fork();
+
+  // In-place Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>& items) {
+    for (size_t i = items.size(); i > 1; --i) {
+      size_t j = static_cast<size_t>(NextBelow(i));
+      using std::swap;
+      swap(items[i - 1], items[j]);
+    }
+  }
+
+ private:
+  uint64_t state_[4];
+};
+
+// Zipf-distributed ranks in [0, n): rank 0 is most popular. Used to model
+// skewed content popularity in the striping ablation.
+class ZipfDistribution {
+ public:
+  ZipfDistribution(size_t n, double skew);
+
+  size_t Sample(Rng& rng) const;
+  size_t size() const { return cdf_.size(); }
+
+ private:
+  std::vector<double> cdf_;
+};
+
+}  // namespace calliope
+
+#endif  // CALLIOPE_SRC_UTIL_RNG_H_

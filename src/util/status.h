@@ -1,0 +1,167 @@
+// Status and Result<T>: exception-free error propagation for library APIs.
+//
+// Modeled after absl::Status / absl::StatusOr but self-contained. Library code
+// returns Status (or Result<T>) instead of throwing; callers are expected to
+// check `ok()` before using a Result's value.
+#ifndef CALLIOPE_SRC_UTIL_STATUS_H_
+#define CALLIOPE_SRC_UTIL_STATUS_H_
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <variant>
+
+namespace calliope {
+
+enum class StatusCode {
+  kOk = 0,
+  kNotFound,          // named entity (content, port, MSU, file) does not exist
+  kAlreadyExists,     // duplicate name / id
+  kInvalidArgument,   // malformed request
+  kPermissionDenied,  // customer lacks rights for the operation
+  kResourceExhausted, // no bandwidth / disk space / slots available
+  kFailedPrecondition,// operation illegal in current state (e.g. seek while recording)
+  kUnavailable,       // peer down / connection broken; retry may succeed
+  kDeadlineExceeded,  // timed out
+  kDataLoss,          // corrupt on-disk structure (bad page checksum etc.)
+  kInternal,          // invariant violation
+  kUnimplemented,
+};
+
+std::string_view StatusCodeName(StatusCode code);
+
+class [[nodiscard]] Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message) : code_(code), message_(std::move(message)) {
+    assert(code != StatusCode::kOk && "use OkStatus() for success");
+  }
+
+  static Status Ok() { return Status(); }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  // Human-readable "CODE: message" rendering for logs and test failures.
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+inline Status OkStatus() { return Status::Ok(); }
+
+Status NotFoundError(std::string message);
+Status AlreadyExistsError(std::string message);
+Status InvalidArgumentError(std::string message);
+Status PermissionDeniedError(std::string message);
+Status ResourceExhaustedError(std::string message);
+Status FailedPreconditionError(std::string message);
+Status UnavailableError(std::string message);
+Status DeadlineExceededError(std::string message);
+Status DataLossError(std::string message);
+Status InternalError(std::string message);
+Status UnimplementedError(std::string message);
+
+// Result<T> holds either a value or a non-OK Status.
+template <typename T>
+class [[nodiscard]] Result {
+ public:
+  Result(T value) : data_(std::move(value)) {}  // NOLINT(google-explicit-constructor)
+  Result(Status status) : data_(std::move(status)) {  // NOLINT(google-explicit-constructor)
+    assert(!std::get<Status>(data_).ok() && "Result must not hold an OK status");
+  }
+
+  bool ok() const { return std::holds_alternative<T>(data_); }
+
+  Status status() const {
+    if (ok()) {
+      return OkStatus();
+    }
+    return std::get<Status>(data_);
+  }
+
+  const T& value() const& {
+    assert(ok());
+    return std::get<T>(data_);
+  }
+  T& value() & {
+    assert(ok());
+    return std::get<T>(data_);
+  }
+  T&& value() && {
+    assert(ok());
+    return std::get<T>(std::move(data_));
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  T value_or(T fallback) const {
+    if (ok()) {
+      return value();
+    }
+    return fallback;
+  }
+
+ private:
+  std::variant<T, Status> data_;
+};
+
+// RETURN_IF_ERROR(expr): early-return a non-OK Status from a Status-returning
+// function. Single-evaluation.
+#define CALLIOPE_RETURN_IF_ERROR(expr)            \
+  do {                                            \
+    ::calliope::Status status_macro_tmp = (expr); \
+    if (!status_macro_tmp.ok()) {                 \
+      return status_macro_tmp;                    \
+    }                                             \
+  } while (0)
+
+// ASSIGN_OR_RETURN(lhs, expr): evaluate a Result-returning expr; on error,
+// propagate the status; otherwise move the value into lhs.
+#define CALLIOPE_ASSIGN_OR_RETURN(lhs, expr)                       \
+  CALLIOPE_ASSIGN_OR_RETURN_IMPL_(                                 \
+      CALLIOPE_STATUS_CONCAT_(result_macro_tmp, __LINE__), lhs, expr)
+#define CALLIOPE_STATUS_CONCAT_INNER_(a, b) a##b
+#define CALLIOPE_STATUS_CONCAT_(a, b) CALLIOPE_STATUS_CONCAT_INNER_(a, b)
+#define CALLIOPE_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, expr) \
+  auto tmp = (expr);                                    \
+  if (!tmp.ok()) {                                      \
+    return tmp.status();                                \
+  }                                                     \
+  lhs = std::move(tmp).value()
+
+// Coroutine variants: co_return the failing status from a Co<Status> /
+// Co<Result<T>> coroutine body.
+#define CALLIOPE_CO_RETURN_IF_ERROR(expr)         \
+  do {                                            \
+    ::calliope::Status status_macro_tmp = (expr); \
+    if (!status_macro_tmp.ok()) {                 \
+      co_return status_macro_tmp;                 \
+    }                                             \
+  } while (0)
+
+#define CALLIOPE_CO_ASSIGN_OR_RETURN(lhs, expr)                    \
+  CALLIOPE_CO_ASSIGN_OR_RETURN_IMPL_(                              \
+      CALLIOPE_STATUS_CONCAT_(result_macro_tmp, __LINE__), lhs, expr)
+#define CALLIOPE_CO_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, expr) \
+  auto tmp = (expr);                                       \
+  if (!tmp.ok()) {                                         \
+    co_return tmp.status();                                \
+  }                                                        \
+  lhs = std::move(tmp).value()
+
+}  // namespace calliope
+
+#endif  // CALLIOPE_SRC_UTIL_STATUS_H_

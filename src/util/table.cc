@@ -1,0 +1,64 @@
+#include "src/util/table.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace calliope {
+
+AsciiTable::AsciiTable(std::vector<std::string> headers) : headers_(std::move(headers)) {}
+
+void AsciiTable::AddRow(std::vector<std::string> cells) {
+  cells.resize(headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+void AsciiTable::AddRow(const std::string& label, const std::vector<double>& values,
+                        int precision) {
+  std::vector<std::string> cells;
+  cells.push_back(label);
+  char buf[64];
+  for (double v : values) {
+    if (std::isnan(v)) {
+      cells.emplace_back("");
+    } else {
+      std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+      cells.emplace_back(buf);
+    }
+  }
+  AddRow(std::move(cells));
+}
+
+std::string AsciiTable::Render() const {
+  std::vector<size_t> widths(headers_.size());
+  for (size_t i = 0; i < headers_.size(); ++i) {
+    widths[i] = headers_[i].size();
+  }
+  for (const auto& row : rows_) {
+    for (size_t i = 0; i < row.size(); ++i) {
+      widths[i] = std::max(widths[i], row[i].size());
+    }
+  }
+  auto render_row = [&](const std::vector<std::string>& row) {
+    std::string line = "|";
+    for (size_t i = 0; i < headers_.size(); ++i) {
+      const std::string& cell = i < row.size() ? row[i] : std::string();
+      line += " " + cell + std::string(widths[i] - cell.size(), ' ') + " |";
+    }
+    return line + "\n";
+  };
+  std::string sep = "+";
+  for (size_t w : widths) {
+    sep += std::string(w + 2, '-') + "+";
+  }
+  sep += "\n";
+
+  std::string out = sep + render_row(headers_) + sep;
+  for (const auto& row : rows_) {
+    out += render_row(row);
+  }
+  out += sep;
+  return out;
+}
+
+}  // namespace calliope

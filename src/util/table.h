@@ -1,0 +1,28 @@
+// ASCII table rendering for benchmark output. The Table 1 / scalability
+// benches print paper-style rows with this.
+#ifndef CALLIOPE_SRC_UTIL_TABLE_H_
+#define CALLIOPE_SRC_UTIL_TABLE_H_
+
+#include <string>
+#include <vector>
+
+namespace calliope {
+
+class AsciiTable {
+ public:
+  explicit AsciiTable(std::vector<std::string> headers);
+
+  void AddRow(std::vector<std::string> cells);
+  // Convenience: formats doubles with the given precision; empty cells for NaN.
+  void AddRow(const std::string& label, const std::vector<double>& values, int precision = 1);
+
+  std::string Render() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace calliope
+
+#endif  // CALLIOPE_SRC_UTIL_TABLE_H_

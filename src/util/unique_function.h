@@ -1,0 +1,54 @@
+// Move-only type-erased callable (std::move_only_function is C++23; this is
+// the minimal C++20 equivalent). Used by the simulator's event queue so
+// closures can own resources (notably coroutine handles) that must be
+// destroyed if the event never fires.
+#ifndef CALLIOPE_SRC_UTIL_UNIQUE_FUNCTION_H_
+#define CALLIOPE_SRC_UTIL_UNIQUE_FUNCTION_H_
+
+#include <memory>
+#include <type_traits>
+#include <utility>
+
+namespace calliope {
+
+template <typename Signature>
+class UniqueFunction;
+
+template <typename R, typename... Args>
+class UniqueFunction<R(Args...)> {
+ public:
+  UniqueFunction() = default;
+  UniqueFunction(std::nullptr_t) {}  // NOLINT(google-explicit-constructor)
+
+  template <typename F,
+            typename = std::enable_if_t<!std::is_same_v<std::decay_t<F>, UniqueFunction>>>
+  UniqueFunction(F&& f)  // NOLINT(google-explicit-constructor)
+      : impl_(std::make_unique<Impl<std::decay_t<F>>>(std::forward<F>(f))) {}
+
+  UniqueFunction(UniqueFunction&&) noexcept = default;
+  UniqueFunction& operator=(UniqueFunction&&) noexcept = default;
+  UniqueFunction(const UniqueFunction&) = delete;
+  UniqueFunction& operator=(const UniqueFunction&) = delete;
+
+  R operator()(Args... args) { return impl_->Call(std::forward<Args>(args)...); }
+
+  explicit operator bool() const { return impl_ != nullptr; }
+
+ private:
+  struct Base {
+    virtual ~Base() = default;
+    virtual R Call(Args... args) = 0;
+  };
+  template <typename F>
+  struct Impl final : Base {
+    explicit Impl(F f) : fn(std::move(f)) {}
+    R Call(Args... args) override { return fn(std::forward<Args>(args)...); }
+    F fn;
+  };
+
+  std::unique_ptr<Base> impl_;
+};
+
+}  // namespace calliope
+
+#endif  // CALLIOPE_SRC_UTIL_UNIQUE_FUNCTION_H_

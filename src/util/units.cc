@@ -1,0 +1,53 @@
+#include "src/util/units.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace calliope {
+
+namespace {
+
+std::string FormatDouble(double v, const char* suffix) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.3g%s", v, suffix);
+  return buf;
+}
+
+}  // namespace
+
+std::string SimTime::ToString() const {
+  const int64_t abs_ns = ns_ < 0 ? -ns_ : ns_;
+  if (abs_ns < 1000) {
+    return FormatDouble(static_cast<double>(ns_), "ns");
+  }
+  if (abs_ns < 1000000) {
+    return FormatDouble(static_cast<double>(ns_) / 1e3, "us");
+  }
+  if (abs_ns < 1000000000) {
+    return FormatDouble(static_cast<double>(ns_) / 1e6, "ms");
+  }
+  return FormatDouble(static_cast<double>(ns_) / 1e9, "s");
+}
+
+std::string Bytes::ToString() const {
+  const int64_t abs_n = n_ < 0 ? -n_ : n_;
+  if (abs_n < 1024) {
+    return FormatDouble(static_cast<double>(n_), "B");
+  }
+  if (abs_n < 1024 * 1024) {
+    return FormatDouble(static_cast<double>(n_) / 1024.0, "KiB");
+  }
+  if (abs_n < 1024LL * 1024 * 1024) {
+    return FormatDouble(static_cast<double>(n_) / (1024.0 * 1024.0), "MiB");
+  }
+  return FormatDouble(static_cast<double>(n_) / (1024.0 * 1024.0 * 1024.0), "GiB");
+}
+
+std::string DataRate::ToString() const {
+  if (bits_per_sec_ < 1000000) {
+    return FormatDouble(static_cast<double>(bits_per_sec_) / 1e3, "Kbit/s");
+  }
+  return FormatDouble(static_cast<double>(bits_per_sec_) / 1e6, "Mbit/s");
+}
+
+}  // namespace calliope

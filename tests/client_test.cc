@@ -1,0 +1,118 @@
+// Tests for the client library pieces: the playout buffer model and network
+// fault injection effects on delivery statistics.
+#include <gtest/gtest.h>
+
+#include "src/calliope/calliope.h"
+#include "src/client/playout_buffer.h"
+#include "tests/test_util.h"
+
+namespace calliope {
+namespace {
+
+TEST(PlayoutBufferTest, OnTimeStreamPlaysCleanly) {
+  PlayoutBuffer buffer(Bytes::KiB(200), SimTime::Millis(500));
+  // Packets arrive exactly on their media schedule.
+  for (int i = 0; i < 100; ++i) {
+    buffer.OnArrival(SimTime::Millis(20 * i), SimTime::Millis(20 * i), Bytes(4096));
+  }
+  EXPECT_EQ(buffer.packets(), 100);
+  EXPECT_EQ(buffer.glitches(), 0);
+  EXPECT_EQ(buffer.overflow_drops(), 0);
+  // Steady occupancy ~ prebuffer worth of data: 500 ms / 20 ms * 4 KB.
+  EXPECT_NEAR(static_cast<double>(buffer.max_occupancy().count()), 25 * 4096, 2 * 4096);
+}
+
+TEST(PlayoutBufferTest, LatePacketIsGlitch) {
+  PlayoutBuffer buffer(Bytes::KiB(200), SimTime::Millis(100));
+  buffer.OnArrival(SimTime::Millis(0), SimTime::Millis(0), Bytes(1000));
+  // Media time 20 ms plays at wall 120 ms; arriving at 500 ms is too late.
+  buffer.OnArrival(SimTime::Millis(500), SimTime::Millis(20), Bytes(1000));
+  EXPECT_EQ(buffer.glitches(), 1);
+  // But a packet for much later media time is still fine.
+  buffer.OnArrival(SimTime::Millis(510), SimTime::Millis(600), Bytes(1000));
+  EXPECT_EQ(buffer.glitches(), 1);
+}
+
+TEST(PlayoutBufferTest, EarlyBurstOverflows) {
+  PlayoutBuffer buffer(Bytes(10000), SimTime::Millis(10));
+  // The first packet anchors the playout clock...
+  buffer.OnArrival(SimTime::Millis(0), SimTime::Millis(0), Bytes(1000));
+  // ...then a burst for much-later media time lands all at once: only the
+  // first ~9 KB fit, the rest is discarded ("data that arrives too early
+  // will overflow the buffer").
+  for (int i = 0; i < 20; ++i) {
+    buffer.OnArrival(SimTime::Millis(5), SimTime::Millis(1000 + i), Bytes(1000));
+  }
+  EXPECT_GT(buffer.overflow_drops(), 5);
+  EXPECT_LE(buffer.max_occupancy().count(), 10000);
+}
+
+TEST(PlayoutBufferTest, ResetStartsNewEpoch) {
+  PlayoutBuffer buffer(Bytes::KiB(100), SimTime::Millis(100));
+  buffer.OnArrival(SimTime::Millis(0), SimTime::Millis(0), Bytes(1000));
+  buffer.Reset();
+  // After a seek the media clock restarts at a new origin without glitches.
+  buffer.OnArrival(SimTime::Seconds(10), SimTime::Seconds(300), Bytes(1000));
+  buffer.OnArrival(SimTime::Seconds(10) + SimTime::Millis(20),
+                   SimTime::Seconds(300) + SimTime::Millis(20), Bytes(1000));
+  EXPECT_EQ(buffer.glitches(), 0);
+}
+
+TEST(PlayoutBufferTest, ForStreamHalfFillRule) {
+  const PlayoutBuffer buffer = PlayoutBuffer::ForStream(Bytes::KiB(200), DataRate::MegabitsPerSec(1.5));
+  EXPECT_NEAR(buffer.prebuffer().seconds(), 0.546, 0.01);
+}
+
+TEST(FaultInjectionTest, UdpLossDropsMediaButControlSurvives) {
+  InstallationConfig config;
+  config.network.udp_loss_rate = 0.10;
+  Installation calliope(config);
+  ASSERT_TRUE(calliope.Boot().ok());  // TCP control is unaffected by UDP loss
+  ASSERT_TRUE(calliope.LoadMpegMovie("movie", SimTime::Seconds(60), 0, false).ok());
+
+  CalliopeClient& client = calliope.AddClient("c");
+  CoResult<Status> connected;
+  Collect(client.Connect("bob", "bob-key"), &connected);
+  RunUntil(calliope.sim(), [&] { return connected.done(); }, SimTime::Seconds(5));
+  CoResult<Result<ClientDisplayPort*>> port;
+  Collect(client.RegisterPort("tv", "mpeg1"), &port);
+  RunUntil(calliope.sim(), [&] { return port.done(); }, SimTime::Seconds(5));
+  CoResult<Result<CalliopeClient::StartResult>> play;
+  Collect(client.Play("movie", "tv"), &play);
+  ASSERT_TRUE(RunUntil(calliope.sim(), [&] { return play.done(); }, SimTime::Seconds(5)));
+  ASSERT_TRUE(play.value->ok());
+  calliope.sim().RunFor(SimTime::Seconds(20));
+
+  const int64_t sent = calliope.msu(0).AggregateLateness().total_count();
+  const int64_t received = client.FindPort("tv")->packets_received();
+  EXPECT_GT(calliope.network().udp_dropped(), 0);
+  EXPECT_NEAR(static_cast<double>(received) / static_cast<double>(sent), 0.90, 0.04);
+}
+
+TEST(FaultInjectionTest, NetworkJitterShowsUpInArrivalLateness) {
+  auto max_lateness = [](SimTime jitter) {
+    InstallationConfig config;
+    config.network.udp_jitter_max = jitter;
+    Installation calliope(config);
+    EXPECT_TRUE(calliope.Boot().ok());
+    EXPECT_TRUE(calliope.LoadMpegMovie("movie", SimTime::Seconds(30), 0, false).ok());
+    CalliopeClient& client = calliope.AddClient("c");
+    CoResult<Status> connected;
+    Collect(client.Connect("bob", "bob-key"), &connected);
+    RunUntil(calliope.sim(), [&] { return connected.done(); }, SimTime::Seconds(5));
+    CoResult<Result<ClientDisplayPort*>> port;
+    Collect(client.RegisterPort("tv", "mpeg1"), &port);
+    RunUntil(calliope.sim(), [&] { return port.done(); }, SimTime::Seconds(5));
+    CoResult<Result<CalliopeClient::StartResult>> play;
+    Collect(client.Play("movie", "tv"), &play);
+    RunUntil(calliope.sim(), [&] { return play.done(); }, SimTime::Seconds(5));
+    calliope.sim().RunFor(SimTime::Seconds(10));
+    return client.FindPort("tv")->arrival_lateness().MaxRecorded();
+  };
+  const SimTime clean = max_lateness(SimTime());
+  const SimTime jittery = max_lateness(SimTime::Millis(300));
+  EXPECT_GT(jittery, clean + SimTime::Millis(100));
+}
+
+}  // namespace
+}  // namespace calliope

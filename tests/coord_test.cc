@@ -1,0 +1,268 @@
+// Unit tests for the Coordinator's database and scheduling logic (§2.2).
+#include <gtest/gtest.h>
+
+#include "src/calliope/calliope.h"
+#include "tests/test_util.h"
+
+namespace calliope {
+namespace {
+
+TEST(CatalogTest, StandardTypesPresent) {
+  Catalog catalog = Catalog::WithStandardTypes();
+  ASSERT_TRUE(catalog.FindType("mpeg1").ok());
+  ASSERT_TRUE(catalog.FindType("rtp-video").ok());
+  ASSERT_TRUE(catalog.FindType("vat-audio").ok());
+  auto seminar = catalog.FindType("seminar");
+  ASSERT_TRUE(seminar.ok());
+  EXPECT_TRUE((*seminar)->is_composite());
+  EXPECT_EQ((*seminar)->components, (std::vector<std::string>{"rtp-video", "vat-audio"}));
+  EXPECT_EQ(catalog.FindType("h264").status().code(), StatusCode::kNotFound);
+}
+
+TEST(CatalogTest, CompositeTypesMustReferenceAtomicTypes) {
+  Catalog catalog = Catalog::WithStandardTypes();
+  ContentType bad;
+  bad.name = "super";
+  bad.components = {"seminar"};  // composite of composite: rejected
+  EXPECT_EQ(catalog.AddType(std::move(bad)).code(), StatusCode::kInvalidArgument);
+  ContentType unknown;
+  unknown.name = "mystery";
+  unknown.components = {"nope"};
+  EXPECT_EQ(catalog.AddType(std::move(unknown)).code(), StatusCode::kNotFound);
+}
+
+TEST(CatalogTest, SeparateBandwidthAndStorageRates) {
+  // §2.2: "the content type table contains separate rates for disk space and
+  // bandwidth consumption" — VBR types reserve more than they store.
+  Catalog catalog = Catalog::WithStandardTypes();
+  auto rtp = catalog.FindType("rtp-video");
+  ASSERT_TRUE(rtp.ok());
+  EXPECT_GT((*rtp)->bandwidth_rate, (*rtp)->storage_rate);
+  auto mpeg = catalog.FindType("mpeg1");
+  ASSERT_TRUE(mpeg.ok());
+  EXPECT_EQ((*mpeg)->bandwidth_rate, (*mpeg)->storage_rate);  // CBR: equal
+}
+
+TEST(CatalogTest, CustomerAuthentication) {
+  Catalog catalog;
+  ASSERT_TRUE(catalog.AddCustomer(Customer{"eve", "secret", false}).ok());
+  EXPECT_TRUE(catalog.Authenticate("eve", "secret").ok());
+  EXPECT_EQ(catalog.Authenticate("eve", "wrong").status().code(),
+            StatusCode::kPermissionDenied);
+  EXPECT_EQ(catalog.Authenticate("mallory", "x").status().code(),
+            StatusCode::kPermissionDenied);
+  EXPECT_EQ(catalog.AddCustomer(Customer{"eve", "other", false}).code(),
+            StatusCode::kAlreadyExists);
+}
+
+TEST(CoordinatorTest, RejectsBadCredentialsAndUnknownContent) {
+  Installation calliope;
+  ASSERT_TRUE(calliope.Boot().ok());
+  CalliopeClient& client = calliope.AddClient("c");
+
+  CoResult<Status> bad_connect;
+  Collect(client.Connect("bob", "wrong-key"), &bad_connect);
+  ASSERT_TRUE(RunUntil(calliope.sim(), [&] { return bad_connect.done(); }, SimTime::Seconds(5)));
+  EXPECT_EQ(bad_connect.value->code(), StatusCode::kPermissionDenied);
+
+  CoResult<Status> good_connect;
+  Collect(client.Connect("bob", "bob-key"), &good_connect);
+  ASSERT_TRUE(RunUntil(calliope.sim(), [&] { return good_connect.done(); }, SimTime::Seconds(5)));
+  ASSERT_TRUE(good_connect.value->ok());
+
+  CoResult<Result<ClientDisplayPort*>> port;
+  Collect(client.RegisterPort("tv", "mpeg1"), &port);
+  RunUntil(calliope.sim(), [&] { return port.done(); }, SimTime::Seconds(5));
+
+  CoResult<Result<CalliopeClient::StartResult>> play;
+  Collect(client.Play("no-such-movie", "tv"), &play);
+  ASSERT_TRUE(RunUntil(calliope.sim(), [&] { return play.done(); }, SimTime::Seconds(5)));
+  EXPECT_FALSE(play.value->ok());
+}
+
+TEST(CoordinatorTest, TypeMismatchBetweenPortAndContentRejected) {
+  Installation calliope;
+  ASSERT_TRUE(calliope.Boot().ok());
+  ASSERT_TRUE(calliope.LoadMpegMovie("movie", SimTime::Seconds(10), 0, false).ok());
+  CalliopeClient& client = calliope.AddClient("c");
+  CoResult<Status> connected;
+  Collect(client.Connect("bob", "bob-key"), &connected);
+  RunUntil(calliope.sim(), [&] { return connected.done(); }, SimTime::Seconds(5));
+  CoResult<Result<ClientDisplayPort*>> port;
+  Collect(client.RegisterPort("audio-port", "vat-audio"), &port);
+  RunUntil(calliope.sim(), [&] { return port.done(); }, SimTime::Seconds(5));
+
+  // "Calliope checks that the port and the content have the same type."
+  CoResult<Result<CalliopeClient::StartResult>> play;
+  Collect(client.Play("movie", "audio-port"), &play);
+  ASSERT_TRUE(RunUntil(calliope.sim(), [&] { return play.done(); }, SimTime::Seconds(5)));
+  EXPECT_FALSE(play.value->ok());
+}
+
+TEST(CoordinatorTest, RecordingRequiresLengthEstimate) {
+  Installation calliope;
+  ASSERT_TRUE(calliope.Boot().ok());
+  CalliopeClient& client = calliope.AddClient("c");
+  CoResult<Status> connected;
+  Collect(client.Connect("bob", "bob-key"), &connected);
+  RunUntil(calliope.sim(), [&] { return connected.done(); }, SimTime::Seconds(5));
+  CoResult<Result<ClientDisplayPort*>> port;
+  Collect(client.RegisterPort("cam", "rtp-video"), &port);
+  RunUntil(calliope.sim(), [&] { return port.done(); }, SimTime::Seconds(5));
+
+  CoResult<Result<CalliopeClient::StartResult>> record;
+  Collect(client.Record("clip", "rtp-video", "cam", SimTime()), &record);
+  ASSERT_TRUE(RunUntil(calliope.sim(), [&] { return record.done(); }, SimTime::Seconds(5)));
+  EXPECT_FALSE(record.value->ok());
+}
+
+TEST(CoordinatorTest, RecordingDebitsSpaceByStorageRateAndRefundsOverestimate) {
+  Installation calliope;
+  ASSERT_TRUE(calliope.Boot().ok());
+  CalliopeClient& client = calliope.AddClient("c");
+  CoResult<Status> connected;
+  Collect(client.Connect("bob", "bob-key"), &connected);
+  RunUntil(calliope.sim(), [&] { return connected.done(); }, SimTime::Seconds(5));
+  CoResult<Result<ClientDisplayPort*>> port;
+  Collect(client.RegisterPort("cam", "rtp-video"), &port);
+  RunUntil(calliope.sim(), [&] { return port.done(); }, SimTime::Seconds(5));
+
+  const Bytes before = calliope.coordinator().MsuFreeSpace("msu0");
+  CoResult<Result<CalliopeClient::StartResult>> record;
+  Collect(client.Record("clip", "rtp-video", "cam", SimTime::Seconds(100)), &record);
+  ASSERT_TRUE(RunUntil(calliope.sim(), [&] { return record.done(); }, SimTime::Seconds(5)));
+  ASSERT_TRUE(record.value->ok());
+
+  // Debit = storage_rate * estimate (700 Kbit/s * 100 s = 8.75 MB).
+  const Bytes debit = before - calliope.coordinator().MsuFreeSpace("msu0");
+  const Bytes expected =
+      calliope.coordinator().catalog().FindType("rtp-video").value()->storage_rate.BytesIn(
+          SimTime::Seconds(100));
+  EXPECT_EQ(debit.count(), expected.count());
+
+  // Record only ~4 seconds, quit, and most of the estimate comes back.
+  const PacketSequence packets = GenerateVbr(Graph2File(0), SimTime::Seconds(4));
+  CoResult<Result<int64_t>> sent;
+  Collect(client.SendRecording((*record.value)->group, 0, packets), &sent);
+  ASSERT_TRUE(RunUntil(calliope.sim(), [&] { return sent.done(); }, SimTime::Seconds(20)));
+  CoResult<Status> quit;
+  Collect(client.Quit((*record.value)->group), &quit);
+  ASSERT_TRUE(RunUntil(calliope.sim(), [&] { return quit.done(); }, SimTime::Seconds(10)));
+  const Bytes after = calliope.coordinator().MsuFreeSpace("msu0");
+  EXPECT_GT(after.count(), before.count() - expected.count() / 4);
+  EXPECT_LT(after.count(), before.count());  // the real recording stays charged
+}
+
+TEST(CoordinatorTest, SessionDropDeallocatesPorts) {
+  Installation calliope;
+  ASSERT_TRUE(calliope.Boot().ok());
+  ASSERT_TRUE(calliope.LoadMpegMovie("movie", SimTime::Seconds(10), 0, false).ok());
+  CalliopeClient& client = calliope.AddClient("c");
+  CoResult<Status> connected;
+  Collect(client.Connect("bob", "bob-key"), &connected);
+  RunUntil(calliope.sim(), [&] { return connected.done(); }, SimTime::Seconds(5));
+  CoResult<Result<ClientDisplayPort*>> port;
+  Collect(client.RegisterPort("tv", "mpeg1"), &port);
+  ASSERT_TRUE(RunUntil(calliope.sim(), [&] { return port.done(); }, SimTime::Seconds(5)));
+  const SessionId session = client.session();
+
+  // "When this session is dropped, the Coordinator deallocates its local
+  // representation of the ports": a play against the dead session fails.
+  client.Disconnect();
+  calliope.sim().RunFor(SimTime::Seconds(1));
+
+  CoResult<Status> reconnect;
+  Collect(client.Connect("bob", "bob-key"), &reconnect);
+  ASSERT_TRUE(RunUntil(calliope.sim(), [&] { return reconnect.done(); }, SimTime::Seconds(5)));
+  EXPECT_NE(client.session(), session);  // a fresh session
+}
+
+TEST(CoordinatorTest, PlacementPrefersMsuHoldingTheContent) {
+  InstallationConfig config;
+  config.msu_count = 2;
+  Installation calliope(config);
+  ASSERT_TRUE(calliope.Boot().ok());
+  ASSERT_TRUE(calliope.LoadMpegMovie("only-on-msu1", SimTime::Seconds(30), 1, false).ok());
+
+  CalliopeClient& client = calliope.AddClient("c");
+  CoResult<Status> connected;
+  Collect(client.Connect("bob", "bob-key"), &connected);
+  RunUntil(calliope.sim(), [&] { return connected.done(); }, SimTime::Seconds(5));
+  CoResult<Result<ClientDisplayPort*>> port;
+  Collect(client.RegisterPort("tv", "mpeg1"), &port);
+  RunUntil(calliope.sim(), [&] { return port.done(); }, SimTime::Seconds(5));
+  CoResult<Result<CalliopeClient::StartResult>> play;
+  Collect(client.Play("only-on-msu1", "tv"), &play);
+  ASSERT_TRUE(RunUntil(calliope.sim(), [&] { return play.done(); }, SimTime::Seconds(5)));
+  ASSERT_TRUE(play.value->ok());
+  calliope.sim().RunFor(SimTime::Seconds(1));
+  EXPECT_EQ(calliope.msu(1).active_stream_count(), 1);
+  EXPECT_EQ(calliope.msu(0).active_stream_count(), 0);
+}
+
+TEST(CoordinatorTest, ContentUnavailableWhileItsMsuIsDown) {
+  InstallationConfig config;
+  config.msu_count = 2;
+  Installation calliope(config);
+  ASSERT_TRUE(calliope.Boot().ok());
+  ASSERT_TRUE(calliope.LoadMpegMovie("movie", SimTime::Seconds(30), 0, false).ok());
+  calliope.msu(0).Crash();
+  ASSERT_TRUE(RunUntil(calliope.sim(), [&] { return !calliope.coordinator().MsuUp("msu0"); },
+                       SimTime::Seconds(5)));
+
+  CalliopeClient& client = calliope.AddClient("c");
+  CoResult<Status> connected;
+  Collect(client.Connect("bob", "bob-key"), &connected);
+  RunUntil(calliope.sim(), [&] { return connected.done(); }, SimTime::Seconds(5));
+  CoResult<Result<ClientDisplayPort*>> port;
+  Collect(client.RegisterPort("tv", "mpeg1"), &port);
+  RunUntil(calliope.sim(), [&] { return port.done(); }, SimTime::Seconds(5));
+
+  // The only copy is on a down MSU: the request is queued, not failed.
+  CoResult<Result<CalliopeClient::StartResult>> play;
+  Collect(client.Play("movie", "tv"), &play);
+  ASSERT_TRUE(RunUntil(calliope.sim(), [&] { return play.done(); }, SimTime::Seconds(5)));
+  ASSERT_TRUE(play.value->ok());
+  EXPECT_TRUE((*play.value)->queued);
+
+  // When the MSU returns, the queued request starts.
+  CoResult<Status> restarted;
+  Collect(calliope.msu(0).Restart("coordinator"), &restarted);
+  ASSERT_TRUE(RunUntil(calliope.sim(), [&] { return restarted.done(); }, SimTime::Seconds(10)));
+  ASSERT_TRUE(RunUntil(calliope.sim(),
+                       [&] { return calliope.coordinator().pending_request_count() == 0; },
+                       SimTime::Seconds(10)));
+  calliope.sim().RunFor(SimTime::Seconds(3));
+  EXPECT_GT(client.FindPort("tv")->packets_received(), 0);
+}
+
+TEST(CoordinatorTest, ReplicatedContentSpreadsAcrossMsus) {
+  InstallationConfig config;
+  config.msu_count = 2;
+  Installation calliope(config);
+  ASSERT_TRUE(calliope.Boot().ok());
+  ASSERT_TRUE(calliope.LoadMpegMovie("hit", SimTime::Seconds(60), 0, false).ok());
+  // "we can make copies of popular content": a second copy on msu1.
+  ASSERT_TRUE(calliope.ReplicateContent("hit", 1).ok());
+
+  CalliopeClient& client = calliope.AddClient("c");
+  CoResult<Status> connected;
+  Collect(client.Connect("bob", "bob-key"), &connected);
+  RunUntil(calliope.sim(), [&] { return connected.done(); }, SimTime::Seconds(5));
+  for (int i = 0; i < 8; ++i) {
+    CoResult<Result<ClientDisplayPort*>> port;
+    Collect(client.RegisterPort("tv" + std::to_string(i), "mpeg1"), &port);
+    RunUntil(calliope.sim(), [&] { return port.done(); }, SimTime::Seconds(5));
+    CoResult<Result<CalliopeClient::StartResult>> play;
+    Collect(client.Play("hit", "tv" + std::to_string(i)), &play);
+    ASSERT_TRUE(RunUntil(calliope.sim(), [&] { return play.done(); }, SimTime::Seconds(5)));
+    ASSERT_TRUE(play.value->ok());
+  }
+  calliope.sim().RunFor(SimTime::Seconds(2));
+  // Least-loaded placement alternates between the two copies.
+  EXPECT_EQ(calliope.msu(0).active_stream_count(), 4);
+  EXPECT_EQ(calliope.msu(1).active_stream_count(), 4);
+}
+
+}  // namespace
+}  // namespace calliope

@@ -1,0 +1,123 @@
+// Determinism and configuration-variant tests: a run is a pure function of
+// its configuration and seed, and the §2 design options behave as documented.
+#include <gtest/gtest.h>
+
+#include "src/calliope/calliope.h"
+#include "tests/test_util.h"
+
+namespace calliope {
+namespace {
+
+struct RunOutcome {
+  int64_t packets = 0;
+  int64_t events = 0;
+  SimTime max_late;
+  bool operator==(const RunOutcome&) const = default;
+};
+
+RunOutcome PlayWorkload(uint64_t seed, bool elevator = false) {
+  InstallationConfig config;
+  config.seed = seed;
+  config.msu.elevator_scheduling = elevator;
+  Installation calliope(config);
+  EXPECT_TRUE(calliope.Boot().ok());
+  EXPECT_TRUE(calliope.LoadMpegMovie("m0", SimTime::Seconds(60), 0, false).ok());
+  EXPECT_TRUE(calliope.LoadMpegMovie("m1", SimTime::Seconds(60), 0, false).ok());
+
+  CalliopeClient& client = calliope.AddClient("c");
+  CoResult<Status> connected;
+  Collect(client.Connect("bob", "bob-key"), &connected);
+  RunUntil(calliope.sim(), [&] { return connected.done(); }, SimTime::Seconds(5));
+  for (int i = 0; i < 6; ++i) {
+    CoResult<Result<ClientDisplayPort*>> port;
+    Collect(client.RegisterPort("tv" + std::to_string(i), "mpeg1"), &port);
+    RunUntil(calliope.sim(), [&] { return port.done(); }, SimTime::Seconds(5));
+    CoResult<Result<CalliopeClient::StartResult>> play;
+    Collect(client.Play(i % 2 == 0 ? "m0" : "m1", "tv" + std::to_string(i)), &play);
+    RunUntil(calliope.sim(), [&] { return play.done(); }, SimTime::Seconds(5));
+  }
+  calliope.sim().RunFor(SimTime::Seconds(20));
+
+  RunOutcome outcome;
+  outcome.packets = calliope.msu(0).AggregateLateness().total_count();
+  outcome.events = calliope.sim().events_fired();
+  outcome.max_late = calliope.msu(0).AggregateLateness().MaxRecorded();
+  return outcome;
+}
+
+TEST(DeterminismTest, IdenticalSeedsGiveIdenticalRuns) {
+  const RunOutcome a = PlayWorkload(1234);
+  const RunOutcome b = PlayWorkload(1234);
+  EXPECT_EQ(a, b);
+  EXPECT_GT(a.packets, 1000);
+}
+
+TEST(DeterminismTest, DifferentSeedsDiffer) {
+  const RunOutcome a = PlayWorkload(1);
+  const RunOutcome b = PlayWorkload(2);
+  // Event counts almost surely differ (different rotational latencies).
+  EXPECT_NE(a.events, b.events);
+}
+
+TEST(ConfigVariantTest, ElevatorOptionRuns) {
+  // §2.3.3's optional disk-head scheduling plugs into the MSU end to end.
+  const RunOutcome elevator = PlayWorkload(7, /*elevator=*/true);
+  EXPECT_GT(elevator.packets, 1000);
+}
+
+TEST(ConfigVariantTest, InstallationWithoutIntraLanStillWorks) {
+  // "a Calliope installation could eliminate the intra-server network and
+  // use the multimedia delivery network to carry both intra-server and
+  // client-server traffic."
+  InstallationConfig config;
+  config.network.use_intra_lan = false;
+  Installation calliope(config);
+  ASSERT_TRUE(calliope.Boot().ok());
+  ASSERT_TRUE(calliope.LoadMpegMovie("movie", SimTime::Seconds(30), 0, false).ok());
+
+  CalliopeClient& client = calliope.AddClient("c");
+  CoResult<Status> connected;
+  Collect(client.Connect("bob", "bob-key"), &connected);
+  RunUntil(calliope.sim(), [&] { return connected.done(); }, SimTime::Seconds(5));
+  CoResult<Result<ClientDisplayPort*>> port;
+  Collect(client.RegisterPort("tv", "mpeg1"), &port);
+  RunUntil(calliope.sim(), [&] { return port.done(); }, SimTime::Seconds(5));
+  CoResult<Result<CalliopeClient::StartResult>> play;
+  Collect(client.Play("movie", "tv"), &play);
+  ASSERT_TRUE(RunUntil(calliope.sim(), [&] { return play.done(); }, SimTime::Seconds(5)));
+  ASSERT_TRUE(play.value->ok());
+  calliope.sim().RunFor(SimTime::Seconds(5));
+  EXPECT_GT(client.FindPort("tv")->packets_received(), 100);
+  // Control traffic rode the delivery network: the intra segment is silent.
+  EXPECT_EQ(calliope.network().segment_bytes(Segment::kIntra).count(), 0);
+  EXPECT_GT(calliope.network().segment_bytes(Segment::kDelivery).count(), 0);
+}
+
+TEST(ConfigVariantTest, ColocatedCoordinatorServesStreams) {
+  // "For very small installations, the Coordinator and MSU software may run
+  // on the same machine."
+  InstallationConfig config;
+  config.colocate_coordinator = true;
+  Installation calliope(config);
+  EXPECT_EQ(calliope.coordinator_host(), "msu0");
+  ASSERT_TRUE(calliope.Boot().ok());
+  ASSERT_TRUE(calliope.LoadMpegMovie("movie", SimTime::Seconds(30), 0, false).ok());
+
+  CalliopeClient& client = calliope.AddClient("c");
+  CoResult<Status> connected;
+  Collect(client.Connect("bob", "bob-key"), &connected);
+  RunUntil(calliope.sim(), [&] { return connected.done(); }, SimTime::Seconds(5));
+  ASSERT_TRUE(connected.value->ok()) << connected.value->ToString();
+  CoResult<Result<ClientDisplayPort*>> port;
+  Collect(client.RegisterPort("tv", "mpeg1"), &port);
+  RunUntil(calliope.sim(), [&] { return port.done(); }, SimTime::Seconds(5));
+  CoResult<Result<CalliopeClient::StartResult>> play;
+  Collect(client.Play("movie", "tv"), &play);
+  ASSERT_TRUE(RunUntil(calliope.sim(), [&] { return play.done(); }, SimTime::Seconds(5)));
+  ASSERT_TRUE(play.value->ok()) << play.value->status().ToString();
+  calliope.sim().RunFor(SimTime::Seconds(5));
+  EXPECT_GT(client.FindPort("tv")->packets_received(), 180);
+}
+
+}  // namespace
+}  // namespace calliope

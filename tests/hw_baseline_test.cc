@@ -1,0 +1,160 @@
+// Calibration tests for the hardware models against the paper's §3.1
+// baseline measurements (Table 1) and §2.3.3/§3.2.3 claims. These replicate
+// the paper's simple test programs: a disk process doing random 256 KB raw
+// reads and a ttcp-like UDP blaster.
+#include <gtest/gtest.h>
+
+#include "src/hw/machine.h"
+#include "src/sim/task.h"
+#include "src/util/rng.h"
+
+namespace calliope {
+namespace {
+
+constexpr Bytes kBlock = Bytes::KiB(256);
+constexpr Bytes kTtcpPacket = Bytes::KiB(4);
+
+// Paper's disk test: "256 KByte reads of the raw disk device at random
+// offsets", issued back to back.
+Task RandomReader(Disk& disk, uint64_t seed) {
+  Rng rng(seed);
+  const int64_t blocks = disk.capacity() / kBlock;
+  for (;;) {
+    const Bytes offset = kBlock * static_cast<int64_t>(rng.NextBelow(static_cast<uint64_t>(blocks)));
+    co_await disk.Read(offset, kBlock);
+  }
+}
+
+Task SequentialReader(Disk& disk) {
+  const int64_t blocks = disk.capacity() / kBlock;
+  for (int64_t i = 0;; i = (i + 1) % blocks) {
+    co_await disk.Read(kBlock * i, kBlock);
+  }
+}
+
+// Paper's modified ttcp: sends 4 KB UDP packets from a large buffer; on
+// ENOBUFS it sleeps briefly and retries.
+Task TtcpSender(Nic& nic) {
+  for (;;) {
+    co_await nic.SendBlocking(Frame{kTtcpPacket});
+  }
+}
+
+TEST(HwBaselineTest, SingleDiskRandomReadsSustain3point6MBps) {
+  Simulator sim;
+  MachineParams params = MicronP66();
+  params.disks_per_hba = {1};
+  Machine machine(sim, params, "msu");
+  RandomReader(machine.disk(0), 42);
+  sim.RunFor(SimTime::Seconds(60));
+  const double mbps = machine.disk(0).bytes_transferred().megabytes() / 60.0;
+  // Paper Table 1, "1 disk (one HBA)", disks only: 3.6 MB/s.
+  EXPECT_NEAR(mbps, 3.6, 0.25);
+}
+
+TEST(HwBaselineTest, SequentialReadsReachAbout70PercentBonusOverRandom) {
+  Simulator sim;
+  MachineParams params = MicronP66();
+  params.disks_per_hba = {1};
+  Machine machine(sim, params, "msu");
+  SequentialReader(machine.disk(0));
+  sim.RunFor(SimTime::Seconds(60));
+  const double seq_mbps = machine.disk(0).bytes_transferred().megabytes() / 60.0;
+  // Paper §2.3.3: "With 256 KByte transfers, the MSU achieves 70% of the
+  // maximum disk transfer bandwidth" — i.e. random/seq ~ 0.7. Sequential
+  // should approach the media rate.
+  EXPECT_GT(seq_mbps, 4.6);
+  EXPECT_NEAR(3.6 / seq_mbps, 0.70, 0.08);
+}
+
+TEST(HwBaselineTest, TwoDisksOneHbaSaturateTheChain) {
+  Simulator sim;
+  MachineParams params = MicronP66();
+  params.disks_per_hba = {2};
+  Machine machine(sim, params, "msu");
+  RandomReader(machine.disk(0), 1);
+  RandomReader(machine.disk(1), 2);
+  sim.RunFor(SimTime::Seconds(60));
+  const double d0 = machine.disk(0).bytes_transferred().megabytes() / 60.0;
+  const double d1 = machine.disk(1).bytes_transferred().megabytes() / 60.0;
+  // Paper Table 1, "2 disk (one HBA)", disks only: 2.8 each.
+  EXPECT_NEAR(d0, 2.8, 0.3);
+  EXPECT_NEAR(d1, 2.8, 0.3);
+}
+
+TEST(HwBaselineTest, FddiAloneReaches8point5MBps) {
+  Simulator sim;
+  Machine machine(sim, MicronP66(), "msu");
+  TtcpSender(machine.fddi());
+  sim.RunFor(SimTime::Seconds(30));
+  const double mbps = machine.fddi().bytes_sent().megabytes() / 30.0;
+  // Paper Table 1, "0 disk", FDDI only: 8.5 MB/s.
+  EXPECT_NEAR(mbps, 8.5, 0.5);
+}
+
+TEST(HwBaselineTest, TwoHbasCollapseFddiThroughput) {
+  // Paper Table 1: FDDI drops from 4.7 MB/s (2 disks, one HBA) to 2.3 MB/s
+  // (2 disks, two HBAs) because port-I/O stalls starve the send path.
+  auto run_config = [](std::vector<int> disks_per_hba) {
+    Simulator sim;
+    MachineParams params = MicronP66();
+    params.disks_per_hba = std::move(disks_per_hba);
+    Machine machine(sim, params, "msu");
+    TtcpSender(machine.fddi());
+    int seed = 10;
+    for (size_t d = 0; d < machine.disk_count(); ++d) {
+      RandomReader(machine.disk(d), static_cast<uint64_t>(seed++));
+    }
+    sim.RunFor(SimTime::Seconds(30));
+    return machine.fddi().bytes_sent().megabytes() / 30.0;
+  };
+  const double one_hba = run_config({2});
+  const double two_hba = run_config({1, 1});
+  EXPECT_GT(one_hba, 4.0);
+  EXPECT_LT(two_hba, one_hba * 0.65);  // dramatic collapse
+}
+
+TEST(HwBaselineTest, ElevatorBeatsFifoByAboutSixPercent) {
+  // Paper §2.3.3: "a simple program that simulated 24 concurrent users
+  // reading random 256 KByte disk blocks ... elevator scheduling improves
+  // throughput by only about 6%".
+  auto run_with = [](DiskQueueDiscipline discipline) {
+    Simulator sim;
+    MachineParams params = MicronP66();
+    params.disks_per_hba = {1};
+    Machine machine(sim, params, "msu");
+    machine.disk(0).set_discipline(discipline);
+    for (int u = 0; u < 24; ++u) {
+      RandomReader(machine.disk(0), static_cast<uint64_t>(100 + u));
+    }
+    sim.RunFor(SimTime::Seconds(120));
+    return machine.disk(0).bytes_transferred().megabytes() / 120.0;
+  };
+  const double fifo = run_with(DiskQueueDiscipline::kFifo);
+  const double elevator = run_with(DiskQueueDiscipline::kElevator);
+  const double gain = elevator / fifo - 1.0;
+  EXPECT_GT(gain, 0.02);
+  EXPECT_LT(gain, 0.12);
+}
+
+TEST(HwBaselineTest, CoarseTimerQuantizesWakeups) {
+  Simulator sim;
+  CoarseTimer timer(sim);
+  EXPECT_EQ(timer.NextTickAtOrAfter(SimTime::Millis(13)), SimTime::Millis(20));
+  EXPECT_EQ(timer.NextTickAtOrAfter(SimTime::Millis(20)), SimTime::Millis(20));
+  EXPECT_EQ(timer.NextTickAtOrAfter(SimTime()), SimTime());
+}
+
+TEST(HwBaselineTest, NicReportsEnobufsWhenOutputQueueFull) {
+  Simulator sim;
+  MachineParams params = MicronP66();
+  params.fddi.output_queue_limit = 2;
+  params.fddi.wire_rate = DataRate::MegabitsPerSec(1);  // slow wire to back up
+  Machine machine(sim, params, "msu");
+  TtcpSender(machine.fddi());
+  sim.RunFor(SimTime::Seconds(2));
+  EXPECT_GT(machine.fddi().enobufs_count(), 0);
+}
+
+}  // namespace
+}  // namespace calliope

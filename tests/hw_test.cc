@@ -1,0 +1,188 @@
+// Property-level tests for the hardware models beyond the Table-1
+// calibrations in hw_baseline_test.cc.
+#include <gtest/gtest.h>
+
+#include "src/hw/machine.h"
+#include "src/util/rng.h"
+#include "tests/test_util.h"
+
+namespace calliope {
+namespace {
+
+MachineParams OneDisk() {
+  MachineParams params = MicronP66();
+  params.disks_per_hba = {1};
+  return params;
+}
+
+TEST(DiskTest, SequentialReadSkipsPositioning) {
+  Simulator sim;
+  Machine machine(sim, OneDisk(), "m");
+  SimTime first_done, second_done;
+  [](Simulator* s, Disk* disk, SimTime* a, SimTime* b) -> Task {
+    co_await disk->Read(Bytes(0), Bytes::KiB(256));
+    *a = s->Now();
+    co_await disk->Read(Bytes::KiB(256), Bytes::KiB(256));  // head already there
+    *b = s->Now();
+  }(&sim, &machine.disk(0), &first_done, &second_done);
+  sim.Run();
+  // First read seeks from cylinder 0... the request IS at cylinder 0, so
+  // both are near pure transfer time (~51 ms + interrupt).
+  EXPECT_LT(second_done - first_done, SimTime::Millis(56));
+  EXPECT_GT(second_done - first_done, SimTime::Millis(48));
+}
+
+TEST(DiskTest, FarSeekCostsMoreThanNearSeek) {
+  auto time_request = [](Bytes start_at, Bytes target) {
+    Simulator sim;
+    Machine machine(sim, OneDisk(), "m");
+    SimTime elapsed;
+    [](Simulator* s, Disk* disk, Bytes first, Bytes second, SimTime* out) -> Task {
+      co_await disk->Read(first, Bytes::KiB(256));
+      const SimTime start = s->Now();
+      co_await disk->Read(second, Bytes::KiB(256));
+      *out = s->Now() - start;
+    }(&sim, &machine.disk(0), start_at, target, &elapsed);
+    sim.Run();
+    return elapsed;
+  };
+  const SimTime near = time_request(Bytes(0), Bytes::MiB(20));
+  const SimTime far = time_request(Bytes(0), Bytes::GiB(1) + Bytes::MiB(800));
+  EXPECT_GT(far, near + SimTime::Millis(4));
+}
+
+TEST(DiskTest, WritesAndReadsBothCounted) {
+  Simulator sim;
+  Machine machine(sim, OneDisk(), "m");
+  [](Disk* disk) -> Task {
+    co_await disk->Write(Bytes(0), Bytes::KiB(256));
+    co_await disk->Read(Bytes(0), Bytes::KiB(256));
+  }(&machine.disk(0));
+  sim.Run();
+  EXPECT_EQ(machine.disk(0).completed(), 2);
+  EXPECT_EQ(machine.disk(0).bytes_transferred(), Bytes::KiB(512));
+}
+
+TEST(CpuTest, PortStallsScaleWithActiveHbas) {
+  Simulator sim;
+  Machine machine(sim, OneDisk(), "m");
+  Cpu& cpu = machine.cpu();
+  auto average_stall = [&](int ops, int samples) {
+    SimTime total;
+    for (int i = 0; i < samples; ++i) {
+      total += cpu.PortIoStall(ops);
+    }
+    return SimTime(total.nanos() / samples);
+  };
+  const SimTime idle = average_stall(10, 200);
+  cpu.HbaBecameActive();
+  const SimTime one = average_stall(10, 200);
+  cpu.HbaBecameActive();
+  const SimTime two = average_stall(10, 200);
+  cpu.HbaBecameIdle();
+  cpu.HbaBecameIdle();
+  EXPECT_LT(idle, SimTime::Micros(40));
+  EXPECT_GT(one, idle * 5);
+  EXPECT_GT(two, one * 3);
+}
+
+TEST(CpuTest, UtilizationTracksSubmittedWork) {
+  Simulator sim;
+  Machine machine(sim, OneDisk(), "m");
+  machine.cpu().Submit(SimTime::Millis(250), 0, [] {});
+  sim.RunUntil(SimTime::Seconds(1));
+  EXPECT_NEAR(machine.cpu().Utilization(), 0.25, 0.01);
+}
+
+TEST(NicTest, WireThroughputBoundedByWireRate) {
+  // A NIC with an artificially fast host path is still capped by the wire.
+  Simulator sim;
+  MachineParams params = OneDisk();
+  params.cpu.udp_send_compute = SimTime::Nanos(1);
+  params.memory.copy_rate = DataRate::MegabytesPerSec(100000);
+  params.memory.read_rate = DataRate::MegabytesPerSec(100000);
+  params.memory.write_rate = DataRate::MegabytesPerSec(100000);
+  Machine machine(sim, params, "m");
+  [](Nic* nic) -> Task {
+    for (;;) {
+      co_await nic->SendBlocking(Frame{Bytes::KiB(4)});
+    }
+  }(&machine.fddi());
+  sim.RunFor(SimTime::Seconds(5));
+  const double mbps = machine.fddi().bytes_sent().megabytes() / 5.0;
+  EXPECT_LE(mbps, 12.6);  // 100 Mbit/s wire
+  EXPECT_GT(mbps, 11.0);
+}
+
+TEST(NicTest, ReceivePathDeliversToSink) {
+  Simulator sim;
+  Machine machine(sim, OneDisk(), "m");
+  int received = 0;
+  machine.fddi().set_rx_sink([&](Frame frame) {
+    ++received;
+    EXPECT_EQ(frame.size, Bytes(500));
+  });
+  machine.fddi().DeliverFromWire(Frame{Bytes(500)});
+  sim.Run();
+  EXPECT_EQ(received, 1);
+  EXPECT_EQ(machine.fddi().frames_received(), 1);
+}
+
+TEST(TimerTest, WakeupsLandOnTickBoundaries) {
+  Simulator sim;
+  CoarseTimer timer(sim);
+  std::vector<int64_t> wakeups;
+  [](Simulator* s, CoarseTimer* t, std::vector<int64_t>* out) -> Task {
+    co_await t->WaitUntil(SimTime::Millis(13));
+    out->push_back(s->Now().millis());
+    co_await t->WaitUntil(SimTime::Millis(20));  // already at 20: no wait
+    out->push_back(s->Now().millis());
+    co_await t->WaitUntil(SimTime::Millis(15));  // past deadline: no wait
+    out->push_back(s->Now().millis());
+    co_await t->WaitUntil(SimTime::Millis(21));  // next boundary is 30
+    out->push_back(s->Now().millis());
+  }(&sim, &timer, &wakeups);
+  sim.Run();
+  EXPECT_EQ(wakeups, (std::vector<int64_t>{20, 20, 20, 30}));
+}
+
+TEST(MachineTest, DisksAttachToConfiguredHbas) {
+  Simulator sim;
+  MachineParams params = MicronP66();
+  params.disks_per_hba = {2, 1};
+  Machine machine(sim, params, "m");
+  EXPECT_EQ(machine.disk_count(), 3u);
+  EXPECT_EQ(machine.hba_count(), 2u);
+}
+
+// Property: random-read throughput falls as block size shrinks (seeks stop
+// amortizing) — the §2.3.3 rationale for 256 KB blocks.
+class BlockSizeProperty : public ::testing::TestWithParam<int64_t> {};
+
+TEST_P(BlockSizeProperty, SmallerBlocksWasteBandwidth) {
+  const Bytes block = Bytes::KiB(GetParam());
+  Simulator sim;
+  Machine machine(sim, OneDisk(), "m");
+  [](Disk* disk, Bytes block_size) -> Task {
+    Rng rng(11);
+    const int64_t slots = disk->capacity() / block_size;
+    for (;;) {
+      co_await disk->Read(
+          block_size * static_cast<int64_t>(rng.NextBelow(static_cast<uint64_t>(slots))),
+          block_size);
+    }
+  }(&machine.disk(0), block);
+  sim.RunFor(SimTime::Seconds(30));
+  const double mbps = machine.disk(0).bytes_transferred().megabytes() / 30.0;
+  // Throughput grows monotonically with block size; spot-check the curve.
+  if (GetParam() <= 16) {
+    EXPECT_LT(mbps, 1.6);
+  } else if (GetParam() >= 256) {
+    EXPECT_GT(mbps, 3.3);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Blocks, BlockSizeProperty, ::testing::Values(8, 16, 64, 256, 512));
+
+}  // namespace
+}  // namespace calliope

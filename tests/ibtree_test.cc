@@ -1,0 +1,210 @@
+// Unit and property tests for the Integrated B-tree (§2.2.1).
+#include <gtest/gtest.h>
+
+#include "src/ibtree/ibtree.h"
+#include "src/media/sources.h"
+
+namespace calliope {
+namespace {
+
+PacketSequence CbrPackets(SimTime duration) { return GenerateCbr(CbrSourceConfig{}, duration); }
+
+IbTreeFile Build(const PacketSequence& packets) {
+  IbTreeBuilder builder;
+  for (const MediaPacket& packet : packets) {
+    EXPECT_TRUE(builder.Add(packet).ok());
+  }
+  return builder.Finish();
+}
+
+TEST(IbTreeTest, EmptyFileHasNoPages) {
+  IbTreeBuilder builder;
+  IbTreeFile file = builder.Finish();
+  EXPECT_EQ(file.page_count(), 0u);
+  EXPECT_FALSE(file.Seek(SimTime()).ok());
+}
+
+TEST(IbTreeTest, SinglePacketFile) {
+  IbTreeBuilder builder;
+  MediaPacket packet;
+  packet.delivery_offset = SimTime::Millis(5);
+  packet.size = Bytes(1000);
+  ASSERT_TRUE(builder.Add(packet).ok());
+  IbTreeFile file = builder.Finish();
+  EXPECT_EQ(file.page_count(), 1u);
+  EXPECT_EQ(file.record_count(), 1);
+  auto seek = file.Seek(SimTime::Millis(1));
+  ASSERT_TRUE(seek.ok());
+  EXPECT_EQ(seek->page_index, 0u);
+  EXPECT_EQ(seek->record_index, 0u);
+}
+
+TEST(IbTreeTest, RejectsOutOfOrderPackets) {
+  IbTreeBuilder builder;
+  MediaPacket packet;
+  packet.delivery_offset = SimTime::Millis(10);
+  packet.size = Bytes(100);
+  ASSERT_TRUE(builder.Add(packet).ok());
+  packet.delivery_offset = SimTime::Millis(5);
+  EXPECT_EQ(builder.Add(packet).code(), StatusCode::kInvalidArgument);
+}
+
+TEST(IbTreeTest, RejectsOversizedPacket) {
+  IbTreeBuilder builder;
+  MediaPacket packet;
+  packet.size = kDataPageSize;  // cannot fit beside header + internal reserve
+  EXPECT_EQ(builder.Add(packet).code(), StatusCode::kInvalidArgument);
+}
+
+TEST(IbTreeTest, PagesRespectCapacity) {
+  IbTreeFile file = Build(CbrPackets(SimTime::Seconds(120)));
+  ASSERT_GT(file.page_count(), 1u);
+  for (size_t p = 0; p < file.page_count(); ++p) {
+    EXPECT_LE(file.page(p).fill_bytes().count(), kDataPageSize.count());
+  }
+}
+
+TEST(IbTreeTest, PacketsPerPageMatchPaperArithmetic) {
+  // "a 256 KByte buffer contains only about one second of 1.5 Mbit/sec
+  // MPEG-1 video" — about 63 four-KB packets per page.
+  IbTreeFile file = Build(CbrPackets(SimTime::Seconds(60)));
+  const DataPage& page = file.page(0);
+  EXPECT_GE(page.records.size(), 60u);
+  EXPECT_LE(page.records.size(), 66u);
+  EXPECT_NEAR(page.last_offset().seconds() - page.first_offset().seconds(), 1.37, 0.15);
+}
+
+TEST(IbTreeTest, RecordsTotalPreserved) {
+  const PacketSequence packets = CbrPackets(SimTime::Seconds(90));
+  IbTreeFile file = Build(packets);
+  EXPECT_EQ(file.record_count(), static_cast<int64_t>(packets.size()));
+  EXPECT_EQ(file.total_payload(), TotalBytes(packets));
+  EXPECT_EQ(file.duration(), packets.back().delivery_offset);
+}
+
+TEST(IbTreeTest, SequentialScanYieldsDeliveryOrder) {
+  IbTreeFile file = Build(GenerateVbr(Graph2File(0), SimTime::Seconds(60)));
+  SimTime last = SimTime::Nanos(-1);
+  for (size_t p = 0; p < file.page_count(); ++p) {
+    for (const MediaPacket& record : file.page(p).records) {
+      EXPECT_GE(record.delivery_offset, last);
+      last = record.delivery_offset;
+    }
+  }
+}
+
+TEST(IbTreeTest, InternalPageRoundTrip) {
+  std::vector<InternalEntry> entries;
+  for (int i = 0; i < 700; ++i) {
+    entries.push_back(InternalEntry{i * 1000, i});
+  }
+  auto encoded = EncodeInternalPage(entries);
+  EXPECT_EQ(encoded.size(), static_cast<size_t>(kInternalPageSize.count()));
+  auto decoded = DecodeInternalPage(encoded);
+  ASSERT_TRUE(decoded.ok());
+  ASSERT_EQ(decoded->size(), entries.size());
+  for (size_t i = 0; i < entries.size(); ++i) {
+    EXPECT_EQ((*decoded)[i].first_offset_ns, entries[i].first_offset_ns);
+    EXPECT_EQ((*decoded)[i].child_page, entries[i].child_page);
+  }
+}
+
+TEST(IbTreeTest, CorruptInternalPageDetected) {
+  std::vector<InternalEntry> entries = {{0, 0}, {100, 1}};
+  auto encoded = EncodeInternalPage(entries);
+  encoded[10] = static_cast<std::byte>(0xFF);
+  auto decoded = DecodeInternalPage(encoded);
+  EXPECT_FALSE(decoded.ok());
+  EXPECT_EQ(decoded.status().code(), StatusCode::kDataLoss);
+}
+
+TEST(IbTreeTest, TruncatedInternalPageDetected) {
+  std::vector<InternalEntry> entries = {{0, 0}};
+  auto encoded = EncodeInternalPage(entries);
+  encoded.resize(8);
+  EXPECT_FALSE(DecodeInternalPage(encoded).ok());
+}
+
+TEST(IbTreeTest, LargeFileGrowsTreeAndEmbedsInternalPages) {
+  // A two-hour movie: ~5300 data pages => second-level tree, several
+  // embedded internal pages, fraction near the paper's 0.1%.
+  IbTreeFile file = Build(CbrPackets(SimTime::Seconds(7200)));
+  EXPECT_GT(file.page_count(), 5000u);
+  EXPECT_EQ(file.height(), 2);
+  EXPECT_GE(file.internal_page_count(), 5u);
+  EXPECT_LT(file.internal_page_fraction(), 0.0021);  // "0.1% of the data pages"
+  EXPECT_GT(file.internal_page_fraction(), 0.0005);
+}
+
+TEST(IbTreeTest, SeekPastEndFails) {
+  IbTreeFile file = Build(CbrPackets(SimTime::Seconds(10)));
+  EXPECT_EQ(file.Seek(SimTime::Seconds(11)).status().code(), StatusCode::kNotFound);
+}
+
+TEST(IbTreeTest, SeekOnSmallFileTouchesNoInternalPages) {
+  IbTreeFile file = Build(CbrPackets(SimTime::Seconds(60)));
+  auto seek = file.Seek(SimTime::Seconds(30));
+  ASSERT_TRUE(seek.ok());
+  EXPECT_TRUE(seek->internal_pages_read.empty());  // root is cached in memory
+}
+
+TEST(IbTreeTest, SeekOnLargeFileReadsOneInternalPage) {
+  IbTreeFile file = Build(CbrPackets(SimTime::Seconds(7200)));
+  auto seek = file.Seek(SimTime::Seconds(3600));
+  ASSERT_TRUE(seek.ok());
+  EXPECT_EQ(seek->internal_pages_read.size(), 1u);
+}
+
+TEST(RecordTableTest, RoundTrip) {
+  PacketSequence records = CbrPackets(SimTime::Seconds(2));
+  records[3].flags = kPacketKeyframe | kPacketFrameStart;
+  auto encoded = EncodeRecordTable(records);
+  auto decoded = DecodeRecordTable(encoded);
+  ASSERT_TRUE(decoded.ok());
+  ASSERT_EQ(decoded->size(), records.size());
+  for (size_t i = 0; i < records.size(); ++i) {
+    EXPECT_EQ((*decoded)[i], records[i]) << i;
+  }
+}
+
+TEST(RecordTableTest, DetectsBitFlipAndTruncation) {
+  auto encoded = EncodeRecordTable(CbrPackets(SimTime::Seconds(1)));
+  auto flipped = encoded;
+  flipped[12] ^= std::byte{0x40};
+  EXPECT_EQ(DecodeRecordTable(flipped).status().code(), StatusCode::kDataLoss);
+  encoded.resize(encoded.size() / 2);
+  EXPECT_EQ(DecodeRecordTable(encoded).status().code(), StatusCode::kDataLoss);
+}
+
+// Property: for a sweep of seek targets, the located record is the first one
+// at or after the target, and its predecessor (if any) is strictly before.
+class IbTreeSeekProperty : public ::testing::TestWithParam<int64_t> {};
+
+TEST_P(IbTreeSeekProperty, SeekFindsFirstRecordAtOrAfterTarget) {
+  static const IbTreeFile file = Build(CbrPackets(SimTime::Seconds(3600)));
+  const SimTime target = SimTime::Millis(GetParam());
+  auto seek = file.Seek(target);
+  ASSERT_TRUE(seek.ok()) << target.ToString();
+  const DataPage& page = file.page(seek->page_index);
+  ASSERT_LT(seek->record_index, page.records.size());
+  const MediaPacket& found = page.records[seek->record_index];
+  EXPECT_GE(found.delivery_offset, target);
+  if (seek->record_index > 0) {
+    EXPECT_LT(page.records[seek->record_index - 1].delivery_offset, target);
+  } else if (seek->page_index > 0) {
+    // Find the previous page holding records.
+    for (size_t p = seek->page_index; p-- > 0;) {
+      if (!file.page(p).records.empty()) {
+        EXPECT_LT(file.page(p).last_offset(), target);
+        break;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(SeekSweep, IbTreeSeekProperty,
+                         ::testing::Values(0, 1, 17, 999, 10000, 59999, 600000, 1800000, 2345678,
+                                           3599000, 3599900));
+
+}  // namespace
+}  // namespace calliope

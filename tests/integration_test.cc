@@ -1,0 +1,583 @@
+// End-to-end tests of a whole Calliope installation: Coordinator + MSUs +
+// clients over the simulated networks.
+#include <gtest/gtest.h>
+
+#include "src/calliope/calliope.h"
+#include "tests/test_util.h"
+
+namespace calliope {
+namespace {
+
+TEST(IntegrationTest, BootRegistersAllMsus) {
+  InstallationConfig config;
+  config.msu_count = 3;
+  Installation calliope(config);
+  ASSERT_TRUE(calliope.Boot().ok());
+  EXPECT_TRUE(calliope.coordinator().MsuUp("msu0"));
+  EXPECT_TRUE(calliope.coordinator().MsuUp("msu1"));
+  EXPECT_TRUE(calliope.coordinator().MsuUp("msu2"));
+}
+
+TEST(IntegrationTest, PlaySingleMpegStreamEndToEnd) {
+  Installation calliope;
+  ASSERT_TRUE(calliope.Boot().ok());
+  ASSERT_TRUE(calliope.LoadMpegMovie("movie", SimTime::Seconds(60), 0, false).ok());
+
+  CalliopeClient& client = calliope.AddClient("client0");
+  CoResult<Status> connected;
+  Collect(client.Connect("bob", "bob-key"), &connected);
+  ASSERT_TRUE(RunUntil(calliope.sim(), [&] { return connected.done(); }, SimTime::Seconds(5)));
+  ASSERT_TRUE(connected.value->ok()) << connected.value->ToString();
+
+  CoResult<Result<ClientDisplayPort*>> port;
+  Collect(client.RegisterPort("tv", "mpeg1"), &port);
+  ASSERT_TRUE(RunUntil(calliope.sim(), [&] { return port.done(); }, SimTime::Seconds(5)));
+  ASSERT_TRUE(port.value->ok()) << port.value->status().ToString();
+
+  CoResult<Result<CalliopeClient::StartResult>> play;
+  Collect(client.Play("movie", "tv"), &play);
+  ASSERT_TRUE(RunUntil(calliope.sim(), [&] { return play.done(); }, SimTime::Seconds(5)));
+  ASSERT_TRUE(play.value->ok()) << play.value->status().ToString();
+  EXPECT_FALSE((*play.value)->queued);
+
+  // 10 seconds of playback: ~458 packets at 1.5 Mbit/s in 4 KB packets.
+  calliope.sim().RunFor(SimTime::Seconds(10));
+  ClientDisplayPort* tv = client.FindPort("tv");
+  ASSERT_NE(tv, nullptr);
+  EXPECT_GT(tv->packets_received(), 400);
+  EXPECT_LT(tv->packets_received(), 520);
+  EXPECT_EQ(tv->glitches(), 0);
+
+  // Quit tears the stream down and the Coordinator hears about it.
+  CoResult<Status> quit;
+  Collect(client.Quit((*play.value)->group), &quit);
+  ASSERT_TRUE(RunUntil(calliope.sim(), [&] { return quit.done(); }, SimTime::Seconds(5)));
+  EXPECT_TRUE(quit.value->ok()) << quit.value->ToString();
+  EXPECT_TRUE(RunUntil(calliope.sim(),
+                       [&] { return calliope.coordinator().active_stream_count() == 0; },
+                       SimTime::Seconds(5)));
+  EXPECT_EQ(calliope.coordinator().DiskLoad("msu0", 0), DataRate());
+}
+
+TEST(IntegrationTest, PlaybackRunsToEndOfContentAndTerminates) {
+  Installation calliope;
+  ASSERT_TRUE(calliope.Boot().ok());
+  ASSERT_TRUE(calliope.LoadMpegMovie("short", SimTime::Seconds(5), 0, false).ok());
+
+  CalliopeClient& client = calliope.AddClient("client0");
+  CoResult<Status> connected;
+  Collect(client.Connect("bob", "bob-key"), &connected);
+  RunUntil(calliope.sim(), [&] { return connected.done(); }, SimTime::Seconds(5));
+  CoResult<Result<ClientDisplayPort*>> port;
+  Collect(client.RegisterPort("tv", "mpeg1"), &port);
+  RunUntil(calliope.sim(), [&] { return port.done(); }, SimTime::Seconds(5));
+  CoResult<Result<CalliopeClient::StartResult>> play;
+  Collect(client.Play("short", "tv"), &play);
+  ASSERT_TRUE(RunUntil(calliope.sim(), [&] { return play.done(); }, SimTime::Seconds(5)));
+  ASSERT_TRUE(play.value->ok());
+  const GroupId group = (*play.value)->group;
+
+  // Let the whole 5-second movie play out; the MSU ends the stream itself.
+  EXPECT_TRUE(RunUntil(calliope.sim(), [&] { return client.GroupTerminated(group); },
+                       SimTime::Seconds(30)));
+  EXPECT_EQ(calliope.coordinator().active_stream_count(), 0u);
+}
+
+TEST(IntegrationTest, PauseStopsDeliveryAndResumeContinues) {
+  Installation calliope;
+  ASSERT_TRUE(calliope.Boot().ok());
+  ASSERT_TRUE(calliope.LoadMpegMovie("movie", SimTime::Seconds(120), 0, false).ok());
+
+  CalliopeClient& client = calliope.AddClient("client0");
+  CoResult<Status> connected;
+  Collect(client.Connect("bob", "bob-key"), &connected);
+  RunUntil(calliope.sim(), [&] { return connected.done(); }, SimTime::Seconds(5));
+  CoResult<Result<ClientDisplayPort*>> port;
+  Collect(client.RegisterPort("tv", "mpeg1"), &port);
+  RunUntil(calliope.sim(), [&] { return port.done(); }, SimTime::Seconds(5));
+  CoResult<Result<CalliopeClient::StartResult>> play;
+  Collect(client.Play("movie", "tv"), &play);
+  ASSERT_TRUE(RunUntil(calliope.sim(), [&] { return play.done(); }, SimTime::Seconds(5)));
+  const GroupId group = (*play.value)->group;
+
+  calliope.sim().RunFor(SimTime::Seconds(5));
+  CoResult<Status> paused;
+  Collect(client.Vcr(group, VcrCommand::Op::kPause), &paused);
+  ASSERT_TRUE(RunUntil(calliope.sim(), [&] { return paused.done(); }, SimTime::Seconds(5)));
+  ASSERT_TRUE(paused.value->ok()) << paused.value->ToString();
+
+  ClientDisplayPort* tv = client.FindPort("tv");
+  calliope.sim().RunFor(SimTime::Seconds(1));  // drain in-flight packets
+  const int64_t at_pause = tv->packets_received();
+  calliope.sim().RunFor(SimTime::Seconds(5));
+  EXPECT_EQ(tv->packets_received(), at_pause);  // paused: nothing arrives
+
+  CoResult<Status> resumed;
+  Collect(client.Vcr(group, VcrCommand::Op::kPlay), &resumed);
+  ASSERT_TRUE(RunUntil(calliope.sim(), [&] { return resumed.done(); }, SimTime::Seconds(5)));
+  ASSERT_TRUE(resumed.value->ok());
+  calliope.sim().RunFor(SimTime::Seconds(5));
+  EXPECT_GT(tv->packets_received(), at_pause + 180);
+}
+
+TEST(IntegrationTest, SeekJumpsPosition) {
+  Installation calliope;
+  ASSERT_TRUE(calliope.Boot().ok());
+  ASSERT_TRUE(calliope.LoadMpegMovie("movie", SimTime::Seconds(300), 0, false).ok());
+
+  CalliopeClient& client = calliope.AddClient("client0");
+  CoResult<Status> connected;
+  Collect(client.Connect("bob", "bob-key"), &connected);
+  RunUntil(calliope.sim(), [&] { return connected.done(); }, SimTime::Seconds(5));
+  CoResult<Result<ClientDisplayPort*>> port;
+  Collect(client.RegisterPort("tv", "mpeg1"), &port);
+  RunUntil(calliope.sim(), [&] { return port.done(); }, SimTime::Seconds(5));
+  CoResult<Result<CalliopeClient::StartResult>> play;
+  Collect(client.Play("movie", "tv"), &play);
+  ASSERT_TRUE(RunUntil(calliope.sim(), [&] { return play.done(); }, SimTime::Seconds(5)));
+  const GroupId group = (*play.value)->group;
+
+  calliope.sim().RunFor(SimTime::Seconds(3));
+  // Seek near the end; playback should finish within ~15 s + slack, which it
+  // never could from the 3-second mark without the seek.
+  CoResult<Status> sought;
+  Collect(client.Vcr(group, VcrCommand::Op::kSeek, SimTime::Seconds(285)), &sought);
+  ASSERT_TRUE(RunUntil(calliope.sim(), [&] { return sought.done(); }, SimTime::Seconds(5)));
+  ASSERT_TRUE(sought.value->ok()) << sought.value->ToString();
+  EXPECT_TRUE(RunUntil(calliope.sim(), [&] { return client.GroupTerminated(group); },
+                       SimTime::Seconds(30)));
+}
+
+TEST(IntegrationTest, FastForwardUsesFilteredFile) {
+  Installation calliope;
+  ASSERT_TRUE(calliope.Boot().ok());
+  ASSERT_TRUE(calliope.LoadMpegMovie("movie", SimTime::Seconds(300), 0, /*with_fast_scan=*/true).ok());
+
+  CalliopeClient& client = calliope.AddClient("client0");
+  CoResult<Status> connected;
+  Collect(client.Connect("bob", "bob-key"), &connected);
+  RunUntil(calliope.sim(), [&] { return connected.done(); }, SimTime::Seconds(5));
+  CoResult<Result<ClientDisplayPort*>> port;
+  Collect(client.RegisterPort("tv", "mpeg1"), &port);
+  RunUntil(calliope.sim(), [&] { return port.done(); }, SimTime::Seconds(5));
+  CoResult<Result<CalliopeClient::StartResult>> play;
+  Collect(client.Play("movie", "tv"), &play);
+  ASSERT_TRUE(RunUntil(calliope.sim(), [&] { return play.done(); }, SimTime::Seconds(5)));
+  const GroupId group = (*play.value)->group;
+
+  calliope.sim().RunFor(SimTime::Seconds(3));
+  CoResult<Status> ff;
+  Collect(client.Vcr(group, VcrCommand::Op::kFastForward), &ff);
+  ASSERT_TRUE(RunUntil(calliope.sim(), [&] { return ff.done(); }, SimTime::Seconds(10)));
+  ASSERT_TRUE(ff.value->ok()) << ff.value->ToString();
+
+  // The fast-forward file covers the movie in 1/15 of the time; from the
+  // 3-second mark the whole rest plays out in under ~25 seconds.
+  EXPECT_TRUE(RunUntil(calliope.sim(), [&] { return client.GroupTerminated(group); },
+                       SimTime::Seconds(40)));
+}
+
+TEST(IntegrationTest, FastForwardWithoutVariantFailsCleanly) {
+  Installation calliope;
+  ASSERT_TRUE(calliope.Boot().ok());
+  ASSERT_TRUE(calliope.LoadMpegMovie("movie", SimTime::Seconds(60), 0, /*with_fast_scan=*/false).ok());
+
+  CalliopeClient& client = calliope.AddClient("client0");
+  CoResult<Status> connected;
+  Collect(client.Connect("bob", "bob-key"), &connected);
+  RunUntil(calliope.sim(), [&] { return connected.done(); }, SimTime::Seconds(5));
+  CoResult<Result<ClientDisplayPort*>> port;
+  Collect(client.RegisterPort("tv", "mpeg1"), &port);
+  RunUntil(calliope.sim(), [&] { return port.done(); }, SimTime::Seconds(5));
+  CoResult<Result<CalliopeClient::StartResult>> play;
+  Collect(client.Play("movie", "tv"), &play);
+  ASSERT_TRUE(RunUntil(calliope.sim(), [&] { return play.done(); }, SimTime::Seconds(5)));
+
+  CoResult<Status> ff;
+  Collect(client.Vcr((*play.value)->group, VcrCommand::Op::kFastForward), &ff);
+  ASSERT_TRUE(RunUntil(calliope.sim(), [&] { return ff.done(); }, SimTime::Seconds(10)));
+  EXPECT_FALSE(ff.value->ok());
+}
+
+TEST(IntegrationTest, RecordThenPlayBack) {
+  Installation calliope;
+  ASSERT_TRUE(calliope.Boot().ok());
+
+  CalliopeClient& client = calliope.AddClient("client0");
+  CoResult<Status> connected;
+  Collect(client.Connect("bob", "bob-key"), &connected);
+  RunUntil(calliope.sim(), [&] { return connected.done(); }, SimTime::Seconds(5));
+  CoResult<Result<ClientDisplayPort*>> port;
+  Collect(client.RegisterPort("cam", "rtp-video"), &port);
+  ASSERT_TRUE(RunUntil(calliope.sim(), [&] { return port.done(); }, SimTime::Seconds(5)));
+  ASSERT_TRUE(port.value->ok());
+
+  CoResult<Result<CalliopeClient::StartResult>> record;
+  Collect(client.Record("mymail", "rtp-video", "cam", SimTime::Seconds(30)), &record);
+  ASSERT_TRUE(RunUntil(calliope.sim(), [&] { return record.done(); }, SimTime::Seconds(5)));
+  ASSERT_TRUE(record.value->ok()) << record.value->status().ToString();
+  const GroupId record_group = (*record.value)->group;
+
+  // Feed 10 seconds of NV-like video into the recording.
+  VbrSourceConfig source = Graph2File(0);
+  const PacketSequence packets = GenerateVbr(source, SimTime::Seconds(10));
+  CoResult<Result<int64_t>> sent;
+  Collect(client.SendRecording(record_group, 0, packets), &sent);
+  ASSERT_TRUE(RunUntil(calliope.sim(), [&] { return sent.done(); }, SimTime::Seconds(30)));
+  ASSERT_TRUE(sent.value->ok()) << sent.value->status().ToString();
+  EXPECT_EQ(static_cast<size_t>(**sent.value), packets.size());
+
+  CoResult<Status> quit;
+  Collect(client.Quit(record_group), &quit);
+  ASSERT_TRUE(RunUntil(calliope.sim(), [&] { return quit.done(); }, SimTime::Seconds(10)));
+  ASSERT_TRUE(quit.value->ok()) << quit.value->ToString();
+
+  // The recording is now playable content with a duration near 10 s.
+  CoResult<Result<std::vector<ContentInfo>>> listing;
+  Collect(client.ListContent(), &listing);
+  ASSERT_TRUE(RunUntil(calliope.sim(), [&] { return listing.done(); }, SimTime::Seconds(5)));
+  ASSERT_TRUE(listing.value->ok());
+  bool found = false;
+  for (const ContentInfo& info : **listing.value) {
+    if (info.name == "mymail") {
+      found = true;
+      EXPECT_NEAR(info.duration.seconds(), 10.0, 1.5);
+    }
+  }
+  ASSERT_TRUE(found);
+
+  CoResult<Result<CalliopeClient::StartResult>> playback;
+  Collect(client.Play("mymail", "cam"), &playback);
+  ASSERT_TRUE(RunUntil(calliope.sim(), [&] { return playback.done(); }, SimTime::Seconds(5)));
+  ASSERT_TRUE(playback.value->ok()) << playback.value->status().ToString();
+  calliope.sim().RunFor(SimTime::Seconds(5));
+  EXPECT_GT(client.FindPort("cam")->packets_received(), 100);
+}
+
+TEST(IntegrationTest, CompositeSeminarRecordAndPlay) {
+  Installation calliope;
+  ASSERT_TRUE(calliope.Boot().ok());
+
+  CalliopeClient& client = calliope.AddClient("client0");
+  CoResult<Status> connected;
+  Collect(client.Connect("bob", "bob-key"), &connected);
+  RunUntil(calliope.sim(), [&] { return connected.done(); }, SimTime::Seconds(5));
+
+  CoResult<Result<ClientDisplayPort*>> video;
+  Collect(client.RegisterPort("v", "rtp-video"), &video);
+  RunUntil(calliope.sim(), [&] { return video.done(); }, SimTime::Seconds(5));
+  CoResult<Result<ClientDisplayPort*>> audio;
+  Collect(client.RegisterPort("a", "vat-audio"), &audio);
+  RunUntil(calliope.sim(), [&] { return audio.done(); }, SimTime::Seconds(5));
+  CoResult<Result<ClientDisplayPort*>> seminar;
+  Collect(client.RegisterCompositePort("sem", "seminar", {"v", "a"}), &seminar);
+  ASSERT_TRUE(RunUntil(calliope.sim(), [&] { return seminar.done(); }, SimTime::Seconds(5)));
+  ASSERT_TRUE(seminar.value->ok()) << seminar.value->status().ToString();
+
+  CoResult<Result<CalliopeClient::StartResult>> record;
+  Collect(client.Record("talk", "seminar", "sem", SimTime::Seconds(30)), &record);
+  ASSERT_TRUE(RunUntil(calliope.sim(), [&] { return record.done(); }, SimTime::Seconds(5)));
+  ASSERT_TRUE(record.value->ok()) << record.value->status().ToString();
+  const GroupId group = (*record.value)->group;
+
+  // Feed both component streams.
+  const PacketSequence video_packets = GenerateVbr(Graph2File(0), SimTime::Seconds(8));
+  VbrSourceConfig audio_config;
+  audio_config.target_average = DataRate::KilobitsPerSec(64);
+  audio_config.seed = 99;
+  const PacketSequence audio_packets = GenerateVbr(audio_config, SimTime::Seconds(8));
+  CoResult<Result<int64_t>> video_sent;
+  CoResult<Result<int64_t>> audio_sent;
+  Collect(client.SendRecording(group, 0, video_packets), &video_sent);
+  Collect(client.SendRecording(group, 1, audio_packets), &audio_sent);
+  ASSERT_TRUE(RunUntil(calliope.sim(),
+                       [&] { return video_sent.done() && audio_sent.done(); },
+                       SimTime::Seconds(30)));
+  ASSERT_TRUE(video_sent.value->ok());
+  ASSERT_TRUE(audio_sent.value->ok());
+
+  CoResult<Status> quit;
+  Collect(client.Quit(group), &quit);
+  ASSERT_TRUE(RunUntil(calliope.sim(), [&] { return quit.done(); }, SimTime::Seconds(10)));
+  ASSERT_TRUE(quit.value->ok()) << quit.value->ToString();
+
+  // Play the composite back: both ports receive their component streams.
+  CoResult<Result<CalliopeClient::StartResult>> playback;
+  Collect(client.Play("talk", "sem"), &playback);
+  ASSERT_TRUE(RunUntil(calliope.sim(), [&] { return playback.done(); }, SimTime::Seconds(5)));
+  ASSERT_TRUE(playback.value->ok()) << playback.value->status().ToString();
+  calliope.sim().RunFor(SimTime::Seconds(6));
+  EXPECT_GT(client.FindPort("v")->packets_received(), 50);
+  EXPECT_GT(client.FindPort("a")->packets_received(), 50);
+}
+
+TEST(IntegrationTest, MsuFailureDetectedAndRecovered) {
+  InstallationConfig config;
+  config.msu_count = 2;
+  Installation calliope(config);
+  ASSERT_TRUE(calliope.Boot().ok());
+  ASSERT_TRUE(calliope.LoadMpegMovie("movie", SimTime::Seconds(60), 0, false).ok());
+
+  CalliopeClient& client = calliope.AddClient("client0");
+  CoResult<Status> connected;
+  Collect(client.Connect("bob", "bob-key"), &connected);
+  RunUntil(calliope.sim(), [&] { return connected.done(); }, SimTime::Seconds(5));
+  CoResult<Result<ClientDisplayPort*>> port;
+  Collect(client.RegisterPort("tv", "mpeg1"), &port);
+  RunUntil(calliope.sim(), [&] { return port.done(); }, SimTime::Seconds(5));
+  CoResult<Result<CalliopeClient::StartResult>> play;
+  Collect(client.Play("movie", "tv"), &play);
+  ASSERT_TRUE(RunUntil(calliope.sim(), [&] { return play.done(); }, SimTime::Seconds(5)));
+  calliope.sim().RunFor(SimTime::Seconds(2));
+  ASSERT_EQ(calliope.coordinator().active_stream_count(), 1u);
+
+  // Crash msu0: "The Coordinator detects when one of the MSUs fails by a
+  // break in the TCP connection."
+  calliope.msu(0).Crash();
+  ASSERT_TRUE(RunUntil(calliope.sim(), [&] { return !calliope.coordinator().MsuUp("msu0"); },
+                       SimTime::Seconds(5)));
+  EXPECT_EQ(calliope.coordinator().active_stream_count(), 0u);
+  EXPECT_TRUE(calliope.coordinator().MsuUp("msu1"));
+
+  // Restart: the MSU re-contacts the Coordinator and is restored.
+  CoResult<Status> restarted;
+  Collect(calliope.msu(0).Restart("coordinator"), &restarted);
+  ASSERT_TRUE(RunUntil(calliope.sim(), [&] { return restarted.done(); }, SimTime::Seconds(10)));
+  ASSERT_TRUE(restarted.value->ok()) << restarted.value->ToString();
+  EXPECT_TRUE(calliope.coordinator().MsuUp("msu0"));
+
+  // Content survived the crash: play it again.
+  CoResult<Result<CalliopeClient::StartResult>> replay;
+  Collect(client.Play("movie", "tv"), &replay);
+  ASSERT_TRUE(RunUntil(calliope.sim(), [&] { return replay.done(); }, SimTime::Seconds(5)));
+  ASSERT_TRUE(replay.value->ok()) << replay.value->status().ToString();
+  calliope.sim().RunFor(SimTime::Seconds(3));
+  EXPECT_GT(client.FindPort("tv")->packets_received(), 80);
+}
+
+TEST(IntegrationTest, RequestsQueueWhenBandwidthExhaustedAndStartLater) {
+  // Shrink the admission budget so one disk holds only 2 concurrent streams.
+  InstallationConfig config;
+  config.coordinator.disk_budget = DataRate::MegabitsPerSec(3.2);
+  config.msu_machine.disks_per_hba = {1};
+  Installation calliope(config);
+  ASSERT_TRUE(calliope.Boot().ok());
+  ASSERT_TRUE(calliope.LoadMpegMovie("movie", SimTime::Seconds(30), 0, false).ok());
+
+  CalliopeClient& client = calliope.AddClient("client0");
+  CoResult<Status> connected;
+  Collect(client.Connect("bob", "bob-key"), &connected);
+  RunUntil(calliope.sim(), [&] { return connected.done(); }, SimTime::Seconds(5));
+
+  std::vector<std::unique_ptr<CoResult<Result<ClientDisplayPort*>>>> ports;
+  for (int i = 0; i < 3; ++i) {
+    ports.push_back(std::make_unique<CoResult<Result<ClientDisplayPort*>>>());
+    Collect(client.RegisterPort("tv" + std::to_string(i), "mpeg1"), ports.back().get());
+  }
+  RunUntil(calliope.sim(), [&] { return ports.back()->done(); }, SimTime::Seconds(5));
+
+  std::vector<std::unique_ptr<CoResult<Result<CalliopeClient::StartResult>>>> plays;
+  for (int i = 0; i < 3; ++i) {
+    plays.push_back(std::make_unique<CoResult<Result<CalliopeClient::StartResult>>>());
+    Collect(client.Play("movie", "tv" + std::to_string(i)), plays.back().get());
+  }
+  ASSERT_TRUE(RunUntil(calliope.sim(),
+                       [&] { return plays[0]->done() && plays[1]->done() && plays[2]->done(); },
+                       SimTime::Seconds(10)));
+  int queued = 0;
+  for (auto& play : plays) {
+    ASSERT_TRUE(play->value->ok());
+    if ((*play->value)->queued) {
+      ++queued;
+    }
+  }
+  EXPECT_EQ(queued, 1);
+  EXPECT_EQ(calliope.coordinator().pending_request_count(), 1u);
+
+  // When the 30-second movies end, the queued request gets its resources.
+  EXPECT_TRUE(RunUntil(calliope.sim(),
+                       [&] { return calliope.coordinator().pending_request_count() == 0; },
+                       SimTime::Seconds(60)));
+  calliope.sim().RunFor(SimTime::Seconds(5));
+  EXPECT_GT(client.FindPort("tv2")->packets_received(), 0);
+}
+
+TEST(IntegrationTest, AdminCanDeleteContentAndNonAdminCannot) {
+  Installation calliope;
+  ASSERT_TRUE(calliope.Boot().ok());
+  ASSERT_TRUE(calliope.LoadMpegMovie("movie", SimTime::Seconds(10), 0, false).ok());
+
+  CalliopeClient& bob = calliope.AddClient("bobhost");
+  CoResult<Status> bob_connected;
+  Collect(bob.Connect("bob", "bob-key"), &bob_connected);
+  RunUntil(calliope.sim(), [&] { return bob_connected.done(); }, SimTime::Seconds(5));
+  CoResult<Status> bob_delete;
+  Collect(bob.DeleteContent("movie"), &bob_delete);
+  ASSERT_TRUE(RunUntil(calliope.sim(), [&] { return bob_delete.done(); }, SimTime::Seconds(5)));
+  EXPECT_FALSE(bob_delete.value->ok());
+
+  CalliopeClient& alice = calliope.AddClient("alicehost");
+  CoResult<Status> alice_connected;
+  Collect(alice.Connect("alice", "alice-key"), &alice_connected);
+  RunUntil(calliope.sim(), [&] { return alice_connected.done(); }, SimTime::Seconds(5));
+  CoResult<Status> alice_delete;
+  Collect(alice.DeleteContent("movie"), &alice_delete);
+  ASSERT_TRUE(RunUntil(calliope.sim(), [&] { return alice_delete.done(); }, SimTime::Seconds(5)));
+  EXPECT_TRUE(alice_delete.value->ok()) << alice_delete.value->ToString();
+
+  // Gone from the catalog and from the MSU file system.
+  EXPECT_FALSE(calliope.coordinator().catalog().FindContent("movie").ok());
+  EXPECT_FALSE(calliope.msu(0).fs().Lookup("movie.mpg").ok());
+}
+
+TEST(IntegrationTest, CorruptPageTerminatesStreamCleanly) {
+  Installation calliope;
+  ASSERT_TRUE(calliope.Boot().ok());
+  ASSERT_TRUE(calliope.LoadMpegMovie("movie", SimTime::Seconds(120), 0, false).ok());
+  // Scribble over a page ~8 seconds in.
+  auto file = calliope.msu(0).fs().Lookup("movie.mpg");
+  ASSERT_TRUE(file.ok());
+  calliope.msu(0).fs().CorruptPageForTesting(*file, 6);
+
+  CalliopeClient& client = calliope.AddClient("c");
+  CoResult<Status> connected;
+  Collect(client.Connect("bob", "bob-key"), &connected);
+  RunUntil(calliope.sim(), [&] { return connected.done(); }, SimTime::Seconds(5));
+  CoResult<Result<ClientDisplayPort*>> port;
+  Collect(client.RegisterPort("tv", "mpeg1"), &port);
+  RunUntil(calliope.sim(), [&] { return port.done(); }, SimTime::Seconds(5));
+  CoResult<Result<CalliopeClient::StartResult>> play;
+  Collect(client.Play("movie", "tv"), &play);
+  ASSERT_TRUE(RunUntil(calliope.sim(), [&] { return play.done(); }, SimTime::Seconds(5)));
+  const GroupId group = (*play.value)->group;
+
+  // The stream dies at the bad page instead of stalling the viewer forever;
+  // the group terminates and the Coordinator releases the slot.
+  ASSERT_TRUE(RunUntil(calliope.sim(), [&] { return client.GroupTerminated(group); },
+                       SimTime::Seconds(30)));
+  EXPECT_EQ(calliope.coordinator().active_stream_count(), 0u);
+  // Roughly the first six pages' worth of packets arrived (~63 per page).
+  const int64_t received = client.FindPort("tv")->packets_received();
+  EXPECT_GT(received, 5 * 60);
+  EXPECT_LT(received, 8 * 66);
+}
+
+TEST(IntegrationTest, RecordWhilePlayingSharesTheDisks) {
+  // The disk processes interleave playback reads and recording writes in the
+  // same round-robin duty cycle.
+  Installation calliope;
+  ASSERT_TRUE(calliope.Boot().ok());
+  ASSERT_TRUE(calliope.LoadMpegMovie("movie", SimTime::Seconds(60), 0, false).ok());
+
+  CalliopeClient& client = calliope.AddClient("c");
+  CoResult<Status> connected;
+  Collect(client.Connect("bob", "bob-key"), &connected);
+  RunUntil(calliope.sim(), [&] { return connected.done(); }, SimTime::Seconds(5));
+
+  // Three viewers...
+  for (int i = 0; i < 3; ++i) {
+    CoResult<Result<ClientDisplayPort*>> port;
+    Collect(client.RegisterPort("tv" + std::to_string(i), "mpeg1"), &port);
+    RunUntil(calliope.sim(), [&] { return port.done(); }, SimTime::Seconds(5));
+    CoResult<Result<CalliopeClient::StartResult>> play;
+    Collect(client.Play("movie", "tv" + std::to_string(i)), &play);
+    ASSERT_TRUE(RunUntil(calliope.sim(), [&] { return play.done(); }, SimTime::Seconds(5)));
+    ASSERT_TRUE(play.value->ok());
+  }
+  // ...and one camera recording at the same time.
+  CoResult<Result<ClientDisplayPort*>> cam;
+  Collect(client.RegisterPort("cam", "rtp-video"), &cam);
+  RunUntil(calliope.sim(), [&] { return cam.done(); }, SimTime::Seconds(5));
+  CoResult<Result<CalliopeClient::StartResult>> record;
+  Collect(client.Record("live", "rtp-video", "cam", SimTime::Seconds(60)), &record);
+  ASSERT_TRUE(RunUntil(calliope.sim(), [&] { return record.done(); }, SimTime::Seconds(5)));
+  ASSERT_TRUE(record.value->ok());
+  const PacketSequence packets = GenerateVbr(Graph2File(0), SimTime::Seconds(12));
+  CoResult<Result<int64_t>> sent;
+  Collect(client.SendRecording((*record.value)->group, 0, packets), &sent);
+  ASSERT_TRUE(RunUntil(calliope.sim(), [&] { return sent.done(); }, SimTime::Seconds(30)));
+
+  CoResult<Status> quit;
+  Collect(client.Quit((*record.value)->group), &quit);
+  ASSERT_TRUE(RunUntil(calliope.sim(), [&] { return quit.done(); }, SimTime::Seconds(10)));
+  ASSERT_TRUE(quit.value->ok());
+
+  // Everyone made progress: viewers received on schedule, recording sealed.
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_GT(client.FindPort("tv" + std::to_string(i))->packets_received(), 300) << i;
+  }
+  EXPECT_TRUE(calliope.msu(0).fs().Lookup("live.dat").ok());
+  EXPECT_GT(calliope.msu(0).fs().metadata_flushes(), 0);
+}
+
+TEST(IntegrationTest, SeekStormStaysConsistent) {
+  Installation calliope;
+  ASSERT_TRUE(calliope.Boot().ok());
+  ASSERT_TRUE(calliope.LoadMpegMovie("movie", SimTime::Seconds(600), 0, false).ok());
+
+  CalliopeClient& client = calliope.AddClient("c");
+  CoResult<Status> connected;
+  Collect(client.Connect("bob", "bob-key"), &connected);
+  RunUntil(calliope.sim(), [&] { return connected.done(); }, SimTime::Seconds(5));
+  CoResult<Result<ClientDisplayPort*>> port;
+  Collect(client.RegisterPort("tv", "mpeg1"), &port);
+  RunUntil(calliope.sim(), [&] { return port.done(); }, SimTime::Seconds(5));
+  CoResult<Result<CalliopeClient::StartResult>> play;
+  Collect(client.Play("movie", "tv"), &play);
+  ASSERT_TRUE(RunUntil(calliope.sim(), [&] { return play.done(); }, SimTime::Seconds(5)));
+  const GroupId group = (*play.value)->group;
+
+  // A dozen rapid-fire seeks all over the file, each acknowledged.
+  const int64_t targets[] = {500, 10, 300, 42, 599, 0, 250, 123, 400, 7, 550, 60};
+  for (int64_t target : targets) {
+    CoResult<Status> sought;
+    Collect(client.Vcr(group, VcrCommand::Op::kSeek, SimTime::Seconds(target)), &sought);
+    ASSERT_TRUE(RunUntil(calliope.sim(), [&] { return sought.done(); }, SimTime::Seconds(10)));
+    EXPECT_TRUE(sought.value->ok()) << target << ": " << sought.value->ToString();
+    calliope.sim().RunFor(SimTime::Millis(300));
+  }
+  // Still delivering from the final position.
+  const int64_t before = client.FindPort("tv")->packets_received();
+  calliope.sim().RunFor(SimTime::Seconds(5));
+  EXPECT_GT(client.FindPort("tv")->packets_received(), before + 180);
+  EXPECT_EQ(calliope.coordinator().active_stream_count(), 1u);
+}
+
+TEST(IntegrationTest, LateJoinersQueueAndInheritFreedSlots) {
+  // A revolving audience: as early streams end, queued requests take over.
+  InstallationConfig config;
+  config.coordinator.disk_budget = DataRate::MegabitsPerSec(3.2);  // 2 per disk
+  config.msu_machine.disks_per_hba = {1};
+  Installation calliope(config);
+  ASSERT_TRUE(calliope.Boot().ok());
+  ASSERT_TRUE(calliope.LoadMpegMovie("clip", SimTime::Seconds(15), 0, false).ok());
+
+  CalliopeClient& client = calliope.AddClient("c");
+  CoResult<Status> connected;
+  Collect(client.Connect("bob", "bob-key"), &connected);
+  RunUntil(calliope.sim(), [&] { return connected.done(); }, SimTime::Seconds(5));
+
+  std::vector<std::unique_ptr<CoResult<Result<CalliopeClient::StartResult>>>> plays;
+  for (int i = 0; i < 6; ++i) {
+    CoResult<Result<ClientDisplayPort*>> port;
+    Collect(client.RegisterPort("tv" + std::to_string(i), "mpeg1"), &port);
+    RunUntil(calliope.sim(), [&] { return port.done(); }, SimTime::Seconds(5));
+    plays.push_back(std::make_unique<CoResult<Result<CalliopeClient::StartResult>>>());
+    Collect(client.Play("clip", "tv" + std::to_string(i)), plays.back().get());
+  }
+  ASSERT_TRUE(RunUntil(calliope.sim(), [&] { return plays.back()->done(); },
+                       SimTime::Seconds(10)));
+  EXPECT_GE(calliope.coordinator().pending_request_count(), 3u);
+
+  // Three 15-second generations: everyone eventually gets served.
+  EXPECT_TRUE(RunUntil(calliope.sim(),
+                       [&] { return calliope.coordinator().pending_request_count() == 0; },
+                       SimTime::Seconds(90)));
+  calliope.sim().RunFor(SimTime::Seconds(10));
+  for (int i = 0; i < 6; ++i) {
+    EXPECT_GT(client.FindPort("tv" + std::to_string(i))->packets_received(), 0) << i;
+  }
+}
+
+}  // namespace
+}  // namespace calliope

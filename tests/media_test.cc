@@ -1,0 +1,185 @@
+// Tests for the media substrate: CBR/VBR sources, the synthetic MPEG model
+// and the offline fast-forward/backward filter (§2.3.1).
+#include <gtest/gtest.h>
+
+#include "src/media/mpeg.h"
+#include "src/media/packet.h"
+#include "src/media/sources.h"
+
+namespace calliope {
+namespace {
+
+TEST(PacketStatsTest, EmptyAndSingleSequences) {
+  PacketSequence empty;
+  EXPECT_EQ(TotalBytes(empty).count(), 0);
+  EXPECT_EQ(Duration(empty), SimTime());
+  EXPECT_EQ(AverageRate(empty), DataRate());
+  PacketSequence one(1);
+  one[0].size = Bytes(100);
+  EXPECT_EQ(TotalBytes(one).count(), 100);
+  EXPECT_EQ(Duration(one), SimTime());
+}
+
+TEST(CbrSourceTest, UniformSpacingAndRate) {
+  CbrSourceConfig config;
+  const PacketSequence packets = GenerateCbr(config, SimTime::Seconds(60));
+  ASSERT_GT(packets.size(), 2000u);
+  const SimTime interval = packets[1].delivery_offset - packets[0].delivery_offset;
+  EXPECT_NEAR(interval.millis_f(), 21.8, 0.2);  // 4 KB at 1.5 Mbit/s
+  for (size_t i = 1; i < packets.size(); ++i) {
+    EXPECT_EQ(packets[i].delivery_offset - packets[i - 1].delivery_offset, interval);
+    EXPECT_EQ(packets[i].size, config.packet_size);
+  }
+  EXPECT_NEAR(AverageRate(packets).megabits_per_sec(), 1.5, 0.01);
+}
+
+TEST(VbrSourceTest, MatchesConfiguredAverageRate) {
+  for (int f = 0; f < 3; ++f) {
+    const VbrSourceConfig config = Graph2File(f);
+    const PacketSequence packets = GenerateVbr(config, SimTime::Seconds(120));
+    const double target = config.target_average.megabits_per_sec();
+    EXPECT_NEAR(AverageRate(packets).megabits_per_sec(), target, target * 0.12) << "file " << f;
+  }
+}
+
+TEST(VbrSourceTest, PeakRatesInPaperRange) {
+  // "the peak rates of the files ranged from 2.0 to 5.4 MBit/sec" (50 ms
+  // sliding window); allow modest overshoot on the hot file.
+  for (int f = 0; f < 3; ++f) {
+    const PacketSequence packets = GenerateVbr(Graph2File(f), SimTime::Seconds(120));
+    const double peak = PeakRate(packets, SimTime::Millis(50)).megabits_per_sec();
+    EXPECT_GE(peak, 2.0) << "file " << f;
+    EXPECT_LE(peak, 7.5) << "file " << f;
+  }
+}
+
+TEST(VbrSourceTest, PacketsAreAboutOneKilobyte) {
+  const PacketSequence packets = GenerateVbr(Graph2File(0), SimTime::Seconds(60));
+  int64_t full = 0;
+  for (const MediaPacket& packet : packets) {
+    EXPECT_LE(packet.size.count(), 1024);
+    if (packet.size.count() == 1024) {
+      ++full;
+    }
+  }
+  // "Most of the packets in the streams are about one KByte long."
+  EXPECT_GT(full, static_cast<int64_t>(packets.size()) / 2);
+}
+
+TEST(VbrSourceTest, DeliveryOffsetsMonotone) {
+  const PacketSequence packets = GenerateVbr(Graph2File(2), SimTime::Seconds(300));
+  for (size_t i = 1; i < packets.size(); ++i) {
+    EXPECT_GE(packets[i].delivery_offset, packets[i - 1].delivery_offset) << i;
+  }
+}
+
+TEST(VbrSourceTest, DeterministicForSeed) {
+  const PacketSequence a = GenerateVbr(Graph2File(1), SimTime::Seconds(30));
+  const PacketSequence b = GenerateVbr(Graph2File(1), SimTime::Seconds(30));
+  ASSERT_EQ(a.size(), b.size());
+  EXPECT_EQ(a, b);
+}
+
+TEST(MpegTest, GopStructure) {
+  MpegEncoderConfig config;
+  const MpegStream stream = EncodeMpeg(config, SimTime::Seconds(10), 7);
+  ASSERT_EQ(stream.frames.size(), 300u);
+  for (size_t i = 0; i < stream.frames.size(); ++i) {
+    if (i % static_cast<size_t>(config.gop_size) == 0) {
+      EXPECT_EQ(stream.frames[i].type, MpegFrame::Type::kIntra) << i;
+    } else {
+      EXPECT_NE(stream.frames[i].type, MpegFrame::Type::kIntra) << i;
+    }
+  }
+}
+
+TEST(MpegTest, AverageRateMatchesTarget) {
+  const MpegStream stream = EncodeMpeg(MpegEncoderConfig{}, SimTime::Seconds(60), 7);
+  const double rate = stream.total_bytes().count() * 8.0 / stream.duration().seconds();
+  EXPECT_NEAR(rate / 1e6, 1.5, 0.08);
+}
+
+TEST(MpegTest, IntraFramesAreLargest) {
+  const MpegStream stream = EncodeMpeg(MpegEncoderConfig{}, SimTime::Seconds(10), 7);
+  double intra_sum = 0, other_sum = 0;
+  int intra_n = 0, other_n = 0;
+  for (const MpegFrame& frame : stream.frames) {
+    if (frame.type == MpegFrame::Type::kIntra) {
+      intra_sum += static_cast<double>(frame.size.count());
+      ++intra_n;
+    } else {
+      other_sum += static_cast<double>(frame.size.count());
+      ++other_n;
+    }
+  }
+  EXPECT_GT(intra_sum / intra_n, 2.0 * other_sum / other_n);
+}
+
+TEST(FilterTest, FastForwardKeepsEveryFifteenthFrame) {
+  const MpegStream stream = EncodeMpeg(MpegEncoderConfig{}, SimTime::Seconds(150), 7);
+  const MpegStream ff = FilterFastForward(stream, 15);
+  EXPECT_EQ(ff.frames.size(), stream.frames.size() / 15);
+  // Filtered file covers the content in 1/15 the duration at the same rate.
+  EXPECT_NEAR(ff.duration().seconds(), stream.duration().seconds() / 15.0, 0.5);
+  for (const MpegFrame& frame : ff.frames) {
+    EXPECT_EQ(frame.type, MpegFrame::Type::kIntra);  // recompressed as intra
+  }
+}
+
+TEST(FilterTest, FastBackwardIsReversedFastForward) {
+  const MpegStream stream = EncodeMpeg(MpegEncoderConfig{}, SimTime::Seconds(60), 7);
+  const MpegStream ff = FilterFastForward(stream, 15);
+  const MpegStream fb = FilterFastBackward(stream, 15);
+  ASSERT_EQ(ff.frames.size(), fb.frames.size());
+  for (size_t i = 0; i < ff.frames.size(); ++i) {
+    EXPECT_EQ(ff.frames[i].size, fb.frames[fb.frames.size() - 1 - i].size);
+  }
+}
+
+TEST(FilterTest, FilteredStreamPlaysAtNominalRate) {
+  const MpegStream stream = EncodeMpeg(MpegEncoderConfig{}, SimTime::Seconds(150), 7);
+  const MpegStream ff = FilterFastForward(stream, 15);
+  const double rate = ff.total_bytes().count() * 8.0 / ff.duration().seconds();
+  EXPECT_NEAR(rate / 1e6, 1.5, 0.1);  // same content type => same reservation
+}
+
+TEST(PacketizeTest, CbrPacketizationCoversAllBytesInOrder) {
+  const MpegStream stream = EncodeMpeg(MpegEncoderConfig{}, SimTime::Seconds(30), 7);
+  const PacketSequence packets = PacketizeCbr(stream, Bytes::KiB(4));
+  EXPECT_EQ(TotalBytes(packets), stream.total_bytes());
+  for (size_t i = 1; i < packets.size(); ++i) {
+    EXPECT_GT(packets[i].delivery_offset, packets[i - 1].delivery_offset);
+  }
+  // Keyframe markers present roughly once per GOP.
+  int64_t keyframes = 0;
+  for (const MediaPacket& packet : packets) {
+    if (packet.flags & kPacketKeyframe) {
+      ++keyframes;
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(keyframes), 60.0, 8.0);  // 30 s * 30 fps / 15
+}
+
+// Property sweep: the CBR generator holds its rate across a span of rates
+// and packet sizes.
+class CbrRateProperty : public ::testing::TestWithParam<std::tuple<double, int64_t>> {};
+
+TEST_P(CbrRateProperty, AverageMatches) {
+  const auto [mbit, packet_bytes] = GetParam();
+  CbrSourceConfig config;
+  config.rate = DataRate::MegabitsPerSec(mbit);
+  config.packet_size = Bytes(packet_bytes);
+  const PacketSequence packets = GenerateCbr(config, SimTime::Seconds(30));
+  ASSERT_GT(packets.size(), 10u);
+  // AverageRate spans n packets over n-1 intervals; correct for the bias.
+  const double unbias =
+      static_cast<double>(packets.size() - 1) / static_cast<double>(packets.size());
+  EXPECT_NEAR(AverageRate(packets).megabits_per_sec() * unbias, mbit, mbit * 0.02);
+}
+
+INSTANTIATE_TEST_SUITE_P(RateSweep, CbrRateProperty,
+                         ::testing::Combine(::testing::Values(0.064, 0.65, 1.5, 4.0, 8.0),
+                                            ::testing::Values(512, 1024, 4096, 8192)));
+
+}  // namespace
+}  // namespace calliope

@@ -1,0 +1,81 @@
+// Tests for the synthetic MPEG bitstream serializer/parser (§2.3.1).
+#include <gtest/gtest.h>
+
+#include "src/media/mpeg_bitstream.h"
+
+namespace calliope {
+namespace {
+
+MpegStream Encode(SimTime duration) { return EncodeMpeg(MpegEncoderConfig{}, duration, 5); }
+
+TEST(MpegBitstreamTest, RoundTripRecoversPictureStructure) {
+  const MpegStream stream = Encode(SimTime::Seconds(10));
+  const auto bytes = SerializeMpegBitstream(stream);
+  auto parsed = ParseMpegBitstream(bytes);
+  ASSERT_TRUE(parsed.ok());
+  ASSERT_EQ(parsed->pictures.size(), stream.frames.size());
+  for (size_t i = 0; i < stream.frames.size(); ++i) {
+    EXPECT_EQ(parsed->pictures[i].type, stream.frames[i].type) << i;
+  }
+}
+
+TEST(MpegBitstreamTest, GopCountMatchesIntraFrames) {
+  const MpegStream stream = Encode(SimTime::Seconds(15));
+  auto parsed = ParseMpegBitstream(SerializeMpegBitstream(stream));
+  ASSERT_TRUE(parsed.ok());
+  size_t intra = 0;
+  for (const MpegFrame& frame : stream.frames) {
+    if (frame.type == MpegFrame::Type::kIntra) {
+      ++intra;
+    }
+  }
+  EXPECT_EQ(parsed->gop_count, intra);
+}
+
+TEST(MpegBitstreamTest, CodedSizesCoverPayload) {
+  const MpegStream stream = Encode(SimTime::Seconds(5));
+  auto parsed = ParseMpegBitstream(SerializeMpegBitstream(stream));
+  ASSERT_TRUE(parsed.ok());
+  for (size_t i = 0; i < parsed->pictures.size(); ++i) {
+    // picture header (7B + start code already inside) + frame payload.
+    EXPECT_GE(parsed->pictures[i].coded_size,
+              static_cast<size_t>(stream.frames[i].size.count()))
+        << i;
+    EXPECT_LE(parsed->pictures[i].coded_size,
+              static_cast<size_t>(stream.frames[i].size.count()) + 16)
+        << i;
+  }
+}
+
+TEST(MpegBitstreamTest, NoStartCodeEmulationInPayload) {
+  const auto bytes = SerializeMpegBitstream(Encode(SimTime::Seconds(2)));
+  // Count start codes: must equal sequence(1) + end(1) + GOPs + pictures.
+  auto parsed = ParseMpegBitstream(bytes);
+  ASSERT_TRUE(parsed.ok());
+  size_t start_codes = 0;
+  for (size_t i = 0; i + 2 < bytes.size(); ++i) {
+    if (bytes[i] == std::byte{0} && bytes[i + 1] == std::byte{0} &&
+        bytes[i + 2] == std::byte{1}) {
+      ++start_codes;
+    }
+  }
+  EXPECT_EQ(start_codes, 2 + parsed->gop_count + parsed->pictures.size());
+}
+
+TEST(MpegBitstreamTest, TruncatedAndGarbageStreamsRejected) {
+  EXPECT_FALSE(ParseMpegBitstream({}).ok());
+  std::vector<std::byte> garbage(1000, std::byte{0xAB});
+  EXPECT_FALSE(ParseMpegBitstream(garbage).ok());
+  auto bytes = SerializeMpegBitstream(Encode(SimTime::Seconds(1)));
+  bytes.resize(10);  // inside the sequence header
+  EXPECT_FALSE(ParseMpegBitstream(bytes).ok());
+}
+
+TEST(MpegBitstreamTest, ParseCostModelScalesWithBytes) {
+  EXPECT_EQ(ParseCpuTime(Bytes(0)), SimTime());
+  const SimTime one_mb = ParseCpuTime(Bytes(1000000));
+  EXPECT_NEAR(one_mb.millis_f(), 1e6 * kParseCyclesPerByte / kPentiumHz * 1000.0, 0.01);
+}
+
+}  // namespace
+}  // namespace calliope

@@ -1,0 +1,184 @@
+// Reproduction regression tests: fast (shortened-window) versions of the
+// headline paper results, pinned as invariants so calibration drift breaks
+// CI rather than silently un-reproducing the paper. Full-length runs live in
+// bench/; see EXPERIMENTS.md for the measured-vs-paper tables.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "src/calliope/calliope.h"
+#include "src/util/rng.h"
+#include "tests/test_util.h"
+
+namespace calliope {
+namespace {
+
+// Shared driver: N CBR streams on the Graph-1 machine for `duration`.
+LatenessHistogram RunCbrStreams(int stream_count, SimTime duration) {
+  InstallationConfig config;
+  config.msu_machine.disks_per_hba = {2};
+  config.coordinator.disk_budget = DataRate::MegabytesPerSec(2.5);
+  Installation calliope(config);
+  EXPECT_TRUE(calliope.Boot().ok());
+  for (int i = 0; i < stream_count; ++i) {
+    EXPECT_TRUE(calliope
+                    .LoadMpegMovie("m" + std::to_string(i), duration + SimTime::Seconds(30), 0,
+                                   false, i % 2)
+                    .ok());
+  }
+  CalliopeClient& client = calliope.AddClient("c");
+  CoResult<Status> connected;
+  Collect(client.Connect("bob", "bob-key"), &connected);
+  RunUntil(calliope.sim(), [&] { return connected.done(); }, SimTime::Seconds(5));
+  for (int i = 0; i < stream_count; ++i) {
+    CoResult<Result<ClientDisplayPort*>> port;
+    Collect(client.RegisterPort("tv" + std::to_string(i), "mpeg1"), &port);
+    RunUntil(calliope.sim(), [&] { return port.done(); }, SimTime::Seconds(5));
+    CoResult<Result<CalliopeClient::StartResult>> play;
+    Collect(client.Play("m" + std::to_string(i), "tv" + std::to_string(i)), &play);
+    RunUntil(calliope.sim(), [&] { return play.done(); }, SimTime::Seconds(5));
+    EXPECT_TRUE(play.value->ok());
+  }
+  calliope.sim().RunFor(SimTime::Seconds(5) + duration);
+  return calliope.msu(0).AggregateLateness();
+}
+
+TEST(ReproductionTest, Graph1WorkingPointAt22Streams) {
+  // Paper: 22 streams => 99.6% within 50 ms, none later than 150 ms.
+  const LatenessHistogram lateness = RunCbrStreams(22, SimTime::Seconds(30));
+  EXPECT_GT(lateness.FractionWithin(SimTime::Millis(50)), 0.96);
+  EXPECT_LE(lateness.MaxRecorded(), SimTime::Millis(150));
+}
+
+TEST(ReproductionTest, Graph1CliffAt24Streams) {
+  // Paper: 24 streams => only 38% within 50 ms. The cliff must exist.
+  const LatenessHistogram lateness = RunCbrStreams(24, SimTime::Seconds(30));
+  EXPECT_LT(lateness.FractionWithin(SimTime::Millis(50)), 0.60);
+  EXPECT_GT(lateness.MaxRecorded(), SimTime::Millis(150));
+}
+
+TEST(ReproductionTest, Table1Baselines) {
+  // ttcp-only: ~8.5 MB/s.
+  {
+    Simulator sim;
+    MachineParams params = MicronP66();
+    params.disks_per_hba = {};
+    Machine machine(sim, params, "m");
+    [](Nic* nic) -> Task {
+      for (;;) {
+        co_await nic->SendBlocking(Frame{Bytes::KiB(4)});
+      }
+    }(&machine.fddi());
+    sim.RunFor(SimTime::Seconds(20));
+    EXPECT_NEAR(machine.fddi().bytes_sent().megabytes() / 20.0, 8.5, 0.5);
+  }
+  // Combined one-HBA vs two-HBA: the collapse ordering must hold.
+  auto combined_fddi = [](std::vector<int> disks_per_hba) {
+    Simulator sim;
+    MachineParams params = MicronP66();
+    params.disks_per_hba = std::move(disks_per_hba);
+    Machine machine(sim, params, "m");
+    [](Nic* nic) -> Task {
+      for (;;) {
+        co_await nic->SendBlocking(Frame{Bytes::KiB(4)});
+      }
+    }(&machine.fddi());
+    for (size_t d = 0; d < machine.disk_count(); ++d) {
+      [](Disk* disk, uint64_t seed) -> Task {
+        Rng rng(seed);
+        const int64_t blocks = disk->capacity() / Bytes::KiB(256);
+        for (;;) {
+          co_await disk->Read(
+              Bytes::KiB(256) * static_cast<int64_t>(rng.NextBelow(static_cast<uint64_t>(blocks))),
+              Bytes::KiB(256));
+        }
+      }(&machine.disk(d), 100 + d);
+    }
+    sim.RunFor(SimTime::Seconds(20));
+    return machine.fddi().bytes_sent().megabytes() / 20.0;
+  };
+  const double one_disk = combined_fddi({1});
+  const double two_disks_one_hba = combined_fddi({2});
+  const double two_disks_two_hbas = combined_fddi({1, 1});
+  EXPECT_GT(one_disk, two_disks_one_hba);           // 5.9 > 4.7
+  EXPECT_GT(two_disks_one_hba, 4.0);                // the usable peak
+  EXPECT_LT(two_disks_two_hbas, two_disks_one_hba * 0.6);  // the collapse
+}
+
+TEST(ReproductionTest, MemoryPipelineMatchesParagraph323) {
+  // Theoretical 7.5 MB/s; measured disk-less pipeline ~6.3 MB/s.
+  const MemoryBusParams memory = MicronP66().memory;
+  const double theoretical =
+      1.0 / (1.0 / memory.write_rate.megabytes_per_sec() +
+             1.0 / memory.copy_rate.megabytes_per_sec() +
+             2.0 / memory.read_rate.megabytes_per_sec());
+  EXPECT_NEAR(theoretical, 7.5, 0.1);
+
+  Simulator sim;
+  MachineParams params = MicronP66();
+  params.disks_per_hba = {};
+  Machine machine(sim, params, "m");
+  Semaphore full(sim, 0);
+  Semaphore empty(sim, 8);
+  [](Machine* m, Semaphore* f, Semaphore* e) -> Task {
+    for (;;) {
+      co_await e->Acquire();
+      co_await m->memory().Write(Bytes::KiB(4));
+      f->Release();
+    }
+  }(&machine, &full, &empty);
+  [](Machine* m, Semaphore* f, Semaphore* e) -> Task {
+    for (;;) {
+      co_await f->Acquire();
+      co_await m->fddi().SendBlocking(Frame{Bytes::KiB(4)});
+      e->Release();
+    }
+  }(&machine, &full, &empty);
+  sim.RunFor(SimTime::Seconds(15));
+  EXPECT_NEAR(machine.fddi().bytes_sent().megabytes() / 15.0, 6.3, 0.4);
+}
+
+TEST(ReproductionTest, VbrSourcesMatchPaperCalibration) {
+  // Averages 650/635/877 Kbit/s; 50 ms peaks in the low-megabit range.
+  const double expected[] = {650, 635, 877};
+  for (int f = 0; f < 3; ++f) {
+    const PacketSequence packets = GenerateVbr(Graph2File(f), SimTime::Seconds(90));
+    EXPECT_NEAR(AverageRate(packets).megabits_per_sec() * 1000.0, expected[f],
+                expected[f] * 0.12)
+        << f;
+    const double peak = PeakRate(packets, SimTime::Millis(50)).megabits_per_sec();
+    EXPECT_GE(peak, 2.0) << f;
+  }
+}
+
+TEST(ReproductionTest, ElevatorGainStaysSmall) {
+  // Paper: ~6% at 24 readers — if the model drifts so that head scheduling
+  // wins big, the "no head scheduling" design rationale breaks.
+  auto throughput = [](DiskQueueDiscipline discipline) {
+    Simulator sim;
+    MachineParams params = MicronP66();
+    params.disks_per_hba = {1};
+    Machine machine(sim, params, "m");
+    machine.disk(0).set_discipline(discipline);
+    for (int u = 0; u < 24; ++u) {
+      [](Disk* disk, uint64_t seed) -> Task {
+        Rng rng(seed);
+        const int64_t blocks = disk->capacity() / Bytes::KiB(256);
+        for (;;) {
+          co_await disk->Read(
+              Bytes::KiB(256) * static_cast<int64_t>(rng.NextBelow(static_cast<uint64_t>(blocks))),
+              Bytes::KiB(256));
+        }
+      }(&machine.disk(0), 700 + u);
+    }
+    sim.RunFor(SimTime::Seconds(60));
+    return machine.disk(0).bytes_transferred().megabytes() / 60.0;
+  };
+  const double gain =
+      throughput(DiskQueueDiscipline::kElevator) / throughput(DiskQueueDiscipline::kFifo) - 1.0;
+  EXPECT_GT(gain, 0.0);
+  EXPECT_LT(gain, 0.12);
+}
+
+}  // namespace
+}  // namespace calliope

@@ -1,0 +1,100 @@
+// Tests for duty-cycle admission (§2.2.1 / §2.3.3).
+#include <gtest/gtest.h>
+
+#include "src/sched/duty_cycle.h"
+
+namespace calliope {
+namespace {
+
+MachineParams Params() { return MicronP66(); }
+
+TEST(DutyCycleTest, SlotTimeCoversWorstCase) {
+  const SimTime slot = WorstCaseSlotTime(Params().disk, Params().hba, Bytes::KiB(256));
+  // Full seek (~23 ms) + rotation (8.3) + transfer (~50.9) + overheads.
+  EXPECT_GT(slot, SimTime::Millis(80));
+  EXPECT_LT(slot, SimTime::Millis(95));
+}
+
+TEST(DutyCycleTest, MpegStreamsPerDisk) {
+  // "The number of slots in a cycle is the maximum number of block transfers
+  // that can be accomplished during the time it takes for a single stream to
+  // transmit its block": 256 KB drains in ~1.4 s at 1.5 Mbit/s.
+  const int slots =
+      SlotsPerCycle(Params().disk, Params().hba, Bytes::KiB(256), DataRate::MegabitsPerSec(1.5));
+  EXPECT_GE(slots, 14);
+  EXPECT_LE(slots, 18);
+}
+
+TEST(DutyCycleTest, FasterStreamsGetFewerSlots) {
+  const auto slots_for = [&](double mbit) {
+    return SlotsPerCycle(Params().disk, Params().hba, Bytes::KiB(256),
+                         DataRate::MegabitsPerSec(mbit));
+  };
+  EXPECT_GT(slots_for(0.65), slots_for(1.5));
+  EXPECT_GT(slots_for(1.5), slots_for(4.0));
+  EXPECT_EQ(SlotsPerCycle(Params().disk, Params().hba, Bytes::KiB(256), DataRate()), 0);
+}
+
+TEST(DutyCycleTest, AdmitAndReleasePerDisk) {
+  DutyCycleAllocator allocator(Params().disk, Params().hba, Bytes::KiB(256), 2, false);
+  const DataRate rate = DataRate::MegabitsPerSec(1.5);
+  const int capacity = allocator.CapacityPerDisk(rate);
+  for (int i = 0; i < capacity; ++i) {
+    EXPECT_TRUE(allocator.Admit(0, rate).ok()) << i;
+  }
+  EXPECT_FALSE(allocator.CanAdmit(0, rate));
+  EXPECT_EQ(allocator.Admit(0, rate).code(), StatusCode::kResourceExhausted);
+  // The other disk is independent.
+  EXPECT_TRUE(allocator.CanAdmit(1, rate));
+  allocator.Release(0, rate);
+  EXPECT_TRUE(allocator.CanAdmit(0, rate));
+}
+
+TEST(DutyCycleTest, StripedAdmissionIsMachineWide) {
+  DutyCycleAllocator striped(Params().disk, Params().hba, Bytes::KiB(256), 4, true);
+  const DataRate rate = DataRate::MegabitsPerSec(1.5);
+  const int per_disk = striped.CapacityPerDisk(rate);
+  // All streams land on "disk 0" logically but capacity is per-machine.
+  for (int i = 0; i < per_disk * 4; ++i) {
+    EXPECT_TRUE(striped.Admit(0, rate).ok()) << i;
+  }
+  EXPECT_FALSE(striped.CanAdmit(0, rate));
+}
+
+TEST(DutyCycleTest, StripedStartupDelayIsDTimesLonger) {
+  // "this delay is D times as long as it is in the non-striped case".
+  DutyCycleAllocator flat(Params().disk, Params().hba, Bytes::KiB(256), 4, false);
+  DutyCycleAllocator striped(Params().disk, Params().hba, Bytes::KiB(256), 4, true);
+  const DataRate rate = DataRate::MegabitsPerSec(1.5);
+  const double flat_ms = flat.WorstCaseStartupDelay(rate).millis_f();
+  const double striped_ms = striped.WorstCaseStartupDelay(rate).millis_f();
+  EXPECT_NEAR(striped_ms / flat_ms, 4.0, 0.35);
+}
+
+TEST(DutyCycleTest, BlockDrainTimeMatchesPaperExample) {
+  // "a 256 KByte buffer contains only about one second of 1.5 Mbit/sec
+  // MPEG-1 video" (1.4 s exactly at 10^6-based rates).
+  EXPECT_NEAR(BlockDrainTime(Bytes::KiB(256), DataRate::MegabitsPerSec(1.5)).seconds(), 1.4,
+              0.05);
+}
+
+// Property: capacity * rate never exceeds what the disk can physically move
+// (the admission test is conservative).
+class DutyCycleCapacityProperty : public ::testing::TestWithParam<double> {};
+
+TEST_P(DutyCycleCapacityProperty, AdmittedBandwidthIsDeliverable) {
+  const DataRate rate = DataRate::MegabitsPerSec(GetParam());
+  const int slots = SlotsPerCycle(Params().disk, Params().hba, Bytes::KiB(256), rate);
+  const double admitted_mbytes = slots * rate.megabytes_per_sec();
+  // Worst-case service of 256 KB is ~86 ms -> worst-case sustained ~3.0 MB/s.
+  const double worst_case_capacity =
+      Bytes::KiB(256).megabytes() /
+      WorstCaseSlotTime(Params().disk, Params().hba, Bytes::KiB(256)).seconds();
+  EXPECT_LE(admitted_mbytes, worst_case_capacity * 1.001) << "rate " << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(RateSweep, DutyCycleCapacityProperty,
+                         ::testing::Values(0.064, 0.25, 0.65, 1.5, 2.0, 4.0, 8.0, 20.0));
+
+}  // namespace
+}  // namespace calliope

@@ -1,0 +1,118 @@
+// Tests for the lock-free SPSC queue (§2.3), including real two-thread runs —
+// the one component of the reproduction exercised with genuine concurrency.
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/msu/spsc_queue.h"
+
+namespace calliope {
+namespace {
+
+TEST(SpscQueueTest, PushPopSingleThread) {
+  SpscQueue<int> queue(8);
+  EXPECT_TRUE(queue.Empty());
+  EXPECT_FALSE(queue.TryPop().has_value());
+  EXPECT_TRUE(queue.TryPush(1));
+  EXPECT_TRUE(queue.TryPush(2));
+  EXPECT_EQ(queue.SizeApprox(), 2u);
+  EXPECT_EQ(queue.TryPop(), 1);
+  EXPECT_EQ(queue.TryPop(), 2);
+  EXPECT_TRUE(queue.Empty());
+}
+
+TEST(SpscQueueTest, FullQueueRejectsPush) {
+  SpscQueue<int> queue(4);  // capacity 3 (one slot sacrificed)
+  EXPECT_EQ(queue.capacity(), 3u);
+  EXPECT_TRUE(queue.TryPush(1));
+  EXPECT_TRUE(queue.TryPush(2));
+  EXPECT_TRUE(queue.TryPush(3));
+  EXPECT_FALSE(queue.TryPush(4));
+  EXPECT_EQ(queue.TryPop(), 1);
+  EXPECT_TRUE(queue.TryPush(4));
+}
+
+TEST(SpscQueueTest, WrapsAroundRepeatedly) {
+  SpscQueue<int> queue(4);
+  for (int round = 0; round < 100; ++round) {
+    EXPECT_TRUE(queue.TryPush(round));
+    EXPECT_EQ(queue.TryPop(), round);
+  }
+}
+
+TEST(SpscQueueTest, MoveOnlyElements) {
+  SpscQueue<std::unique_ptr<int>> queue(8);
+  EXPECT_TRUE(queue.TryPush(std::make_unique<int>(7)));
+  auto out = queue.TryPop();
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(**out, 7);
+}
+
+TEST(SpscQueueTest, TwoThreadsDeliverAllItemsInOrder) {
+  constexpr int64_t kItems = 200000;
+  SpscQueue<int64_t> queue(64);
+  std::thread producer([&queue] {
+    for (int64_t i = 0; i < kItems;) {
+      if (queue.TryPush(i)) {
+        ++i;
+      }
+    }
+  });
+  int64_t expected = 0;
+  while (expected < kItems) {
+    if (auto value = queue.TryPop()) {
+      ASSERT_EQ(*value, expected);  // FIFO, no loss, no duplication
+      ++expected;
+    }
+  }
+  producer.join();
+  EXPECT_TRUE(queue.Empty());
+}
+
+TEST(SpscQueueTest, TwoThreadsWithStrings) {
+  constexpr int kItems = 20000;
+  SpscQueue<std::string> queue(32);
+  std::thread producer([&queue] {
+    for (int i = 0; i < kItems;) {
+      if (queue.TryPush("item-" + std::to_string(i))) {
+        ++i;
+      }
+    }
+  });
+  for (int i = 0; i < kItems;) {
+    if (auto value = queue.TryPop()) {
+      ASSERT_EQ(*value, "item-" + std::to_string(i));
+      ++i;
+    }
+  }
+  producer.join();
+}
+
+TEST(SpscQueueTest, StressCheckSumPreserved) {
+  constexpr int64_t kItems = 500000;
+  SpscQueue<int64_t> queue(1024);
+  int64_t produced_sum = 0;
+  std::thread producer([&queue, &produced_sum] {
+    for (int64_t i = 0; i < kItems;) {
+      if (queue.TryPush(i * 7)) {
+        produced_sum += i * 7;
+        ++i;
+      }
+    }
+  });
+  int64_t consumed_sum = 0;
+  for (int64_t received = 0; received < kItems;) {
+    if (auto value = queue.TryPop()) {
+      consumed_sum += *value;
+      ++received;
+    }
+  }
+  producer.join();
+  EXPECT_EQ(consumed_sum, produced_sum);
+}
+
+}  // namespace
+}  // namespace calliope

@@ -1,0 +1,42 @@
+// Shared helpers for driving coroutine-based components from gtest bodies.
+#ifndef CALLIOPE_TESTS_TEST_UTIL_H_
+#define CALLIOPE_TESTS_TEST_UTIL_H_
+
+#include <functional>
+#include <optional>
+#include <utility>
+
+#include "src/sim/co.h"
+#include "src/sim/simulator.h"
+#include "src/sim/task.h"
+
+namespace calliope {
+
+// Runs the simulation in small steps until `pred` holds or `timeout` of
+// simulated time passes. Returns the final predicate value.
+inline bool RunUntil(Simulator& sim, const std::function<bool()>& pred, SimTime timeout,
+                     SimTime step = SimTime::Millis(10)) {
+  const SimTime deadline = sim.Now() + timeout;
+  while (!pred() && sim.Now() < deadline) {
+    sim.RunFor(step);
+  }
+  return pred();
+}
+
+// Spawns a Co<T> and captures its result when it completes.
+template <typename T>
+struct CoResult {
+  std::optional<T> value;
+  bool done() const { return value.has_value(); }
+};
+
+template <typename T>
+Task Collect(Co<T> co, CoResult<T>* out) {
+  out->value.emplace(co_await std::move(co));
+}
+
+inline Task Detach(Co<void> co) { co_await std::move(co); }
+
+}  // namespace calliope
+
+#endif  // CALLIOPE_TESTS_TEST_UTIL_H_

@@ -1,0 +1,176 @@
+// Tests for the utility layer: status/result, units, RNG, histogram, table.
+#include <gtest/gtest.h>
+
+#include "src/util/histogram.h"
+#include "src/util/rng.h"
+#include "src/util/status.h"
+#include "src/util/table.h"
+#include "src/util/units.h"
+
+namespace calliope {
+namespace {
+
+TEST(StatusTest, OkAndErrors) {
+  EXPECT_TRUE(OkStatus().ok());
+  const Status error = NotFoundError("thing");
+  EXPECT_FALSE(error.ok());
+  EXPECT_EQ(error.code(), StatusCode::kNotFound);
+  EXPECT_EQ(error.ToString(), "NOT_FOUND: thing");
+  EXPECT_EQ(OkStatus().ToString(), "OK");
+}
+
+Result<int> ParsePositive(int v) {
+  if (v <= 0) {
+    return InvalidArgumentError("not positive");
+  }
+  return v;
+}
+
+TEST(ResultTest, ValueAndError) {
+  auto good = ParsePositive(5);
+  ASSERT_TRUE(good.ok());
+  EXPECT_EQ(*good, 5);
+  EXPECT_EQ(good.value_or(-1), 5);
+  auto bad = ParsePositive(-1);
+  EXPECT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(bad.value_or(-1), -1);
+}
+
+Status UseMacros(int v) {
+  CALLIOPE_ASSIGN_OR_RETURN(int parsed, ParsePositive(v));
+  CALLIOPE_RETURN_IF_ERROR(parsed > 100 ? InvalidArgumentError("too big") : OkStatus());
+  return OkStatus();
+}
+
+TEST(ResultTest, Macros) {
+  EXPECT_TRUE(UseMacros(5).ok());
+  EXPECT_EQ(UseMacros(-1).code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(UseMacros(500).message(), "too big");
+}
+
+TEST(UnitsTest, TimeArithmetic) {
+  EXPECT_EQ(SimTime::Seconds(2) + SimTime::Millis(500), SimTime::Millis(2500));
+  EXPECT_EQ(SimTime::Millis(10) * 3, SimTime::Millis(30));
+  EXPECT_EQ(SimTime::Seconds(1) / SimTime::Millis(10), 100);
+  EXPECT_LT(SimTime::Millis(1), SimTime::Millis(2));
+  EXPECT_DOUBLE_EQ(SimTime::Millis(1500).seconds(), 1.5);
+}
+
+TEST(UnitsTest, BytesConversions) {
+  EXPECT_EQ(Bytes::KiB(256).count(), 262144);
+  EXPECT_EQ(Bytes::GiB(2) / Bytes::KiB(256), 8192);
+  EXPECT_DOUBLE_EQ(Bytes(1000000).megabytes(), 1.0);
+}
+
+TEST(UnitsTest, DataRateTransferMath) {
+  const DataRate mpeg = DataRate::MegabitsPerSec(1.5);
+  // 4 KB at 1.5 Mbit/s is ~21.8 ms.
+  EXPECT_NEAR(mpeg.TransferTime(Bytes::KiB(4)).millis_f(), 21.85, 0.05);
+  // And the inverse: bytes in one second equals the byte rate.
+  EXPECT_EQ(mpeg.BytesIn(SimTime::Seconds(1)).count(), mpeg.bytes_per_sec());
+  // Large transfers must not overflow: a 2-hour movie.
+  const SimTime t = mpeg.TransferTime(Bytes(1350000000));
+  EXPECT_NEAR(t.seconds(), 7200.0, 1.0);
+}
+
+TEST(UnitsTest, ZeroRateNeverDivides) {
+  EXPECT_EQ(DataRate().TransferTime(Bytes(100)), SimTime::Max());
+}
+
+TEST(RngTest, DeterministicAndDistinctStreams) {
+  Rng a(1), b(1), c(2);
+  EXPECT_EQ(a.NextU64(), b.NextU64());
+  Rng a2(1);
+  EXPECT_NE(a2.NextU64(), c.NextU64());
+}
+
+TEST(RngTest, NextBelowInRange) {
+  Rng rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.NextBelow(7), 7u);
+  }
+}
+
+TEST(RngTest, DoublesInUnitInterval) {
+  Rng rng(4);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+    sum += d;
+  }
+  EXPECT_NEAR(sum / 10000, 0.5, 0.02);
+}
+
+TEST(RngTest, ExponentialMean) {
+  Rng rng(5);
+  double sum = 0;
+  for (int i = 0; i < 20000; ++i) {
+    sum += rng.NextExponential(3.0);
+  }
+  EXPECT_NEAR(sum / 20000, 3.0, 0.1);
+}
+
+TEST(ZipfTest, HeadIsHot) {
+  Rng rng(6);
+  ZipfDistribution zipf(10, 1.2);
+  std::vector<int> counts(10, 0);
+  for (int i = 0; i < 20000; ++i) {
+    ++counts[zipf.Sample(rng)];
+  }
+  EXPECT_GT(counts[0], counts[1]);
+  EXPECT_GT(counts[1], counts[5]);
+  EXPECT_GT(counts[0], 20000 / 4);  // rank 0 dominates
+}
+
+TEST(HistogramTest, FractionAndQuantiles) {
+  LatenessHistogram histogram;
+  for (int i = 0; i < 90; ++i) {
+    histogram.Record(SimTime::Millis(10));
+  }
+  for (int i = 0; i < 10; ++i) {
+    histogram.Record(SimTime::Millis(200));
+  }
+  EXPECT_EQ(histogram.total_count(), 100);
+  EXPECT_DOUBLE_EQ(histogram.FractionWithin(SimTime::Millis(50)), 0.9);
+  EXPECT_DOUBLE_EQ(histogram.FractionWithin(SimTime::Millis(300)), 1.0);
+  EXPECT_EQ(histogram.Quantile(0.5), SimTime::Millis(11));  // upper bin edge
+  EXPECT_EQ(histogram.MaxRecorded(), SimTime::Millis(200));
+}
+
+TEST(HistogramTest, EarlyPacketsCountOnTime) {
+  LatenessHistogram histogram;
+  histogram.Record(SimTime::Millis(-5));
+  histogram.Record(SimTime::Millis(5));
+  EXPECT_EQ(histogram.underflow_count(), 1);
+  EXPECT_DOUBLE_EQ(histogram.FractionWithin(SimTime::Millis(10)), 1.0);
+}
+
+TEST(HistogramTest, OverflowBin) {
+  LatenessHistogram histogram(SimTime::Millis(1), 100);
+  histogram.Record(SimTime::Seconds(10));
+  EXPECT_EQ(histogram.overflow_count(), 1);
+  EXPECT_EQ(histogram.Quantile(1.0), SimTime::Max());
+}
+
+TEST(HistogramTest, MergeAddsCounts) {
+  LatenessHistogram a, b;
+  a.Record(SimTime::Millis(1));
+  b.Record(SimTime::Millis(2));
+  a.Merge(b);
+  EXPECT_EQ(a.total_count(), 2);
+  EXPECT_EQ(a.MaxRecorded(), SimTime::Millis(2));
+}
+
+TEST(TableTest, RendersAlignedColumns) {
+  AsciiTable table({"a", "long header"});
+  table.AddRow({"x", "1"});
+  const std::string out = table.Render();
+  EXPECT_NE(out.find("| a | long header |"), std::string::npos);
+  EXPECT_NE(out.find("| x | 1           |"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace calliope
