@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/client_buffer.cc" "bench-build/CMakeFiles/client_buffer.dir/client_buffer.cc.o" "gcc" "bench-build/CMakeFiles/client_buffer.dir/client_buffer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/calliope/CMakeFiles/calliope_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/client/CMakeFiles/calliope_client.dir/DependInfo.cmake"
+  "/root/repo/build/src/coord/CMakeFiles/calliope_coord.dir/DependInfo.cmake"
+  "/root/repo/build/src/msu/CMakeFiles/calliope_msu.dir/DependInfo.cmake"
+  "/root/repo/build/src/proto/CMakeFiles/calliope_proto.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/calliope_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/calliope_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/fs/CMakeFiles/calliope_fs.dir/DependInfo.cmake"
+  "/root/repo/build/src/ibtree/CMakeFiles/calliope_ibtree.dir/DependInfo.cmake"
+  "/root/repo/build/src/media/CMakeFiles/calliope_media.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/calliope_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/calliope_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/calliope_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

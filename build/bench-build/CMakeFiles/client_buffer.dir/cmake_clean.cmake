@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/client_buffer"
+  "../bench/client_buffer.pdb"
+  "CMakeFiles/client_buffer.dir/client_buffer.cc.o"
+  "CMakeFiles/client_buffer.dir/client_buffer.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/client_buffer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/duty_cycle"
+  "../bench/duty_cycle.pdb"
+  "CMakeFiles/duty_cycle.dir/duty_cycle.cc.o"
+  "CMakeFiles/duty_cycle.dir/duty_cycle.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/duty_cycle.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

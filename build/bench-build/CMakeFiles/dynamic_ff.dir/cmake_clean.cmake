@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/dynamic_ff"
+  "../bench/dynamic_ff.pdb"
+  "CMakeFiles/dynamic_ff.dir/dynamic_ff.cc.o"
+  "CMakeFiles/dynamic_ff.dir/dynamic_ff.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dynamic_ff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/elevator"
+  "../bench/elevator.pdb"
+  "CMakeFiles/elevator.dir/elevator.cc.o"
+  "CMakeFiles/elevator.dir/elevator.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/elevator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for elevator.
+# This may be replaced when dependencies are built.

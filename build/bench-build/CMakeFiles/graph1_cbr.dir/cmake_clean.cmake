@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/graph1_cbr"
+  "../bench/graph1_cbr.pdb"
+  "CMakeFiles/graph1_cbr.dir/graph1_cbr.cc.o"
+  "CMakeFiles/graph1_cbr.dir/graph1_cbr.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/graph1_cbr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

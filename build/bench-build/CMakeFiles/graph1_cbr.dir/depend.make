@@ -1,0 +1,2 @@
+# Empty dependencies file for graph1_cbr.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/graph2_vbr"
+  "../bench/graph2_vbr.pdb"
+  "CMakeFiles/graph2_vbr.dir/graph2_vbr.cc.o"
+  "CMakeFiles/graph2_vbr.dir/graph2_vbr.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/graph2_vbr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

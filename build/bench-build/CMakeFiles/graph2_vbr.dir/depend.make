@@ -1,0 +1,2 @@
+# Empty dependencies file for graph2_vbr.
+# This may be replaced when dependencies are built.

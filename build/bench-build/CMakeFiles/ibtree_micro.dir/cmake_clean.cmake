@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ibtree_micro"
+  "../bench/ibtree_micro.pdb"
+  "CMakeFiles/ibtree_micro.dir/ibtree_micro.cc.o"
+  "CMakeFiles/ibtree_micro.dir/ibtree_micro.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ibtree_micro.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

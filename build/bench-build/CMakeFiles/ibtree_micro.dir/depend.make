@@ -1,0 +1,2 @@
+# Empty dependencies file for ibtree_micro.
+# This may be replaced when dependencies are built.

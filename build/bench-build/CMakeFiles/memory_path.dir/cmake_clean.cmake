@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/memory_path"
+  "../bench/memory_path.pdb"
+  "CMakeFiles/memory_path.dir/memory_path.cc.o"
+  "CMakeFiles/memory_path.dir/memory_path.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/memory_path.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

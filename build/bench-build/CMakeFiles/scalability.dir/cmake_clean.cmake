@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/scalability"
+  "../bench/scalability.pdb"
+  "CMakeFiles/scalability.dir/scalability.cc.o"
+  "CMakeFiles/scalability.dir/scalability.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scalability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/scaleout"
+  "../bench/scaleout.pdb"
+  "CMakeFiles/scaleout.dir/scaleout.cc.o"
+  "CMakeFiles/scaleout.dir/scaleout.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scaleout.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/spsc_micro"
+  "../bench/spsc_micro.pdb"
+  "CMakeFiles/spsc_micro.dir/spsc_micro.cc.o"
+  "CMakeFiles/spsc_micro.dir/spsc_micro.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spsc_micro.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

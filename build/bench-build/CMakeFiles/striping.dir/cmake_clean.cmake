@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/striping"
+  "../bench/striping.pdb"
+  "CMakeFiles/striping.dir/striping.cc.o"
+  "CMakeFiles/striping.dir/striping.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/striping.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table1_baseline"
+  "../bench/table1_baseline.pdb"
+  "CMakeFiles/table1_baseline.dir/table1_baseline.cc.o"
+  "CMakeFiles/table1_baseline.dir/table1_baseline.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

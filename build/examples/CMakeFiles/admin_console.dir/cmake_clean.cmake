@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/admin_console.dir/admin_console.cpp.o"
+  "CMakeFiles/admin_console.dir/admin_console.cpp.o.d"
+  "admin_console"
+  "admin_console.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/admin_console.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

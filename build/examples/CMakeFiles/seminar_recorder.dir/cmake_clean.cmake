@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/seminar_recorder.dir/seminar_recorder.cpp.o"
+  "CMakeFiles/seminar_recorder.dir/seminar_recorder.cpp.o.d"
+  "seminar_recorder"
+  "seminar_recorder.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/seminar_recorder.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

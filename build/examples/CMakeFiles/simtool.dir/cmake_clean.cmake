@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simtool.dir/simtool.cpp.o"
+  "CMakeFiles/simtool.dir/simtool.cpp.o.d"
+  "simtool"
+  "simtool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simtool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

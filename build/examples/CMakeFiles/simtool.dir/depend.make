@@ -1,0 +1,2 @@
+# Empty dependencies file for simtool.
+# This may be replaced when dependencies are built.

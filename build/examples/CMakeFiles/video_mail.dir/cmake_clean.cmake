@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/video_mail.dir/video_mail.cpp.o"
+  "CMakeFiles/video_mail.dir/video_mail.cpp.o.d"
+  "video_mail"
+  "video_mail.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/video_mail.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

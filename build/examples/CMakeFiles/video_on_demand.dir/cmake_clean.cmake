@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/video_on_demand.dir/video_on_demand.cpp.o"
+  "CMakeFiles/video_on_demand.dir/video_on_demand.cpp.o.d"
+  "video_on_demand"
+  "video_on_demand.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/video_on_demand.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/calliope_core.dir/calliope.cc.o"
+  "CMakeFiles/calliope_core.dir/calliope.cc.o.d"
+  "libcalliope_core.a"
+  "libcalliope_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/calliope_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/calliope_client.dir/client.cc.o"
+  "CMakeFiles/calliope_client.dir/client.cc.o.d"
+  "CMakeFiles/calliope_client.dir/playout_buffer.cc.o"
+  "CMakeFiles/calliope_client.dir/playout_buffer.cc.o.d"
+  "libcalliope_client.a"
+  "libcalliope_client.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/calliope_client.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

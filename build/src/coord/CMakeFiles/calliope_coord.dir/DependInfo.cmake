@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/coord/catalog.cc" "src/coord/CMakeFiles/calliope_coord.dir/catalog.cc.o" "gcc" "src/coord/CMakeFiles/calliope_coord.dir/catalog.cc.o.d"
+  "/root/repo/src/coord/coordinator.cc" "src/coord/CMakeFiles/calliope_coord.dir/coordinator.cc.o" "gcc" "src/coord/CMakeFiles/calliope_coord.dir/coordinator.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/calliope_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/ibtree/CMakeFiles/calliope_ibtree.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/calliope_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/calliope_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/media/CMakeFiles/calliope_media.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/calliope_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

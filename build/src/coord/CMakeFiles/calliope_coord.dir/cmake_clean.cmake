@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/calliope_coord.dir/catalog.cc.o"
+  "CMakeFiles/calliope_coord.dir/catalog.cc.o.d"
+  "CMakeFiles/calliope_coord.dir/coordinator.cc.o"
+  "CMakeFiles/calliope_coord.dir/coordinator.cc.o.d"
+  "libcalliope_coord.a"
+  "libcalliope_coord.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/calliope_coord.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fs/msu_fs.cc" "src/fs/CMakeFiles/calliope_fs.dir/msu_fs.cc.o" "gcc" "src/fs/CMakeFiles/calliope_fs.dir/msu_fs.cc.o.d"
+  "/root/repo/src/fs/volume.cc" "src/fs/CMakeFiles/calliope_fs.dir/volume.cc.o" "gcc" "src/fs/CMakeFiles/calliope_fs.dir/volume.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/hw/CMakeFiles/calliope_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/ibtree/CMakeFiles/calliope_ibtree.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/calliope_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/media/CMakeFiles/calliope_media.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/calliope_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

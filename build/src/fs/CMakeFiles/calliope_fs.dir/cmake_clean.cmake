@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/calliope_fs.dir/msu_fs.cc.o"
+  "CMakeFiles/calliope_fs.dir/msu_fs.cc.o.d"
+  "CMakeFiles/calliope_fs.dir/volume.cc.o"
+  "CMakeFiles/calliope_fs.dir/volume.cc.o.d"
+  "libcalliope_fs.a"
+  "libcalliope_fs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/calliope_fs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/calliope_hw.dir/cpu.cc.o"
+  "CMakeFiles/calliope_hw.dir/cpu.cc.o.d"
+  "CMakeFiles/calliope_hw.dir/disk.cc.o"
+  "CMakeFiles/calliope_hw.dir/disk.cc.o.d"
+  "CMakeFiles/calliope_hw.dir/machine.cc.o"
+  "CMakeFiles/calliope_hw.dir/machine.cc.o.d"
+  "CMakeFiles/calliope_hw.dir/memory_bus.cc.o"
+  "CMakeFiles/calliope_hw.dir/memory_bus.cc.o.d"
+  "CMakeFiles/calliope_hw.dir/nic.cc.o"
+  "CMakeFiles/calliope_hw.dir/nic.cc.o.d"
+  "libcalliope_hw.a"
+  "libcalliope_hw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/calliope_hw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

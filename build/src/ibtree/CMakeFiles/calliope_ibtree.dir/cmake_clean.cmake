@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/calliope_ibtree.dir/ibtree.cc.o"
+  "CMakeFiles/calliope_ibtree.dir/ibtree.cc.o.d"
+  "libcalliope_ibtree.a"
+  "libcalliope_ibtree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/calliope_ibtree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

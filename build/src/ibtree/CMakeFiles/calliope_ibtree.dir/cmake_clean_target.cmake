@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libcalliope_ibtree.a"
+)

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for calliope_ibtree.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/media/mpeg.cc" "src/media/CMakeFiles/calliope_media.dir/mpeg.cc.o" "gcc" "src/media/CMakeFiles/calliope_media.dir/mpeg.cc.o.d"
+  "/root/repo/src/media/mpeg_bitstream.cc" "src/media/CMakeFiles/calliope_media.dir/mpeg_bitstream.cc.o" "gcc" "src/media/CMakeFiles/calliope_media.dir/mpeg_bitstream.cc.o.d"
+  "/root/repo/src/media/packet.cc" "src/media/CMakeFiles/calliope_media.dir/packet.cc.o" "gcc" "src/media/CMakeFiles/calliope_media.dir/packet.cc.o.d"
+  "/root/repo/src/media/sources.cc" "src/media/CMakeFiles/calliope_media.dir/sources.cc.o" "gcc" "src/media/CMakeFiles/calliope_media.dir/sources.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/calliope_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

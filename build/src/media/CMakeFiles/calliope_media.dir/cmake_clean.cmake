@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/calliope_media.dir/mpeg.cc.o"
+  "CMakeFiles/calliope_media.dir/mpeg.cc.o.d"
+  "CMakeFiles/calliope_media.dir/mpeg_bitstream.cc.o"
+  "CMakeFiles/calliope_media.dir/mpeg_bitstream.cc.o.d"
+  "CMakeFiles/calliope_media.dir/packet.cc.o"
+  "CMakeFiles/calliope_media.dir/packet.cc.o.d"
+  "CMakeFiles/calliope_media.dir/sources.cc.o"
+  "CMakeFiles/calliope_media.dir/sources.cc.o.d"
+  "libcalliope_media.a"
+  "libcalliope_media.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/calliope_media.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

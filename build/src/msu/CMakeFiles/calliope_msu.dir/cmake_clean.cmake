@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/calliope_msu.dir/msu.cc.o"
+  "CMakeFiles/calliope_msu.dir/msu.cc.o.d"
+  "CMakeFiles/calliope_msu.dir/stream.cc.o"
+  "CMakeFiles/calliope_msu.dir/stream.cc.o.d"
+  "libcalliope_msu.a"
+  "libcalliope_msu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/calliope_msu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for calliope_msu.
+# This may be replaced when dependencies are built.

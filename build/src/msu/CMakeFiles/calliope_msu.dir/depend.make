@@ -1,0 +1,2 @@
+# Empty dependencies file for calliope_msu.
+# This may be replaced when dependencies are built.

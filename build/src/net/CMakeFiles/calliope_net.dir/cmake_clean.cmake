@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/calliope_net.dir/message.cc.o"
+  "CMakeFiles/calliope_net.dir/message.cc.o.d"
+  "CMakeFiles/calliope_net.dir/network.cc.o"
+  "CMakeFiles/calliope_net.dir/network.cc.o.d"
+  "libcalliope_net.a"
+  "libcalliope_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/calliope_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

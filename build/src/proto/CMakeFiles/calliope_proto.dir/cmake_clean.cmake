@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/calliope_proto.dir/protocol.cc.o"
+  "CMakeFiles/calliope_proto.dir/protocol.cc.o.d"
+  "libcalliope_proto.a"
+  "libcalliope_proto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/calliope_proto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sched/duty_cycle.cc" "src/sched/CMakeFiles/calliope_sched.dir/duty_cycle.cc.o" "gcc" "src/sched/CMakeFiles/calliope_sched.dir/duty_cycle.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/hw/CMakeFiles/calliope_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/calliope_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/calliope_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

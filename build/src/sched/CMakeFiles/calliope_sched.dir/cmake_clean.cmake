@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/calliope_sched.dir/duty_cycle.cc.o"
+  "CMakeFiles/calliope_sched.dir/duty_cycle.cc.o.d"
+  "libcalliope_sched.a"
+  "libcalliope_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/calliope_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

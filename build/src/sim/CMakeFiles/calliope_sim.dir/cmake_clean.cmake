@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/calliope_sim.dir/resource.cc.o"
+  "CMakeFiles/calliope_sim.dir/resource.cc.o.d"
+  "CMakeFiles/calliope_sim.dir/simulator.cc.o"
+  "CMakeFiles/calliope_sim.dir/simulator.cc.o.d"
+  "libcalliope_sim.a"
+  "libcalliope_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/calliope_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

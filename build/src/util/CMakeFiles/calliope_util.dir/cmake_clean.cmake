@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/calliope_util.dir/histogram.cc.o"
+  "CMakeFiles/calliope_util.dir/histogram.cc.o.d"
+  "CMakeFiles/calliope_util.dir/logging.cc.o"
+  "CMakeFiles/calliope_util.dir/logging.cc.o.d"
+  "CMakeFiles/calliope_util.dir/rng.cc.o"
+  "CMakeFiles/calliope_util.dir/rng.cc.o.d"
+  "CMakeFiles/calliope_util.dir/status.cc.o"
+  "CMakeFiles/calliope_util.dir/status.cc.o.d"
+  "CMakeFiles/calliope_util.dir/table.cc.o"
+  "CMakeFiles/calliope_util.dir/table.cc.o.d"
+  "CMakeFiles/calliope_util.dir/units.cc.o"
+  "CMakeFiles/calliope_util.dir/units.cc.o.d"
+  "libcalliope_util.a"
+  "libcalliope_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/calliope_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

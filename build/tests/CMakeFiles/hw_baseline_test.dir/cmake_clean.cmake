@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hw_baseline_test.dir/hw_baseline_test.cc.o"
+  "CMakeFiles/hw_baseline_test.dir/hw_baseline_test.cc.o.d"
+  "hw_baseline_test"
+  "hw_baseline_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hw_baseline_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

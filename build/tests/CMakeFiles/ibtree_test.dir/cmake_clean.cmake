@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ibtree_test.dir/ibtree_test.cc.o"
+  "CMakeFiles/ibtree_test.dir/ibtree_test.cc.o.d"
+  "ibtree_test"
+  "ibtree_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ibtree_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/media_test.dir/media_test.cc.o"
+  "CMakeFiles/media_test.dir/media_test.cc.o.d"
+  "media_test"
+  "media_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/media_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

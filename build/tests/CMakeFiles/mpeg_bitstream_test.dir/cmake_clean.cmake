@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpeg_bitstream_test.dir/mpeg_bitstream_test.cc.o"
+  "CMakeFiles/mpeg_bitstream_test.dir/mpeg_bitstream_test.cc.o.d"
+  "mpeg_bitstream_test"
+  "mpeg_bitstream_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpeg_bitstream_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

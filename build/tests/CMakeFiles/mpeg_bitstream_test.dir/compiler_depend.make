@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for mpeg_bitstream_test.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for mpeg_bitstream_test.
+# This may be replaced when dependencies are built.

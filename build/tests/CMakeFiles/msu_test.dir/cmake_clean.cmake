@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/msu_test.dir/msu_test.cc.o"
+  "CMakeFiles/msu_test.dir/msu_test.cc.o.d"
+  "msu_test"
+  "msu_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/msu_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/proto_test.dir/proto_test.cc.o"
+  "CMakeFiles/proto_test.dir/proto_test.cc.o.d"
+  "proto_test"
+  "proto_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/proto_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reproduction_test.dir/reproduction_test.cc.o"
+  "CMakeFiles/reproduction_test.dir/reproduction_test.cc.o.d"
+  "reproduction_test"
+  "reproduction_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reproduction_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

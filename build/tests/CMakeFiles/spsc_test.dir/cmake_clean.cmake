@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spsc_test.dir/spsc_test.cc.o"
+  "CMakeFiles/spsc_test.dir/spsc_test.cc.o.d"
+  "spsc_test"
+  "spsc_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spsc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
