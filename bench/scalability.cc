@@ -10,7 +10,11 @@
 // "Even if sessions are as short as one minute, a large scale implementation
 // of Calliope serving 3000 simultaneous streams (150 MSUs at 20 streams
 // each) would need to service only 50 requests per second."
+// Run with --policy=<least-loaded|first-fit|power-of-two|replica-aware> to
+// measure the Coordinator's per-request cost under a different placement
+// policy (the scheduling decision is part of the measured CPU work).
 #include <cstdio>
+#include <cstring>
 #include <memory>
 #include <string>
 #include <vector>
@@ -91,16 +95,27 @@ Task RequestDriver(CalliopeClient& client, std::string port_name, int64_t reques
 }  // namespace
 }  // namespace calliope
 
-int main() {
+int main(int argc, char** argv) {
   using namespace calliope;
+  std::string policy = "least-loaded";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--policy=", 9) == 0) {
+      policy = argv[i] + 9;
+    } else {
+      std::fprintf(stderr, "usage: %s [--policy=<name>]\n", argv[0]);
+      return 2;
+    }
+  }
   PrintHeader("Coordinator scalability: fake-MSU request flood",
               "USENIX '96 Calliope paper, section 3.3");
+  std::printf("Placement policy: %s\n", policy.c_str());
 
   const int64_t total_requests = FastBenchMode() ? 2000 : 10000;
   const int kContentCount = 40;
 
   InstallationConfig config;
   config.msu_count = 0;  // only fake MSUs
+  config.coordinator.placement_policy = policy;
   Installation calliope(config);
 
   // Two fake MSUs on their own machines.

@@ -23,6 +23,15 @@ Co<Status> CalliopeClient::Connect(std::string customer, std::string credential)
     co_return conn.status();
   }
   conn_ = *conn;
+  // The Coordinator pushes PendingRequestFailed over the session connection
+  // when a queued or migrating group can never be (re)started.
+  conn_->set_receive_handler([this](TcpConn*, const Envelope& envelope) {
+    if (const auto* failed = std::get_if<PendingRequestFailed>(&envelope.body)) {
+      GroupState& group = GroupFor(failed->group);
+      group.terminated = true;
+      group_events_->NotifyAll();
+    }
+  });
   auto response = co_await conn_->Call(MessageBody{OpenSessionRequest{customer, credential}});
   if (!response.ok()) {
     co_return response.status();
@@ -185,6 +194,9 @@ void CalliopeClient::OnControlAccept(TcpConn* conn) {
       group.control_conn = conn;
       group.info = *info;
       group.info_received = true;
+      // A fresh control connection for a known group means the stream migrated
+      // to another MSU after a failure; the old conn's close no longer counts.
+      group.terminated = false;
       group_events_->NotifyAll();
     }
   });

@@ -10,6 +10,14 @@ namespace calliope {
 Coordinator::Coordinator(Machine& machine, NetNode& node, Catalog catalog,
                          CoordinatorParams params)
     : machine_(&machine), node_(&node), params_(params), catalog_(std::move(catalog)) {
+  const PlacementPolicyRegistry registry = PlacementPolicyRegistry::WithBuiltins();
+  auto policy = registry.Instantiate(params_.placement_policy, params_.placement_seed);
+  if (!policy.ok()) {
+    CALLIOPE_LOG(kWarning, "coord") << "unknown placement policy '" << params_.placement_policy
+                                    << "', falling back to least-loaded";
+    policy = registry.Instantiate("least-loaded", params_.placement_seed);
+  }
+  policy_ = std::move(policy).value();
   (void)node_->ListenTcp(params_.listen_port, [this](TcpConn* conn) { OnAccept(conn); });
 }
 
@@ -59,13 +67,17 @@ Co<MessageBody> Coordinator::Dispatch(TcpConn* conn, MessageArg request) {
     HandleStreamTerminated(*m);
     co_return MessageBody{SimpleResponse{true, ""}};
   }
+  if (const auto* m = std::get_if<StreamProgressReport>(&body)) {
+    HandleProgressReport(*m);
+    co_return MessageBody{SimpleResponse{true, ""}};
+  }
   co_return MessageBody{SimpleResponse{false, "coordinator: unknown request"}};
 }
 
 void Coordinator::OnConnClosed(TcpConn* conn) {
   // A broken MSU connection marks the MSU unavailable (§2.2 fault tolerance).
   for (auto& [name, msu] : msus_) {
-    if (msu.conn == conn && msu.up) {
+    if (msu.conn == conn && ledger_.IsUp(name)) {
       MarkMsuDown(msu);
       return;
     }
@@ -241,6 +253,36 @@ Result<std::vector<Coordinator::Component>> Coordinator::ResolveComponents(
   return components;
 }
 
+Result<PlacementSpec> Coordinator::BuildPlacementSpec(
+    const PendingRequest& request, const std::vector<Component>& components) {
+  PlacementSpec spec;
+  spec.record = request.record;
+  spec.disk_budget = params_.disk_budget;
+  for (const Component& component : components) {
+    CALLIOPE_ASSIGN_OR_RETURN(const ContentType* type, catalog_.FindType(component.type_name));
+    ComponentSpec item;
+    item.rate = type->bandwidth_rate;
+    item.file_name = component.file_name;
+    if (request.record) {
+      item.space = type->storage_rate.BytesIn(request.estimated_length);
+    } else {
+      // Every copy of the item is a candidate; the policy filters by MSU. An
+      // item with no reachable copy leaves the component candidate-less, so
+      // no MSU is feasible and the request queues (kResourceExhausted) until
+      // a copy comes back — the behavior this path has always had.
+      auto record = catalog_.FindContent(component.item_name);
+      if (record.ok()) {
+        for (const ContentLocation& location : (*record)->locations) {
+          item.candidates.push_back(
+              PlacementCandidate{location.msu_node, location.disk, location.file_name});
+        }
+      }
+    }
+    spec.components.push_back(std::move(item));
+  }
+  return spec;
+}
+
 Co<Status> Coordinator::TryStartGroup(const PendingRequest& request) {
   auto session = FindSession(request.session);
   if (!session.ok()) {
@@ -252,114 +294,35 @@ Co<Status> Coordinator::TryStartGroup(const PendingRequest& request) {
   }
   const std::vector<Component>& components = *resolved;
 
-  // Rates and space per component.
-  std::vector<DataRate> rates;
-  Bytes total_space;
-  for (const Component& component : components) {
-    auto type = catalog_.FindType(component.type_name);
-    if (!type.ok()) {
-      co_return type.status();
-    }
-    rates.push_back((*type)->bandwidth_rate);
-    if (request.record) {
-      total_space += (*type)->storage_rate.BytesIn(request.estimated_length);
-    }
-  }
-
   // Placement: one MSU must host every member of the group ("Calliope
-  // assigns all streams in a group to the same MSU"). Among the feasible
-  // MSUs, pick the least loaded one.
-  std::string chosen_msu;
-  std::vector<int> chosen_disks(components.size(), -1);
-  std::vector<std::string> chosen_files(components.size());
-  DataRate chosen_load = DataRate(INT64_MAX);
-  for (auto& [msu_name, msu] : msus_) {
-    if (!msu.up) {
-      continue;
-    }
-    std::vector<DataRate> scratch_load = msu.disk_load;
-    std::vector<int> disks(components.size(), -1);
-    std::vector<std::string> files(components.size());
-    bool feasible = true;
-    for (size_t i = 0; i < components.size() && feasible; ++i) {
-      if (!request.record) {
-        // Find the least-loaded copy of this item on this MSU that still has
-        // bandwidth headroom (copies on several disks spread hot titles).
-        auto record = catalog_.FindContent(components[i].item_name);
-        if (!record.ok()) {
-          feasible = false;
-          break;
-        }
-        feasible = false;
-        const ContentLocation* best = nullptr;
-        for (const ContentLocation& location : (*record)->locations) {
-          if (location.msu_node != msu_name) {
-            continue;
-          }
-          const auto& load = scratch_load[static_cast<size_t>(location.disk)];
-          if (load + rates[i] <= params_.disk_budget &&
-              (best == nullptr || load < scratch_load[static_cast<size_t>(best->disk)])) {
-            best = &location;
-          }
-        }
-        if (best != nullptr) {
-          auto& load = scratch_load[static_cast<size_t>(best->disk)];
-          load = load + rates[i];
-          disks[i] = best->disk;
-          files[i] = best->file_name.empty() ? components[i].file_name : best->file_name;
-          feasible = true;
-        }
-      } else {
-        // Recording: least-loaded disk with headroom; MSU checks space.
-        int best = -1;
-        for (int d = 0; d < msu.disk_count; ++d) {
-          auto& load = scratch_load[static_cast<size_t>(d)];
-          if (load + rates[i] <= params_.disk_budget &&
-              (best < 0 || load < scratch_load[static_cast<size_t>(best)])) {
-            best = d;
-          }
-        }
-        if (best < 0) {
-          feasible = false;
-        } else {
-          scratch_load[static_cast<size_t>(best)] =
-              scratch_load[static_cast<size_t>(best)] + rates[i];
-          disks[i] = best;
-        }
-      }
-    }
-    if (feasible && request.record && msu.free_space < total_space) {
-      feasible = false;
-    }
-    if (feasible) {
-      DataRate msu_load;
-      for (const DataRate& load : msu.disk_load) {
-        msu_load = msu_load + load;
-      }
-      if (msu_load < chosen_load) {
-        chosen_load = msu_load;
-        chosen_msu = msu_name;
-        chosen_disks = disks;
-        chosen_files = files;
-      }
-    }
+  // assigns all streams in a group to the same MSU"); which feasible MSU
+  // wins is the pluggable policy's call.
+  auto spec = BuildPlacementSpec(request, components);
+  if (!spec.ok()) {
+    co_return spec.status();
   }
-  if (chosen_msu.empty()) {
-    co_return ResourceExhaustedError("no MSU with resources for " + request.content);
+  auto placement = policy_->Place(*spec, ledger_);
+  if (!placement.ok()) {
+    co_return placement.status();
   }
+  const std::string chosen_msu = placement->msu;
 
-  MsuInfo& msu = msus_[chosen_msu];
   // Reserve the whole group's bandwidth and space *before* contacting the
   // MSU: "As the Coordinator assigns resources to clients, it keeps track of
   // load by processor and disk." Requests racing with this one must see the
-  // updated load, or they would all be admitted against stale numbers.
+  // updated load, or they would all be admitted against stale numbers. The
+  // transaction refunds whatever is not committed below.
+  std::vector<ResourceLedger::ReserveItem> reserve_items;
   for (size_t i = 0; i < components.size(); ++i) {
-    auto& load = msu.disk_load[static_cast<size_t>(chosen_disks[i])];
-    load = load + rates[i];
+    reserve_items.push_back(ResourceLedger::ReserveItem{
+        placement->disks[i], spec->components[i].rate, spec->components[i].space});
   }
-  if (request.record) {
-    msu.free_space -= total_space;
+  auto reservation = ledger_.Reserve(chosen_msu, std::move(reserve_items));
+  if (!reservation.ok()) {
+    co_return reservation.status();
   }
+  ResourceLedger::Txn txn = std::move(reservation).value();
+
   // Launch every member. The first member's stream carries the group's VCR
   // control connection.
   std::vector<StreamId> started;
@@ -368,18 +331,21 @@ Co<Status> Coordinator::TryStartGroup(const PendingRequest& request) {
     MsuStartStream start;
     start.group = request.group;
     start.stream = next_stream_++;
-    start.file = !request.record && !chosen_files[i].empty() ? chosen_files[i]
-                                                             : component.file_name;
+    start.file = !request.record && !placement->files[i].empty() ? placement->files[i]
+                                                                 : component.file_name;
     auto component_type = catalog_.FindType(component.type_name);
     start.protocol = (*component_type)->protocol;
-    start.rate = rates[i];
+    start.rate = spec->components[i].rate;
     start.record = request.record;
     start.estimated_length = request.estimated_length;
-    start.disk_hint = chosen_disks[i];
+    start.disk_hint = placement->disks[i];
     start.client_node = component.port.node;
     start.client_udp_port = component.port.udp_port;
     start.client_control_port = request.port.control_port;
     start.open_control_conn = (i == 0);
+    if (i < request.start_offsets.size()) {
+      start.start_offset = request.start_offsets[i];
+    }
     if (!request.record) {
       auto content = catalog_.FindContent(component.item_name);
       start.fast_forward_file = (*content)->fast_forward_file;
@@ -387,23 +353,16 @@ Co<Status> Coordinator::TryStartGroup(const PendingRequest& request) {
     }
 
     // The MSU may have died while earlier members were starting.
+    MsuInfo& msu = msus_[chosen_msu];
     const auto* ack = static_cast<const MsuStartStreamResponse*>(nullptr);
     Result<Envelope> response = UnavailableError("msu went down mid-launch");
-    if (msu.up && msu.conn != nullptr) {
+    if (ledger_.IsUp(chosen_msu) && msu.conn != nullptr) {
       response = co_await msu.conn->Call(MessageBody{start});
       ack = response.ok() ? std::get_if<MsuStartStreamResponse>(&response->body) : nullptr;
     }
     if (ack == nullptr || !ack->ok) {
-      // Refund the reservations of this member and the members never
-      // launched; started members unwind through HandleStreamTerminated.
-      for (size_t j = i; j < components.size(); ++j) {
-        auto& load = msu.disk_load[static_cast<size_t>(chosen_disks[j])];
-        load = load - rates[j];
-        if (request.record) {
-          auto type = catalog_.FindType(components[j].type_name);
-          msu.free_space += (*type)->storage_rate.BytesIn(request.estimated_length);
-        }
-      }
+      // The transaction's destructor refunds this member and the members
+      // never launched; started members unwind through HandleStreamTerminated.
       for (StreamId id : started) {
         StreamTerminated undo;
         undo.stream = id;
@@ -421,28 +380,30 @@ Co<Status> Coordinator::TryStartGroup(const PendingRequest& request) {
     active.id = start.stream;
     active.group = request.group;
     active.msu = chosen_msu;
-    active.disk = chosen_disks[i];
-    active.rate = rates[i];
+    active.disk = placement->disks[i];
+    active.component = static_cast<int>(i);
     active.content_item = component.item_name;
     active.recording = request.record;
     active.session = request.session;
-    ++msu.disk_streams[static_cast<size_t>(active.disk)];
+    active.last_offset = start.start_offset;
+    txn.Commit(i, active.id);
     if (request.record) {
-      active.reserved_space =
-          (*component_type)->storage_rate.BytesIn(request.estimated_length);
       // New catalog entry, playable once the recording completes.
       ContentRecord record;
       record.name = component.item_name;
       record.type_name = component.type_name;
       record.file_name = component.file_name;
       record.recording_in_progress = true;
-      record.locations.push_back(ContentLocation{chosen_msu, chosen_disks[i]});
+      record.locations.push_back(ContentLocation{chosen_msu, placement->disks[i]});
       (void)catalog_.AddContent(std::move(record));
     }
     active_streams_[active.id] = active;
     groups_[request.group].push_back(active.id);
     started.push_back(active.id);
   }
+
+  // Remember what started this group so an MSU failure can re-place it.
+  group_requests_[request.group] = request;
 
   if (request.record && components.size() > 1) {
     // Parent composite record pointing at the component items.
@@ -556,7 +517,8 @@ Co<MessageBody> Coordinator::HandleDelete(TcpConn* conn, const DeleteContentRequ
     }
     for (const ContentLocation& location : (*item)->locations) {
       auto msu_it = msus_.find(location.msu_node);
-      if (msu_it == msus_.end() || !msu_it->second.up) {
+      if (msu_it == msus_.end() || !ledger_.IsUp(location.msu_node) ||
+          msu_it->second.conn == nullptr) {
         continue;
       }
       for (const std::string& file :
@@ -597,11 +559,7 @@ Co<MessageBody> Coordinator::HandleMsuRegister(TcpConn* conn, const MsuRegisterR
   MsuInfo& msu = msus_[request.msu_node];
   msu.node = request.msu_node;
   msu.conn = conn;
-  msu.up = true;
-  msu.disk_count = request.disk_count;
-  msu.free_space = request.free_space;
-  msu.disk_load.assign(static_cast<size_t>(request.disk_count), DataRate());
-  msu.disk_streams.assign(static_cast<size_t>(request.disk_count), 0);
+  ledger_.RegisterMsu(request.msu_node, request.disk_count, request.free_space);
   RetryPendingQueue();
   co_return MessageBody{SimpleResponse{true, ""}};
 }
@@ -614,20 +572,10 @@ void Coordinator::HandleStreamTerminated(const StreamTerminated& note) {
   ActiveStream active = it->second;
   active_streams_.erase(it);
 
-  auto msu_it = msus_.find(active.msu);
-  if (msu_it != msus_.end() && static_cast<size_t>(active.disk) < msu_it->second.disk_load.size()) {
-    auto& load = msu_it->second.disk_load[static_cast<size_t>(active.disk)];
-    load = load - active.rate;
-    if (load < DataRate()) {
-      load = DataRate();
-    }
-    --msu_it->second.disk_streams[static_cast<size_t>(active.disk)];
-    if (active.recording) {
-      // Refund the over-estimate: "If the client overestimates the length of
-      // the recording, the unused space will be returned to the system."
-      msu_it->second.free_space += active.reserved_space - note.bytes_moved;
-    }
-  }
+  // Refund the stream's hold: bandwidth in full; for recordings, the space
+  // over-estimate ("If the client overestimates the length of the recording,
+  // the unused space will be returned to the system").
+  (void)ledger_.Release(note.stream, active.recording ? note.bytes_moved : Bytes());
   if (active.recording) {
     auto record = catalog_.FindContent(active.content_item);
     if (record.ok()) {
@@ -642,6 +590,7 @@ void Coordinator::HandleStreamTerminated(const StreamTerminated& note) {
     members.erase(std::remove(members.begin(), members.end(), note.stream), members.end());
     if (members.empty()) {
       groups_.erase(group_it);
+      group_requests_.erase(active.group);
       if (active.recording) {
         // Composite parent becomes playable when all components are sealed.
         for (const ContentRecord* candidate : catalog_.ListContent()) {
@@ -669,25 +618,109 @@ void Coordinator::HandleStreamTerminated(const StreamTerminated& note) {
   RetryPendingQueue();
 }
 
-void Coordinator::MarkMsuDown(MsuInfo& msu) {
-  msu.up = false;
-  msu.conn = nullptr;
-  // Streams on the failed MSU are gone; release their allocations.
-  std::vector<StreamId> dead;
-  for (const auto& [id, active] : active_streams_) {
-    if (active.msu == msu.node) {
-      dead.push_back(id);
+void Coordinator::HandleProgressReport(const StreamProgressReport& report) {
+  for (const StreamProgressReport::Entry& entry : report.entries) {
+    auto it = active_streams_.find(entry.stream);
+    if (it != active_streams_.end()) {
+      it->second.last_offset = entry.media_offset;
     }
   }
-  for (StreamId id : dead) {
-    const ActiveStream& active = active_streams_[id];
-    StreamTerminated note;
-    note.stream = id;
-    note.group = active.group;
-    note.was_recording = active.recording;
-    note.disk = active.disk;
-    HandleStreamTerminated(note);
+}
+
+void Coordinator::MarkMsuDown(MsuInfo& msu) {
+  msu.conn = nullptr;
+  ledger_.MarkDown(msu.node);
+
+  // Partition the failed MSU's streams by group (every member of a group
+  // lives on one MSU, so a group is lost whole or not at all).
+  std::map<GroupId, std::vector<StreamId>> lost;
+  for (const auto& [id, active] : active_streams_) {
+    if (active.msu == msu.node) {
+      lost[active.group].push_back(id);
+    }
   }
+  for (const auto& [group, members] : lost) {
+    bool recording = false;
+    PendingRequest resume;
+    auto request_it = group_requests_.find(group);
+    const bool have_request = request_it != group_requests_.end();
+    if (have_request) {
+      resume = request_it->second;
+      resume.start_offsets.assign(members.size(), SimTime());
+    }
+    for (StreamId id : members) {
+      const ActiveStream& active = active_streams_[id];
+      recording = recording || active.recording;
+      if (have_request && static_cast<size_t>(active.component) < resume.start_offsets.size()) {
+        resume.start_offsets[static_cast<size_t>(active.component)] = active.last_offset;
+      }
+      // Release the stream's hold exactly once: bandwidth in full, and for
+      // recordings the *entire* space debit — a crash-interrupted recording
+      // keeps no usable bytes (the MSU deletes the uncommitted file when it
+      // restarts), so nothing stays charged against the account.
+      (void)ledger_.Release(id);
+      if (active.recording) {
+        // The half-recorded item is unusable; drop it from the catalog.
+        (void)catalog_.RemoveContent(active.content_item);
+      }
+      active_streams_.erase(id);
+    }
+    groups_.erase(group);
+    group_requests_.erase(group);
+    if (recording) {
+      if (have_request && resume.record) {
+        (void)catalog_.RemoveContent(resume.content);  // composite parent, if any
+      }
+      CALLIOPE_LOG(kWarning, "coord")
+          << "MSU " << msu.node << " failed; recording group " << group << " lost";
+      if (have_request) {
+        NotifyRequestFailed(resume, UnavailableError("MSU failed during recording"));
+      }
+      continue;
+    }
+    if (!have_request) {
+      continue;
+    }
+    // Replica-aware failover (§2.2 fault tolerance, extended): re-run the
+    // resolve→reserve→launch pipeline against the surviving MSUs holding a
+    // copy, resuming near where each member was interrupted.
+    FailoverGroup(std::move(resume));
+  }
+}
+
+Task Coordinator::FailoverGroup(PendingRequest request) {
+  // Let the failure event settle (broken conns, ledger state) before
+  // re-placing the group.
+  co_await machine_->sim().Yield();
+  if (!FindSession(request.session).ok()) {
+    co_return;  // client went away; nobody is watching this group
+  }
+  const Status started = co_await TryStartGroup(request);
+  if (started.ok()) {
+    CALLIOPE_LOG(kInfo, "coord") << "group " << request.group
+                                 << " failed over to a surviving replica";
+    co_return;
+  }
+  if (started.code() == StatusCode::kResourceExhausted) {
+    // No survivor holds a copy with bandwidth headroom right now; wait in
+    // the pending queue like any other unsatisfiable request.
+    pending_.push_back(std::move(request));
+    co_return;
+  }
+  CALLIOPE_LOG(kWarning, "coord") << "group " << request.group
+                                  << " failover failed: " << started.ToString();
+  NotifyRequestFailed(std::move(request), started);
+}
+
+Task Coordinator::NotifyRequestFailed(PendingRequest request, Status error) {
+  auto session = FindSession(request.session);
+  if (!session.ok() || (*session)->conn == nullptr) {
+    co_return;
+  }
+  Envelope envelope;
+  envelope.body = MessageBody{PendingRequestFailed{request.group, error.ToString()}};
+  const Status sent = co_await (*session)->conn->Send(std::move(envelope));
+  (void)sent;
 }
 
 Task Coordinator::RetryPendingQueue() {
@@ -708,8 +741,13 @@ Task Coordinator::RetryPendingQueue() {
     const Status started = co_await TryStartGroup(request);
     if (started.code() == StatusCode::kResourceExhausted) {
       still_waiting.push_back(std::move(request));
+    } else if (!started.ok()) {
+      // Never drop a queued request silently: the client is told its group
+      // is dead so it can stop waiting for a stream that will never arrive.
+      CALLIOPE_LOG(kWarning, "coord") << "queued request for '" << request.content
+                                      << "' failed permanently: " << started.ToString();
+      NotifyRequestFailed(std::move(request), started);
     }
-    // Other errors drop the request; the client sees no stream arrive.
   }
   // Re-queue this pass's failures behind anything newly queued.
   for (PendingRequest& request : still_waiting) {
@@ -718,22 +756,14 @@ Task Coordinator::RetryPendingQueue() {
   retry_scheduled_ = false;
 }
 
-bool Coordinator::MsuUp(const std::string& node) const {
-  auto it = msus_.find(node);
-  return it != msus_.end() && it->second.up;
-}
+bool Coordinator::MsuUp(const std::string& node) const { return ledger_.IsUp(node); }
 
 DataRate Coordinator::DiskLoad(const std::string& msu, int disk) const {
-  auto it = msus_.find(msu);
-  if (it == msus_.end() || static_cast<size_t>(disk) >= it->second.disk_load.size()) {
-    return DataRate();
-  }
-  return it->second.disk_load[static_cast<size_t>(disk)];
+  return ledger_.DiskLoad(msu, disk);
 }
 
 Bytes Coordinator::MsuFreeSpace(const std::string& msu) const {
-  auto it = msus_.find(msu);
-  return it == msus_.end() ? Bytes(0) : it->second.free_space;
+  return ledger_.FreeSpace(msu);
 }
 
 }  // namespace calliope

@@ -21,6 +21,8 @@
 #include "src/hw/machine.h"
 #include "src/ibtree/ibtree.h"
 #include "src/net/network.h"
+#include "src/place/ledger.h"
+#include "src/place/policy.h"
 
 namespace calliope {
 
@@ -33,6 +35,11 @@ struct CoordinatorParams {
   // Deliverable per-disk bandwidth budget used for admission accounting
   // (Table 1: a Barracuda under concurrent load sustains ~2.4 MB/s).
   DataRate disk_budget = DataRate::MegabytesPerSec(2.35);
+  // Placement policy name (see PlacementPolicyRegistry::WithBuiltins);
+  // unknown names fall back to the historical least-loaded behavior.
+  std::string placement_policy = "least-loaded";
+  // Seed for stochastic policies (power-of-two), so runs stay reproducible.
+  uint64_t placement_seed = 1996;
 };
 
 class Coordinator {
@@ -54,18 +61,16 @@ class Coordinator {
   int64_t requests_handled() const { return requests_handled_; }
   DataRate DiskLoad(const std::string& msu, int disk) const;
   Bytes MsuFreeSpace(const std::string& msu) const;
+  const ResourceLedger& ledger() const { return ledger_; }
+  const char* placement_policy_name() const { return policy_->name(); }
 
  private:
+  // Connection bookkeeping only; capacity and load live in the ledger.
   struct MsuInfo {
     MsuInfo() = default;
 
     std::string node;
     TcpConn* conn = nullptr;
-    bool up = false;
-    int disk_count = 0;
-    Bytes free_space;
-    std::vector<DataRate> disk_load;    // reserved bandwidth per disk
-    std::vector<int> disk_streams;      // active streams per disk
   };
 
   struct DisplayPort {
@@ -96,11 +101,11 @@ class Coordinator {
     GroupId group = 0;
     std::string msu;
     int disk = 0;
-    DataRate rate;
+    int component = 0;         // index within the group's composite type
     std::string content_item;  // atomic item name
     bool recording = false;
     SessionId session = 0;
-    Bytes reserved_space;  // recordings: estimated space debit
+    SimTime last_offset;  // playback: last reported media position
   };
 
   // A play/record request waiting for resources.
@@ -114,6 +119,8 @@ class Coordinator {
     SimTime estimated_length;  // record only
     DisplayPort port;          // snapshot of the display port
     GroupId group = 0;         // pre-assigned so the client can reference it
+    // Failover: per-component media offsets to resume playback at.
+    std::vector<SimTime> start_offsets;
   };
 
   // ---- wiring ----
@@ -134,6 +141,7 @@ class Coordinator {
   // ---- MSU-facing ----
   Co<MessageBody> HandleMsuRegister(TcpConn* conn, const MsuRegisterRequest& request);
   void HandleStreamTerminated(const StreamTerminated& note);
+  void HandleProgressReport(const StreamProgressReport& report);
   void MarkMsuDown(MsuInfo& msu);
 
   // ---- scheduling core ----
@@ -142,6 +150,11 @@ class Coordinator {
   // caller queues the request).
   Co<Status> TryStartGroup(const PendingRequest& request);
   Task RetryPendingQueue();
+  // Replica-aware failover: re-places one interrupted playback group on the
+  // surviving MSUs, resuming near the last known media offsets.
+  Task FailoverGroup(PendingRequest request);
+  // Tells the session's client that a queued/migrating group died for good.
+  Task NotifyRequestFailed(PendingRequest request, Status error);
   Result<SessionInfo*> FindSession(SessionId id);
   // Resolves the atomic (item, port) component pairs of a request.
   struct Component {
@@ -152,16 +165,25 @@ class Coordinator {
   };
   Result<std::vector<Component>> ResolveComponents(const PendingRequest& request,
                                                    SessionInfo& session);
+  // Reduces a resolved request to the policy's input: per-component rates,
+  // space estimates and candidate copies.
+  Result<PlacementSpec> BuildPlacementSpec(const PendingRequest& request,
+                                           const std::vector<Component>& components);
 
   Machine* machine_;
   NetNode* node_;
   CoordinatorParams params_;
   Catalog catalog_;
+  ResourceLedger ledger_;
+  std::unique_ptr<PlacementPolicy> policy_;
   std::map<std::string, MsuInfo> msus_;
   std::map<SessionId, SessionInfo> sessions_;
   std::map<TcpConn*, SessionId> conn_sessions_;
   std::map<StreamId, ActiveStream> active_streams_;
   std::map<GroupId, std::vector<StreamId>> groups_;
+  // Snapshot of the request that started each live group, kept so a failed
+  // MSU's groups can be re-placed; erased when the group ends normally.
+  std::map<GroupId, PendingRequest> group_requests_;
   std::deque<PendingRequest> pending_;
   SessionId next_session_ = 1;
   StreamId next_stream_ = 1;

@@ -36,6 +36,7 @@ Msu::Msu(Machine& machine, NetNode& node, MsuParams params)
   }
   (void)node_->BindUdp(params_.media_udp_port,
                        [this](const Datagram& datagram) { OnMediaDatagram(datagram); });
+  ProgressReporter();
 }
 
 Task Msu::DiskProcess(int disk_index) {
@@ -199,6 +200,14 @@ Co<MessageBody> Msu::HandleStartStream(MsuStartStream request) {
     raw->state_ = MsuStream::State::kRunning;
   } else {
     raw->PlaybackLoop();
+    if (request.start_offset > SimTime()) {
+      // Failover resume: jump to where the stream's previous MSU died. A
+      // failed seek (corrupt tree, truncated file) falls back to the start.
+      const Status seeked = co_await raw->SeekTo(request.start_offset);
+      if (!seeked.ok()) {
+        CALLIOPE_LOG(kWarning, "msu") << "start-offset seek failed: " << seeked.ToString();
+      }
+    }
     (void)raw->Resume();  // kStarting -> kRunning; first slot fills the buffer
   }
 
@@ -309,6 +318,9 @@ void Msu::OnStreamFinished(MsuStream* stream) {
   if (note.was_recording && stream->file_ != nullptr && stream->file_->committed()) {
     note.recorded_duration = stream->file_->image().duration();
   }
+  if (!note.was_recording) {
+    note.last_media_offset = stream->CurrentMediaOffset();
+  }
   NotifyTermination(std::move(note));
 
   finished_streams_[stream->id()] = std::move(it->second);
@@ -320,6 +332,29 @@ Task Msu::NotifyTermination(StreamTerminated note) {
     co_return;
   }
   co_await coordinator_conn_->Send(Envelope{0, false, MessageBody{std::move(note)}});
+}
+
+Task Msu::ProgressReporter() {
+  // Periodically tells the Coordinator where each playback stream is in its
+  // media, so failover can resume streams near the interruption point.
+  for (;;) {
+    co_await sim().Delay(params_.progress_interval);
+    if (crashed_ || coordinator_conn_ == nullptr || coordinator_conn_->closed()) {
+      continue;
+    }
+    StreamProgressReport report;
+    report.msu_node = node_->name();
+    for (const auto& [id, stream] : streams_) {
+      if (stream->mode() == MsuStream::Mode::kPlay &&
+          stream->state() != MsuStream::State::kStopped) {
+        report.entries.push_back(StreamProgressReport::Entry{id, stream->CurrentMediaOffset()});
+      }
+    }
+    if (report.entries.empty()) {
+      continue;
+    }
+    co_await coordinator_conn_->Send(Envelope{0, false, MessageBody{std::move(report)}});
+  }
 }
 
 void Msu::Crash() {
@@ -342,6 +377,16 @@ void Msu::Crash() {
 Co<Status> Msu::Restart(std::string coordinator_node) {
   node_->SetDown(false);
   crashed_ = false;
+  // Crash recovery: recordings interrupted by the crash left uncommitted
+  // files whose data is unusable. Reclaim their space before reporting
+  // capacity to the Coordinator, so its ledger matches reality.
+  for (const std::string& name : fs_.ListFiles()) {
+    auto file = fs_.Lookup(name);
+    if (file.ok() && !(*file)->committed()) {
+      (void)fs_.Delete(name);
+    }
+  }
+  FlushMetadataBehind();
   co_return co_await RegisterWithCoordinator(std::move(coordinator_node));
 }
 

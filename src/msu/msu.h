@@ -142,6 +142,10 @@ struct MsuParams {
   bool elevator_scheduling = false;
   int coordinator_port = 5000;
   int media_udp_port = 7000;    // MSU-side recording receive port base
+  // How often the MSU batches playback media offsets to the Coordinator (one
+  // small message per MSU, so Coordinator CPU cost stays negligible). The
+  // Coordinator uses the offsets to resume streams elsewhere after a crash.
+  SimTime progress_interval = SimTime::Seconds(2);
 };
 
 class Msu {
@@ -191,6 +195,7 @@ class Msu {
   };
 
   Task DiskProcess(int disk_index);
+  Task ProgressReporter();
   Task FlushMetadataBehind();
   void OnStreamFinished(MsuStream* stream);
   Task NotifyTermination(StreamTerminated note);

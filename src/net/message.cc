@@ -50,7 +50,7 @@ struct SizeVisitor {
   }
   Bytes operator()(const SimpleResponse& m) const { return Bytes(16) + StringBytes(m.error); }
   Bytes operator()(const MsuStartStream& m) const {
-    return Bytes(96) + StringBytes(m.file) + StringBytes(m.protocol) +
+    return Bytes(104) + StringBytes(m.file) + StringBytes(m.protocol) +
            StringBytes(m.client_node) + StringBytes(m.fast_forward_file) +
            StringBytes(m.fast_backward_file);
   }
@@ -60,7 +60,14 @@ struct SizeVisitor {
   Bytes operator()(const MsuRegisterRequest& m) const {
     return Bytes(32) + StringBytes(m.msu_node);
   }
-  Bytes operator()(const StreamTerminated& m) const { return Bytes(48) + StringBytes(m.file); }
+  Bytes operator()(const StreamTerminated& m) const { return Bytes(56) + StringBytes(m.file); }
+  Bytes operator()(const StreamProgressReport& m) const {
+    return Bytes(16) + StringBytes(m.msu_node) +
+           Bytes(static_cast<int64_t>(m.entries.size()) * 16);
+  }
+  Bytes operator()(const PendingRequestFailed& m) const {
+    return Bytes(16) + StringBytes(m.error);
+  }
   Bytes operator()(const VcrCommand&) const { return Bytes(32); }
   Bytes operator()(const VcrAck& m) const { return Bytes(16) + StringBytes(m.error); }
   Bytes operator()(const MsuDeleteFile& m) const { return Bytes(16) + StringBytes(m.file); }
@@ -88,6 +95,8 @@ struct NameVisitor {
   const char* operator()(const MsuStartStreamResponse&) const { return "MsuStartStreamResponse"; }
   const char* operator()(const MsuRegisterRequest&) const { return "MsuRegisterRequest"; }
   const char* operator()(const StreamTerminated&) const { return "StreamTerminated"; }
+  const char* operator()(const StreamProgressReport&) const { return "StreamProgressReport"; }
+  const char* operator()(const PendingRequestFailed&) const { return "PendingRequestFailed"; }
   const char* operator()(const VcrCommand&) const { return "VcrCommand"; }
   const char* operator()(const VcrAck&) const { return "VcrAck"; }
   const char* operator()(const MsuDeleteFile&) const { return "MsuDeleteFile"; }

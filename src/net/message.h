@@ -194,6 +194,9 @@ struct MsuStartStream {
   bool open_control_conn = true;
   std::string fast_forward_file;   // optional fast-scan variants
   std::string fast_backward_file;
+  // Playback starts this far into the media (failover resumes a migrated
+  // stream near where its previous MSU died). Zero: start at the beginning.
+  SimTime start_offset;
 };
 
 struct MsuStartStreamResponse {
@@ -225,6 +228,25 @@ struct StreamTerminated {
   bool was_recording = false;
   SimTime recorded_duration;  // media length of a completed recording
   int disk = 0;               // disk the file lives on (for space accounting)
+  SimTime last_media_offset;  // playback: media position when the stream ended
+};
+
+// Periodic batched note: where each playback stream currently is in its
+// media. The Coordinator keeps the latest offset per stream so a failover
+// can resume a migrated stream near the position where its MSU died.
+struct StreamProgressReport {
+  StreamProgressReport() = default;
+
+  struct Entry {
+    Entry() = default;
+    Entry(StreamId stream_id, SimTime offset) : stream(stream_id), media_offset(offset) {}
+
+    StreamId stream = 0;
+    SimTime media_offset;
+  };
+
+  std::string msu_node;
+  std::vector<Entry> entries;
 };
 
 // Coordinator -> MSU: remove a file (content deletion).
@@ -233,6 +255,19 @@ struct MsuDeleteFile {
   explicit MsuDeleteFile(std::string file_name) : file(std::move(file_name)) {}
 
   std::string file;
+};
+
+// ---------- Coordinator -> client (over the session connection) ----------
+
+// A queued play/record request failed permanently during a retry or failover
+// pass; no stream will arrive for this group.
+struct PendingRequestFailed {
+  PendingRequestFailed() = default;
+  PendingRequestFailed(GroupId group_id, std::string error_message)
+      : group(group_id), error(std::move(error_message)) {}
+
+  GroupId group = 0;
+  std::string error;
 };
 
 // ---------- MSU -> client (over the group's VCR control connection) ----------
@@ -284,7 +319,8 @@ using MessageBody =
                  RegisterPortRequest, UnregisterPortRequest, PlayRequest, PlayResponse,
                  RecordRequest, RecordResponse, DeleteContentRequest, LoadFastScanRequest,
                  SimpleResponse, MsuStartStream, MsuStartStreamResponse, MsuRegisterRequest,
-                 StreamTerminated, VcrCommand, VcrAck, MsuDeleteFile, StreamGroupInfo>;
+                 StreamTerminated, StreamProgressReport, PendingRequestFailed, VcrCommand,
+                 VcrAck, MsuDeleteFile, StreamGroupInfo>;
 
 struct Envelope {
   Envelope() = default;

@@ -1,0 +1,208 @@
+#include "src/place/ledger.h"
+
+#include <utility>
+
+namespace calliope {
+
+DataRate MsuAccount::TotalLoad() const {
+  DataRate total;
+  for (const DiskAccount& disk : disks) {
+    total = total + disk.load;
+  }
+  return total;
+}
+
+int MsuAccount::TotalStreams() const {
+  int total = 0;
+  for (const DiskAccount& disk : disks) {
+    total += disk.streams;
+  }
+  return total;
+}
+
+// ---- Txn ----
+
+ResourceLedger::Txn::Txn(ResourceLedger* ledger, std::string node, int64_t epoch,
+                         std::vector<ReserveItem> items)
+    : ledger_(ledger),
+      node_(std::move(node)),
+      epoch_(epoch),
+      items_(std::move(items)),
+      committed_(items_.size(), false) {}
+
+ResourceLedger::Txn::Txn(Txn&& other) noexcept
+    : ledger_(other.ledger_),
+      node_(std::move(other.node_)),
+      epoch_(other.epoch_),
+      items_(std::move(other.items_)),
+      committed_(std::move(other.committed_)) {
+  other.ledger_ = nullptr;
+}
+
+ResourceLedger::Txn& ResourceLedger::Txn::operator=(Txn&& other) noexcept {
+  if (this != &other) {
+    Rollback();
+    ledger_ = other.ledger_;
+    node_ = std::move(other.node_);
+    epoch_ = other.epoch_;
+    items_ = std::move(other.items_);
+    committed_ = std::move(other.committed_);
+    other.ledger_ = nullptr;
+  }
+  return *this;
+}
+
+ResourceLedger::Txn::~Txn() { Rollback(); }
+
+void ResourceLedger::Txn::Rollback() {
+  if (ledger_ == nullptr) {
+    return;
+  }
+  for (size_t i = 0; i < items_.size(); ++i) {
+    if (!committed_[i]) {
+      ledger_->Refund(node_, epoch_, items_[i].disk, items_[i].rate, items_[i].space);
+    }
+  }
+  ledger_ = nullptr;
+}
+
+void ResourceLedger::Txn::Commit(size_t index, StreamId stream) {
+  if (ledger_ == nullptr || index >= items_.size() || committed_[index]) {
+    return;
+  }
+  committed_[index] = true;
+  const ReserveItem& item = items_[index];
+  StreamHold hold;
+  hold.msu = node_;
+  hold.disk = item.disk;
+  hold.rate = item.rate;
+  hold.space = item.space;
+  hold.epoch = epoch_;
+  ledger_->holds_[stream] = std::move(hold);
+  auto it = ledger_->msus_.find(node_);
+  if (it != ledger_->msus_.end() && it->second.epoch == epoch_) {
+    ++it->second.disks[static_cast<size_t>(item.disk)].streams;
+  }
+}
+
+// ---- ResourceLedger ----
+
+void ResourceLedger::RegisterMsu(const std::string& node, int disk_count,
+                                 Bytes free_space) {
+  MsuAccount& account = msus_[node];
+  account.node = node;
+  account.up = true;
+  account.disk_count = disk_count;
+  account.free_space = free_space;
+  account.disks.assign(static_cast<size_t>(disk_count), DiskAccount());
+  ++account.epoch;
+  // Holds from before the re-registration are stale: the MSU reported its
+  // real capacity afresh, so refunding them later must not touch it.
+  for (auto it = holds_.begin(); it != holds_.end();) {
+    if (it->second.msu == node && it->second.epoch != account.epoch) {
+      it = holds_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void ResourceLedger::MarkDown(const std::string& node) {
+  auto it = msus_.find(node);
+  if (it != msus_.end()) {
+    it->second.up = false;
+  }
+}
+
+bool ResourceLedger::IsUp(const std::string& node) const {
+  auto it = msus_.find(node);
+  return it != msus_.end() && it->second.up;
+}
+
+const MsuAccount* ResourceLedger::Find(const std::string& node) const {
+  auto it = msus_.find(node);
+  return it == msus_.end() ? nullptr : &it->second;
+}
+
+DataRate ResourceLedger::DiskLoad(const std::string& node, int disk) const {
+  auto it = msus_.find(node);
+  if (it == msus_.end() || static_cast<size_t>(disk) >= it->second.disks.size()) {
+    return DataRate();
+  }
+  return it->second.disks[static_cast<size_t>(disk)].load;
+}
+
+Bytes ResourceLedger::FreeSpace(const std::string& node) const {
+  auto it = msus_.find(node);
+  return it == msus_.end() ? Bytes(0) : it->second.free_space;
+}
+
+Result<ResourceLedger::Txn> ResourceLedger::Reserve(const std::string& node,
+                                                    std::vector<ReserveItem> items) {
+  auto it = msus_.find(node);
+  if (it == msus_.end() || !it->second.up) {
+    return UnavailableError("ledger: MSU unavailable: " + node);
+  }
+  MsuAccount& account = it->second;
+  for (const ReserveItem& item : items) {
+    if (item.disk < 0 || static_cast<size_t>(item.disk) >= account.disks.size()) {
+      return InvalidArgumentError("ledger: bad disk index on " + node);
+    }
+  }
+  for (const ReserveItem& item : items) {
+    DiskAccount& disk = account.disks[static_cast<size_t>(item.disk)];
+    disk.load = disk.load + item.rate;
+    account.free_space -= item.space;
+  }
+  return Txn(this, node, account.epoch, std::move(items));
+}
+
+bool ResourceLedger::Release(StreamId stream, Bytes space_used) {
+  auto it = holds_.find(stream);
+  if (it == holds_.end()) {
+    return false;
+  }
+  StreamHold hold = std::move(it->second);
+  holds_.erase(it);
+  Bytes refund = hold.space - space_used;
+  if (refund < Bytes(0)) {
+    refund = Bytes(0);  // recording overran its estimate; nothing to return
+  }
+  auto msu_it = msus_.find(hold.msu);
+  if (msu_it != msus_.end() && msu_it->second.epoch == hold.epoch) {
+    MsuAccount& account = msu_it->second;
+    DiskAccount& disk = account.disks[static_cast<size_t>(hold.disk)];
+    disk.load = disk.load - hold.rate;
+    if (disk.load < DataRate()) {
+      disk.load = DataRate();
+    }
+    --disk.streams;
+    account.free_space += refund;
+  }
+  return true;
+}
+
+void ResourceLedger::Refund(const std::string& node, int64_t epoch, int disk,
+                            DataRate rate, Bytes space) {
+  auto it = msus_.find(node);
+  if (it == msus_.end() || it->second.epoch != epoch) {
+    return;
+  }
+  MsuAccount& account = it->second;
+  DiskAccount& account_disk = account.disks[static_cast<size_t>(disk)];
+  account_disk.load = account_disk.load - rate;
+  if (account_disk.load < DataRate()) {
+    account_disk.load = DataRate();
+  }
+  account.free_space += space;
+}
+
+DataRate ResourceLedger::TotalReserved() const {
+  DataRate total;
+  for (const auto& [name, account] : msus_) {
+    total = total + account.TotalLoad();
+  }
+  return total;
+}
+
+}  // namespace calliope

@@ -1,0 +1,144 @@
+// ResourceLedger: the single owner of per-MSU / per-disk bandwidth and disk
+// space accounting (§2.2: "As the Coordinator assigns resources to clients,
+// it keeps track of load by processor and disk").
+//
+// All admission state changes go through explicit transactions:
+//
+//   Reserve()  debits a whole stream group's bandwidth and space atomically,
+//              before any MSU is contacted, so racing admissions never see
+//              stale load numbers. The returned Txn rolls the debit back in
+//              its destructor unless committed.
+//   Commit()   transfers one component's reservation into a per-stream hold.
+//   Release()  refunds a stream's hold exactly once; recordings pass the
+//              bytes actually written so only the over-estimate is returned.
+//
+// Accounts carry an epoch that bumps on (re-)registration; stale transactions
+// and holds from before a re-registration never touch the fresh numbers.
+#ifndef CALLIOPE_SRC_PLACE_LEDGER_H_
+#define CALLIOPE_SRC_PLACE_LEDGER_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/net/message.h"
+#include "src/util/status.h"
+#include "src/util/units.h"
+
+namespace calliope {
+
+// NOTE: these structs declare constructors so they are not aggregates; GCC 12
+// miscompiles aggregate init/copies inside coroutine bodies (see src/sim/co.h).
+struct DiskAccount {
+  DiskAccount() = default;
+
+  DataRate load;    // reserved bandwidth
+  int streams = 0;  // committed streams served from this disk
+};
+
+struct MsuAccount {
+  MsuAccount() = default;
+
+  std::string node;
+  bool up = false;
+  int disk_count = 0;
+  Bytes free_space;
+  std::vector<DiskAccount> disks;
+  int64_t epoch = 0;  // bumps on every (re-)registration
+
+  DataRate TotalLoad() const;
+  int TotalStreams() const;
+};
+
+class ResourceLedger {
+ public:
+  // One component's share of a group reservation.
+  struct ReserveItem {
+    ReserveItem() = default;
+    ReserveItem(int disk_index, DataRate bandwidth, Bytes space_bytes)
+        : disk(disk_index), rate(bandwidth), space(space_bytes) {}
+
+    int disk = 0;
+    DataRate rate;
+    Bytes space;
+  };
+
+  // A group reservation in flight. Move-only; uncommitted items are refunded
+  // when the transaction is destroyed (e.g. the MSU refused the stream).
+  class Txn {
+   public:
+    Txn() = default;
+    Txn(Txn&& other) noexcept;
+    Txn& operator=(Txn&& other) noexcept;
+    Txn(const Txn&) = delete;
+    Txn& operator=(const Txn&) = delete;
+    ~Txn();
+
+    bool valid() const { return ledger_ != nullptr; }
+    const std::string& msu() const { return node_; }
+    // Converts item `index` into a per-stream hold; `stream`'s bandwidth and
+    // space now stay debited until Release(stream).
+    void Commit(size_t index, StreamId stream);
+
+   private:
+    friend class ResourceLedger;
+    Txn(ResourceLedger* ledger, std::string node, int64_t epoch,
+        std::vector<ReserveItem> items);
+    void Rollback();
+
+    ResourceLedger* ledger_ = nullptr;
+    std::string node_;
+    int64_t epoch_ = 0;
+    std::vector<ReserveItem> items_;
+    std::vector<bool> committed_;
+  };
+
+  // Registers (or re-registers) an MSU with fresh capacity numbers. Resets
+  // the account and invalidates holds that predate the registration.
+  void RegisterMsu(const std::string& node, int disk_count, Bytes free_space);
+  void MarkDown(const std::string& node);
+
+  bool IsUp(const std::string& node) const;
+  const MsuAccount* Find(const std::string& node) const;
+  const std::map<std::string, MsuAccount>& msus() const { return msus_; }
+  DataRate DiskLoad(const std::string& node, int disk) const;
+  Bytes FreeSpace(const std::string& node) const;
+
+  // Debits every item's bandwidth (and space) on `node` at once. Fails with
+  // kUnavailable if the MSU is unknown or down, kInvalidArgument on a bad
+  // disk index. Budget checks are the placement policy's job, not ours.
+  Result<Txn> Reserve(const std::string& node, std::vector<ReserveItem> items);
+
+  // Refunds `stream`'s hold: bandwidth in full, space minus `space_used`.
+  // Returns false (and changes nothing) if the stream holds nothing — calling
+  // twice is safe, the second call is a no-op.
+  bool Release(StreamId stream, Bytes space_used = Bytes());
+
+  // ---- introspection for tests and benches ----
+  DataRate TotalReserved() const;  // sum of every disk's reserved bandwidth
+  size_t outstanding_holds() const { return holds_.size(); }
+
+ private:
+  struct StreamHold {
+    StreamHold() = default;
+
+    std::string msu;
+    int disk = 0;
+    DataRate rate;
+    Bytes space;
+    int64_t epoch = 0;
+  };
+
+  // Refunds one item to its account; no-op if the account re-registered.
+  void Refund(const std::string& node, int64_t epoch, int disk, DataRate rate,
+              Bytes space);
+
+  std::map<std::string, MsuAccount> msus_;
+  std::map<StreamId, StreamHold> holds_;
+};
+
+}  // namespace calliope
+
+#endif  // CALLIOPE_SRC_PLACE_LEDGER_H_

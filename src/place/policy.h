@@ -1,0 +1,116 @@
+// Pluggable placement policies for the Coordinator's admission path.
+//
+// The Coordinator reduces a (possibly composite) play/record request to a
+// PlacementSpec — per-component rates, space estimates and candidate copies —
+// and asks a PlacementPolicy to pick one MSU that can host the whole group
+// ("Calliope assigns all streams in a group to the same MSU", §2.2). The
+// policy only *chooses*; reservations happen afterwards through the
+// ResourceLedger, so every policy sees the same consistent load numbers.
+//
+// Built-in policies (PlacementPolicyRegistry::WithBuiltins):
+//   least-loaded    historical default: feasible MSU with the lowest total
+//                   reserved bandwidth; least-loaded copy/disk within it.
+//   first-fit       first feasible MSU in name order, first disk that fits.
+//   power-of-two    samples two random up MSUs and takes the less loaded
+//                   feasible one (full scan fallback, so admission never
+//                   spuriously fails). Deterministic given its seed.
+//   replica-aware   spreads by committed stream count across replica holders,
+//                   breaking ties by reserved bandwidth, then name.
+#ifndef CALLIOPE_SRC_PLACE_POLICY_H_
+#define CALLIOPE_SRC_PLACE_POLICY_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/place/ledger.h"
+#include "src/util/rng.h"
+#include "src/util/status.h"
+#include "src/util/units.h"
+
+namespace calliope {
+
+// One copy of a component's content that a play stream could be served from.
+struct PlacementCandidate {
+  PlacementCandidate() = default;
+  PlacementCandidate(std::string msu_name, int disk_index, std::string file)
+      : msu(std::move(msu_name)), disk(disk_index), file_name(std::move(file)) {}
+
+  std::string msu;
+  int disk = 0;
+  std::string file_name;  // empty: use the component's default file name
+};
+
+struct ComponentSpec {
+  ComponentSpec() = default;
+
+  DataRate rate;          // bandwidth to reserve (content type's bandwidth_rate)
+  Bytes space;            // recordings: estimated space debit
+  std::string file_name;  // default MSU file name
+  // Play: every copy of the item, across all MSUs (the policy filters by
+  // MSU). Recordings have no candidates — any disk may take them.
+  std::vector<PlacementCandidate> candidates;
+};
+
+struct PlacementSpec {
+  PlacementSpec() = default;
+
+  bool record = false;
+  DataRate disk_budget;  // per-disk admission ceiling
+  std::vector<ComponentSpec> components;
+
+  Bytes TotalSpace() const;
+};
+
+// A policy's verdict: the chosen MSU plus per-component disks and files.
+struct Placement {
+  Placement() = default;
+
+  std::string msu;
+  std::vector<int> disks;
+  std::vector<std::string> files;
+};
+
+// Greedy per-MSU feasibility check shared by every built-in policy; this is
+// the admission rule the Coordinator has always applied. Components claim
+// disks against a scratch copy of the account's loads (so one group's members
+// see each other); `first_fit` takes the first disk with headroom instead of
+// the least-loaded one. Empty optional: the MSU cannot host the group.
+std::optional<Placement> PlaceOnMsu(const MsuAccount& account, const PlacementSpec& spec,
+                                    bool first_fit = false);
+
+class PlacementPolicy {
+ public:
+  virtual ~PlacementPolicy() = default;
+
+  virtual const char* name() const = 0;
+  // Picks an MSU for the whole group. kResourceExhausted when no up MSU can
+  // host it right now (the Coordinator queues the request).
+  virtual Result<Placement> Place(const PlacementSpec& spec,
+                                  const ResourceLedger& ledger) = 0;
+};
+
+class PlacementPolicyRegistry {
+ public:
+  using Factory = std::function<std::unique_ptr<PlacementPolicy>(uint64_t seed)>;
+
+  // All four built-in policies, ready to instantiate.
+  static PlacementPolicyRegistry WithBuiltins();
+
+  Status Register(std::string name, Factory factory);
+  Result<std::unique_ptr<PlacementPolicy>> Instantiate(const std::string& name,
+                                                       uint64_t seed) const;
+  std::vector<std::string> names() const;
+
+ private:
+  std::map<std::string, Factory> factories_;
+};
+
+}  // namespace calliope
+
+#endif  // CALLIOPE_SRC_PLACE_POLICY_H_

@@ -1,0 +1,261 @@
+// Unit tests for the placement/admission subsystem: the ResourceLedger's
+// transactional accounting and the pluggable placement policies (§2.2).
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "src/place/ledger.h"
+#include "src/place/policy.h"
+
+namespace calliope {
+namespace {
+
+constexpr int64_t kMiB = 1 << 20;
+
+ResourceLedger TwoMsuLedger() {
+  ResourceLedger ledger;
+  ledger.RegisterMsu("msuA", 2, Bytes(100 * kMiB));
+  ledger.RegisterMsu("msuB", 2, Bytes(100 * kMiB));
+  return ledger;
+}
+
+PlacementSpec PlaySpec(DataRate rate, std::vector<PlacementCandidate> candidates) {
+  PlacementSpec spec;
+  spec.disk_budget = DataRate::MegabytesPerSec(2.0);
+  ComponentSpec component;
+  component.rate = rate;
+  component.file_name = "movie.mpg";
+  component.candidates = std::move(candidates);
+  spec.components.push_back(std::move(component));
+  return spec;
+}
+
+TEST(LedgerTest, ReserveCommitReleaseLifecycle) {
+  ResourceLedger ledger = TwoMsuLedger();
+  const DataRate rate = DataRate::MegabytesPerSec(0.5);
+
+  auto txn = ledger.Reserve("msuA", {ResourceLedger::ReserveItem(0, rate, Bytes())});
+  ASSERT_TRUE(txn.ok());
+  EXPECT_EQ(ledger.DiskLoad("msuA", 0), rate);
+  EXPECT_EQ(ledger.TotalReserved(), rate);
+
+  txn->Commit(0, /*stream=*/7);
+  EXPECT_EQ(ledger.outstanding_holds(), 1u);
+  EXPECT_EQ(ledger.Find("msuA")->disks[0].streams, 1);
+
+  // Destroying the committed Txn must not refund the hold.
+  { ResourceLedger::Txn moved = std::move(txn).value(); }
+  EXPECT_EQ(ledger.DiskLoad("msuA", 0), rate);
+
+  EXPECT_TRUE(ledger.Release(7));
+  EXPECT_EQ(ledger.DiskLoad("msuA", 0), DataRate());
+  EXPECT_EQ(ledger.outstanding_holds(), 0u);
+  EXPECT_EQ(ledger.Find("msuA")->disks[0].streams, 0);
+
+  // Exactly-once: the second release is a no-op.
+  EXPECT_FALSE(ledger.Release(7));
+  EXPECT_EQ(ledger.DiskLoad("msuA", 0), DataRate());
+}
+
+TEST(LedgerTest, UncommittedTxnRollsBackOnDestruction) {
+  ResourceLedger ledger = TwoMsuLedger();
+  const DataRate rate = DataRate::MegabytesPerSec(0.5);
+  {
+    auto txn = ledger.Reserve(
+        "msuA", {ResourceLedger::ReserveItem(0, rate, Bytes(10 * kMiB))});
+    ASSERT_TRUE(txn.ok());
+    EXPECT_EQ(ledger.DiskLoad("msuA", 0), rate);
+    EXPECT_EQ(ledger.FreeSpace("msuA"), Bytes(90 * kMiB));
+  }
+  EXPECT_EQ(ledger.DiskLoad("msuA", 0), DataRate());
+  EXPECT_EQ(ledger.FreeSpace("msuA"), Bytes(100 * kMiB));
+}
+
+TEST(LedgerTest, PartialCommitRefundsOnlyUncommittedItems) {
+  ResourceLedger ledger = TwoMsuLedger();
+  const DataRate rate = DataRate::MegabytesPerSec(0.5);
+  {
+    auto txn = ledger.Reserve("msuA", {ResourceLedger::ReserveItem(0, rate, Bytes()),
+                                       ResourceLedger::ReserveItem(1, rate, Bytes())});
+    ASSERT_TRUE(txn.ok());
+    txn->Commit(0, /*stream=*/1);
+  }
+  EXPECT_EQ(ledger.DiskLoad("msuA", 0), rate);        // committed stream stays
+  EXPECT_EQ(ledger.DiskLoad("msuA", 1), DataRate());  // uncommitted item refunded
+  EXPECT_TRUE(ledger.Release(1));
+}
+
+TEST(LedgerTest, RecordingReleaseRefundsEstimateMinusBytesUsed) {
+  ResourceLedger ledger = TwoMsuLedger();
+  {
+    auto txn = ledger.Reserve(
+        "msuA", {ResourceLedger::ReserveItem(0, DataRate::MegabytesPerSec(0.5),
+                                             Bytes(20 * kMiB))});
+    ASSERT_TRUE(txn.ok());
+    txn->Commit(0, /*stream=*/3);
+  }
+  EXPECT_EQ(ledger.FreeSpace("msuA"), Bytes(80 * kMiB));
+  EXPECT_TRUE(ledger.Release(3, Bytes(5 * kMiB)));
+  EXPECT_EQ(ledger.FreeSpace("msuA"), Bytes(95 * kMiB));  // only 5 MiB stays charged
+}
+
+TEST(LedgerTest, DownOrUnknownMsuCannotTakeReservations) {
+  ResourceLedger ledger = TwoMsuLedger();
+  ledger.MarkDown("msuA");
+  EXPECT_FALSE(ledger.IsUp("msuA"));
+  auto txn = ledger.Reserve(
+      "msuA", {ResourceLedger::ReserveItem(0, DataRate::MegabytesPerSec(0.5), Bytes())});
+  EXPECT_EQ(txn.status().code(), StatusCode::kUnavailable);
+  auto unknown = ledger.Reserve(
+      "nope", {ResourceLedger::ReserveItem(0, DataRate::MegabytesPerSec(0.5), Bytes())});
+  EXPECT_EQ(unknown.status().code(), StatusCode::kUnavailable);
+  auto bad_disk = ledger.Reserve(
+      "msuB", {ResourceLedger::ReserveItem(9, DataRate::MegabytesPerSec(0.5), Bytes())});
+  EXPECT_EQ(bad_disk.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(LedgerTest, ReregistrationInvalidatesStaleHolds) {
+  ResourceLedger ledger = TwoMsuLedger();
+  const DataRate rate = DataRate::MegabytesPerSec(0.5);
+  {
+    auto txn = ledger.Reserve(
+        "msuA", {ResourceLedger::ReserveItem(0, rate, Bytes(10 * kMiB))});
+    ASSERT_TRUE(txn.ok());
+    txn->Commit(0, /*stream=*/5);
+  }
+  // The MSU crashes and re-registers with fresh capacity numbers: the old
+  // hold is gone, and releasing it later must not credit the fresh account.
+  ledger.MarkDown("msuA");
+  ledger.RegisterMsu("msuA", 2, Bytes(100 * kMiB));
+  EXPECT_EQ(ledger.outstanding_holds(), 0u);
+  EXPECT_FALSE(ledger.Release(5));
+  EXPECT_EQ(ledger.FreeSpace("msuA"), Bytes(100 * kMiB));
+  EXPECT_EQ(ledger.DiskLoad("msuA", 0), DataRate());
+}
+
+TEST(RegistryTest, BuiltinsAndUnknownNames) {
+  const PlacementPolicyRegistry registry = PlacementPolicyRegistry::WithBuiltins();
+  EXPECT_EQ(registry.names(),
+            (std::vector<std::string>{"first-fit", "least-loaded", "power-of-two",
+                                      "replica-aware"}));
+  for (const std::string& name : registry.names()) {
+    auto policy = registry.Instantiate(name, 1);
+    ASSERT_TRUE(policy.ok());
+    EXPECT_EQ(name, (*policy)->name());
+  }
+  EXPECT_EQ(registry.Instantiate("round-robin", 1).status().code(), StatusCode::kNotFound);
+}
+
+TEST(PolicyTest, LeastLoadedPicksLightestMsu) {
+  ResourceLedger ledger = TwoMsuLedger();
+  auto preload = ledger.Reserve(
+      "msuA", {ResourceLedger::ReserveItem(0, DataRate::MegabytesPerSec(1.0), Bytes())});
+  ASSERT_TRUE(preload.ok());
+  preload->Commit(0, /*stream=*/1);
+
+  auto policy = PlacementPolicyRegistry::WithBuiltins().Instantiate("least-loaded", 1);
+  ASSERT_TRUE(policy.ok());
+  const PlacementSpec spec =
+      PlaySpec(DataRate::MegabytesPerSec(0.2), {PlacementCandidate("msuA", 0, "a.mpg"),
+                                                PlacementCandidate("msuB", 0, "b.mpg")});
+  auto placement = (*policy)->Place(spec, ledger);
+  ASSERT_TRUE(placement.ok());
+  EXPECT_EQ(placement->msu, "msuB");
+  EXPECT_EQ(placement->files[0], "b.mpg");
+}
+
+TEST(PolicyTest, FirstFitPrefersNameOrderEvenWhenLoaded) {
+  ResourceLedger ledger = TwoMsuLedger();
+  auto preload = ledger.Reserve(
+      "msuA", {ResourceLedger::ReserveItem(0, DataRate::MegabytesPerSec(1.0), Bytes())});
+  ASSERT_TRUE(preload.ok());
+  preload->Commit(0, /*stream=*/1);
+
+  auto policy = PlacementPolicyRegistry::WithBuiltins().Instantiate("first-fit", 1);
+  ASSERT_TRUE(policy.ok());
+  const PlacementSpec spec =
+      PlaySpec(DataRate::MegabytesPerSec(0.2), {PlacementCandidate("msuA", 0, "a.mpg"),
+                                                PlacementCandidate("msuB", 0, "b.mpg")});
+  auto placement = (*policy)->Place(spec, ledger);
+  ASSERT_TRUE(placement.ok());
+  EXPECT_EQ(placement->msu, "msuA");  // still has headroom, and sorts first
+}
+
+TEST(PolicyTest, ReplicaAwareSpreadsByCommittedStreamCount) {
+  ResourceLedger ledger = TwoMsuLedger();
+  // msuA already serves two committed streams at a *lower* total rate than
+  // msuB's single heavy stream: stream-count spreading must still pick msuB.
+  auto a = ledger.Reserve("msuA",
+                          {ResourceLedger::ReserveItem(0, DataRate::MegabytesPerSec(0.1), Bytes()),
+                           ResourceLedger::ReserveItem(1, DataRate::MegabytesPerSec(0.1), Bytes())});
+  ASSERT_TRUE(a.ok());
+  a->Commit(0, 1);
+  a->Commit(1, 2);
+  auto b = ledger.Reserve(
+      "msuB", {ResourceLedger::ReserveItem(0, DataRate::MegabytesPerSec(1.0), Bytes())});
+  ASSERT_TRUE(b.ok());
+  b->Commit(0, 3);
+
+  auto policy = PlacementPolicyRegistry::WithBuiltins().Instantiate("replica-aware", 1);
+  ASSERT_TRUE(policy.ok());
+  const PlacementSpec spec =
+      PlaySpec(DataRate::MegabytesPerSec(0.2), {PlacementCandidate("msuA", 0, "a.mpg"),
+                                                PlacementCandidate("msuB", 1, "b.mpg")});
+  auto placement = (*policy)->Place(spec, ledger);
+  ASSERT_TRUE(placement.ok());
+  EXPECT_EQ(placement->msu, "msuB");
+}
+
+TEST(PolicyTest, PowerOfTwoIsDeterministicAndFeasible) {
+  const PlacementPolicyRegistry registry = PlacementPolicyRegistry::WithBuiltins();
+  std::vector<std::string> picks;
+  for (int run = 0; run < 2; ++run) {
+    ResourceLedger ledger = TwoMsuLedger();
+    ledger.RegisterMsu("msuC", 2, Bytes(100 * kMiB));
+    auto policy = registry.Instantiate("power-of-two", 42);
+    ASSERT_TRUE(policy.ok());
+    std::string sequence;
+    for (int i = 0; i < 8; ++i) {
+      const PlacementSpec spec = PlaySpec(DataRate::MegabytesPerSec(0.2),
+                                          {PlacementCandidate("msuA", 0, "a.mpg"),
+                                           PlacementCandidate("msuB", 0, "b.mpg"),
+                                           PlacementCandidate("msuC", 0, "c.mpg")});
+      auto placement = (*policy)->Place(spec, ledger);
+      ASSERT_TRUE(placement.ok());
+      sequence += placement->msu + ";";
+      auto txn = ledger.Reserve(placement->msu,
+                                {ResourceLedger::ReserveItem(placement->disks[0],
+                                                             DataRate::MegabytesPerSec(0.2),
+                                                             Bytes())});
+      ASSERT_TRUE(txn.ok());
+      txn->Commit(0, static_cast<StreamId>(100 + i));
+    }
+    picks.push_back(sequence);
+  }
+  EXPECT_EQ(picks[0], picks[1]);  // same seed, same decisions
+}
+
+TEST(PolicyTest, ExhaustedWhenNoCandidateHasHeadroom) {
+  ResourceLedger ledger = TwoMsuLedger();
+  const PlacementPolicyRegistry registry = PlacementPolicyRegistry::WithBuiltins();
+  // Saturate every candidate disk to the budget.
+  for (const std::string msu : {"msuA", "msuB"}) {
+    auto txn = ledger.Reserve(
+        msu, {ResourceLedger::ReserveItem(0, DataRate::MegabytesPerSec(2.0), Bytes())});
+    ASSERT_TRUE(txn.ok());
+    txn->Commit(0, msu == "msuA" ? 1 : 2);
+  }
+  const PlacementSpec spec =
+      PlaySpec(DataRate::MegabytesPerSec(0.2), {PlacementCandidate("msuA", 0, "a.mpg"),
+                                                PlacementCandidate("msuB", 0, "b.mpg")});
+  for (const std::string& name : registry.names()) {
+    auto policy = registry.Instantiate(name, 1);
+    ASSERT_TRUE(policy.ok());
+    auto placement = (*policy)->Place(spec, ledger);
+    EXPECT_EQ(placement.status().code(), StatusCode::kResourceExhausted) << name;
+  }
+}
+
+}  // namespace
+}  // namespace calliope
