@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# Builds the tree with ASan+UBSan (the CALLIOPE_SANITIZE cmake option) and
+# runs the full tier-1 ctest suite under it. Usage:
+#
+#   scripts/check_sanitize.sh [build-dir] [extra ctest args...]
+#
+# e.g. `scripts/check_sanitize.sh build-asan -R chaos` to sweep only the
+# seeded chaos tests under the sanitizers.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build-asan}"
+shift || true
+
+cmake -B "${BUILD_DIR}" -S . \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DCALLIOPE_SANITIZE="address;undefined"
+cmake --build "${BUILD_DIR}" -j "$(nproc)"
+
+# halt_on_error so ctest fails loudly instead of logging and limping on.
+export ASAN_OPTIONS="${ASAN_OPTIONS:-halt_on_error=1:detect_leaks=1}"
+export UBSAN_OPTIONS="${UBSAN_OPTIONS:-halt_on_error=1:print_stacktrace=1}"
+
+ctest --test-dir "${BUILD_DIR}" --output-on-failure -j "$(nproc)" "$@"

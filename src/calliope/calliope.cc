@@ -70,6 +70,18 @@ Status Installation::Boot(SimTime timeout) {
   return DeadlineExceededError("MSUs failed to register");
 }
 
+Status Installation::ApplyFaultPlan(FaultPlan plan) {
+  if (fault_injector_ == nullptr) {
+    fault_injector_ = std::make_unique<FaultInjector>(sim_, network_,
+                                                      config_.seed ^ 0xFA017);
+    for (size_t i = 0; i < msus_.size(); ++i) {
+      fault_injector_->AttachMsu("msu" + std::to_string(i), msus_[i].get());
+    }
+    fault_injector_->AttachCoordinator(coordinator_.get(), coordinator_host());
+  }
+  return fault_injector_->Arm(std::move(plan));
+}
+
 CalliopeClient& Installation::AddClient(const std::string& name) {
   MachineParams client_params = DisklessHost();
   client_params.rng_seed = config_.seed ^ (clients_.size() + 0xC11E47);

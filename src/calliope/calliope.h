@@ -22,6 +22,7 @@
 
 #include "src/client/client.h"
 #include "src/coord/coordinator.h"
+#include "src/fault/fault.h"
 #include "src/media/mpeg.h"
 #include "src/media/sources.h"
 #include "src/msu/msu.h"
@@ -89,6 +90,12 @@ class Installation {
   // streams across the copies.
   Status ReplicateContent(const std::string& name, size_t msu_index, int disk = -1);
 
+  // Wires a FaultInjector to every MSU, the Coordinator and the network (on
+  // first use) and arms `plan` on the simulator clock. Call after Boot().
+  Status ApplyFaultPlan(FaultPlan plan);
+  // Null until ApplyFaultPlan has run.
+  FaultInjector* fault_injector() { return fault_injector_.get(); }
+
  private:
   Status InstallFile(const std::string& file_name, const PacketSequence& packets,
                      size_t msu_index, int disk, IbTreeFile* out_image);
@@ -104,6 +111,7 @@ class Installation {
   std::vector<std::unique_ptr<Msu>> msus_;
   std::vector<std::unique_ptr<Machine>> client_machines_;
   std::vector<std::unique_ptr<CalliopeClient>> clients_;
+  std::unique_ptr<FaultInjector> fault_injector_;
 };
 
 // A diskless host profile for Coordinator and client machines.

@@ -163,6 +163,11 @@ void CalliopeClient::OnMediaDatagram(ClientDisplayPort& port, const Datagram& da
     return;
   }
   const SimTime lateness = sim().Now() - payload->deadline;
+  auto [seq_it, first_from_stream] = port.last_seq_.try_emplace(payload->stream, -1);
+  if (!first_from_stream && payload->seq <= seq_it->second) {
+    ++port.out_of_order_;
+  }
+  seq_it->second = std::max(seq_it->second, payload->seq);
   if (payload->is_control) {
     ++port.control_packets_received_;
   } else {

@@ -46,6 +46,10 @@ class ClientDisplayPort {
   // Packets that arrived too late for the client buffer to smooth.
   int64_t glitches() const { return glitches_; }
   SimTime buffer_allowance() const { return buffer_allowance_; }
+  // Delivery-schedule monotonicity: datagrams of one stream carry strictly
+  // increasing sequence numbers, so any arrival at or below the last seen
+  // seq is a reordering (drops only make gaps). Chaos-test invariant: 0.
+  int64_t out_of_order() const { return out_of_order_; }
 
   // Optional explicit decoder-buffer simulation (§2.2.1): attach before
   // playback to measure glitches/overflows for a concrete buffer size.
@@ -69,6 +73,8 @@ class ClientDisplayPort {
   Bytes bytes_received_;
   LatenessHistogram arrival_lateness_;
   int64_t glitches_ = 0;
+  std::map<StreamId, int64_t> last_seq_;
+  int64_t out_of_order_ = 0;
 };
 
 class CalliopeClient {

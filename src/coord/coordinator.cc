@@ -30,6 +30,9 @@ void Coordinator::OnAccept(TcpConn* conn) {
 }
 
 Co<MessageBody> Coordinator::Dispatch(TcpConn* conn, MessageArg request) {
+  if (crashed_) {
+    co_return MessageBody{SimpleResponse{false, "coordinator down"}};
+  }
   const MessageBody& body = request.value;
   // Every request consumes Coordinator CPU (the shared resource whose
   // capacity bounds system size, §3.3).
@@ -74,7 +77,43 @@ Co<MessageBody> Coordinator::Dispatch(TcpConn* conn, MessageArg request) {
   co_return MessageBody{SimpleResponse{false, "coordinator: unknown request"}};
 }
 
+void Coordinator::Crash() {
+  // The process dies with its in-memory scheduling state. The node goes down
+  // first so the resulting connection breakage (including our own MSU conns)
+  // is not misread as MSU failures needing failover.
+  crashed_ = true;
+  node_->SetDown(true);
+  msus_.clear();
+  sessions_.clear();
+  conn_sessions_.clear();
+  active_streams_.clear();
+  groups_.clear();
+  group_requests_.clear();
+  pending_.clear();
+  ledger_ = ResourceLedger();
+}
+
+void Coordinator::Restart() {
+  // The catalog survived (the paper's durable database); scrub recordings
+  // that were in progress at the crash — their streams are unknown now, so
+  // they can never be sealed through this Coordinator.
+  std::vector<std::string> aborted;
+  for (const ContentRecord* record : catalog_.ListContent()) {
+    if (record->recording_in_progress) {
+      aborted.push_back(record->name);
+    }
+  }
+  for (const std::string& name : aborted) {
+    (void)catalog_.RemoveContent(name);
+  }
+  node_->SetDown(false);  // the TCP listener survives on the node
+  crashed_ = false;
+}
+
 void Coordinator::OnConnClosed(TcpConn* conn) {
+  if (crashed_) {
+    return;  // connection breakage caused by our own crash
+  }
   // A broken MSU connection marks the MSU unavailable (§2.2 fault tolerance).
   for (auto& [name, msu] : msus_) {
     if (msu.conn == conn && ledger_.IsUp(name)) {
@@ -574,14 +613,19 @@ void Coordinator::HandleStreamTerminated(const StreamTerminated& note) {
 
   // Refund the stream's hold: bandwidth in full; for recordings, the space
   // over-estimate ("If the client overestimates the length of the recording,
-  // the unused space will be returned to the system").
-  (void)ledger_.Release(note.stream, active.recording ? note.bytes_moved : Bytes());
-  if (active.recording) {
+  // the unused space will be returned to the system"). A recording the MSU
+  // could not seal keeps no bytes; refund the whole estimate and drop its
+  // catalog entry.
+  const bool record_kept = active.recording && note.record_committed;
+  (void)ledger_.Release(note.stream, record_kept ? note.bytes_moved : Bytes());
+  if (record_kept) {
     auto record = catalog_.FindContent(active.content_item);
     if (record.ok()) {
       (*record)->recording_in_progress = false;
       (*record)->duration = note.recorded_duration;
     }
+  } else if (active.recording) {
+    (void)catalog_.RemoveContent(active.content_item);
   }
 
   auto group_it = groups_.find(active.group);
@@ -692,6 +736,9 @@ Task Coordinator::FailoverGroup(PendingRequest request) {
   // Let the failure event settle (broken conns, ledger state) before
   // re-placing the group.
   co_await machine_->sim().Yield();
+  if (crashed_) {
+    co_return;  // the coordinator died between MarkMsuDown and this task
+  }
   if (!FindSession(request.session).ok()) {
     co_return;  // client went away; nobody is watching this group
   }
@@ -733,6 +780,10 @@ Task Coordinator::RetryPendingQueue() {
   co_await machine_->sim().Yield();  // run after the triggering event settles
   std::deque<PendingRequest> still_waiting;
   while (!pending_.empty()) {
+    if (crashed_) {
+      retry_scheduled_ = false;
+      co_return;  // the crash already dropped the queue's state
+    }
     PendingRequest request = std::move(pending_.front());
     pending_.pop_front();
     if (!FindSession(request.session).ok()) {

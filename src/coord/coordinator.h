@@ -53,6 +53,15 @@ class Coordinator {
   Catalog& catalog() { return catalog_; }
   const CoordinatorParams& params() const { return params_; }
 
+  // Crash / recovery for fault-tolerance experiments. A crash loses all
+  // in-memory scheduling state (sessions, active streams, pending queue,
+  // ledger); the catalog — the paper's durable database — survives. On
+  // restart the ledger is rebuilt from MSU re-registrations (MSUs reconnect
+  // on their own; clients must open new sessions).
+  void Crash();
+  void Restart();
+  bool crashed() const { return crashed_; }
+
   // ---- introspection for tests, benches and examples ----
   bool MsuUp(const std::string& node) const;
   size_t msu_count() const { return msus_.size(); }
@@ -190,6 +199,7 @@ class Coordinator {
   GroupId next_group_ = 1;
   int64_t requests_handled_ = 0;
   bool retry_scheduled_ = false;
+  bool crashed_ = false;
 };
 
 }  // namespace calliope

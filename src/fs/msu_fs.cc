@@ -134,7 +134,17 @@ Co<Status> MsuFileSystem::WriteNextPage(MsuFile* file, int64_t page_index) {
   auto& volume = *volumes_[static_cast<size_t>(addr->disk)];
   // One full-block transfer: "the IB-tree writes both data page and internal
   // page using a single disk transfer and seek".
-  co_await volume.disk().Write(volume.BlockOffset(addr->block), kDataPageSize);
+  const bool ok = co_await volume.disk().Write(volume.BlockOffset(addr->block), kDataPageSize);
+  if (!ok) {
+    // Undo the allocation so the caller can retry this page index: without
+    // the rollback the in-order check above would reject the retry without
+    // consuming any simulated time.
+    file->blocks_.pop_back();
+    volume.FreeBlock(addr->block);
+    (void)volume.Reserve(1);
+    co_return UnavailableError("disk write error on " + file->name_ + " page " +
+                               std::to_string(page_index));
+  }
   co_return OkStatus();
 }
 
@@ -174,7 +184,12 @@ Co<Result<const DataPage*>> MsuFileSystem::ReadPage(MsuFile* file, size_t page_i
   }
   const BlockAddr addr = file->blocks_[page_index];
   auto& volume = *volumes_[static_cast<size_t>(addr.disk)];
-  co_await volume.disk().Read(volume.BlockOffset(addr.block), kDataPageSize);
+  const bool ok = co_await volume.disk().Read(volume.BlockOffset(addr.block), kDataPageSize);
+  if (!ok) {
+    // Transient medium error: retryable, unlike the checksum mismatch below.
+    co_return Result<const DataPage*>(UnavailableError(
+        "disk read error on " + file->name_ + " page " + std::to_string(page_index)));
+  }
   // Verify the page's record table (the read happened either way).
   for (size_t corrupt : file->corrupt_pages_) {
     if (corrupt == page_index) {
@@ -235,7 +250,11 @@ Co<Status> MsuFileSystem::FlushMetadata() {
   // One block-sized write to the reserved metadata block; the table itself
   // is far smaller ("the file system meta-data ... can be entirely cached").
   auto& volume = *volumes_.front();
-  co_await volume.disk().Write(volume.BlockOffset(0), kDataPageSize);
+  const bool ok = co_await volume.disk().Write(volume.BlockOffset(0), kDataPageSize);
+  if (!ok) {
+    metadata_dirty_ = true;  // still needs a flush
+    co_return UnavailableError("disk write error flushing metadata");
+  }
   co_return OkStatus();
 }
 

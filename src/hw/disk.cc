@@ -74,9 +74,17 @@ Task Disk::ServiceLoop() {
 
     scsi_->RequestStarted();
 
+    DiskFault fault;
+    if (fault_hook_) {
+      fault = fault_hook_(request.op, request.offset, request.size);
+    }
+
     const double target_frac =
         static_cast<double>(request.offset.count()) / static_cast<double>(params_.capacity.count());
     co_await sim_->Delay(PositioningTime(target_frac));
+    if (fault.extra_latency > SimTime()) {
+      co_await sim_->Delay(fault.extra_latency);
+    }
 
     // Media transfer gated by the SCSI chain: the disk streams at its media
     // rate but cannot finish before its share of the chain is available.
@@ -102,6 +110,9 @@ Task Disk::ServiceLoop() {
     scsi_->RequestFinished();
     ++completed_;
     bytes_transferred_ += request.size;
+    if (fault.fail && request.failed_out != nullptr) {
+      *request.failed_out = true;
+    }
     request.waiter.Resume();
   }
 }

@@ -16,6 +16,7 @@
 
 #include <coroutine>
 #include <deque>
+#include <functional>
 #include <string>
 
 #include "src/hw/cpu.h"
@@ -34,9 +35,21 @@ enum class DiskQueueDiscipline {
   kElevator,  // SCAN: sweep the head across pending requests
 };
 
+// Verdict of the fault hook for a single request (see src/fault). A failed
+// request still occupies the disk for its full service time — a real drive
+// reports a medium error only after attempting the transfer.
+struct DiskFault {
+  DiskFault() = default;
+  bool fail = false;       // complete the request with an I/O error
+  SimTime extra_latency;   // added to the positioning phase (degraded drive)
+};
+
 class Disk {
  public:
   enum class Op { kRead, kWrite };
+
+  // Consulted once per request as service begins; may be empty.
+  using FaultHook = std::function<DiskFault(Op op, Bytes offset, Bytes size)>;
 
   Disk(Simulator& sim, Cpu& cpu, MemoryBus& memory, ScsiBus& scsi, const DiskParams& params,
        int id, uint64_t seed);
@@ -45,25 +58,36 @@ class Disk {
   Disk& operator=(const Disk&) = delete;
 
   // Awaitable: full service of one request. Resumes the caller after the
-  // completion interrupt has been serviced.
+  // completion interrupt has been serviced. Yields true on success, false if
+  // the fault hook failed the request.
+  // NOTE: declared constructors (not aggregates) — see src/sim/co.h.
   auto Access(Op op, Bytes offset, Bytes size) {
     struct Awaiter {
+      Awaiter(Disk* d, Op o, Bytes off, Bytes sz) : disk(d) {
+        request.op = o;
+        request.offset = off;
+        request.size = sz;
+      }
       Disk* disk;
       Request request;
+      bool failed = false;
       bool await_ready() const noexcept { return false; }
       void await_suspend(std::coroutine_handle<> handle) {
         request.waiter = OwnedCoro(handle);
+        request.failed_out = &failed;  // awaiter frame lives until resume
         disk->Enqueue(std::move(request));
       }
-      void await_resume() const noexcept {}
+      bool await_resume() const noexcept { return !failed; }
     };
-    return Awaiter{this, Request{op, offset, size, OwnedCoro()}};
+    return Awaiter(this, op, offset, size);
   }
   auto Read(Bytes offset, Bytes size) { return Access(Op::kRead, offset, size); }
   auto Write(Bytes offset, Bytes size) { return Access(Op::kWrite, offset, size); }
 
   void set_discipline(DiskQueueDiscipline discipline) { discipline_ = discipline; }
   DiskQueueDiscipline discipline() const { return discipline_; }
+
+  void set_fault_hook(FaultHook hook) { fault_hook_ = std::move(hook); }
 
   int id() const { return id_; }
   Bytes capacity() const { return params_.capacity; }
@@ -79,10 +103,13 @@ class Disk {
 
  private:
   struct Request {
-    Op op;
+    Request() = default;
+
+    Op op = Op::kRead;
     Bytes offset;
     Bytes size;
     OwnedCoro waiter;
+    bool* failed_out = nullptr;  // written just before the waiter resumes
   };
 
   void Enqueue(Request request);
@@ -98,6 +125,7 @@ class Disk {
   int id_;
   Rng rng_;
   DiskQueueDiscipline discipline_ = DiskQueueDiscipline::kFifo;
+  FaultHook fault_hook_;
 
   std::deque<Request> queue_;
   Condition work_available_;

@@ -81,11 +81,21 @@ void Msu::OnMediaDatagram(const Datagram& datagram) {
 }
 
 Co<Status> Msu::RegisterWithCoordinator(std::string coordinator_node) {
+  coordinator_host_ = coordinator_node;
   auto conn = co_await node_->ConnectTcp(coordinator_node, params_.coordinator_port);
   if (!conn.ok()) {
     co_return conn.status();
   }
   coordinator_conn_ = *conn;
+  // "When the MSU becomes available again, it contacts the Coordinator" —
+  // symmetrically, when the *Coordinator* comes back (after a crash or a
+  // partition broke this connection) the MSU re-registers on its own.
+  coordinator_conn_->set_close_handler([this](TcpConn* closed) {
+    if (coordinator_conn_ == closed) {
+      coordinator_conn_ = nullptr;
+    }
+    ScheduleReconnect();
+  });
   coordinator_conn_->set_request_handler(
       [this](const MessageBody& body) -> Co<MessageBody> {
         if (const auto* start = std::get_if<MsuStartStream>(&body)) {
@@ -316,6 +326,7 @@ void Msu::OnStreamFinished(MsuStream* stream) {
   note.was_recording = stream->mode() == MsuStream::Mode::kRecord;
   note.disk = stream->disk();
   if (note.was_recording && stream->file_ != nullptr && stream->file_->committed()) {
+    note.record_committed = true;
     note.recorded_duration = stream->file_->image().duration();
   }
   if (!note.was_recording) {
@@ -374,6 +385,31 @@ void Msu::Crash() {
   coordinator_conn_ = nullptr;
 }
 
+void Msu::ScheduleReconnect() {
+  if (crashed_ || reconnect_pending_) {
+    return;
+  }
+  reconnect_pending_ = true;
+  ReconnectLoop();
+}
+
+Task Msu::ReconnectLoop() {
+  for (;;) {
+    co_await sim().Delay(SimTime::Millis(500));
+    if (crashed_) {
+      break;
+    }
+    if (coordinator_conn_ != nullptr && !coordinator_conn_->closed()) {
+      break;  // an explicit Restart() already re-registered
+    }
+    const Status registered = co_await RegisterWithCoordinator(coordinator_host_);
+    if (registered.ok()) {
+      break;
+    }
+  }
+  reconnect_pending_ = false;
+}
+
 Co<Status> Msu::Restart(std::string coordinator_node) {
   node_->SetDown(false);
   crashed_ = false;
@@ -387,7 +423,13 @@ Co<Status> Msu::Restart(std::string coordinator_node) {
     }
   }
   FlushMetadataBehind();
-  co_return co_await RegisterWithCoordinator(std::move(coordinator_node));
+  const Status registered = co_await RegisterWithCoordinator(std::move(coordinator_node));
+  if (!registered.ok()) {
+    // The Coordinator may itself be down right now; keep dialing in the
+    // background so the MSU rejoins once it answers again.
+    ScheduleReconnect();
+  }
+  co_return registered;
 }
 
 Task Msu::FlushMetadataBehind() {

@@ -196,6 +196,11 @@ class Msu {
 
   Task DiskProcess(int disk_index);
   Task ProgressReporter();
+  // Retries registration in the background after the Coordinator connection
+  // breaks (Coordinator crash or a long partition) until it succeeds or this
+  // MSU itself crashes.
+  void ScheduleReconnect();
+  Task ReconnectLoop();
   Task FlushMetadataBehind();
   void OnStreamFinished(MsuStream* stream);
   Task NotifyTermination(StreamTerminated note);
@@ -214,6 +219,8 @@ class Msu {
   std::map<GroupId, Group> groups_;
   std::vector<std::unique_ptr<Condition>> disk_work_;
   TcpConn* coordinator_conn_ = nullptr;
+  std::string coordinator_host_;  // remembered for background reconnects
+  bool reconnect_pending_ = false;
   bool crashed_ = false;
   StreamId next_local_stream_id_ = 1000000;  // for locally-initiated streams
 };

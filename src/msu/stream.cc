@@ -344,6 +344,12 @@ Co<Status> MsuStream::Quit() {
     result = co_await FinishRecording();
     if (result.ok()) {
       msu_->FlushMetadataBehind();
+    } else if (file_ != nullptr && !file_->committed()) {
+      // The recording could not be sealed; a partial file with no IB-tree is
+      // unreadable, so free its blocks. The termination note then reports
+      // record_committed=false and the Coordinator refunds the full estimate.
+      (void)msu_->fs().Delete(file_name_);
+      file_ = nullptr;
     }
   }
   StopInternal();

@@ -226,6 +226,10 @@ struct StreamTerminated {
   std::string file;
   Bytes bytes_moved;
   bool was_recording = false;
+  // A recording that sealed its IB-tree and kept its bytes. False means the
+  // MSU discarded the partial file; the Coordinator must refund the full
+  // estimate and drop the catalog entry.
+  bool record_committed = false;
   SimTime recorded_duration;  // media length of a completed recording
   int disk = 0;               // disk the file lives on (for space accounting)
   SimTime last_media_offset;  // playback: media position when the stream ended

@@ -302,6 +302,17 @@ NetNode* Network::AddNode(const std::string& name, Machine* machine, bool on_int
               fault_rng_.NextDouble() * static_cast<double>(params_.udp_jitter_max.nanos())));
         }
       }
+      if (fault_hook_) {
+        const LinkFault fault = fault_hook_(*datagram);
+        if (fault.drop) {
+          ++fault_dropped_;
+          return;
+        }
+        if (fault.extra_delay > SimTime()) {
+          ++fault_delayed_;
+          delay += fault.extra_delay;
+        }
+      }
       sim_->ScheduleAfter(delay, [this, datagram] { DeliverToNode(*datagram); });
     });
     nic.set_rx_sink([raw](Frame frame) {

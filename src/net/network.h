@@ -195,8 +195,21 @@ class NetNode {
   int next_ephemeral_port_ = 32768;
 };
 
+// Verdict of the link fault hook for one datagram on the wire (see
+// src/fault). Dropping a TCP segment wedges the receiver's reorder buffer
+// forever (there is no retransmission in this model), so partition-style
+// faults should delay TCP traffic to the heal point instead of dropping it.
+struct LinkFault {
+  LinkFault() = default;
+  bool drop = false;      // lose the datagram in flight
+  SimTime extra_delay;    // added to the propagation delay
+};
+
 class Network {
  public:
+  // Consulted once per datagram as it leaves the source NIC; may be empty.
+  using LinkFaultHook = std::function<LinkFault(const Datagram&)>;
+
   Network(Simulator& sim, NetworkParams params = NetworkParams());
 
   Network(const Network&) = delete;
@@ -221,6 +234,10 @@ class Network {
   Result<Segment> Route(const std::string& src, const std::string& dst) const;
 
   int64_t udp_dropped() const { return udp_dropped_; }
+
+  void set_fault_hook(LinkFaultHook hook) { fault_hook_ = std::move(hook); }
+  int64_t fault_dropped() const { return fault_dropped_; }
+  int64_t fault_delayed() const { return fault_delayed_; }
 
  private:
   friend class NetNode;
@@ -247,6 +264,9 @@ class Network {
   Bytes delivery_bytes_;
   Rng fault_rng_{0};
   int64_t udp_dropped_ = 0;
+  LinkFaultHook fault_hook_;
+  int64_t fault_dropped_ = 0;
+  int64_t fault_delayed_ = 0;
   DataRate intra_rate_ = DataRate::MegabitsPerSec(10);
   DataRate delivery_rate_ = DataRate::MegabitsPerSec(100);
 };

@@ -197,6 +197,69 @@ void ResourceLedger::Refund(const std::string& node, int64_t epoch, int disk,
   account.free_space += space;
 }
 
+Status ResourceLedger::CheckInvariants() const {
+  for (const auto& [name, account] : msus_) {
+    if (static_cast<size_t>(account.disk_count) != account.disks.size()) {
+      return InternalError("ledger: " + name + " disk vector does not match disk_count");
+    }
+    if (account.free_space < Bytes(0)) {
+      return InternalError("ledger: " + name + " free space is negative");
+    }
+    for (size_t d = 0; d < account.disks.size(); ++d) {
+      const DiskAccount& disk = account.disks[d];
+      if (disk.load < DataRate()) {
+        return InternalError("ledger: " + name + " disk " + std::to_string(d) +
+                             " load is negative");
+      }
+      if (disk.streams < 0) {
+        return InternalError("ledger: " + name + " disk " + std::to_string(d) +
+                             " stream count is negative");
+      }
+      // Committed holds must be covered by the reserved load; an in-flight
+      // (uncommitted) transaction only ever adds load on top.
+      DataRate committed;
+      int held_streams = 0;
+      for (const auto& [stream, hold] : holds_) {
+        if (hold.msu == name && hold.epoch == account.epoch &&
+            hold.disk == static_cast<int>(d)) {
+          committed = committed + hold.rate;
+          ++held_streams;
+        }
+      }
+      if (held_streams != disk.streams) {
+        return InternalError("ledger: " + name + " disk " + std::to_string(d) + " counts " +
+                             std::to_string(disk.streams) + " streams but holds " +
+                             std::to_string(held_streams));
+      }
+      if (committed > disk.load) {
+        return InternalError("ledger: " + name + " disk " + std::to_string(d) +
+                             " committed bandwidth exceeds reserved load");
+      }
+    }
+  }
+  for (const auto& [stream, hold] : holds_) {
+    auto it = msus_.find(hold.msu);
+    if (it == msus_.end()) {
+      return InternalError("ledger: hold for stream " + std::to_string(stream) +
+                           " references unknown MSU " + hold.msu);
+    }
+    if (hold.epoch > it->second.epoch) {
+      return InternalError("ledger: hold for stream " + std::to_string(stream) +
+                           " is from a future epoch");
+    }
+    if (hold.epoch == it->second.epoch &&
+        (hold.disk < 0 || static_cast<size_t>(hold.disk) >= it->second.disks.size())) {
+      return InternalError("ledger: hold for stream " + std::to_string(stream) +
+                           " references bad disk " + std::to_string(hold.disk));
+    }
+    if (hold.rate < DataRate() || hold.space < Bytes(0)) {
+      return InternalError("ledger: hold for stream " + std::to_string(stream) +
+                           " has a negative balance");
+    }
+  }
+  return OkStatus();
+}
+
 DataRate ResourceLedger::TotalReserved() const {
   DataRate total;
   for (const auto& [name, account] : msus_) {

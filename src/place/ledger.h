@@ -120,6 +120,13 @@ class ResourceLedger {
   DataRate TotalReserved() const;  // sum of every disk's reserved bandwidth
   size_t outstanding_holds() const { return holds_.size(); }
 
+  // Structural consistency check for tests and the chaos harness: no negative
+  // balances, every current-epoch hold referencing a real account and disk,
+  // per-disk stream counts equal to the number of current-epoch holds, and
+  // per-disk committed bandwidth no larger than the reserved load (in-flight
+  // transactions account for the difference). Returns the first violation.
+  Status CheckInvariants() const;
+
  private:
   struct StreamHold {
     StreamHold() = default;

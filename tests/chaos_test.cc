@@ -1,0 +1,427 @@
+// Chaos harness (the fault-injection tentpole): a seeded random workload —
+// plays, recordings, VCR commands — composed with a seeded random FaultPlan
+// covering every fault class, after which global invariants must hold:
+//
+//   * ledger conservation: CheckInvariants passes, zero outstanding holds,
+//     zero reserved bandwidth once the cluster quiesces;
+//   * no stream is left neither delivering nor failed: every group reaches a
+//     terminal state, and MSUs/Coordinator drain to zero active streams;
+//   * delivery-schedule monotonicity: no client port ever observes a
+//     datagram sequence number at or below one it already saw;
+//   * determinism: the same seed yields a bit-identical event trace.
+//
+// The seed comes from CALLIOPE_CHAOS_SEED; ctest registers a sweep of seeds
+// (`ctest -R chaos` runs them all).
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/calliope/calliope.h"
+#include "tests/test_util.h"
+
+namespace calliope {
+namespace {
+
+uint64_t ChaosSeed() {
+  const char* env = std::getenv("CALLIOPE_CHAOS_SEED");
+  if (env != nullptr && *env != '\0') {
+    return std::strtoull(env, nullptr, 10);
+  }
+  return 1;
+}
+
+// One scripted workload op. The schedule is derived from the seed alone, so
+// a run's behavior is a pure function of (seed, binary).
+struct ChaosOp {
+  ChaosOp() = default;
+
+  enum class Kind { kPlay, kPlayVbr, kRecord, kPause, kResume, kSeek, kFastForward, kQuit };
+  Kind kind = Kind::kPlay;
+  SimTime at;
+  int arg = 0;  // title / group / seek-target selector
+};
+
+const char* KindName(ChaosOp::Kind kind) {
+  switch (kind) {
+    case ChaosOp::Kind::kPlay:
+      return "play";
+    case ChaosOp::Kind::kPlayVbr:
+      return "play-vbr";
+    case ChaosOp::Kind::kRecord:
+      return "record";
+    case ChaosOp::Kind::kPause:
+      return "pause";
+    case ChaosOp::Kind::kResume:
+      return "resume";
+    case ChaosOp::Kind::kSeek:
+      return "seek";
+    case ChaosOp::Kind::kFastForward:
+      return "ff";
+    case ChaosOp::Kind::kQuit:
+      return "quit";
+  }
+  return "?";
+}
+
+std::vector<ChaosOp> MakeSchedule(uint64_t seed) {
+  Rng rng(seed ^ 0xC4A05u);
+  std::vector<ChaosOp> ops;
+  SimTime t = SimTime::Millis(400);
+  for (int i = 0; i < 14; ++i) {
+    t += SimTime::Millis(rng.NextInRange(600, 2200));
+    ChaosOp op;
+    op.at = t;
+    op.arg = static_cast<int>(rng.NextInRange(0, 1 << 20));
+    if (i < 2) {
+      op.kind = ChaosOp::Kind::kPlay;  // seed the system with targets first
+    } else {
+      switch (rng.NextInRange(0, 9)) {
+        case 0:
+        case 1:
+        case 2:
+          op.kind = ChaosOp::Kind::kPlay;
+          break;
+        case 3:
+          op.kind = ChaosOp::Kind::kPlayVbr;
+          break;
+        case 4:
+          op.kind = ChaosOp::Kind::kRecord;
+          break;
+        case 5:
+          op.kind = ChaosOp::Kind::kPause;
+          break;
+        case 6:
+          op.kind = ChaosOp::Kind::kResume;
+          break;
+        case 7:
+          op.kind = ChaosOp::Kind::kSeek;
+          break;
+        case 8:
+          op.kind = ChaosOp::Kind::kFastForward;
+          break;
+        default:
+          op.kind = ChaosOp::Kind::kQuit;
+          break;
+      }
+    }
+    ops.push_back(op);
+  }
+  return ops;
+}
+
+struct ChaosResult {
+  ChaosResult() = default;
+
+  std::string trace;
+  FaultPlan plan;
+};
+
+// Runs one full chaos episode and checks every invariant with EXPECTs (this
+// helper returns a value, so gtest's fatal ASSERTs are off the table).
+ChaosResult RunChaos(uint64_t seed) {
+  ChaosResult result;
+  InstallationConfig config;
+  config.seed = seed;
+  config.msu_count = 3;
+  TestCluster cluster(config);
+  Simulator& sim = cluster.sim();
+  std::string& trace = result.trace;
+  auto note = [&](const std::string& line) {
+    trace += "t=" + sim.Now().ToString() + " " + line + "\n";
+  };
+
+  EXPECT_TRUE(cluster.Boot().ok());
+  for (int i = 0; i < 4; ++i) {
+    const std::string name = "m" + std::to_string(i);
+    EXPECT_TRUE(cluster.installation()
+                    .LoadMpegMovie(name, SimTime::Seconds(15), static_cast<size_t>(i % 3),
+                                   /*with_fast_scan=*/true)
+                    .ok());
+    EXPECT_TRUE(cluster.installation().ReplicateContent(name, static_cast<size_t>((i + 1) % 3)).ok());
+  }
+  EXPECT_TRUE(cluster.installation()
+                  .LoadPackets("vbr0", "rtp-video",
+                               GenerateVbr(Graph2File(0), SimTime::Seconds(12)), 1)
+                  .ok());
+  EXPECT_TRUE(cluster.installation().ReplicateContent("vbr0", 2).ok());
+
+  FaultPlanOptions options;
+  options.msu_nodes = {"msu0", "msu1", "msu2"};
+  options.other_nodes = {"coordinator", "c"};
+  options.horizon = SimTime::Seconds(28);
+  FaultPlan plan = FaultPlan::Random(seed, options);
+  result.plan = plan;
+  trace += plan.ToString();
+  EXPECT_TRUE(cluster.installation().ApplyFaultPlan(plan).ok());
+  cluster.installation().fault_injector()->set_trace(
+      [&trace](const std::string& line) { trace += line + "\n"; });
+
+  auto added = cluster.AddConnectedClient("c");
+  EXPECT_TRUE(added.ok()) << added.status().ToString();
+  if (!added.ok()) {
+    return result;
+  }
+  CalliopeClient* client = *added;
+
+  std::vector<GroupId> live;
+  std::vector<GroupId> all_groups;
+  std::vector<std::string> ports;
+  std::vector<std::unique_ptr<CoResult<Result<int64_t>>>> sends;
+  const PacketSequence recording_feed = GenerateVbr(Graph2File(1), SimTime::Seconds(4));
+  int next_port = 0;
+  int next_recording = 0;
+
+  for (const ChaosOp& op : MakeSchedule(seed)) {
+    if (op.at > sim.Now()) {
+      sim.RunFor(op.at - sim.Now());
+    }
+    // A Coordinator restart killed the session: open a fresh one (the paper's
+    // amnesia model — clients must re-establish state themselves).
+    if (!client->connected()) {
+      const Status reconnected = ConnectClient(sim, *client);
+      note(std::string("reconnect -> ") + reconnected.ToString());
+      if (!reconnected.ok()) {
+        note(std::string(KindName(op.kind)) + " skipped: no session");
+        continue;
+      }
+    }
+    switch (op.kind) {
+      case ChaosOp::Kind::kPlay:
+      case ChaosOp::Kind::kPlayVbr: {
+        const bool vbr = op.kind == ChaosOp::Kind::kPlayVbr;
+        const std::string title = vbr ? "vbr0" : "m" + std::to_string(op.arg % 4);
+        const std::string port = "p" + std::to_string(next_port++);
+        auto play = PlayOn(sim, *client, title, port, vbr ? "rtp-video" : "mpeg1");
+        ports.push_back(port);
+        if (play.ok()) {
+          note("play " + title + " on " + port +
+               (play->queued ? " -> queued" : " -> started"));
+          live.push_back(play->group);
+          all_groups.push_back(play->group);
+        } else {
+          note("play " + title + " -> " + play.status().ToString());
+        }
+        break;
+      }
+      case ChaosOp::Kind::kRecord: {
+        const std::string name = "rec" + std::to_string(next_recording++);
+        const std::string port = "q" + std::to_string(next_port++);
+        auto record = RecordOn(sim, *client, name, "rtp-video", port, SimTime::Seconds(20));
+        ports.push_back(port);
+        if (record.ok()) {
+          note("record " + name + " on " + port +
+               (record->queued ? " -> queued" : " -> started"));
+          live.push_back(record->group);
+          all_groups.push_back(record->group);
+          sends.push_back(std::make_unique<CoResult<Result<int64_t>>>());
+          Collect(client->SendRecording(record->group, 0, recording_feed),
+                  sends.back().get());
+        } else {
+          note("record " + name + " -> " + record.status().ToString());
+        }
+        break;
+      }
+      case ChaosOp::Kind::kPause:
+      case ChaosOp::Kind::kResume:
+      case ChaosOp::Kind::kSeek:
+      case ChaosOp::Kind::kFastForward:
+      case ChaosOp::Kind::kQuit: {
+        // Retire groups that ended on their own before picking a target.
+        std::erase_if(live, [&](GroupId g) { return client->GroupTerminated(g); });
+        if (live.empty()) {
+          note(std::string(KindName(op.kind)) + " -> no live group");
+          break;
+        }
+        const size_t pick = static_cast<size_t>(op.arg) % live.size();
+        const GroupId group = live[pick];
+        VcrCommand::Op vcr_op = VcrCommand::Op::kQuit;
+        SimTime seek_to;
+        switch (op.kind) {
+          case ChaosOp::Kind::kPause:
+            vcr_op = VcrCommand::Op::kPause;
+            break;
+          case ChaosOp::Kind::kResume:
+            vcr_op = VcrCommand::Op::kPlay;
+            break;
+          case ChaosOp::Kind::kSeek:
+            vcr_op = VcrCommand::Op::kSeek;
+            seek_to = SimTime::Seconds(op.arg % 14);
+            break;
+          case ChaosOp::Kind::kFastForward:
+            vcr_op = VcrCommand::Op::kFastForward;
+            break;
+          default:
+            break;
+        }
+        const Status done = VcrOp(sim, *client, group, vcr_op, seek_to);
+        note(std::string(KindName(op.kind)) + " group " + std::to_string(group) + " -> " +
+             done.ToString());
+        if (op.kind == ChaosOp::Kind::kQuit) {
+          live.erase(live.begin() + static_cast<long>(pick));
+        }
+        break;
+      }
+    }
+  }
+
+  // ---- recovery: every fault window closes by the horizon, every crash has
+  // a scheduled restart, and reconnect loops re-register the MSUs.
+  note("workload done");
+  RunUntil(sim, [&] { return !cluster.coordinator().crashed(); }, SimTime::Seconds(60));
+  EXPECT_FALSE(cluster.coordinator().crashed());
+  const bool msus_up = RunUntil(sim,
+                                [&] {
+                                  for (int i = 0; i < config.msu_count; ++i) {
+                                    if (!cluster.coordinator().MsuUp("msu" + std::to_string(i))) {
+                                      return false;
+                                    }
+                                  }
+                                  return true;
+                                },
+                                SimTime::Seconds(60));
+  EXPECT_TRUE(msus_up) << "an MSU never re-registered after the chaos run";
+  note("recovered");
+
+  // ---- quiesce: ask every group that has not already reached a terminal
+  // state to quit, then drain Coordinator and MSUs.
+  std::vector<std::unique_ptr<CoResult<Status>>> quits;
+  for (GroupId group : all_groups) {
+    if (!client->GroupTerminated(group)) {
+      quits.push_back(std::make_unique<CoResult<Status>>());
+      Collect(client->Quit(group), quits.back().get());
+    }
+  }
+  const bool drained = RunUntil(sim,
+                                [&] {
+                                  if (!cluster.Idle()) {
+                                    return false;
+                                  }
+                                  for (size_t i = 0; i < cluster.msu_count(); ++i) {
+                                    if (cluster.msu(i).active_stream_count() != 0) {
+                                      return false;
+                                    }
+                                  }
+                                  return true;
+                                },
+                                SimTime::Seconds(180));
+  EXPECT_TRUE(drained) << "cluster failed to quiesce";
+  // Let stragglers (quits against never-started queued groups, recording
+  // feeds) resolve so the trace fingerprint is complete.
+  RunUntil(sim,
+           [&] {
+             for (const auto& quit : quits) {
+               if (!quit->done()) {
+                 return false;
+               }
+             }
+             for (const auto& send : sends) {
+               if (!send->done()) {
+                 return false;
+               }
+             }
+             return true;
+           },
+           SimTime::Seconds(90));
+  sim.RunFor(SimTime::Seconds(2));
+  for (const auto& quit : quits) {
+    note("quiesce quit -> " +
+         (quit->done() ? quit->value->ToString() : std::string("still pending")));
+  }
+
+  // ---- invariants ----
+  Coordinator& coord = cluster.coordinator();
+  const bool coordinator_restarted = plan.HasClass(FaultClass::kCoordinatorRestart);
+
+  // Ledger conservation: internally consistent, fully drained.
+  const Status ledger_ok = coord.ledger().CheckInvariants();
+  EXPECT_TRUE(ledger_ok.ok()) << ledger_ok.ToString();
+  EXPECT_EQ(coord.active_stream_count(), 0u);
+  EXPECT_EQ(coord.pending_request_count(), 0u);
+  EXPECT_EQ(coord.ledger().outstanding_holds(), 0u);
+  EXPECT_EQ(coord.ledger().TotalReserved(), DataRate());
+  for (size_t i = 0; i < cluster.msu_count(); ++i) {
+    EXPECT_EQ(cluster.msu(i).active_stream_count(), 0) << "msu" << i;
+  }
+
+  // No stream left neither delivering nor failed: every group reached a
+  // terminal state. A Coordinator restart may orphan *queued* requests
+  // (faithful amnesia — the paper's Coordinator keeps no durable stream
+  // state), so only the restart-free runs can insist on client-side closure.
+  if (!coordinator_restarted) {
+    for (GroupId group : all_groups) {
+      EXPECT_TRUE(client->GroupTerminated(group)) << "group " << group << " left dangling";
+    }
+  }
+
+  // Delivery-schedule monotonicity at every client port.
+  for (const std::string& port : ports) {
+    ClientDisplayPort* p = client->FindPort(port);
+    if (p != nullptr) {
+      EXPECT_EQ(p->out_of_order(), 0) << port;
+    }
+  }
+
+  // Space conservation: the ledger's view of an MSU's free space is an
+  // optimistic upper bound of the file system's (block rounding, metadata);
+  // a Coordinator restart breaks the pairing for recordings that straddled
+  // it, so only restart-free runs check it.
+  if (!coordinator_restarted) {
+    for (size_t i = 0; i < cluster.msu_count(); ++i) {
+      const std::string name = "msu" + std::to_string(i);
+      if (coord.MsuUp(name)) {
+        EXPECT_LE(cluster.msu(i).fs().TotalFreeSpace().count(),
+                  coord.MsuFreeSpace(name).count())
+            << name;
+      }
+    }
+  }
+
+  // ---- fingerprint ----
+  FaultInjector* injector = cluster.installation().fault_injector();
+  int64_t packets = 0;
+  for (const std::string& port : ports) {
+    if (ClientDisplayPort* p = client->FindPort(port)) {
+      packets += p->packets_received();
+    }
+  }
+  EXPECT_GT(packets, 0);
+  trace += "counters disk_errors=" + std::to_string(injector->disk_errors()) +
+           " disk_slowdowns=" + std::to_string(injector->disk_slowdowns()) +
+           " dropped=" + std::to_string(injector->datagrams_dropped()) +
+           " delayed=" + std::to_string(injector->datagrams_delayed()) +
+           " msu_crashes=" + std::to_string(injector->msu_crashes()) +
+           " coordinator_restarts=" + std::to_string(injector->coordinator_restarts()) +
+           " packets=" + std::to_string(packets) +
+           " events=" + std::to_string(sim.events_fired()) + "\n";
+  return result;
+}
+
+TEST(ChaosTest, RandomFaultsPreserveInvariants) {
+  const uint64_t seed = ChaosSeed();
+  const ChaosResult result = RunChaos(seed);
+  EXPECT_FALSE(result.trace.empty());
+  if (std::getenv("CALLIOPE_CHAOS_DUMP") != nullptr) {
+    fprintf(stderr, "--- chaos trace (seed=%llu) ---\n%s",
+            static_cast<unsigned long long>(seed), result.trace.c_str());
+  }
+  // Every run exercises at least one plan event of every fault class.
+  for (FaultClass what :
+       {FaultClass::kDiskError, FaultClass::kDiskSlow, FaultClass::kLinkDelay,
+        FaultClass::kPartition, FaultClass::kMsuCrash, FaultClass::kCoordinatorRestart}) {
+    EXPECT_TRUE(result.plan.HasClass(what)) << FaultClassName(what);
+  }
+}
+
+TEST(ChaosTest, IdenticalSeedsProduceIdenticalTraces) {
+  const uint64_t seed = ChaosSeed();
+  const ChaosResult a = RunChaos(seed);
+  const ChaosResult b = RunChaos(seed);
+  ASSERT_EQ(a.trace, b.trace) << "same seed must replay bit-identically";
+  EXPECT_FALSE(a.trace.empty());
+}
+
+}  // namespace
+}  // namespace calliope

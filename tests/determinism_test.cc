@@ -2,11 +2,23 @@
 // its configuration and seed, and the §2 design options behave as documented.
 #include <gtest/gtest.h>
 
+#include <cstdlib>
+
 #include "src/calliope/calliope.h"
 #include "tests/test_util.h"
 
 namespace calliope {
 namespace {
+
+// ctest registers seeded variants of this binary (see tests/CMakeLists.txt);
+// the env var lets one binary cover the whole seed sweep.
+uint64_t SweepSeed(uint64_t fallback) {
+  const char* env = std::getenv("CALLIOPE_CHAOS_SEED");
+  if (env != nullptr && *env != '\0') {
+    return std::strtoull(env, nullptr, 10);
+  }
+  return fallback;
+}
 
 struct RunOutcome {
   int64_t packets = 0;
@@ -46,15 +58,17 @@ RunOutcome PlayWorkload(uint64_t seed, bool elevator = false) {
 }
 
 TEST(DeterminismTest, IdenticalSeedsGiveIdenticalRuns) {
-  const RunOutcome a = PlayWorkload(1234);
-  const RunOutcome b = PlayWorkload(1234);
+  const uint64_t seed = SweepSeed(1234);
+  const RunOutcome a = PlayWorkload(seed);
+  const RunOutcome b = PlayWorkload(seed);
   EXPECT_EQ(a, b);
   EXPECT_GT(a.packets, 1000);
 }
 
 TEST(DeterminismTest, DifferentSeedsDiffer) {
-  const RunOutcome a = PlayWorkload(1);
-  const RunOutcome b = PlayWorkload(2);
+  const uint64_t seed = SweepSeed(1);
+  const RunOutcome a = PlayWorkload(seed);
+  const RunOutcome b = PlayWorkload(seed + 1);
   // Event counts almost surely differ (different rotational latencies).
   EXPECT_NE(a.events, b.events);
 }

@@ -12,145 +12,168 @@
 namespace calliope {
 namespace {
 
-Status ConnectClient(Simulator& sim, CalliopeClient& client) {
-  CoResult<Status> connected;
-  Collect(client.Connect("bob", "bob-key"), &connected);
-  if (!RunUntil(sim, [&] { return connected.done(); }, SimTime::Seconds(5))) {
-    return DeadlineExceededError("connect timed out");
-  }
-  return *connected.value;
-}
-
-Result<CalliopeClient::StartResult> PlayOn(Simulator& sim, CalliopeClient& client,
-                                           const std::string& content,
-                                           const std::string& port) {
-  CoResult<Result<ClientDisplayPort*>> registered;
-  Collect(client.RegisterPort(port, "mpeg1"), &registered);
-  RunUntil(sim, [&] { return registered.done(); }, SimTime::Seconds(5));
-  CoResult<Result<CalliopeClient::StartResult>> play;
-  Collect(client.Play(content, port), &play);
-  if (!RunUntil(sim, [&] { return play.done(); }, SimTime::Seconds(5))) {
-    return DeadlineExceededError("play timed out");
-  }
-  return *play.value;
-}
-
-void QuitGroup(Simulator& sim, CalliopeClient& client, GroupId group) {
-  CoResult<Status> quit;
-  Collect(client.Quit(group), &quit);
-  RunUntil(sim, [&] { return quit.done(); }, SimTime::Seconds(5));
-}
-
 // Crash one of two fully mirrored MSUs mid-play: every interrupted stream
 // must resume on the survivor near its last reported media offset, and the
 // ledger must drain to zero once all groups end.
 TEST(FailoverTest, CrashMidPlayResumesOnSurvivorNearOffset) {
   InstallationConfig config;
   config.msu_count = 2;
-  Installation calliope(config);
-  ASSERT_TRUE(calliope.Boot().ok());
+  TestCluster cluster(config);
+  ASSERT_TRUE(cluster.Boot().ok());
   const int movies = 4;
   for (int i = 0; i < movies; ++i) {
     const std::string name = "m" + std::to_string(i);
-    ASSERT_TRUE(calliope.LoadMpegMovie(name, SimTime::Seconds(20), 0, false).ok());
-    ASSERT_TRUE(calliope.ReplicateContent(name, 1).ok());
+    ASSERT_TRUE(cluster.installation().LoadMpegMovie(name, SimTime::Seconds(20), 0, false).ok());
+    ASSERT_TRUE(cluster.installation().ReplicateContent(name, 1).ok());
   }
 
-  CalliopeClient& client = calliope.AddClient("c");
-  ASSERT_TRUE(ConnectClient(calliope.sim(), client).ok());
+  auto client = cluster.AddConnectedClient("c");
+  ASSERT_TRUE(client.ok());
   std::vector<GroupId> groups;
   for (int i = 0; i < movies; ++i) {
-    auto play = PlayOn(calliope.sim(), client, "m" + std::to_string(i),
+    auto play = PlayOn(cluster.sim(), **client, "m" + std::to_string(i),
                        "tv" + std::to_string(i));
     ASSERT_TRUE(play.ok());
     EXPECT_FALSE(play->queued);
     groups.push_back(play->group);
   }
-  const SimTime play_start = calliope.sim().Now();
+  const SimTime play_start = cluster.sim().Now();
   // Least-loaded placement spreads the four replicated movies 2/2.
-  calliope.sim().RunFor(SimTime::Seconds(1));
-  EXPECT_EQ(calliope.msu(0).active_stream_count(), 2);
-  EXPECT_EQ(calliope.msu(1).active_stream_count(), 2);
+  cluster.sim().RunFor(SimTime::Seconds(1));
+  EXPECT_EQ(cluster.msu(0).active_stream_count(), 2);
+  EXPECT_EQ(cluster.msu(1).active_stream_count(), 2);
 
-  calliope.sim().RunFor(SimTime::Seconds(7));
-  const int lost = calliope.msu(0).active_stream_count();
+  cluster.sim().RunFor(SimTime::Seconds(7));
+  const int lost = cluster.msu(0).active_stream_count();
   ASSERT_GT(lost, 0);
-  calliope.msu(0).Crash();
+  cluster.msu(0).Crash();
 
   // Every interrupted stream is re-placed on the survivor.
-  ASSERT_TRUE(RunUntil(calliope.sim(),
-                       [&] { return calliope.msu(1).active_stream_count() == movies; },
+  ASSERT_TRUE(RunUntil(cluster.sim(),
+                       [&] { return cluster.msu(1).active_stream_count() == movies; },
                        SimTime::Seconds(10)));
   for (GroupId group : groups) {
-    EXPECT_FALSE(client.GroupTerminated(group));
+    EXPECT_FALSE((*client)->GroupTerminated(group));
   }
 
   // Offset proof: the movies are 20 s long and were interrupted ~8 s in, with
   // progress reports at most 2 s stale. Resumed streams finish well before a
   // restart-from-zero could (crash time + full 20 s again).
-  ASSERT_TRUE(RunUntil(calliope.sim(),
+  ASSERT_TRUE(RunUntil(cluster.sim(),
                        [&] {
                          for (GroupId group : groups) {
-                           if (!client.GroupTerminated(group)) {
+                           if (!(*client)->GroupTerminated(group)) {
                              return false;
                            }
                          }
                          return true;
                        },
-                       play_start + SimTime::Seconds(25) - calliope.sim().Now()));
-  EXPECT_LT(calliope.sim().Now() - play_start, SimTime::Seconds(25));
+                       play_start + SimTime::Seconds(25) - cluster.sim().Now()));
+  EXPECT_LT(cluster.sim().Now() - play_start, SimTime::Seconds(25));
 
   // Admission accounting balanced across the crash.
-  EXPECT_EQ(calliope.coordinator().active_stream_count(), 0u);
-  EXPECT_EQ(calliope.coordinator().ledger().outstanding_holds(), 0u);
-  EXPECT_EQ(calliope.coordinator().ledger().TotalReserved(), DataRate());
+  EXPECT_EQ(cluster.coordinator().active_stream_count(), 0u);
+  EXPECT_EQ(cluster.coordinator().ledger().outstanding_holds(), 0u);
+  EXPECT_EQ(cluster.coordinator().ledger().TotalReserved(), DataRate());
+  EXPECT_TRUE(cluster.coordinator().ledger().CheckInvariants().ok());
+}
+
+// The striped-layout variant of the same failover story (§2.3.3: "the blocks
+// of each file are spread across all the disks in the MSU"): a title striped
+// over both of an MSU's disks keeps both spindles busy, and when that MSU
+// dies mid-play the stream resumes on the replica-holding MSU.
+TEST(FailoverTest, StripedTitleFailsOverToReplica) {
+  InstallationConfig config;
+  config.msu_count = 2;
+  config.msu.striped_layout = true;
+  TestCluster cluster(config);
+  ASSERT_TRUE(cluster.Boot().ok());
+  ASSERT_TRUE(
+      cluster.installation().LoadMpegMovie("wide", SimTime::Seconds(30), 0, false).ok());
+  ASSERT_TRUE(cluster.installation().ReplicateContent("wide", 1).ok());
+
+  auto client = cluster.AddConnectedClient("c");
+  ASSERT_TRUE(client.ok());
+  auto play = PlayOn(cluster.sim(), **client, "wide", "tv");
+  ASSERT_TRUE(play.ok());
+  EXPECT_FALSE(play->queued);
+  const GroupId group = play->group;
+  const SimTime play_start = cluster.sim().Now();
+
+  // Striping proof: with the file interleaved across msu0's two disks, both
+  // see read traffic during normal playback.
+  cluster.sim().RunFor(SimTime::Seconds(8));
+  EXPECT_EQ(cluster.msu(0).active_stream_count(), 1);
+  EXPECT_GT(cluster.msu(0).machine().disk(0).bytes_transferred().count(), 0);
+  EXPECT_GT(cluster.msu(0).machine().disk(1).bytes_transferred().count(), 0);
+
+  cluster.msu(0).Crash();
+
+  // The stream resumes on msu1's replica rather than terminating...
+  ASSERT_TRUE(RunUntil(cluster.sim(),
+                       [&] { return cluster.msu(1).active_stream_count() == 1; },
+                       SimTime::Seconds(10)));
+  EXPECT_FALSE((*client)->GroupTerminated(group));
+  // ...and the replica is striped too: both of msu1's disks serve it.
+  cluster.sim().RunFor(SimTime::Seconds(8));
+  EXPECT_GT(cluster.msu(1).machine().disk(0).bytes_transferred().count(), 0);
+  EXPECT_GT(cluster.msu(1).machine().disk(1).bytes_transferred().count(), 0);
+
+  // Resume happened near the interruption offset: the 30 s title finishes
+  // well before a restart-from-zero could.
+  ASSERT_TRUE(WaitForTermination(cluster.sim(), **client, group,
+                                 play_start + SimTime::Seconds(36) - cluster.sim().Now()));
+  EXPECT_LT(cluster.sim().Now() - play_start, SimTime::Seconds(36));
+
+  // Ledger drained and internally consistent after the failover.
+  EXPECT_EQ(cluster.coordinator().active_stream_count(), 0u);
+  EXPECT_EQ(cluster.coordinator().ledger().outstanding_holds(), 0u);
+  EXPECT_EQ(cluster.coordinator().ledger().TotalReserved(), DataRate());
+  EXPECT_TRUE(cluster.coordinator().ledger().CheckInvariants().ok());
 }
 
 // A crash-interrupted recording: the reserved-space debit must come back
 // exactly once, the client learns its group is dead, and the half-written
 // file does not survive the MSU's restart.
 TEST(FailoverTest, CrashInterruptedRecordingReleasesSpaceExactlyOnce) {
-  Installation calliope;
-  ASSERT_TRUE(calliope.Boot().ok());
-  CalliopeClient& client = calliope.AddClient("c");
-  ASSERT_TRUE(ConnectClient(calliope.sim(), client).ok());
-  CoResult<Result<ClientDisplayPort*>> port;
-  Collect(client.RegisterPort("cam", "rtp-video"), &port);
-  RunUntil(calliope.sim(), [&] { return port.done(); }, SimTime::Seconds(5));
+  TestCluster cluster;
+  ASSERT_TRUE(cluster.Boot().ok());
+  auto client = cluster.AddConnectedClient("c");
+  ASSERT_TRUE(client.ok());
+  auto port = RegisterClientPort(cluster.sim(), **client, "cam", "rtp-video");
+  ASSERT_TRUE(port.ok());
 
-  const Bytes before = calliope.coordinator().MsuFreeSpace("msu0");
-  CoResult<Result<CalliopeClient::StartResult>> record;
-  Collect(client.Record("clip", "rtp-video", "cam", SimTime::Seconds(100)), &record);
-  ASSERT_TRUE(RunUntil(calliope.sim(), [&] { return record.done(); }, SimTime::Seconds(5)));
-  ASSERT_TRUE(record.value->ok());
-  const GroupId group = (*record.value)->group;
-  EXPECT_LT(calliope.coordinator().MsuFreeSpace("msu0"), before);
+  const Bytes before = cluster.coordinator().MsuFreeSpace("msu0");
+  auto record = RecordOn(cluster.sim(), **client, "clip", "rtp-video", "cam",
+                         SimTime::Seconds(100));
+  ASSERT_TRUE(record.ok());
+  const GroupId group = record->group;
+  EXPECT_LT(cluster.coordinator().MsuFreeSpace("msu0"), before);
 
   // Feed a few seconds of real packets, then crash the MSU mid-recording.
   const PacketSequence packets = GenerateVbr(Graph2File(0), SimTime::Seconds(10));
   CoResult<Result<int64_t>> sent;
-  Collect(client.SendRecording(group, 0, packets), &sent);
-  calliope.sim().RunFor(SimTime::Seconds(4));
-  calliope.msu(0).Crash();
-  ASSERT_TRUE(RunUntil(calliope.sim(), [&] { return !calliope.coordinator().MsuUp("msu0"); },
+  Collect((*client)->SendRecording(group, 0, packets), &sent);
+  cluster.sim().RunFor(SimTime::Seconds(4));
+  cluster.msu(0).Crash();
+  ASSERT_TRUE(RunUntil(cluster.sim(), [&] { return !cluster.coordinator().MsuUp("msu0"); },
                        SimTime::Seconds(5)));
 
   // The whole estimate is refunded, once: a crash-interrupted recording keeps
   // no usable bytes.
-  EXPECT_EQ(calliope.coordinator().MsuFreeSpace("msu0").count(), before.count());
-  EXPECT_EQ(calliope.coordinator().ledger().outstanding_holds(), 0u);
-  EXPECT_EQ(calliope.coordinator().ledger().TotalReserved(), DataRate());
+  EXPECT_EQ(cluster.coordinator().MsuFreeSpace("msu0").count(), before.count());
+  EXPECT_EQ(cluster.coordinator().ledger().outstanding_holds(), 0u);
+  EXPECT_EQ(cluster.coordinator().ledger().TotalReserved(), DataRate());
   // The in-progress catalog record is gone and the client was told.
-  ASSERT_TRUE(RunUntil(calliope.sim(), [&] { return client.GroupTerminated(group); },
-                       SimTime::Seconds(5)));
-  EXPECT_FALSE(calliope.coordinator().catalog().FindContent("clip").ok());
+  ASSERT_TRUE(WaitForTermination(cluster.sim(), **client, group, SimTime::Seconds(5)));
+  EXPECT_FALSE(cluster.coordinator().catalog().FindContent("clip").ok());
 
   // After restart the MSU deletes the uncommitted file, so its re-registered
   // free space matches what the Coordinator already assumed.
   CoResult<Status> restarted;
-  Collect(calliope.msu(0).Restart("coordinator"), &restarted);
-  ASSERT_TRUE(RunUntil(calliope.sim(), [&] { return restarted.done(); }, SimTime::Seconds(10)));
-  EXPECT_EQ(calliope.coordinator().MsuFreeSpace("msu0").count(), before.count());
+  Collect(cluster.msu(0).Restart("coordinator"), &restarted);
+  ASSERT_TRUE(RunUntil(cluster.sim(), [&] { return restarted.done(); }, SimTime::Seconds(10)));
+  EXPECT_EQ(cluster.coordinator().MsuFreeSpace("msu0").count(), before.count());
 }
 
 // Requests queue in arrival order and stay in order across retry passes: one
@@ -159,40 +182,41 @@ TEST(FailoverTest, PendingQueueStaysFifoAcrossRetryPasses) {
   InstallationConfig config;
   config.msu_machine.disks_per_hba = {1};
   config.coordinator.disk_budget = DataRate::MegabytesPerSec(0.2);
-  Installation calliope(config);
-  ASSERT_TRUE(calliope.Boot().ok());
+  TestCluster cluster(config);
+  ASSERT_TRUE(cluster.Boot().ok());
   for (const std::string name : {"a", "b", "c"}) {
-    ASSERT_TRUE(calliope.LoadMpegMovie(name, SimTime::Seconds(60), 0, false, 0).ok());
+    ASSERT_TRUE(
+        cluster.installation().LoadMpegMovie(name, SimTime::Seconds(60), 0, false, 0).ok());
   }
-  CalliopeClient& client = calliope.AddClient("c");
-  ASSERT_TRUE(ConnectClient(calliope.sim(), client).ok());
+  auto client = cluster.AddConnectedClient("c");
+  ASSERT_TRUE(client.ok());
 
-  auto play_a = PlayOn(calliope.sim(), client, "a", "tva");
+  auto play_a = PlayOn(cluster.sim(), **client, "a", "tva");
   ASSERT_TRUE(play_a.ok());
   EXPECT_FALSE(play_a->queued);
-  auto play_b = PlayOn(calliope.sim(), client, "b", "tvb");
+  auto play_b = PlayOn(cluster.sim(), **client, "b", "tvb");
   ASSERT_TRUE(play_b.ok());
   EXPECT_TRUE(play_b->queued);
-  auto play_c = PlayOn(calliope.sim(), client, "c", "tvc");
+  auto play_c = PlayOn(cluster.sim(), **client, "c", "tvc");
   ASSERT_TRUE(play_c.ok());
   EXPECT_TRUE(play_c->queued);
-  EXPECT_EQ(calliope.coordinator().pending_request_count(), 2u);
+  EXPECT_EQ(cluster.coordinator().pending_request_count(), 2u);
 
   // Quitting "a" frees exactly one slot: "b" (queued first) starts, "c" waits.
-  QuitGroup(calliope.sim(), client, play_a->group);
-  ASSERT_TRUE(RunUntil(calliope.sim(),
-                       [&] { return calliope.coordinator().pending_request_count() == 1; },
+  EXPECT_TRUE(QuitGroup(cluster.sim(), **client, play_a->group).ok());
+  ASSERT_TRUE(RunUntil(cluster.sim(),
+                       [&] { return cluster.coordinator().pending_request_count() == 1; },
                        SimTime::Seconds(10)));
-  calliope.sim().RunFor(SimTime::Seconds(2));
-  EXPECT_GT(client.FindPort("tvb")->packets_received(), 0);
-  EXPECT_EQ(client.FindPort("tvc")->packets_received(), 0);
+  cluster.sim().RunFor(SimTime::Seconds(2));
+  EXPECT_GT((*client)->FindPort("tvb")->packets_received(), 0);
+  EXPECT_EQ((*client)->FindPort("tvc")->packets_received(), 0);
 
-  QuitGroup(calliope.sim(), client, play_b->group);
-  ASSERT_TRUE(RunUntil(calliope.sim(),
-                       [&] { return calliope.coordinator().pending_request_count() == 0; },
+  EXPECT_TRUE(QuitGroup(cluster.sim(), **client, play_b->group).ok());
+  ASSERT_TRUE(RunUntil(cluster.sim(),
+                       [&] { return cluster.coordinator().pending_request_count() == 0; },
                        SimTime::Seconds(10)));
-  calliope.sim().RunFor(SimTime::Seconds(2));
-  EXPECT_GT(client.FindPort("tvc")->packets_received(), 0);
+  cluster.sim().RunFor(SimTime::Seconds(2));
+  EXPECT_GT((*client)->FindPort("tvc")->packets_received(), 0);
 }
 
 // A queued request whose session died is dropped with a warning instead of
@@ -201,36 +225,37 @@ TEST(FailoverTest, DeadSessionQueuedRequestDoesNotWedgeQueue) {
   InstallationConfig config;
   config.msu_machine.disks_per_hba = {1};
   config.coordinator.disk_budget = DataRate::MegabytesPerSec(0.2);
-  Installation calliope(config);
-  ASSERT_TRUE(calliope.Boot().ok());
+  TestCluster cluster(config);
+  ASSERT_TRUE(cluster.Boot().ok());
   for (const std::string name : {"a", "b", "c"}) {
-    ASSERT_TRUE(calliope.LoadMpegMovie(name, SimTime::Seconds(60), 0, false, 0).ok());
+    ASSERT_TRUE(
+        cluster.installation().LoadMpegMovie(name, SimTime::Seconds(60), 0, false, 0).ok());
   }
-  CalliopeClient& keeper = calliope.AddClient("keeper");
-  CalliopeClient& leaver = calliope.AddClient("leaver");
-  ASSERT_TRUE(ConnectClient(calliope.sim(), keeper).ok());
-  ASSERT_TRUE(ConnectClient(calliope.sim(), leaver).ok());
+  auto keeper = cluster.AddConnectedClient("keeper");
+  auto leaver = cluster.AddConnectedClient("leaver");
+  ASSERT_TRUE(keeper.ok());
+  ASSERT_TRUE(leaver.ok());
 
-  auto play_a = PlayOn(calliope.sim(), keeper, "a", "tva");
+  auto play_a = PlayOn(cluster.sim(), **keeper, "a", "tva");
   ASSERT_TRUE(play_a.ok());
   EXPECT_FALSE(play_a->queued);
-  auto play_b = PlayOn(calliope.sim(), leaver, "b", "tvb");
+  auto play_b = PlayOn(cluster.sim(), **leaver, "b", "tvb");
   ASSERT_TRUE(play_b.ok());
   EXPECT_TRUE(play_b->queued);
-  auto play_c = PlayOn(calliope.sim(), keeper, "c", "tvc");
+  auto play_c = PlayOn(cluster.sim(), **keeper, "c", "tvc");
   ASSERT_TRUE(play_c.ok());
   EXPECT_TRUE(play_c->queued);
 
   // The first queued request's session disappears before resources free up.
-  leaver.Disconnect();
-  calliope.sim().RunFor(SimTime::Seconds(1));
+  (*leaver)->Disconnect();
+  cluster.sim().RunFor(SimTime::Seconds(1));
 
-  QuitGroup(calliope.sim(), keeper, play_a->group);
-  ASSERT_TRUE(RunUntil(calliope.sim(),
-                       [&] { return calliope.coordinator().pending_request_count() == 0; },
+  EXPECT_TRUE(QuitGroup(cluster.sim(), **keeper, play_a->group).ok());
+  ASSERT_TRUE(RunUntil(cluster.sim(),
+                       [&] { return cluster.coordinator().pending_request_count() == 0; },
                        SimTime::Seconds(10)));
-  calliope.sim().RunFor(SimTime::Seconds(2));
-  EXPECT_GT(keeper.FindPort("tvc")->packets_received(), 0);
+  cluster.sim().RunFor(SimTime::Seconds(2));
+  EXPECT_GT((*keeper)->FindPort("tvc")->packets_received(), 0);
 }
 
 }  // namespace

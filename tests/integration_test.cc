@@ -11,231 +11,168 @@ namespace {
 TEST(IntegrationTest, BootRegistersAllMsus) {
   InstallationConfig config;
   config.msu_count = 3;
-  Installation calliope(config);
-  ASSERT_TRUE(calliope.Boot().ok());
-  EXPECT_TRUE(calliope.coordinator().MsuUp("msu0"));
-  EXPECT_TRUE(calliope.coordinator().MsuUp("msu1"));
-  EXPECT_TRUE(calliope.coordinator().MsuUp("msu2"));
+  TestCluster cluster(config);
+  ASSERT_TRUE(cluster.Boot().ok());
+  EXPECT_TRUE(cluster.coordinator().MsuUp("msu0"));
+  EXPECT_TRUE(cluster.coordinator().MsuUp("msu1"));
+  EXPECT_TRUE(cluster.coordinator().MsuUp("msu2"));
 }
 
 TEST(IntegrationTest, PlaySingleMpegStreamEndToEnd) {
-  Installation calliope;
-  ASSERT_TRUE(calliope.Boot().ok());
-  ASSERT_TRUE(calliope.LoadMpegMovie("movie", SimTime::Seconds(60), 0, false).ok());
+  TestCluster cluster;
+  ASSERT_TRUE(cluster.Boot().ok());
+  ASSERT_TRUE(cluster.installation().LoadMpegMovie("movie", SimTime::Seconds(60), 0, false).ok());
 
-  CalliopeClient& client = calliope.AddClient("client0");
-  CoResult<Status> connected;
-  Collect(client.Connect("bob", "bob-key"), &connected);
-  ASSERT_TRUE(RunUntil(calliope.sim(), [&] { return connected.done(); }, SimTime::Seconds(5)));
-  ASSERT_TRUE(connected.value->ok()) << connected.value->ToString();
-
-  CoResult<Result<ClientDisplayPort*>> port;
-  Collect(client.RegisterPort("tv", "mpeg1"), &port);
-  ASSERT_TRUE(RunUntil(calliope.sim(), [&] { return port.done(); }, SimTime::Seconds(5)));
-  ASSERT_TRUE(port.value->ok()) << port.value->status().ToString();
-
-  CoResult<Result<CalliopeClient::StartResult>> play;
-  Collect(client.Play("movie", "tv"), &play);
-  ASSERT_TRUE(RunUntil(calliope.sim(), [&] { return play.done(); }, SimTime::Seconds(5)));
-  ASSERT_TRUE(play.value->ok()) << play.value->status().ToString();
-  EXPECT_FALSE((*play.value)->queued);
+  auto client = cluster.AddConnectedClient("client0");
+  ASSERT_TRUE(client.ok()) << client.status().ToString();
+  auto play = PlayOn(cluster.sim(), **client, "movie", "tv");
+  ASSERT_TRUE(play.ok()) << play.status().ToString();
+  EXPECT_FALSE(play->queued);
 
   // 10 seconds of playback: ~458 packets at 1.5 Mbit/s in 4 KB packets.
-  calliope.sim().RunFor(SimTime::Seconds(10));
-  ClientDisplayPort* tv = client.FindPort("tv");
+  cluster.sim().RunFor(SimTime::Seconds(10));
+  ClientDisplayPort* tv = (*client)->FindPort("tv");
   ASSERT_NE(tv, nullptr);
   EXPECT_GT(tv->packets_received(), 400);
   EXPECT_LT(tv->packets_received(), 520);
   EXPECT_EQ(tv->glitches(), 0);
 
   // Quit tears the stream down and the Coordinator hears about it.
-  CoResult<Status> quit;
-  Collect(client.Quit((*play.value)->group), &quit);
-  ASSERT_TRUE(RunUntil(calliope.sim(), [&] { return quit.done(); }, SimTime::Seconds(5)));
-  EXPECT_TRUE(quit.value->ok()) << quit.value->ToString();
-  EXPECT_TRUE(RunUntil(calliope.sim(),
-                       [&] { return calliope.coordinator().active_stream_count() == 0; },
+  const Status quit = QuitGroup(cluster.sim(), **client, play->group);
+  EXPECT_TRUE(quit.ok()) << quit.ToString();
+  EXPECT_TRUE(RunUntil(cluster.sim(),
+                       [&] { return cluster.coordinator().active_stream_count() == 0; },
                        SimTime::Seconds(5)));
-  EXPECT_EQ(calliope.coordinator().DiskLoad("msu0", 0), DataRate());
+  EXPECT_EQ(cluster.coordinator().DiskLoad("msu0", 0), DataRate());
 }
 
 TEST(IntegrationTest, PlaybackRunsToEndOfContentAndTerminates) {
-  Installation calliope;
-  ASSERT_TRUE(calliope.Boot().ok());
-  ASSERT_TRUE(calliope.LoadMpegMovie("short", SimTime::Seconds(5), 0, false).ok());
+  TestCluster cluster;
+  ASSERT_TRUE(cluster.Boot().ok());
+  ASSERT_TRUE(cluster.installation().LoadMpegMovie("short", SimTime::Seconds(5), 0, false).ok());
 
-  CalliopeClient& client = calliope.AddClient("client0");
-  CoResult<Status> connected;
-  Collect(client.Connect("bob", "bob-key"), &connected);
-  RunUntil(calliope.sim(), [&] { return connected.done(); }, SimTime::Seconds(5));
-  CoResult<Result<ClientDisplayPort*>> port;
-  Collect(client.RegisterPort("tv", "mpeg1"), &port);
-  RunUntil(calliope.sim(), [&] { return port.done(); }, SimTime::Seconds(5));
-  CoResult<Result<CalliopeClient::StartResult>> play;
-  Collect(client.Play("short", "tv"), &play);
-  ASSERT_TRUE(RunUntil(calliope.sim(), [&] { return play.done(); }, SimTime::Seconds(5)));
-  ASSERT_TRUE(play.value->ok());
-  const GroupId group = (*play.value)->group;
+  auto client = cluster.AddConnectedClient("client0");
+  ASSERT_TRUE(client.ok());
+  auto play = PlayOn(cluster.sim(), **client, "short", "tv");
+  ASSERT_TRUE(play.ok());
 
   // Let the whole 5-second movie play out; the MSU ends the stream itself.
-  EXPECT_TRUE(RunUntil(calliope.sim(), [&] { return client.GroupTerminated(group); },
-                       SimTime::Seconds(30)));
-  EXPECT_EQ(calliope.coordinator().active_stream_count(), 0u);
+  EXPECT_TRUE(WaitForTermination(cluster.sim(), **client, play->group, SimTime::Seconds(30)));
+  EXPECT_EQ(cluster.coordinator().active_stream_count(), 0u);
 }
 
 TEST(IntegrationTest, PauseStopsDeliveryAndResumeContinues) {
-  Installation calliope;
-  ASSERT_TRUE(calliope.Boot().ok());
-  ASSERT_TRUE(calliope.LoadMpegMovie("movie", SimTime::Seconds(120), 0, false).ok());
+  TestCluster cluster;
+  ASSERT_TRUE(cluster.Boot().ok());
+  ASSERT_TRUE(cluster.installation().LoadMpegMovie("movie", SimTime::Seconds(120), 0, false).ok());
 
-  CalliopeClient& client = calliope.AddClient("client0");
-  CoResult<Status> connected;
-  Collect(client.Connect("bob", "bob-key"), &connected);
-  RunUntil(calliope.sim(), [&] { return connected.done(); }, SimTime::Seconds(5));
-  CoResult<Result<ClientDisplayPort*>> port;
-  Collect(client.RegisterPort("tv", "mpeg1"), &port);
-  RunUntil(calliope.sim(), [&] { return port.done(); }, SimTime::Seconds(5));
-  CoResult<Result<CalliopeClient::StartResult>> play;
-  Collect(client.Play("movie", "tv"), &play);
-  ASSERT_TRUE(RunUntil(calliope.sim(), [&] { return play.done(); }, SimTime::Seconds(5)));
-  const GroupId group = (*play.value)->group;
+  auto client = cluster.AddConnectedClient("client0");
+  ASSERT_TRUE(client.ok());
+  auto play = PlayOn(cluster.sim(), **client, "movie", "tv");
+  ASSERT_TRUE(play.ok());
+  const GroupId group = play->group;
 
-  calliope.sim().RunFor(SimTime::Seconds(5));
-  CoResult<Status> paused;
-  Collect(client.Vcr(group, VcrCommand::Op::kPause), &paused);
-  ASSERT_TRUE(RunUntil(calliope.sim(), [&] { return paused.done(); }, SimTime::Seconds(5)));
-  ASSERT_TRUE(paused.value->ok()) << paused.value->ToString();
+  cluster.sim().RunFor(SimTime::Seconds(5));
+  const Status paused = VcrOp(cluster.sim(), **client, group, VcrCommand::Op::kPause);
+  ASSERT_TRUE(paused.ok()) << paused.ToString();
 
-  ClientDisplayPort* tv = client.FindPort("tv");
-  calliope.sim().RunFor(SimTime::Seconds(1));  // drain in-flight packets
+  ClientDisplayPort* tv = (*client)->FindPort("tv");
+  cluster.sim().RunFor(SimTime::Seconds(1));  // drain in-flight packets
   const int64_t at_pause = tv->packets_received();
-  calliope.sim().RunFor(SimTime::Seconds(5));
+  cluster.sim().RunFor(SimTime::Seconds(5));
   EXPECT_EQ(tv->packets_received(), at_pause);  // paused: nothing arrives
 
-  CoResult<Status> resumed;
-  Collect(client.Vcr(group, VcrCommand::Op::kPlay), &resumed);
-  ASSERT_TRUE(RunUntil(calliope.sim(), [&] { return resumed.done(); }, SimTime::Seconds(5)));
-  ASSERT_TRUE(resumed.value->ok());
-  calliope.sim().RunFor(SimTime::Seconds(5));
+  const Status resumed = VcrOp(cluster.sim(), **client, group, VcrCommand::Op::kPlay);
+  ASSERT_TRUE(resumed.ok());
+  cluster.sim().RunFor(SimTime::Seconds(5));
   EXPECT_GT(tv->packets_received(), at_pause + 180);
 }
 
 TEST(IntegrationTest, SeekJumpsPosition) {
-  Installation calliope;
-  ASSERT_TRUE(calliope.Boot().ok());
-  ASSERT_TRUE(calliope.LoadMpegMovie("movie", SimTime::Seconds(300), 0, false).ok());
+  TestCluster cluster;
+  ASSERT_TRUE(cluster.Boot().ok());
+  ASSERT_TRUE(cluster.installation().LoadMpegMovie("movie", SimTime::Seconds(300), 0, false).ok());
 
-  CalliopeClient& client = calliope.AddClient("client0");
-  CoResult<Status> connected;
-  Collect(client.Connect("bob", "bob-key"), &connected);
-  RunUntil(calliope.sim(), [&] { return connected.done(); }, SimTime::Seconds(5));
-  CoResult<Result<ClientDisplayPort*>> port;
-  Collect(client.RegisterPort("tv", "mpeg1"), &port);
-  RunUntil(calliope.sim(), [&] { return port.done(); }, SimTime::Seconds(5));
-  CoResult<Result<CalliopeClient::StartResult>> play;
-  Collect(client.Play("movie", "tv"), &play);
-  ASSERT_TRUE(RunUntil(calliope.sim(), [&] { return play.done(); }, SimTime::Seconds(5)));
-  const GroupId group = (*play.value)->group;
+  auto client = cluster.AddConnectedClient("client0");
+  ASSERT_TRUE(client.ok());
+  auto play = PlayOn(cluster.sim(), **client, "movie", "tv");
+  ASSERT_TRUE(play.ok());
+  const GroupId group = play->group;
 
-  calliope.sim().RunFor(SimTime::Seconds(3));
+  cluster.sim().RunFor(SimTime::Seconds(3));
   // Seek near the end; playback should finish within ~15 s + slack, which it
   // never could from the 3-second mark without the seek.
-  CoResult<Status> sought;
-  Collect(client.Vcr(group, VcrCommand::Op::kSeek, SimTime::Seconds(285)), &sought);
-  ASSERT_TRUE(RunUntil(calliope.sim(), [&] { return sought.done(); }, SimTime::Seconds(5)));
-  ASSERT_TRUE(sought.value->ok()) << sought.value->ToString();
-  EXPECT_TRUE(RunUntil(calliope.sim(), [&] { return client.GroupTerminated(group); },
-                       SimTime::Seconds(30)));
+  const Status sought =
+      VcrOp(cluster.sim(), **client, group, VcrCommand::Op::kSeek, SimTime::Seconds(285));
+  ASSERT_TRUE(sought.ok()) << sought.ToString();
+  EXPECT_TRUE(WaitForTermination(cluster.sim(), **client, group, SimTime::Seconds(30)));
 }
 
 TEST(IntegrationTest, FastForwardUsesFilteredFile) {
-  Installation calliope;
-  ASSERT_TRUE(calliope.Boot().ok());
-  ASSERT_TRUE(calliope.LoadMpegMovie("movie", SimTime::Seconds(300), 0, /*with_fast_scan=*/true).ok());
+  TestCluster cluster;
+  ASSERT_TRUE(cluster.Boot().ok());
+  ASSERT_TRUE(cluster.installation()
+                  .LoadMpegMovie("movie", SimTime::Seconds(300), 0, /*with_fast_scan=*/true)
+                  .ok());
 
-  CalliopeClient& client = calliope.AddClient("client0");
-  CoResult<Status> connected;
-  Collect(client.Connect("bob", "bob-key"), &connected);
-  RunUntil(calliope.sim(), [&] { return connected.done(); }, SimTime::Seconds(5));
-  CoResult<Result<ClientDisplayPort*>> port;
-  Collect(client.RegisterPort("tv", "mpeg1"), &port);
-  RunUntil(calliope.sim(), [&] { return port.done(); }, SimTime::Seconds(5));
-  CoResult<Result<CalliopeClient::StartResult>> play;
-  Collect(client.Play("movie", "tv"), &play);
-  ASSERT_TRUE(RunUntil(calliope.sim(), [&] { return play.done(); }, SimTime::Seconds(5)));
-  const GroupId group = (*play.value)->group;
+  auto client = cluster.AddConnectedClient("client0");
+  ASSERT_TRUE(client.ok());
+  auto play = PlayOn(cluster.sim(), **client, "movie", "tv");
+  ASSERT_TRUE(play.ok());
+  const GroupId group = play->group;
 
-  calliope.sim().RunFor(SimTime::Seconds(3));
-  CoResult<Status> ff;
-  Collect(client.Vcr(group, VcrCommand::Op::kFastForward), &ff);
-  ASSERT_TRUE(RunUntil(calliope.sim(), [&] { return ff.done(); }, SimTime::Seconds(10)));
-  ASSERT_TRUE(ff.value->ok()) << ff.value->ToString();
+  cluster.sim().RunFor(SimTime::Seconds(3));
+  const Status ff = VcrOp(cluster.sim(), **client, group, VcrCommand::Op::kFastForward);
+  ASSERT_TRUE(ff.ok()) << ff.ToString();
 
   // The fast-forward file covers the movie in 1/15 of the time; from the
   // 3-second mark the whole rest plays out in under ~25 seconds.
-  EXPECT_TRUE(RunUntil(calliope.sim(), [&] { return client.GroupTerminated(group); },
-                       SimTime::Seconds(40)));
+  EXPECT_TRUE(WaitForTermination(cluster.sim(), **client, group, SimTime::Seconds(40)));
 }
 
 TEST(IntegrationTest, FastForwardWithoutVariantFailsCleanly) {
-  Installation calliope;
-  ASSERT_TRUE(calliope.Boot().ok());
-  ASSERT_TRUE(calliope.LoadMpegMovie("movie", SimTime::Seconds(60), 0, /*with_fast_scan=*/false).ok());
+  TestCluster cluster;
+  ASSERT_TRUE(cluster.Boot().ok());
+  ASSERT_TRUE(cluster.installation()
+                  .LoadMpegMovie("movie", SimTime::Seconds(60), 0, /*with_fast_scan=*/false)
+                  .ok());
 
-  CalliopeClient& client = calliope.AddClient("client0");
-  CoResult<Status> connected;
-  Collect(client.Connect("bob", "bob-key"), &connected);
-  RunUntil(calliope.sim(), [&] { return connected.done(); }, SimTime::Seconds(5));
-  CoResult<Result<ClientDisplayPort*>> port;
-  Collect(client.RegisterPort("tv", "mpeg1"), &port);
-  RunUntil(calliope.sim(), [&] { return port.done(); }, SimTime::Seconds(5));
-  CoResult<Result<CalliopeClient::StartResult>> play;
-  Collect(client.Play("movie", "tv"), &play);
-  ASSERT_TRUE(RunUntil(calliope.sim(), [&] { return play.done(); }, SimTime::Seconds(5)));
+  auto client = cluster.AddConnectedClient("client0");
+  ASSERT_TRUE(client.ok());
+  auto play = PlayOn(cluster.sim(), **client, "movie", "tv");
+  ASSERT_TRUE(play.ok());
 
-  CoResult<Status> ff;
-  Collect(client.Vcr((*play.value)->group, VcrCommand::Op::kFastForward), &ff);
-  ASSERT_TRUE(RunUntil(calliope.sim(), [&] { return ff.done(); }, SimTime::Seconds(10)));
-  EXPECT_FALSE(ff.value->ok());
+  const Status ff = VcrOp(cluster.sim(), **client, play->group, VcrCommand::Op::kFastForward);
+  EXPECT_FALSE(ff.ok());
 }
 
 TEST(IntegrationTest, RecordThenPlayBack) {
-  Installation calliope;
-  ASSERT_TRUE(calliope.Boot().ok());
+  TestCluster cluster;
+  ASSERT_TRUE(cluster.Boot().ok());
 
-  CalliopeClient& client = calliope.AddClient("client0");
-  CoResult<Status> connected;
-  Collect(client.Connect("bob", "bob-key"), &connected);
-  RunUntil(calliope.sim(), [&] { return connected.done(); }, SimTime::Seconds(5));
-  CoResult<Result<ClientDisplayPort*>> port;
-  Collect(client.RegisterPort("cam", "rtp-video"), &port);
-  ASSERT_TRUE(RunUntil(calliope.sim(), [&] { return port.done(); }, SimTime::Seconds(5)));
-  ASSERT_TRUE(port.value->ok());
-
-  CoResult<Result<CalliopeClient::StartResult>> record;
-  Collect(client.Record("mymail", "rtp-video", "cam", SimTime::Seconds(30)), &record);
-  ASSERT_TRUE(RunUntil(calliope.sim(), [&] { return record.done(); }, SimTime::Seconds(5)));
-  ASSERT_TRUE(record.value->ok()) << record.value->status().ToString();
-  const GroupId record_group = (*record.value)->group;
+  auto client = cluster.AddConnectedClient("client0");
+  ASSERT_TRUE(client.ok());
+  auto record =
+      RecordOn(cluster.sim(), **client, "mymail", "rtp-video", "cam", SimTime::Seconds(30));
+  ASSERT_TRUE(record.ok()) << record.status().ToString();
+  const GroupId record_group = record->group;
 
   // Feed 10 seconds of NV-like video into the recording.
   VbrSourceConfig source = Graph2File(0);
   const PacketSequence packets = GenerateVbr(source, SimTime::Seconds(10));
   CoResult<Result<int64_t>> sent;
-  Collect(client.SendRecording(record_group, 0, packets), &sent);
-  ASSERT_TRUE(RunUntil(calliope.sim(), [&] { return sent.done(); }, SimTime::Seconds(30)));
+  Collect((*client)->SendRecording(record_group, 0, packets), &sent);
+  ASSERT_TRUE(RunUntil(cluster.sim(), [&] { return sent.done(); }, SimTime::Seconds(30)));
   ASSERT_TRUE(sent.value->ok()) << sent.value->status().ToString();
   EXPECT_EQ(static_cast<size_t>(**sent.value), packets.size());
 
-  CoResult<Status> quit;
-  Collect(client.Quit(record_group), &quit);
-  ASSERT_TRUE(RunUntil(calliope.sim(), [&] { return quit.done(); }, SimTime::Seconds(10)));
-  ASSERT_TRUE(quit.value->ok()) << quit.value->ToString();
+  const Status quit = QuitGroup(cluster.sim(), **client, record_group);
+  ASSERT_TRUE(quit.ok()) << quit.ToString();
 
   // The recording is now playable content with a duration near 10 s.
   CoResult<Result<std::vector<ContentInfo>>> listing;
-  Collect(client.ListContent(), &listing);
-  ASSERT_TRUE(RunUntil(calliope.sim(), [&] { return listing.done(); }, SimTime::Seconds(5)));
+  Collect((*client)->ListContent(), &listing);
+  ASSERT_TRUE(RunUntil(cluster.sim(), [&] { return listing.done(); }, SimTime::Seconds(5)));
   ASSERT_TRUE(listing.value->ok());
   bool found = false;
   for (const ContentInfo& info : **listing.value) {
@@ -246,39 +183,29 @@ TEST(IntegrationTest, RecordThenPlayBack) {
   }
   ASSERT_TRUE(found);
 
-  CoResult<Result<CalliopeClient::StartResult>> playback;
-  Collect(client.Play("mymail", "cam"), &playback);
-  ASSERT_TRUE(RunUntil(calliope.sim(), [&] { return playback.done(); }, SimTime::Seconds(5)));
-  ASSERT_TRUE(playback.value->ok()) << playback.value->status().ToString();
-  calliope.sim().RunFor(SimTime::Seconds(5));
-  EXPECT_GT(client.FindPort("cam")->packets_received(), 100);
+  auto playback = PlayOn(cluster.sim(), **client, "mymail", "cam");
+  ASSERT_TRUE(playback.ok()) << playback.status().ToString();
+  cluster.sim().RunFor(SimTime::Seconds(5));
+  EXPECT_GT((*client)->FindPort("cam")->packets_received(), 100);
 }
 
 TEST(IntegrationTest, CompositeSeminarRecordAndPlay) {
-  Installation calliope;
-  ASSERT_TRUE(calliope.Boot().ok());
+  TestCluster cluster;
+  ASSERT_TRUE(cluster.Boot().ok());
 
-  CalliopeClient& client = calliope.AddClient("client0");
-  CoResult<Status> connected;
-  Collect(client.Connect("bob", "bob-key"), &connected);
-  RunUntil(calliope.sim(), [&] { return connected.done(); }, SimTime::Seconds(5));
+  auto client = cluster.AddConnectedClient("client0");
+  ASSERT_TRUE(client.ok());
 
-  CoResult<Result<ClientDisplayPort*>> video;
-  Collect(client.RegisterPort("v", "rtp-video"), &video);
-  RunUntil(calliope.sim(), [&] { return video.done(); }, SimTime::Seconds(5));
-  CoResult<Result<ClientDisplayPort*>> audio;
-  Collect(client.RegisterPort("a", "vat-audio"), &audio);
-  RunUntil(calliope.sim(), [&] { return audio.done(); }, SimTime::Seconds(5));
+  ASSERT_TRUE(RegisterClientPort(cluster.sim(), **client, "v", "rtp-video").ok());
+  ASSERT_TRUE(RegisterClientPort(cluster.sim(), **client, "a", "vat-audio").ok());
   CoResult<Result<ClientDisplayPort*>> seminar;
-  Collect(client.RegisterCompositePort("sem", "seminar", {"v", "a"}), &seminar);
-  ASSERT_TRUE(RunUntil(calliope.sim(), [&] { return seminar.done(); }, SimTime::Seconds(5)));
+  Collect((*client)->RegisterCompositePort("sem", "seminar", {"v", "a"}), &seminar);
+  ASSERT_TRUE(RunUntil(cluster.sim(), [&] { return seminar.done(); }, SimTime::Seconds(5)));
   ASSERT_TRUE(seminar.value->ok()) << seminar.value->status().ToString();
 
-  CoResult<Result<CalliopeClient::StartResult>> record;
-  Collect(client.Record("talk", "seminar", "sem", SimTime::Seconds(30)), &record);
-  ASSERT_TRUE(RunUntil(calliope.sim(), [&] { return record.done(); }, SimTime::Seconds(5)));
-  ASSERT_TRUE(record.value->ok()) << record.value->status().ToString();
-  const GroupId group = (*record.value)->group;
+  auto record = RecordOn(cluster.sim(), **client, "talk", "seminar", "sem", SimTime::Seconds(30));
+  ASSERT_TRUE(record.ok()) << record.status().ToString();
+  const GroupId group = record->group;
 
   // Feed both component streams.
   const PacketSequence video_packets = GenerateVbr(Graph2File(0), SimTime::Seconds(8));
@@ -288,71 +215,59 @@ TEST(IntegrationTest, CompositeSeminarRecordAndPlay) {
   const PacketSequence audio_packets = GenerateVbr(audio_config, SimTime::Seconds(8));
   CoResult<Result<int64_t>> video_sent;
   CoResult<Result<int64_t>> audio_sent;
-  Collect(client.SendRecording(group, 0, video_packets), &video_sent);
-  Collect(client.SendRecording(group, 1, audio_packets), &audio_sent);
-  ASSERT_TRUE(RunUntil(calliope.sim(),
+  Collect((*client)->SendRecording(group, 0, video_packets), &video_sent);
+  Collect((*client)->SendRecording(group, 1, audio_packets), &audio_sent);
+  ASSERT_TRUE(RunUntil(cluster.sim(),
                        [&] { return video_sent.done() && audio_sent.done(); },
                        SimTime::Seconds(30)));
   ASSERT_TRUE(video_sent.value->ok());
   ASSERT_TRUE(audio_sent.value->ok());
 
-  CoResult<Status> quit;
-  Collect(client.Quit(group), &quit);
-  ASSERT_TRUE(RunUntil(calliope.sim(), [&] { return quit.done(); }, SimTime::Seconds(10)));
-  ASSERT_TRUE(quit.value->ok()) << quit.value->ToString();
+  const Status quit = QuitGroup(cluster.sim(), **client, group);
+  ASSERT_TRUE(quit.ok()) << quit.ToString();
 
   // Play the composite back: both ports receive their component streams.
-  CoResult<Result<CalliopeClient::StartResult>> playback;
-  Collect(client.Play("talk", "sem"), &playback);
-  ASSERT_TRUE(RunUntil(calliope.sim(), [&] { return playback.done(); }, SimTime::Seconds(5)));
-  ASSERT_TRUE(playback.value->ok()) << playback.value->status().ToString();
-  calliope.sim().RunFor(SimTime::Seconds(6));
-  EXPECT_GT(client.FindPort("v")->packets_received(), 50);
-  EXPECT_GT(client.FindPort("a")->packets_received(), 50);
+  auto playback = PlayOn(cluster.sim(), **client, "talk", "sem");
+  ASSERT_TRUE(playback.ok()) << playback.status().ToString();
+  cluster.sim().RunFor(SimTime::Seconds(6));
+  EXPECT_GT((*client)->FindPort("v")->packets_received(), 50);
+  EXPECT_GT((*client)->FindPort("a")->packets_received(), 50);
 }
 
 TEST(IntegrationTest, MsuFailureDetectedAndRecovered) {
   InstallationConfig config;
   config.msu_count = 2;
-  Installation calliope(config);
-  ASSERT_TRUE(calliope.Boot().ok());
-  ASSERT_TRUE(calliope.LoadMpegMovie("movie", SimTime::Seconds(60), 0, false).ok());
+  TestCluster cluster(config);
+  ASSERT_TRUE(cluster.Boot().ok());
+  ASSERT_TRUE(cluster.installation().LoadMpegMovie("movie", SimTime::Seconds(60), 0, false).ok());
 
-  CalliopeClient& client = calliope.AddClient("client0");
-  CoResult<Status> connected;
-  Collect(client.Connect("bob", "bob-key"), &connected);
-  RunUntil(calliope.sim(), [&] { return connected.done(); }, SimTime::Seconds(5));
-  CoResult<Result<ClientDisplayPort*>> port;
-  Collect(client.RegisterPort("tv", "mpeg1"), &port);
-  RunUntil(calliope.sim(), [&] { return port.done(); }, SimTime::Seconds(5));
-  CoResult<Result<CalliopeClient::StartResult>> play;
-  Collect(client.Play("movie", "tv"), &play);
-  ASSERT_TRUE(RunUntil(calliope.sim(), [&] { return play.done(); }, SimTime::Seconds(5)));
-  calliope.sim().RunFor(SimTime::Seconds(2));
-  ASSERT_EQ(calliope.coordinator().active_stream_count(), 1u);
+  auto client = cluster.AddConnectedClient("client0");
+  ASSERT_TRUE(client.ok());
+  auto play = PlayOn(cluster.sim(), **client, "movie", "tv");
+  ASSERT_TRUE(play.ok());
+  cluster.sim().RunFor(SimTime::Seconds(2));
+  ASSERT_EQ(cluster.coordinator().active_stream_count(), 1u);
 
   // Crash msu0: "The Coordinator detects when one of the MSUs fails by a
   // break in the TCP connection."
-  calliope.msu(0).Crash();
-  ASSERT_TRUE(RunUntil(calliope.sim(), [&] { return !calliope.coordinator().MsuUp("msu0"); },
+  cluster.msu(0).Crash();
+  ASSERT_TRUE(RunUntil(cluster.sim(), [&] { return !cluster.coordinator().MsuUp("msu0"); },
                        SimTime::Seconds(5)));
-  EXPECT_EQ(calliope.coordinator().active_stream_count(), 0u);
-  EXPECT_TRUE(calliope.coordinator().MsuUp("msu1"));
+  EXPECT_EQ(cluster.coordinator().active_stream_count(), 0u);
+  EXPECT_TRUE(cluster.coordinator().MsuUp("msu1"));
 
   // Restart: the MSU re-contacts the Coordinator and is restored.
   CoResult<Status> restarted;
-  Collect(calliope.msu(0).Restart("coordinator"), &restarted);
-  ASSERT_TRUE(RunUntil(calliope.sim(), [&] { return restarted.done(); }, SimTime::Seconds(10)));
+  Collect(cluster.msu(0).Restart("coordinator"), &restarted);
+  ASSERT_TRUE(RunUntil(cluster.sim(), [&] { return restarted.done(); }, SimTime::Seconds(10)));
   ASSERT_TRUE(restarted.value->ok()) << restarted.value->ToString();
-  EXPECT_TRUE(calliope.coordinator().MsuUp("msu0"));
+  EXPECT_TRUE(cluster.coordinator().MsuUp("msu0"));
 
   // Content survived the crash: play it again.
-  CoResult<Result<CalliopeClient::StartResult>> replay;
-  Collect(client.Play("movie", "tv"), &replay);
-  ASSERT_TRUE(RunUntil(calliope.sim(), [&] { return replay.done(); }, SimTime::Seconds(5)));
-  ASSERT_TRUE(replay.value->ok()) << replay.value->status().ToString();
-  calliope.sim().RunFor(SimTime::Seconds(3));
-  EXPECT_GT(client.FindPort("tv")->packets_received(), 80);
+  auto replay = PlayOn(cluster.sim(), **client, "movie", "tv");
+  ASSERT_TRUE(replay.ok()) << replay.status().ToString();
+  cluster.sim().RunFor(SimTime::Seconds(3));
+  EXPECT_GT((*client)->FindPort("tv")->packets_received(), 80);
 }
 
 TEST(IntegrationTest, RequestsQueueWhenBandwidthExhaustedAndStartLater) {
@@ -360,104 +275,77 @@ TEST(IntegrationTest, RequestsQueueWhenBandwidthExhaustedAndStartLater) {
   InstallationConfig config;
   config.coordinator.disk_budget = DataRate::MegabitsPerSec(3.2);
   config.msu_machine.disks_per_hba = {1};
-  Installation calliope(config);
-  ASSERT_TRUE(calliope.Boot().ok());
-  ASSERT_TRUE(calliope.LoadMpegMovie("movie", SimTime::Seconds(30), 0, false).ok());
+  TestCluster cluster(config);
+  ASSERT_TRUE(cluster.Boot().ok());
+  ASSERT_TRUE(cluster.installation().LoadMpegMovie("movie", SimTime::Seconds(30), 0, false).ok());
 
-  CalliopeClient& client = calliope.AddClient("client0");
-  CoResult<Status> connected;
-  Collect(client.Connect("bob", "bob-key"), &connected);
-  RunUntil(calliope.sim(), [&] { return connected.done(); }, SimTime::Seconds(5));
+  auto client = cluster.AddConnectedClient("client0");
+  ASSERT_TRUE(client.ok());
 
-  std::vector<std::unique_ptr<CoResult<Result<ClientDisplayPort*>>>> ports;
-  for (int i = 0; i < 3; ++i) {
-    ports.push_back(std::make_unique<CoResult<Result<ClientDisplayPort*>>>());
-    Collect(client.RegisterPort("tv" + std::to_string(i), "mpeg1"), ports.back().get());
-  }
-  RunUntil(calliope.sim(), [&] { return ports.back()->done(); }, SimTime::Seconds(5));
-
-  std::vector<std::unique_ptr<CoResult<Result<CalliopeClient::StartResult>>>> plays;
-  for (int i = 0; i < 3; ++i) {
-    plays.push_back(std::make_unique<CoResult<Result<CalliopeClient::StartResult>>>());
-    Collect(client.Play("movie", "tv" + std::to_string(i)), plays.back().get());
-  }
-  ASSERT_TRUE(RunUntil(calliope.sim(),
-                       [&] { return plays[0]->done() && plays[1]->done() && plays[2]->done(); },
-                       SimTime::Seconds(10)));
   int queued = 0;
-  for (auto& play : plays) {
-    ASSERT_TRUE(play->value->ok());
-    if ((*play->value)->queued) {
+  for (int i = 0; i < 3; ++i) {
+    auto play = PlayOn(cluster.sim(), **client, "movie", "tv" + std::to_string(i));
+    ASSERT_TRUE(play.ok());
+    if (play->queued) {
       ++queued;
     }
   }
   EXPECT_EQ(queued, 1);
-  EXPECT_EQ(calliope.coordinator().pending_request_count(), 1u);
+  EXPECT_EQ(cluster.coordinator().pending_request_count(), 1u);
 
   // When the 30-second movies end, the queued request gets its resources.
-  EXPECT_TRUE(RunUntil(calliope.sim(),
-                       [&] { return calliope.coordinator().pending_request_count() == 0; },
+  EXPECT_TRUE(RunUntil(cluster.sim(),
+                       [&] { return cluster.coordinator().pending_request_count() == 0; },
                        SimTime::Seconds(60)));
-  calliope.sim().RunFor(SimTime::Seconds(5));
-  EXPECT_GT(client.FindPort("tv2")->packets_received(), 0);
+  cluster.sim().RunFor(SimTime::Seconds(5));
+  EXPECT_GT((*client)->FindPort("tv2")->packets_received(), 0);
 }
 
 TEST(IntegrationTest, AdminCanDeleteContentAndNonAdminCannot) {
-  Installation calliope;
-  ASSERT_TRUE(calliope.Boot().ok());
-  ASSERT_TRUE(calliope.LoadMpegMovie("movie", SimTime::Seconds(10), 0, false).ok());
+  TestCluster cluster;
+  ASSERT_TRUE(cluster.Boot().ok());
+  ASSERT_TRUE(cluster.installation().LoadMpegMovie("movie", SimTime::Seconds(10), 0, false).ok());
 
-  CalliopeClient& bob = calliope.AddClient("bobhost");
-  CoResult<Status> bob_connected;
-  Collect(bob.Connect("bob", "bob-key"), &bob_connected);
-  RunUntil(calliope.sim(), [&] { return bob_connected.done(); }, SimTime::Seconds(5));
+  auto bob = cluster.AddConnectedClient("bobhost");
+  ASSERT_TRUE(bob.ok());
   CoResult<Status> bob_delete;
-  Collect(bob.DeleteContent("movie"), &bob_delete);
-  ASSERT_TRUE(RunUntil(calliope.sim(), [&] { return bob_delete.done(); }, SimTime::Seconds(5)));
+  Collect((*bob)->DeleteContent("movie"), &bob_delete);
+  ASSERT_TRUE(RunUntil(cluster.sim(), [&] { return bob_delete.done(); }, SimTime::Seconds(5)));
   EXPECT_FALSE(bob_delete.value->ok());
 
-  CalliopeClient& alice = calliope.AddClient("alicehost");
-  CoResult<Status> alice_connected;
-  Collect(alice.Connect("alice", "alice-key"), &alice_connected);
-  RunUntil(calliope.sim(), [&] { return alice_connected.done(); }, SimTime::Seconds(5));
+  auto alice = cluster.AddConnectedClient("alicehost", "alice", "alice-key");
+  ASSERT_TRUE(alice.ok());
   CoResult<Status> alice_delete;
-  Collect(alice.DeleteContent("movie"), &alice_delete);
-  ASSERT_TRUE(RunUntil(calliope.sim(), [&] { return alice_delete.done(); }, SimTime::Seconds(5)));
+  Collect((*alice)->DeleteContent("movie"), &alice_delete);
+  ASSERT_TRUE(RunUntil(cluster.sim(), [&] { return alice_delete.done(); }, SimTime::Seconds(5)));
   EXPECT_TRUE(alice_delete.value->ok()) << alice_delete.value->ToString();
 
   // Gone from the catalog and from the MSU file system.
-  EXPECT_FALSE(calliope.coordinator().catalog().FindContent("movie").ok());
-  EXPECT_FALSE(calliope.msu(0).fs().Lookup("movie.mpg").ok());
+  EXPECT_FALSE(cluster.coordinator().catalog().FindContent("movie").ok());
+  EXPECT_FALSE(cluster.msu(0).fs().Lookup("movie.mpg").ok());
 }
 
 TEST(IntegrationTest, CorruptPageTerminatesStreamCleanly) {
-  Installation calliope;
-  ASSERT_TRUE(calliope.Boot().ok());
-  ASSERT_TRUE(calliope.LoadMpegMovie("movie", SimTime::Seconds(120), 0, false).ok());
+  TestCluster cluster;
+  ASSERT_TRUE(cluster.Boot().ok());
+  ASSERT_TRUE(cluster.installation().LoadMpegMovie("movie", SimTime::Seconds(120), 0, false).ok());
   // Scribble over a page ~8 seconds in.
-  auto file = calliope.msu(0).fs().Lookup("movie.mpg");
+  auto file = cluster.msu(0).fs().Lookup("movie.mpg");
   ASSERT_TRUE(file.ok());
-  calliope.msu(0).fs().CorruptPageForTesting(*file, 6);
+  cluster.msu(0).fs().CorruptPageForTesting(*file, 6);
 
-  CalliopeClient& client = calliope.AddClient("c");
-  CoResult<Status> connected;
-  Collect(client.Connect("bob", "bob-key"), &connected);
-  RunUntil(calliope.sim(), [&] { return connected.done(); }, SimTime::Seconds(5));
-  CoResult<Result<ClientDisplayPort*>> port;
-  Collect(client.RegisterPort("tv", "mpeg1"), &port);
-  RunUntil(calliope.sim(), [&] { return port.done(); }, SimTime::Seconds(5));
-  CoResult<Result<CalliopeClient::StartResult>> play;
-  Collect(client.Play("movie", "tv"), &play);
-  ASSERT_TRUE(RunUntil(calliope.sim(), [&] { return play.done(); }, SimTime::Seconds(5)));
-  const GroupId group = (*play.value)->group;
+  auto client = cluster.AddConnectedClient("c");
+  ASSERT_TRUE(client.ok());
+  auto play = PlayOn(cluster.sim(), **client, "movie", "tv");
+  ASSERT_TRUE(play.ok());
+  const GroupId group = play->group;
 
   // The stream dies at the bad page instead of stalling the viewer forever;
   // the group terminates and the Coordinator releases the slot.
-  ASSERT_TRUE(RunUntil(calliope.sim(), [&] { return client.GroupTerminated(group); },
-                       SimTime::Seconds(30)));
-  EXPECT_EQ(calliope.coordinator().active_stream_count(), 0u);
+  ASSERT_TRUE(WaitForTermination(cluster.sim(), **client, group, SimTime::Seconds(30)));
+  EXPECT_EQ(cluster.coordinator().active_stream_count(), 0u);
   // Roughly the first six pages' worth of packets arrived (~63 per page).
-  const int64_t received = client.FindPort("tv")->packets_received();
+  const int64_t received = (*client)->FindPort("tv")->packets_received();
   EXPECT_GT(received, 5 * 60);
   EXPECT_LT(received, 8 * 66);
 }
@@ -465,82 +353,62 @@ TEST(IntegrationTest, CorruptPageTerminatesStreamCleanly) {
 TEST(IntegrationTest, RecordWhilePlayingSharesTheDisks) {
   // The disk processes interleave playback reads and recording writes in the
   // same round-robin duty cycle.
-  Installation calliope;
-  ASSERT_TRUE(calliope.Boot().ok());
-  ASSERT_TRUE(calliope.LoadMpegMovie("movie", SimTime::Seconds(60), 0, false).ok());
+  TestCluster cluster;
+  ASSERT_TRUE(cluster.Boot().ok());
+  ASSERT_TRUE(cluster.installation().LoadMpegMovie("movie", SimTime::Seconds(60), 0, false).ok());
 
-  CalliopeClient& client = calliope.AddClient("c");
-  CoResult<Status> connected;
-  Collect(client.Connect("bob", "bob-key"), &connected);
-  RunUntil(calliope.sim(), [&] { return connected.done(); }, SimTime::Seconds(5));
+  auto client = cluster.AddConnectedClient("c");
+  ASSERT_TRUE(client.ok());
 
   // Three viewers...
   for (int i = 0; i < 3; ++i) {
-    CoResult<Result<ClientDisplayPort*>> port;
-    Collect(client.RegisterPort("tv" + std::to_string(i), "mpeg1"), &port);
-    RunUntil(calliope.sim(), [&] { return port.done(); }, SimTime::Seconds(5));
-    CoResult<Result<CalliopeClient::StartResult>> play;
-    Collect(client.Play("movie", "tv" + std::to_string(i)), &play);
-    ASSERT_TRUE(RunUntil(calliope.sim(), [&] { return play.done(); }, SimTime::Seconds(5)));
-    ASSERT_TRUE(play.value->ok());
+    auto play = PlayOn(cluster.sim(), **client, "movie", "tv" + std::to_string(i));
+    ASSERT_TRUE(play.ok());
   }
   // ...and one camera recording at the same time.
-  CoResult<Result<ClientDisplayPort*>> cam;
-  Collect(client.RegisterPort("cam", "rtp-video"), &cam);
-  RunUntil(calliope.sim(), [&] { return cam.done(); }, SimTime::Seconds(5));
-  CoResult<Result<CalliopeClient::StartResult>> record;
-  Collect(client.Record("live", "rtp-video", "cam", SimTime::Seconds(60)), &record);
-  ASSERT_TRUE(RunUntil(calliope.sim(), [&] { return record.done(); }, SimTime::Seconds(5)));
-  ASSERT_TRUE(record.value->ok());
+  auto record =
+      RecordOn(cluster.sim(), **client, "live", "rtp-video", "cam", SimTime::Seconds(60));
+  ASSERT_TRUE(record.ok());
   const PacketSequence packets = GenerateVbr(Graph2File(0), SimTime::Seconds(12));
   CoResult<Result<int64_t>> sent;
-  Collect(client.SendRecording((*record.value)->group, 0, packets), &sent);
-  ASSERT_TRUE(RunUntil(calliope.sim(), [&] { return sent.done(); }, SimTime::Seconds(30)));
+  Collect((*client)->SendRecording(record->group, 0, packets), &sent);
+  ASSERT_TRUE(RunUntil(cluster.sim(), [&] { return sent.done(); }, SimTime::Seconds(30)));
 
-  CoResult<Status> quit;
-  Collect(client.Quit((*record.value)->group), &quit);
-  ASSERT_TRUE(RunUntil(calliope.sim(), [&] { return quit.done(); }, SimTime::Seconds(10)));
-  ASSERT_TRUE(quit.value->ok());
+  const Status quit = QuitGroup(cluster.sim(), **client, record->group);
+  ASSERT_TRUE(quit.ok());
 
   // Everyone made progress: viewers received on schedule, recording sealed.
   for (int i = 0; i < 3; ++i) {
-    EXPECT_GT(client.FindPort("tv" + std::to_string(i))->packets_received(), 300) << i;
+    EXPECT_GT((*client)->FindPort("tv" + std::to_string(i))->packets_received(), 300) << i;
   }
-  EXPECT_TRUE(calliope.msu(0).fs().Lookup("live.dat").ok());
-  EXPECT_GT(calliope.msu(0).fs().metadata_flushes(), 0);
+  EXPECT_TRUE(cluster.msu(0).fs().Lookup("live.dat").ok());
+  EXPECT_GT(cluster.msu(0).fs().metadata_flushes(), 0);
 }
 
 TEST(IntegrationTest, SeekStormStaysConsistent) {
-  Installation calliope;
-  ASSERT_TRUE(calliope.Boot().ok());
-  ASSERT_TRUE(calliope.LoadMpegMovie("movie", SimTime::Seconds(600), 0, false).ok());
+  TestCluster cluster;
+  ASSERT_TRUE(cluster.Boot().ok());
+  ASSERT_TRUE(cluster.installation().LoadMpegMovie("movie", SimTime::Seconds(600), 0, false).ok());
 
-  CalliopeClient& client = calliope.AddClient("c");
-  CoResult<Status> connected;
-  Collect(client.Connect("bob", "bob-key"), &connected);
-  RunUntil(calliope.sim(), [&] { return connected.done(); }, SimTime::Seconds(5));
-  CoResult<Result<ClientDisplayPort*>> port;
-  Collect(client.RegisterPort("tv", "mpeg1"), &port);
-  RunUntil(calliope.sim(), [&] { return port.done(); }, SimTime::Seconds(5));
-  CoResult<Result<CalliopeClient::StartResult>> play;
-  Collect(client.Play("movie", "tv"), &play);
-  ASSERT_TRUE(RunUntil(calliope.sim(), [&] { return play.done(); }, SimTime::Seconds(5)));
-  const GroupId group = (*play.value)->group;
+  auto client = cluster.AddConnectedClient("c");
+  ASSERT_TRUE(client.ok());
+  auto play = PlayOn(cluster.sim(), **client, "movie", "tv");
+  ASSERT_TRUE(play.ok());
+  const GroupId group = play->group;
 
   // A dozen rapid-fire seeks all over the file, each acknowledged.
   const int64_t targets[] = {500, 10, 300, 42, 599, 0, 250, 123, 400, 7, 550, 60};
   for (int64_t target : targets) {
-    CoResult<Status> sought;
-    Collect(client.Vcr(group, VcrCommand::Op::kSeek, SimTime::Seconds(target)), &sought);
-    ASSERT_TRUE(RunUntil(calliope.sim(), [&] { return sought.done(); }, SimTime::Seconds(10)));
-    EXPECT_TRUE(sought.value->ok()) << target << ": " << sought.value->ToString();
-    calliope.sim().RunFor(SimTime::Millis(300));
+    const Status sought =
+        VcrOp(cluster.sim(), **client, group, VcrCommand::Op::kSeek, SimTime::Seconds(target));
+    EXPECT_TRUE(sought.ok()) << target << ": " << sought.ToString();
+    cluster.sim().RunFor(SimTime::Millis(300));
   }
   // Still delivering from the final position.
-  const int64_t before = client.FindPort("tv")->packets_received();
-  calliope.sim().RunFor(SimTime::Seconds(5));
-  EXPECT_GT(client.FindPort("tv")->packets_received(), before + 180);
-  EXPECT_EQ(calliope.coordinator().active_stream_count(), 1u);
+  const int64_t before = (*client)->FindPort("tv")->packets_received();
+  cluster.sim().RunFor(SimTime::Seconds(5));
+  EXPECT_GT((*client)->FindPort("tv")->packets_received(), before + 180);
+  EXPECT_EQ(cluster.coordinator().active_stream_count(), 1u);
 }
 
 TEST(IntegrationTest, LateJoinersQueueAndInheritFreedSlots) {
@@ -548,34 +416,26 @@ TEST(IntegrationTest, LateJoinersQueueAndInheritFreedSlots) {
   InstallationConfig config;
   config.coordinator.disk_budget = DataRate::MegabitsPerSec(3.2);  // 2 per disk
   config.msu_machine.disks_per_hba = {1};
-  Installation calliope(config);
-  ASSERT_TRUE(calliope.Boot().ok());
-  ASSERT_TRUE(calliope.LoadMpegMovie("clip", SimTime::Seconds(15), 0, false).ok());
+  TestCluster cluster(config);
+  ASSERT_TRUE(cluster.Boot().ok());
+  ASSERT_TRUE(cluster.installation().LoadMpegMovie("clip", SimTime::Seconds(15), 0, false).ok());
 
-  CalliopeClient& client = calliope.AddClient("c");
-  CoResult<Status> connected;
-  Collect(client.Connect("bob", "bob-key"), &connected);
-  RunUntil(calliope.sim(), [&] { return connected.done(); }, SimTime::Seconds(5));
+  auto client = cluster.AddConnectedClient("c");
+  ASSERT_TRUE(client.ok());
 
-  std::vector<std::unique_ptr<CoResult<Result<CalliopeClient::StartResult>>>> plays;
   for (int i = 0; i < 6; ++i) {
-    CoResult<Result<ClientDisplayPort*>> port;
-    Collect(client.RegisterPort("tv" + std::to_string(i), "mpeg1"), &port);
-    RunUntil(calliope.sim(), [&] { return port.done(); }, SimTime::Seconds(5));
-    plays.push_back(std::make_unique<CoResult<Result<CalliopeClient::StartResult>>>());
-    Collect(client.Play("clip", "tv" + std::to_string(i)), plays.back().get());
+    auto play = PlayOn(cluster.sim(), **client, "clip", "tv" + std::to_string(i));
+    ASSERT_TRUE(play.ok());
   }
-  ASSERT_TRUE(RunUntil(calliope.sim(), [&] { return plays.back()->done(); },
-                       SimTime::Seconds(10)));
-  EXPECT_GE(calliope.coordinator().pending_request_count(), 3u);
+  EXPECT_GE(cluster.coordinator().pending_request_count(), 3u);
 
   // Three 15-second generations: everyone eventually gets served.
-  EXPECT_TRUE(RunUntil(calliope.sim(),
-                       [&] { return calliope.coordinator().pending_request_count() == 0; },
+  EXPECT_TRUE(RunUntil(cluster.sim(),
+                       [&] { return cluster.coordinator().pending_request_count() == 0; },
                        SimTime::Seconds(90)));
-  calliope.sim().RunFor(SimTime::Seconds(10));
+  cluster.sim().RunFor(SimTime::Seconds(10));
   for (int i = 0; i < 6; ++i) {
-    EXPECT_GT(client.FindPort("tv" + std::to_string(i))->packets_received(), 0) << i;
+    EXPECT_GT((*client)->FindPort("tv" + std::to_string(i))->packets_received(), 0) << i;
   }
 }
 

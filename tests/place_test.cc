@@ -43,6 +43,7 @@ TEST(LedgerTest, ReserveCommitReleaseLifecycle) {
   txn->Commit(0, /*stream=*/7);
   EXPECT_EQ(ledger.outstanding_holds(), 1u);
   EXPECT_EQ(ledger.Find("msuA")->disks[0].streams, 1);
+  EXPECT_TRUE(ledger.CheckInvariants().ok()) << ledger.CheckInvariants().ToString();
 
   // Destroying the committed Txn must not refund the hold.
   { ResourceLedger::Txn moved = std::move(txn).value(); }
@@ -56,6 +57,7 @@ TEST(LedgerTest, ReserveCommitReleaseLifecycle) {
   // Exactly-once: the second release is a no-op.
   EXPECT_FALSE(ledger.Release(7));
   EXPECT_EQ(ledger.DiskLoad("msuA", 0), DataRate());
+  EXPECT_TRUE(ledger.CheckInvariants().ok()) << ledger.CheckInvariants().ToString();
 }
 
 TEST(LedgerTest, UncommittedTxnRollsBackOnDestruction) {
@@ -132,6 +134,39 @@ TEST(LedgerTest, ReregistrationInvalidatesStaleHolds) {
   EXPECT_FALSE(ledger.Release(5));
   EXPECT_EQ(ledger.FreeSpace("msuA"), Bytes(100 * kMiB));
   EXPECT_EQ(ledger.DiskLoad("msuA", 0), DataRate());
+  EXPECT_TRUE(ledger.CheckInvariants().ok()) << ledger.CheckInvariants().ToString();
+}
+
+TEST(LedgerTest, CheckInvariantsHoldsAcrossMixedLifecycles) {
+  // Drive the ledger through interleaved reservations, partial commits,
+  // recording releases, and a re-registration; the internal-consistency
+  // audit must pass at every step.
+  ResourceLedger ledger = TwoMsuLedger();
+  const DataRate rate = DataRate::MegabytesPerSec(0.4);
+  {
+    auto a = ledger.Reserve("msuA", {ResourceLedger::ReserveItem(0, rate, Bytes(8 * kMiB)),
+                                     ResourceLedger::ReserveItem(1, rate, Bytes())});
+    ASSERT_TRUE(a.ok());
+    a->Commit(0, /*stream=*/10);  // the second item rolls back on destruction
+    EXPECT_TRUE(ledger.CheckInvariants().ok());
+  }
+  EXPECT_TRUE(ledger.CheckInvariants().ok());
+  {
+    auto b = ledger.Reserve("msuB", {ResourceLedger::ReserveItem(1, rate, Bytes(4 * kMiB))});
+    ASSERT_TRUE(b.ok());
+    b->Commit(0, /*stream=*/11);
+  }
+  EXPECT_TRUE(ledger.CheckInvariants().ok());
+  EXPECT_TRUE(ledger.Release(11, Bytes(1 * kMiB)));
+  EXPECT_TRUE(ledger.CheckInvariants().ok());
+
+  // Crash + fresh registration drops stream 10's now-stale hold; the audit
+  // must accept the ledger before and after the (rejected) late release.
+  ledger.MarkDown("msuA");
+  ledger.RegisterMsu("msuA", 2, Bytes(100 * kMiB));
+  EXPECT_TRUE(ledger.CheckInvariants().ok()) << ledger.CheckInvariants().ToString();
+  EXPECT_FALSE(ledger.Release(10));
+  EXPECT_TRUE(ledger.CheckInvariants().ok()) << ledger.CheckInvariants().ToString();
 }
 
 TEST(RegistryTest, BuiltinsAndUnknownNames) {
