@@ -17,6 +17,7 @@
 // placement policies (default: all), or --failover-only to skip the
 // scale-out table.
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <memory>
 #include <string>
@@ -98,7 +99,8 @@ struct FailoverResult {
 
 // Two MSUs, every movie replicated on both; crash msu0 mid-play and measure
 // how many of its streams the Coordinator resumes on msu1.
-FailoverResult RunFailover(const std::string& policy, SimTime play_before, SimTime settle) {
+FailoverResult RunFailover(const std::string& policy, SimTime play_before, SimTime settle,
+                           bool print_report) {
   FailoverResult result;
   result.policy = policy;
 
@@ -177,6 +179,10 @@ FailoverResult RunFailover(const std::string& policy, SimTime play_before, SimTi
               SimTime::Seconds(10));
   result.ledger_balanced = calliope.coordinator().ledger().TotalReserved() == DataRate() &&
                            calliope.coordinator().ledger().outstanding_holds() == 0;
+  if (print_report) {
+    std::printf("\nClusterReport after failover (policy %s):\n%s\n", result.policy.c_str(),
+                calliope.BuildClusterReport().ToText().c_str());
+  }
   return result;
 }
 
@@ -187,13 +193,17 @@ int main(int argc, char** argv) {
   using namespace calliope;
   std::string policy_flag = "all";
   bool failover_only = false;
+  bool print_report = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strncmp(argv[i], "--policy=", 9) == 0) {
       policy_flag = argv[i] + 9;
     } else if (std::strcmp(argv[i], "--failover-only") == 0) {
       failover_only = true;
+    } else if (std::strcmp(argv[i], "--report") == 0) {
+      print_report = true;
     } else {
-      std::fprintf(stderr, "usage: %s [--policy=<name|all>] [--failover-only]\n", argv[0]);
+      std::fprintf(stderr, "usage: %s [--policy=<name|all>] [--failover-only] [--report]\n",
+                   argv[0]);
       return 2;
     }
   }
@@ -231,7 +241,8 @@ int main(int argc, char** argv) {
   AsciiTable failover({"policy", "streams", "on crashed MSU", "resumed", "% resumed",
                        "ledger balanced"});
   for (const std::string& policy : policies) {
-    const FailoverResult result = RunFailover(policy, play_before, SimTime::Seconds(8));
+    const FailoverResult result = RunFailover(policy, play_before, SimTime::Seconds(8),
+                                              print_report);
     char pct[32];
     std::snprintf(pct, sizeof(pct), "%.0f%%", result.pct_resumed);
     failover.AddRow({result.policy, std::to_string(result.started),
@@ -242,5 +253,11 @@ int main(int argc, char** argv) {
   std::printf("Every movie is mirrored on both MSUs; when one crashes, the Coordinator\n");
   std::printf("re-runs placement for its interrupted groups against the replicas and\n");
   std::printf("resumes each stream near its last reported media offset.\n");
+  // Each Installation writes the trace at destruction, so with several runs
+  // the file holds the last scenario (use --policy=<one> for a single run).
+  if (const char* trace_env = std::getenv("CALLIOPE_TRACE");
+      trace_env != nullptr && *trace_env != '\0') {
+    std::printf("\nChrome trace written to %s — open at https://ui.perfetto.dev\n", trace_env);
+  }
   return 0;
 }

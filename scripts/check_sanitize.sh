@@ -1,24 +1,36 @@
 #!/usr/bin/env bash
-# Builds the tree with ASan+UBSan (the CALLIOPE_SANITIZE cmake option) and
-# runs the full tier-1 ctest suite under it. Usage:
+# Builds the tree under sanitizers (the CALLIOPE_SANITIZE cmake option) and
+# runs the full tier-1 ctest suite under them. Usage:
 #
-#   scripts/check_sanitize.sh [build-dir] [extra ctest args...]
+#   scripts/check_sanitize.sh [--tsan] [build-dir] [extra ctest args...]
 #
+# Default is ASan+UBSan in build-asan; --tsan switches to ThreadSanitizer in
+# build-tsan (the simulator is single-threaded by design — TSan documents
+# that and guards the few std::thread touchpoints in the harness).
 # e.g. `scripts/check_sanitize.sh build-asan -R chaos` to sweep only the
 # seeded chaos tests under the sanitizers.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
-BUILD_DIR="${1:-build-asan}"
+
+SANITIZERS="address;undefined"
+DEFAULT_DIR="build-asan"
+if [[ "${1:-}" == "--tsan" ]]; then
+  SANITIZERS="thread"
+  DEFAULT_DIR="build-tsan"
+  shift
+fi
+BUILD_DIR="${1:-${DEFAULT_DIR}}"
 shift || true
 
 cmake -B "${BUILD_DIR}" -S . \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo \
-  -DCALLIOPE_SANITIZE="address;undefined"
+  -DCALLIOPE_SANITIZE="${SANITIZERS}"
 cmake --build "${BUILD_DIR}" -j "$(nproc)"
 
 # halt_on_error so ctest fails loudly instead of logging and limping on.
 export ASAN_OPTIONS="${ASAN_OPTIONS:-halt_on_error=1:detect_leaks=1}"
 export UBSAN_OPTIONS="${UBSAN_OPTIONS:-halt_on_error=1:print_stacktrace=1}"
+export TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1}"
 
 ctest --test-dir "${BUILD_DIR}" --output-on-failure -j "$(nproc)" "$@"

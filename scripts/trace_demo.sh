@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# Runs the scaleout bench's failover scenario with tracing on and prints where
+# the Chrome trace-event JSON landed. Usage:
+#
+#   scripts/trace_demo.sh [build-dir]
+#
+# Override the output path with CALLIOPE_TRACE=/path/to/trace.json.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build}"
+OUT="${CALLIOPE_TRACE:-${PWD}/trace_failover.json}"
+
+cmake -B "${BUILD_DIR}" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo
+cmake --build "${BUILD_DIR}" -j "$(nproc)" --target scaleout
+
+# One policy => one Installation => the trace file holds that whole scenario:
+# admissions, stream lifetimes, per-disk block service, RPCs, crash, failover.
+CALLIOPE_BENCH_FAST=1 CALLIOPE_TRACE="${OUT}" \
+  "${BUILD_DIR}/bench/scaleout" --failover-only --policy=replica-aware --report
+
+echo
+echo "Chrome trace written to: ${OUT}"
+echo "Open it at https://ui.perfetto.dev (or chrome://tracing) — one row per"
+echo "track: coordinator, each MSU, each MSU disk, net, fault."

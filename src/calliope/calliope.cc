@@ -1,6 +1,11 @@
 #include "src/calliope/calliope.h"
 
+#include <algorithm>
+#include <cstdlib>
+#include <tuple>
 #include <utility>
+
+#include "src/util/logging.h"
 
 namespace calliope {
 
@@ -40,6 +45,29 @@ Installation::Installation(InstallationConfig config)
                                                  config_.coordinator);
   }
   AddDefaultCustomers();
+
+  network_.AttachObservability(&metrics_, &trace_);
+  for (auto& msu : msus_) {
+    msu->AttachObservability(&metrics_, &trace_);
+  }
+  coordinator_->AttachObservability(&metrics_, &trace_);
+  if (const char* env = std::getenv("CALLIOPE_TRACE"); env != nullptr && *env != '\0') {
+    EnableTracing(env);
+  }
+}
+
+Installation::~Installation() {
+  if (trace_path_.empty()) {
+    return;
+  }
+  if (Status written = trace_.WriteFile(trace_path_); !written.ok()) {
+    CALLIOPE_LOG(kWarning, "calliope") << "trace not written: " << written.ToString();
+  }
+}
+
+void Installation::EnableTracing(std::string path) {
+  trace_.set_enabled(true);
+  trace_path_ = std::move(path);
 }
 
 const std::string& Installation::coordinator_host() const {
@@ -78,8 +106,56 @@ Status Installation::ApplyFaultPlan(FaultPlan plan) {
       fault_injector_->AttachMsu("msu" + std::to_string(i), msus_[i].get());
     }
     fault_injector_->AttachCoordinator(coordinator_.get(), coordinator_host());
+    // Before Arm() so the planned fault windows land in the trace as spans.
+    fault_injector_->AttachObservability(&metrics_, &trace_);
   }
   return fault_injector_->Arm(std::move(plan));
+}
+
+ClusterReport Installation::BuildClusterReport() {
+  ClusterReport report;
+  report.metrics = metrics_.Snapshot();
+  for (size_t i = 0; i < msus_.size(); ++i) {
+    const std::string& node = msu_nodes_[i]->name();
+    msus_[i]->ForEachStream([&](const MsuStream& stream, bool finished) {
+      StreamQosReport row;
+      row.stream_id = stream.id();
+      row.group_id = stream.group();
+      row.msu = node;
+      row.disk = stream.disk();
+      row.file = stream.file_name();
+      row.recording = stream.mode() == MsuStream::Mode::kRecord;
+      row.finished = finished;
+      row.packets_sent = stream.packets_sent();
+      row.packets_late = stream.lateness().CountAbove(SimTime());
+      row.p50_lateness_us = stream.lateness().Quantile(0.5).micros();
+      row.p99_lateness_us = stream.lateness().Quantile(0.99).micros();
+      row.max_lateness_us = std::max<int64_t>(stream.lateness().MaxRecorded().micros(), 0);
+      report.streams.push_back(std::move(row));
+    });
+  }
+  std::sort(report.streams.begin(), report.streams.end(),
+            [](const StreamQosReport& a, const StreamQosReport& b) {
+              return a.stream_id < b.stream_id;
+            });
+  for (auto& client : clients_) {
+    const std::string& client_name = client->node().name();
+    client->ForEachPort([&](const ClientDisplayPort& port) {
+      PortQosReport row;
+      row.client = client_name;
+      row.port = port.name();
+      row.packets_received = port.packets_received();
+      row.out_of_order = port.out_of_order();
+      row.glitches = port.glitches();
+      row.max_gap_us = port.max_arrival_gap().micros();
+      report.ports.push_back(std::move(row));
+    });
+  }
+  std::sort(report.ports.begin(), report.ports.end(),
+            [](const PortQosReport& a, const PortQosReport& b) {
+              return std::tie(a.client, a.port) < std::tie(b.client, b.port);
+            });
+  return report;
 }
 
 CalliopeClient& Installation::AddClient(const std::string& name) {

@@ -27,6 +27,9 @@
 #include "src/media/sources.h"
 #include "src/msu/msu.h"
 #include "src/net/network.h"
+#include "src/obs/metrics.h"
+#include "src/obs/report.h"
+#include "src/obs/trace.h"
 
 namespace calliope {
 
@@ -46,6 +49,9 @@ struct InstallationConfig {
 class Installation {
  public:
   explicit Installation(InstallationConfig config = InstallationConfig());
+  // Writes the trace file when tracing was enabled with a path (EnableTracing
+  // or the CALLIOPE_TRACE environment variable).
+  ~Installation();
 
   Installation(const Installation&) = delete;
   Installation& operator=(const Installation&) = delete;
@@ -96,12 +102,36 @@ class Installation {
   // Null until ApplyFaultPlan has run.
   FaultInjector* fault_injector() { return fault_injector_.get(); }
 
+  // ---- observability ----
+
+  // Every subsystem publishes into this registry; pull a MetricsSnapshot or a
+  // full ClusterReport at any sim time.
+  MetricsRegistry& metrics() { return metrics_; }
+  TraceRecorder& trace() { return trace_; }
+  // Turns on span/instant recording; when `path` is nonempty the Chrome
+  // trace-event JSON is written there at destruction. Setting the
+  // CALLIOPE_TRACE environment variable to a path does the same at
+  // construction time.
+  void EnableTracing(std::string path = std::string());
+  const std::string& trace_path() const { return trace_path_; }
+  Status WriteTrace(const std::string& path) const { return trace_.WriteFile(path); }
+
+  // One QoS snapshot of the whole installation: metrics, per-stream lateness
+  // timelines (MSU side), per-port delivery stats (client side). Everything
+  // integer-valued and sorted, so equal-seed runs compare bit-identical.
+  ClusterReport BuildClusterReport();
+
  private:
   Status InstallFile(const std::string& file_name, const PacketSequence& packets,
                      size_t msu_index, int disk, IbTreeFile* out_image);
 
   InstallationConfig config_;
   Simulator sim_;
+  // Declared before the subsystems that publish into them (and therefore
+  // destroyed after them): attach hands out raw instrument pointers.
+  MetricsRegistry metrics_;
+  TraceRecorder trace_{sim_};
+  std::string trace_path_;
   Network network_;
   std::unique_ptr<Machine> coordinator_machine_;
   NetNode* coordinator_node_ = nullptr;

@@ -1,5 +1,6 @@
 #include "src/client/client.h"
 
+#include <algorithm>
 #include <utility>
 
 #include "src/msu/msu.h"  // MediaDatagramPayload
@@ -157,6 +158,12 @@ ClientDisplayPort* CalliopeClient::FindPort(const std::string& name) {
   return it == ports_.end() ? nullptr : it->second.get();
 }
 
+void CalliopeClient::ForEachPort(const std::function<void(const ClientDisplayPort&)>& fn) const {
+  for (const auto& [name, port] : ports_) {
+    fn(*port);
+  }
+}
+
 void CalliopeClient::OnMediaDatagram(ClientDisplayPort& port, const Datagram& datagram) {
   auto payload = std::static_pointer_cast<const MediaDatagramPayload>(datagram.payload);
   if (payload == nullptr) {
@@ -174,6 +181,10 @@ void CalliopeClient::OnMediaDatagram(ClientDisplayPort& port, const Datagram& da
     if (port.first_arrival_ == SimTime()) {
       port.first_arrival_ = sim().Now();
     }
+    if (port.last_arrival_ != SimTime()) {
+      port.max_arrival_gap_ = std::max(port.max_arrival_gap_, sim().Now() - port.last_arrival_);
+    }
+    port.last_arrival_ = sim().Now();
     ++port.packets_received_;
     port.arrival_lateness_.Record(lateness);
     if (lateness > port.buffer_allowance_) {

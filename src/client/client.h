@@ -12,6 +12,7 @@
 #ifndef CALLIOPE_SRC_CLIENT_CLIENT_H_
 #define CALLIOPE_SRC_CLIENT_CLIENT_H_
 
+#include <functional>
 #include <map>
 #include <memory>
 #include <optional>
@@ -50,6 +51,10 @@ class ClientDisplayPort {
   // increasing sequence numbers, so any arrival at or below the last seen
   // seq is a reordering (drops only make gaps). Chaos-test invariant: 0.
   int64_t out_of_order() const { return out_of_order_; }
+  // Longest silence between consecutive media packets — the client-visible
+  // "delivery gap" across a failover or fault window. Zero until two packets
+  // have arrived.
+  SimTime max_arrival_gap() const { return max_arrival_gap_; }
 
   // Optional explicit decoder-buffer simulation (§2.2.1): attach before
   // playback to measure glitches/overflows for a concrete buffer size.
@@ -72,6 +77,8 @@ class ClientDisplayPort {
   int64_t control_packets_received_ = 0;
   Bytes bytes_received_;
   LatenessHistogram arrival_lateness_;
+  SimTime last_arrival_;
+  SimTime max_arrival_gap_;
   int64_t glitches_ = 0;
   std::map<StreamId, int64_t> last_seq_;
   int64_t out_of_order_ = 0;
@@ -113,6 +120,8 @@ class CalliopeClient {
                                                        std::vector<std::string> component_ports);
   Co<Status> UnregisterPort(std::string name);
   ClientDisplayPort* FindPort(const std::string& name);
+  // Visits registered display ports in name order (ClusterReport assembly).
+  void ForEachPort(const std::function<void(const ClientDisplayPort&)>& fn) const;
 
   // Content operations. On success the returned group id addresses VCR
   // commands; `queued` reports the Coordinator queued the request.

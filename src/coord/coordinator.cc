@@ -21,6 +21,58 @@ Coordinator::Coordinator(Machine& machine, NetNode& node, Catalog catalog,
   (void)node_->ListenTcp(params_.listen_port, [this](TcpConn* conn) { OnAccept(conn); });
 }
 
+void Coordinator::AttachObservability(MetricsRegistry* metrics, TraceRecorder* trace) {
+  metrics_ = metrics;
+  trace_ = trace;
+  if (metrics_ == nullptr) {
+    admit_accepted_ = nullptr;
+    admit_rejected_ = nullptr;
+    admit_queued_ = nullptr;
+    failover_groups_ = nullptr;
+    recordings_lost_ = nullptr;
+    return;
+  }
+  admit_accepted_ = &metrics_->counter("coord.admissions.accepted");
+  admit_rejected_ = &metrics_->counter("coord.admissions.rejected");
+  admit_queued_ = &metrics_->counter("coord.admissions.queued");
+  failover_groups_ = &metrics_->counter("coord.failover.groups");
+  recordings_lost_ = &metrics_->counter("coord.failover.recordings_lost");
+  metrics_->SetGaugeCallback("coord.requests.handled", [this] { return requests_handled_; });
+  metrics_->SetGaugeCallback("coord.pending.depth",
+                             [this] { return static_cast<int64_t>(pending_.size()); });
+  metrics_->SetGaugeCallback("coord.streams.active",
+                             [this] { return static_cast<int64_t>(active_streams_.size()); });
+  metrics_->SetGaugeCallback("coord.msus.up", [this] {
+    int64_t up = 0;
+    for (const auto& [name, msu] : msus_) {
+      if (ledger_.IsUp(name)) {
+        ++up;
+      }
+    }
+    return up;
+  });
+}
+
+void Coordinator::RecordAdmission(const char* kind, const PendingRequest& request,
+                                  const Status& outcome, SimTime start) {
+  if (metrics_ != nullptr) {
+    if (outcome.ok()) {
+      admit_accepted_->Add();
+    } else if (outcome.code() == StatusCode::kResourceExhausted) {
+      admit_queued_->Add();
+    } else {
+      admit_rejected_->Add();
+    }
+  }
+  if (trace_ != nullptr) {
+    const char* verdict = outcome.ok() ? "accepted"
+                          : outcome.code() == StatusCode::kResourceExhausted ? "queued"
+                                                                             : "rejected";
+    trace_->Span("coordinator", "coord", std::string("admit:") + kind, start,
+                 request.content + " group " + std::to_string(request.group) + " " + verdict);
+  }
+}
+
 void Coordinator::OnAccept(TcpConn* conn) {
   conn->set_request_handler(
       [this, conn](const MessageBody& body) -> Co<MessageBody> {
@@ -82,6 +134,10 @@ void Coordinator::Crash() {
   // first so the resulting connection breakage (including our own MSU conns)
   // is not misread as MSU failures needing failover.
   crashed_ = true;
+  if (trace_ != nullptr) {
+    trace_->Instant("coordinator", "coord", "crash",
+                    std::to_string(active_streams_.size()) + " streams forgotten");
+  }
   node_->SetDown(true);
   msus_.clear();
   sessions_.clear();
@@ -108,6 +164,9 @@ void Coordinator::Restart() {
   }
   node_->SetDown(false);  // the TCP listener survives on the node
   crashed_ = false;
+  if (trace_ != nullptr) {
+    trace_->Instant("coordinator", "coord", "restart");
+  }
 }
 
 void Coordinator::OnConnClosed(TcpConn* conn) {
@@ -475,7 +534,9 @@ Co<MessageBody> Coordinator::HandlePlay(TcpConn* conn, const PlayRequest& reques
   pending.port = port->second;
   pending.group = next_group_++;
 
+  const SimTime admit_start = machine_->sim().Now();
   const Status started = co_await TryStartGroup(pending);
+  RecordAdmission("play", pending, started, admit_start);
   if (started.ok()) {
     co_return MessageBody{PlayResponse{true, "", pending.group, false}};
   }
@@ -516,7 +577,9 @@ Co<MessageBody> Coordinator::HandleRecord(TcpConn* conn, const RecordRequest& re
   pending.port = port->second;
   pending.group = next_group_++;
 
+  const SimTime admit_start = machine_->sim().Now();
   const Status started = co_await TryStartGroup(pending);
+  RecordAdmission("record", pending, started, admit_start);
   if (started.ok()) {
     co_return MessageBody{RecordResponse{true, "", pending.group, false}};
   }
@@ -599,6 +662,22 @@ Co<MessageBody> Coordinator::HandleMsuRegister(TcpConn* conn, const MsuRegisterR
   msu.node = request.msu_node;
   msu.conn = conn;
   ledger_.RegisterMsu(request.msu_node, request.disk_count, request.free_space);
+  if (metrics_ != nullptr) {
+    // Per-disk ledger gauges; SetGaugeCallback overwrites on re-registration
+    // so MSU restarts do not stack stale callbacks.
+    const std::string prefix = "coord.ledger." + request.msu_node + ".";
+    for (int d = 0; d < request.disk_count; ++d) {
+      metrics_->SetGaugeCallback(
+          prefix + "disk" + std::to_string(d) + ".reserved_kbps",
+          [this, node = request.msu_node, d] { return ledger_.DiskLoad(node, d).bits_per_sec() / 1000; });
+    }
+    metrics_->SetGaugeCallback(prefix + "free_mib", [this, node = request.msu_node] {
+      return ledger_.FreeSpace(node).count() / (1024 * 1024);
+    });
+  }
+  if (trace_ != nullptr) {
+    trace_->Instant("coordinator", "coord", "msu-register", request.msu_node);
+  }
   RetryPendingQueue();
   co_return MessageBody{SimpleResponse{true, ""}};
 }
@@ -674,6 +753,9 @@ void Coordinator::HandleProgressReport(const StreamProgressReport& report) {
 void Coordinator::MarkMsuDown(MsuInfo& msu) {
   msu.conn = nullptr;
   ledger_.MarkDown(msu.node);
+  if (trace_ != nullptr) {
+    trace_->Instant("coordinator", "coord", "msu-down", msu.node);
+  }
 
   // Partition the failed MSU's streams by group (every member of a group
   // lives on one MSU, so a group is lost whole or not at all).
@@ -715,6 +797,9 @@ void Coordinator::MarkMsuDown(MsuInfo& msu) {
       if (have_request && resume.record) {
         (void)catalog_.RemoveContent(resume.content);  // composite parent, if any
       }
+      if (recordings_lost_ != nullptr) {
+        recordings_lost_->Add();
+      }
       CALLIOPE_LOG(kWarning, "coord")
           << "MSU " << msu.node << " failed; recording group " << group << " lost";
       if (have_request) {
@@ -733,6 +818,7 @@ void Coordinator::MarkMsuDown(MsuInfo& msu) {
 }
 
 Task Coordinator::FailoverGroup(PendingRequest request) {
+  const SimTime failover_start = machine_->sim().Now();
   // Let the failure event settle (broken conns, ledger state) before
   // re-placing the group.
   co_await machine_->sim().Yield();
@@ -743,7 +829,17 @@ Task Coordinator::FailoverGroup(PendingRequest request) {
     co_return;  // client went away; nobody is watching this group
   }
   const Status started = co_await TryStartGroup(request);
+  if (trace_ != nullptr) {
+    const char* verdict = started.ok() ? "resumed"
+                          : started.code() == StatusCode::kResourceExhausted ? "queued"
+                                                                             : "failed";
+    trace_->Span("coordinator", "coord", "failover", failover_start,
+                 "group " + std::to_string(request.group) + " " + verdict);
+  }
   if (started.ok()) {
+    if (failover_groups_ != nullptr) {
+      failover_groups_->Add();
+    }
     CALLIOPE_LOG(kInfo, "coord") << "group " << request.group
                                  << " failed over to a surviving replica";
     co_return;
@@ -789,7 +885,12 @@ Task Coordinator::RetryPendingQueue() {
     if (!FindSession(request.session).ok()) {
       continue;  // client went away while queued
     }
+    const SimTime admit_start = machine_->sim().Now();
     const Status started = co_await TryStartGroup(request);
+    if (started.code() != StatusCode::kResourceExhausted) {
+      // A still-exhausted retry stays queued and was already counted once.
+      RecordAdmission("retry", request, started, admit_start);
+    }
     if (started.code() == StatusCode::kResourceExhausted) {
       still_waiting.push_back(std::move(request));
     } else if (!started.ok()) {

@@ -21,6 +21,8 @@
 #include "src/hw/machine.h"
 #include "src/ibtree/ibtree.h"
 #include "src/net/network.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 #include "src/place/ledger.h"
 #include "src/place/policy.h"
 
@@ -72,6 +74,11 @@ class Coordinator {
   Bytes MsuFreeSpace(const std::string& msu) const;
   const ResourceLedger& ledger() const { return ledger_; }
   const char* placement_policy_name() const { return policy_->name(); }
+
+  // Publishes admission/failover/ledger instruments into `metrics` and
+  // scheduling events into `trace`. Either may be null (standalone
+  // construction in unit tests).
+  void AttachObservability(MetricsRegistry* metrics, TraceRecorder* trace);
 
  private:
   // Connection bookkeeping only; capacity and load live in the ledger.
@@ -178,6 +185,10 @@ class Coordinator {
   // space estimates and candidate copies.
   Result<PlacementSpec> BuildPlacementSpec(const PendingRequest& request,
                                            const std::vector<Component>& components);
+  // Admission outcome bookkeeping shared by the play/record/retry paths:
+  // bumps the right counter and emits an "admit" span for the decision.
+  void RecordAdmission(const char* kind, const PendingRequest& request, const Status& outcome,
+                       SimTime start);
 
   Machine* machine_;
   NetNode* node_;
@@ -200,6 +211,16 @@ class Coordinator {
   int64_t requests_handled_ = 0;
   bool retry_scheduled_ = false;
   bool crashed_ = false;
+
+  // Observability (null when not attached). Counter pointers are cached once
+  // at attach time; callbacks pull gauges at snapshot time.
+  MetricsRegistry* metrics_ = nullptr;
+  TraceRecorder* trace_ = nullptr;
+  Counter* admit_accepted_ = nullptr;
+  Counter* admit_rejected_ = nullptr;
+  Counter* admit_queued_ = nullptr;
+  Counter* failover_groups_ = nullptr;
+  Counter* recordings_lost_ = nullptr;
 };
 
 }  // namespace calliope

@@ -194,9 +194,30 @@ void FaultInjector::AttachCoordinator(Coordinator* coordinator, std::string coor
   coordinator_node_ = std::move(coordinator_node);
 }
 
+void FaultInjector::AttachObservability(MetricsRegistry* metrics, TraceRecorder* recorder) {
+  metrics_ = metrics;
+  recorder_ = recorder;
+  if (metrics_ == nullptr) {
+    return;
+  }
+  metrics_->SetGaugeCallback("fault.disk_errors", [this] { return disk_errors_; });
+  metrics_->SetGaugeCallback("fault.disk_slowdowns", [this] { return disk_slowdowns_; });
+  metrics_->SetGaugeCallback("fault.datagrams_dropped", [this] { return datagrams_dropped_; });
+  metrics_->SetGaugeCallback("fault.datagrams_delayed", [this] { return datagrams_delayed_; });
+  metrics_->SetGaugeCallback("fault.msu_crashes", [this] { return msu_crashes_; });
+  metrics_->SetGaugeCallback("fault.coordinator_restarts",
+                             [this] { return coordinator_restarts_; });
+}
+
 void FaultInjector::Trace(const std::string& line) {
   if (trace_) {
     trace_("t=" + sim_->Now().ToString() + " " + line);
+  }
+  if (recorder_ != nullptr) {
+    // First token as the event name, full line as detail.
+    const size_t space = line.find(' ');
+    recorder_->Instant("fault", "fault",
+                       space == std::string::npos ? line : line.substr(0, space), line);
   }
 }
 
@@ -238,6 +259,13 @@ Status FaultInjector::Arm(FaultPlan plan) {
 
   for (const FaultEvent& event : plan_.events) {
     Trace("arm: " + event.ToString());
+    if (recorder_ != nullptr && event.duration > SimTime() &&
+        event.what != FaultClass::kMsuCrash && event.what != FaultClass::kCoordinatorRestart) {
+      // Window faults are fully known at arm time: emit the whole window as a
+      // span so the outage renders as a block in the trace viewer.
+      recorder_->SpanAt("fault", "fault", FaultClassName(event.what), event.at, event.duration,
+                        event.ToString());
+    }
     if (event.what == FaultClass::kMsuCrash) {
       Msu* msu = msus_[event.node];
       const std::string node = event.node;

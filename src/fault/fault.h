@@ -27,6 +27,8 @@
 #include "src/hw/disk.h"
 #include "src/msu/msu.h"
 #include "src/net/network.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 #include "src/util/rng.h"
 #include "src/util/status.h"
 
@@ -109,6 +111,11 @@ class FaultInjector {
   // when they first bite. Useful as part of a determinism fingerprint.
   void set_trace(std::function<void(const std::string&)> sink) { trace_ = std::move(sink); }
 
+  // Publishes effect counters into `metrics` and arm/fire events (plus the
+  // planned fault windows as spans) into `recorder`. Either may be null.
+  // Call before Arm() so the window spans are emitted.
+  void AttachObservability(MetricsRegistry* metrics, TraceRecorder* recorder);
+
   Status Arm(FaultPlan plan);
   const FaultPlan& plan() const { return plan_; }
   bool armed() const { return armed_; }
@@ -138,6 +145,8 @@ class FaultInjector {
   Coordinator* coordinator_ = nullptr;
   std::string coordinator_node_;
   std::function<void(const std::string&)> trace_;
+  MetricsRegistry* metrics_ = nullptr;
+  TraceRecorder* recorder_ = nullptr;
   // FIFO clamp per (src,dst): the sim time at which the last datagram on the
   // pair was released onto the wire; later sends never release earlier.
   std::map<std::pair<std::string, std::string>, SimTime> last_release_;

@@ -39,6 +39,36 @@ Msu::Msu(Machine& machine, NetNode& node, MsuParams params)
   ProgressReporter();
 }
 
+void Msu::AttachObservability(MetricsRegistry* metrics, TraceRecorder* trace) {
+  metrics_ = metrics;
+  trace_ = trace;
+  if (metrics_ == nullptr) {
+    packets_sent_metric_ = nullptr;
+    packets_late_metric_ = nullptr;
+    buffer_stalls_metric_ = nullptr;
+    blocks_read_metric_ = nullptr;
+    blocks_written_metric_ = nullptr;
+    ibtree_reads_metric_ = nullptr;
+    send_lateness_us_ = nullptr;
+    return;
+  }
+  const std::string prefix = "msu." + node_->name() + ".";
+  packets_sent_metric_ = &metrics_->counter(prefix + "packets_sent");
+  packets_late_metric_ = &metrics_->counter(prefix + "packets_late");
+  buffer_stalls_metric_ = &metrics_->counter(prefix + "buffer_stalls");
+  blocks_read_metric_ = &metrics_->counter(prefix + "blocks_read");
+  blocks_written_metric_ = &metrics_->counter(prefix + "blocks_written");
+  ibtree_reads_metric_ = &metrics_->counter(prefix + "ibtree_internal_reads");
+  send_lateness_us_ = &metrics_->histogram(prefix + "send_lateness_us");
+  metrics_->SetGaugeCallback(prefix + "streams.active",
+                             [this] { return static_cast<int64_t>(streams_.size()); });
+  for (size_t d = 0; d < machine_->disk_count(); ++d) {
+    metrics_->SetGaugeCallback(prefix + "disk" + std::to_string(d) + ".slots", [this, d] {
+      return static_cast<int64_t>(duty_cycle_.active_streams(static_cast<int>(d)));
+    });
+  }
+}
+
 Task Msu::DiskProcess(int disk_index) {
   // "The MSU services the customers for each disk in a round-robin fashion":
   // one block of service per stream per pass, in stream-id order.
@@ -241,7 +271,33 @@ Co<MessageBody> Msu::HandleStartStream(MsuStartStream request) {
   co_return MessageBody{MsuStartStreamResponse{true, ""}};
 }
 
+namespace {
+
+const char* VcrOpName(VcrCommand::Op op) {
+  switch (op) {
+    case VcrCommand::Op::kPlay:
+      return "play";
+    case VcrCommand::Op::kPause:
+      return "pause";
+    case VcrCommand::Op::kSeek:
+      return "seek";
+    case VcrCommand::Op::kFastForward:
+      return "ff";
+    case VcrCommand::Op::kFastBackward:
+      return "fb";
+    case VcrCommand::Op::kQuit:
+      return "quit";
+  }
+  return "?";
+}
+
+}  // namespace
+
 Co<MessageBody> Msu::HandleVcr(VcrCommand command) {
+  if (trace_ != nullptr) {
+    trace_->Instant(node_->name(), "msu", std::string("vcr:") + VcrOpName(command.op),
+                    "group " + std::to_string(command.group));
+  }
   auto group_it = groups_.find(command.group);
   if (group_it == groups_.end()) {
     co_return MessageBody{VcrAck{false, "no such stream group"}};
@@ -294,6 +350,12 @@ void Msu::OnStreamFinished(MsuStream* stream) {
   auto it = streams_.find(stream->id());
   if (it == streams_.end()) {
     return;  // already finished
+  }
+  if (trace_ != nullptr) {
+    trace_->Span(node_->name(), "msu",
+                 (stream->mode() == MsuStream::Mode::kRecord ? "record:" : "play:") +
+                     stream->file_name(),
+                 stream->start_time(), "stream " + std::to_string(stream->id()) + " quiesced");
   }
   duty_cycle_.Release(stream->disk(), stream->rate_);
   buffer_pool_.Release();
@@ -370,9 +432,19 @@ Task Msu::ProgressReporter() {
 
 void Msu::Crash() {
   crashed_ = true;
+  if (trace_ != nullptr) {
+    trace_->Instant(node_->name(), "msu", "crash",
+                    std::to_string(streams_.size()) + " streams cut");
+  }
   // Streams die with the process; content on disk survives.
   for (auto& [id, stream] : streams_) {
     stream->StopInternal();
+    if (trace_ != nullptr) {
+      trace_->Span(node_->name(), "msu",
+                   (stream->mode() == MsuStream::Mode::kRecord ? "record:" : "play:") +
+                       stream->file_name(),
+                   stream->start_time(), "stream " + std::to_string(id) + " cut by crash");
+    }
     finished_streams_[id] = std::move(stream);
   }
   streams_.clear();
@@ -413,6 +485,9 @@ Task Msu::ReconnectLoop() {
 Co<Status> Msu::Restart(std::string coordinator_node) {
   node_->SetDown(false);
   crashed_ = false;
+  if (trace_ != nullptr) {
+    trace_->Instant(node_->name(), "msu", "restart");
+  }
   // Crash recovery: recordings interrupted by the crash left uncommitted
   // files whose data is unusable. Reclaim their space before reporting
   // capacity to the Coordinator, so its ledger matches reality.
@@ -450,6 +525,15 @@ LatenessHistogram Msu::AggregateLateness() const {
 }
 
 int Msu::active_stream_count() const { return static_cast<int>(streams_.size()); }
+
+void Msu::ForEachStream(const std::function<void(const MsuStream&, bool finished)>& fn) const {
+  for (const auto& [id, stream] : streams_) {
+    fn(*stream, false);
+  }
+  for (const auto& [id, stream] : finished_streams_) {
+    fn(*stream, true);
+  }
+}
 
 MsuStream* Msu::FindStream(StreamId id) {
   auto it = streams_.find(id);

@@ -10,6 +10,7 @@
 #define CALLIOPE_SRC_MSU_MSU_H_
 
 #include <deque>
+#include <functional>
 #include <map>
 #include <memory>
 #include <string>
@@ -18,6 +19,8 @@
 #include "src/fs/msu_fs.h"
 #include "src/hw/machine.h"
 #include "src/net/network.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 #include "src/proto/protocol.h"
 #include "src/sched/duty_cycle.h"
 #include "src/sim/condition.h"
@@ -58,6 +61,7 @@ class MsuStream {
   Bytes bytes_moved() const { return bytes_moved_; }
   int64_t packets_sent() const { return packets_sent_; }
   const LatenessHistogram& lateness() const { return lateness_; }
+  SimTime start_time() const { return start_time_; }
 
   // VCR surface (applied by the MSU's control process). Seek and variant
   // switches are awaitable: they traverse IB-tree internal pages on disk.
@@ -126,6 +130,7 @@ class MsuStream {
   Condition record_pages_ready_;
 
   // Stats.
+  SimTime start_time_;  // sim time the stream object was created
   Bytes bytes_moved_;
   int64_t packets_sent_ = 0;
   LatenessHistogram lateness_;
@@ -183,6 +188,14 @@ class Msu {
   int active_stream_count() const;
   MsuStream* FindStream(StreamId id);
 
+  // Visits every stream this MSU has served, live then finished, in stream-id
+  // order (for ClusterReport assembly).
+  void ForEachStream(const std::function<void(const MsuStream&, bool finished)>& fn) const;
+
+  // Publishes per-MSU counters/gauges into `metrics` and stream/disk events
+  // into `trace`. Either may be null (standalone construction in unit tests).
+  void AttachObservability(MetricsRegistry* metrics, TraceRecorder* trace);
+
  private:
   friend class MsuStream;
 
@@ -223,6 +236,18 @@ class Msu {
   bool reconnect_pending_ = false;
   bool crashed_ = false;
   StreamId next_local_stream_id_ = 1000000;  // for locally-initiated streams
+
+  // Observability (null when not attached). Instrument pointers are cached
+  // once at attach time so the per-packet path is a branch plus an add.
+  MetricsRegistry* metrics_ = nullptr;
+  TraceRecorder* trace_ = nullptr;
+  Counter* packets_sent_metric_ = nullptr;
+  Counter* packets_late_metric_ = nullptr;
+  Counter* buffer_stalls_metric_ = nullptr;
+  Counter* blocks_read_metric_ = nullptr;
+  Counter* blocks_written_metric_ = nullptr;
+  Counter* ibtree_reads_metric_ = nullptr;
+  Histogram* send_lateness_us_ = nullptr;
 };
 
 }  // namespace calliope

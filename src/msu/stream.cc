@@ -20,7 +20,8 @@ MsuStream::MsuStream(Msu& msu, const MsuStartStream& request,
       client_node_(request.client_node),
       client_udp_port_(request.client_udp_port),
       buffers_changed_(msu.sim()),
-      record_pages_ready_(msu.sim()) {}
+      record_pages_ready_(msu.sim()),
+      start_time_(msu.sim().Now()) {}
 
 bool MsuStream::NeedsDiskService() const {
   if (state_ == State::kStopped) {
@@ -39,6 +40,7 @@ Co<bool> MsuStream::ServiceDisk() {
   }
   if (mode_ == Mode::kPlay) {
     const size_t target = next_page_to_read_;
+    const SimTime service_start = msu_->sim().Now();
     auto page = co_await msu_->fs().ReadPage(file_, target);
     if (!page.ok()) {
       if (page.status().code() == StatusCode::kDataLoss) {
@@ -48,6 +50,13 @@ Co<bool> MsuStream::ServiceDisk() {
         msu_->OnStreamFinished(this);
       }
       co_return false;
+    }
+    if (msu_->blocks_read_metric_ != nullptr) {
+      msu_->blocks_read_metric_->Add();
+    }
+    if (msu_->trace_ != nullptr) {
+      msu_->trace_->Span(msu_->node().name() + ".disk" + std::to_string(disk_), "msu",
+                         "read-block", service_start, "stream " + std::to_string(id_));
     }
     // A seek may have moved the cursor while the read was in flight; only
     // keep the page if it is still the one the stream wants next.
@@ -63,11 +72,19 @@ Co<bool> MsuStream::ServiceDisk() {
   // Recording: flush one closed page (write-behind).
   record_write_in_flight_ = true;
   const auto page_index = static_cast<int64_t>(pages_written_);
+  const SimTime service_start = msu_->sim().Now();
   const Status written = co_await msu_->fs().WriteNextPage(file_, page_index);
   record_write_in_flight_ = false;
   if (written.ok()) {
     ++pages_written_;
     bytes_moved_ += kDataPageSize;
+    if (msu_->blocks_written_metric_ != nullptr) {
+      msu_->blocks_written_metric_->Add();
+    }
+    if (msu_->trace_ != nullptr) {
+      msu_->trace_->Span(msu_->node().name() + ".disk" + std::to_string(disk_), "msu",
+                         "write-block", service_start, "stream " + std::to_string(id_));
+    }
   }
   record_pages_ready_.NotifyAll();
   co_return true;
@@ -99,6 +116,11 @@ Task MsuStream::PlaybackLoop() {
     if (prefetched_.empty()) {
       if (file_ == nullptr || play_page_ >= file_->image().page_count()) {
         break;  // end of content
+      }
+      // Running with no prefetched page: the network process is starved
+      // waiting on the disk (startup fill or a genuine double-buffer miss).
+      if (msu_->buffer_stalls_metric_ != nullptr) {
+        msu_->buffer_stalls_metric_->Add();
       }
       msu_->disk_work_[static_cast<size_t>(disk_)]->NotifyAll();
       co_await buffers_changed_.Wait();
@@ -160,8 +182,20 @@ Task MsuStream::PlaybackLoop() {
       if (state_ != State::kRunning || position_gen_ != gen_before) {
         continue;
       }
-      lateness_.Record(msu_->sim().Now() - deadline);
+      const SimTime lateness = msu_->sim().Now() - deadline;
+      lateness_.Record(lateness);
       ++packets_sent_;
+      if (packets_sent_ == 1 && msu_->trace_ != nullptr) {
+        msu_->trace_->Instant(msu_->node().name(), "msu", "first-packet",
+                              "stream " + std::to_string(id_));
+      }
+      if (msu_->packets_sent_metric_ != nullptr) {
+        msu_->packets_sent_metric_->Add();
+        if (lateness > SimTime()) {
+          msu_->packets_late_metric_->Add();
+        }
+        msu_->send_lateness_us_->Record(std::max<int64_t>(lateness.micros(), 0));
+      }
     }
     ++send_seq_;
     ++play_record_;
@@ -210,6 +244,7 @@ Co<Status> MsuStream::SeekTo(SimTime media_offset) {
   if (file_ == nullptr) {
     co_return FailedPreconditionError("no file attached");
   }
+  const SimTime seek_start = msu_->sim().Now();
   auto target = file_->image().Seek(media_offset);
   if (!target.ok()) {
     co_return target.status();
@@ -220,6 +255,14 @@ Co<Status> MsuStream::SeekTo(SimTime media_offset) {
     if (!read.ok()) {
       co_return read.status();
     }
+  }
+  if (msu_->ibtree_reads_metric_ != nullptr) {
+    msu_->ibtree_reads_metric_->Add(static_cast<int64_t>(target->internal_pages_read.size()));
+  }
+  if (msu_->trace_ != nullptr) {
+    msu_->trace_->Span(msu_->node().name(), "msu", "seek", seek_start,
+                       "stream " + std::to_string(id_) + " -> " +
+                           std::to_string(media_offset.millis()) + "ms");
   }
   prefetched_.clear();
   play_page_ = target->page_index;

@@ -58,6 +58,8 @@ Co<Result<Envelope>> TcpConn::Call(MessageArg body, SimTime timeout) {
   if (timeout == SimTime()) {
     timeout = network_->params().rpc_timeout;
   }
+  const char* rpc_name = MessageName(body.value);
+  const SimTime rpc_start = network_->sim().Now();
   const uint64_t id = next_rpc_id_++;
   auto pending = std::make_shared<PendingCall>(network_->sim());
   pending_calls_[id] = pending;
@@ -66,6 +68,7 @@ Co<Result<Envelope>> TcpConn::Call(MessageArg body, SimTime timeout) {
   const Status sent = co_await SendInternal(std::move(request_envelope), false);
   if (!sent.ok()) {
     pending_calls_.erase(id);
+    TraceRpc(rpc_name, rpc_start, "send-failed");
     co_return Result<Envelope>(sent);
   }
   EventToken timer = network_->sim().ScheduleCancelableAt(
@@ -79,12 +82,24 @@ Co<Result<Envelope>> TcpConn::Call(MessageArg body, SimTime timeout) {
   timer.Cancel();
   pending_calls_.erase(id);
   if (pending->result != nullptr) {
+    TraceRpc(rpc_name, rpc_start, "ok");
     co_return Result<Envelope>(std::move(*pending->result));
   }
   if (state_ != State::kOpen) {
+    TraceRpc(rpc_name, rpc_start, "broken");
     co_return Result<Envelope>(UnavailableError("connection broke during call"));
   }
+  TraceRpc(rpc_name, rpc_start, "timeout");
   co_return Result<Envelope>(DeadlineExceededError("rpc timed out"));
+}
+
+void TcpConn::TraceRpc(const char* name, SimTime start, const char* outcome) {
+  TraceRecorder* tracer = network_->trace();
+  if (tracer == nullptr || !tracer->enabled()) {
+    return;
+  }
+  tracer->Span("net", "net", std::string("rpc:") + name, start,
+               local_node_ + "->" + peer_node_ + " " + outcome);
 }
 
 void TcpConn::Close() {
@@ -163,6 +178,9 @@ void TcpConn::MarkDead(State state) {
     return;
   }
   state_ = state;
+  if (state == State::kBroken && network_->trace() != nullptr) {
+    network_->trace()->Instant("net", "net", "conn-broken", local_node_ + "->" + peer_node_);
+  }
   for (auto& [id, pending] : pending_calls_) {
     pending->failed = true;
     pending->cond.NotifyAll();
@@ -282,6 +300,21 @@ void NetNode::HandleReceivedDatagram(const Datagram& datagram) {
 Network::Network(Simulator& sim, NetworkParams params)
     : sim_(&sim), params_(params), fault_rng_(params.fault_seed) {}
 
+void Network::AttachObservability(MetricsRegistry* metrics, TraceRecorder* trace) {
+  metrics_ = metrics;
+  trace_ = trace;
+  if (metrics_ == nullptr) {
+    datagrams_sent_ = nullptr;
+    return;
+  }
+  datagrams_sent_ = &metrics_->counter("net.datagrams.sent");
+  metrics_->SetGaugeCallback("net.bytes.intra", [this] { return intra_bytes_.count(); });
+  metrics_->SetGaugeCallback("net.bytes.delivery", [this] { return delivery_bytes_.count(); });
+  metrics_->SetGaugeCallback("net.udp.dropped", [this] { return udp_dropped_; });
+  metrics_->SetGaugeCallback("net.fault.dropped", [this] { return fault_dropped_; });
+  metrics_->SetGaugeCallback("net.fault.delayed", [this] { return fault_delayed_; });
+}
+
 NetNode* Network::AddNode(const std::string& name, Machine* machine, bool on_intra) {
   assert(!nodes_.contains(name));
   auto node = std::unique_ptr<NetNode>(new NetNode(this, name, machine, on_intra));
@@ -358,6 +391,9 @@ Co<bool> Network::Transmit(Datagram datagram, bool blocking) {
     intra_bytes_ += wire_size;
   } else {
     delivery_bytes_ += wire_size;
+  }
+  if (datagrams_sent_ != nullptr) {
+    datagrams_sent_->Add();
   }
   Frame frame;
   frame.size = wire_size;

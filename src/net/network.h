@@ -23,6 +23,8 @@
 
 #include "src/hw/machine.h"
 #include "src/net/message.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 #include "src/sim/co.h"
 #include "src/sim/condition.h"
 #include "src/sim/task.h"
@@ -128,6 +130,7 @@ class TcpConn {
           std::string peer_node, int peer_port);
 
   Co<Status> SendInternal(Envelope envelope, bool fin);
+  void TraceRpc(const char* name, SimTime start, const char* outcome);
   void HandleIncoming(const Datagram& datagram);
   void DeliverInOrder(const Envelope& envelope);
   Task RunRequestHandler(Envelope request);
@@ -239,6 +242,11 @@ class Network {
   int64_t fault_dropped() const { return fault_dropped_; }
   int64_t fault_delayed() const { return fault_delayed_; }
 
+  // Publishes fabric counters into `metrics` and RPC/connection events into
+  // `trace`. Either may be null (standalone construction in unit tests).
+  void AttachObservability(MetricsRegistry* metrics, TraceRecorder* trace);
+  TraceRecorder* trace() { return trace_; }
+
  private:
   friend class NetNode;
   friend class TcpConn;
@@ -267,6 +275,9 @@ class Network {
   LinkFaultHook fault_hook_;
   int64_t fault_dropped_ = 0;
   int64_t fault_delayed_ = 0;
+  MetricsRegistry* metrics_ = nullptr;
+  TraceRecorder* trace_ = nullptr;
+  Counter* datagrams_sent_ = nullptr;  // cached; non-null iff metrics_ attached
   DataRate intra_rate_ = DataRate::MegabitsPerSec(10);
   DataRate delivery_rate_ = DataRate::MegabitsPerSec(100);
 };

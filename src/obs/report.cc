@@ -1,0 +1,94 @@
+#include "src/obs/report.h"
+
+#include "src/util/table.h"
+
+namespace calliope {
+namespace {
+
+void AppendJsonString(std::string& out, const std::string& value) {
+  out += '"';
+  for (const char c : value) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        out += c;
+    }
+  }
+  out += '"';
+}
+
+}  // namespace
+
+std::string ClusterReport::ToText() const {
+  std::string out = "== cluster report ==\n";
+  out += metrics.ToText();
+  if (!streams.empty()) {
+    AsciiTable table({"stream", "group", "msu", "disk", "file", "mode", "state", "pkts", "late",
+                      "p50us", "p99us", "maxus"});
+    for (const auto& s : streams) {
+      table.AddRow({std::to_string(s.stream_id), std::to_string(s.group_id), s.msu,
+                    std::to_string(s.disk), s.file, s.recording ? "rec" : "play",
+                    s.finished ? "done" : "live", std::to_string(s.packets_sent),
+                    std::to_string(s.packets_late), std::to_string(s.p50_lateness_us),
+                    std::to_string(s.p99_lateness_us), std::to_string(s.max_lateness_us)});
+    }
+    out += table.Render();
+  }
+  if (!ports.empty()) {
+    AsciiTable table({"client", "port", "pkts", "ooo", "glitches", "maxgapus"});
+    for (const auto& p : ports) {
+      table.AddRow({p.client, p.port, std::to_string(p.packets_received),
+                    std::to_string(p.out_of_order), std::to_string(p.glitches),
+                    std::to_string(p.max_gap_us)});
+    }
+    out += table.Render();
+  }
+  return out;
+}
+
+std::string ClusterReport::ToJson() const {
+  std::string out = "{\"metrics\":" + metrics.ToJson() + ",\"streams\":[";
+  bool first = true;
+  for (const auto& s : streams) {
+    if (!first) out += ',';
+    first = false;
+    out += "{\"stream\":" + std::to_string(s.stream_id) + ",\"group\":" +
+           std::to_string(s.group_id) + ",\"msu\":";
+    AppendJsonString(out, s.msu);
+    out += ",\"disk\":" + std::to_string(s.disk) + ",\"file\":";
+    AppendJsonString(out, s.file);
+    out += std::string(",\"recording\":") + (s.recording ? "true" : "false") +
+           ",\"finished\":" + (s.finished ? "true" : "false") +
+           ",\"packets_sent\":" + std::to_string(s.packets_sent) +
+           ",\"packets_late\":" + std::to_string(s.packets_late) +
+           ",\"p50_lateness_us\":" + std::to_string(s.p50_lateness_us) +
+           ",\"p99_lateness_us\":" + std::to_string(s.p99_lateness_us) +
+           ",\"max_lateness_us\":" + std::to_string(s.max_lateness_us) + "}";
+  }
+  out += "],\"ports\":[";
+  first = true;
+  for (const auto& p : ports) {
+    if (!first) out += ',';
+    first = false;
+    out += "{\"client\":";
+    AppendJsonString(out, p.client);
+    out += ",\"port\":";
+    AppendJsonString(out, p.port);
+    out += ",\"packets_received\":" + std::to_string(p.packets_received) +
+           ",\"out_of_order\":" + std::to_string(p.out_of_order) +
+           ",\"glitches\":" + std::to_string(p.glitches) +
+           ",\"max_gap_us\":" + std::to_string(p.max_gap_us) + "}";
+  }
+  out += "]}";
+  return out;
+}
+
+}  // namespace calliope

@@ -1,0 +1,71 @@
+// ClusterReport: one value-typed QoS snapshot of a whole installation.
+//
+// Installation::BuildClusterReport() fills it from the metrics registry plus
+// per-stream lateness timelines (MSU side) and per-port delivery stats
+// (client side). Everything is integer-valued and sorted, so reports from
+// runs with equal seeds compare bit-identical — the chaos harness asserts
+// exactly that, and dumps ToText()/ToJson() on invariant failures.
+#ifndef CALLIOPE_SRC_OBS_REPORT_H_
+#define CALLIOPE_SRC_OBS_REPORT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/obs/metrics.h"
+
+namespace calliope {
+
+// One stream's delivery timeline as the serving MSU saw it. Lateness
+// quantiles follow the LatenessHistogram underflow convention: early packets
+// count as exactly on time.
+struct StreamQosReport {
+  StreamQosReport() = default;
+
+  int64_t stream_id = 0;
+  int64_t group_id = 0;
+  std::string msu;
+  int disk = 0;
+  std::string file;
+  bool recording = false;
+  bool finished = false;
+  int64_t packets_sent = 0;
+  int64_t packets_late = 0;  // lateness strictly > 0 (sent after deadline)
+  int64_t p50_lateness_us = 0;
+  int64_t p99_lateness_us = 0;
+  int64_t max_lateness_us = 0;
+
+  bool operator==(const StreamQosReport&) const = default;
+};
+
+// One client display port's receive-side view. `max_gap_us` is the largest
+// inter-arrival gap between consecutive media packets — the visible delivery
+// gap when a stream fails over mid-play.
+struct PortQosReport {
+  PortQosReport() = default;
+
+  std::string client;
+  std::string port;
+  int64_t packets_received = 0;
+  int64_t out_of_order = 0;
+  int64_t glitches = 0;
+  int64_t max_gap_us = 0;
+
+  bool operator==(const PortQosReport&) const = default;
+};
+
+struct ClusterReport {
+  ClusterReport() = default;
+
+  MetricsSnapshot metrics;
+  std::vector<StreamQosReport> streams;  // sorted by stream_id
+  std::vector<PortQosReport> ports;      // sorted by (client, port)
+
+  std::string ToText() const;
+  std::string ToJson() const;
+  bool operator==(const ClusterReport&) const = default;
+};
+
+}  // namespace calliope
+
+#endif  // CALLIOPE_SRC_OBS_REPORT_H_

@@ -1,0 +1,145 @@
+#include "src/obs/trace.h"
+
+#include <cstdio>
+#include <utility>
+
+namespace calliope {
+namespace {
+
+void AppendJsonString(std::string& out, const std::string& value) {
+  out += '"';
+  for (const char c : value) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        out += c;
+    }
+  }
+  out += '"';
+}
+
+// trace_event timestamps are microseconds; keep nanosecond precision as a
+// fixed three-decimal fraction so events never collapse or reorder.
+void AppendMicros(std::string& out, SimTime t) {
+  char buf[40];
+  const int64_t nanos = t.nanos();
+  std::snprintf(buf, sizeof(buf), "%lld.%03lld", static_cast<long long>(nanos / 1000),
+                static_cast<long long>(nanos % 1000));
+  out += buf;
+}
+
+}  // namespace
+
+int TraceRecorder::TrackPid(const std::string& track) {
+  const auto it = track_pids_.find(track);
+  if (it != track_pids_.end()) {
+    return it->second;
+  }
+  const int pid = static_cast<int>(track_names_.size());
+  track_pids_[track] = pid;
+  track_names_.push_back(track);
+  return pid;
+}
+
+void TraceRecorder::Span(const std::string& track, const std::string& category,
+                         const std::string& name, SimTime start, const std::string& detail) {
+  if (!enabled_) {
+    return;
+  }
+  SpanAt(track, category, name, start, sim_->Now() - start, detail);
+}
+
+void TraceRecorder::SpanAt(const std::string& track, const std::string& category,
+                           const std::string& name, SimTime start, SimTime duration,
+                           const std::string& detail) {
+  if (!enabled_) {
+    return;
+  }
+  Event event;
+  event.phase = 'X';
+  event.pid = TrackPid(track);
+  event.category = category;
+  event.name = name;
+  event.detail = detail;
+  event.start = start;
+  event.duration = duration;
+  events_.push_back(std::move(event));
+}
+
+void TraceRecorder::Instant(const std::string& track, const std::string& category,
+                            const std::string& name, const std::string& detail) {
+  if (!enabled_) {
+    return;
+  }
+  Event event;
+  event.phase = 'i';
+  event.pid = TrackPid(track);
+  event.category = category;
+  event.name = name;
+  event.detail = detail;
+  event.start = sim_->Now();
+  events_.push_back(std::move(event));
+}
+
+std::string TraceRecorder::ToJson() const {
+  std::string out = "{\"traceEvents\":[";
+  bool first = true;
+  for (size_t pid = 0; pid < track_names_.size(); ++pid) {
+    if (!first) out += ',';
+    first = false;
+    out += "{\"ph\":\"M\",\"pid\":" + std::to_string(pid) +
+           ",\"name\":\"process_name\",\"args\":{\"name\":";
+    AppendJsonString(out, track_names_[pid]);
+    out += "}}";
+  }
+  for (const auto& event : events_) {
+    if (!first) out += ',';
+    first = false;
+    out += "{\"ph\":\"";
+    out += event.phase;
+    out += "\",\"pid\":" + std::to_string(event.pid) + ",\"tid\":0,\"cat\":";
+    AppendJsonString(out, event.category);
+    out += ",\"name\":";
+    AppendJsonString(out, event.name);
+    out += ",\"ts\":";
+    AppendMicros(out, event.start);
+    if (event.phase == 'X') {
+      out += ",\"dur\":";
+      AppendMicros(out, event.duration);
+    } else {
+      out += ",\"s\":\"p\"";  // process-scoped instant
+    }
+    if (!event.detail.empty()) {
+      out += ",\"args\":{\"detail\":";
+      AppendJsonString(out, event.detail);
+      out += '}';
+    }
+    out += '}';
+  }
+  out += "]}";
+  return out;
+}
+
+Status TraceRecorder::WriteFile(const std::string& path) const {
+  std::FILE* file = std::fopen(path.c_str(), "w");
+  if (file == nullptr) {
+    return Status(StatusCode::kUnavailable, "cannot open trace file " + path);
+  }
+  const std::string json = ToJson();
+  const size_t written = std::fwrite(json.data(), 1, json.size(), file);
+  std::fclose(file);
+  if (written != json.size()) {
+    return Status(StatusCode::kDataLoss, "short write to trace file " + path);
+  }
+  return OkStatus();
+}
+
+}  // namespace calliope

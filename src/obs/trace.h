@@ -1,0 +1,79 @@
+// TraceRecorder: structured span/instant events in Chrome trace_event JSON.
+//
+// Subsystems record spans (admission decisions, RPCs, disk service slots,
+// stream lifetimes, failover phases) and instants (crashes, fault firings,
+// first packets) against named tracks; ToJson()/WriteFile() emit the Chrome
+// trace-event format so a run opens directly in chrome://tracing or
+// https://ui.perfetto.dev. Each track renders as one "process" row, with pids
+// assigned deterministically in order of first use.
+//
+// Recording is off by default and costs one branch per call when disabled;
+// the recorder only observes and never feeds back into the simulation, so
+// enabling it cannot perturb a deterministic run.
+#ifndef CALLIOPE_SRC_OBS_TRACE_H_
+#define CALLIOPE_SRC_OBS_TRACE_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/sim/simulator.h"
+#include "src/util/status.h"
+#include "src/util/units.h"
+
+namespace calliope {
+
+class TraceRecorder {
+ public:
+  explicit TraceRecorder(Simulator& sim) : sim_(&sim) {}
+  TraceRecorder(const TraceRecorder&) = delete;
+  TraceRecorder& operator=(const TraceRecorder&) = delete;
+
+  void set_enabled(bool enabled) { enabled_ = enabled; }
+  bool enabled() const { return enabled_; }
+
+  // Complete span from `start` to Now() on `track`. Call at the end of the
+  // operation with the start time captured when it began.
+  void Span(const std::string& track, const std::string& category, const std::string& name,
+            SimTime start, const std::string& detail = std::string());
+
+  // Complete span with an explicit duration (for windows known up front,
+  // e.g. fault-injection windows scheduled at arm time).
+  void SpanAt(const std::string& track, const std::string& category, const std::string& name,
+              SimTime start, SimTime duration, const std::string& detail = std::string());
+
+  // Zero-duration marker at Now().
+  void Instant(const std::string& track, const std::string& category, const std::string& name,
+               const std::string& detail = std::string());
+
+  size_t event_count() const { return events_.size(); }
+
+  // {"traceEvents":[...]} with process_name metadata per track.
+  std::string ToJson() const;
+  Status WriteFile(const std::string& path) const;
+
+ private:
+  struct Event {
+    Event() = default;
+    char phase = 'X';  // 'X' complete span, 'i' instant
+    int pid = 0;
+    std::string category;
+    std::string name;
+    std::string detail;
+    SimTime start;
+    SimTime duration;
+  };
+
+  int TrackPid(const std::string& track);
+
+  Simulator* sim_;
+  bool enabled_ = false;
+  std::map<std::string, int> track_pids_;
+  std::vector<std::string> track_names_;  // index = pid
+  std::vector<Event> events_;
+};
+
+}  // namespace calliope
+
+#endif  // CALLIOPE_SRC_OBS_TRACE_H_

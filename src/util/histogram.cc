@@ -1,10 +1,77 @@
 #include "src/util/histogram.h"
 
 #include <algorithm>
+#include <bit>
 #include <cassert>
+#include <cmath>
 #include <cstdio>
 
 namespace calliope {
+namespace {
+
+// Index of the exponential bin holding `value`: 0 for value <= 0, else
+// 1 + floor(log2(value)), capped at the last bin.
+size_t ExpBin(int64_t value) {
+  if (value <= 0) {
+    return 0;
+  }
+  const auto width = static_cast<size_t>(std::bit_width(static_cast<uint64_t>(value)));
+  return std::min(width, Histogram::kBinCount - 1);
+}
+
+}  // namespace
+
+Histogram::Histogram() { bins_.fill(0); }
+
+void Histogram::Record(int64_t value) {
+  if (count_ == 0) {
+    min_ = value;
+    max_ = value;
+  } else {
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+  }
+  ++count_;
+  sum_ += std::max<int64_t>(value, 0);
+  ++bins_[ExpBin(value)];
+}
+
+void Histogram::Merge(const Histogram& other) {
+  if (other.count_ == 0) {
+    return;
+  }
+  if (count_ == 0) {
+    min_ = other.min_;
+    max_ = other.max_;
+  } else {
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+  }
+  count_ += other.count_;
+  sum_ += other.sum_;
+  for (size_t i = 0; i < kBinCount; ++i) {
+    bins_[i] += other.bins_[i];
+  }
+}
+
+int64_t Histogram::Quantile(double q) const {
+  if (count_ == 0) {
+    return 0;
+  }
+  const auto target =
+      std::min<int64_t>(count_, static_cast<int64_t>(std::ceil(q * static_cast<double>(count_))));
+  int64_t covered = 0;
+  for (size_t i = 0; i < kBinCount; ++i) {
+    covered += bins_[i];
+    if (covered >= target) {
+      // Upper edge of bin i is 2^i - 1 for integer samples (bin 0's edge is 0).
+      const int64_t edge = i == 0 ? 0 : (i >= 63 ? INT64_MAX : (int64_t{1} << i) - 1);
+      const int64_t lo = std::max<int64_t>(min_, 0);  // negatives clamp to zero
+      return std::clamp(edge, lo, std::max(max_, lo));
+    }
+  }
+  return max_;
+}
 
 LatenessHistogram::LatenessHistogram(SimTime bin_width, size_t bin_count)
     : bin_width_(bin_width), bins_(bin_count, 0) {
@@ -54,13 +121,29 @@ double LatenessHistogram::FractionWithin(SimTime threshold) const {
   return static_cast<double>(covered) / static_cast<double>(total_);
 }
 
+int64_t LatenessHistogram::CountAbove(SimTime threshold) const {
+  int64_t above = overflow_;
+  const int64_t last_bin = threshold.nanos() / bin_width_.nanos();
+  for (size_t i = 0; i < bins_.size(); ++i) {
+    if (static_cast<int64_t>(i) > last_bin) {
+      above += bins_[i];
+    }
+  }
+  return above;
+}
+
 SimTime LatenessHistogram::Quantile(double q) const {
   if (total_ == 0) {
     return SimTime();
   }
-  const auto target = static_cast<int64_t>(q * static_cast<double>(total_));
+  // ceil, not floor: the answer L must actually satisfy FractionWithin(L) >= q.
+  // (A floor target let Quantile return a bin covering fewer than q of the
+  // samples whenever q * total was fractional.)
+  const auto target = std::min<int64_t>(
+      total_, static_cast<int64_t>(std::ceil(q * static_cast<double>(total_))));
   int64_t covered = underflow_;
   if (covered >= target) {
+    // Quantile falls among early samples, which count as exactly on time.
     return SimTime();
   }
   for (size_t i = 0; i < bins_.size(); ++i) {

@@ -15,6 +15,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdlib>
+#include <fstream>
 #include <memory>
 #include <string>
 #include <vector>
@@ -116,6 +117,7 @@ struct ChaosResult {
   ChaosResult() = default;
 
   std::string trace;
+  std::string report;  // ClusterReport::ToJson — part of the determinism contract
   FaultPlan plan;
 };
 
@@ -127,6 +129,9 @@ ChaosResult RunChaos(uint64_t seed) {
   config.seed = seed;
   config.msu_count = 3;
   TestCluster cluster(config);
+  // Record spans for every run so a failing seed can dump a Chrome trace
+  // (set_enabled directly: EnableTracing would clobber a CALLIOPE_TRACE path).
+  cluster.installation().trace().set_enabled(true);
   Simulator& sim = cluster.sim();
   std::string& trace = result.trace;
   auto note = [&](const std::string& line) {
@@ -396,6 +401,25 @@ ChaosResult RunChaos(uint64_t seed) {
            " coordinator_restarts=" + std::to_string(injector->coordinator_restarts()) +
            " packets=" + std::to_string(packets) +
            " events=" + std::to_string(sim.events_fired()) + "\n";
+
+  const ClusterReport report = cluster.installation().BuildClusterReport();
+  result.report = report.ToJson();
+
+  // Any invariant failure above: dump the full QoS report and the Chrome
+  // trace next to the test binary and point at them from the failure message.
+  if (::testing::Test::HasFailure()) {
+    const std::string stem = "chaos_seed" + std::to_string(seed);
+    const std::string trace_path = stem + "_trace.json";
+    const std::string report_path = stem + "_report.txt";
+    const Status trace_written = cluster.installation().WriteTrace(trace_path);
+    std::ofstream out(report_path);
+    out << report.ToText();
+    out.close();
+    ADD_FAILURE() << "chaos invariants failed for seed " << seed << "; ClusterReport -> "
+                  << report_path << ", Chrome trace -> "
+                  << (trace_written.ok() ? trace_path : trace_written.ToString()) << "\n"
+                  << report.ToText();
+  }
   return result;
 }
 
@@ -420,7 +444,9 @@ TEST(ChaosTest, IdenticalSeedsProduceIdenticalTraces) {
   const ChaosResult a = RunChaos(seed);
   const ChaosResult b = RunChaos(seed);
   ASSERT_EQ(a.trace, b.trace) << "same seed must replay bit-identically";
+  EXPECT_EQ(a.report, b.report) << "equal seeds must snapshot bit-identical ClusterReports";
   EXPECT_FALSE(a.trace.empty());
+  EXPECT_FALSE(a.report.empty());
 }
 
 }  // namespace

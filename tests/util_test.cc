@@ -155,6 +155,61 @@ TEST(HistogramTest, OverflowBin) {
   EXPECT_EQ(histogram.Quantile(1.0), SimTime::Max());
 }
 
+// Regression: Quantile used a floor()ed rank target, so for fractional
+// q * total it could return a lateness L with FractionWithin(L) < q —
+// asymmetric with FractionWithin's own accounting.
+TEST(HistogramTest, QuantileAgreesWithFractionWithin) {
+  LatenessHistogram histogram;
+  histogram.Record(SimTime::Millis(1));
+  histogram.Record(SimTime::Millis(10));
+  histogram.Record(SimTime::Millis(100));
+  // ceil(0.5 * 3) = 2 samples must be covered: the 10 ms bin, not the 1 ms one.
+  const SimTime median = histogram.Quantile(0.5);
+  EXPECT_EQ(median, SimTime::Millis(11));
+  EXPECT_GE(histogram.FractionWithin(median), 0.5);
+}
+
+// The underflow convention: early samples clamp to zero lateness in every
+// aggregate (FractionWithin, Quantile, MeanLateness); MaxRecorded stays raw.
+TEST(HistogramTest, UnderflowConventionUnifiedAcrossAggregates) {
+  LatenessHistogram histogram;
+  for (int i = 0; i < 3; ++i) {
+    histogram.Record(SimTime::Millis(-50));
+  }
+  histogram.Record(SimTime::Millis(4));
+  EXPECT_EQ(histogram.underflow_count(), 3);
+  // 3 of 4 samples are early: the median sits in the underflow bin and is
+  // reported as exactly on time, not negative and not the 4 ms bin.
+  EXPECT_EQ(histogram.Quantile(0.5), SimTime());
+  EXPECT_GE(histogram.FractionWithin(SimTime()), 0.75);
+  // Mean clamps the early samples to zero: 4 ms / 4 samples = 1 ms.
+  EXPECT_EQ(histogram.MeanLateness(), SimTime::Millis(1));
+  EXPECT_EQ(histogram.MaxRecorded(), SimTime::Millis(4));
+  EXPECT_EQ(histogram.CountAbove(SimTime()), 1);
+  EXPECT_EQ(histogram.CountAbove(SimTime::Millis(10)), 0);
+}
+
+TEST(HistogramTest, GeneralHistogramExponentialBins) {
+  Histogram histogram;
+  EXPECT_EQ(histogram.Quantile(0.5), 0);
+  histogram.Record(-7);  // clamps to the zero bin
+  histogram.Record(0);
+  histogram.Record(3);
+  histogram.Record(100);
+  histogram.Record(1000);
+  EXPECT_EQ(histogram.count(), 5);
+  EXPECT_EQ(histogram.sum(), 1103);  // negative sample contributes zero
+  EXPECT_EQ(histogram.min(), -7);
+  EXPECT_EQ(histogram.max(), 1000);
+  EXPECT_EQ(histogram.Quantile(0.5), 3);      // bin [2,4) upper edge
+  EXPECT_EQ(histogram.Quantile(1.0), 1000);   // clamped to witnessed max
+  Histogram other;
+  other.Record(5000);
+  histogram.Merge(other);
+  EXPECT_EQ(histogram.count(), 6);
+  EXPECT_EQ(histogram.max(), 5000);
+}
+
 TEST(HistogramTest, MergeAddsCounts) {
   LatenessHistogram a, b;
   a.Record(SimTime::Millis(1));
