@@ -17,6 +17,13 @@ MachineParams DisklessHost() {
 
 Installation::Installation(InstallationConfig config)
     : config_(std::move(config)), network_(sim_, config_.network) {
+  if (config_.colocate_coordinator) {
+    config_.standby_coordinator = false;  // needs a dedicated coordinator host
+  }
+  if (config_.standby_coordinator && config_.msu.coordinator_hosts.empty()) {
+    // MSUs redial the pair; whichever member is primary accepts.
+    config_.msu.coordinator_hosts = {"coordinator", "coordinator2"};
+  }
   for (int i = 0; i < config_.msu_count; ++i) {
     MachineParams msu_params = config_.msu_machine;
     msu_params.rng_seed = config_.seed + static_cast<uint64_t>(i) * 7919;
@@ -40,9 +47,31 @@ Installation::Installation(InstallationConfig config)
     coordinator_machine_ = std::make_unique<Machine>(sim_, coord_params, "coordinator");
     coordinator_node_ = network_.AddNode("coordinator", coordinator_machine_.get(),
                                          /*on_intra=*/true);
+    CoordinatorParams primary_params = config_.coordinator;
+    if (config_.standby_coordinator) {
+      primary_params.ha.enabled = true;
+      primary_params.ha.peer_node = "coordinator2";
+      primary_params.ha.peer_port = primary_params.listen_port;
+    }
+    // The catalog models durable shared storage: both HA pair members read
+    // and write the same content/customer records.
+    auto catalog = std::make_shared<Catalog>(Catalog::WithStandardTypes());
     coordinator_ = std::make_unique<Coordinator>(*coordinator_machine_, *coordinator_node_,
-                                                 Catalog::WithStandardTypes(),
-                                                 config_.coordinator);
+                                                 catalog, primary_params);
+    if (config_.standby_coordinator) {
+      MachineParams standby_params = DisklessHost();
+      standby_params.rng_seed = config_.seed ^ 0xC00D2;
+      standby_machine_ = std::make_unique<Machine>(sim_, standby_params, "coordinator2");
+      standby_node_ = network_.AddNode("coordinator2", standby_machine_.get(),
+                                       /*on_intra=*/true);
+      CoordinatorParams standby_coord_params = config_.coordinator;
+      standby_coord_params.ha.enabled = true;
+      standby_coord_params.ha.peer_node = "coordinator";
+      standby_coord_params.ha.peer_port = standby_coord_params.listen_port;
+      standby_coord_params.ha.start_as_standby = true;
+      standby_ = std::make_unique<Coordinator>(*standby_machine_, *standby_node_, catalog,
+                                               standby_coord_params);
+    }
   }
   AddDefaultCustomers();
 
@@ -51,6 +80,9 @@ Installation::Installation(InstallationConfig config)
     msu->AttachObservability(&metrics_, &trace_);
   }
   coordinator_->AttachObservability(&metrics_, &trace_);
+  if (standby_ != nullptr) {
+    standby_->AttachObservability(&metrics_, &trace_, "coord2");
+  }
   if (const char* env = std::getenv("CALLIOPE_TRACE"); env != nullptr && *env != '\0') {
     EnableTracing(env);
   }
@@ -74,6 +106,18 @@ const std::string& Installation::coordinator_host() const {
   return coordinator_node_->name();
 }
 
+Coordinator& Installation::current_primary() {
+  if (standby_ == nullptr) {
+    return *coordinator_;
+  }
+  const bool first = !coordinator_->crashed() && coordinator_->is_primary();
+  const bool second = !standby_->crashed() && standby_->is_primary();
+  if (first && second) {
+    return coordinator_->ha_epoch() >= standby_->ha_epoch() ? *coordinator_ : *standby_;
+  }
+  return second ? *standby_ : *coordinator_;
+}
+
 Status Installation::Boot(SimTime timeout) {
   for (auto& msu : msus_) {
     // Fire-and-forget registration tasks.
@@ -90,10 +134,13 @@ Status Installation::Boot(SimTime timeout) {
         break;
       }
     }
-    if (all_up) {
+    if (all_up && (standby_ == nullptr || standby_->ha_joined())) {
       return OkStatus();
     }
     sim_.RunFor(SimTime::Millis(10));
+  }
+  if (standby_ != nullptr && !standby_->ha_joined()) {
+    return DeadlineExceededError("standby coordinator never joined");
   }
   return DeadlineExceededError("MSUs failed to register");
 }
@@ -106,6 +153,9 @@ Status Installation::ApplyFaultPlan(FaultPlan plan) {
       fault_injector_->AttachMsu("msu" + std::to_string(i), msus_[i].get());
     }
     fault_injector_->AttachCoordinator(coordinator_.get(), coordinator_host());
+    if (standby_ != nullptr) {
+      fault_injector_->AttachStandbyCoordinator(standby_.get(), "coordinator2");
+    }
     // Before Arm() so the planned fault windows land in the trace as spans.
     fault_injector_->AttachObservability(&metrics_, &trace_);
   }
@@ -165,6 +215,9 @@ CalliopeClient& Installation::AddClient(const std::string& name) {
   NetNode* node = network_.AddNode(name, client_machines_.back().get(), /*on_intra=*/false);
   clients_.push_back(std::make_unique<CalliopeClient>(*node, coordinator_host(),
                                                       config_.coordinator.listen_port));
+  if (standby_ != nullptr) {
+    clients_.back()->set_coordinator_hosts({coordinator_host(), "coordinator2"});
+  }
   return *clients_.back();
 }
 

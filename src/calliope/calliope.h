@@ -43,6 +43,11 @@ struct InstallationConfig {
   // on the same machine": the Coordinator shares msu0's host, competing for
   // its CPU instead of having its own box.
   bool colocate_coordinator = false;
+  // Warm-standby Coordinator HA: adds a second coordinator host
+  // ("coordinator2") that replays the primary's oplog and takes over on
+  // primary death. MSUs and clients are configured to redial the pair.
+  // Ignored when colocate_coordinator is set.
+  bool standby_coordinator = false;
   uint64_t seed = 1996;
 };
 
@@ -59,6 +64,12 @@ class Installation {
   Simulator& sim() { return sim_; }
   Network& network() { return network_; }
   Coordinator& coordinator() { return *coordinator_; }
+  // Null unless config.standby_coordinator was set.
+  Coordinator* standby_coordinator() { return standby_.get(); }
+  // Whichever member of the HA pair currently holds the primaryship (the
+  // higher epoch wins if both momentarily claim it); the sole coordinator
+  // in non-HA installations.
+  Coordinator& current_primary();
   // Node name the Coordinator answers on ("coordinator", or "msu0" when
   // colocated).
   const std::string& coordinator_host() const;
@@ -136,6 +147,9 @@ class Installation {
   std::unique_ptr<Machine> coordinator_machine_;
   NetNode* coordinator_node_ = nullptr;
   std::unique_ptr<Coordinator> coordinator_;
+  std::unique_ptr<Machine> standby_machine_;
+  NetNode* standby_node_ = nullptr;
+  std::unique_ptr<Coordinator> standby_;
   std::vector<std::unique_ptr<Machine>> msu_machines_;
   std::vector<NetNode*> msu_nodes_;
   std::vector<std::unique_ptr<Msu>> msus_;

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "src/msu/msu.h"  // MediaDatagramPayload
+#include "src/util/backoff.h"
 #include "src/util/logging.h"
 
 namespace calliope {
@@ -18,21 +19,43 @@ CalliopeClient::CalliopeClient(NetNode& node, std::string coordinator_node, int 
   (void)node_->ListenTcp(control_listen_port_, [this](TcpConn* conn) { OnControlAccept(conn); });
 }
 
-Co<Status> CalliopeClient::Connect(std::string customer, std::string credential) {
-  auto conn = co_await node_->ConnectTcp(coordinator_node_, coordinator_port_);
-  if (!conn.ok()) {
-    co_return conn.status();
-  }
-  conn_ = *conn;
+void CalliopeClient::WireSessionConn() {
   // The Coordinator pushes PendingRequestFailed over the session connection
   // when a queued or migrating group can never be (re)started.
   conn_->set_receive_handler([this](TcpConn*, const Envelope& envelope) {
     if (const auto* failed = std::get_if<PendingRequestFailed>(&envelope.body)) {
+      if (failed->epoch > 0 && failed->epoch < coordinator_epoch_) {
+        // A deposed primary draining its queue; the current primary still
+        // owns this request.
+        return;
+      }
       GroupState& group = GroupFor(failed->group);
       group.terminated = true;
       group_events_->NotifyAll();
     }
   });
+  conn_->set_close_handler([this](TcpConn* closed) {
+    if (conn_ == closed) {
+      conn_ = nullptr;
+    }
+    // With a coordinator pair configured, a broken session means the primary
+    // died: redial the pair and resume on the survivor. With a single host
+    // the legacy behavior stands — the session is simply gone.
+    if (coordinator_hosts_.size() > 1 && session_ != 0) {
+      RedialLoop();
+    }
+  });
+}
+
+Co<Status> CalliopeClient::Connect(std::string customer, std::string credential) {
+  customer_ = customer;
+  credential_ = credential;
+  auto conn = co_await node_->ConnectTcp(coordinator_node_, coordinator_port_);
+  if (!conn.ok()) {
+    co_return conn.status();
+  }
+  conn_ = *conn;
+  WireSessionConn();
   auto response = co_await conn_->Call(MessageBody{OpenSessionRequest{customer, credential}});
   if (!response.ok()) {
     co_return response.status();
@@ -45,15 +68,101 @@ Co<Status> CalliopeClient::Connect(std::string customer, std::string credential)
     co_return PermissionDeniedError(open->error);
   }
   session_ = open->session;
+  coordinator_epoch_ = std::max(coordinator_epoch_, open->epoch);
   co_return OkStatus();
 }
 
 void CalliopeClient::Disconnect() {
+  session_ = 0;  // cleared first so the close handler does not redial
   if (conn_ != nullptr) {
-    conn_->Close();
+    TcpConn* conn = conn_;
     conn_ = nullptr;
+    conn->Close();
   }
-  session_ = 0;
+}
+
+Task CalliopeClient::RedialLoop() {
+  if (redialing_) {
+    co_return;
+  }
+  redialing_ = true;
+  const SessionId old_session = session_;
+  BackoffParams backoff_params;
+  backoff_params.initial = SimTime::Millis(200);
+  backoff_params.max = SimTime::Seconds(2);
+  Backoff backoff(backoff_params, std::hash<std::string>{}(node_->name()) ^ 0x27d4eb2fULL);
+  while (session_ == old_session) {
+    {
+      const SimTime delay = backoff.Next();
+      co_await sim().Delay(delay);
+    }
+    if (conn_ != nullptr && !conn_->closed()) {
+      break;  // something else already re-established the session
+    }
+    const std::string host =
+        coordinator_hosts_[host_index_ % coordinator_hosts_.size()];
+    ++host_index_;
+    auto conn = co_await node_->ConnectTcp(host, coordinator_port_);
+    if (!conn.ok()) {
+      continue;
+    }
+    TcpConn* candidate = std::move(conn).value();
+    OpenSessionRequest request;
+    request.customer = customer_;
+    request.credential = credential_;
+    request.resume_session = old_session;
+    auto response = co_await candidate->Call(MessageBody{std::move(request)});
+    if (!response.ok()) {
+      continue;  // connection died mid-call; the host may be rebooting
+    }
+    const auto* open = std::get_if<OpenSessionResponse>(&response->body);
+    if (open == nullptr || !open->ok) {
+      // A standby answers "not primary" (a SimpleResponse): try the other.
+      if (!candidate->closed()) {
+        candidate->Close();
+      }
+      continue;
+    }
+    conn_ = candidate;
+    WireSessionConn();
+    coordinator_epoch_ = std::max(coordinator_epoch_, open->epoch);
+    const bool resumed = open->session == old_session;
+    session_ = open->session;
+    if (!resumed) {
+      // Fresh session (the pair lost our registration entirely): display
+      // ports must be registered again under the new session id.
+      co_await ReRegisterPorts();
+    }
+    break;
+  }
+  redialing_ = false;
+}
+
+Co<void> CalliopeClient::ReRegisterPorts() {
+  // Atomic ports first: composites reference them by name.
+  for (int pass = 0; pass < 2; ++pass) {
+    for (auto& [name, port] : ports_) {
+      const bool atomic = port->component_ports_.empty();
+      if (atomic != (pass == 0)) {
+        continue;
+      }
+      if (conn_ == nullptr || conn_->closed()) {
+        co_return;
+      }
+      RegisterPortRequest request;
+      request.session = session_;
+      request.port_name = name;
+      request.type_name = port->type_name_;
+      request.node = node_->name();
+      request.udp_port = port->udp_port_;
+      request.control_port = control_listen_port_;
+      request.component_ports = port->component_ports_;
+      auto response = co_await conn_->Call(MessageBody{std::move(request)});
+      if (!response.ok()) {
+        co_return;  // conn broke again; the close handler redials
+      }
+    }
+  }
 }
 
 Co<Result<std::vector<ContentInfo>>> CalliopeClient::ListContent() {

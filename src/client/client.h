@@ -101,6 +101,17 @@ class CalliopeClient {
   CalliopeClient(const CalliopeClient&) = delete;
   CalliopeClient& operator=(const CalliopeClient&) = delete;
 
+  // Coordinator warm-standby HA: the full set of coordinator hosts to cycle
+  // through when the session connection breaks. With fewer than two hosts
+  // the client keeps its legacy behavior (a broken session stays broken).
+  void set_coordinator_hosts(std::vector<std::string> hosts) {
+    coordinator_hosts_ = std::move(hosts);
+  }
+  // HA epoch of the coordinator this session is registered under (0 until an
+  // HA coordinator answered). Failure notifications from older epochs —
+  // a deposed primary flushing its queue — are ignored.
+  int64_t coordinator_epoch() const { return coordinator_epoch_; }
+
   // Session lifecycle.
   Co<Status> Connect(std::string customer, std::string credential);
   void Disconnect();
@@ -159,6 +170,14 @@ class CalliopeClient {
   void OnMediaDatagram(ClientDisplayPort& port, const Datagram& datagram);
   void OnControlAccept(TcpConn* conn);
   GroupState& GroupFor(GroupId group);
+  // Installs the receive/close handlers on conn_ (session notifications,
+  // HA redial trigger).
+  void WireSessionConn();
+  // Redials the coordinator pair after the session connection broke,
+  // resuming the old session id on the survivor (or re-registering ports
+  // when the new primary issued a fresh session).
+  Task RedialLoop();
+  Co<void> ReRegisterPorts();
 
   NetNode* node_;
   std::string coordinator_node_;
@@ -166,6 +185,13 @@ class CalliopeClient {
   TcpConn* conn_ = nullptr;
   SessionId session_ = 0;
   int control_listen_port_ = 0;
+  // --- Coordinator HA state ---
+  std::vector<std::string> coordinator_hosts_;
+  std::string customer_;
+  std::string credential_;
+  int64_t coordinator_epoch_ = 0;
+  size_t host_index_ = 0;
+  bool redialing_ = false;
   std::map<std::string, std::unique_ptr<ClientDisplayPort>> ports_;
   std::map<GroupId, GroupState> groups_;
   std::unique_ptr<Condition> group_events_;

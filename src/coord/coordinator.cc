@@ -9,6 +9,11 @@ namespace calliope {
 
 Coordinator::Coordinator(Machine& machine, NetNode& node, Catalog catalog,
                          CoordinatorParams params)
+    : Coordinator(machine, node, std::make_shared<Catalog>(std::move(catalog)),
+                  std::move(params)) {}
+
+Coordinator::Coordinator(Machine& machine, NetNode& node, std::shared_ptr<Catalog> catalog,
+                         CoordinatorParams params)
     : machine_(&machine), node_(&node), params_(params), catalog_(std::move(catalog)) {
   const PlacementPolicyRegistry registry = PlacementPolicyRegistry::WithBuiltins();
   auto policy = registry.Instantiate(params_.placement_policy, params_.placement_seed);
@@ -19,30 +24,43 @@ Coordinator::Coordinator(Machine& machine, NetNode& node, Catalog catalog,
   }
   policy_ = std::move(policy).value();
   (void)node_->ListenTcp(params_.listen_port, [this](TcpConn* conn) { OnAccept(conn); });
+  if (params_.ha.enabled) {
+    StartHa();
+  }
 }
 
-void Coordinator::AttachObservability(MetricsRegistry* metrics, TraceRecorder* trace) {
+void Coordinator::AttachObservability(MetricsRegistry* metrics, TraceRecorder* trace,
+                                      std::string prefix) {
   metrics_ = metrics;
   trace_ = trace;
+  metrics_prefix_ = std::move(prefix);
+  trace_track_ = metrics_prefix_ == "coord" ? "coordinator" : metrics_prefix_;
   if (metrics_ == nullptr) {
     admit_accepted_ = nullptr;
     admit_rejected_ = nullptr;
     admit_queued_ = nullptr;
     failover_groups_ = nullptr;
     recordings_lost_ = nullptr;
+    requests_lost_metric_ = nullptr;
+    takeovers_metric_ = nullptr;
+    repl_batches_ = nullptr;
+    repl_records_shipped_ = nullptr;
+    takeover_gap_us_ = nullptr;
     return;
   }
-  admit_accepted_ = &metrics_->counter("coord.admissions.accepted");
-  admit_rejected_ = &metrics_->counter("coord.admissions.rejected");
-  admit_queued_ = &metrics_->counter("coord.admissions.queued");
-  failover_groups_ = &metrics_->counter("coord.failover.groups");
-  recordings_lost_ = &metrics_->counter("coord.failover.recordings_lost");
-  metrics_->SetGaugeCallback("coord.requests.handled", [this] { return requests_handled_; });
-  metrics_->SetGaugeCallback("coord.pending.depth",
+  admit_accepted_ = &metrics_->counter(metrics_prefix_ + ".admissions.accepted");
+  admit_rejected_ = &metrics_->counter(metrics_prefix_ + ".admissions.rejected");
+  admit_queued_ = &metrics_->counter(metrics_prefix_ + ".admissions.queued");
+  failover_groups_ = &metrics_->counter(metrics_prefix_ + ".failover.groups");
+  recordings_lost_ = &metrics_->counter(metrics_prefix_ + ".failover.recordings_lost");
+  requests_lost_metric_ = &metrics_->counter(metrics_prefix_ + ".requests_lost");
+  metrics_->SetGaugeCallback(metrics_prefix_ + ".requests.handled",
+                             [this] { return requests_handled_; });
+  metrics_->SetGaugeCallback(metrics_prefix_ + ".pending.depth",
                              [this] { return static_cast<int64_t>(pending_.size()); });
-  metrics_->SetGaugeCallback("coord.streams.active",
+  metrics_->SetGaugeCallback(metrics_prefix_ + ".streams.active",
                              [this] { return static_cast<int64_t>(active_streams_.size()); });
-  metrics_->SetGaugeCallback("coord.msus.up", [this] {
+  metrics_->SetGaugeCallback(metrics_prefix_ + ".msus.up", [this] {
     int64_t up = 0;
     for (const auto& [name, msu] : msus_) {
       if (ledger_.IsUp(name)) {
@@ -51,6 +69,21 @@ void Coordinator::AttachObservability(MetricsRegistry* metrics, TraceRecorder* t
     }
     return up;
   });
+  if (params_.ha.enabled) {
+    takeovers_metric_ = &metrics_->counter(metrics_prefix_ + ".ha.takeovers");
+    repl_batches_ = &metrics_->counter(metrics_prefix_ + ".repl.batches");
+    repl_records_shipped_ = &metrics_->counter(metrics_prefix_ + ".repl.records_shipped");
+    takeover_gap_us_ = &metrics_->histogram(metrics_prefix_ + ".ha.takeover_gap_us");
+    metrics_->SetGaugeCallback(metrics_prefix_ + ".ha.epoch", [this] { return epoch_; });
+    metrics_->SetGaugeCallback(metrics_prefix_ + ".ha.role", [this] {
+      return static_cast<int64_t>(role_ == HaRole::kPrimary ? 1 : 0);
+    });
+    metrics_->SetGaugeCallback(metrics_prefix_ + ".repl.lag_records",
+                               [this] { return oplog_appended_ - oplog_acked_; });
+    metrics_->SetGaugeCallback(metrics_prefix_ + ".repl.log_len", [this] {
+      return static_cast<int64_t>(pending_records_.size());
+    });
+  }
 }
 
 void Coordinator::RecordAdmission(const char* kind, const PendingRequest& request,
@@ -68,8 +101,18 @@ void Coordinator::RecordAdmission(const char* kind, const PendingRequest& reques
     const char* verdict = outcome.ok() ? "accepted"
                           : outcome.code() == StatusCode::kResourceExhausted ? "queued"
                                                                              : "rejected";
-    trace_->Span("coordinator", "coord", std::string("admit:") + kind, start,
+    trace_->Span(trace_track_, metrics_prefix_, std::string("admit:") + kind, start,
                  request.content + " group " + std::to_string(request.group) + " " + verdict);
+  }
+}
+
+void Coordinator::CountRequestLost(int64_t count) {
+  if (count <= 0) {
+    return;
+  }
+  requests_lost_count_ += count;
+  if (requests_lost_metric_ != nullptr) {
+    requests_lost_metric_->Add(count);
   }
 }
 
@@ -86,56 +129,74 @@ Co<MessageBody> Coordinator::Dispatch(TcpConn* conn, MessageArg request) {
     co_return MessageBody{SimpleResponse{false, "coordinator down"}};
   }
   const MessageBody& body = request.value;
+  if (const auto* m = std::get_if<ReplAppendRequest>(&body)) {
+    co_return co_await HandleReplAppend(conn, *m);
+  }
+  if (params_.ha.enabled && role_ != HaRole::kPrimary) {
+    // Fencing: a standby serves nobody; callers redial the pair and find
+    // whichever coordinator currently holds the primaryship.
+    co_return MessageBody{SimpleResponse{false, "not primary"}};
+  }
   // Every request consumes Coordinator CPU (the shared resource whose
   // capacity bounds system size, §3.3).
   co_await machine_->cpu().Run(params_.request_compute, 0);
   ++requests_handled_;
 
-  if (const auto* m = std::get_if<OpenSessionRequest>(&body)) {
-    co_return co_await HandleOpenSession(conn, *m);
+  const int64_t log_mark = oplog_appended_;
+  MessageBody response{SimpleResponse{false, "coordinator: unknown request"}};
+  if (const auto* open_req = std::get_if<OpenSessionRequest>(&body)) {
+    response = co_await HandleOpenSession(conn, *open_req);
+  } else if (const auto* list_req = std::get_if<ListContentRequest>(&body)) {
+    response = co_await HandleListContent(*list_req);
+  } else if (const auto* reg_req = std::get_if<RegisterPortRequest>(&body)) {
+    response = co_await HandleRegisterPort(conn, *reg_req);
+  } else if (const auto* unreg_req = std::get_if<UnregisterPortRequest>(&body)) {
+    response = co_await HandleUnregisterPort(conn, *unreg_req);
+  } else if (const auto* play_req = std::get_if<PlayRequest>(&body)) {
+    response = co_await HandlePlay(conn, *play_req);
+  } else if (const auto* record_req = std::get_if<RecordRequest>(&body)) {
+    response = co_await HandleRecord(conn, *record_req);
+  } else if (const auto* delete_req = std::get_if<DeleteContentRequest>(&body)) {
+    response = co_await HandleDelete(conn, *delete_req);
+  } else if (const auto* scan_req = std::get_if<LoadFastScanRequest>(&body)) {
+    response = co_await HandleLoadFastScan(conn, *scan_req);
+  } else if (const auto* msu_req = std::get_if<MsuRegisterRequest>(&body)) {
+    response = co_await HandleMsuRegister(conn, *msu_req);
+  } else if (const auto* note = std::get_if<StreamTerminated>(&body)) {
+    HandleStreamTerminated(*note);
+    response = MessageBody{SimpleResponse{true, ""}};
+  } else if (const auto* report = std::get_if<StreamProgressReport>(&body)) {
+    HandleProgressReport(*report);
+    response = MessageBody{SimpleResponse{true, ""}};
   }
-  if (const auto* m = std::get_if<ListContentRequest>(&body)) {
-    co_return co_await HandleListContent(*m);
+
+  // Synchronous log shipping: no externally visible state change leaves here
+  // before a joined standby acknowledges the records it produced. A primary
+  // crash can then only lose admissions the caller was never told about.
+  if (params_.ha.enabled && role_ == HaRole::kPrimary && oplog_appended_ > log_mark) {
+    const bool flushed = co_await SyncReplicate(oplog_appended_);
+    if (!flushed) {
+      co_return MessageBody{SimpleResponse{false, "not primary"}};
+    }
   }
-  if (const auto* m = std::get_if<RegisterPortRequest>(&body)) {
-    co_return co_await HandleRegisterPort(conn, *m);
-  }
-  if (const auto* m = std::get_if<UnregisterPortRequest>(&body)) {
-    co_return co_await HandleUnregisterPort(conn, *m);
-  }
-  if (const auto* m = std::get_if<PlayRequest>(&body)) {
-    co_return co_await HandlePlay(conn, *m);
-  }
-  if (const auto* m = std::get_if<RecordRequest>(&body)) {
-    co_return co_await HandleRecord(conn, *m);
-  }
-  if (const auto* m = std::get_if<DeleteContentRequest>(&body)) {
-    co_return co_await HandleDelete(conn, *m);
-  }
-  if (const auto* m = std::get_if<LoadFastScanRequest>(&body)) {
-    co_return co_await HandleLoadFastScan(conn, *m);
-  }
-  if (const auto* m = std::get_if<MsuRegisterRequest>(&body)) {
-    co_return co_await HandleMsuRegister(conn, *m);
-  }
-  if (const auto* m = std::get_if<StreamTerminated>(&body)) {
-    HandleStreamTerminated(*m);
-    co_return MessageBody{SimpleResponse{true, ""}};
-  }
-  if (const auto* m = std::get_if<StreamProgressReport>(&body)) {
-    HandleProgressReport(*m);
-    co_return MessageBody{SimpleResponse{true, ""}};
-  }
-  co_return MessageBody{SimpleResponse{false, "coordinator: unknown request"}};
+  co_return response;
 }
 
 void Coordinator::Crash() {
   // The process dies with its in-memory scheduling state. The node goes down
   // first so the resulting connection breakage (including our own MSU conns)
   // is not misread as MSU failures needing failover.
+  //
+  // With a joined standby (or as a standby) the state survives on the peer;
+  // otherwise every queued request is lost for good.
+  const bool state_survives =
+      params_.ha.enabled && (role_ == HaRole::kStandby || peer_joined_);
+  if (!state_survives) {
+    CountRequestLost(static_cast<int64_t>(pending_.size()));
+  }
   crashed_ = true;
   if (trace_ != nullptr) {
-    trace_->Instant("coordinator", "coord", "crash",
+    trace_->Instant(trace_track_, metrics_prefix_, "crash",
                     std::to_string(active_streams_.size()) + " streams forgotten");
   }
   node_->SetDown(true);
@@ -147,31 +208,70 @@ void Coordinator::Crash() {
   group_requests_.clear();
   pending_.clear();
   ledger_ = ResourceLedger();
+  // HA volatile state dies with the process.
+  repl_conn_ = nullptr;
+  repl_in_conn_ = nullptr;
+  joined_ = false;
+  peer_joined_ = false;
+  need_snapshot_ = true;
+  pending_records_.clear();
+  oplog_appended_ = 0;
+  oplog_acked_ = 0;
+  if (flush_cond_ != nullptr) {
+    flush_cond_->NotifyAll();
+  }
+  if (oplog_cond_ != nullptr) {
+    oplog_cond_->NotifyAll();
+  }
 }
 
 void Coordinator::Restart() {
+  if (params_.ha.enabled) {
+    // The peer took over (or will, via the orphan grace); rejoin as its
+    // standby and wait for a snapshot. No catalog scrub: in-progress
+    // recordings now belong to the new primary and must not be corrupted.
+    node_->SetDown(false);
+    crashed_ = false;
+    if (trace_ != nullptr) {
+      trace_->Instant(trace_track_, metrics_prefix_, "restart", "rejoining as standby");
+    }
+    BecomeStandby();
+    return;
+  }
   // The catalog survived (the paper's durable database); scrub recordings
   // that were in progress at the crash — their streams are unknown now, so
   // they can never be sealed through this Coordinator.
   std::vector<std::string> aborted;
-  for (const ContentRecord* record : catalog_.ListContent()) {
+  for (const ContentRecord* record : catalog_->ListContent()) {
     if (record->recording_in_progress) {
       aborted.push_back(record->name);
     }
   }
   for (const std::string& name : aborted) {
-    (void)catalog_.RemoveContent(name);
+    (void)catalog_->RemoveContent(name);
   }
   node_->SetDown(false);  // the TCP listener survives on the node
   crashed_ = false;
   if (trace_ != nullptr) {
-    trace_->Instant("coordinator", "coord", "restart");
+    trace_->Instant(trace_track_, metrics_prefix_, "restart");
   }
 }
 
 void Coordinator::OnConnClosed(TcpConn* conn) {
   if (crashed_) {
     return;  // connection breakage caused by our own crash
+  }
+  if (conn == repl_in_conn_) {
+    // The primary's node died (a conn only breaks on peer-node death here).
+    // A joined standby holds its full state and promotes immediately.
+    repl_in_conn_ = nullptr;
+    if (params_.ha.enabled && role_ == HaRole::kStandby && joined_) {
+      TakeOver(epoch_ + 1);
+    }
+    return;
+  }
+  if (params_.ha.enabled && role_ != HaRole::kPrimary) {
+    return;  // a standby tracks no live MSU or client connections
   }
   // A broken MSU connection marks the MSU unavailable (§2.2 fault tolerance).
   for (auto& [name, msu] : msus_) {
@@ -183,8 +283,11 @@ void Coordinator::OnConnClosed(TcpConn* conn) {
   // A dropped client session deallocates its ports.
   auto it = conn_sessions_.find(conn);
   if (it != conn_sessions_.end()) {
+    ReplSessionClosed closed;
+    closed.session = it->second;
     sessions_.erase(it->second);
     conn_sessions_.erase(it);
+    LogRecord(ReplRecord{std::move(closed)});
   }
 }
 
@@ -197,9 +300,24 @@ Result<Coordinator::SessionInfo*> Coordinator::FindSession(SessionId id) {
 }
 
 Co<MessageBody> Coordinator::HandleOpenSession(TcpConn* conn, const OpenSessionRequest& request) {
-  auto customer = catalog_.Authenticate(request.customer, request.credential);
+  auto customer = catalog_->Authenticate(request.customer, request.credential);
   if (!customer.ok()) {
     co_return MessageBody{OpenSessionResponse{false, customer.status().ToString(), 0}};
+  }
+  if (request.resume_session != 0) {
+    // Failover redial: the session was replicated to us; rebind it to the
+    // client's fresh connection instead of minting a new identity.
+    auto it = sessions_.find(request.resume_session);
+    if (it != sessions_.end() && it->second.customer == request.customer) {
+      if (it->second.conn != nullptr) {
+        conn_sessions_.erase(it->second.conn);
+      }
+      it->second.conn = conn;
+      conn_sessions_[conn] = it->second.id;
+      OpenSessionResponse resumed{true, "", it->second.id};
+      resumed.epoch = params_.ha.enabled ? epoch_ : 0;
+      co_return MessageBody{std::move(resumed)};
+    }
   }
   const SessionId id = next_session_++;
   SessionInfo session;
@@ -209,7 +327,14 @@ Co<MessageBody> Coordinator::HandleOpenSession(TcpConn* conn, const OpenSessionR
   session.conn = conn;
   sessions_[id] = std::move(session);
   conn_sessions_[conn] = id;
-  co_return MessageBody{OpenSessionResponse{true, "", id}};
+  ReplSessionOpened opened;
+  opened.session = id;
+  opened.customer = request.customer;
+  opened.admin = (*customer)->admin;
+  LogRecord(ReplRecord{std::move(opened)});
+  OpenSessionResponse response{true, "", id};
+  response.epoch = params_.ha.enabled ? epoch_ : 0;
+  co_return MessageBody{std::move(response)};
 }
 
 Co<MessageBody> Coordinator::HandleListContent(const ListContentRequest& request) {
@@ -220,7 +345,7 @@ Co<MessageBody> Coordinator::HandleListContent(const ListContentRequest& request
     co_return MessageBody{std::move(response)};
   }
   response.ok = true;
-  for (const ContentRecord* record : catalog_.ListContent()) {
+  for (const ContentRecord* record : catalog_->ListContent()) {
     // Component items (parent.N) are internal; list only top-level entries.
     if (record->name.find('.') != std::string::npos) {
       continue;
@@ -241,7 +366,7 @@ Co<MessageBody> Coordinator::HandleRegisterPort(TcpConn* conn,
   if (!session.ok()) {
     co_return MessageBody{SimpleResponse{false, session.status().ToString()}};
   }
-  auto type = catalog_.FindType(request.type_name);
+  auto type = catalog_->FindType(request.type_name);
   if (!type.ok()) {
     co_return MessageBody{SimpleResponse{false, type.status().ToString()}};
   }
@@ -278,7 +403,11 @@ Co<MessageBody> Coordinator::HandleRegisterPort(TcpConn* conn,
   port.udp_port = request.udp_port;
   port.control_port = request.control_port;
   port.component_ports = request.component_ports;
+  ReplPortRegistered registered;
+  registered.session = request.session;
+  registered.port = port;
   (*session)->ports[request.port_name] = std::move(port);
+  LogRecord(ReplRecord{std::move(registered)});
   co_return MessageBody{SimpleResponse{true, ""}};
 }
 
@@ -291,6 +420,10 @@ Co<MessageBody> Coordinator::HandleUnregisterPort(TcpConn* conn,
   if ((*session)->ports.erase(request.port_name) == 0) {
     co_return MessageBody{SimpleResponse{false, "no such port: " + request.port_name}};
   }
+  ReplPortUnregistered unregistered;
+  unregistered.session = request.session;
+  unregistered.port_name = request.port_name;
+  LogRecord(ReplRecord{std::move(unregistered)});
   co_return MessageBody{SimpleResponse{true, ""}};
 }
 
@@ -315,7 +448,7 @@ Result<std::vector<Coordinator::Component>> Coordinator::ResolveComponents(
 
   if (!request.record) {
     CALLIOPE_ASSIGN_OR_RETURN(const ContentRecord* record,
-                              catalog_.FindContent(request.content));
+                              catalog_->FindContent(request.content));
     if (record->recording_in_progress) {
       return FailedPreconditionError("content still being recorded: " + request.content);
     }
@@ -326,7 +459,7 @@ Result<std::vector<Coordinator::Component>> Coordinator::ResolveComponents(
     std::vector<std::string> items =
         record->is_composite() ? record->component_items : std::vector<std::string>{record->name};
     for (size_t i = 0; i < items.size(); ++i) {
-      CALLIOPE_ASSIGN_OR_RETURN(const ContentRecord* item, catalog_.FindContent(items[i]));
+      CALLIOPE_ASSIGN_OR_RETURN(const ContentRecord* item, catalog_->FindContent(items[i]));
       CALLIOPE_ASSIGN_OR_RETURN(DisplayPort port, port_for(i, items.size()));
       components.push_back(Component{item->name, item->file_name, item->type_name, port});
     }
@@ -334,7 +467,7 @@ Result<std::vector<Coordinator::Component>> Coordinator::ResolveComponents(
   }
 
   // Recording: items do not exist yet.
-  CALLIOPE_ASSIGN_OR_RETURN(const ContentType* type, catalog_.FindType(request.type_name));
+  CALLIOPE_ASSIGN_OR_RETURN(const ContentType* type, catalog_->FindType(request.type_name));
   if (type->name != root.type_name) {
     return InvalidArgumentError("record type " + type->name + " does not match port type " +
                                 root.type_name);
@@ -357,7 +490,7 @@ Result<PlacementSpec> Coordinator::BuildPlacementSpec(
   spec.record = request.record;
   spec.disk_budget = params_.disk_budget;
   for (const Component& component : components) {
-    CALLIOPE_ASSIGN_OR_RETURN(const ContentType* type, catalog_.FindType(component.type_name));
+    CALLIOPE_ASSIGN_OR_RETURN(const ContentType* type, catalog_->FindType(component.type_name));
     ComponentSpec item;
     item.rate = type->bandwidth_rate;
     item.file_name = component.file_name;
@@ -368,7 +501,7 @@ Result<PlacementSpec> Coordinator::BuildPlacementSpec(
       // item with no reachable copy leaves the component candidate-less, so
       // no MSU is feasible and the request queues (kResourceExhausted) until
       // a copy comes back — the behavior this path has always had.
-      auto record = catalog_.FindContent(component.item_name);
+      auto record = catalog_->FindContent(component.item_name);
       if (record.ok()) {
         for (const ContentLocation& location : (*record)->locations) {
           item.candidates.push_back(
@@ -427,11 +560,12 @@ Co<Status> Coordinator::TryStartGroup(const PendingRequest& request) {
   for (size_t i = 0; i < components.size(); ++i) {
     const Component& component = components[i];
     MsuStartStream start;
+    start.epoch = params_.ha.enabled ? epoch_ : 0;
     start.group = request.group;
     start.stream = next_stream_++;
     start.file = !request.record && !placement->files[i].empty() ? placement->files[i]
                                                                  : component.file_name;
-    auto component_type = catalog_.FindType(component.type_name);
+    auto component_type = catalog_->FindType(component.type_name);
     start.protocol = (*component_type)->protocol;
     start.rate = spec->components[i].rate;
     start.record = request.record;
@@ -445,7 +579,7 @@ Co<Status> Coordinator::TryStartGroup(const PendingRequest& request) {
       start.start_offset = request.start_offsets[i];
     }
     if (!request.record) {
-      auto content = catalog_.FindContent(component.item_name);
+      auto content = catalog_->FindContent(component.item_name);
       start.fast_forward_file = (*content)->fast_forward_file;
       start.fast_backward_file = (*content)->fast_backward_file;
     }
@@ -493,7 +627,7 @@ Co<Status> Coordinator::TryStartGroup(const PendingRequest& request) {
       record.file_name = component.file_name;
       record.recording_in_progress = true;
       record.locations.push_back(ContentLocation{chosen_msu, placement->disks[i]});
-      (void)catalog_.AddContent(std::move(record));
+      (void)catalog_->AddContent(std::move(record));
     }
     active_streams_[active.id] = active;
     groups_[request.group].push_back(active.id);
@@ -502,6 +636,32 @@ Co<Status> Coordinator::TryStartGroup(const PendingRequest& request) {
 
   // Remember what started this group so an MSU failure can re-place it.
   group_requests_[request.group] = request;
+
+  if (params_.ha.enabled) {
+    // Replicate the whole admitted group in one record: member streams, their
+    // ledger holds, and the originating request (for post-takeover failover).
+    ReplGroupStarted group_started;
+    group_started.group = request.group;
+    group_started.msu = chosen_msu;
+    group_started.request = request;
+    for (StreamId id : started) {
+      const ActiveStream& active = active_streams_[id];
+      ReplStreamMember member;
+      member.stream = id;
+      member.disk = active.disk;
+      member.component = active.component;
+      member.content_item = active.content_item;
+      member.recording = active.recording;
+      auto hold = ledger_.FindHold(id);
+      if (hold.has_value()) {
+        member.rate = hold->rate;
+        member.space = hold->space;
+      }
+      member.offset = active.last_offset;
+      group_started.members.push_back(std::move(member));
+    }
+    LogRecord(ReplRecord{std::move(group_started)});
+  }
 
   if (request.record && components.size() > 1) {
     // Parent composite record pointing at the component items.
@@ -512,7 +672,7 @@ Co<Status> Coordinator::TryStartGroup(const PendingRequest& request) {
     for (const Component& component : components) {
       parent.component_items.push_back(component.item_name);
     }
-    (void)catalog_.AddContent(std::move(parent));
+    (void)catalog_->AddContent(std::move(parent));
   }
   co_return OkStatus();
 }
@@ -544,6 +704,9 @@ Co<MessageBody> Coordinator::HandlePlay(TcpConn* conn, const PlayRequest& reques
     // "If a client's request cannot be satisfied, the Coordinator queues the
     // request until an MSU with the necessary resources becomes available."
     pending_.push_back(pending);
+    ReplPendingPushed pushed;
+    pushed.request = pending;
+    LogRecord(ReplRecord{std::move(pushed)});
     co_return MessageBody{PlayResponse{true, "", pending.group, true}};
   }
   co_return MessageBody{PlayResponse{false, started.ToString(), 0, false}};
@@ -559,7 +722,7 @@ Co<MessageBody> Coordinator::HandleRecord(TcpConn* conn, const RecordRequest& re
     co_return MessageBody{
         RecordResponse{false, "no such display port: " + request.display_port, 0, false}};
   }
-  if (catalog_.FindContent(request.content_name).ok()) {
+  if (catalog_->FindContent(request.content_name).ok()) {
     co_return MessageBody{
         RecordResponse{false, "content exists: " + request.content_name, 0, false}};
   }
@@ -585,6 +748,9 @@ Co<MessageBody> Coordinator::HandleRecord(TcpConn* conn, const RecordRequest& re
   }
   if (started.code() == StatusCode::kResourceExhausted) {
     pending_.push_back(pending);
+    ReplPendingPushed pushed;
+    pushed.request = pending;
+    LogRecord(ReplRecord{std::move(pushed)});
     co_return MessageBody{RecordResponse{true, "", pending.group, true}};
   }
   co_return MessageBody{RecordResponse{false, started.ToString(), 0, false}};
@@ -598,7 +764,7 @@ Co<MessageBody> Coordinator::HandleDelete(TcpConn* conn, const DeleteContentRequ
   if (!(*session)->admin) {
     co_return MessageBody{SimpleResponse{false, "delete requires administrative permission"}};
   }
-  auto record = catalog_.FindContent(request.content);
+  auto record = catalog_->FindContent(request.content);
   if (!record.ok()) {
     co_return MessageBody{SimpleResponse{false, record.status().ToString()}};
   }
@@ -613,7 +779,7 @@ Co<MessageBody> Coordinator::HandleDelete(TcpConn* conn, const DeleteContentRequ
     }
   }
   for (const std::string& item_name : items) {
-    auto item = catalog_.FindContent(item_name);
+    auto item = catalog_->FindContent(item_name);
     if (!item.ok()) {
       continue;
     }
@@ -626,14 +792,16 @@ Co<MessageBody> Coordinator::HandleDelete(TcpConn* conn, const DeleteContentRequ
       for (const std::string& file :
            {(*item)->file_name, (*item)->fast_forward_file, (*item)->fast_backward_file}) {
         if (!file.empty()) {
-          co_await msu_it->second.conn->Call(MessageBody{MsuDeleteFile{file}});
+          MsuDeleteFile erase_file{file};
+          erase_file.epoch = params_.ha.enabled ? epoch_ : 0;
+          co_await msu_it->second.conn->Call(MessageBody{std::move(erase_file)});
         }
       }
     }
-    (void)catalog_.RemoveContent(item_name);
+    (void)catalog_->RemoveContent(item_name);
   }
   if (composite) {
-    (void)catalog_.RemoveContent(request.content);
+    (void)catalog_->RemoveContent(request.content);
   }
   RetryPendingQueue();
   co_return MessageBody{SimpleResponse{true, ""}};
@@ -648,7 +816,7 @@ Co<MessageBody> Coordinator::HandleLoadFastScan(TcpConn* conn,
   if (!(*session)->admin) {
     co_return MessageBody{SimpleResponse{false, "fast-scan load requires admin permission"}};
   }
-  auto record = catalog_.FindContent(request.content);
+  auto record = catalog_->FindContent(request.content);
   if (!record.ok()) {
     co_return MessageBody{SimpleResponse{false, record.status().ToString()}};
   }
@@ -658,14 +826,62 @@ Co<MessageBody> Coordinator::HandleLoadFastScan(TcpConn* conn,
 }
 
 Co<MessageBody> Coordinator::HandleMsuRegister(TcpConn* conn, const MsuRegisterRequest& request) {
+  // Warm registration: the MSU never stopped serving, only its control
+  // connection moved (Coordinator failover) — keep the account and holds.
+  const MsuAccount* known = ledger_.Find(request.msu_node);
+  const bool warm =
+      request.warm && known != nullptr && known->disk_count == request.disk_count;
   MsuInfo& msu = msus_[request.msu_node];
   msu.node = request.msu_node;
+  if (!warm && known != nullptr) {
+    // Cold re-registration of a known MSU: whatever it was serving died with
+    // it. Tear its groups down (failover) before resetting the account.
+    bool busy = known->up;
+    if (!busy) {
+      for (const auto& [id, active] : active_streams_) {
+        if (active.msu == request.msu_node) {
+          busy = true;
+          break;
+        }
+      }
+    }
+    if (busy) {
+      msu.conn = nullptr;  // MarkMsuDown must not break the fresh connection
+      MarkMsuDown(msu);
+    }
+  }
   msu.conn = conn;
-  ledger_.RegisterMsu(request.msu_node, request.disk_count, request.free_space);
+  if (warm) {
+    ledger_.ReattachMsu(request.msu_node, request.disk_count, request.free_space,
+                        request.nic_bandwidth);
+  } else {
+    ledger_.RegisterMsu(request.msu_node, request.disk_count, request.free_space,
+                        request.nic_bandwidth);
+  }
+  MsuRegisterResponse ack{true, ""};
+  ack.epoch = params_.ha.enabled ? epoch_ : 0;
+  if (params_.ha.enabled) {
+    // Reconciliation sweep: streams the MSU still serves that we do not know
+    // are admissions lost in the failover window — the MSU quits them. (A
+    // single Coordinator without a standby keeps the historical behavior:
+    // orphaned streams play out on their own.)
+    for (StreamId id : request.active_streams) {
+      if (!active_streams_.contains(id)) {
+        ack.stale_streams.push_back(id);
+      }
+    }
+    ReplMsuUp up;
+    up.node = request.msu_node;
+    up.disk_count = request.disk_count;
+    up.free_space = request.free_space;
+    up.nic_budget = request.nic_bandwidth;
+    up.reattach = warm;
+    LogRecord(ReplRecord{std::move(up)});
+  }
   if (metrics_ != nullptr) {
     // Per-disk ledger gauges; SetGaugeCallback overwrites on re-registration
     // so MSU restarts do not stack stale callbacks.
-    const std::string prefix = "coord.ledger." + request.msu_node + ".";
+    const std::string prefix = metrics_prefix_ + ".ledger." + request.msu_node + ".";
     for (int d = 0; d < request.disk_count; ++d) {
       metrics_->SetGaugeCallback(
           prefix + "disk" + std::to_string(d) + ".reserved_kbps",
@@ -676,10 +892,11 @@ Co<MessageBody> Coordinator::HandleMsuRegister(TcpConn* conn, const MsuRegisterR
     });
   }
   if (trace_ != nullptr) {
-    trace_->Instant("coordinator", "coord", "msu-register", request.msu_node);
+    trace_->Instant(trace_track_, metrics_prefix_, "msu-register",
+                    request.msu_node + (warm ? " (warm)" : ""));
   }
   RetryPendingQueue();
-  co_return MessageBody{SimpleResponse{true, ""}};
+  co_return MessageBody{std::move(ack)};
 }
 
 void Coordinator::HandleStreamTerminated(const StreamTerminated& note) {
@@ -697,14 +914,18 @@ void Coordinator::HandleStreamTerminated(const StreamTerminated& note) {
   // catalog entry.
   const bool record_kept = active.recording && note.record_committed;
   (void)ledger_.Release(note.stream, record_kept ? note.bytes_moved : Bytes());
+  ReplStreamEnded ended;
+  ended.stream = note.stream;
+  ended.space_used = record_kept ? note.bytes_moved : Bytes();
+  LogRecord(ReplRecord{std::move(ended)});
   if (record_kept) {
-    auto record = catalog_.FindContent(active.content_item);
+    auto record = catalog_->FindContent(active.content_item);
     if (record.ok()) {
       (*record)->recording_in_progress = false;
       (*record)->duration = note.recorded_duration;
     }
   } else if (active.recording) {
-    (void)catalog_.RemoveContent(active.content_item);
+    (void)catalog_->RemoveContent(active.content_item);
   }
 
   auto group_it = groups_.find(active.group);
@@ -714,18 +935,21 @@ void Coordinator::HandleStreamTerminated(const StreamTerminated& note) {
     if (members.empty()) {
       groups_.erase(group_it);
       group_requests_.erase(active.group);
+      ReplGroupEnded group_ended;
+      group_ended.group = active.group;
+      LogRecord(ReplRecord{std::move(group_ended)});
       if (active.recording) {
         // Composite parent becomes playable when all components are sealed.
-        for (const ContentRecord* candidate : catalog_.ListContent()) {
+        for (const ContentRecord* candidate : catalog_->ListContent()) {
           if (candidate->is_composite() &&
               std::find(candidate->component_items.begin(), candidate->component_items.end(),
                         active.content_item) != candidate->component_items.end()) {
-            auto parent = catalog_.FindContent(candidate->name);
+            auto parent = catalog_->FindContent(candidate->name);
             if (parent.ok()) {
               (*parent)->recording_in_progress = false;
               SimTime longest;
               for (const std::string& item_name : (*parent)->component_items) {
-                auto item = catalog_.FindContent(item_name);
+                auto item = catalog_->FindContent(item_name);
                 if (item.ok()) {
                   longest = std::max(longest, (*item)->duration);
                 }
@@ -742,11 +966,17 @@ void Coordinator::HandleStreamTerminated(const StreamTerminated& note) {
 }
 
 void Coordinator::HandleProgressReport(const StreamProgressReport& report) {
+  ReplProgress progress;
   for (const StreamProgressReport::Entry& entry : report.entries) {
     auto it = active_streams_.find(entry.stream);
     if (it != active_streams_.end()) {
       it->second.last_offset = entry.media_offset;
+      progress.entries.push_back(ReplProgress::Entry{entry.stream, entry.media_offset});
     }
+  }
+  if (!progress.entries.empty()) {
+    // Keeps the standby's failover resume offsets fresh.
+    LogRecord(ReplRecord{std::move(progress)});
   }
 }
 
@@ -754,8 +984,11 @@ void Coordinator::MarkMsuDown(MsuInfo& msu) {
   msu.conn = nullptr;
   ledger_.MarkDown(msu.node);
   if (trace_ != nullptr) {
-    trace_->Instant("coordinator", "coord", "msu-down", msu.node);
+    trace_->Instant(trace_track_, metrics_prefix_, "msu-down", msu.node);
   }
+  ReplMsuDown down;
+  down.node = msu.node;
+  LogRecord(ReplRecord{std::move(down)});
 
   // Partition the failed MSU's streams by group (every member of a group
   // lives on one MSU, so a group is lost whole or not at all).
@@ -785,17 +1018,23 @@ void Coordinator::MarkMsuDown(MsuInfo& msu) {
       // keeps no usable bytes (the MSU deletes the uncommitted file when it
       // restarts), so nothing stays charged against the account.
       (void)ledger_.Release(id);
+      ReplStreamEnded ended;
+      ended.stream = id;
+      LogRecord(ReplRecord{std::move(ended)});
       if (active.recording) {
         // The half-recorded item is unusable; drop it from the catalog.
-        (void)catalog_.RemoveContent(active.content_item);
+        (void)catalog_->RemoveContent(active.content_item);
       }
       active_streams_.erase(id);
     }
     groups_.erase(group);
     group_requests_.erase(group);
+    ReplGroupEnded group_ended;
+    group_ended.group = group;
+    LogRecord(ReplRecord{std::move(group_ended)});
     if (recording) {
       if (have_request && resume.record) {
-        (void)catalog_.RemoveContent(resume.content);  // composite parent, if any
+        (void)catalog_->RemoveContent(resume.content);  // composite parent, if any
       }
       if (recordings_lost_ != nullptr) {
         recordings_lost_->Add();
@@ -833,7 +1072,7 @@ Task Coordinator::FailoverGroup(PendingRequest request) {
     const char* verdict = started.ok() ? "resumed"
                           : started.code() == StatusCode::kResourceExhausted ? "queued"
                                                                              : "failed";
-    trace_->Span("coordinator", "coord", "failover", failover_start,
+    trace_->Span(trace_track_, metrics_prefix_, "failover", failover_start,
                  "group " + std::to_string(request.group) + " " + verdict);
   }
   if (started.ok()) {
@@ -847,11 +1086,15 @@ Task Coordinator::FailoverGroup(PendingRequest request) {
   if (started.code() == StatusCode::kResourceExhausted) {
     // No survivor holds a copy with bandwidth headroom right now; wait in
     // the pending queue like any other unsatisfiable request.
+    ReplPendingPushed pushed;
+    pushed.request = request;
     pending_.push_back(std::move(request));
+    LogRecord(ReplRecord{std::move(pushed)});
     co_return;
   }
   CALLIOPE_LOG(kWarning, "coord") << "group " << request.group
                                   << " failover failed: " << started.ToString();
+  CountRequestLost();
   NotifyRequestFailed(std::move(request), started);
 }
 
@@ -860,8 +1103,10 @@ Task Coordinator::NotifyRequestFailed(PendingRequest request, Status error) {
   if (!session.ok() || (*session)->conn == nullptr) {
     co_return;
   }
+  PendingRequestFailed failed{request.group, error.ToString()};
+  failed.epoch = params_.ha.enabled ? epoch_ : 0;
   Envelope envelope;
-  envelope.body = MessageBody{PendingRequestFailed{request.group, error.ToString()}};
+  envelope.body = MessageBody{std::move(failed)};
   const Status sent = co_await (*session)->conn->Send(std::move(envelope));
   (void)sent;
 }
@@ -882,8 +1127,13 @@ Task Coordinator::RetryPendingQueue() {
     }
     PendingRequest request = std::move(pending_.front());
     pending_.pop_front();
+    ReplPendingPopped popped;
+    popped.group = request.group;
+    LogRecord(ReplRecord{std::move(popped)});
     if (!FindSession(request.session).ok()) {
-      continue;  // client went away while queued
+      // The client went away while queued: the request is gone for good.
+      CountRequestLost();
+      continue;
     }
     const SimTime admit_start = machine_->sim().Now();
     const Status started = co_await TryStartGroup(request);
@@ -898,11 +1148,15 @@ Task Coordinator::RetryPendingQueue() {
       // is dead so it can stop waiting for a stream that will never arrive.
       CALLIOPE_LOG(kWarning, "coord") << "queued request for '" << request.content
                                       << "' failed permanently: " << started.ToString();
+      CountRequestLost();
       NotifyRequestFailed(std::move(request), started);
     }
   }
   // Re-queue this pass's failures behind anything newly queued.
   for (PendingRequest& request : still_waiting) {
+    ReplPendingPushed pushed;
+    pushed.request = request;
+    LogRecord(ReplRecord{std::move(pushed)});
     pending_.push_back(std::move(request));
   }
   retry_scheduled_ = false;

@@ -8,6 +8,11 @@
 // satisfied yet, and detects MSU failures through broken TCP connections.
 // Once a stream is scheduled the client talks to the MSU directly; the
 // Coordinator only hears about it again at termination.
+//
+// With HaConfig.enabled two Coordinators form a warm-standby pair: the
+// primary ships an operation log to the standby (see replication.h), and an
+// epoch-fenced lease protocol governs takeover. HA member functions are
+// defined in replication.cc.
 #ifndef CALLIOPE_SRC_COORD_COORDINATOR_H_
 #define CALLIOPE_SRC_COORD_COORDINATOR_H_
 
@@ -18,6 +23,7 @@
 #include <vector>
 
 #include "src/coord/catalog.h"
+#include "src/coord/replication.h"
 #include "src/hw/machine.h"
 #include "src/ibtree/ibtree.h"
 #include "src/net/network.h"
@@ -25,6 +31,7 @@
 #include "src/obs/trace.h"
 #include "src/place/ledger.h"
 #include "src/place/policy.h"
+#include "src/sim/condition.h"
 
 namespace calliope {
 
@@ -42,24 +49,32 @@ struct CoordinatorParams {
   std::string placement_policy = "least-loaded";
   // Seed for stochastic policies (power-of-two), so runs stay reproducible.
   uint64_t placement_seed = 1996;
+  // Warm-standby pairing; disabled by default (single Coordinator).
+  HaConfig ha;
 };
 
 class Coordinator {
  public:
   Coordinator(Machine& machine, NetNode& node, Catalog catalog,
               CoordinatorParams params = CoordinatorParams());
+  // HA pairs share one Catalog instance — the paper's durable database, which
+  // both coordinators mount. Single-coordinator callers keep the by-value
+  // constructor above.
+  Coordinator(Machine& machine, NetNode& node, std::shared_ptr<Catalog> catalog,
+              CoordinatorParams params = CoordinatorParams());
 
   Coordinator(const Coordinator&) = delete;
   Coordinator& operator=(const Coordinator&) = delete;
 
-  Catalog& catalog() { return catalog_; }
+  Catalog& catalog() { return *catalog_; }
   const CoordinatorParams& params() const { return params_; }
 
   // Crash / recovery for fault-tolerance experiments. A crash loses all
   // in-memory scheduling state (sessions, active streams, pending queue,
-  // ledger); the catalog — the paper's durable database — survives. On
-  // restart the ledger is rebuilt from MSU re-registrations (MSUs reconnect
-  // on their own; clients must open new sessions).
+  // ledger); the catalog — the paper's durable database — survives. Without
+  // a standby, restart rebuilds the ledger from MSU re-registrations (MSUs
+  // reconnect on their own; clients must open new sessions). With HA enabled
+  // a restarted Coordinator rejoins as the standby of whoever took over.
   void Crash();
   void Restart();
   bool crashed() const { return crashed_; }
@@ -75,10 +90,21 @@ class Coordinator {
   const ResourceLedger& ledger() const { return ledger_; }
   const char* placement_policy_name() const { return policy_->name(); }
 
+  // ---- HA introspection ----
+  bool is_primary() const { return !params_.ha.enabled || role_ == HaRole::kPrimary; }
+  int64_t ha_epoch() const { return epoch_; }
+  // Standby: true once a snapshot from the current primary has been applied.
+  bool ha_joined() const { return joined_; }
+  int64_t takeover_count() const { return takeovers_count_; }
+  // Queued requests dropped for good (client notified where possible).
+  int64_t requests_lost() const { return requests_lost_count_; }
+
   // Publishes admission/failover/ledger instruments into `metrics` and
   // scheduling events into `trace`. Either may be null (standalone
-  // construction in unit tests).
-  void AttachObservability(MetricsRegistry* metrics, TraceRecorder* trace);
+  // construction in unit tests). `prefix` keys the instrument names so an HA
+  // pair's coordinators stay distinguishable ("coord" vs "coord2").
+  void AttachObservability(MetricsRegistry* metrics, TraceRecorder* trace,
+                           std::string prefix = "coord");
 
  private:
   // Connection bookkeeping only; capacity and load live in the ledger.
@@ -89,16 +115,10 @@ class Coordinator {
     TcpConn* conn = nullptr;
   };
 
-  struct DisplayPort {
-    DisplayPort() = default;
-
-    std::string name;
-    std::string type_name;
-    std::string node;
-    int udp_port = 0;
-    int control_port = 0;
-    std::vector<std::string> component_ports;  // for composite ports
-  };
+  // The wire structs double as the in-memory bookkeeping so the oplog can
+  // ship them verbatim (field sets are identical by construction).
+  using DisplayPort = DisplayPortSpec;
+  using PendingRequest = PendingPlayRequest;
 
   struct SessionInfo {
     SessionInfo() = default;
@@ -122,21 +142,6 @@ class Coordinator {
     bool recording = false;
     SessionId session = 0;
     SimTime last_offset;  // playback: last reported media position
-  };
-
-  // A play/record request waiting for resources.
-  struct PendingRequest {
-    PendingRequest() = default;
-
-    SessionId session = 0;
-    bool record = false;
-    std::string content;       // play: content name; record: new content name
-    std::string type_name;     // record only
-    SimTime estimated_length;  // record only
-    DisplayPort port;          // snapshot of the display port
-    GroupId group = 0;         // pre-assigned so the client can reference it
-    // Failover: per-component media offsets to resume playback at.
-    std::vector<SimTime> start_offsets;
   };
 
   // ---- wiring ----
@@ -189,11 +194,37 @@ class Coordinator {
   // bumps the right counter and emits an "admit" span for the decision.
   void RecordAdmission(const char* kind, const PendingRequest& request, const Status& outcome,
                        SimTime start);
+  // Bumps the lost-requests counter for a queued request dropped for good.
+  void CountRequestLost(int64_t count = 1);
+
+  // ---- HA / log shipping (definitions in replication.cc) ----
+  // Called from the constructor when params_.ha.enabled.
+  void StartHa();
+  void BecomeStandby();
+  // Appends one record to the primary's outgoing oplog (no-op otherwise).
+  void LogRecord(ReplRecord record);
+  // Blocks until the standby acked the log through `target`. True: flushed
+  // (or running solo, peer dead); false: we lost the primaryship meanwhile.
+  Co<bool> SyncReplicate(int64_t target);
+  Task ReplicationLoop();
+  Task StandbyWatchdog();
+  Co<MessageBody> HandleReplAppend(TcpConn* conn, const ReplAppendRequest& request);
+  void ApplyReplRecord(const ReplRecord& record);
+  std::vector<ReplRecord> BuildSnapshotRecords() const;
+  // Clears all replicated scheduling state (not the catalog, not counters).
+  void ResetVolatileState();
+  // Removes `group`'s parked request from the in-flight retry list (its
+  // outcome record arrived).
+  void DropInFlight(GroupId group);
+  // Primary lost its lease (partition) or saw a higher epoch: fence ourself.
+  void StepDown();
+  // Standby assumes the primaryship under `new_epoch`.
+  void TakeOver(int64_t new_epoch);
 
   Machine* machine_;
   NetNode* node_;
   CoordinatorParams params_;
-  Catalog catalog_;
+  std::shared_ptr<Catalog> catalog_;
   ResourceLedger ledger_;
   std::unique_ptr<PlacementPolicy> policy_;
   std::map<std::string, MsuInfo> msus_;
@@ -205,22 +236,54 @@ class Coordinator {
   // MSU's groups can be re-placed; erased when the group ends normally.
   std::map<GroupId, PendingRequest> group_requests_;
   std::deque<PendingRequest> pending_;
+  // Standby shadow: requests the primary popped for a retry whose outcome
+  // has not been logged yet. Re-queued on takeover (zero-amnesia for a crash
+  // mid-retry); always empty on a primary.
+  std::vector<PendingRequest> repl_in_flight_;
   SessionId next_session_ = 1;
   StreamId next_stream_ = 1;
   GroupId next_group_ = 1;
   int64_t requests_handled_ = 0;
+  int64_t requests_lost_count_ = 0;
   bool retry_scheduled_ = false;
   bool crashed_ = false;
+
+  // ---- HA state (meaningful only when params_.ha.enabled) ----
+  HaRole role_ = HaRole::kPrimary;
+  int64_t epoch_ = 1;
+  bool joined_ = false;        // standby: applied a snapshot from the primary
+  bool peer_joined_ = false;   // primary: the standby holds our snapshot
+  bool need_snapshot_ = true;  // primary: next batch must be a full install
+  TcpConn* repl_conn_ = nullptr;     // primary: outbound conn to the standby
+  TcpConn* repl_in_conn_ = nullptr;  // standby: inbound conn from the primary
+  std::vector<ReplRecord> pending_records_;  // primary: unshipped oplog tail
+  int64_t oplog_appended_ = 0;  // records appended this primaryship
+  int64_t oplog_acked_ = 0;     // records the standby has acknowledged
+  SimTime last_append_;   // standby: when the primary last appended
+  SimTime last_ack_;      // primary: when the standby last acked
+  SimTime standby_since_;
+  bool repl_loop_running_ = false;
+  bool standby_watchdog_running_ = false;
+  int64_t takeovers_count_ = 0;
+  std::unique_ptr<Condition> oplog_cond_;  // wakes the shipping loop
+  std::unique_ptr<Condition> flush_cond_;  // wakes SyncReplicate waiters
 
   // Observability (null when not attached). Counter pointers are cached once
   // at attach time; callbacks pull gauges at snapshot time.
   MetricsRegistry* metrics_ = nullptr;
   TraceRecorder* trace_ = nullptr;
+  std::string metrics_prefix_ = "coord";
+  std::string trace_track_ = "coordinator";
   Counter* admit_accepted_ = nullptr;
   Counter* admit_rejected_ = nullptr;
   Counter* admit_queued_ = nullptr;
   Counter* failover_groups_ = nullptr;
   Counter* recordings_lost_ = nullptr;
+  Counter* requests_lost_metric_ = nullptr;
+  Counter* takeovers_metric_ = nullptr;
+  Counter* repl_batches_ = nullptr;
+  Counter* repl_records_shipped_ = nullptr;
+  Histogram* takeover_gap_us_ = nullptr;
 };
 
 }  // namespace calliope

@@ -1,0 +1,650 @@
+// Warm-standby HA for the Coordinator: oplog shipping, epoch-fenced
+// takeover, standby replay. See replication.h for the protocol overview.
+#include <algorithm>
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/coord/coordinator.h"
+#include "src/util/backoff.h"
+#include "src/util/logging.h"
+
+namespace calliope {
+
+void Coordinator::StartHa() {
+  oplog_cond_ = std::make_unique<Condition>(machine_->sim());
+  flush_cond_ = std::make_unique<Condition>(machine_->sim());
+  if (params_.ha.start_as_standby) {
+    epoch_ = 0;  // learned from the primary's first snapshot
+    BecomeStandby();
+  } else {
+    role_ = HaRole::kPrimary;
+    epoch_ = 1;
+    ReplicationLoop();
+  }
+}
+
+void Coordinator::BecomeStandby() {
+  role_ = HaRole::kStandby;
+  joined_ = false;
+  peer_joined_ = false;
+  need_snapshot_ = true;
+  pending_records_.clear();
+  repl_conn_ = nullptr;
+  standby_since_ = machine_->sim().Now();
+  last_append_ = standby_since_;
+  if (trace_ != nullptr) {
+    trace_->Instant(trace_track_, metrics_prefix_, "standby",
+                    "epoch " + std::to_string(epoch_));
+  }
+  StandbyWatchdog();
+}
+
+void Coordinator::LogRecord(ReplRecord record) {
+  if (!params_.ha.enabled || role_ != HaRole::kPrimary || crashed_) {
+    return;
+  }
+  if (!peer_joined_) {
+    // No standby holds our snapshot; the next join's snapshot covers this
+    // mutation, so buffering the delta would only duplicate it.
+    need_snapshot_ = true;
+    return;
+  }
+  pending_records_.push_back(std::move(record));
+  ++oplog_appended_;
+  oplog_cond_->NotifyAll();
+}
+
+Co<bool> Coordinator::SyncReplicate(int64_t target) {
+  // Solo mode (peer dead, conn broken ⇒ node death in this simulator) waits
+  // on nothing; a live standby must ack before the caller replies.
+  while (!crashed_ && role_ == HaRole::kPrimary && peer_joined_ && oplog_acked_ < target) {
+    co_await flush_cond_->Wait();
+  }
+  co_return !crashed_ && role_ == HaRole::kPrimary;
+}
+
+Task Coordinator::ReplicationLoop() {
+  if (repl_loop_running_ || !params_.ha.enabled) {
+    co_return;
+  }
+  repl_loop_running_ = true;
+  BackoffParams backoff_params;
+  backoff_params.initial = SimTime::Millis(50);
+  backoff_params.max = params_.ha.heartbeat;
+  Backoff backoff(backoff_params, std::hash<std::string>{}(node_->name()) ^ 0x9e3779b9ULL);
+  while (!crashed_ && role_ == HaRole::kPrimary) {
+    if (repl_conn_ == nullptr) {
+      auto conn = co_await node_->ConnectTcp(params_.ha.peer_node, params_.ha.peer_port);
+      if (crashed_ || role_ != HaRole::kPrimary) {
+        break;
+      }
+      if (!conn.ok()) {
+        const SimTime delay = backoff.Next();
+        co_await machine_->sim().Delay(delay);
+        continue;
+      }
+      backoff.Reset();
+      repl_conn_ = *conn;
+      repl_conn_->set_close_handler([this](TcpConn* closed) {
+        if (closed != repl_conn_) {
+          return;
+        }
+        // The standby node died; continue solo and re-snapshot on rejoin.
+        repl_conn_ = nullptr;
+        peer_joined_ = false;
+        need_snapshot_ = true;
+        if (flush_cond_ != nullptr) {
+          flush_cond_->NotifyAll();
+        }
+      });
+      need_snapshot_ = true;
+    }
+
+    ReplAppendRequest req;
+    req.epoch = epoch_;
+    req.next_session = next_session_;
+    req.next_stream = next_stream_;
+    req.next_group = next_group_;
+    const bool snapshot = need_snapshot_;
+    if (snapshot) {
+      req.snapshot = true;
+      req.first_seq = 0;
+      req.records = BuildSnapshotRecords();
+      pending_records_.clear();
+    } else {
+      req.first_seq = oplog_acked_ + 1;
+      req.records = std::move(pending_records_);
+      pending_records_.clear();
+    }
+    const int64_t batch_target = oplog_appended_;
+    const size_t batch_size = req.records.size();
+    TcpConn* conn = repl_conn_;
+    auto response = co_await conn->Call(MessageBody{std::move(req)}, params_.ha.lease);
+    if (crashed_ || role_ != HaRole::kPrimary) {
+      break;
+    }
+    if (!response.ok()) {
+      if (repl_conn_ == nullptr || conn->broken() || conn->closed()) {
+        // Peer node death (the only way a conn breaks here): safe to serve
+        // solo. The dropped batch is covered by the rejoin snapshot.
+        repl_conn_ = nullptr;
+        peer_joined_ = false;
+        need_snapshot_ = true;
+        flush_cond_->NotifyAll();
+        const SimTime delay = backoff.Next();
+        co_await machine_->sim().Delay(delay);
+        continue;
+      }
+      // Silent-but-alive link: a partition. The standby may have applied our
+      // snapshot without the ack reaching us, so it can promote — fence
+      // ourself unconditionally. No split-brain: one primary per epoch.
+      CALLIOPE_LOG(kWarning, "coord")
+          << node_->name() << ": replication lease lost (partition?); stepping down";
+      StepDown();
+      break;
+    }
+    const auto* ack = std::get_if<ReplAppendResponse>(&response->body);
+    if (ack == nullptr) {
+      need_snapshot_ = true;
+      continue;
+    }
+    if (!ack->ok) {
+      if (ack->epoch > epoch_ || ack->error == "stale epoch") {
+        CALLIOPE_LOG(kWarning, "coord")
+            << node_->name() << ": deposed by epoch " << ack->epoch << "; stepping down";
+        StepDown();
+        break;
+      }
+      need_snapshot_ = true;  // "need snapshot": standby restarted unjoined
+      continue;
+    }
+    last_ack_ = machine_->sim().Now();
+    if (snapshot) {
+      peer_joined_ = true;
+      need_snapshot_ = false;
+      if (trace_ != nullptr) {
+        trace_->Instant(trace_track_, metrics_prefix_, "standby-joined",
+                        std::to_string(batch_size) + " snapshot records");
+      }
+    }
+    if (batch_target > oplog_acked_) {
+      oplog_acked_ = batch_target;
+    }
+    flush_cond_->NotifyAll();
+    if (repl_batches_ != nullptr) {
+      repl_batches_->Add();
+    }
+    if (repl_records_shipped_ != nullptr && batch_size > 0) {
+      repl_records_shipped_->Add(static_cast<int64_t>(batch_size));
+    }
+    if (pending_records_.empty() && !need_snapshot_) {
+      // Idle: sleep until new records or the heartbeat deadline (empty
+      // batches renew the standby's lease).
+      const SimTime deadline = machine_->sim().Now() + params_.ha.heartbeat;
+      EventToken token = machine_->sim().ScheduleCancelableAt(
+          deadline, [this] { oplog_cond_->NotifyAll(); });
+      co_await oplog_cond_->Wait();
+      token.Cancel();
+    }
+  }
+  repl_loop_running_ = false;
+}
+
+Task Coordinator::StandbyWatchdog() {
+  if (standby_watchdog_running_ || !params_.ha.enabled) {
+    co_return;
+  }
+  standby_watchdog_running_ = true;
+  while (true) {
+    co_await machine_->sim().Delay(params_.ha.heartbeat);
+    if (crashed_ || role_ == HaRole::kPrimary) {
+      break;
+    }
+    const SimTime now = machine_->sim().Now();
+    if (joined_ && now - last_append_ > params_.ha.takeover_grace) {
+      // The primary went silent past its lease; it has fenced itself by now
+      // (takeover_grace > lease, one simulated clock).
+      standby_watchdog_running_ = false;
+      TakeOver(epoch_ + 1);
+      co_return;
+    }
+    if (!joined_ && now - standby_since_ > params_.ha.orphan_grace) {
+      // Never saw a primary: both coordinators may have crashed before the
+      // first join. Promote two epochs ahead so this can never collide with
+      // a peer's +1 takeover; a higher-epoch primary deposes a lower one
+      // when the log channel connects.
+      standby_watchdog_running_ = false;
+      TakeOver(epoch_ + 2);
+      co_return;
+    }
+  }
+  standby_watchdog_running_ = false;
+}
+
+Co<MessageBody> Coordinator::HandleReplAppend(TcpConn* conn, const ReplAppendRequest& request) {
+  ReplAppendResponse ack;
+  ack.epoch = epoch_;
+  if (!params_.ha.enabled) {
+    ack.error = "ha disabled";
+    co_return MessageBody{std::move(ack)};
+  }
+  co_await machine_->cpu().Run(params_.request_compute, 0);
+  if (crashed_) {
+    ack.error = "coordinator down";
+    co_return MessageBody{std::move(ack)};
+  }
+  if (request.epoch < epoch_) {
+    ack.error = "stale epoch";
+    co_return MessageBody{std::move(ack)};
+  }
+  if (role_ == HaRole::kPrimary) {
+    if (request.epoch == epoch_) {
+      // Epoch allocation (+1/+2) makes two primaries on one epoch impossible;
+      // an equal-epoch append is our own stale peer echoing back.
+      ack.error = "stale epoch";
+      co_return MessageBody{std::move(ack)};
+    }
+    // A higher-epoch primary exists — we were deposed without noticing
+    // (e.g. healed partition). Fence first, then follow.
+    CALLIOPE_LOG(kWarning, "coord")
+        << node_->name() << ": saw primary with epoch " << request.epoch << "; stepping down";
+    StepDown();
+  }
+  if (request.snapshot) {
+    ResetVolatileState();
+    for (const ReplRecord& record : request.records) {
+      ApplyReplRecord(record);
+    }
+    joined_ = true;
+  } else {
+    if (!joined_) {
+      ack.error = "need snapshot";
+      co_return MessageBody{std::move(ack)};
+    }
+    for (const ReplRecord& record : request.records) {
+      ApplyReplRecord(record);
+    }
+  }
+  epoch_ = request.epoch;
+  next_session_ = request.next_session;
+  next_stream_ = request.next_stream;
+  next_group_ = request.next_group;
+  last_append_ = machine_->sim().Now();
+  repl_in_conn_ = conn;
+  StandbyWatchdog();  // no-op when already running
+  ack.ok = true;
+  ack.applied_seq = request.first_seq + static_cast<int64_t>(request.records.size()) - 1;
+  ack.epoch = epoch_;
+  co_return MessageBody{std::move(ack)};
+}
+
+void Coordinator::ApplyReplRecord(const ReplRecord& record) {
+  // Replay is mechanical and defensive: unknown ids no-op, no placement, no
+  // RPCs, and never a catalog write (the catalog is the shared durable
+  // database — the primary already updated it).
+  if (const auto* r = std::get_if<ReplSessionOpened>(&record)) {
+    SessionInfo session;
+    session.id = r->session;
+    session.customer = r->customer;
+    session.admin = r->admin;
+    session.conn = nullptr;
+    sessions_[r->session] = std::move(session);
+    return;
+  }
+  if (const auto* r = std::get_if<ReplSessionClosed>(&record)) {
+    sessions_.erase(r->session);
+    return;
+  }
+  if (const auto* r = std::get_if<ReplPortRegistered>(&record)) {
+    auto it = sessions_.find(r->session);
+    if (it != sessions_.end()) {
+      it->second.ports[r->port.name] = r->port;
+    }
+    return;
+  }
+  if (const auto* r = std::get_if<ReplPortUnregistered>(&record)) {
+    auto it = sessions_.find(r->session);
+    if (it != sessions_.end()) {
+      it->second.ports.erase(r->port_name);
+    }
+    return;
+  }
+  if (const auto* r = std::get_if<ReplMsuUp>(&record)) {
+    if (r->reattach) {
+      ledger_.ReattachMsu(r->node, r->disk_count, r->free_space, r->nic_budget);
+    } else {
+      ledger_.RegisterMsu(r->node, r->disk_count, r->free_space, r->nic_budget);
+    }
+    MsuInfo& msu = msus_[r->node];
+    msu.node = r->node;
+    msu.conn = nullptr;  // the MSU dials the primary, never the standby
+    return;
+  }
+  if (const auto* r = std::get_if<ReplMsuDown>(&record)) {
+    auto it = msus_.find(r->node);
+    if (it != msus_.end()) {
+      it->second.conn = nullptr;
+    }
+    ledger_.MarkDown(r->node);
+    // Stream teardown arrives as explicit ReplStreamEnded/ReplGroupEnded
+    // records, so replay stays order-faithful to the primary.
+    return;
+  }
+  if (const auto* r = std::get_if<ReplGroupStarted>(&record)) {
+    std::vector<ResourceLedger::ReserveItem> items;
+    for (const ReplStreamMember& member : r->members) {
+      items.push_back(ResourceLedger::ReserveItem{member.disk, member.rate, member.space});
+    }
+    auto reservation = ledger_.Reserve(r->msu, std::move(items));
+    if (reservation.ok()) {
+      ResourceLedger::Txn txn = std::move(reservation).value();
+      for (size_t i = 0; i < r->members.size(); ++i) {
+        txn.Commit(i, r->members[i].stream);
+      }
+    }
+    for (const ReplStreamMember& member : r->members) {
+      ActiveStream active;
+      active.id = member.stream;
+      active.group = r->group;
+      active.msu = r->msu;
+      active.disk = member.disk;
+      active.component = member.component;
+      active.content_item = member.content_item;
+      active.recording = member.recording;
+      active.session = r->request.session;
+      active.last_offset = member.offset;
+      active_streams_[member.stream] = std::move(active);
+      groups_[r->group].push_back(member.stream);
+    }
+    group_requests_[r->group] = r->request;
+    DropInFlight(r->group);  // the retry the pop announced has landed
+    return;
+  }
+  if (const auto* r = std::get_if<ReplStreamEnded>(&record)) {
+    auto it = active_streams_.find(r->stream);
+    if (it == active_streams_.end()) {
+      return;
+    }
+    const GroupId group = it->second.group;
+    active_streams_.erase(it);
+    (void)ledger_.Release(r->stream, r->space_used);
+    auto group_it = groups_.find(group);
+    if (group_it != groups_.end()) {
+      auto& members = group_it->second;
+      members.erase(std::remove(members.begin(), members.end(), r->stream), members.end());
+      // Group/bookkeeping erasure waits for the explicit ReplGroupEnded.
+    }
+    return;
+  }
+  if (const auto* r = std::get_if<ReplGroupEnded>(&record)) {
+    groups_.erase(r->group);
+    group_requests_.erase(r->group);
+    return;
+  }
+  if (const auto* r = std::get_if<ReplPendingPushed>(&record)) {
+    DropInFlight(r->request.group);  // an exhausted retry went back in line
+    pending_.push_back(r->request);
+    return;
+  }
+  if (const auto* r = std::get_if<ReplPendingPopped>(&record)) {
+    // Don't forget the request yet: the primary popped it to retry, but may
+    // die before logging the outcome. It parks in the in-flight list until a
+    // ReplGroupStarted / ReplPendingPushed resolves it; takeover re-queues
+    // whatever is still parked, so a crash mid-retry never loses a request
+    // the client was told is queued.
+    for (auto it = pending_.begin(); it != pending_.end(); ++it) {
+      if (it->group == r->group) {
+        repl_in_flight_.push_back(std::move(*it));
+        pending_.erase(it);
+        break;
+      }
+    }
+    return;
+  }
+  if (const auto* r = std::get_if<ReplProgress>(&record)) {
+    for (const ReplProgress::Entry& entry : r->entries) {
+      auto it = active_streams_.find(entry.stream);
+      if (it != active_streams_.end()) {
+        it->second.last_offset = entry.offset;
+      }
+    }
+    return;
+  }
+}
+
+std::vector<ReplRecord> Coordinator::BuildSnapshotRecords() const {
+  std::vector<ReplRecord> records;
+  // MSU accounts first: replayed group reservations need them in place.
+  for (const auto& [name, account] : ledger_.msus()) {
+    ReplMsuUp up;
+    up.node = name;
+    up.disk_count = account.disk_count;
+    // Add back the space held by current-epoch streams: the standby's replay
+    // of ReplGroupStarted re-debits it through Reserve.
+    Bytes free = account.free_space;
+    ledger_.ForEachHold([&](StreamId, const ResourceLedger::HoldInfo& hold) {
+      if (hold.msu == name && hold.current_epoch) {
+        free += hold.space;
+      }
+    });
+    up.free_space = free;
+    up.nic_budget = account.nic_budget;
+    up.reattach = false;
+    records.push_back(ReplRecord{std::move(up)});
+    if (!account.up) {
+      ReplMsuDown down;
+      down.node = name;
+      records.push_back(ReplRecord{std::move(down)});
+    }
+  }
+  for (const auto& [id, session] : sessions_) {
+    ReplSessionOpened opened;
+    opened.session = id;
+    opened.customer = session.customer;
+    opened.admin = session.admin;
+    records.push_back(ReplRecord{std::move(opened)});
+    for (const auto& [port_name, port] : session.ports) {
+      ReplPortRegistered registered;
+      registered.session = id;
+      registered.port = port;
+      records.push_back(ReplRecord{std::move(registered)});
+    }
+  }
+  for (const auto& [group, request] : group_requests_) {
+    ReplGroupStarted started;
+    started.group = group;
+    started.request = request;
+    auto group_it = groups_.find(group);
+    if (group_it != groups_.end()) {
+      for (StreamId id : group_it->second) {
+        auto stream_it = active_streams_.find(id);
+        if (stream_it == active_streams_.end()) {
+          continue;
+        }
+        const ActiveStream& active = stream_it->second;
+        started.msu = active.msu;
+        ReplStreamMember member;
+        member.stream = id;
+        member.disk = active.disk;
+        member.component = active.component;
+        member.content_item = active.content_item;
+        member.recording = active.recording;
+        auto hold = ledger_.FindHold(id);
+        if (hold.has_value()) {
+          member.rate = hold->rate;
+          member.space = hold->space;
+        }
+        member.offset = active.last_offset;
+        started.members.push_back(std::move(member));
+      }
+    }
+    records.push_back(ReplRecord{std::move(started)});
+  }
+  for (const PendingRequest& request : pending_) {
+    ReplPendingPushed pushed;
+    pushed.request = request;
+    records.push_back(ReplRecord{std::move(pushed)});
+  }
+  return records;
+}
+
+void Coordinator::ResetVolatileState() {
+  msus_.clear();
+  sessions_.clear();
+  conn_sessions_.clear();
+  active_streams_.clear();
+  groups_.clear();
+  group_requests_.clear();
+  pending_.clear();
+  repl_in_flight_.clear();
+  ledger_ = ResourceLedger();
+}
+
+void Coordinator::StepDown() {
+  if (role_ != HaRole::kPrimary) {
+    return;
+  }
+  // Flip the role first so OnConnClosed treats the closures below as
+  // housekeeping, not MSU failures.
+  role_ = HaRole::kStandby;
+  if (trace_ != nullptr) {
+    trace_->Instant(trace_track_, metrics_prefix_, "stepdown",
+                    "epoch " + std::to_string(epoch_));
+  }
+  std::vector<TcpConn*> conns;
+  for (auto& [name, msu] : msus_) {
+    if (msu.conn != nullptr) {
+      conns.push_back(msu.conn);
+      msu.conn = nullptr;
+    }
+  }
+  for (auto& [id, session] : sessions_) {
+    if (session.conn != nullptr) {
+      conns.push_back(session.conn);
+      session.conn = nullptr;
+    }
+  }
+  if (repl_conn_ != nullptr) {
+    conns.push_back(repl_conn_);
+    repl_conn_ = nullptr;
+  }
+  if (repl_in_conn_ != nullptr) {
+    conns.push_back(repl_in_conn_);
+    repl_in_conn_ = nullptr;
+  }
+  conn_sessions_.clear();
+  for (TcpConn* conn : conns) {
+    conn->Close();  // MSUs and clients redial and find the new primary
+  }
+  ResetVolatileState();  // the new primary's snapshot rebuilds our shadow
+  peer_joined_ = false;
+  pending_records_.clear();
+  oplog_appended_ = 0;
+  oplog_acked_ = 0;
+  flush_cond_->NotifyAll();  // SyncReplicate waiters fail with "not primary"
+  BecomeStandby();
+}
+
+void Coordinator::TakeOver(int64_t new_epoch) {
+  if (crashed_ || role_ == HaRole::kPrimary) {
+    return;
+  }
+  const SimTime now = machine_->sim().Now();
+  const SimTime gap = now - last_append_;
+  epoch_ = new_epoch;
+  role_ = HaRole::kPrimary;
+  joined_ = false;
+  peer_joined_ = false;
+  need_snapshot_ = true;
+  pending_records_.clear();
+  oplog_appended_ = 0;
+  oplog_acked_ = 0;
+  ++takeovers_count_;
+  if (takeovers_metric_ != nullptr) {
+    takeovers_metric_->Add();
+  }
+  if (takeover_gap_us_ != nullptr) {
+    takeover_gap_us_->Record(gap.micros());
+  }
+  if (trace_ != nullptr) {
+    trace_->Instant(trace_track_, metrics_prefix_, "takeover",
+                    "epoch " + std::to_string(new_epoch) + ", gap " +
+                        std::to_string(gap.micros()) + "us");
+  }
+  CALLIOPE_LOG(kInfo, "coord") << node_->name() << ": taking over as primary, epoch "
+                               << new_epoch << " (gap " << gap.micros() << "us)";
+  if (repl_in_conn_ != nullptr) {
+    TcpConn* conn = repl_in_conn_;
+    repl_in_conn_ = nullptr;
+    conn->Close();
+  }
+  ReplicationLoop();
+  // Reconciliation sweep: MSUs that do not redial us within the grace window
+  // are dead; their groups fail over to surviving replicas.
+  for (const auto& [name, msu] : msus_) {
+    machine_->sim().ScheduleAfter(params_.ha.msu_rejoin_grace, [this, node = name] {
+      if (crashed_ || role_ != HaRole::kPrimary) {
+        return;
+      }
+      auto it = msus_.find(node);
+      if (it != msus_.end() && it->second.conn == nullptr && ledger_.IsUp(node)) {
+        CALLIOPE_LOG(kWarning, "coord")
+            << node_->name() << ": MSU " << node << " never rejoined after takeover";
+        MarkMsuDown(it->second);
+      }
+    });
+  }
+  // Requests the old primary popped for a retry whose outcome never made the
+  // log go back in line: better a duplicate failure notification than a
+  // request the client believes is queued silently evaporating.
+  for (PendingRequest& request : repl_in_flight_) {
+    pending_.push_back(std::move(request));
+  }
+  repl_in_flight_.clear();
+  // Groups whose MSU failover was in flight when the primary died: their
+  // ReplStreamEnded records arrived but the restart on a survivor was never
+  // logged. Re-run the failover pipeline for any group left with no streams.
+  // (A normal quit logs StreamEnded + GroupEnded back-to-back in one batch,
+  // so a member-less group here really is an interrupted failover.)
+  std::vector<PendingRequest> orphaned;
+  for (const auto& [group, request] : group_requests_) {
+    auto members = groups_.find(group);
+    if (members != groups_.end() && !members->second.empty()) {
+      continue;
+    }
+    bool queued = false;
+    for (const PendingRequest& waiting : pending_) {
+      if (waiting.group == group) {
+        queued = true;
+        break;
+      }
+    }
+    if (!queued) {
+      orphaned.push_back(request);
+    }
+  }
+  for (PendingRequest& request : orphaned) {
+    CALLIOPE_LOG(kWarning, "coord") << node_->name() << ": group " << request.group
+                                    << " was mid-failover at takeover; retrying";
+    // Match MarkMsuDown's contract: failover owns the request, the stale
+    // bookkeeping goes first.
+    groups_.erase(request.group);
+    group_requests_.erase(request.group);
+    FailoverGroup(std::move(request));
+  }
+  // Queued requests survived the failover; try them against our ledger.
+  RetryPendingQueue();
+}
+
+void Coordinator::DropInFlight(GroupId group) {
+  for (auto it = repl_in_flight_.begin(); it != repl_in_flight_.end(); ++it) {
+    if (it->group == group) {
+      repl_in_flight_.erase(it);
+      return;
+    }
+  }
+}
+
+}  // namespace calliope

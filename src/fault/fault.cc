@@ -18,6 +18,8 @@ const char* FaultClassName(FaultClass what) {
       return "msu-crash";
     case FaultClass::kCoordinatorRestart:
       return "coordinator-restart";
+    case FaultClass::kCoordinatorCrash:
+      return "coordinator-crash";
   }
   return "unknown";
 }
@@ -45,6 +47,7 @@ std::string FaultEvent::ToString() const {
       break;
     case FaultClass::kMsuCrash:
     case FaultClass::kCoordinatorRestart:
+    case FaultClass::kCoordinatorCrash:
       break;
   }
   return out;
@@ -118,7 +121,8 @@ FaultEvent MakeEvent(Rng& rng, FaultClass what, const FaultPlanOptions& options)
       event.at = RandStart(rng, options, event.duration);
       break;
     }
-    case FaultClass::kCoordinatorRestart: {
+    case FaultClass::kCoordinatorRestart:
+    case FaultClass::kCoordinatorCrash: {
       event.duration = RandSpan(rng, SimTime::Seconds(1), SimTime::Seconds(3));
       event.at = RandStart(rng, options, event.duration);
       break;
@@ -139,6 +143,9 @@ FaultPlan FaultPlan::Random(uint64_t seed, const FaultPlanOptions& options) {
   }
   if (options.include_coordinator_restart) {
     classes.push_back(FaultClass::kCoordinatorRestart);
+  }
+  if (options.include_coordinator_crash) {
+    classes.push_back(FaultClass::kCoordinatorCrash);
   }
   for (FaultClass what : classes) {
     plan.events.push_back(MakeEvent(rng, what, options));
@@ -194,6 +201,11 @@ void FaultInjector::AttachCoordinator(Coordinator* coordinator, std::string coor
   coordinator_node_ = std::move(coordinator_node);
 }
 
+void FaultInjector::AttachStandbyCoordinator(Coordinator* coordinator, std::string node) {
+  standby_coordinator_ = coordinator;
+  standby_node_ = std::move(node);
+}
+
 void FaultInjector::AttachObservability(MetricsRegistry* metrics, TraceRecorder* recorder) {
   metrics_ = metrics;
   recorder_ = recorder;
@@ -207,6 +219,8 @@ void FaultInjector::AttachObservability(MetricsRegistry* metrics, TraceRecorder*
   metrics_->SetGaugeCallback("fault.msu_crashes", [this] { return msu_crashes_; });
   metrics_->SetGaugeCallback("fault.coordinator_restarts",
                              [this] { return coordinator_restarts_; });
+  metrics_->SetGaugeCallback("fault.coordinator_crashes",
+                             [this] { return coordinator_crashes_; });
 }
 
 void FaultInjector::Trace(const std::string& line) {
@@ -243,6 +257,12 @@ Status FaultInjector::Arm(FaultPlan plan) {
       case FaultClass::kCoordinatorRestart:
         if (coordinator_ == nullptr) {
           return FailedPreconditionError("fault plan restarts an unattached coordinator");
+        }
+        break;
+      case FaultClass::kCoordinatorCrash:
+        if (coordinator_ == nullptr || standby_coordinator_ == nullptr) {
+          return FailedPreconditionError(
+              "coordinator-crash events need both HA coordinators attached");
         }
         break;
       case FaultClass::kLinkDelay:
@@ -296,6 +316,37 @@ Status FaultInjector::Arm(FaultPlan plan) {
         }
         Trace("coordinator-restart");
         coordinator_->Restart();
+      });
+    } else if (event.what == FaultClass::kCoordinatorCrash) {
+      // Which member of the pair is primary depends on earlier takeovers, so
+      // resolve the victim at fire time and share it with the rejoin event.
+      auto victim = std::make_shared<Coordinator*>(nullptr);
+      sim_->ScheduleAt(event.at, [this, victim] {
+        Coordinator* primary = nullptr;
+        std::string name;
+        if (coordinator_ != nullptr && !coordinator_->crashed() && coordinator_->is_primary()) {
+          primary = coordinator_;
+          name = coordinator_node_;
+        } else if (standby_coordinator_ != nullptr && !standby_coordinator_->crashed() &&
+                   standby_coordinator_->is_primary()) {
+          primary = standby_coordinator_;
+          name = standby_node_;
+        }
+        if (primary == nullptr) {
+          Trace("coordinator-crash skipped: no live primary");
+          return;
+        }
+        *victim = primary;
+        ++coordinator_crashes_;
+        Trace("coordinator-crash " + name);
+        primary->Crash();
+      });
+      sim_->ScheduleAt(event.end(), [this, victim] {
+        if (*victim == nullptr || !(*victim)->crashed()) {
+          return;
+        }
+        Trace("coordinator-rejoin");
+        (*victim)->Restart();
       });
     }
   }

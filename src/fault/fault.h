@@ -41,6 +41,10 @@ enum class FaultClass {
   kPartition,           // node pair unreachable (UDP lost, TCP held)
   kMsuCrash,            // Msu::Crash at `at`, Restart after `duration`
   kCoordinatorRestart,  // Coordinator::Crash at `at`, Restart after `duration`
+  // Warm-standby HA: kill whichever coordinator is the current PRIMARY at
+  // `at` (the standby takes over via the lease protocol), restart the dead
+  // one after `duration` — it rejoins as the new standby.
+  kCoordinatorCrash,
 };
 
 const char* FaultClassName(FaultClass what);
@@ -77,6 +81,9 @@ struct FaultPlanOptions {
   std::vector<std::string> other_nodes;  // extra link endpoints (clients, coordinator)
   bool include_msu_crash = true;
   bool include_coordinator_restart = true;
+  // kCoordinatorCrash events need a standby attached; default off so plans
+  // for single-coordinator installations are unchanged.
+  bool include_coordinator_crash = false;
 };
 
 struct FaultPlan {
@@ -106,6 +113,8 @@ class FaultInjector {
   // crash/restart target.
   void AttachMsu(const std::string& node, Msu* msu);
   void AttachCoordinator(Coordinator* coordinator, std::string coordinator_node);
+  // Warm-standby HA pair member; required for kCoordinatorCrash events.
+  void AttachStandbyCoordinator(Coordinator* coordinator, std::string node);
 
   // One line per fault firing (crashes, restarts); window events are traced
   // when they first bite. Useful as part of a determinism fingerprint.
@@ -127,6 +136,7 @@ class FaultInjector {
   int64_t datagrams_delayed() const { return datagrams_delayed_; }
   int64_t msu_crashes() const { return msu_crashes_; }
   int64_t coordinator_restarts() const { return coordinator_restarts_; }
+  int64_t coordinator_crashes() const { return coordinator_crashes_; }
 
  private:
   DiskFault OnDiskAccess(const std::string& node, int disk, Disk::Op op);
@@ -144,6 +154,8 @@ class FaultInjector {
   std::map<std::string, Msu*> msus_;
   Coordinator* coordinator_ = nullptr;
   std::string coordinator_node_;
+  Coordinator* standby_coordinator_ = nullptr;
+  std::string standby_node_;
   std::function<void(const std::string&)> trace_;
   MetricsRegistry* metrics_ = nullptr;
   TraceRecorder* recorder_ = nullptr;
@@ -157,6 +169,7 @@ class FaultInjector {
   int64_t datagrams_delayed_ = 0;
   int64_t msu_crashes_ = 0;
   int64_t coordinator_restarts_ = 0;
+  int64_t coordinator_crashes_ = 0;
 };
 
 }  // namespace calliope

@@ -2,6 +2,7 @@
 
 #include <utility>
 
+#include "src/util/backoff.h"
 #include "src/util/logging.h"
 
 namespace calliope {
@@ -110,6 +111,32 @@ void Msu::OnMediaDatagram(const Datagram& datagram) {
   it->second->OnRecordedPacket(payload->packet);
 }
 
+bool Msu::AcceptEpoch(int64_t epoch, const std::string& host) {
+  if (epoch <= 0) {
+    return true;  // HA disabled
+  }
+  if (epoch < last_epoch_) {
+    return false;  // deposed primary
+  }
+  auto it = epoch_hosts_.find(epoch);
+  if (it != epoch_hosts_.end() && it->second != host) {
+    return false;  // a second coordinator claiming an already-claimed epoch
+  }
+  epoch_hosts_[epoch] = host;
+  last_epoch_ = epoch;
+  return true;
+}
+
+std::string Msu::NextCoordinatorHost() {
+  if (params_.coordinator_hosts.empty()) {
+    return coordinator_host_;
+  }
+  const std::string& host =
+      params_.coordinator_hosts[host_index_ % params_.coordinator_hosts.size()];
+  ++host_index_;
+  return host;
+}
+
 Co<Status> Msu::RegisterWithCoordinator(std::string coordinator_node) {
   coordinator_host_ = coordinator_node;
   auto conn = co_await node_->ConnectTcp(coordinator_node, params_.coordinator_port);
@@ -127,11 +154,18 @@ Co<Status> Msu::RegisterWithCoordinator(std::string coordinator_node) {
     ScheduleReconnect();
   });
   coordinator_conn_->set_request_handler(
-      [this](const MessageBody& body) -> Co<MessageBody> {
+      [this, host = coordinator_node](const MessageBody& body) -> Co<MessageBody> {
         if (const auto* start = std::get_if<MsuStartStream>(&body)) {
+          // Epoch fence: refuse data-path commands from a deposed primary.
+          if (!AcceptEpoch(start->epoch, host)) {
+            co_return MessageBody{MsuStartStreamResponse{false, "stale epoch"}};
+          }
           co_return co_await HandleStartStream(*start);
         }
         if (const auto* del = std::get_if<MsuDeleteFile>(&body)) {
+          if (!AcceptEpoch(del->epoch, host)) {
+            co_return MessageBody{SimpleResponse{false, "stale epoch"}};
+          }
           const Status deleted = fs_.Delete(del->file);
           if (deleted.ok()) {
             FlushMetadataBehind();
@@ -145,16 +179,69 @@ Co<Status> Msu::RegisterWithCoordinator(std::string coordinator_node) {
   reg.msu_node = node_->name();
   reg.disk_count = static_cast<int>(machine_->disk_count());
   reg.free_space = fs_.TotalFreeSpace();
+  reg.nic_bandwidth = machine_->fddi().params().wire_rate;
+  reg.warm = warm_eligible_;
+  if (reg.warm) {
+    for (const auto& [id, stream] : streams_) {
+      reg.active_streams.push_back(id);
+    }
+  }
   auto response = co_await coordinator_conn_->Call(MessageBody{std::move(reg)});
   if (!response.ok()) {
     co_return response.status();
   }
-  const auto* ack = std::get_if<SimpleResponse>(&response->body);
-  if (ack == nullptr || !ack->ok) {
-    co_return InternalError("coordinator rejected registration: " +
-                            (ack != nullptr ? ack->error : "bad response type"));
+  bool ok = false;
+  std::string error = "bad response type";
+  int64_t epoch = 0;
+  std::vector<StreamId> stale;
+  if (const auto* full = std::get_if<MsuRegisterResponse>(&response->body)) {
+    ok = full->ok;
+    error = full->error;
+    epoch = full->epoch;
+    stale = full->stale_streams;
+  } else if (const auto* simple = std::get_if<SimpleResponse>(&response->body)) {
+    ok = simple->ok;
+    error = simple->error;
   }
+  const bool epoch_ok = ok && AcceptEpoch(epoch, coordinator_node);
+  if (!ok || !epoch_ok) {
+    // Drop the useless connection (a standby, a deposed primary, or an epoch
+    // conflict) so the redial loop keeps cycling hosts instead of treating
+    // the live-but-wrong connection as success.
+    TcpConn* stale_conn = coordinator_conn_;
+    coordinator_conn_ = nullptr;
+    if (stale_conn != nullptr && !stale_conn->closed()) {
+      stale_conn->Close();
+    }
+    if (!ok) {
+      co_return InternalError("coordinator rejected registration: " + error);
+    }
+    co_return InternalError("coordinator epoch " + std::to_string(epoch) +
+                            " is stale or conflicts (have " + std::to_string(last_epoch_) + ")");
+  }
+  // Streams the new primary does not know about (admitted by the old primary
+  // but never replicated): quit them locally so the resources free up; their
+  // termination notes are dropped by the Coordinator as unknown streams.
+  if (!stale.empty()) {
+    QuitStaleStreams(std::move(stale));
+  }
+  warm_eligible_ = true;
+  // Terminations that went unacknowledged while no primary was reachable are
+  // owed to the new one.
+  FlushTerminationNotes();
   co_return OkStatus();
+}
+
+Task Msu::QuitStaleStreams(std::vector<StreamId> stale) {
+  for (StreamId id : stale) {
+    auto it = streams_.find(id);
+    if (it == streams_.end()) {
+      continue;
+    }
+    CALLIOPE_LOG(kWarning, "msu") << node_->name() << ": quitting stale stream " << id
+                                  << " (unknown to the new primary)";
+    co_await it->second->Quit();
+  }
 }
 
 Co<void> Msu::EnsureControlConn(Group& group, const MsuStartStream& request) {
@@ -400,11 +487,42 @@ void Msu::OnStreamFinished(MsuStream* stream) {
   streams_.erase(it);
 }
 
-Task Msu::NotifyTermination(StreamTerminated note) {
-  if (coordinator_conn_ == nullptr || coordinator_conn_->closed()) {
+void Msu::NotifyTermination(StreamTerminated note) {
+  // Queue-then-flush so a primary failover between the stream ending and the
+  // note arriving cannot orphan the termination: the note stays queued until
+  // some primary acknowledges it.
+  unsent_notes_.push_back(std::move(note));
+  FlushTerminationNotes();
+}
+
+Task Msu::FlushTerminationNotes() {
+  if (notes_flushing_) {
     co_return;
   }
-  co_await coordinator_conn_->Send(Envelope{0, false, MessageBody{std::move(note)}});
+  notes_flushing_ = true;
+  while (!unsent_notes_.empty() && !crashed_ && coordinator_conn_ != nullptr &&
+         !coordinator_conn_->closed()) {
+    StreamTerminated note = unsent_notes_.front();
+    auto response = co_await coordinator_conn_->Call(MessageBody{std::move(note)});
+    if (!response.ok()) {
+      break;  // conn broke; the close handler's reconnect re-triggers a flush
+    }
+    const auto* ack = std::get_if<SimpleResponse>(&response->body);
+    if (ack == nullptr || !ack->ok) {
+      // "not primary": the coordinator stepped down between our registration
+      // and this call. Keep the note queued, drop the stale connection and
+      // redial until the new primary answers.
+      TcpConn* stale = coordinator_conn_;
+      coordinator_conn_ = nullptr;
+      if (stale != nullptr && !stale->closed()) {
+        stale->Close();
+      }
+      ScheduleReconnect();
+      break;
+    }
+    unsent_notes_.pop_front();
+  }
+  notes_flushing_ = false;
 }
 
 Task Msu::ProgressReporter() {
@@ -455,6 +573,11 @@ void Msu::Crash() {
   groups_.clear();
   node_->SetDown(true);
   coordinator_conn_ = nullptr;
+  // The process died: queued termination notes and warm-registration
+  // eligibility are gone. epoch_hosts_ survives (a tiny durable epoch file),
+  // so a restarted MSU still fences deposed primaries.
+  unsent_notes_.clear();
+  warm_eligible_ = false;
 }
 
 void Msu::ScheduleReconnect() {
@@ -466,15 +589,27 @@ void Msu::ScheduleReconnect() {
 }
 
 Task Msu::ReconnectLoop() {
+  // Capped exponential backoff with seeded jitter: retries grow politely and
+  // the fleet's redials do not synchronize, yet the schedule is a pure
+  // function of the node name so runs stay bit-reproducible.
+  BackoffParams backoff_params;
+  backoff_params.initial = SimTime::Millis(200);
+  backoff_params.max = SimTime::Seconds(2);
+  Backoff backoff(backoff_params, std::hash<std::string>{}(node_->name()) ^ 0x5bd1e995ULL);
   for (;;) {
-    co_await sim().Delay(SimTime::Millis(500));
+    {
+      const SimTime delay = backoff.Next();
+      co_await sim().Delay(delay);
+    }
     if (crashed_) {
       break;
     }
     if (coordinator_conn_ != nullptr && !coordinator_conn_->closed()) {
       break;  // an explicit Restart() already re-registered
     }
-    const Status registered = co_await RegisterWithCoordinator(coordinator_host_);
+    // Cycle the configured coordinator pair (warm-standby HA): whichever one
+    // is the current primary accepts; the standby refuses and we move on.
+    const Status registered = co_await RegisterWithCoordinator(NextCoordinatorHost());
     if (registered.ok()) {
       break;
     }

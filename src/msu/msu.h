@@ -147,6 +147,9 @@ struct MsuParams {
   bool elevator_scheduling = false;
   int coordinator_port = 5000;
   int media_udp_port = 7000;    // MSU-side recording receive port base
+  // Coordinator nodes to cycle through when redialing (warm-standby HA).
+  // Empty: only the host passed to RegisterWithCoordinator is retried.
+  std::vector<std::string> coordinator_hosts;
   // How often the MSU batches playback media offsets to the Coordinator (one
   // small message per MSU, so Coordinator CPU cost stays negligible). The
   // Coordinator uses the offsets to resume streams elsewhere after a crash.
@@ -196,6 +199,14 @@ class Msu {
   // into `trace`. Either may be null (standalone construction in unit tests).
   void AttachObservability(MetricsRegistry* metrics, TraceRecorder* trace);
 
+  // Highest Coordinator HA epoch this MSU has registered under (0 until the
+  // first registration against an HA coordinator).
+  int64_t coordinator_epoch() const { return last_epoch_; }
+  // Epoch -> coordinator host that claimed it. Survives Crash() (models a
+  // small durable epoch file); the split-brain test uses it to prove at most
+  // one primary was ever accepted per epoch.
+  const std::map<int64_t, std::string>& coordinator_epochs() const { return epoch_hosts_; }
+
  private:
   friend class MsuStream;
 
@@ -216,7 +227,19 @@ class Msu {
   Task ReconnectLoop();
   Task FlushMetadataBehind();
   void OnStreamFinished(MsuStream* stream);
-  Task NotifyTermination(StreamTerminated note);
+  void NotifyTermination(StreamTerminated note);
+  // Drains unsent_notes_ over the coordinator connection, popping each note
+  // only once the (current) primary acknowledged it — so terminations
+  // in flight when a primary dies are redelivered to its successor.
+  Task FlushTerminationNotes();
+  // True if `epoch` (0 = HA disabled) is acceptable and records the
+  // epoch->host claim; false means the command comes from a deposed primary
+  // or a second claimant of an already-claimed epoch.
+  bool AcceptEpoch(int64_t epoch, const std::string& host);
+  // Next host to dial: cycles params_.coordinator_hosts, or repeats the
+  // remembered host when no list is configured.
+  std::string NextCoordinatorHost();
+  Task QuitStaleStreams(std::vector<StreamId> stale);
   Co<void> EnsureControlConn(Group& group, const MsuStartStream& request);
   void OnMediaDatagram(const Datagram& datagram);
 
@@ -235,6 +258,18 @@ class Msu {
   std::string coordinator_host_;  // remembered for background reconnects
   bool reconnect_pending_ = false;
   bool crashed_ = false;
+  // --- Coordinator HA state ---
+  int64_t last_epoch_ = 0;                     // highest epoch registered under
+  std::map<int64_t, std::string> epoch_hosts_; // epoch -> claiming host (durable)
+  size_t host_index_ = 0;                      // redial rotation cursor
+  // True once a registration succeeded while streams could be live: the next
+  // registration is "warm" (keep ledger holds). Reset by Crash() — a cold
+  // restart lost its streams, so the Coordinator must rebuild the account.
+  bool warm_eligible_ = false;
+  // Termination notes not yet acknowledged by a primary. Cleared by Crash()
+  // (the MSU process died); otherwise drained by FlushTerminationNotes().
+  std::deque<StreamTerminated> unsent_notes_;
+  bool notes_flushing_ = false;
   StreamId next_local_stream_id_ = 1000000;  // for locally-initiated streams
 
   // Observability (null when not attached). Instrument pointers are cached

@@ -58,7 +58,12 @@ struct SizeVisitor {
     return Bytes(16) + StringBytes(m.error);
   }
   Bytes operator()(const MsuRegisterRequest& m) const {
-    return Bytes(32) + StringBytes(m.msu_node);
+    return Bytes(48) + StringBytes(m.msu_node) +
+           Bytes(static_cast<int64_t>(m.active_streams.size()) * 8);
+  }
+  Bytes operator()(const MsuRegisterResponse& m) const {
+    return Bytes(32) + StringBytes(m.error) +
+           Bytes(static_cast<int64_t>(m.stale_streams.size()) * 8);
   }
   Bytes operator()(const StreamTerminated& m) const { return Bytes(56) + StringBytes(m.file); }
   Bytes operator()(const StreamProgressReport& m) const {
@@ -74,6 +79,64 @@ struct SizeVisitor {
   Bytes operator()(const StreamGroupInfo& m) const {
     return Bytes(24) + StringBytes(m.msu_node) +
            Bytes(static_cast<int64_t>(m.members.size()) * 16);
+  }
+  Bytes operator()(const ReplAppendRequest& m) const {
+    Bytes size(48);
+    for (const ReplRecord& record : m.records) {
+      size += ReplRecordSize(record);
+    }
+    return size;
+  }
+  Bytes operator()(const ReplAppendResponse& m) const {
+    return Bytes(32) + StringBytes(m.error);
+  }
+
+ private:
+  static Bytes PortBytes(const DisplayPortSpec& port) {
+    Bytes size = Bytes(24) + StringBytes(port.name) + StringBytes(port.type_name) +
+                 StringBytes(port.node);
+    for (const auto& component : port.component_ports) {
+      size += Bytes(8) + StringBytes(component);
+    }
+    return size;
+  }
+  static Bytes RequestBytes(const PendingPlayRequest& request) {
+    return Bytes(40) + StringBytes(request.content) + StringBytes(request.type_name) +
+           PortBytes(request.port) +
+           Bytes(static_cast<int64_t>(request.start_offsets.size()) * 8);
+  }
+  static Bytes ReplRecordSize(const ReplRecord& record) {
+    struct RecordVisitor {
+      Bytes operator()(const ReplSessionOpened& r) const {
+        return Bytes(24) + StringBytes(r.customer);
+      }
+      Bytes operator()(const ReplSessionClosed&) const { return Bytes(16); }
+      Bytes operator()(const ReplPortRegistered& r) const {
+        return Bytes(16) + PortBytes(r.port);
+      }
+      Bytes operator()(const ReplPortUnregistered& r) const {
+        return Bytes(16) + StringBytes(r.port_name);
+      }
+      Bytes operator()(const ReplMsuUp& r) const { return Bytes(40) + StringBytes(r.node); }
+      Bytes operator()(const ReplMsuDown& r) const { return Bytes(8) + StringBytes(r.node); }
+      Bytes operator()(const ReplGroupStarted& r) const {
+        Bytes size = Bytes(24) + StringBytes(r.msu) + RequestBytes(r.request);
+        for (const ReplStreamMember& member : r.members) {
+          size += Bytes(56) + StringBytes(member.content_item);
+        }
+        return size;
+      }
+      Bytes operator()(const ReplStreamEnded&) const { return Bytes(24); }
+      Bytes operator()(const ReplGroupEnded&) const { return Bytes(16); }
+      Bytes operator()(const ReplPendingPushed& r) const {
+        return Bytes(8) + RequestBytes(r.request);
+      }
+      Bytes operator()(const ReplPendingPopped&) const { return Bytes(16); }
+      Bytes operator()(const ReplProgress& r) const {
+        return Bytes(8) + Bytes(static_cast<int64_t>(r.entries.size()) * 16);
+      }
+    };
+    return std::visit(RecordVisitor{}, record);
   }
 };
 
@@ -94,6 +157,7 @@ struct NameVisitor {
   const char* operator()(const MsuStartStream&) const { return "MsuStartStream"; }
   const char* operator()(const MsuStartStreamResponse&) const { return "MsuStartStreamResponse"; }
   const char* operator()(const MsuRegisterRequest&) const { return "MsuRegisterRequest"; }
+  const char* operator()(const MsuRegisterResponse&) const { return "MsuRegisterResponse"; }
   const char* operator()(const StreamTerminated&) const { return "StreamTerminated"; }
   const char* operator()(const StreamProgressReport&) const { return "StreamProgressReport"; }
   const char* operator()(const PendingRequestFailed&) const { return "PendingRequestFailed"; }
@@ -101,6 +165,8 @@ struct NameVisitor {
   const char* operator()(const VcrAck&) const { return "VcrAck"; }
   const char* operator()(const MsuDeleteFile&) const { return "MsuDeleteFile"; }
   const char* operator()(const StreamGroupInfo&) const { return "StreamGroupInfo"; }
+  const char* operator()(const ReplAppendRequest&) const { return "ReplAppendRequest"; }
+  const char* operator()(const ReplAppendResponse&) const { return "ReplAppendResponse"; }
 };
 
 }  // namespace

@@ -32,6 +32,10 @@ struct OpenSessionRequest {
 
   std::string customer;
   std::string credential;
+  // Redial after a Coordinator failover: the session id the client held
+  // before its connection dropped. A warm standby that replicated the session
+  // rebinds it to the new connection instead of opening a fresh one.
+  SessionId resume_session = 0;
 };
 
 struct OpenSessionResponse {
@@ -42,6 +46,9 @@ struct OpenSessionResponse {
   bool ok = false;
   std::string error;
   SessionId session = 0;
+  // Coordinator HA epoch the client registered under (0: HA disabled).
+  // Notifications carrying an older epoch come from a deposed primary.
+  int64_t epoch = 0;
 };
 
 struct ListContentRequest {
@@ -197,6 +204,10 @@ struct MsuStartStream {
   // Playback starts this far into the media (failover resumes a migrated
   // stream near where its previous MSU died). Zero: start at the beginning.
   SimTime start_offset;
+  // Coordinator HA epoch stamped on every command (0: HA disabled). MSUs
+  // refuse commands whose epoch is older than the one they registered under,
+  // fencing a deposed primary out of the data path.
+  int64_t epoch = 0;
 };
 
 struct MsuStartStreamResponse {
@@ -216,6 +227,32 @@ struct MsuRegisterRequest {
   std::string msu_node;
   int disk_count = 0;
   Bytes free_space;
+  // Outbound NIC capacity for network-path admission (0: unlimited, the
+  // pre-NIC-budget behavior; also what minimal test harnesses send).
+  DataRate nic_bandwidth;
+  // Warm re-registration: the MSU kept running (and kept its streams) while
+  // it was disconnected from the Coordinator — e.g. the primary died and this
+  // is the redial against the promoted standby. The Coordinator keeps the
+  // MSU's ledger holds instead of resetting the account.
+  bool warm = false;
+  // With warm: every stream still live on the MSU, so the new primary can
+  // reconcile its replicated view against reality.
+  std::vector<StreamId> active_streams;
+};
+
+struct MsuRegisterResponse {
+  MsuRegisterResponse() = default;
+  MsuRegisterResponse(bool success, std::string error_message)
+      : ok(success), error(std::move(error_message)) {}
+
+  bool ok = false;
+  std::string error;
+  // Coordinator HA epoch the MSU is now registered under (0: HA disabled).
+  int64_t epoch = 0;
+  // Streams the MSU reported as live that the Coordinator does not know
+  // about (admissions that died with the old primary before replicating).
+  // The MSU must quit them locally.
+  std::vector<StreamId> stale_streams;
 };
 
 struct StreamTerminated {
@@ -259,6 +296,7 @@ struct MsuDeleteFile {
   explicit MsuDeleteFile(std::string file_name) : file(std::move(file_name)) {}
 
   std::string file;
+  int64_t epoch = 0;  // HA epoch fence, as on MsuStartStream
 };
 
 // ---------- Coordinator -> client (over the session connection) ----------
@@ -272,6 +310,9 @@ struct PendingRequestFailed {
 
   GroupId group = 0;
   std::string error;
+  // Sender's HA epoch (0: HA disabled). Clients ignore notifications whose
+  // epoch is older than the one they are registered under.
+  int64_t epoch = 0;
 };
 
 // ---------- MSU -> client (over the group's VCR control connection) ----------
@@ -318,13 +359,192 @@ struct VcrAck {
   std::string error;
 };
 
+// ---------- Coordinator primary <-> standby (HA replication, Harp-style) ----------
+
+// Wire form of a registered display port — also the primary's oplog record
+// payload for port registration (the Coordinator aliases its internal
+// DisplayPort bookkeeping to this type).
+struct DisplayPortSpec {
+  DisplayPortSpec() = default;
+
+  std::string name;
+  std::string type_name;
+  std::string node;
+  int udp_port = 0;
+  int control_port = 0;
+  std::vector<std::string> component_ports;
+};
+
+// Wire form of a queued/admitted play or record request — the Coordinator's
+// PendingRequest, replicated verbatim so the standby can retry queued
+// requests and re-place failed groups after takeover.
+struct PendingPlayRequest {
+  PendingPlayRequest() = default;
+
+  SessionId session = 0;
+  bool record = false;
+  std::string content;
+  std::string type_name;   // recordings: content type to create
+  SimTime estimated_length;
+  DisplayPortSpec port;
+  GroupId group = 0;
+  // Failover resume offsets, one per component (empty: start at zero).
+  std::vector<SimTime> start_offsets;
+};
+
+// Oplog records. Each is a primitive state delta; the standby applies them
+// mechanically (no placement, no RPCs, no catalog writes — the catalog is
+// the shared durable database both coordinators mount).
+struct ReplSessionOpened {
+  ReplSessionOpened() = default;
+
+  SessionId session = 0;
+  std::string customer;
+  bool admin = false;
+};
+
+struct ReplSessionClosed {
+  ReplSessionClosed() = default;
+
+  SessionId session = 0;
+};
+
+struct ReplPortRegistered {
+  ReplPortRegistered() = default;
+
+  SessionId session = 0;
+  DisplayPortSpec port;
+};
+
+struct ReplPortUnregistered {
+  ReplPortUnregistered() = default;
+
+  SessionId session = 0;
+  std::string port_name;
+};
+
+struct ReplMsuUp {
+  ReplMsuUp() = default;
+
+  std::string node;
+  int disk_count = 0;
+  Bytes free_space;
+  DataRate nic_budget;
+  // Mirror of the primary's ledger action: a warm re-registration reattaches
+  // the account (holds survive); a cold one resets it (epoch bump).
+  bool reattach = false;
+};
+
+struct ReplMsuDown {
+  ReplMsuDown() = default;
+
+  std::string node;
+};
+
+// One member stream of an admitted group: everything the standby needs to
+// rebuild the ActiveStream entry and its ledger hold.
+struct ReplStreamMember {
+  ReplStreamMember() = default;
+
+  StreamId stream = 0;
+  int disk = 0;
+  int component = 0;
+  std::string content_item;
+  bool recording = false;
+  DataRate rate;
+  Bytes space;
+  SimTime offset;  // last known media offset (failover resume point)
+};
+
+struct ReplGroupStarted {
+  ReplGroupStarted() = default;
+
+  GroupId group = 0;
+  std::string msu;
+  PendingPlayRequest request;  // retained for re-placement after MSU loss
+  std::vector<ReplStreamMember> members;
+};
+
+struct ReplStreamEnded {
+  ReplStreamEnded() = default;
+
+  StreamId stream = 0;
+  Bytes space_used;  // recordings: bytes kept (refund the rest of the estimate)
+};
+
+struct ReplGroupEnded {
+  ReplGroupEnded() = default;
+
+  GroupId group = 0;
+};
+
+struct ReplPendingPushed {
+  ReplPendingPushed() = default;
+
+  PendingPlayRequest request;
+};
+
+struct ReplPendingPopped {
+  ReplPendingPopped() = default;
+
+  GroupId group = 0;
+};
+
+struct ReplProgress {
+  ReplProgress() = default;
+
+  struct Entry {
+    Entry() = default;
+    Entry(StreamId stream_id, SimTime media_offset)
+        : stream(stream_id), offset(media_offset) {}
+
+    StreamId stream = 0;
+    SimTime offset;
+  };
+
+  std::vector<Entry> entries;
+};
+
+using ReplRecord =
+    std::variant<ReplSessionOpened, ReplSessionClosed, ReplPortRegistered, ReplPortUnregistered,
+                 ReplMsuUp, ReplMsuDown, ReplGroupStarted, ReplStreamEnded, ReplGroupEnded,
+                 ReplPendingPushed, ReplPendingPopped, ReplProgress>;
+
+// One log-shipping batch (doubles as the lease heartbeat when `records` is
+// empty). `snapshot` marks a full state install: the standby clears its
+// shadow state and replays `records` from scratch. Id counters ride in the
+// header so the standby mints the same ids after takeover.
+struct ReplAppendRequest {
+  ReplAppendRequest() = default;
+
+  int64_t epoch = 0;
+  bool snapshot = false;
+  int64_t first_seq = 0;  // sequence number of records.front()
+  SessionId next_session = 1;
+  StreamId next_stream = 1;
+  GroupId next_group = 1;
+  std::vector<ReplRecord> records;
+};
+
+struct ReplAppendResponse {
+  ReplAppendResponse() = default;
+  ReplAppendResponse(bool success, std::string error_message)
+      : ok(success), error(std::move(error_message)) {}
+
+  bool ok = false;
+  std::string error;  // "stale epoch": the sender has been deposed
+  int64_t applied_seq = 0;
+  int64_t epoch = 0;  // responder's view (lets a deposed primary learn the new epoch)
+};
+
 using MessageBody =
     std::variant<OpenSessionRequest, OpenSessionResponse, ListContentRequest, ListContentResponse,
                  RegisterPortRequest, UnregisterPortRequest, PlayRequest, PlayResponse,
                  RecordRequest, RecordResponse, DeleteContentRequest, LoadFastScanRequest,
                  SimpleResponse, MsuStartStream, MsuStartStreamResponse, MsuRegisterRequest,
-                 StreamTerminated, StreamProgressReport, PendingRequestFailed, VcrCommand,
-                 VcrAck, MsuDeleteFile, StreamGroupInfo>;
+                 MsuRegisterResponse, StreamTerminated, StreamProgressReport, PendingRequestFailed,
+                 VcrCommand, VcrAck, MsuDeleteFile, StreamGroupInfo, ReplAppendRequest,
+                 ReplAppendResponse>;
 
 struct Envelope {
   Envelope() = default;

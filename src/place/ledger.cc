@@ -88,12 +88,13 @@ void ResourceLedger::Txn::Commit(size_t index, StreamId stream) {
 // ---- ResourceLedger ----
 
 void ResourceLedger::RegisterMsu(const std::string& node, int disk_count,
-                                 Bytes free_space) {
+                                 Bytes free_space, DataRate nic_budget) {
   MsuAccount& account = msus_[node];
   account.node = node;
   account.up = true;
   account.disk_count = disk_count;
   account.free_space = free_space;
+  account.nic_budget = nic_budget;
   account.disks.assign(static_cast<size_t>(disk_count), DiskAccount());
   ++account.epoch;
   // Holds from before the re-registration are stale: the MSU reported its
@@ -105,6 +106,20 @@ void ResourceLedger::RegisterMsu(const std::string& node, int disk_count,
       ++it;
     }
   }
+}
+
+void ResourceLedger::ReattachMsu(const std::string& node, int disk_count,
+                                 Bytes free_space, DataRate nic_budget) {
+  auto it = msus_.find(node);
+  if (it == msus_.end() || it->second.disk_count != disk_count) {
+    RegisterMsu(node, disk_count, free_space, nic_budget);
+    return;
+  }
+  // Keep the account's balances: the debits for the MSU's still-running
+  // streams are already reflected there, while the MSU's own free-space
+  // report would double-count recording estimates not yet written to disk.
+  it->second.up = true;
+  it->second.nic_budget = nic_budget;
 }
 
 void ResourceLedger::MarkDown(const std::string& node) {
@@ -258,6 +273,41 @@ Status ResourceLedger::CheckInvariants() const {
     }
   }
   return OkStatus();
+}
+
+namespace {
+
+ResourceLedger::HoldInfo MakeHoldInfo(const std::string& msu, int disk, DataRate rate,
+                                      Bytes space, bool current_epoch) {
+  ResourceLedger::HoldInfo info;
+  info.msu = msu;
+  info.disk = disk;
+  info.rate = rate;
+  info.space = space;
+  info.current_epoch = current_epoch;
+  return info;
+}
+
+}  // namespace
+
+std::optional<ResourceLedger::HoldInfo> ResourceLedger::FindHold(StreamId stream) const {
+  auto it = holds_.find(stream);
+  if (it == holds_.end()) {
+    return std::nullopt;
+  }
+  const StreamHold& hold = it->second;
+  auto msu_it = msus_.find(hold.msu);
+  const bool current = msu_it != msus_.end() && msu_it->second.epoch == hold.epoch;
+  return MakeHoldInfo(hold.msu, hold.disk, hold.rate, hold.space, current);
+}
+
+void ResourceLedger::ForEachHold(
+    const std::function<void(StreamId, const HoldInfo&)>& fn) const {
+  for (const auto& [stream, hold] : holds_) {
+    auto msu_it = msus_.find(hold.msu);
+    const bool current = msu_it != msus_.end() && msu_it->second.epoch == hold.epoch;
+    fn(stream, MakeHoldInfo(hold.msu, hold.disk, hold.rate, hold.space, current));
+  }
 }
 
 DataRate ResourceLedger::TotalReserved() const {

@@ -18,7 +18,9 @@
 #define CALLIOPE_SRC_PLACE_LEDGER_H_
 
 #include <cstdint>
+#include <functional>
 #include <map>
+#include <optional>
 #include <string>
 #include <utility>
 #include <vector>
@@ -45,6 +47,10 @@ struct MsuAccount {
   bool up = false;
   int disk_count = 0;
   Bytes free_space;
+  // Outbound NIC capacity (ROADMAP "network-path admission"). Zero means
+  // unlimited; placement rejects groups whose aggregate rate would push
+  // TotalLoad() past a nonzero budget even when individual disks have room.
+  DataRate nic_budget;
   std::vector<DiskAccount> disks;
   int64_t epoch = 0;  // bumps on every (re-)registration
 
@@ -97,7 +103,14 @@ class ResourceLedger {
 
   // Registers (or re-registers) an MSU with fresh capacity numbers. Resets
   // the account and invalidates holds that predate the registration.
-  void RegisterMsu(const std::string& node, int disk_count, Bytes free_space);
+  void RegisterMsu(const std::string& node, int disk_count, Bytes free_space,
+                   DataRate nic_budget = DataRate());
+  // Warm re-registration: the MSU never stopped serving, only its control
+  // connection moved (Coordinator failover). Marks the account up again but
+  // keeps its balances, epoch and holds; falls back to RegisterMsu when the
+  // account is unknown or its shape changed.
+  void ReattachMsu(const std::string& node, int disk_count, Bytes free_space,
+                   DataRate nic_budget = DataRate());
   void MarkDown(const std::string& node);
 
   bool IsUp(const std::string& node) const;
@@ -119,6 +132,19 @@ class ResourceLedger {
   // ---- introspection for tests and benches ----
   DataRate TotalReserved() const;  // sum of every disk's reserved bandwidth
   size_t outstanding_holds() const { return holds_.size(); }
+
+  // One committed stream hold, exposed for HA snapshots and tests.
+  struct HoldInfo {
+    HoldInfo() = default;
+
+    std::string msu;
+    int disk = 0;
+    DataRate rate;
+    Bytes space;
+    bool current_epoch = false;  // matches the account's registration epoch
+  };
+  std::optional<HoldInfo> FindHold(StreamId stream) const;
+  void ForEachHold(const std::function<void(StreamId, const HoldInfo&)>& fn) const;
 
   // Structural consistency check for tests and the chaos harness: no negative
   // balances, every current-epoch hold referencing a real account and disk,

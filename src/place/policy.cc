@@ -13,9 +13,24 @@ Bytes PlacementSpec::TotalSpace() const {
   return total;
 }
 
+DataRate PlacementSpec::TotalRate() const {
+  DataRate total;
+  for (const ComponentSpec& component : components) {
+    total = total + component.rate;
+  }
+  return total;
+}
+
 std::optional<Placement> PlaceOnMsu(const MsuAccount& account, const PlacementSpec& spec,
                                     bool first_fit) {
   if (!account.up) {
+    return std::nullopt;
+  }
+  // Network-path admission (§2.2 extension): every stream the MSU serves
+  // leaves through one NIC, so the whole group must fit under its budget no
+  // matter how the components spread across disks.
+  if (!account.nic_budget.is_zero() &&
+      account.TotalLoad() + spec.TotalRate() > account.nic_budget) {
     return std::nullopt;
   }
   std::vector<DataRate> scratch(account.disks.size());

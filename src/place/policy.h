@@ -65,6 +65,7 @@ struct PlacementSpec {
   std::vector<ComponentSpec> components;
 
   Bytes TotalSpace() const;
+  DataRate TotalRate() const;  // aggregate group bandwidth (NIC admission)
 };
 
 // A policy's verdict: the chosen MSU plus per-component disks and files.

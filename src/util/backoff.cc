@@ -1,0 +1,30 @@
+#include "src/util/backoff.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace calliope {
+
+Backoff::Backoff(const BackoffParams& params, uint64_t seed)
+    : params_(params), rng_(seed) {}
+
+SimTime Backoff::Next() {
+  double base = static_cast<double>(params_.initial.nanos());
+  for (int i = 0; i < attempts_; ++i) {
+    base *= params_.multiplier;
+    if (base >= static_cast<double>(params_.max.nanos())) {
+      base = static_cast<double>(params_.max.nanos());
+      break;
+    }
+  }
+  base = std::min(base, static_cast<double>(params_.max.nanos()));
+  ++attempts_;
+  const double jitter = params_.jitter_fraction;
+  const double scale = 1.0 - jitter + 2.0 * jitter * rng_.NextDouble();
+  const double jittered = std::max(1.0, base * scale);
+  return SimTime(static_cast<int64_t>(jittered));
+}
+
+void Backoff::Reset() { attempts_ = 0; }
+
+}  // namespace calliope

@@ -1,0 +1,53 @@
+// Capped exponential backoff with deterministic seeded jitter.
+//
+// Shared by the MSU's Coordinator redial loop and the client's
+// redirect-and-redial path: both must retry politely (exponential growth up
+// to a cap) without synchronizing their retries (jitter), yet stay
+// bit-reproducible inside the deterministic simulation (the jitter stream is
+// a seeded Rng, not wall-clock entropy).
+#ifndef CALLIOPE_SRC_UTIL_BACKOFF_H_
+#define CALLIOPE_SRC_UTIL_BACKOFF_H_
+
+#include <cstdint>
+
+#include "src/util/rng.h"
+#include "src/util/units.h"
+
+namespace calliope {
+
+struct BackoffParams {
+  BackoffParams() = default;
+
+  SimTime initial = SimTime::Millis(100);  // first delay (before jitter)
+  SimTime max = SimTime::Seconds(2);       // exponential growth cap
+  double multiplier = 2.0;                 // growth factor per attempt
+  // Each delay is scaled by a factor drawn uniformly from
+  // [1 - jitter_fraction, 1 + jitter_fraction].
+  double jitter_fraction = 0.2;
+};
+
+class Backoff {
+ public:
+  Backoff(const BackoffParams& params, uint64_t seed);
+
+  // Delay to wait before the next attempt. Grows geometrically from
+  // `initial`, is clamped to `max` before jitter, and consumes one draw from
+  // the jitter stream per call — so two Backoffs with the same params and
+  // seed produce identical schedules.
+  SimTime Next();
+
+  // Back to the initial delay (a successful attempt). The jitter stream is
+  // NOT rewound; determinism only requires the same call sequence.
+  void Reset();
+
+  int attempts() const { return attempts_; }
+
+ private:
+  BackoffParams params_;
+  Rng rng_;
+  int attempts_ = 0;
+};
+
+}  // namespace calliope
+
+#endif  // CALLIOPE_SRC_UTIL_BACKOFF_H_

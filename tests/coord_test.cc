@@ -264,5 +264,81 @@ TEST(CoordinatorTest, ReplicatedContentSpreadsAcrossMsus) {
   EXPECT_EQ(calliope.msu(1).active_stream_count(), 4);
 }
 
+// coord.requests_lost: a queued request whose session disappears before
+// resources free up is dropped during the retry pass and counted — the
+// counter is the audit trail for requests the server consciously gave up on.
+TEST(CoordinatorTest, DeadSessionQueuedRequestCountsAsLost) {
+  InstallationConfig config;
+  config.msu_machine.disks_per_hba = {1};
+  config.coordinator.disk_budget = DataRate::MegabytesPerSec(0.2);
+  TestCluster cluster(config);
+  ASSERT_TRUE(cluster.Boot().ok());
+  for (const std::string name : {"a", "b"}) {
+    ASSERT_TRUE(
+        cluster.installation().LoadMpegMovie(name, SimTime::Seconds(60), 0, false, 0).ok());
+  }
+  auto keeper = cluster.AddConnectedClient("keeper");
+  auto leaver = cluster.AddConnectedClient("leaver");
+  ASSERT_TRUE(keeper.ok());
+  ASSERT_TRUE(leaver.ok());
+
+  auto play_a = PlayOn(cluster.sim(), **keeper, "a", "tva");
+  ASSERT_TRUE(play_a.ok());
+  EXPECT_FALSE(play_a->queued);
+  auto play_b = PlayOn(cluster.sim(), **leaver, "b", "tvb");
+  ASSERT_TRUE(play_b.ok());
+  EXPECT_TRUE(play_b->queued);
+  EXPECT_EQ(cluster.coordinator().requests_lost(), 0);
+
+  (*leaver)->Disconnect();
+  cluster.sim().RunFor(SimTime::Seconds(1));
+  EXPECT_TRUE(QuitGroup(cluster.sim(), **keeper, play_a->group).ok());
+  ASSERT_TRUE(RunUntil(cluster.sim(),
+                       [&] { return cluster.coordinator().pending_request_count() == 0; },
+                       SimTime::Seconds(10)));
+  EXPECT_EQ(cluster.coordinator().requests_lost(), 1);
+}
+
+// A queued request that fails permanently (its content was deleted while
+// waiting) is counted lost AND the waiting client is pushed a
+// PendingRequestFailed over the session connection, so it stops waiting for
+// a stream that will never start.
+TEST(CoordinatorTest, PermanentlyFailedQueuedRequestNotifiesClient) {
+  InstallationConfig config;
+  config.msu_machine.disks_per_hba = {1};
+  config.coordinator.disk_budget = DataRate::MegabytesPerSec(0.2);
+  TestCluster cluster(config);
+  ASSERT_TRUE(cluster.Boot().ok());
+  for (const std::string name : {"a", "b"}) {
+    ASSERT_TRUE(
+        cluster.installation().LoadMpegMovie(name, SimTime::Seconds(60), 0, false, 0).ok());
+  }
+  auto viewer = cluster.AddConnectedClient("viewer");
+  auto admin = cluster.AddConnectedClient("adminhost", "alice", "alice-key");
+  ASSERT_TRUE(viewer.ok());
+  ASSERT_TRUE(admin.ok());
+
+  auto play_a = PlayOn(cluster.sim(), **viewer, "a", "tva");
+  ASSERT_TRUE(play_a.ok());
+  EXPECT_FALSE(play_a->queued);
+  auto play_b = PlayOn(cluster.sim(), **viewer, "b", "tvb");
+  ASSERT_TRUE(play_b.ok());
+  EXPECT_TRUE(play_b->queued);
+
+  CoResult<Status> erase;
+  Collect((*admin)->DeleteContent("b"), &erase);
+  ASSERT_TRUE(RunUntil(cluster.sim(), [&] { return erase.done(); }, SimTime::Seconds(5)));
+  EXPECT_TRUE(erase.value->ok()) << erase.value->ToString();
+
+  ASSERT_TRUE(RunUntil(cluster.sim(),
+                       [&] { return cluster.coordinator().pending_request_count() == 0; },
+                       SimTime::Seconds(10)));
+  EXPECT_EQ(cluster.coordinator().requests_lost(), 1);
+  ASSERT_TRUE(RunUntil(cluster.sim(), [&] { return (*viewer)->GroupTerminated(play_b->group); },
+                       SimTime::Seconds(5)));
+  // The admitted stream is untouched by the failed neighbor.
+  EXPECT_FALSE((*viewer)->GroupTerminated(play_a->group));
+}
+
 }  // namespace
 }  // namespace calliope

@@ -1,0 +1,472 @@
+// Warm-standby Coordinator HA tests: epoch-fenced takeover, zero-amnesia
+// failover of admitted streams and queued requests, and determinism of the
+// whole protocol under a seeded fault schedule.
+//
+// The load-bearing properties, mirrored from src/coord/replication.h:
+//   * Already-admitted streams keep playing across a primary crash — the
+//     data path is client<->MSU and the standby's replicated ledger already
+//     accounts them.
+//   * Queued requests stay queued (synchronous log shipping), and retry
+//     outcomes interrupted by the crash are re-queued on takeover.
+//   * At most one coordinator owns each epoch, observed from the MSUs'
+//     durable epoch records.
+//   * Equal seeds produce byte-identical ClusterReports.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/calliope/calliope.h"
+#include "tests/test_util.h"
+
+namespace calliope {
+namespace {
+
+uint64_t HaChaosSeed() {
+  const char* env = std::getenv("CALLIOPE_CHAOS_SEED");
+  if (env != nullptr && *env != '\0') {
+    return static_cast<uint64_t>(std::atoll(env));
+  }
+  return 1;
+}
+
+// Merges every MSU's durable (epoch -> coordinator host) record and fails if
+// any epoch was ever claimed by two different hosts: the fencing guarantee.
+void ExpectAtMostOnePrimaryPerEpoch(TestCluster& cluster) {
+  std::map<int64_t, std::string> owners;
+  for (size_t i = 0; i < cluster.msu_count(); ++i) {
+    for (const auto& [epoch, host] : cluster.msu(i).coordinator_epochs()) {
+      auto [it, inserted] = owners.emplace(epoch, host);
+      EXPECT_EQ(it->second, host)
+          << "epoch " << epoch << " accepted from two coordinators (msu" << i << ")";
+    }
+  }
+}
+
+TEST(HaTest, KillPrimaryMidWorkloadKeepsAdmittedStreams) {
+  InstallationConfig config;
+  config.msu_count = 2;
+  config.standby_coordinator = true;
+  TestCluster cluster(config);
+  ASSERT_TRUE(cluster.Boot().ok());
+  Coordinator* standby = cluster.installation().standby_coordinator();
+  ASSERT_NE(standby, nullptr);
+  EXPECT_TRUE(cluster.coordinator().is_primary());
+  EXPECT_FALSE(standby->is_primary());
+
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(cluster.installation()
+                    .LoadMpegMovie("m" + std::to_string(i), SimTime::Seconds(60), i % 2, false)
+                    .ok());
+  }
+  auto client = cluster.AddConnectedClient("c");
+  ASSERT_TRUE(client.ok());
+  std::vector<GroupId> groups;
+  for (int i = 0; i < 3; ++i) {
+    auto play =
+        PlayOn(cluster.sim(), **client, "m" + std::to_string(i), "tv" + std::to_string(i));
+    ASSERT_TRUE(play.ok()) << play.status().ToString();
+    EXPECT_FALSE(play->queued);
+    groups.push_back(play->group);
+  }
+  for (int i = 0; i < 3; ++i) {
+    const std::string port = "tv" + std::to_string(i);
+    ASSERT_TRUE(RunUntil(
+        cluster.sim(), [&] { return (*client)->FindPort(port)->packets_received() > 0; },
+        SimTime::Seconds(10)));
+  }
+  cluster.sim().RunFor(SimTime::Seconds(1));
+  std::vector<int64_t> before;
+  for (int i = 0; i < 3; ++i) {
+    before.push_back((*client)->FindPort("tv" + std::to_string(i))->packets_received());
+  }
+
+  const int64_t old_epoch = cluster.coordinator().ha_epoch();
+  cluster.coordinator().Crash();
+  ASSERT_TRUE(
+      RunUntil(cluster.sim(), [&] { return standby->is_primary(); }, SimTime::Seconds(10)));
+  EXPECT_GT(standby->ha_epoch(), old_epoch);
+  EXPECT_EQ(standby->takeover_count(), 1);
+
+  // The MSUs redial and accept the new epoch.
+  ASSERT_TRUE(RunUntil(
+      cluster.sim(),
+      [&] {
+        return cluster.msu(0).coordinator_epoch() == standby->ha_epoch() &&
+               cluster.msu(1).coordinator_epoch() == standby->ha_epoch();
+      },
+      SimTime::Seconds(10)));
+
+  // Zero loss: every admitted stream is still playing and still delivering.
+  cluster.sim().RunFor(SimTime::Seconds(2));
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_FALSE((*client)->GroupTerminated(groups[static_cast<size_t>(i)])) << "group " << i;
+    EXPECT_GT((*client)->FindPort("tv" + std::to_string(i))->packets_received(),
+              before[static_cast<size_t>(i)])
+        << "port " << i;
+  }
+  EXPECT_EQ(standby->active_stream_count(), 3u);
+  EXPECT_TRUE(standby->ledger().CheckInvariants().ok())
+      << standby->ledger().CheckInvariants().ToString();
+
+  // New admissions are served by the survivor once the client has redialed.
+  ASSERT_TRUE(
+      RunUntil(cluster.sim(), [&] { return (*client)->connected(); }, SimTime::Seconds(10)));
+  auto late = PlayOn(cluster.sim(), **client, "m3", "tv3");
+  ASSERT_TRUE(late.ok()) << late.status().ToString();
+  EXPECT_FALSE(late->queued);
+  ASSERT_TRUE(RunUntil(
+      cluster.sim(), [&] { return (*client)->FindPort("tv3")->packets_received() > 0; },
+      SimTime::Seconds(10)));
+  groups.push_back(late->group);
+
+  ExpectAtMostOnePrimaryPerEpoch(cluster);
+
+  // The dead primary rejoins as the new standby.
+  cluster.installation().coordinator().Restart();
+  ASSERT_TRUE(RunUntil(cluster.sim(), [&] { return cluster.coordinator().ha_joined(); },
+                       SimTime::Seconds(10)));
+  EXPECT_FALSE(cluster.coordinator().is_primary());
+
+  for (GroupId group : groups) {
+    EXPECT_TRUE(QuitGroup(cluster.sim(), **client, group).ok());
+  }
+  ASSERT_TRUE(RunUntil(cluster.sim(), [&] { return standby->active_stream_count() == 0; },
+                       SimTime::Seconds(15)));
+  EXPECT_EQ(standby->requests_lost(), 0);
+  EXPECT_TRUE(standby->ledger().CheckInvariants().ok())
+      << standby->ledger().CheckInvariants().ToString();
+}
+
+TEST(HaTest, QueuedRequestSurvivesTakeover) {
+  InstallationConfig config;
+  config.standby_coordinator = true;
+  config.msu_machine.disks_per_hba = {1};
+  config.coordinator.disk_budget = DataRate::MegabytesPerSec(0.2);
+  TestCluster cluster(config);
+  ASSERT_TRUE(cluster.Boot().ok());
+  Coordinator* standby = cluster.installation().standby_coordinator();
+  ASSERT_NE(standby, nullptr);
+  for (const std::string name : {"a", "b"}) {
+    ASSERT_TRUE(
+        cluster.installation().LoadMpegMovie(name, SimTime::Seconds(60), 0, false, 0).ok());
+  }
+  auto client = cluster.AddConnectedClient("c");
+  ASSERT_TRUE(client.ok());
+  auto play_a = PlayOn(cluster.sim(), **client, "a", "tva");
+  ASSERT_TRUE(play_a.ok());
+  EXPECT_FALSE(play_a->queued);
+  auto play_b = PlayOn(cluster.sim(), **client, "b", "tvb");
+  ASSERT_TRUE(play_b.ok());
+  EXPECT_TRUE(play_b->queued);
+  // Synchronous log shipping: by the time the client heard "queued", the
+  // standby's shadow queue already held the request.
+  EXPECT_EQ(standby->pending_request_count(), 1u);
+
+  cluster.coordinator().Crash();
+  ASSERT_TRUE(
+      RunUntil(cluster.sim(), [&] { return standby->is_primary(); }, SimTime::Seconds(10)));
+  EXPECT_EQ(standby->pending_request_count(), 1u);
+
+  ASSERT_TRUE(RunUntil(
+      cluster.sim(),
+      [&] {
+        return cluster.msu(0).coordinator_epoch() == standby->ha_epoch() &&
+               (*client)->connected();
+      },
+      SimTime::Seconds(10)));
+
+  // VCR commands travel client<->MSU, so quitting works regardless of which
+  // coordinator is alive; the MSU's termination note reaches the NEW primary,
+  // which frees the disk bandwidth and starts the queued request.
+  EXPECT_TRUE(QuitGroup(cluster.sim(), **client, play_a->group).ok());
+  ASSERT_TRUE(RunUntil(cluster.sim(), [&] { return standby->pending_request_count() == 0; },
+                       SimTime::Seconds(15)));
+  ASSERT_TRUE(RunUntil(
+      cluster.sim(), [&] { return (*client)->FindPort("tvb")->packets_received() > 0; },
+      SimTime::Seconds(10)));
+  EXPECT_EQ(standby->requests_lost(), 0);
+  EXPECT_TRUE(standby->ledger().CheckInvariants().ok())
+      << standby->ledger().CheckInvariants().ToString();
+}
+
+TEST(HaTest, TerminationNoteOutlivesThePrimary) {
+  InstallationConfig config;
+  config.standby_coordinator = true;
+  config.msu_machine.disks_per_hba = {1};
+  config.coordinator.disk_budget = DataRate::MegabytesPerSec(0.2);
+  TestCluster cluster(config);
+  ASSERT_TRUE(cluster.Boot().ok());
+  Coordinator* standby = cluster.installation().standby_coordinator();
+  ASSERT_NE(standby, nullptr);
+  for (const std::string name : {"a", "b"}) {
+    ASSERT_TRUE(
+        cluster.installation().LoadMpegMovie(name, SimTime::Seconds(60), 0, false, 0).ok());
+  }
+  auto client = cluster.AddConnectedClient("c");
+  ASSERT_TRUE(client.ok());
+  auto play_a = PlayOn(cluster.sim(), **client, "a", "tva");
+  ASSERT_TRUE(play_a.ok());
+  EXPECT_FALSE(play_a->queued);
+  auto play_b = PlayOn(cluster.sim(), **client, "b", "tvb");
+  ASSERT_TRUE(play_b.ok());
+  EXPECT_TRUE(play_b->queued);
+
+  // Quit `a` and kill the primary in the same instant: the MSU's
+  // StreamTerminated note cannot land on the dying primary. It parks in the
+  // MSU's durable note spool, the standby takes over, the MSU re-registers
+  // and flushes the note — and only then can the queued request start. The
+  // retry trigger itself must survive the takeover.
+  CoResult<Status> quit;
+  Collect((*client)->Quit(play_a->group), &quit);
+  cluster.coordinator().Crash();
+  ASSERT_TRUE(RunUntil(cluster.sim(), [&] { return quit.done(); }, SimTime::Seconds(10)));
+  EXPECT_TRUE(quit.value->ok()) << quit.value->ToString();
+
+  ASSERT_TRUE(
+      RunUntil(cluster.sim(), [&] { return standby->is_primary(); }, SimTime::Seconds(10)));
+  ASSERT_TRUE(RunUntil(cluster.sim(), [&] { return standby->pending_request_count() == 0; },
+                       SimTime::Seconds(20)));
+  ASSERT_TRUE(RunUntil(
+      cluster.sim(), [&] { return (*client)->FindPort("tvb")->packets_received() > 0; },
+      SimTime::Seconds(10)));
+  EXPECT_EQ(standby->requests_lost(), 0);
+  EXPECT_TRUE(standby->ledger().CheckInvariants().ok())
+      << standby->ledger().CheckInvariants().ToString();
+}
+
+TEST(HaTest, KillPrimaryWhileMsuFailoverIsInFlight) {
+  InstallationConfig config;
+  config.msu_count = 2;
+  config.standby_coordinator = true;
+  TestCluster cluster(config);
+  ASSERT_TRUE(cluster.Boot().ok());
+  Coordinator* standby = cluster.installation().standby_coordinator();
+  ASSERT_NE(standby, nullptr);
+  for (int i = 0; i < 2; ++i) {
+    const std::string name = "m" + std::to_string(i);
+    ASSERT_TRUE(cluster.installation().LoadMpegMovie(name, SimTime::Seconds(60), 0, false).ok());
+    ASSERT_TRUE(cluster.installation().ReplicateContent(name, 1).ok());
+  }
+  auto client = cluster.AddConnectedClient("c");
+  ASSERT_TRUE(client.ok());
+  std::vector<GroupId> groups;
+  for (int i = 0; i < 2; ++i) {
+    const std::string port = "tv" + std::to_string(i);
+    auto play = PlayOn(cluster.sim(), **client, "m" + std::to_string(i), port);
+    ASSERT_TRUE(play.ok());
+    ASSERT_FALSE(play->queued);
+    groups.push_back(play->group);
+    ASSERT_TRUE(RunUntil(
+        cluster.sim(), [&] { return (*client)->FindPort(port)->packets_received() > 0; },
+        SimTime::Seconds(10)));
+  }
+
+  // Kill the MSU, give the primary 50ms to start failing groups over to the
+  // replica, then kill the primary mid-flight. The standby must finish the
+  // job from its shadow state (the takeover sweep retries groups whose
+  // failover never logged an outcome).
+  cluster.msu(0).Crash();
+  cluster.sim().RunFor(SimTime::Millis(50));
+  cluster.coordinator().Crash();
+  ASSERT_TRUE(
+      RunUntil(cluster.sim(), [&] { return standby->is_primary(); }, SimTime::Seconds(10)));
+
+  // Every group ends up playing on the survivor MSU; none is lost.
+  ASSERT_TRUE(RunUntil(cluster.sim(), [&] { return cluster.msu(1).active_stream_count() == 2; },
+                       SimTime::Seconds(20)));
+  for (GroupId group : groups) {
+    EXPECT_FALSE((*client)->GroupTerminated(group));
+  }
+  EXPECT_FALSE(standby->MsuUp("msu0"));
+  EXPECT_TRUE(standby->ledger().CheckInvariants().ok())
+      << standby->ledger().CheckInvariants().ToString();
+
+  // And they actually deliver from the survivor.
+  std::vector<int64_t> mark;
+  for (int i = 0; i < 2; ++i) {
+    mark.push_back((*client)->FindPort("tv" + std::to_string(i))->packets_received());
+  }
+  cluster.sim().RunFor(SimTime::Seconds(2));
+  for (int i = 0; i < 2; ++i) {
+    EXPECT_GT((*client)->FindPort("tv" + std::to_string(i))->packets_received(),
+              mark[static_cast<size_t>(i)])
+        << "port " << i;
+  }
+  ExpectAtMostOnePrimaryPerEpoch(cluster);
+}
+
+// One full soak pass: three streams play while the primaryship flips four
+// times (crash the current primary, wait for takeover, restart the corpse,
+// wait for it to rejoin as standby). Returns the final ClusterReport JSON.
+std::string RunPrimaryFlipSoak(uint64_t seed) {
+  InstallationConfig config;
+  config.msu_count = 2;
+  config.standby_coordinator = true;
+  config.seed = seed;
+  TestCluster cluster(config);
+  EXPECT_TRUE(cluster.Boot().ok());
+  Coordinator* first = &cluster.coordinator();
+  Coordinator* second = cluster.installation().standby_coordinator();
+  EXPECT_NE(second, nullptr);
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_TRUE(cluster.installation()
+                    .LoadMpegMovie("m" + std::to_string(i), SimTime::Seconds(120), i % 2, false)
+                    .ok());
+  }
+  auto client = cluster.AddConnectedClient("c");
+  EXPECT_TRUE(client.ok());
+  std::vector<GroupId> groups;
+  for (int i = 0; i < 3; ++i) {
+    auto play =
+        PlayOn(cluster.sim(), **client, "m" + std::to_string(i), "tv" + std::to_string(i));
+    EXPECT_TRUE(play.ok());
+    if (play.ok()) {
+      groups.push_back(play->group);
+    }
+  }
+  cluster.sim().RunFor(SimTime::Seconds(1));
+
+  for (int flip = 0; flip < 4; ++flip) {
+    Coordinator* primary = (!first->crashed() && first->is_primary()) ? first : second;
+    Coordinator* survivor = primary == first ? second : first;
+    primary->Crash();
+    EXPECT_TRUE(RunUntil(cluster.sim(),
+                         [&] { return !survivor->crashed() && survivor->is_primary(); },
+                         SimTime::Seconds(10)))
+        << "flip " << flip;
+    primary->Restart();
+    EXPECT_TRUE(
+        RunUntil(cluster.sim(), [&] { return primary->ha_joined(); }, SimTime::Seconds(10)))
+        << "flip " << flip;
+    EXPECT_TRUE(survivor->ledger().CheckInvariants().ok())
+        << "flip " << flip << ": " << survivor->ledger().CheckInvariants().ToString();
+    // No admitted stream was lost by this flip.
+    for (GroupId group : groups) {
+      EXPECT_FALSE((*client)->GroupTerminated(group)) << "flip " << flip;
+    }
+  }
+  ExpectAtMostOnePrimaryPerEpoch(cluster);
+
+  EXPECT_TRUE(
+      RunUntil(cluster.sim(), [&] { return (*client)->connected(); }, SimTime::Seconds(10)));
+  for (GroupId group : groups) {
+    EXPECT_TRUE(QuitGroup(cluster.sim(), **client, group).ok());
+  }
+  Coordinator* primary =
+      (!first->crashed() && first->is_primary()) ? first : second;
+  EXPECT_TRUE(RunUntil(cluster.sim(),
+                       [&] {
+                         return primary->active_stream_count() == 0 &&
+                                primary->pending_request_count() == 0;
+                       },
+                       SimTime::Seconds(20)));
+  EXPECT_EQ(primary->requests_lost(), 0);
+  EXPECT_TRUE(primary->ledger().CheckInvariants().ok())
+      << primary->ledger().CheckInvariants().ToString();
+  return cluster.installation().BuildClusterReport().ToJson();
+}
+
+TEST(HaTest, PrimaryFlipSoakKeepsStreamsAndIsDeterministic) {
+  const std::string one = RunPrimaryFlipSoak(1996);
+  const std::string two = RunPrimaryFlipSoak(1996);
+  EXPECT_EQ(one, two) << "equal seeds must produce byte-identical ClusterReports";
+}
+
+// Seeded chaos with coordinator-crash faults in the mix: the fault injector
+// kills whichever coordinator is primary (possibly repeatedly) while link
+// faults and disk faults fire, then restarts it. Afterwards the cluster must
+// quiesce cleanly under ONE primary, with the fencing record intact.
+std::string RunHaChaos(uint64_t seed, int64_t* crashes_out) {
+  InstallationConfig config;
+  config.msu_count = 2;
+  config.standby_coordinator = true;
+  config.seed = seed;
+  TestCluster cluster(config);
+  EXPECT_TRUE(cluster.Boot().ok());
+  for (int i = 0; i < 3; ++i) {
+    const std::string name = "m" + std::to_string(i);
+    EXPECT_TRUE(cluster.installation().LoadMpegMovie(name, SimTime::Seconds(45), 0, false).ok());
+    EXPECT_TRUE(cluster.installation().ReplicateContent(name, 1).ok());
+  }
+  FaultPlanOptions options;
+  options.msu_nodes = {"msu0", "msu1"};
+  options.other_nodes = {"coordinator", "coordinator2", "c"};
+  options.include_msu_crash = false;
+  options.include_coordinator_restart = false;
+  options.include_coordinator_crash = true;
+  options.horizon = SimTime::Seconds(20);
+  FaultPlan plan = FaultPlan::Random(seed, options);
+  EXPECT_TRUE(plan.HasClass(FaultClass::kCoordinatorCrash));
+  EXPECT_TRUE(cluster.installation().ApplyFaultPlan(std::move(plan)).ok());
+
+  auto client = cluster.AddConnectedClient("c");
+  EXPECT_TRUE(client.ok());
+  std::vector<GroupId> groups;
+  if (client.ok()) {
+    for (int i = 0; i < 3; ++i) {
+      auto play =
+          PlayOn(cluster.sim(), **client, "m" + std::to_string(i), "tv" + std::to_string(i));
+      if (play.ok() && !play->queued) {
+        groups.push_back(play->group);
+      }
+    }
+  }
+
+  // Ride out the fault schedule plus the longest possible outage, then
+  // require a single live primary (a double crash recovers via the orphan
+  // grace self-promotion).
+  cluster.sim().RunFor(SimTime::Seconds(26));
+  EXPECT_TRUE(RunUntil(cluster.sim(),
+                       [&] {
+                         Coordinator& primary = cluster.installation().current_primary();
+                         return !primary.crashed() && primary.is_primary();
+                       },
+                       SimTime::Seconds(10)));
+
+  // Quiesce: quit what still plays (45s movies may simply have finished) and
+  // drain; equal seeds must agree on every counter that follows.
+  if (client.ok()) {
+    for (GroupId group : groups) {
+      if (!(*client)->GroupTerminated(group)) {
+        (void)QuitGroup(cluster.sim(), **client, group);
+      }
+    }
+  }
+  EXPECT_TRUE(RunUntil(cluster.sim(),
+                       [&] {
+                         Coordinator& primary = cluster.installation().current_primary();
+                         return !primary.crashed() && primary.active_stream_count() == 0 &&
+                                primary.pending_request_count() == 0;
+                       },
+                       SimTime::Seconds(60)));
+  Coordinator& primary = cluster.installation().current_primary();
+  EXPECT_TRUE(primary.ledger().CheckInvariants().ok())
+      << primary.ledger().CheckInvariants().ToString();
+  ExpectAtMostOnePrimaryPerEpoch(cluster);
+  if (crashes_out != nullptr) {
+    *crashes_out = cluster.installation().fault_injector()->coordinator_crashes();
+  }
+  return cluster.installation().BuildClusterReport().ToJson();
+}
+
+TEST(HaTest, ChaosWithCoordinatorCrashesPreservesInvariants) {
+  int64_t crashes = 0;
+  (void)RunHaChaos(HaChaosSeed(), &crashes);
+  EXPECT_GE(crashes, 1) << "the plan guarantees at least one coordinator-crash event";
+}
+
+TEST(HaTest, ChaosIdenticalSeedsProduceIdenticalReports) {
+  const uint64_t seed = HaChaosSeed();
+  int64_t first_crashes = 0;
+  int64_t second_crashes = 0;
+  const std::string one = RunHaChaos(seed, &first_crashes);
+  const std::string two = RunHaChaos(seed, &second_crashes);
+  EXPECT_EQ(one, two);
+  EXPECT_EQ(first_crashes, second_crashes);
+}
+
+}  // namespace
+}  // namespace calliope

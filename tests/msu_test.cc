@@ -4,6 +4,7 @@
 
 #include "src/calliope/calliope.h"
 #include "src/msu/msu.h"
+#include "src/util/backoff.h"
 #include "tests/test_util.h"
 
 namespace calliope {
@@ -343,6 +344,56 @@ TEST(MsuTest, UnknownProtocolRefused) {
 TEST(MsuTest, MissingContentRefused) {
   MsuFixture fx;
   EXPECT_FALSE(fx.Start(fx.PlayRequest("ghost", 1, 1)));
+}
+
+// The redial schedule the MSU (and client) use after losing the Coordinator:
+// capped exponential growth with seeded jitter. Determinism matters — a chaos
+// run must replay bit-identically — so two Backoffs with equal params + seed
+// must produce equal schedules, and the jitter must stay inside the
+// documented [1-j, 1+j] envelope around the clamped geometric base.
+TEST(MsuTest, RedialBackoffIsCappedExponentialWithSeededJitter) {
+  BackoffParams params;
+  params.initial = SimTime::Millis(100);
+  params.max = SimTime::Seconds(2);
+  params.multiplier = 2.0;
+  params.jitter_fraction = 0.2;
+
+  Backoff a(params, 7);
+  Backoff b(params, 7);
+  Backoff c(params, 8);
+
+  bool any_seed_difference = false;
+  for (int i = 0; i < 12; ++i) {
+    const SimTime delay_a = a.Next();
+    const SimTime delay_b = b.Next();
+    const SimTime delay_c = c.Next();
+    // Same seed => identical schedule.
+    EXPECT_EQ(delay_a.nanos(), delay_b.nanos()) << "attempt " << i;
+    if (delay_a.nanos() != delay_c.nanos()) any_seed_difference = true;
+
+    // Envelope: jitter scales the clamped geometric base by [0.8, 1.2].
+    double base_ns = static_cast<double>(params.initial.nanos());
+    for (int k = 0; k < i; ++k) base_ns *= params.multiplier;
+    const double cap_ns = static_cast<double>(params.max.nanos());
+    if (base_ns > cap_ns) base_ns = cap_ns;
+    EXPECT_GE(delay_a.nanos(), static_cast<int64_t>(base_ns * 0.8) - 1)
+        << "attempt " << i;
+    EXPECT_LE(delay_a.nanos(), static_cast<int64_t>(base_ns * 1.2) + 1)
+        << "attempt " << i;
+  }
+  // Different seed => different jitter stream (somewhere in 12 draws).
+  EXPECT_TRUE(any_seed_difference);
+  EXPECT_EQ(a.attempts(), 12);
+
+  // Reset returns to the initial delay band but keeps consuming the same
+  // jitter stream, so the twin that mirrors the call sequence stays equal.
+  a.Reset();
+  b.Reset();
+  const SimTime after_reset_a = a.Next();
+  const SimTime after_reset_b = b.Next();
+  EXPECT_EQ(after_reset_a.nanos(), after_reset_b.nanos());
+  EXPECT_GE(after_reset_a.nanos(), SimTime::Millis(80).nanos() - 1);
+  EXPECT_LE(after_reset_a.nanos(), SimTime::Millis(120).nanos() + 1);
 }
 
 }  // namespace

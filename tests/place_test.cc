@@ -292,5 +292,48 @@ TEST(PolicyTest, ExhaustedWhenNoCandidateHasHeadroom) {
   }
 }
 
+// Network-path admission: an MSU whose NIC budget would be oversubscribed is
+// skipped even when its disks individually have headroom. msuA has a 4 Mbit/s
+// NIC with 3 Mbit/s already committed on disk 0; a 1.5 Mbit/s play could fit
+// disk 1's bandwidth budget but not the shared NIC, so every builtin policy
+// must route it to msuB — and report exhaustion when msuA is the only copy.
+TEST(PolicyTest, NicBudgetGatesAdmissionAcrossDisks) {
+  ResourceLedger ledger;
+  ledger.RegisterMsu("msuA", 2, Bytes(100 * kMiB), DataRate::MegabitsPerSec(4.0));
+  ledger.RegisterMsu("msuB", 2, Bytes(100 * kMiB), DataRate::MegabitsPerSec(100.0));
+  {
+    auto txn = ledger.Reserve(
+        "msuA", {ResourceLedger::ReserveItem(0, DataRate::MegabitsPerSec(3.0), Bytes())});
+    ASSERT_TRUE(txn.ok());
+    txn->Commit(0, /*stream=*/1);
+  }
+
+  const PlacementPolicyRegistry registry = PlacementPolicyRegistry::WithBuiltins();
+  const PlacementSpec mirrored =
+      PlaySpec(DataRate::MegabitsPerSec(1.5), {PlacementCandidate("msuA", 1, "a.mpg"),
+                                               PlacementCandidate("msuB", 1, "b.mpg")});
+  const PlacementSpec only_a =
+      PlaySpec(DataRate::MegabitsPerSec(1.5), {PlacementCandidate("msuA", 1, "a.mpg")});
+  for (const std::string& name : registry.names()) {
+    auto policy = registry.Instantiate(name, 1);
+    ASSERT_TRUE(policy.ok());
+    auto placement = (*policy)->Place(mirrored, ledger);
+    ASSERT_TRUE(placement.ok()) << name;
+    EXPECT_EQ(placement->msu, "msuB") << name;
+
+    auto saturated = (*policy)->Place(only_a, ledger);
+    EXPECT_EQ(saturated.status().code(), StatusCode::kResourceExhausted) << name;
+  }
+
+  // A small stream still fits under msuA's remaining 1 Mbit/s of NIC budget.
+  const PlacementSpec small =
+      PlaySpec(DataRate::MegabitsPerSec(0.5), {PlacementCandidate("msuA", 1, "a.mpg")});
+  auto policy = registry.Instantiate("first-fit", 1);
+  ASSERT_TRUE(policy.ok());
+  auto placement = (*policy)->Place(small, ledger);
+  ASSERT_TRUE(placement.ok());
+  EXPECT_EQ(placement->msu, "msuA");
+}
+
 }  // namespace
 }  // namespace calliope
