@@ -35,6 +35,11 @@ export TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1}"
 
 ctest --test-dir "${BUILD_DIR}" --output-on-failure -j "$(nproc)" "$@"
 
+# The hybrid-fidelity suite gets an explicit pass: the flow<->packet
+# promotion machinery hands page buffers between two delivery loops, which
+# is exactly where a lifetime bug would hide from the default-mode tests.
+ctest --test-dir "${BUILD_DIR}" --output-on-failure -L '^fidelity$'
+
 # The warm-standby coordinator suite gets an explicit pass under TSan: the
 # takeover path is where cross-coroutine state handoff concentrates. (The
 # label regex is anchored because "chaos" contains "ha".)

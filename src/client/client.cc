@@ -278,6 +278,10 @@ void CalliopeClient::OnMediaDatagram(ClientDisplayPort& port, const Datagram& da
   if (payload == nullptr) {
     return;
   }
+  if (payload->flow_count > 0) {
+    OnFlowChunk(port, *payload);
+    return;
+  }
   const SimTime lateness = sim().Now() - payload->deadline;
   auto [seq_it, first_from_stream] = port.last_seq_.try_emplace(payload->stream, -1);
   if (!first_from_stream && payload->seq <= seq_it->second) {
@@ -310,6 +314,49 @@ void CalliopeClient::OnMediaDatagram(ClientDisplayPort& port, const Datagram& da
     }
   }
   port.bytes_received_ += payload->packet.size;
+}
+
+void CalliopeClient::OnFlowChunk(ClientDisplayPort& port, const MediaDatagramPayload& payload) {
+  // One aggregate datagram standing in for `flow_count` packets of a
+  // steady-state stream. Each record "arrives" at the coarse tick of its
+  // deadline (when the MSU's per-packet loop would have sent it) plus the
+  // chunk's measured network transit, so the port's histograms and gap/glitch
+  // counters match what packet fidelity would have recorded.
+  const SimTime transit = sim().Now() - payload.flow_sent_at;
+  auto [seq_it, inserted] = port.last_seq_.try_emplace(payload.stream, -1);
+  bool first_from_stream = inserted;
+  CoarseTimer& timer = node_->machine().timer();
+  int64_t seq = payload.seq;
+  for (const auto& record : payload.flow_records) {
+    const SimTime arrival = timer.NextTickAtOrAfter(record.deadline) + transit;
+    const SimTime lateness = arrival - record.deadline;
+    if (!first_from_stream && seq <= seq_it->second) {
+      ++port.out_of_order_;
+    }
+    first_from_stream = false;
+    seq_it->second = std::max(seq_it->second, seq);
+    ++seq;
+    if (port.first_arrival_ == SimTime()) {
+      port.first_arrival_ = arrival;
+    }
+    if (port.last_arrival_ != SimTime()) {
+      port.max_arrival_gap_ = std::max(port.max_arrival_gap_, arrival - port.last_arrival_);
+    }
+    port.last_arrival_ = arrival;
+    ++port.packets_received_;
+    port.arrival_lateness_.Record(lateness);
+    if (lateness > port.buffer_allowance_) {
+      ++port.glitches_;
+    }
+    if (port.playout_.has_value()) {
+      if (record.delivery_offset + SimTime::Seconds(1) < port.last_media_offset_) {
+        port.playout_->Reset();
+      }
+      port.last_media_offset_ = record.delivery_offset;
+      port.playout_->OnArrival(arrival, record.delivery_offset, record.size);
+    }
+    port.bytes_received_ += record.size;
+  }
 }
 
 void CalliopeClient::OnControlAccept(TcpConn* conn) {

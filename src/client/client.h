@@ -26,6 +26,8 @@
 
 namespace calliope {
 
+struct MediaDatagramPayload;
+
 // A registered media endpoint. The software behind it "can be a software
 // encoder/decoder that is part of the client application or a simple driver
 // for a hardware device"; here it gathers delivery statistics.
@@ -168,6 +170,9 @@ class CalliopeClient {
 
  private:
   void OnMediaDatagram(ClientDisplayPort& port, const Datagram& datagram);
+  // Flow-fidelity chunk: synthesizes the per-record arrival accounting the
+  // per-packet model would have produced (see DESIGN.md §5.5).
+  void OnFlowChunk(ClientDisplayPort& port, const MediaDatagramPayload& payload);
   void OnControlAccept(TcpConn* conn);
   GroupState& GroupFor(GroupId group);
   // Installs the receive/close handlers on conn_ (session notifications,

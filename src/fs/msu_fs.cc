@@ -201,6 +201,41 @@ Co<Result<const DataPage*>> MsuFileSystem::ReadPage(MsuFile* file, size_t page_i
   co_return Result<const DataPage*>(&file->image_.page(page_index));
 }
 
+Co<Result<std::vector<const DataPage*>>> MsuFileSystem::ReadPages(MsuFile* file, size_t first,
+                                                                  size_t count) {
+  using Pages = std::vector<const DataPage*>;
+  if (!file->committed_) {
+    co_return Result<Pages>(FailedPreconditionError("file not committed"));
+  }
+  if (count == 0 || first + count > file->blocks_.size()) {
+    co_return Result<Pages>(NotFoundError("page range out of range"));
+  }
+  if (file->striped_) {
+    co_return Result<Pages>(FailedPreconditionError("aggregate read of striped file"));
+  }
+  const BlockAddr addr = file->blocks_[first];
+  auto& volume = *volumes_[static_cast<size_t>(addr.disk)];
+  const bool ok = co_await volume.disk().Read(volume.BlockOffset(addr.block),
+                                              kDataPageSize * static_cast<int64_t>(count),
+                                              /*bulk=*/true);
+  if (!ok) {
+    co_return Result<Pages>(UnavailableError("disk read error on " + file->name_ + " pages " +
+                                             std::to_string(first) + "+" + std::to_string(count)));
+  }
+  for (size_t corrupt : file->corrupt_pages_) {
+    if (corrupt >= first && corrupt < first + count) {
+      co_return Result<Pages>(DataLossError("record table checksum mismatch in page " +
+                                            std::to_string(corrupt) + " of " + file->name_));
+    }
+  }
+  Pages pages;
+  pages.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    pages.push_back(&file->image_.page(first + i));
+  }
+  co_return Result<Pages>(std::move(pages));
+}
+
 void MsuFileSystem::CorruptPageForTesting(MsuFile* file, size_t page_index) {
   file->corrupt_pages_.push_back(page_index);
 }

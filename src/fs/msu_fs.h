@@ -90,6 +90,13 @@ class MsuFileSystem {
   // Returns the page contents (valid until the file is deleted).
   Co<Result<const DataPage*>> ReadPage(MsuFile* file, size_t page_index);
 
+  // Flow-mode aggregate read: pages [first, first + count) as one disk
+  // reservation ("deliver N bytes over the service window") instead of
+  // `count` round-robin requests. Non-striped files only — all pages sit on
+  // the home disk, so a single request spanning their blocks is charged.
+  // Per-page corruption checks still apply (kDataLoss on the first bad page).
+  Co<Result<std::vector<const DataPage*>>> ReadPages(MsuFile* file, size_t first, size_t count);
+
   // Loads pre-built content directly (admin bulk load / test fixtures):
   // allocates blocks for every page and installs the image without charging
   // simulated time.

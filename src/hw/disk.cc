@@ -77,6 +77,9 @@ Task Disk::ServiceLoop() {
     DiskFault fault;
     if (fault_hook_) {
       fault = fault_hook_(request.op, request.offset, request.size);
+      if (fault_observer_ && (fault.fail || fault.extra_latency > SimTime())) {
+        fault_observer_(fault);
+      }
     }
 
     const double target_frac =
@@ -92,7 +95,8 @@ Task Disk::ServiceLoop() {
     const SimTime start = sim_->Now();
     // DMA between host memory and the HBA trickles across the transfer window
     // (a read DMA *writes* host memory).
-    memory_->SubmitDma(request.size, media_time, /*is_write=*/request.op == Op::kRead);
+    memory_->SubmitDma(request.size, media_time, /*is_write=*/request.op == Op::kRead,
+                       request.bulk ? request.size / 4 : Bytes());
     co_await scsi_->Transfer(request.size);
     const SimTime elapsed = sim_->Now() - start;
     if (elapsed < media_time) {

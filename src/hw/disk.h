@@ -61,12 +61,13 @@ class Disk {
   // completion interrupt has been serviced. Yields true on success, false if
   // the fault hook failed the request.
   // NOTE: declared constructors (not aggregates) — see src/sim/co.h.
-  auto Access(Op op, Bytes offset, Bytes size) {
+  auto Access(Op op, Bytes offset, Bytes size, bool bulk = false) {
     struct Awaiter {
-      Awaiter(Disk* d, Op o, Bytes off, Bytes sz) : disk(d) {
+      Awaiter(Disk* d, Op o, Bytes off, Bytes sz, bool b) : disk(d) {
         request.op = o;
         request.offset = off;
         request.size = sz;
+        request.bulk = b;
       }
       Disk* disk;
       Request request;
@@ -79,15 +80,26 @@ class Disk {
       }
       bool await_resume() const noexcept { return !failed; }
     };
-    return Awaiter(this, op, offset, size);
+    return Awaiter(this, op, offset, size, bulk);
   }
-  auto Read(Bytes offset, Bytes size) { return Access(Op::kRead, offset, size); }
+  // `bulk` marks a flow-fidelity aggregate read: its host DMA trickles in
+  // coarse lumps (fewer events, same bus time). Per-packet reads leave it off.
+  auto Read(Bytes offset, Bytes size, bool bulk = false) {
+    return Access(Op::kRead, offset, size, bulk);
+  }
   auto Write(Bytes offset, Bytes size) { return Access(Op::kWrite, offset, size); }
 
   void set_discipline(DiskQueueDiscipline discipline) { discipline_ = discipline; }
   DiskQueueDiscipline discipline() const { return discipline_; }
 
   void set_fault_hook(FaultHook hook) { fault_hook_ = std::move(hook); }
+
+  // Observer invoked whenever the fault hook degrades or fails a request.
+  // Separate from the hook so the fault injector (who decides) and the MSU
+  // (who reacts, e.g. by demoting flow-mode streams to packet fidelity)
+  // attach independently.
+  using FaultObserver = std::function<void(const DiskFault&)>;
+  void set_fault_observer(FaultObserver observer) { fault_observer_ = std::move(observer); }
 
   int id() const { return id_; }
   Bytes capacity() const { return params_.capacity; }
@@ -108,6 +120,7 @@ class Disk {
     Op op = Op::kRead;
     Bytes offset;
     Bytes size;
+    bool bulk = false;  // aggregate flow read: coarse DMA trickle
     OwnedCoro waiter;
     bool* failed_out = nullptr;  // written just before the waiter resumes
   };
@@ -126,6 +139,7 @@ class Disk {
   Rng rng_;
   DiskQueueDiscipline discipline_ = DiskQueueDiscipline::kFifo;
   FaultHook fault_hook_;
+  FaultObserver fault_observer_;
 
   std::deque<Request> queue_;
   Condition work_available_;

@@ -7,9 +7,9 @@ namespace calliope {
 MemoryBus::MemoryBus(Simulator& sim, const MemoryBusParams& params, Resource& shared)
     : sim_(&sim), params_(params), bus_(&shared) {}
 
-void MemoryBus::SubmitDma(Bytes size, SimTime window, bool is_write) {
+void MemoryBus::SubmitDma(Bytes size, SimTime window, bool is_write, Bytes chunk_override) {
   const DataRate rate = is_write ? params_.write_rate : params_.read_rate;
-  const Bytes chunk = params_.dma_chunk;
+  const Bytes chunk = std::max(params_.dma_chunk, chunk_override);
   const int64_t chunks = std::max<int64_t>(1, (size.count() + chunk.count() - 1) / chunk.count());
   const SimTime spacing = window / chunks;
   Bytes remaining = size;

@@ -40,7 +40,12 @@ class MemoryBus {
   // over `window` (the device's transfer duration), charged at the read or
   // write rate. Completion of the bus traffic is not observable — the device
   // model owns the transfer-complete event.
-  void SubmitDma(Bytes size, SimTime window, bool is_write);
+  //
+  // `chunk_override` (0 = use params().dma_chunk) coarsens the trickle for
+  // aggregate flow-fidelity transfers: the bus occupancy total is identical,
+  // but a page-sized transfer costs a handful of events instead of dozens.
+  // Per-packet paths never pass it, so their interleaving is untouched.
+  void SubmitDma(Bytes size, SimTime window, bool is_write, Bytes chunk_override = Bytes());
 
   SimTime OpTime(Bytes size, DataRate rate) const {
     const SimTime nominal = rate.TransferTime(size);

@@ -34,6 +34,11 @@ struct Frame {
 
   Bytes size;
   std::shared_ptr<void> payload;
+  // Flow-mode aggregation: one Frame standing in for `packet_count` logical
+  // datagrams sent back to back. The send path charges per-packet CPU and
+  // port I/O `packet_count` times but makes a single copy/checksum/DMA/wire
+  // reservation over the total bytes — an aggregate "deliver N bytes" grant.
+  int64_t packet_count = 1;
 };
 
 class Nic {

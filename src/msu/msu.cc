@@ -32,6 +32,11 @@ Msu::Msu(Machine& machine, NetNode& node, MsuParams params)
     if (params_.elevator_scheduling) {
       machine.disk(d).set_discipline(DiskQueueDiscipline::kElevator);
     }
+    // A degraded or failing disk is an interesting moment for every flow-mode
+    // stream it serves: drop them back to the per-packet model, which is the
+    // one whose fault behavior the chaos suites verify.
+    machine.disk(d).set_fault_observer(
+        [this, disk = static_cast<int>(d)](const DiskFault&) { NoteDiskInteresting(disk); });
     disk_work_.push_back(std::make_unique<Condition>(machine.sim()));
     DiskProcess(static_cast<int>(d));
   }
@@ -51,8 +56,19 @@ void Msu::AttachObservability(MetricsRegistry* metrics, TraceRecorder* trace) {
     blocks_written_metric_ = nullptr;
     ibtree_reads_metric_ = nullptr;
     send_lateness_us_ = nullptr;
+    flow_chunks_metric_ = nullptr;
+    flow_packets_metric_ = nullptr;
+    flow_demotions_metric_ = nullptr;
+    flow_promotions_metric_ = nullptr;
+    flow_refills_metric_ = nullptr;
     return;
   }
+  // Cluster-global fidelity counters (find-or-create: all MSUs share them).
+  flow_chunks_metric_ = &metrics_->counter("sim.flow.chunks");
+  flow_packets_metric_ = &metrics_->counter("sim.flow.packets");
+  flow_demotions_metric_ = &metrics_->counter("sim.flow.demotions");
+  flow_promotions_metric_ = &metrics_->counter("sim.flow.promotions");
+  flow_refills_metric_ = &metrics_->counter("sim.flow.refills");
   const std::string prefix = "msu." + node_->name() + ".";
   packets_sent_metric_ = &metrics_->counter(prefix + "packets_sent");
   packets_late_metric_ = &metrics_->counter(prefix + "packets_late");
@@ -316,6 +332,11 @@ Co<MessageBody> Msu::HandleStartStream(MsuStartStream request) {
     co_return MessageBody{MsuStartStreamResponse{false, "out of stream buffers"}};
   }
 
+  // Admission churn is an interesting moment for the disk's existing
+  // flow-mode streams: the new load changes contention, so they re-earn
+  // their fast path through a fresh quiet window on the per-packet model.
+  NoteDiskInteresting(stream->disk_);
+
   MsuStream* raw = stream.get();
   streams_[raw->id()] = std::move(stream);
   auto& group = groups_[request.group];
@@ -431,6 +452,14 @@ Co<MessageBody> Msu::HandleVcr(VcrCommand command) {
     }
   }
   co_return MessageBody{VcrAck{overall.ok(), overall.ok() ? "" : overall.ToString()}};
+}
+
+void Msu::NoteDiskInteresting(int disk_index) {
+  for (auto& [id, stream] : streams_) {
+    if (stream->disk() == disk_index && stream->mode() == MsuStream::Mode::kPlay) {
+      stream->NoteInteresting();
+    }
+  }
 }
 
 void Msu::OnStreamFinished(MsuStream* stream) {

@@ -24,6 +24,7 @@
 #include "src/proto/protocol.h"
 #include "src/sched/duty_cycle.h"
 #include "src/sim/condition.h"
+#include "src/sim/fidelity.h"
 #include "src/util/histogram.h"
 
 namespace calliope {
@@ -40,6 +41,21 @@ struct MediaDatagramPayload {
   SimTime deadline;        // sender-side delivery deadline (absolute)
   MediaPacket packet;
   bool is_control = false;
+
+  // Flow-fidelity chunk (flow_count > 0): this payload stands in for
+  // `flow_count` consecutive packets of one steady-state stream, delivered as
+  // a single aggregate datagram. Per-record deadlines/sizes ride along so the
+  // client can synthesize exactly the per-packet arrival accounting it would
+  // have produced in packet fidelity; `flow_sent_at` lets it reconstruct each
+  // record's transit time (arrival_i = deadline_i's tick + measured transit).
+  struct FlowRecord {
+    SimTime deadline;         // sender-side delivery deadline (absolute)
+    SimTime delivery_offset;  // media-time offset of the record
+    Bytes size;
+  };
+  int64_t flow_count = 0;
+  SimTime flow_sent_at;
+  std::vector<FlowRecord> flow_records;
 };
 
 // One active stream on an MSU (one member of a stream group).
@@ -77,6 +93,9 @@ class MsuStream {
   // Media-time position of the next packet to send.
   SimTime CurrentMediaOffset() const;
 
+  // Current delivery fidelity (see src/sim/fidelity.h and DESIGN.md §5.5).
+  Fidelity fidelity() const { return fidelity_; }
+
  private:
   friend class Msu;
 
@@ -87,6 +106,31 @@ class MsuStream {
   Co<Status> FinishRecording();
   bool NeedsDiskService() const;
   void StopInternal();
+
+  // --- Hybrid fidelity (flow fast path; see stream_flow.cc) ---
+  // One flow-mode iteration: aggregate refill, one sleep to the front page's
+  // last deadline, then one chunk send covering the whole page.
+  Co<void> FlowStep();
+  // Marks an interesting moment (VCR op, admission churn, disk fault,
+  // congestion, stop): restarts the promotion quiet window and, if the stream
+  // is in flow mode, settles the in-flight page and demotes to packet mode.
+  void NoteInteresting();
+  // Accounts and ships the already-due records of the in-flight flow page so
+  // a demotion mid-page loses nothing the packet model would have sent.
+  void SettleFlowPage();
+  void MaybePromote();
+  bool FlowEligible() const;
+  // Max records per aggregated chunk send: the whole page when every
+  // co-resident stream is in flow mode, a few packet times' worth while a
+  // packet-fidelity neighbour could queue behind the frame.
+  size_t FlowChunkCap() const;
+  // Builds the chunk payload for records [first, limit) of the front page,
+  // accounting each record's analytic lateness. Returns total media bytes.
+  std::shared_ptr<MediaDatagramPayload> BuildFlowChunk(size_t first, size_t limit,
+                                                       Bytes* total_out);
+  // Shared per-packet accounting (histogram, counters, first-packet trace):
+  // both fidelities report through this so observability is mode-agnostic.
+  void AccountSentPacket(SimTime lateness);
 
   Msu* msu_;
   StreamId id_;
@@ -119,6 +163,11 @@ class MsuStream {
   // Bumped by every VCR operation that moves the position; the playback loop
   // re-evaluates after timer sleeps when it changes.
   int64_t position_gen_ = 0;
+  // Hybrid-fidelity state. Streams always start in packet mode; MaybePromote
+  // lifts eligible steady-state streams to flow mode after a quiet window.
+  Fidelity fidelity_ = Fidelity::kPacket;
+  SimTime last_interesting_;          // last admission/VCR/fault/congestion event
+  bool flow_page_in_flight_ = false;  // front page's records are analytically due
 
   // Recording state.
   IbTreeBuilder builder_;
@@ -154,6 +203,11 @@ struct MsuParams {
   // small message per MSU, so Coordinator CPU cost stays negligible). The
   // Coordinator uses the offsets to resume streams elsewhere after a crash.
   SimTime progress_interval = SimTime::Seconds(2);
+  // Delivery-path fidelity policy. default_mode == kPacket keeps every stream
+  // on the bit-exact per-packet model (the chaos/HA configuration);
+  // kFlow enables the hybrid: eligible steady-state streams promote to the
+  // flow fast path after `fidelity.quiet_window` without interesting events.
+  FidelityConfig fidelity;
 };
 
 class Msu {
@@ -242,6 +296,9 @@ class Msu {
   Task QuitStaleStreams(std::vector<StreamId> stale);
   Co<void> EnsureControlConn(Group& group, const MsuStartStream& request);
   void OnMediaDatagram(const Datagram& datagram);
+  // Interesting moment scoped to one disk (admission churn, disk fault):
+  // demotes that disk's flow-mode streams back to the per-packet model.
+  void NoteDiskInteresting(int disk_index);
 
   Machine* machine_;
   NetNode* node_;
@@ -283,6 +340,14 @@ class Msu {
   Counter* blocks_written_metric_ = nullptr;
   Counter* ibtree_reads_metric_ = nullptr;
   Histogram* send_lateness_us_ = nullptr;
+  // sim.flow.* counters are cluster-global (no per-MSU prefix): every MSU
+  // attached to the registry shares them, and chaos/HA suites assert
+  // sim.flow.chunks == 0 to prove the per-packet model ran pure.
+  Counter* flow_chunks_metric_ = nullptr;
+  Counter* flow_packets_metric_ = nullptr;
+  Counter* flow_demotions_metric_ = nullptr;
+  Counter* flow_promotions_metric_ = nullptr;
+  Counter* flow_refills_metric_ = nullptr;
 };
 
 }  // namespace calliope

@@ -20,6 +20,7 @@ MsuStream::MsuStream(Msu& msu, const MsuStartStream& request,
       client_node_(request.client_node),
       client_udp_port_(request.client_udp_port),
       buffers_changed_(msu.sim()),
+      last_interesting_(msu.sim().Now()),  // admission is an interesting moment
       record_pages_ready_(msu.sim()),
       start_time_(msu.sim().Now()) {}
 
@@ -28,6 +29,11 @@ bool MsuStream::NeedsDiskService() const {
     return false;
   }
   if (mode_ == Mode::kPlay) {
+    // Flow-mode streams self-prefetch with aggregate reads inside FlowStep;
+    // keeping them off the round-robin disk process avoids double reads.
+    if (fidelity_ == Fidelity::kFlow) {
+      return false;
+    }
     return state_ == State::kRunning && file_ != nullptr && prefetched_.size() < 2 &&
            next_page_to_read_ < file_->image().page_count();
   }
@@ -113,6 +119,11 @@ Task MsuStream::PlaybackLoop() {
       co_await buffers_changed_.Wait();
       continue;
     }
+    MaybePromote();
+    if (fidelity_ == Fidelity::kFlow) {
+      co_await FlowStep();
+      continue;
+    }
     if (prefetched_.empty()) {
       if (file_ == nullptr || play_page_ >= file_->image().page_count()) {
         break;  // end of content
@@ -178,24 +189,17 @@ Task MsuStream::PlaybackLoop() {
       payload->packet = record;
       payload->is_control = route.to_control_port;
       const int port = route.to_control_port ? client_udp_port_ + 1 : client_udp_port_;
-      co_await msu_->node().SendUdp(client_node_, port, record.size, std::move(payload));
+      const bool sent_ok =
+          co_await msu_->node().SendUdp(client_node_, port, record.size, std::move(payload));
       if (state_ != State::kRunning || position_gen_ != gen_before) {
         continue;
       }
-      const SimTime lateness = msu_->sim().Now() - deadline;
-      lateness_.Record(lateness);
-      ++packets_sent_;
-      if (packets_sent_ == 1 && msu_->trace_ != nullptr) {
-        msu_->trace_->Instant(msu_->node().name(), "msu", "first-packet",
-                              "stream " + std::to_string(id_));
+      if (!sent_ok) {
+        // ENOBUFS: congestion counts as interesting — it restarts the quiet
+        // window so the stream stays on the per-packet model while squeezed.
+        NoteInteresting();
       }
-      if (msu_->packets_sent_metric_ != nullptr) {
-        msu_->packets_sent_metric_->Add();
-        if (lateness > SimTime()) {
-          msu_->packets_late_metric_->Add();
-        }
-        msu_->send_lateness_us_->Record(std::max<int64_t>(lateness.micros(), 0));
-      }
+      AccountSentPacket(msu_->sim().Now() - deadline);
     }
     ++send_seq_;
     ++play_record_;
@@ -213,6 +217,7 @@ Status MsuStream::Pause() {
   if (state_ != State::kRunning) {
     return FailedPreconditionError("stream not running");
   }
+  NoteInteresting();  // settles any in-flight flow page before the state flips
   state_ = State::kPaused;
   ++position_gen_;
   buffers_changed_.NotifyAll();
@@ -229,6 +234,7 @@ Status MsuStream::Resume() {
   if (state_ != State::kPaused) {
     return FailedPreconditionError("stream not paused");
   }
+  NoteInteresting();
   state_ = State::kRunning;
   ++position_gen_;
   rebase_needed_ = true;  // deadlines restart from the paused position
@@ -244,6 +250,10 @@ Co<Status> MsuStream::SeekTo(SimTime media_offset) {
   if (file_ == nullptr) {
     co_return FailedPreconditionError("no file attached");
   }
+  // Demote before the tree walk: while the internal-page reads are in
+  // flight the stream keeps delivering from its old position, and the
+  // per-packet model is the one whose mid-seek behavior we guarantee.
+  NoteInteresting();
   const SimTime seek_start = msu_->sim().Now();
   auto target = file_->image().Seek(media_offset);
   if (!target.ok()) {
@@ -282,6 +292,7 @@ Co<Status> MsuStream::SwitchVariant(Variant variant) {
   if (variant == variant_) {
     co_return OkStatus();
   }
+  NoteInteresting();  // settle before file_ is swapped out from under the page
   const std::string* target_name = nullptr;
   switch (variant) {
     case Variant::kNormal:
@@ -401,11 +412,31 @@ Co<Status> MsuStream::Quit() {
 }
 
 void MsuStream::StopInternal() {
+  // Settle any in-flight flow page first: records whose delivery instants
+  // already passed were sent in the per-packet model, so the analytic model
+  // must count them before the page is dropped (quit, crash, data loss).
+  NoteInteresting();
   state_ = State::kStopped;
   ++position_gen_;
   prefetched_.clear();
   buffers_changed_.NotifyAll();
   record_pages_ready_.NotifyAll();
+}
+
+void MsuStream::AccountSentPacket(SimTime lateness) {
+  lateness_.Record(lateness);
+  ++packets_sent_;
+  if (packets_sent_ == 1 && msu_->trace_ != nullptr) {
+    msu_->trace_->Instant(msu_->node().name(), "msu", "first-packet",
+                          "stream " + std::to_string(id_));
+  }
+  if (msu_->packets_sent_metric_ != nullptr) {
+    msu_->packets_sent_metric_->Add();
+    if (lateness > SimTime()) {
+      msu_->packets_late_metric_->Add();
+    }
+    msu_->send_lateness_us_->Record(std::max<int64_t>(lateness.micros(), 0));
+  }
 }
 
 }  // namespace calliope

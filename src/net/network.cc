@@ -223,6 +223,21 @@ Co<bool> NetNode::SendUdp(std::string dst_node, int dst_port, Bytes size,
   return network_->Transmit(std::move(datagram), /*blocking=*/false);
 }
 
+Co<bool> NetNode::SendUdpFlow(std::string dst_node, int dst_port, Bytes size,
+                              int64_t packet_count, std::shared_ptr<const void> payload,
+                              int src_port) {
+  Datagram datagram;
+  datagram.proto = Datagram::Proto::kUdp;
+  datagram.src_node = name_;
+  datagram.src_port = src_port;
+  datagram.dst_node = std::move(dst_node);
+  datagram.dst_port = dst_port;
+  datagram.size = size;
+  datagram.flow_packets = packet_count;
+  datagram.payload = std::move(payload);
+  return network_->Transmit(std::move(datagram), /*blocking=*/true);
+}
+
 Status NetNode::ListenTcp(int port, AcceptHandler on_accept) {
   if (tcp_listeners_.contains(port)) {
     return AlreadyExistsError("tcp port in use: " + std::to_string(port));
@@ -386,17 +401,20 @@ Co<bool> Network::Transmit(Datagram datagram, bool blocking) {
   }
   Nic& nic =
       *segment == Segment::kIntra ? src->machine().ethernet() : src->machine().fddi();
-  const Bytes wire_size = datagram.size + kUdpIpHeader;
+  // One UDP/IP header per logical packet: an aggregated flow chunk occupies
+  // the same wire bytes as the burst it stands in for.
+  const Bytes wire_size = datagram.size + kUdpIpHeader * datagram.flow_packets;
   if (*segment == Segment::kIntra) {
     intra_bytes_ += wire_size;
   } else {
     delivery_bytes_ += wire_size;
   }
   if (datagrams_sent_ != nullptr) {
-    datagrams_sent_->Add();
+    datagrams_sent_->Add(datagram.flow_packets);
   }
   Frame frame;
   frame.size = wire_size;
+  frame.packet_count = datagram.flow_packets;
   frame.payload = std::make_shared<Datagram>(std::move(datagram));
   if (blocking) {
     co_await nic.SendBlocking(std::move(frame));
@@ -417,7 +435,8 @@ void Network::DeliverToNode(const Datagram& datagram) {
   Nic& nic =
       *segment == Segment::kIntra ? dst->machine().ethernet() : dst->machine().fddi();
   Frame frame;
-  frame.size = datagram.size + kUdpIpHeader;
+  frame.size = datagram.size + kUdpIpHeader * datagram.flow_packets;
+  frame.packet_count = datagram.flow_packets;
   frame.payload = std::make_shared<Datagram>(datagram);
   nic.DeliverFromWire(std::move(frame));
 }

@@ -69,6 +69,12 @@ struct Datagram {
   int dst_port = 0;
   Bytes size;
   std::shared_ptr<const void> payload;
+  // Flow-mode batching: this datagram stands in for `flow_packets` logical
+  // UDP datagrams sent back to back (`size` is their total payload). The
+  // fabric charges one UDP/IP header per logical packet and forwards the
+  // count to the NIC, which charges per-packet CPU but one aggregate
+  // copy/checksum/DMA/wire reservation.
+  int64_t flow_packets = 1;
   // TCP only:
   uint64_t conn_id = 0;
   int64_t seq = 0;
@@ -170,6 +176,12 @@ class NetNode {
   // temporaries are gone (lazy start).
   Co<bool> SendUdp(std::string dst_node, int dst_port, Bytes size,
                    std::shared_ptr<const void> payload, int src_port = 0);
+  // Flow-mode aggregate: one chunk standing in for `packet_count` datagrams
+  // totalling `size` payload bytes. Blocking admission (the flow loop has
+  // already folded pacing into its refill schedule, so ENOBUFS retries every
+  // 1 ms like ttcp instead of dropping a whole page).
+  Co<bool> SendUdpFlow(std::string dst_node, int dst_port, Bytes size, int64_t packet_count,
+                       std::shared_ptr<const void> payload, int src_port = 0);
 
   // TCP.
   Status ListenTcp(int port, AcceptHandler on_accept);

@@ -1,0 +1,198 @@
+#include "src/obs/report_diff.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <map>
+#include <sstream>
+
+namespace calliope {
+
+namespace {
+
+bool WithinTolerance(int64_t a, int64_t b, const ReportDiffOptions::Tolerance& tolerance) {
+  const int64_t delta = std::llabs(a - b);
+  const auto budget = static_cast<double>(tolerance.abs) +
+                      tolerance.rel * static_cast<double>(std::max(std::llabs(a), std::llabs(b)));
+  return static_cast<double>(delta) <= budget;
+}
+
+class DiffBuilder {
+ public:
+  explicit DiffBuilder(ReportDiff* out) : out_(out) {}
+
+  void Field(const std::string& path, int64_t lhs, int64_t rhs,
+             const ReportDiffOptions::Tolerance& tolerance) {
+    if (WithinTolerance(lhs, rhs, tolerance)) {
+      return;
+    }
+    out_->entries.push_back(ReportDiff::Entry{path, lhs, rhs, "beyond tolerance"});
+  }
+
+  void Exact(const std::string& path, int64_t lhs, int64_t rhs) {
+    Field(path, lhs, rhs, ReportDiffOptions::Tolerance());
+  }
+
+  void ExactText(const std::string& path, const std::string& lhs, const std::string& rhs) {
+    if (lhs == rhs) {
+      return;
+    }
+    out_->entries.push_back(ReportDiff::Entry{path, 0, 0, "\"" + lhs + "\" vs \"" + rhs + "\""});
+  }
+
+  void Missing(const std::string& path, bool in_lhs) {
+    out_->entries.push_back(
+        ReportDiff::Entry{path, 0, 0, in_lhs ? "missing in rhs" : "missing in lhs"});
+  }
+
+ private:
+  ReportDiff* out_;
+};
+
+bool Ignored(const std::string& name, const std::vector<std::string>& prefixes) {
+  for (const std::string& prefix : prefixes) {
+    if (name.rfind(prefix, 0) == 0) {
+      return true;
+    }
+  }
+  return false;
+}
+
+void DiffStreams(const ClusterReport& lhs, const ClusterReport& rhs,
+                 const ReportDiffOptions& options, DiffBuilder& diff) {
+  std::map<int64_t, const StreamQosReport*> right;
+  for (const StreamQosReport& stream : rhs.streams) {
+    right[stream.stream_id] = &stream;
+  }
+  for (const StreamQosReport& a : lhs.streams) {
+    const std::string path = "streams[" + std::to_string(a.stream_id) + "]";
+    auto it = right.find(a.stream_id);
+    if (it == right.end()) {
+      diff.Missing(path, /*in_lhs=*/true);
+      continue;
+    }
+    const StreamQosReport& b = *it->second;
+    right.erase(it);
+    diff.ExactText(path + ".msu", a.msu, b.msu);
+    diff.ExactText(path + ".file", a.file, b.file);
+    diff.Exact(path + ".group_id", a.group_id, b.group_id);
+    diff.Exact(path + ".disk", a.disk, b.disk);
+    diff.Exact(path + ".recording", a.recording ? 1 : 0, b.recording ? 1 : 0);
+    diff.Exact(path + ".finished", a.finished ? 1 : 0, b.finished ? 1 : 0);
+    diff.Field(path + ".packets_sent", a.packets_sent, b.packets_sent, options.packets);
+    diff.Field(path + ".packets_late", a.packets_late, b.packets_late,
+               options.late_packets.value_or(options.packets));
+    diff.Field(path + ".p50_lateness_us", a.p50_lateness_us, b.p50_lateness_us,
+               options.lateness_us);
+    diff.Field(path + ".p99_lateness_us", a.p99_lateness_us, b.p99_lateness_us,
+               options.lateness_us);
+    diff.Field(path + ".max_lateness_us", a.max_lateness_us, b.max_lateness_us,
+               options.max_lateness_us.value_or(options.lateness_us));
+  }
+  for (const auto& [id, stream] : right) {
+    diff.Missing("streams[" + std::to_string(id) + "]", /*in_lhs=*/false);
+  }
+}
+
+void DiffPorts(const ClusterReport& lhs, const ClusterReport& rhs,
+               const ReportDiffOptions& options, DiffBuilder& diff) {
+  std::map<std::pair<std::string, std::string>, const PortQosReport*> right;
+  for (const PortQosReport& port : rhs.ports) {
+    right[{port.client, port.port}] = &port;
+  }
+  for (const PortQosReport& a : lhs.ports) {
+    const std::string path = "ports[" + a.client + "/" + a.port + "]";
+    auto it = right.find({a.client, a.port});
+    if (it == right.end()) {
+      diff.Missing(path, /*in_lhs=*/true);
+      continue;
+    }
+    const PortQosReport& b = *it->second;
+    right.erase(it);
+    diff.Field(path + ".packets_received", a.packets_received, b.packets_received,
+               options.packets);
+    diff.Field(path + ".out_of_order", a.out_of_order, b.out_of_order, options.packets);
+    diff.Field(path + ".glitches", a.glitches, b.glitches, options.packets);
+    diff.Field(path + ".max_gap_us", a.max_gap_us, b.max_gap_us, options.gap_us);
+  }
+  for (const auto& [key, port] : right) {
+    diff.Missing("ports[" + key.first + "/" + key.second + "]", /*in_lhs=*/false);
+  }
+}
+
+template <typename Map, typename Emit>
+void DiffMetricMaps(const Map& lhs, const Map& rhs, const ReportDiffOptions& options,
+                    const std::string& section, DiffBuilder& diff, const Emit& emit) {
+  auto a = lhs.begin();
+  auto b = rhs.begin();
+  while (a != lhs.end() || b != rhs.end()) {
+    if (b == rhs.end() || (a != lhs.end() && a->first < b->first)) {
+      if (!Ignored(a->first, options.ignore_metric_prefixes)) {
+        diff.Missing(section + "." + a->first, /*in_lhs=*/true);
+      }
+      ++a;
+      continue;
+    }
+    if (a == lhs.end() || b->first < a->first) {
+      if (!Ignored(b->first, options.ignore_metric_prefixes)) {
+        diff.Missing(section + "." + b->first, /*in_lhs=*/false);
+      }
+      ++b;
+      continue;
+    }
+    if (!Ignored(a->first, options.ignore_metric_prefixes)) {
+      emit(section + "." + a->first, a->second, b->second);
+    }
+    ++a;
+    ++b;
+  }
+}
+
+void DiffMetrics(const ClusterReport& lhs, const ClusterReport& rhs,
+                 const ReportDiffOptions& options, DiffBuilder& diff) {
+  const auto scalar = [&](const std::string& path, int64_t a, int64_t b) {
+    diff.Field(path, a, b, options.metric_default);
+  };
+  DiffMetricMaps(lhs.metrics.counters, rhs.metrics.counters, options, "counters", diff, scalar);
+  DiffMetricMaps(lhs.metrics.gauges, rhs.metrics.gauges, options, "gauges", diff, scalar);
+  DiffMetricMaps(lhs.metrics.histograms, rhs.metrics.histograms, options, "histograms", diff,
+                 [&](const std::string& path, const MetricsSnapshot::HistogramStats& a,
+                     const MetricsSnapshot::HistogramStats& b) {
+                   diff.Field(path + ".count", a.count, b.count, options.metric_default);
+                   diff.Field(path + ".p50", a.p50, b.p50, options.metric_default);
+                   diff.Field(path + ".p99", a.p99, b.p99, options.metric_default);
+                   diff.Field(path + ".max", a.max, b.max, options.metric_default);
+                 });
+}
+
+}  // namespace
+
+ReportDiff DiffClusterReports(const ClusterReport& lhs, const ClusterReport& rhs,
+                              const ReportDiffOptions& options) {
+  ReportDiff out;
+  DiffBuilder diff(&out);
+  DiffStreams(lhs, rhs, options, diff);
+  DiffPorts(lhs, rhs, options, diff);
+  if (options.compare_metrics) {
+    DiffMetrics(lhs, rhs, options, diff);
+  }
+  return out;
+}
+
+std::string ReportDiff::ToText() const {
+  std::ostringstream out;
+  if (entries.empty()) {
+    out << "reports match\n";
+    return out.str();
+  }
+  for (const Entry& entry : entries) {
+    out << entry.field << ": " << entry.lhs << " vs " << entry.rhs;
+    if (!entry.note.empty()) {
+      out << " (" << entry.note << ")";
+    }
+    out << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace calliope

@@ -1,0 +1,72 @@
+// Structural ClusterReport diff with per-field tolerances.
+//
+// The fidelity equivalence suite compares a flow-mode run against a
+// per-packet run of the same seed: admissions and packet counts must match
+// exactly, while lateness/gap quantiles only need to agree within the coarse
+// timer's rounding. A plain operator== cannot express that, and eyeballing
+// two ToText() dumps does not scale to seed sweeps — so this walks both
+// reports field by field and returns every mismatch as a typed entry.
+#ifndef CALLIOPE_SRC_OBS_REPORT_DIFF_H_
+#define CALLIOPE_SRC_OBS_REPORT_DIFF_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/obs/report.h"
+
+namespace calliope {
+
+struct ReportDiffOptions {
+  // A field matches when |a - b| <= abs + rel * max(|a|, |b|).
+  struct Tolerance {
+    Tolerance() = default;
+    Tolerance(int64_t abs_in, double rel_in) : abs(abs_in), rel(rel_in) {}
+    int64_t abs = 0;
+    double rel = 0.0;
+  };
+
+  // Stream/port identity fields (msu, disk, file, flags) are always exact.
+  Tolerance packets;              // packets_sent, received, out_of_order, glitches
+  // packets_late counts samples at/over the 1 ms histogram bin edge, so a
+  // few-hundred-µs modelling difference (e.g. the per-packet CPU tail the
+  // flow model omits) shifts borderline samples across it. Defaults to the
+  // `packets` tolerance; loosen it independently when comparing across
+  // fidelity modes.
+  std::optional<Tolerance> late_packets;
+  Tolerance lateness_us;          // stream p50/p99 lateness quantiles
+  // max_lateness_us is an extreme-value statistic: a single wire-queueing
+  // collision (e.g. a packet landing behind another stream's aggregated flow
+  // chunk) moves it by a whole frame transfer time without shifting p50/p99.
+  // Defaults to the `lateness_us` tolerance; budget it separately when
+  // comparing across fidelity modes.
+  std::optional<Tolerance> max_lateness_us;
+  Tolerance gap_us;               // port max_gap_us
+  Tolerance metric_default;       // metrics-section values without a specific rule
+  bool compare_metrics = true;    // false: diff only the streams/ports sections
+  // Metric names starting with any of these prefixes are skipped (e.g.
+  // "sim.flow." when comparing across fidelity modes, or "cpu." where
+  // scheduling noise is expected to differ).
+  std::vector<std::string> ignore_metric_prefixes;
+};
+
+struct ReportDiff {
+  struct Entry {
+    std::string field;  // dotted path, e.g. "streams[12].p99_lateness_us"
+    int64_t lhs = 0;
+    int64_t rhs = 0;
+    std::string note;   // "missing in lhs", "beyond tolerance", ...
+  };
+
+  std::vector<Entry> entries;
+  bool empty() const { return entries.empty(); }
+  std::string ToText() const;
+};
+
+ReportDiff DiffClusterReports(const ClusterReport& lhs, const ClusterReport& rhs,
+                              const ReportDiffOptions& options = ReportDiffOptions());
+
+}  // namespace calliope
+
+#endif  // CALLIOPE_SRC_OBS_REPORT_DIFF_H_

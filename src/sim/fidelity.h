@@ -1,0 +1,39 @@
+// Per-stream delivery fidelity (hybrid simulation).
+//
+// The per-packet model walks every datagram through timers, the CPU, the
+// memory bus and the NIC — faithful, but ~8 events per packet caps benches at
+// a handful of MSUs. Steady-state CBR delivery carries no per-packet
+// information worth paying an event for, so a stream may run in *flow* mode:
+// one event per buffer refill advances the whole prefetched page, and the
+// byte/lateness accounting is synthesized analytically from the delivery
+// schedule and the 10 ms timer quantization.
+//
+// Fidelity is dynamic. Streams demote to per-packet around interesting
+// moments (VCR ops, admission on their disk, disk faults, failover,
+// congestion) and promote back after a quiet window, so tests that assert
+// bit-identical behaviour keep it by simply never enabling flow mode.
+// Promotion/demotion rules are documented in DESIGN.md §5.5.
+#ifndef CALLIOPE_SRC_SIM_FIDELITY_H_
+#define CALLIOPE_SRC_SIM_FIDELITY_H_
+
+#include "src/util/units.h"
+
+namespace calliope {
+
+enum class Fidelity {
+  kPacket,  // every datagram individually simulated (the default)
+  kFlow,    // steady state advanced one buffer refill at a time
+};
+
+struct FidelityConfig {
+  // kPacket: streams never promote (bit-identical legacy behaviour).
+  // kFlow: eligible streams promote to flow mode after quiet_window.
+  Fidelity default_mode = Fidelity::kPacket;
+  // How long a stream must go without an interesting moment (VCR op,
+  // admission on its disk, fault, congestion) before promoting to flow mode.
+  SimTime quiet_window = SimTime::Seconds(2);
+};
+
+}  // namespace calliope
+
+#endif  // CALLIOPE_SRC_SIM_FIDELITY_H_

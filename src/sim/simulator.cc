@@ -1,6 +1,7 @@
 #include "src/sim/simulator.h"
 
 #include <cassert>
+#include <utility>
 
 namespace calliope {
 
@@ -9,8 +10,7 @@ Simulator::~Simulator() {
   // Draining the queue is enough: destroying a frame runs destructors of its
   // locals, which may own further conditions/frames, recursively.
   while (!queue_.empty()) {
-    Event event = std::move(const_cast<Event&>(queue_.top()));
-    queue_.pop();
+    Event event = PopTop();
     if (event.coro) {
       event.coro.destroy();
     }
@@ -19,21 +19,81 @@ Simulator::~Simulator() {
 
 void Simulator::Push(Event event) {
   assert(event.at >= now_ && "cannot schedule in the past");
-  queue_.push(std::move(event));
+  queue_.push_back(std::move(event));
+  std::push_heap(queue_.begin(), queue_.end(), Later);
+}
+
+Simulator::Event Simulator::PopTop() {
+  std::pop_heap(queue_.begin(), queue_.end(), Later);
+  Event event = std::move(queue_.back());
+  queue_.pop_back();
+  return event;
 }
 
 void Simulator::ScheduleAt(SimTime at, UniqueFunction<void()> fn) {
-  Push(Event{at, next_seq_++, std::move(fn), nullptr, nullptr});
+  Push(Event{at, next_seq_++, std::move(fn), nullptr});
 }
 
 EventToken Simulator::ScheduleCancelableAt(SimTime at, UniqueFunction<void()> fn) {
-  auto cancelled = std::make_shared<bool>(false);
-  Push(Event{at, next_seq_++, std::move(fn), nullptr, cancelled});
-  return EventToken(std::move(cancelled));
+  uint32_t slot;
+  if (!free_cancel_slots_.empty()) {
+    slot = free_cancel_slots_.back();
+    free_cancel_slots_.pop_back();
+  } else {
+    slot = static_cast<uint32_t>(cancel_gens_.size());
+    cancel_gens_.push_back(0);
+  }
+  const uint64_t gen = cancel_gens_[slot];
+  Push(Event{at, next_seq_++, std::move(fn), nullptr, slot, gen});
+  return EventToken(this, slot, gen);
 }
 
 void Simulator::ScheduleResumeAt(SimTime at, std::coroutine_handle<> handle) {
-  Push(Event{at, next_seq_++, nullptr, handle, nullptr});
+  Push(Event{at, next_seq_++, nullptr, handle});
+}
+
+void Simulator::ReleaseCancelSlot(const Event& event) {
+  if (event.cancel_slot == kNoCancelSlot) {
+    return;
+  }
+  if (cancel_gens_[event.cancel_slot] != event.cancel_gen) {
+    --cancelled_pending_;  // this event had been cancelled while queued
+  }
+  // Bump the generation so stale tokens can never cancel a future event that
+  // recycles this slot, then recycle it.
+  cancel_gens_[event.cancel_slot] = event.cancel_gen + 1;
+  free_cancel_slots_.push_back(event.cancel_slot);
+}
+
+void Simulator::Cancel(uint32_t slot, uint64_t gen) {
+  if (slot >= cancel_gens_.size() || cancel_gens_[slot] != gen) {
+    return;  // already fired, purged, or cancelled via another token copy
+  }
+  ++cancel_gens_[slot];
+  ++cancelled_pending_;
+  // Lazy purge: only when cancelled events dominate the queue is the O(n)
+  // sweep worth it. Long-lived schedule/cancel/reschedule timer patterns
+  // otherwise grow the queue without bound.
+  if (cancelled_pending_ > 64 &&
+      cancelled_pending_ > static_cast<int64_t>(queue_.size()) / 2) {
+    PurgeCancelled();
+  }
+}
+
+void Simulator::PurgeCancelled() {
+  auto keep = queue_.begin();
+  for (auto it = queue_.begin(); it != queue_.end(); ++it) {
+    if (!it->coro && !CancelLive(*it)) {
+      ReleaseCancelSlot(*it);
+      continue;
+    }
+    if (keep != it) {
+      *keep = std::move(*it);
+    }
+    ++keep;
+  }
+  queue_.erase(keep, queue_.end());
+  std::make_heap(queue_.begin(), queue_.end(), Later);
 }
 
 void Simulator::Fire(Event& event) {
@@ -42,18 +102,18 @@ void Simulator::Fire(Event& event) {
     event.coro.resume();
     return;
   }
-  if (event.cancelled != nullptr && *event.cancelled) {
-    return;
+  const bool live = CancelLive(event);
+  ReleaseCancelSlot(event);
+  if (live) {
+    event.fn();
   }
-  event.fn();
 }
 
 bool Simulator::Step() {
   if (queue_.empty()) {
     return false;
   }
-  Event event = std::move(const_cast<Event&>(queue_.top()));
-  queue_.pop();
+  Event event = PopTop();
   now_ = event.at;
   Fire(event);
   return true;
@@ -69,9 +129,8 @@ int64_t Simulator::Run() {
 
 int64_t Simulator::RunUntil(SimTime deadline) {
   int64_t fired = 0;
-  while (!queue_.empty() && queue_.top().at <= deadline) {
-    Event event = std::move(const_cast<Event&>(queue_.top()));
-    queue_.pop();
+  while (!queue_.empty() && queue_.front().at <= deadline) {
+    Event event = PopTop();
     now_ = event.at;
     Fire(event);
     ++fired;

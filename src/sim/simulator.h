@@ -15,10 +15,9 @@
 #ifndef CALLIOPE_SRC_SIM_SIMULATOR_H_
 #define CALLIOPE_SRC_SIM_SIMULATOR_H_
 
+#include <algorithm>
 #include <coroutine>
 #include <cstdint>
-#include <memory>
-#include <queue>
 #include <vector>
 
 #include "src/util/unique_function.h"
@@ -26,23 +25,26 @@
 
 namespace calliope {
 
+class Simulator;
+
 // Handle for cancelling a scheduled callback. Cancellation is cooperative:
-// the event stays in the queue but becomes a no-op.
+// the event stays in the queue as a no-op until the simulator's lazy purge
+// sweeps it out. Tokens are cheap value types (a slot index plus the slot's
+// generation at schedule time) — no allocation per cancellable event.
 class EventToken {
  public:
   EventToken() = default;
 
-  void Cancel() {
-    if (cancelled_) {
-      *cancelled_ = true;
-    }
-  }
-  bool valid() const { return cancelled_ != nullptr; }
+  void Cancel();
+  bool valid() const { return sim_ != nullptr; }
 
  private:
   friend class Simulator;
-  explicit EventToken(std::shared_ptr<bool> cancelled) : cancelled_(std::move(cancelled)) {}
-  std::shared_ptr<bool> cancelled_;
+  EventToken(Simulator* sim, uint32_t slot, uint64_t gen)
+      : sim_(sim), slot_(slot), gen_(gen) {}
+  Simulator* sim_ = nullptr;
+  uint32_t slot_ = 0;
+  uint64_t gen_ = 0;
 };
 
 class Simulator {
@@ -78,6 +80,8 @@ class Simulator {
 
   bool Empty() const { return queue_.empty(); }
   int64_t events_fired() const { return events_fired_; }
+  // Cancelled events still parked in the queue (purged lazily).
+  int64_t cancelled_pending() const { return cancelled_pending_; }
 
   // Awaitable: resumes the awaiting coroutine after `delay` of simulated time.
   auto Delay(SimTime delay) {
@@ -95,12 +99,17 @@ class Simulator {
   auto Yield() { return Delay(SimTime()); }
 
  private:
+  friend class EventToken;
+
+  static constexpr uint32_t kNoCancelSlot = UINT32_MAX;
+
   struct Event {
     SimTime at;
     uint64_t seq;
     UniqueFunction<void()> fn;              // exactly one of fn / coro is set
     std::coroutine_handle<> coro{nullptr};
-    std::shared_ptr<bool> cancelled;       // optional
+    uint32_t cancel_slot = kNoCancelSlot;   // optional (cancellable events)
+    uint64_t cancel_gen = 0;
 
     bool operator>(const Event& other) const {
       if (at != other.at) {
@@ -110,14 +119,41 @@ class Simulator {
     }
   };
 
+  // Min-heap ordering over the vector-backed queue.
+  static bool Later(const Event& a, const Event& b) { return a > b; }
+
   void Push(Event event);
+  Event PopTop();
   void Fire(Event& event);
+  // True while the event's token generation still matches (not cancelled).
+  bool CancelLive(const Event& event) const {
+    return event.cancel_slot == kNoCancelSlot ||
+           cancel_gens_[event.cancel_slot] == event.cancel_gen;
+  }
+  void ReleaseCancelSlot(const Event& event);
+  void Cancel(uint32_t slot, uint64_t gen);
+  // Drops cancelled events from the queue and re-heapifies. Invoked lazily
+  // when cancelled events pile up, so long-lived timer patterns (schedule,
+  // cancel, reschedule) do not bloat the queue.
+  void PurgeCancelled();
 
   SimTime now_;
   uint64_t next_seq_ = 0;
   int64_t events_fired_ = 0;
-  std::priority_queue<Event, std::vector<Event>, std::greater<>> queue_;
+  std::vector<Event> queue_;  // heap ordered by Later()
+  // Cancellation slots: gen mismatch == cancelled. Slots are recycled when
+  // their event leaves the queue (fired, purged or drained).
+  std::vector<uint64_t> cancel_gens_;
+  std::vector<uint32_t> free_cancel_slots_;
+  int64_t cancelled_pending_ = 0;
 };
+
+inline void EventToken::Cancel() {
+  if (sim_ != nullptr) {
+    sim_->Cancel(slot_, gen_);
+    sim_ = nullptr;  // copies of this token see a generation mismatch
+  }
+}
 
 }  // namespace calliope
 

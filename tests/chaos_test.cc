@@ -405,6 +405,15 @@ ChaosResult RunChaos(uint64_t seed) {
   const ClusterReport report = cluster.installation().BuildClusterReport();
   result.report = report.ToJson();
 
+  // Per-packet purity: chaos runs keep the default fidelity config, so the
+  // flow fast path must never engage — every invariant above was checked
+  // against the bit-exact per-packet model (DESIGN.md §5.5).
+  const auto flow_chunks = report.metrics.counters.find("sim.flow.chunks");
+  EXPECT_TRUE(flow_chunks != report.metrics.counters.end());
+  if (flow_chunks != report.metrics.counters.end()) {
+    EXPECT_EQ(flow_chunks->second, 0) << "flow-mode chunks in a chaos run";
+  }
+
   // Any invariant failure above: dump the full QoS report and the Chrome
   // trace next to the test binary and point at them from the failure message.
   if (::testing::Test::HasFailure()) {

@@ -1,0 +1,332 @@
+// Hybrid-fidelity equivalence suite (DESIGN.md §5.5).
+//
+// A flow-mode run must be *behaviourally* indistinguishable from a per-packet
+// run of the same seed: identical admission outcomes, identical per-stream
+// packet counts and terminal state, and lateness/gap quantiles that agree
+// within the coarse timer's rounding plus the per-packet CPU tail the
+// analytic model deliberately omits. The suite also exercises every demotion
+// trigger — VCR ops, disk faults, MSU crash/failover — proving streams drop
+// back to the bit-exact per-packet model around interesting moments.
+//
+// ctest registers seeded variants of this binary under the `fidelity` label
+// (see tests/CMakeLists.txt); CALLIOPE_CHAOS_SEED sweeps the seed.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "src/calliope/calliope.h"
+#include "src/obs/report_diff.h"
+#include "tests/test_util.h"
+
+namespace calliope {
+namespace {
+
+uint64_t SweepSeed(uint64_t fallback) {
+  const char* env = std::getenv("CALLIOPE_CHAOS_SEED");
+  if (env != nullptr && *env != '\0') {
+    return std::strtoull(env, nullptr, 10);
+  }
+  return fallback;
+}
+
+int64_t CounterOrZero(const MetricsSnapshot& snap, const std::string& name) {
+  auto it = snap.counters.find(name);
+  return it == snap.counters.end() ? 0 : it->second;
+}
+
+struct WorkloadResult {
+  WorkloadResult() = default;
+
+  ClusterReport report;
+  int64_t flow_chunks = 0;
+  int64_t flow_packets = 0;
+  int64_t flow_promotions = 0;
+  int64_t flow_demotions = 0;
+  int64_t admissions_accepted = 0;
+  int64_t admissions_rejected = 0;
+  int64_t admissions_queued = 0;
+  bool all_terminated = false;
+};
+
+InstallationConfig FidelityConfigFor(uint64_t seed, int msu_count, Fidelity mode) {
+  InstallationConfig config;
+  config.seed = seed;
+  config.msu_count = msu_count;
+  config.msu.fidelity.default_mode = mode;
+  // Short quiet window so most of a 10 s movie plays in flow mode.
+  config.msu.fidelity.quiet_window = SimTime::Millis(500);
+  return config;
+}
+
+// Scripted hook run mid-play (VCR ops, faults, crashes). Receives the cluster,
+// the client and the group ids in play order.
+using MidScript = std::function<void(TestCluster&, CalliopeClient&, std::vector<GroupId>&)>;
+
+// One deterministic steady-state workload: `streams` plays spread over
+// `msu_count` MSUs (one movie per MSU), run to natural termination.
+WorkloadResult RunWorkload(uint64_t seed, Fidelity mode, int msu_count, int streams,
+                           const MidScript& mid = MidScript()) {
+  WorkloadResult out;
+  TestCluster cluster(FidelityConfigFor(seed, msu_count, mode));
+  Simulator& sim = cluster.sim();
+  EXPECT_TRUE(cluster.Boot().ok());
+  for (int m = 0; m < msu_count; ++m) {
+    EXPECT_TRUE(cluster.installation()
+                    .LoadMpegMovie("m" + std::to_string(m), SimTime::Seconds(10),
+                                   static_cast<size_t>(m), /*with_fast_scan=*/false)
+                    .ok());
+  }
+  auto added = cluster.AddConnectedClient("c");
+  EXPECT_TRUE(added.ok()) << added.status().ToString();
+  if (!added.ok()) {
+    return out;
+  }
+  CalliopeClient* client = *added;
+
+  std::vector<GroupId> groups;
+  for (int i = 0; i < streams; ++i) {
+    auto play = PlayOn(sim, *client, "m" + std::to_string(i % msu_count),
+                       "tv" + std::to_string(i));
+    EXPECT_TRUE(play.ok()) << play.status().ToString();
+    if (play.ok()) {
+      groups.push_back(play->group);
+    }
+  }
+  sim.RunFor(SimTime::Seconds(2));
+  if (mid) {
+    mid(cluster, *client, groups);
+  }
+
+  const bool terminated = RunUntil(
+      sim,
+      [&] {
+        for (GroupId group : groups) {
+          if (!client->GroupTerminated(group)) {
+            return false;
+          }
+        }
+        return true;
+      },
+      SimTime::Seconds(40));
+  out.all_terminated = terminated && cluster.WaitForIdle(SimTime::Seconds(10));
+  // Let the last in-flight datagrams (and any settled flow chunk) land.
+  sim.RunFor(SimTime::Seconds(1));
+
+  out.report = cluster.installation().BuildClusterReport();
+  const MetricsSnapshot& snap = out.report.metrics;
+  out.flow_chunks = CounterOrZero(snap, "sim.flow.chunks");
+  out.flow_packets = CounterOrZero(snap, "sim.flow.packets");
+  out.flow_promotions = CounterOrZero(snap, "sim.flow.promotions");
+  out.flow_demotions = CounterOrZero(snap, "sim.flow.demotions");
+  out.admissions_accepted = CounterOrZero(snap, "coord.admissions.accepted");
+  out.admissions_rejected = CounterOrZero(snap, "coord.admissions.rejected");
+  out.admissions_queued = CounterOrZero(snap, "coord.admissions.queued");
+  return out;
+}
+
+// Tolerances for packet-vs-flow report comparison. Packet counts are held
+// (nearly) exact; lateness quantiles may differ by the per-packet CPU tail
+// (~hundreds of µs under load) the analytic model omits; arrival gaps may
+// shift by one chunk transit time at flow-chunk boundaries.
+ReportDiffOptions EquivalenceTolerances() {
+  ReportDiffOptions options;
+  options.packets = ReportDiffOptions::Tolerance(2, 0.001);
+  // packets_late sits on the 1 ms histogram edge: the per-packet CPU tail
+  // (absent from the analytic model) pushes borderline tick-rounding samples
+  // across it, ~10% of a stream's packets in the worst observed case.
+  options.late_packets = ReportDiffOptions::Tolerance(16, 0.15);
+  options.lateness_us = ReportDiffOptions::Tolerance(3000, 0.25);
+  // max lateness absorbs wire queueing collisions: a per-packet-mode record
+  // (e.g. just after a demotion) can land behind a few other streams'
+  // aggregated flow chunks, adding chunk-transfer times its twin never sees.
+  options.max_lateness_us = ReportDiffOptions::Tolerance(12000, 0.25);
+  options.gap_us = ReportDiffOptions::Tolerance(50000, 0.5);
+  // Mechanism metrics (timer wakeups, NIC frames, disk ops, sim.flow.*)
+  // legitimately differ across fidelity modes; streams/ports carry the
+  // behavioural contract.
+  options.compare_metrics = false;
+  return options;
+}
+
+void ExpectEquivalent(const WorkloadResult& packet, const WorkloadResult& flow,
+                      const std::string& label) {
+  EXPECT_TRUE(packet.all_terminated) << label;
+  EXPECT_TRUE(flow.all_terminated) << label;
+  // Admission outcomes are exact — the admission path never runs in flow mode.
+  EXPECT_EQ(packet.admissions_accepted, flow.admissions_accepted) << label;
+  EXPECT_EQ(packet.admissions_rejected, flow.admissions_rejected) << label;
+  EXPECT_EQ(packet.admissions_queued, flow.admissions_queued) << label;
+  // The baseline run must be pure per-packet; the flow run must actually
+  // have exercised the fast path.
+  EXPECT_EQ(packet.flow_chunks, 0) << label;
+  EXPECT_GT(flow.flow_chunks, 0) << label;
+  EXPECT_GT(flow.flow_promotions, 0) << label;
+
+  const ReportDiff diff =
+      DiffClusterReports(packet.report, flow.report, EquivalenceTolerances());
+  EXPECT_TRUE(diff.empty()) << label << " report diff:\n" << diff.ToText();
+}
+
+// ---- steady-state equivalence ----------------------------------------------
+
+TEST(FidelityEquivalenceTest, FlowMatchesPacketSingleMsu) {
+  const uint64_t seed = SweepSeed(1996);
+  const WorkloadResult packet = RunWorkload(seed, Fidelity::kPacket, 1, 4);
+  const WorkloadResult flow = RunWorkload(seed, Fidelity::kFlow, 1, 4);
+  ExpectEquivalent(packet, flow, "1 MSU / 4 streams");
+  // Flow mode accounted every logical packet it replaced.
+  EXPECT_GT(flow.flow_packets, 0);
+}
+
+TEST(FidelityEquivalenceTest, FlowMatchesPacketTwoMsus) {
+  const uint64_t seed = SweepSeed(1996);
+  const WorkloadResult packet = RunWorkload(seed, Fidelity::kPacket, 2, 8);
+  const WorkloadResult flow = RunWorkload(seed, Fidelity::kFlow, 2, 8);
+  ExpectEquivalent(packet, flow, "2 MSUs / 8 streams");
+}
+
+// ---- demotion triggers ------------------------------------------------------
+
+TEST(FidelityDemotionTest, VcrPauseDemotesAndRunMatchesPacket) {
+  const uint64_t seed = SweepSeed(42);
+  const MidScript pause_resume = [](TestCluster& cluster, CalliopeClient& client,
+                                    std::vector<GroupId>& groups) {
+    ASSERT_FALSE(groups.empty());
+    EXPECT_TRUE(VcrOp(cluster.sim(), client, groups[0], VcrCommand::Op::kPause).ok());
+    cluster.sim().RunFor(SimTime::Seconds(2));
+    EXPECT_TRUE(VcrOp(cluster.sim(), client, groups[0], VcrCommand::Op::kPlay).ok());
+  };
+  const WorkloadResult packet = RunWorkload(seed, Fidelity::kPacket, 1, 3, pause_resume);
+  const WorkloadResult flow = RunWorkload(seed, Fidelity::kFlow, 1, 3, pause_resume);
+  // The pause landed while the stream was in flow mode (2 s in, quiet window
+  // 500 ms) and demoted it; the stream promoted again after the resume.
+  EXPECT_GT(flow.flow_demotions, 0);
+  EXPECT_GT(flow.flow_promotions, flow.flow_demotions);
+  ExpectEquivalent(packet, flow, "pause/resume");
+}
+
+TEST(FidelityDemotionTest, DiskFaultWindowDemotes) {
+  const uint64_t seed = SweepSeed(7);
+  const MidScript slow_disk = [](TestCluster& cluster, CalliopeClient& client,
+                                 std::vector<GroupId>& groups) {
+    (void)client;
+    (void)groups;
+    // A latency window on every msu0 disk, starting now: the first faulted
+    // access notifies the fault observer, which demotes the disk's streams.
+    FaultPlan plan;
+    FaultEvent slow;
+    slow.what = FaultClass::kDiskSlow;
+    slow.at = cluster.sim().Now();
+    slow.duration = SimTime::Seconds(3);
+    slow.node = "msu0";
+    slow.disk = -1;
+    slow.delay = SimTime::Millis(20);
+    plan.events.push_back(slow);
+    EXPECT_TRUE(cluster.installation().ApplyFaultPlan(plan).ok());
+  };
+  const WorkloadResult flow = RunWorkload(seed, Fidelity::kFlow, 1, 4, slow_disk);
+  EXPECT_TRUE(flow.all_terminated);
+  EXPECT_GT(flow.flow_chunks, 0);
+  EXPECT_GT(flow.flow_demotions, 0);
+
+  // Terminal state matches a per-packet run of the same faulted script.
+  const WorkloadResult packet = RunWorkload(seed, Fidelity::kPacket, 1, 4, slow_disk);
+  EXPECT_TRUE(packet.all_terminated);
+  EXPECT_EQ(packet.admissions_accepted, flow.admissions_accepted);
+  EXPECT_EQ(packet.admissions_rejected, flow.admissions_rejected);
+  EXPECT_EQ(packet.flow_chunks, 0);
+}
+
+TEST(FidelityDemotionTest, MsuCrashFailoverDemotesAndRecovers) {
+  const uint64_t seed = SweepSeed(11);
+  // Two MSUs, every movie replicated on the other, so a crash mid-play fails
+  // every stream over to the survivor.
+  auto run = [&](Fidelity mode) {
+    WorkloadResult out;
+    TestCluster cluster(FidelityConfigFor(seed, 2, mode));
+    Simulator& sim = cluster.sim();
+    EXPECT_TRUE(cluster.Boot().ok());
+    const int movies = 4;
+    for (int i = 0; i < movies; ++i) {
+      const std::string name = "m" + std::to_string(i);
+      EXPECT_TRUE(
+          cluster.installation().LoadMpegMovie(name, SimTime::Seconds(12), 0, false).ok());
+      EXPECT_TRUE(cluster.installation().ReplicateContent(name, 1).ok());
+    }
+    auto added = cluster.AddConnectedClient("c");
+    EXPECT_TRUE(added.ok());
+    CalliopeClient* client = *added;
+    std::vector<GroupId> groups;
+    for (int i = 0; i < movies; ++i) {
+      auto play = PlayOn(sim, *client, "m" + std::to_string(i), "tv" + std::to_string(i));
+      EXPECT_TRUE(play.ok());
+      if (play.ok()) {
+        groups.push_back(play->group);
+      }
+    }
+    // Let streams settle into flow mode, then kill the MSU serving some of
+    // them: StopInternal settles + demotes in-flight flow streams, and the
+    // failed-over replacements restart in packet mode on the survivor.
+    sim.RunFor(SimTime::Seconds(5));
+    cluster.msu(0).Crash();
+    EXPECT_TRUE(RunUntil(
+        sim, [&] { return cluster.msu(1).active_stream_count() == movies; },
+        SimTime::Seconds(10)));
+    out.all_terminated = RunUntil(
+        sim,
+        [&] {
+          for (GroupId group : groups) {
+            if (!client->GroupTerminated(group)) {
+              return false;
+            }
+          }
+          return true;
+        },
+        SimTime::Seconds(40));
+    EXPECT_EQ(cluster.coordinator().active_stream_count(), 0u);
+    EXPECT_TRUE(cluster.coordinator().ledger().CheckInvariants().ok());
+    sim.RunFor(SimTime::Seconds(1));
+    out.report = cluster.installation().BuildClusterReport();
+    const MetricsSnapshot& snap = out.report.metrics;
+    out.flow_chunks = CounterOrZero(snap, "sim.flow.chunks");
+    out.flow_demotions = CounterOrZero(snap, "sim.flow.demotions");
+    out.flow_promotions = CounterOrZero(snap, "sim.flow.promotions");
+    out.admissions_accepted = CounterOrZero(snap, "coord.admissions.accepted");
+    out.admissions_rejected = CounterOrZero(snap, "coord.admissions.rejected");
+    return out;
+  };
+
+  const WorkloadResult flow = run(Fidelity::kFlow);
+  EXPECT_TRUE(flow.all_terminated);
+  EXPECT_GT(flow.flow_chunks, 0);
+  // The crash cut streams that were running in flow mode: each settled its
+  // due records and demoted on StopInternal.
+  EXPECT_GT(flow.flow_demotions, 0);
+
+  const WorkloadResult packet = run(Fidelity::kPacket);
+  EXPECT_TRUE(packet.all_terminated);
+  EXPECT_EQ(packet.flow_chunks, 0);
+  // Same admission outcomes (initial placements and failover re-placements).
+  EXPECT_EQ(packet.admissions_accepted, flow.admissions_accepted);
+  EXPECT_EQ(packet.admissions_rejected, flow.admissions_rejected);
+}
+
+// ---- purity: default config never leaves the per-packet model ---------------
+
+TEST(FidelityPurityTest, DefaultConfigStaysPerPacket) {
+  const uint64_t seed = SweepSeed(1996);
+  InstallationConfig config;
+  config.seed = seed;
+  // Default MsuParams: fidelity.default_mode == kPacket.
+  ASSERT_EQ(config.msu.fidelity.default_mode, Fidelity::kPacket);
+  const WorkloadResult packet = RunWorkload(seed, Fidelity::kPacket, 1, 4);
+  EXPECT_EQ(packet.flow_chunks, 0);
+  EXPECT_EQ(packet.flow_packets, 0);
+  EXPECT_EQ(packet.flow_promotions, 0);
+}
+
+}  // namespace
+}  // namespace calliope

@@ -449,7 +449,16 @@ std::string RunHaChaos(uint64_t seed, int64_t* crashes_out) {
   if (crashes_out != nullptr) {
     *crashes_out = cluster.installation().fault_injector()->coordinator_crashes();
   }
-  return cluster.installation().BuildClusterReport().ToJson();
+  const ClusterReport report = cluster.installation().BuildClusterReport();
+  // Per-packet purity: HA runs keep the default fidelity config, so every
+  // takeover/failover invariant above held under the bit-exact per-packet
+  // model — the flow fast path must never have engaged (DESIGN.md §5.5).
+  const auto flow_chunks = report.metrics.counters.find("sim.flow.chunks");
+  EXPECT_TRUE(flow_chunks != report.metrics.counters.end());
+  if (flow_chunks != report.metrics.counters.end()) {
+    EXPECT_EQ(flow_chunks->second, 0) << "flow-mode chunks in an HA chaos run";
+  }
+  return report.ToJson();
 }
 
 TEST(HaTest, ChaosWithCoordinatorCrashesPreservesInvariants) {

@@ -1,0 +1,206 @@
+// Unit tests for the structural ClusterReport diff (src/obs/report_diff):
+// exact matching by default, per-field tolerances, missing-entry detection in
+// both directions, and metric-prefix ignore lists.
+#include "src/obs/report_diff.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "src/obs/report.h"
+
+namespace calliope {
+namespace {
+
+StreamQosReport MakeStream(int64_t id) {
+  StreamQosReport stream;
+  stream.stream_id = id;
+  stream.group_id = id * 10;
+  stream.msu = "msu0";
+  stream.disk = 0;
+  stream.file = "m0.mpg";
+  stream.recording = false;
+  stream.finished = true;
+  stream.packets_sent = 1000;
+  stream.packets_late = 3;
+  stream.p50_lateness_us = 4000;
+  stream.p99_lateness_us = 9000;
+  stream.max_lateness_us = 9900;
+  return stream;
+}
+
+PortQosReport MakePort(const std::string& client, const std::string& port) {
+  PortQosReport out;
+  out.client = client;
+  out.port = port;
+  out.packets_received = 1000;
+  out.out_of_order = 0;
+  out.glitches = 0;
+  out.max_gap_us = 12000;
+  return out;
+}
+
+ClusterReport MakeReport() {
+  ClusterReport report;
+  report.streams.push_back(MakeStream(1));
+  report.streams.push_back(MakeStream(2));
+  report.ports.push_back(MakePort("c", "tv0"));
+  report.metrics.counters["msu.msu0.packets_sent"] = 2000;
+  report.metrics.gauges["msu.msu0.buffers_free"] = 40;
+  MetricsSnapshot::HistogramStats& lateness = report.metrics.histograms["msu.msu0.lateness_us"];
+  lateness.count = 2000;
+  lateness.max = 9900;
+  lateness.p50 = 4000;
+  lateness.p99 = 9000;
+  return report;
+}
+
+TEST(ReportDiffTest, IdenticalReportsMatch) {
+  const ClusterReport a = MakeReport();
+  const ClusterReport b = MakeReport();
+  const ReportDiff diff = DiffClusterReports(a, b);
+  EXPECT_TRUE(diff.empty()) << diff.ToText();
+  EXPECT_EQ(diff.ToText(), "reports match\n");
+}
+
+TEST(ReportDiffTest, ExactFieldsIgnoreTolerances) {
+  // Identity fields (msu, disk, flags) never get tolerance slack, even when
+  // every tolerance is generous.
+  ClusterReport a = MakeReport();
+  ClusterReport b = MakeReport();
+  b.streams[0].msu = "msu1";
+  b.streams[1].disk = 2;
+  ReportDiffOptions options;
+  options.packets = {1000000, 1.0};
+  options.lateness_us = {1000000, 1.0};
+  options.metric_default = {1000000, 1.0};
+  const ReportDiff diff = DiffClusterReports(a, b, options);
+  ASSERT_EQ(diff.entries.size(), 2u) << diff.ToText();
+  EXPECT_EQ(diff.entries[0].field, "streams[1].msu");
+  EXPECT_EQ(diff.entries[1].field, "streams[2].disk");
+}
+
+TEST(ReportDiffTest, ToleranceIsAbsPlusRel) {
+  ClusterReport a = MakeReport();
+  ClusterReport b = MakeReport();
+  b.streams[0].p99_lateness_us = a.streams[0].p99_lateness_us + 500;
+
+  // Zero tolerance: mismatch reported with both values.
+  ReportDiff diff = DiffClusterReports(a, b);
+  ASSERT_EQ(diff.entries.size(), 1u) << diff.ToText();
+  EXPECT_EQ(diff.entries[0].field, "streams[1].p99_lateness_us");
+  EXPECT_EQ(diff.entries[0].lhs, 9000);
+  EXPECT_EQ(diff.entries[0].rhs, 9500);
+
+  // abs alone covers it.
+  ReportDiffOptions abs_only;
+  abs_only.lateness_us = {500, 0.0};
+  EXPECT_TRUE(DiffClusterReports(a, b, abs_only).empty());
+
+  // rel alone covers it: 500 <= 0.06 * 9500.
+  ReportDiffOptions rel_only;
+  rel_only.lateness_us = {0, 0.06};
+  EXPECT_TRUE(DiffClusterReports(a, b, rel_only).empty());
+
+  // Just below the needed budget still fails.
+  ReportDiffOptions tight;
+  tight.lateness_us = {499, 0.0};
+  EXPECT_FALSE(DiffClusterReports(a, b, tight).empty());
+}
+
+TEST(ReportDiffTest, LatePacketsToleranceIsIndependent) {
+  // packets_late gets its own tolerance (cross-fidelity comparisons loosen it
+  // without letting packets_sent drift); unset, it follows `packets`.
+  ClusterReport a = MakeReport();
+  ClusterReport b = MakeReport();
+  b.streams[0].packets_late = a.streams[0].packets_late + 40;
+  ReportDiffOptions options;
+  EXPECT_FALSE(DiffClusterReports(a, b, options).empty());
+  options.late_packets = ReportDiffOptions::Tolerance(40, 0.0);
+  EXPECT_TRUE(DiffClusterReports(a, b, options).empty());
+
+  // ...and it does not slacken packets_sent.
+  b.streams[0].packets_sent = a.streams[0].packets_sent + 1;
+  const ReportDiff diff = DiffClusterReports(a, b, options);
+  ASSERT_EQ(diff.entries.size(), 1u) << diff.ToText();
+  EXPECT_EQ(diff.entries[0].field, "streams[1].packets_sent");
+}
+
+TEST(ReportDiffTest, MaxLatenessToleranceIsIndependent) {
+  // max_lateness_us gets its own budget (one wire-queueing collision moves
+  // the max by a frame time); unset, it follows `lateness_us`, and setting it
+  // never loosens p50/p99.
+  ClusterReport a = MakeReport();
+  ClusterReport b = MakeReport();
+  b.streams[0].max_lateness_us = a.streams[0].max_lateness_us + 6000;
+  ReportDiffOptions options;
+  options.lateness_us = {500, 0.0};
+  EXPECT_FALSE(DiffClusterReports(a, b, options).empty());
+  options.max_lateness_us = ReportDiffOptions::Tolerance(6000, 0.0);
+  EXPECT_TRUE(DiffClusterReports(a, b, options).empty());
+
+  b.streams[0].p99_lateness_us = a.streams[0].p99_lateness_us + 6000;
+  const ReportDiff diff = DiffClusterReports(a, b, options);
+  ASSERT_EQ(diff.entries.size(), 1u) << diff.ToText();
+  EXPECT_EQ(diff.entries[0].field, "streams[1].p99_lateness_us");
+}
+
+TEST(ReportDiffTest, MissingEntriesReportedBothDirections) {
+  ClusterReport a = MakeReport();
+  ClusterReport b = MakeReport();
+  b.streams.pop_back();                       // stream 2 only in lhs
+  a.ports.clear();                            // port only in rhs
+  b.metrics.counters["coord.only_in_rhs"] = 1;
+  const ReportDiff diff = DiffClusterReports(a, b);
+  ASSERT_EQ(diff.entries.size(), 3u) << diff.ToText();
+  EXPECT_EQ(diff.entries[0].field, "streams[2]");
+  EXPECT_EQ(diff.entries[0].note, "missing in rhs");
+  EXPECT_EQ(diff.entries[1].field, "ports[c/tv0]");
+  EXPECT_EQ(diff.entries[1].note, "missing in lhs");
+  EXPECT_EQ(diff.entries[2].field, "counters.coord.only_in_rhs");
+  EXPECT_EQ(diff.entries[2].note, "missing in lhs");
+}
+
+TEST(ReportDiffTest, IgnorePrefixesSkipMetricsOnly) {
+  // Flow-mode runs carry sim.flow.* counters their per-packet twin lacks;
+  // the ignore list silences exactly those, including value mismatches.
+  ClusterReport a = MakeReport();
+  ClusterReport b = MakeReport();
+  a.metrics.counters["sim.flow.chunks"] = 120;
+  b.metrics.counters["sim.flow.chunks"] = 0;
+  a.metrics.counters["sim.flow.promotions"] = 4;
+  ReportDiff diff = DiffClusterReports(a, b);
+  EXPECT_EQ(diff.entries.size(), 2u) << diff.ToText();
+
+  ReportDiffOptions options;
+  options.ignore_metric_prefixes = {"sim.flow."};
+  diff = DiffClusterReports(a, b, options);
+  EXPECT_TRUE(diff.empty()) << diff.ToText();
+}
+
+TEST(ReportDiffTest, CompareMetricsOffDiffsStreamsAndPortsOnly) {
+  ClusterReport a = MakeReport();
+  ClusterReport b = MakeReport();
+  b.metrics.counters["msu.msu0.packets_sent"] = 999999;
+  b.metrics.histograms.erase("msu.msu0.lateness_us");
+  ReportDiffOptions options;
+  options.compare_metrics = false;
+  EXPECT_TRUE(DiffClusterReports(a, b, options).empty());
+  EXPECT_FALSE(DiffClusterReports(a, b).empty());
+}
+
+TEST(ReportDiffTest, HistogramStatsCompared) {
+  ClusterReport a = MakeReport();
+  ClusterReport b = MakeReport();
+  b.metrics.histograms["msu.msu0.lateness_us"].p99 += 250;
+  ReportDiff diff = DiffClusterReports(a, b);
+  ASSERT_EQ(diff.entries.size(), 1u) << diff.ToText();
+  EXPECT_EQ(diff.entries[0].field, "histograms.msu.msu0.lateness_us.p99");
+
+  ReportDiffOptions options;
+  options.metric_default = {250, 0.0};
+  EXPECT_TRUE(DiffClusterReports(a, b, options).empty());
+}
+
+}  // namespace
+}  // namespace calliope
