@@ -40,6 +40,11 @@ ctest --test-dir "${BUILD_DIR}" --output-on-failure -j "$(nproc)" "$@"
 # is exactly where a lifetime bug would hide from the default-mode tests.
 ctest --test-dir "${BUILD_DIR}" --output-on-failure -L '^fidelity$'
 
+# The stream-sharing suite too: shared fan-out iterates member lists that VCR
+# splits mutate across suspension points, and the page cache hands out
+# borrowed DataPage pointers — both prime use-after-free territory.
+ctest --test-dir "${BUILD_DIR}" --output-on-failure -L '^sharing$'
+
 # The warm-standby coordinator suite gets an explicit pass under TSan: the
 # takeover path is where cross-coroutine state handoff concentrates. (The
 # label regex is anchored because "chaos" contains "ha".)

@@ -1,6 +1,7 @@
 #include "src/coord/coordinator.h"
 
 #include <algorithm>
+#include <cmath>
 #include <utility>
 
 #include "src/util/logging.h"
@@ -23,6 +24,13 @@ Coordinator::Coordinator(Machine& machine, NetNode& node, std::shared_ptr<Catalo
     policy = registry.Instantiate("least-loaded", params_.placement_seed);
   }
   policy_ = std::move(policy).value();
+  if (params_.sharing.enabled && params_.ha.enabled) {
+    // Shared-group state is not replicated; a takeover would leak delivery
+    // streams. Members still fail over fine as unique streams, so sharing
+    // simply turns off rather than half-working.
+    CALLIOPE_LOG(kWarning, "coord") << "stream sharing unsupported with HA; disabling sharing";
+    params_.sharing.enabled = false;
+  }
   (void)node_->ListenTcp(params_.listen_port, [this](TcpConn* conn) { OnAccept(conn); });
   if (params_.ha.enabled) {
     StartHa();
@@ -40,6 +48,10 @@ void Coordinator::AttachObservability(MetricsRegistry* metrics, TraceRecorder* t
     admit_rejected_ = nullptr;
     admit_queued_ = nullptr;
     failover_groups_ = nullptr;
+    groups_formed_ = nullptr;
+    groups_members_ = nullptr;
+    groups_attaches_ = nullptr;
+    groups_splits_ = nullptr;
     recordings_lost_ = nullptr;
     requests_lost_metric_ = nullptr;
     takeovers_metric_ = nullptr;
@@ -69,6 +81,24 @@ void Coordinator::AttachObservability(MetricsRegistry* metrics, TraceRecorder* t
     }
     return up;
   });
+  if (params_.sharing.enabled) {
+    groups_formed_ = &metrics_->counter(metrics_prefix_ + ".groups.formed");
+    groups_members_ = &metrics_->counter(metrics_prefix_ + ".groups.members");
+    groups_attaches_ = &metrics_->counter(metrics_prefix_ + ".groups.attaches");
+    groups_splits_ = &metrics_->counter(metrics_prefix_ + ".groups.splits");
+    metrics_->SetGaugeCallback(metrics_prefix_ + ".groups.active", [this] {
+      return static_cast<int64_t>(shared_groups_.size());
+    });
+    metrics_->SetGaugeCallback(metrics_prefix_ + ".groups.hot_titles", [this] {
+      int64_t hot = 0;
+      for (const auto& [title, ewma] : popularity_) {
+        if (IsHot(title)) {
+          ++hot;
+        }
+      }
+      return hot;
+    });
+  }
   if (params_.ha.enabled) {
     takeovers_metric_ = &metrics_->counter(metrics_prefix_ + ".ha.takeovers");
     repl_batches_ = &metrics_->counter(metrics_prefix_ + ".repl.batches");
@@ -165,6 +195,8 @@ Co<MessageBody> Coordinator::Dispatch(TcpConn* conn, MessageArg request) {
   } else if (const auto* note = std::get_if<StreamTerminated>(&body)) {
     HandleStreamTerminated(*note);
     response = MessageBody{SimpleResponse{true, ""}};
+  } else if (const auto* split = std::get_if<SharedMemberSplit>(&body)) {
+    response = co_await HandleSharedMemberSplit(*split);
   } else if (const auto* report = std::get_if<StreamProgressReport>(&body)) {
     HandleProgressReport(*report);
     response = MessageBody{SimpleResponse{true, ""}};
@@ -207,6 +239,10 @@ void Coordinator::Crash() {
   groups_.clear();
   group_requests_.clear();
   pending_.clear();
+  shared_groups_.clear();
+  share_batches_.clear();
+  popularity_.clear();
+  popularity_bumped_.clear();
   ledger_ = ResourceLedger();
   // HA volatile state dies with the process.
   repl_conn_ = nullptr;
@@ -489,6 +525,7 @@ Result<PlacementSpec> Coordinator::BuildPlacementSpec(
   PlacementSpec spec;
   spec.record = request.record;
   spec.disk_budget = params_.disk_budget;
+  spec.prefer_msu = request.prefer_msu;
   for (const Component& component : components) {
     CALLIOPE_ASSIGN_OR_RETURN(const ContentType* type, catalog_->FindType(component.type_name));
     ComponentSpec item;
@@ -575,6 +612,7 @@ Co<Status> Coordinator::TryStartGroup(const PendingRequest& request) {
     start.client_udp_port = component.port.udp_port;
     start.client_control_port = request.port.control_port;
     start.open_control_conn = (i == 0);
+    start.start_paused = request.start_paused;
     if (i < request.start_offsets.size()) {
       start.start_offset = request.start_offsets[i];
     }
@@ -694,6 +732,37 @@ Co<MessageBody> Coordinator::HandlePlay(TcpConn* conn, const PlayRequest& reques
   pending.port = port->second;
   pending.group = next_group_++;
 
+  if (SharingEligible(pending)) {
+    BumpPopularity(pending.content);
+    const SimTime admit_start = machine_->sim().Now();
+    // A viewer arriving within the cache horizon of a live group's playback
+    // position rides the serving MSU's interval cache: no disk bandwidth.
+    const SharedGroup* target = FindAttachTarget(pending.content);
+    if (target != nullptr) {
+      const Status attached = co_await StartCacheAttach(pending, *target);
+      if (attached.ok()) {
+        RecordAdmission("attach", pending, attached, admit_start);
+        co_return MessageBody{PlayResponse{true, "", pending.group, false}};
+      }
+      // Cache memory ran out (or the MSU died mid-attach): fall through and
+      // coalesce into a batch like any other viewer.
+    }
+    // Coalesce with other requests for this title; the first waiter opens
+    // the window and FlushShareBatch closes it after batch_window. The
+    // client's WaitForGroupReady tolerates the delay.
+    ShareBatch& batch = share_batches_[pending.content];
+    const bool first = batch.waiters.empty();
+    batch.waiters.push_back(pending);
+    if (first) {
+      FlushShareBatch(pending.content);
+    }
+    if (trace_ != nullptr) {
+      trace_->Instant(trace_track_, metrics_prefix_, "share-batch",
+                      pending.content + " group " + std::to_string(pending.group));
+    }
+    co_return MessageBody{PlayResponse{true, "", pending.group, false}};
+  }
+
   const SimTime admit_start = machine_->sim().Now();
   const Status started = co_await TryStartGroup(pending);
   RecordAdmission("play", pending, started, admit_start);
@@ -710,6 +779,380 @@ Co<MessageBody> Coordinator::HandlePlay(TcpConn* conn, const PlayRequest& reques
     co_return MessageBody{PlayResponse{true, "", pending.group, true}};
   }
   co_return MessageBody{PlayResponse{false, started.ToString(), 0, false}};
+}
+
+// ---- stream sharing (DESIGN §5.6) ----
+
+bool Coordinator::SharingEligible(const PendingRequest& request) const {
+  if (!params_.sharing.enabled || request.record) {
+    return false;
+  }
+  // Only atomic, fully-recorded titles share a delivery stream; composites
+  // and in-progress recordings take the historical path (and report their
+  // errors through it).
+  auto record = catalog_->FindContent(request.content);
+  if (!record.ok()) {
+    return false;
+  }
+  return !(*record)->is_composite() && !(*record)->recording_in_progress;
+}
+
+void Coordinator::BumpPopularity(const std::string& content) {
+  const SimTime now = machine_->sim().Now();
+  double& ewma = popularity_[content];
+  auto bumped = popularity_bumped_.find(content);
+  if (bumped != popularity_bumped_.end() && params_.sharing.popularity_halflife > SimTime()) {
+    const double age =
+        (now - bumped->second).seconds() / params_.sharing.popularity_halflife.seconds();
+    ewma *= std::exp2(-age);
+  }
+  ewma += 1.0;
+  popularity_bumped_[content] = now;
+}
+
+bool Coordinator::IsHot(const std::string& content) const {
+  auto it = popularity_.find(content);
+  if (it == popularity_.end()) {
+    return false;
+  }
+  double value = it->second;
+  auto bumped = popularity_bumped_.find(content);
+  if (bumped != popularity_bumped_.end() && params_.sharing.popularity_halflife > SimTime()) {
+    const double age = (machine_->sim().Now() - bumped->second).seconds() /
+                       params_.sharing.popularity_halflife.seconds();
+    value *= std::exp2(-age);
+  }
+  return value >= params_.sharing.hot_threshold;
+}
+
+const Coordinator::SharedGroup* Coordinator::FindAttachTarget(const std::string& content) const {
+  const SimTime now = machine_->sim().Now();
+  for (const auto& [id, group] : shared_groups_) {
+    if (group.content != content || group.member_count <= 0 || !ledger_.IsUp(group.msu)) {
+      continue;
+    }
+    if (now - group.started_at <= params_.sharing.cache_horizon) {
+      return &group;
+    }
+  }
+  return nullptr;
+}
+
+Co<Status> Coordinator::StartCacheAttach(PendingRequest request, SharedGroup target) {
+  auto session = FindSession(request.session);
+  if (!session.ok()) {
+    co_return session.status();
+  }
+  auto record = catalog_->FindContent(request.content);
+  if (!record.ok()) {
+    co_return record.status();
+  }
+  auto type = catalog_->FindType((*record)->type_name);
+  if (!type.ok()) {
+    co_return type.status();
+  }
+  // The interval cache must hold everything between this viewer (starting at
+  // zero) and the leader's current position; charge that many bytes against
+  // the MSU's cache budget, plus NIC bandwidth for the extra send. No disk
+  // bandwidth: the reads come from memory.
+  const SimTime gap = machine_->sim().Now() - target.started_at;
+  const Bytes interval = target.rate.BytesIn(gap) + kDataPageSize;
+  auto reservation = ledger_.Reserve(
+      target.msu, {ResourceLedger::ReserveItem{ResourceLedger::kSharedDisk, target.rate,
+                                               Bytes(), interval}});
+  if (!reservation.ok()) {
+    co_return reservation.status();
+  }
+  ResourceLedger::Txn txn = std::move(reservation).value();
+
+  MsuStartStream start;
+  start.epoch = params_.ha.enabled ? epoch_ : 0;
+  start.group = request.group;
+  start.stream = next_stream_++;
+  start.file = target.file;
+  start.protocol = (*type)->protocol;
+  start.rate = target.rate;
+  start.disk_hint = target.disk;
+  start.client_node = request.port.node;
+  start.client_udp_port = request.port.udp_port;
+  start.client_control_port = request.port.control_port;
+  start.open_control_conn = true;
+  start.fast_forward_file = (*record)->fast_forward_file;
+  start.fast_backward_file = (*record)->fast_backward_file;
+  start.from_cache = true;
+  start.pin_prefix = IsHot(request.content);
+
+  MsuInfo& msu = msus_[target.msu];
+  Result<Envelope> response = UnavailableError("serving msu went away");
+  if (ledger_.IsUp(target.msu) && msu.conn != nullptr) {
+    response = co_await msu.conn->Call(MessageBody{start});
+  }
+  const auto* ack = response.ok() ? std::get_if<MsuStartStreamResponse>(&response->body) : nullptr;
+  if (ack == nullptr || !ack->ok) {
+    // Txn destructor refunds the cache hold; the caller falls back to a batch.
+    co_return InternalError("msu refused cache attach: " +
+                            (ack != nullptr ? ack->error : response.status().ToString()));
+  }
+
+  ActiveStream active;
+  active.id = start.stream;
+  active.group = request.group;
+  active.msu = target.msu;
+  active.disk = target.disk;
+  active.content_item = request.content;
+  active.session = request.session;
+  txn.Commit(0, active.id);
+  active_streams_[active.id] = active;
+  groups_[request.group].push_back(active.id);
+  // The plain request is remembered: if the MSU dies this viewer fails over
+  // as an ordinary unique stream (a fresh disk hold elsewhere).
+  group_requests_[request.group] = request;
+  if (groups_attaches_ != nullptr) {
+    groups_attaches_->Add();
+  }
+  if (trace_ != nullptr) {
+    trace_->Instant(trace_track_, metrics_prefix_, "cache-attach",
+                    request.content + " group " + std::to_string(request.group) + " on " +
+                        target.msu);
+  }
+  co_return OkStatus();
+}
+
+Task Coordinator::FlushShareBatch(std::string content) {
+  co_await machine_->sim().Delay(params_.sharing.batch_window);
+  if (crashed_) {
+    co_return;  // the crash already dropped the batch
+  }
+  auto it = share_batches_.find(content);
+  if (it == share_batches_.end()) {
+    co_return;
+  }
+  std::vector<PendingRequest> waiters = std::move(it->second.waiters);
+  share_batches_.erase(it);
+  co_await StartSharedGroup(std::move(content), std::move(waiters));
+}
+
+Co<void> Coordinator::StartSharedGroup(std::string content,
+                                       std::vector<PendingRequest> waiters) {
+  std::vector<PendingRequest> live;
+  for (PendingRequest& request : waiters) {
+    if (FindSession(request.session).ok()) {
+      live.push_back(std::move(request));
+    } else {
+      CountRequestLost();  // client left during the batch window
+    }
+  }
+  if (live.empty()) {
+    co_return;
+  }
+
+  // Degraded exit: park every waiter in the pending queue; each retries as a
+  // unique stream through the historical path.
+  auto queue_all = [this, &live] {
+    for (PendingRequest& request : live) {
+      ReplPendingPushed pushed;
+      pushed.request = request;
+      LogRecord(ReplRecord{std::move(pushed)});
+      pending_.push_back(std::move(request));
+    }
+    RetryPendingQueue();
+  };
+  auto fail_all = [this, &live](const Status& error) {
+    for (PendingRequest& request : live) {
+      CountRequestLost();
+      NotifyRequestFailed(request, error);
+    }
+  };
+
+  const SimTime admit_start = machine_->sim().Now();
+  auto session = FindSession(live.front().session);
+  auto resolved = ResolveComponents(live.front(), **session);
+  if (!resolved.ok()) {
+    fail_all(resolved.status());
+    co_return;
+  }
+  const Component& component = resolved->front();  // eligibility => exactly one
+  auto spec = BuildPlacementSpec(live.front(), *resolved);
+  if (!spec.ok()) {
+    fail_all(spec.status());
+    co_return;
+  }
+  auto placement = policy_->Place(*spec, ledger_);
+  if (!placement.ok()) {
+    if (placement.status().code() == StatusCode::kResourceExhausted) {
+      queue_all();
+    } else {
+      fail_all(placement.status());
+    }
+    co_return;
+  }
+  const std::string chosen_msu = placement->msu;
+  const DataRate rate = spec->components[0].rate;
+
+  // One disk-bandwidth hold feeds the whole group; every member charges NIC
+  // bandwidth only (kSharedDisk) — that is the entire point of sharing.
+  std::vector<ResourceLedger::ReserveItem> items;
+  items.push_back(ResourceLedger::ReserveItem{placement->disks[0], rate, Bytes()});
+  for (size_t i = 0; i < live.size(); ++i) {
+    items.push_back(ResourceLedger::ReserveItem{ResourceLedger::kSharedDisk, rate, Bytes(),
+                                                Bytes()});
+  }
+  auto reservation = ledger_.Reserve(chosen_msu, std::move(items));
+  if (!reservation.ok()) {
+    if (reservation.status().code() == StatusCode::kResourceExhausted) {
+      queue_all();
+    } else {
+      fail_all(reservation.status());
+    }
+    co_return;
+  }
+  ResourceLedger::Txn txn = std::move(reservation).value();
+
+  MsuStartStream start;
+  start.epoch = params_.ha.enabled ? epoch_ : 0;
+  const GroupId delivery_group = next_group_++;
+  start.group = delivery_group;
+  start.stream = next_stream_++;
+  start.file = !placement->files[0].empty() ? placement->files[0] : component.file_name;
+  auto type = catalog_->FindType(component.type_name);
+  start.protocol = (*type)->protocol;
+  start.rate = rate;
+  start.disk_hint = placement->disks[0];
+  start.open_control_conn = false;  // members carry their own control conns
+  auto record = catalog_->FindContent(component.item_name);
+  start.fast_forward_file = (*record)->fast_forward_file;
+  start.fast_backward_file = (*record)->fast_backward_file;
+  start.shared = true;
+  start.pin_prefix = IsHot(content);
+  for (const PendingRequest& request : live) {
+    SharedMemberSpec member;
+    member.stream = next_stream_++;
+    member.group = request.group;
+    member.client_node = request.port.node;
+    member.client_udp_port = request.port.udp_port;
+    member.client_control_port = request.port.control_port;
+    start.shared_members.push_back(std::move(member));
+  }
+
+  MsuInfo& msu = msus_[chosen_msu];
+  Result<Envelope> response = UnavailableError("msu went down before launch");
+  if (ledger_.IsUp(chosen_msu) && msu.conn != nullptr) {
+    response = co_await msu.conn->Call(MessageBody{start});
+  }
+  const auto* ack = response.ok() ? std::get_if<MsuStartStreamResponse>(&response->body) : nullptr;
+  if (ack == nullptr || !ack->ok) {
+    // Txn destructor refunds everything; members retry as unique streams.
+    queue_all();
+    co_return;
+  }
+
+  // The delivery stream holds the disk bandwidth. Its group deliberately has
+  // no group_requests_ entry: if the MSU dies, MarkMsuDown releases the hold
+  // and drops it silently while each member fails over on its own.
+  ActiveStream delivery;
+  delivery.id = start.stream;
+  delivery.group = delivery_group;
+  delivery.msu = chosen_msu;
+  delivery.disk = placement->disks[0];
+  delivery.content_item = component.item_name;
+  txn.Commit(0, delivery.id);
+  active_streams_[delivery.id] = delivery;
+  groups_[delivery_group].push_back(delivery.id);
+
+  SharedGroup shared;
+  shared.delivery_stream = delivery.id;
+  shared.msu = chosen_msu;
+  shared.disk = placement->disks[0];
+  shared.content = content;
+  shared.file = start.file;
+  shared.rate = rate;
+  shared.started_at = machine_->sim().Now();
+  shared.member_count = static_cast<int>(live.size());
+  shared_groups_[delivery.id] = shared;
+
+  for (size_t i = 0; i < live.size(); ++i) {
+    const PendingRequest& request = live[i];
+    ActiveStream active;
+    active.id = start.shared_members[i].stream;
+    active.group = request.group;
+    active.msu = chosen_msu;
+    active.disk = placement->disks[0];
+    active.content_item = component.item_name;
+    active.session = request.session;
+    txn.Commit(i + 1, active.id);
+    active_streams_[active.id] = active;
+    groups_[request.group].push_back(active.id);
+    group_requests_[request.group] = request;
+    RecordAdmission("share", request, OkStatus(), admit_start);
+  }
+  if (groups_formed_ != nullptr) {
+    groups_formed_->Add();
+  }
+  if (groups_members_ != nullptr) {
+    groups_members_->Add(static_cast<int64_t>(live.size()));
+  }
+  if (trace_ != nullptr) {
+    trace_->Span(trace_track_, metrics_prefix_, "share-group", admit_start,
+                 content + " x" + std::to_string(live.size()) + " on " + chosen_msu);
+  }
+}
+
+Co<MessageBody> Coordinator::HandleSharedMemberSplit(const SharedMemberSplit& split) {
+  auto shared_it = shared_groups_.find(split.delivery_stream);
+  if (shared_it != shared_groups_.end() && shared_it->second.member_count > 0) {
+    --shared_it->second.member_count;
+  }
+  auto it = active_streams_.find(split.member_stream);
+  if (it == active_streams_.end()) {
+    // Failover raced the split message; the member was already re-placed.
+    co_return MessageBody{SimpleResponse{true, ""}};
+  }
+  PendingRequest resume;
+  auto request_it = group_requests_.find(split.group);
+  const bool have_request = request_it != group_requests_.end();
+  if (have_request) {
+    resume = request_it->second;
+  }
+  (void)ledger_.Release(split.member_stream);
+  active_streams_.erase(it);
+  groups_.erase(split.group);
+  group_requests_.erase(split.group);
+  if (groups_splits_ != nullptr) {
+    groups_splits_->Add();
+  }
+  if (trace_ != nullptr) {
+    trace_->Instant(trace_track_, metrics_prefix_, "share-split",
+                    "group " + std::to_string(split.group) + " off delivery " +
+                        std::to_string(split.delivery_stream));
+  }
+  if (!have_request) {
+    co_return MessageBody{SimpleResponse{true, ""}};
+  }
+  // Re-admit the member as a solo stream where the shared delivery left it:
+  // pauses start paused at the split offset (the later Resume picks up
+  // there), seeks land at the seek target, FF/FB split at the current offset
+  // and the client re-issues the scan against its now-solo stream.
+  resume.start_offsets.assign(
+      1, split.op == VcrCommand::Op::kSeek ? split.seek_to : split.media_offset);
+  resume.start_paused = (split.op == VcrCommand::Op::kPause);
+  resume.prefer_msu = split.msu_node;  // the page cache there already holds the title
+  const SimTime admit_start = machine_->sim().Now();
+  const Status started = co_await TryStartGroup(resume);
+  RecordAdmission("split", resume, started, admit_start);
+  if (started.code() == StatusCode::kResourceExhausted) {
+    ReplPendingPushed pushed;
+    pushed.request = resume;
+    LogRecord(ReplRecord{std::move(pushed)});
+    pending_.push_back(std::move(resume));
+    co_return MessageBody{SimpleResponse{true, ""}};
+  }
+  if (!started.ok()) {
+    CALLIOPE_LOG(kWarning, "coord") << "shared member group " << split.group
+                                    << " could not re-admit after split: " << started.ToString();
+    CountRequestLost();
+    NotifyRequestFailed(std::move(resume), started);
+  }
+  co_return MessageBody{SimpleResponse{true, ""}};
 }
 
 Co<MessageBody> Coordinator::HandleRecord(TcpConn* conn, const RecordRequest& request) {
@@ -853,10 +1296,10 @@ Co<MessageBody> Coordinator::HandleMsuRegister(TcpConn* conn, const MsuRegisterR
   msu.conn = conn;
   if (warm) {
     ledger_.ReattachMsu(request.msu_node, request.disk_count, request.free_space,
-                        request.nic_bandwidth);
+                        request.nic_bandwidth, request.cache_memory);
   } else {
     ledger_.RegisterMsu(request.msu_node, request.disk_count, request.free_space,
-                        request.nic_bandwidth);
+                        request.nic_bandwidth, request.cache_memory);
   }
   MsuRegisterResponse ack{true, ""};
   ack.epoch = params_.ha.enabled ? epoch_ : 0;
@@ -875,6 +1318,7 @@ Co<MessageBody> Coordinator::HandleMsuRegister(TcpConn* conn, const MsuRegisterR
     up.disk_count = request.disk_count;
     up.free_space = request.free_space;
     up.nic_budget = request.nic_bandwidth;
+    up.cache_memory = request.cache_memory;
     up.reattach = warm;
     LogRecord(ReplRecord{std::move(up)});
   }
@@ -900,6 +1344,7 @@ Co<MessageBody> Coordinator::HandleMsuRegister(TcpConn* conn, const MsuRegisterR
 }
 
 void Coordinator::HandleStreamTerminated(const StreamTerminated& note) {
+  shared_groups_.erase(note.stream);  // no-op unless a shared delivery ended
   auto it = active_streams_.find(note.stream);
   if (it == active_streams_.end()) {
     return;
@@ -989,6 +1434,19 @@ void Coordinator::MarkMsuDown(MsuInfo& msu) {
   ReplMsuDown down;
   down.node = msu.node;
   LogRecord(ReplRecord{std::move(down)});
+
+  // Shared delivery groups on this MSU die with it; the cached pages and the
+  // fan-out state lived in the dead process. Members keep their own
+  // ActiveStream/group_requests_ entries, so the loop below resumes each as a
+  // unique stream; the delivery stream's group has no request and is dropped
+  // silently once its hold is released.
+  for (auto it = shared_groups_.begin(); it != shared_groups_.end();) {
+    if (it->second.msu == msu.node) {
+      it = shared_groups_.erase(it);
+    } else {
+      ++it;
+    }
+  }
 
   // Partition the failed MSU's streams by group (every member of a group
   // lives on one MSU, so a group is lost whole or not at all).

@@ -35,6 +35,29 @@
 
 namespace calliope {
 
+// Popularity-aware stream sharing (DESIGN §5.6). Disabled by default: with
+// `enabled == false` the Coordinator's admission path is byte-identical to
+// the pre-sharing behavior, which is what the determinism/chaos suites pin.
+struct SharingConfig {
+  SharingConfig() = default;
+
+  bool enabled = false;
+  // Requests for the same title arriving within this window coalesce into one
+  // shared delivery group fed by a single disk stream. Must stay well under
+  // the client's WaitForGroupReady timeout (60s).
+  SimTime batch_window = SimTime::Millis(500);
+  // A viewer arriving within this much media time of a live shared group's
+  // playback position attaches as a cache-fed solo stream (no disk bandwidth
+  // reserved) instead of opening a new batch.
+  SimTime cache_horizon = SimTime::Seconds(8);
+  // Per-title popularity EWMA half-life; a bump decays by half every
+  // `popularity_halflife` of simulated time.
+  SimTime popularity_halflife = SimTime::Seconds(60);
+  // EWMA value at which a title counts as hot and new delivery streams pin
+  // its prefix pages in the serving MSU's page cache.
+  double hot_threshold = 3.0;
+};
+
 struct CoordinatorParams {
   int listen_port = 5000;
   // CPU cost of handling one scheduling request (authentication, catalog
@@ -51,6 +74,10 @@ struct CoordinatorParams {
   uint64_t placement_seed = 1996;
   // Warm-standby pairing; disabled by default (single Coordinator).
   HaConfig ha;
+  // Stream sharing; disabled by default. Force-disabled when `ha.enabled`
+  // (shared-group state is not replicated; failover falls back to resuming
+  // members as unique streams, which the non-HA path already provides).
+  SharingConfig sharing;
 };
 
 class Coordinator {
@@ -165,6 +192,51 @@ class Coordinator {
   void HandleProgressReport(const StreamProgressReport& report);
   void MarkMsuDown(MsuInfo& msu);
 
+  // ---- stream sharing (DESIGN §5.6) ----
+  // One live shared delivery group, keyed by its delivery stream id. Members
+  // are ordinary ActiveStream entries (their kSharedDisk ledger holds charge
+  // NIC + cache memory only), so progress reports and failover reuse the
+  // unique-stream machinery; this record exists for attach decisions and the
+  // groups gauge.
+  struct SharedGroup {
+    SharedGroup() = default;
+
+    StreamId delivery_stream = 0;
+    std::string msu;
+    int disk = 0;
+    std::string content;  // title (atomic item name)
+    std::string file;
+    DataRate rate;
+    SimTime started_at;  // delivery start; playback position ~= Now() - this
+    int member_count = 0;
+  };
+  // Requests for one title coalescing until the batch window closes.
+  struct ShareBatch {
+    ShareBatch() = default;
+
+    std::vector<PendingRequest> waiters;
+  };
+
+  // True when `request` can ride a shared delivery group: sharing on, a
+  // non-composite playback of an existing, fully-recorded title.
+  bool SharingEligible(const PendingRequest& request) const;
+  // Decays and bumps the title's popularity EWMA (a request arrived).
+  void BumpPopularity(const std::string& content);
+  bool IsHot(const std::string& content) const;
+  // Live shared group on an up MSU whose playback position trails within the
+  // cache horizon, or nullptr.
+  const SharedGroup* FindAttachTarget(const std::string& content) const;
+  // Admits `request` as a cache-fed solo stream trailing `target` (no disk
+  // bandwidth; NIC + interval-cache bytes on the serving MSU).
+  Co<Status> StartCacheAttach(PendingRequest request, SharedGroup target);
+  // Closes the batch window for `content`, then starts one delivery stream
+  // fanning out to every waiter still holding a live session.
+  Task FlushShareBatch(std::string content);
+  Co<void> StartSharedGroup(std::string content, std::vector<PendingRequest> waiters);
+  // A member VCR op split it out of its shared group on the MSU; release the
+  // member's shared hold and re-admit it as a solo stream at the split offset.
+  Co<MessageBody> HandleSharedMemberSplit(const SharedMemberSplit& split);
+
   // ---- scheduling core ----
   // Starts all component streams of a (possibly composite) request on one
   // MSU. Returns kResourceExhausted when no MSU currently qualifies (the
@@ -236,6 +308,11 @@ class Coordinator {
   // MSU's groups can be re-placed; erased when the group ends normally.
   std::map<GroupId, PendingRequest> group_requests_;
   std::deque<PendingRequest> pending_;
+  // ---- sharing state (empty unless params_.sharing.enabled) ----
+  std::map<StreamId, SharedGroup> shared_groups_;
+  std::map<std::string, ShareBatch> share_batches_;  // title -> open batch
+  std::map<std::string, double> popularity_;         // title -> EWMA
+  std::map<std::string, SimTime> popularity_bumped_;  // title -> last bump
   // Standby shadow: requests the primary popped for a retry whose outcome
   // has not been logged yet. Re-queued on takeover (zero-amnesia for a crash
   // mid-retry); always empty on a primary.
@@ -278,6 +355,10 @@ class Coordinator {
   Counter* admit_rejected_ = nullptr;
   Counter* admit_queued_ = nullptr;
   Counter* failover_groups_ = nullptr;
+  Counter* groups_formed_ = nullptr;     // shared delivery groups started
+  Counter* groups_members_ = nullptr;    // viewers admitted through a batch
+  Counter* groups_attaches_ = nullptr;   // cache-fed trailing-viewer admits
+  Counter* groups_splits_ = nullptr;     // members split out by VCR ops
   Counter* recordings_lost_ = nullptr;
   Counter* requests_lost_metric_ = nullptr;
   Counter* takeovers_metric_ = nullptr;

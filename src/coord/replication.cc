@@ -313,9 +313,9 @@ void Coordinator::ApplyReplRecord(const ReplRecord& record) {
   }
   if (const auto* r = std::get_if<ReplMsuUp>(&record)) {
     if (r->reattach) {
-      ledger_.ReattachMsu(r->node, r->disk_count, r->free_space, r->nic_budget);
+      ledger_.ReattachMsu(r->node, r->disk_count, r->free_space, r->nic_budget, r->cache_memory);
     } else {
-      ledger_.RegisterMsu(r->node, r->disk_count, r->free_space, r->nic_budget);
+      ledger_.RegisterMsu(r->node, r->disk_count, r->free_space, r->nic_budget, r->cache_memory);
     }
     MsuInfo& msu = msus_[r->node];
     msu.node = r->node;
@@ -431,6 +431,7 @@ std::vector<ReplRecord> Coordinator::BuildSnapshotRecords() const {
     });
     up.free_space = free;
     up.nic_budget = account.nic_budget;
+    up.cache_memory = account.cache_memory;
     up.reattach = false;
     records.push_back(ReplRecord{std::move(up)});
     if (!account.up) {

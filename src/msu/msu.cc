@@ -24,6 +24,7 @@ Msu::Msu(Machine& machine, NetNode& node, MsuParams params)
       node_(&node),
       params_(params),
       fs_(MachineDisks(machine)),
+      page_cache_(params.cache_memory),
       duty_cycle_(machine.params().disk, machine.params().hba, params.block_size,
                   static_cast<int>(machine.disk_count()), params.striped_layout),
       protocols_(ProtocolRegistry::WithBuiltins()),
@@ -61,6 +62,11 @@ void Msu::AttachObservability(MetricsRegistry* metrics, TraceRecorder* trace) {
     flow_demotions_metric_ = nullptr;
     flow_promotions_metric_ = nullptr;
     flow_refills_metric_ = nullptr;
+    cache_interval_hits_metric_ = nullptr;
+    cache_prefix_hits_metric_ = nullptr;
+    cache_misses_metric_ = nullptr;
+    cache_insertions_metric_ = nullptr;
+    cache_evictions_metric_ = nullptr;
     return;
   }
   // Cluster-global fidelity counters (find-or-create: all MSUs share them).
@@ -69,6 +75,12 @@ void Msu::AttachObservability(MetricsRegistry* metrics, TraceRecorder* trace) {
   flow_demotions_metric_ = &metrics_->counter("sim.flow.demotions");
   flow_promotions_metric_ = &metrics_->counter("sim.flow.promotions");
   flow_refills_metric_ = &metrics_->counter("sim.flow.refills");
+  // Cluster-global interval/prefix cache counters (DESIGN §5.6).
+  cache_interval_hits_metric_ = &metrics_->counter("sim.cache.interval_hits");
+  cache_prefix_hits_metric_ = &metrics_->counter("sim.cache.prefix_hits");
+  cache_misses_metric_ = &metrics_->counter("sim.cache.misses");
+  cache_insertions_metric_ = &metrics_->counter("sim.cache.insertions");
+  cache_evictions_metric_ = &metrics_->counter("sim.cache.evictions");
   const std::string prefix = "msu." + node_->name() + ".";
   packets_sent_metric_ = &metrics_->counter(prefix + "packets_sent");
   packets_late_metric_ = &metrics_->counter(prefix + "packets_late");
@@ -182,6 +194,9 @@ Co<Status> Msu::RegisterWithCoordinator(std::string coordinator_node) {
           if (!AcceptEpoch(del->epoch, host)) {
             co_return MessageBody{SimpleResponse{false, "stale epoch"}};
           }
+          // The cache holds pointers into the file's page images; drop them
+          // before the delete frees the backing store.
+          page_cache_.InvalidateFile(del->file);
           const Status deleted = fs_.Delete(del->file);
           if (deleted.ok()) {
             FlushMetadataBehind();
@@ -196,6 +211,7 @@ Co<Status> Msu::RegisterWithCoordinator(std::string coordinator_node) {
   reg.disk_count = static_cast<int>(machine_->disk_count());
   reg.free_space = fs_.TotalFreeSpace();
   reg.nic_bandwidth = machine_->fddi().params().wire_rate;
+  reg.cache_memory = params_.cache_memory;
   reg.warm = warm_eligible_;
   if (reg.warm) {
     for (const auto& [id, stream] : streams_) {
@@ -260,14 +276,13 @@ Task Msu::QuitStaleStreams(std::vector<StreamId> stale) {
   }
 }
 
-Co<void> Msu::EnsureControlConn(Group& group, const MsuStartStream& request) {
-  if (group.control_conn != nullptr || !request.open_control_conn ||
-      request.client_control_port == 0) {
+Co<void> Msu::EnsureControlConn(Group& group, std::string client_node, int control_port) {
+  if (group.control_conn != nullptr || control_port == 0) {
     co_return;
   }
   // "As soon as it is ready to deliver the content stream, the MSU
   // establishes a control stream (TCP connection) with the client."
-  auto conn = co_await node_->ConnectTcp(request.client_node, request.client_control_port);
+  auto conn = co_await node_->ConnectTcp(client_node, control_port);
   if (!conn.ok()) {
     CALLIOPE_LOG(kWarning, "msu") << "control conn failed: " << conn.status().ToString();
     co_return;
@@ -280,6 +295,26 @@ Co<void> Msu::EnsureControlConn(Group& group, const MsuStartStream& request) {
         }
         co_return MessageBody{VcrAck{false, "msu: not a vcr command"}};
       });
+}
+
+Co<void> Msu::SendGroupInfo(Group& group) {
+  if (group.control_conn == nullptr || group.control_conn->closed()) {
+    co_return;
+  }
+  StreamGroupInfo info;
+  info.group = group.id;
+  info.msu_node = node_->name();
+  info.media_udp_port = params_.media_udp_port;
+  for (size_t i = 0; i < group.streams.size(); ++i) {
+    auto member_it = streams_.find(group.streams[i]);
+    if (member_it == streams_.end()) {
+      continue;
+    }
+    info.members.push_back(StreamGroupInfo::Member{
+        group.streams[i], static_cast<int>(i),
+        member_it->second->mode() == MsuStream::Mode::kRecord});
+  }
+  co_await group.control_conn->Send(Envelope{0, false, MessageBody{std::move(info)}});
 }
 
 Co<MessageBody> Msu::HandleStartStream(MsuStartStream request) {
@@ -312,23 +347,36 @@ Co<MessageBody> Msu::HandleStartStream(MsuStartStream request) {
     }
     stream->file_ = *file;
     stream->disk_ = (*file)->home_disk();
+    if (request.pin_prefix) {
+      // Popularity-EWMA hot title: pin its first pages so every fresh viewer
+      // reads the startup burst from memory.
+      page_cache_.PinPrefix(request.file, params_.cache_prefix_pages);
+    }
   }
 
-  // Admission: one duty-cycle slot on the stream's disk.
-  if (Status admitted = duty_cycle_.Admit(stream->disk_, request.rate); !admitted.ok()) {
-    if (request.record) {
-      (void)fs_.Delete(request.file);
+  // Admission: one duty-cycle slot on the stream's disk. Cache-fed trailing
+  // viewers skip admission — their reads are meant to come out of the
+  // interval cache; a miss spills to disk unadmitted (counted in sim.cache).
+  if (!stream->from_cache_) {
+    if (Status admitted = duty_cycle_.Admit(stream->disk_, request.rate); !admitted.ok()) {
+      if (request.record) {
+        (void)fs_.Delete(request.file);
+      }
+      co_return MessageBody{MsuStartStreamResponse{false, admitted.ToString()}};
     }
-    co_return MessageBody{MsuStartStreamResponse{false, admitted.ToString()}};
   }
   // Double buffering: two large buffers per stream.
   if (!buffer_pool_.TryAcquire() ) {
-    duty_cycle_.Release(stream->disk_, request.rate);
+    if (!stream->from_cache_) {
+      duty_cycle_.Release(stream->disk_, request.rate);
+    }
     co_return MessageBody{MsuStartStreamResponse{false, "out of stream buffers"}};
   }
   if (!buffer_pool_.TryAcquire()) {
     buffer_pool_.Release();
-    duty_cycle_.Release(stream->disk_, request.rate);
+    if (!stream->from_cache_) {
+      duty_cycle_.Release(stream->disk_, request.rate);
+    }
     co_return MessageBody{MsuStartStreamResponse{false, "out of stream buffers"}};
   }
 
@@ -339,10 +387,28 @@ Co<MessageBody> Msu::HandleStartStream(MsuStartStream request) {
 
   MsuStream* raw = stream.get();
   streams_[raw->id()] = std::move(stream);
-  auto& group = groups_[request.group];
-  group.id = request.group;
-  group.streams.push_back(raw->id());
-  co_await EnsureControlConn(group, request);
+  if (raw->shared()) {
+    // Each member gets its own client-facing group entry, all pointing at the
+    // one delivery stream so VCR commands find it. Snapshot the member list:
+    // a VCR split arriving over an already-dialed member conn can mutate it
+    // while a later member's conn is still being dialed.
+    const std::vector<SharedMemberState> member_list = raw->members();
+    for (const SharedMemberState& member : member_list) {
+      auto& group = groups_[member.group];
+      group.id = member.group;
+      group.streams.assign(1, raw->id());
+      // Members always get their own control conns (`open_control_conn`
+      // refers to the delivery stream, which the Coordinator owns silently).
+      co_await EnsureControlConn(group, member.client_node, member.client_control_port);
+    }
+  } else {
+    auto& group = groups_[request.group];
+    group.id = request.group;
+    group.streams.push_back(raw->id());
+    if (request.open_control_conn) {
+      co_await EnsureControlConn(group, request.client_node, request.client_control_port);
+    }
+  }
 
   if (request.record) {
     raw->state_ = MsuStream::State::kRunning;
@@ -356,25 +422,35 @@ Co<MessageBody> Msu::HandleStartStream(MsuStartStream request) {
         CALLIOPE_LOG(kWarning, "msu") << "start-offset seek failed: " << seeked.ToString();
       }
     }
-    (void)raw->Resume();  // kStarting -> kRunning; first slot fills the buffer
+    if (!request.start_paused) {
+      (void)raw->Resume();  // kStarting -> kRunning; first slot fills the buffer
+    }
   }
 
   // Tell the client the group is live (and, for recordings, where to send).
-  if (group.control_conn != nullptr && !group.control_conn->closed()) {
-    StreamGroupInfo info;
-    info.group = request.group;
-    info.msu_node = node_->name();
-    info.media_udp_port = params_.media_udp_port;
-    for (size_t i = 0; i < group.streams.size(); ++i) {
-      auto member_it = streams_.find(group.streams[i]);
-      if (member_it == streams_.end()) {
+  if (raw->shared()) {
+    // Per-member group info carrying the member's own stream id — the
+    // client's arrival accounting is keyed by it, so a shared viewer looks
+    // exactly like a solo one from the living-room end.
+    const std::vector<SharedMemberState> member_list = raw->members();
+    for (const SharedMemberState& member : member_list) {
+      auto group_it = groups_.find(member.group);
+      if (group_it == groups_.end() || group_it->second.control_conn == nullptr ||
+          group_it->second.control_conn->closed()) {
         continue;
       }
-      info.members.push_back(StreamGroupInfo::Member{
-          group.streams[i], static_cast<int>(i),
-          member_it->second->mode() == MsuStream::Mode::kRecord});
+      StreamGroupInfo info;
+      info.group = member.group;
+      info.msu_node = node_->name();
+      info.media_udp_port = params_.media_udp_port;
+      info.members.push_back(StreamGroupInfo::Member{member.stream, 0, false});
+      co_await group_it->second.control_conn->Send(Envelope{0, false, MessageBody{std::move(info)}});
     }
-    co_await group.control_conn->Send(Envelope{0, false, MessageBody{std::move(info)}});
+  } else {
+    auto group_it = groups_.find(request.group);
+    if (group_it != groups_.end()) {
+      co_await SendGroupInfo(group_it->second);
+    }
   }
   co_return MessageBody{MsuStartStreamResponse{true, ""}};
 }
@@ -409,6 +485,26 @@ Co<MessageBody> Msu::HandleVcr(VcrCommand command) {
   auto group_it = groups_.find(command.group);
   if (group_it == groups_.end()) {
     co_return MessageBody{VcrAck{false, "no such stream group"}};
+  }
+  // A shared member's group maps to the delivery stream: route the op through
+  // the sharing surface. Quit detaches the member; any other op with other
+  // members still attached splits the member into its own solo stream; the
+  // last member keeps the delivery stream and gets solo semantics in place.
+  if (group_it->second.streams.size() == 1) {
+    auto shared_it = streams_.find(group_it->second.streams.front());
+    if (shared_it != streams_.end() && shared_it->second->shared()) {
+      MsuStream& stream = *shared_it->second;
+      if (stream.FindMember(command.group) == nullptr) {
+        co_return MessageBody{VcrAck{false, "no such shared member"}};
+      }
+      if (command.op == VcrCommand::Op::kQuit) {
+        co_return co_await QuitSharedMember(stream, command.group);
+      }
+      if (stream.members().size() > 1) {
+        co_return co_await SplitSharedMember(stream, command.group, command);
+      }
+      // Sole remaining member: fall through and apply the op directly.
+    }
   }
   // "All streams in a stream group are controlled by the same VCR commands."
   const std::vector<StreamId> members = group_it->second.streams;
@@ -454,6 +550,134 @@ Co<MessageBody> Msu::HandleVcr(VcrCommand command) {
   co_return MessageBody{VcrAck{overall.ok(), overall.ok() ? "" : overall.ToString()}};
 }
 
+Co<MessageBody> Msu::QuitSharedMember(MsuStream& stream, GroupId group) {
+  // Settle first: any in-flight flow page ships to the current membership and
+  // any packet fan-out completes, so the departing member's byte accounting
+  // is complete at the detach point.
+  stream.NoteInteresting();
+  co_await stream.SettleFanout();
+  if (stream.FindMember(group) == nullptr) {
+    // Stream finished (or the member was already torn down) while settling.
+    co_return MessageBody{VcrAck{true, ""}};
+  }
+  const SharedMemberState member = stream.DetachMember(group);
+  EmitMemberTermination(stream, member);
+  if (stream.members().empty()) {
+    // Last viewer gone: the delivery stream has nobody to feed.
+    co_await stream.Quit();
+  }
+  co_return MessageBody{VcrAck{true, ""}};
+}
+
+Co<MessageBody> Msu::SplitSharedMember(MsuStream& stream, GroupId group, VcrCommand command) {
+  // Settle + demote before detaching: membership churn is an interesting
+  // moment, and the split offset must account every byte already fanned out —
+  // a detach mid-fan-out would re-deliver the record already on the wire.
+  stream.NoteInteresting();
+  co_await stream.SettleFanout();
+  if (stream.FindMember(group) == nullptr) {
+    // Stream finished while settling: the member's termination note has
+    // already gone out, nothing left to split.
+    co_return MessageBody{VcrAck{true, ""}};
+  }
+  const SharedMemberState member = stream.DetachMember(group);
+  SharedMemberSplit split;
+  split.msu_node = node_->name();
+  split.delivery_stream = stream.id();
+  split.member_stream = member.stream;
+  split.group = member.group;
+  split.media_offset = stream.CurrentMediaOffset();
+  split.bytes_moved = member.bytes_moved;
+  split.op = command.op;
+  split.seek_to = command.seek_to;
+  if (trace_ != nullptr) {
+    trace_->Instant(node_->name(), "msu", "shared-split",
+                    "group " + std::to_string(group) + " off stream " +
+                        std::to_string(stream.id()));
+  }
+  SendSplitToCoordinator(std::move(split));
+  // Drop the member's old group entry; the Coordinator's solo re-admission
+  // dials the client a fresh control conn (the client treats it as a
+  // migration). Deferred close so the VcrAck below still gets through.
+  auto group_it = groups_.find(member.group);
+  if (group_it != groups_.end()) {
+    TcpConn* conn = group_it->second.control_conn;
+    groups_.erase(group_it);
+    if (conn != nullptr && !conn->closed()) {
+      sim().ScheduleAfter(SimTime::Millis(20), [conn] { conn->Close(); });
+    }
+  }
+  co_return MessageBody{VcrAck{true, ""}};
+}
+
+Task Msu::SendSplitToCoordinator(SharedMemberSplit split) {
+  if (crashed_ || coordinator_conn_ == nullptr || coordinator_conn_->closed()) {
+    // No primary reachable: the member's progress records let failover resume
+    // it as a unique stream once a coordinator is back.
+    co_return;
+  }
+  auto response = co_await coordinator_conn_->Call(MessageBody{std::move(split)});
+  if (!response.ok()) {
+    CALLIOPE_LOG(kWarning, "msu") << node_->name() << ": shared-member split lost: "
+                                  << response.status().ToString();
+  }
+}
+
+void Msu::EmitMemberTermination(MsuStream& stream, const SharedMemberState& member) {
+  auto group_it = groups_.find(member.group);
+  if (group_it != groups_.end()) {
+    TcpConn* conn = group_it->second.control_conn;
+    groups_.erase(group_it);
+    if (conn != nullptr && !conn->closed()) {
+      sim().ScheduleAfter(SimTime::Millis(20), [conn] { conn->Close(); });
+    }
+  }
+  StreamTerminated note;
+  note.stream = member.stream;
+  note.group = member.group;
+  note.file = stream.file_name();
+  note.bytes_moved = member.bytes_moved;
+  note.was_recording = false;
+  note.disk = stream.disk();
+  note.last_media_offset = stream.CurrentMediaOffset();
+  NotifyTermination(std::move(note));
+}
+
+const DataPage* Msu::CacheLookup(const std::string& file, size_t page_index) {
+  if (!page_cache_.enabled()) {
+    return nullptr;
+  }
+  const MsuPageCache::LookupResult result = page_cache_.Lookup(file, page_index);
+  if (result.page == nullptr) {
+    if (cache_misses_metric_ != nullptr) {
+      cache_misses_metric_->Add();
+    }
+    return nullptr;
+  }
+  if (result.kind == MsuPageCache::HitKind::kPrefix) {
+    if (cache_prefix_hits_metric_ != nullptr) {
+      cache_prefix_hits_metric_->Add();
+    }
+  } else if (cache_interval_hits_metric_ != nullptr) {
+    cache_interval_hits_metric_->Add();
+  }
+  return result.page;
+}
+
+void Msu::CacheInsert(const std::string& file, size_t page_index, const DataPage* page) {
+  if (!page_cache_.enabled()) {
+    return;
+  }
+  const int64_t evictions_before = page_cache_.evictions();
+  if (page_cache_.Insert(file, page_index, page) && cache_insertions_metric_ != nullptr) {
+    cache_insertions_metric_->Add();
+  }
+  const int64_t evicted = page_cache_.evictions() - evictions_before;
+  if (evicted > 0 && cache_evictions_metric_ != nullptr) {
+    cache_evictions_metric_->Add(evicted);
+  }
+}
+
 void Msu::NoteDiskInteresting(int disk_index) {
   for (auto& [id, stream] : streams_) {
     if (stream->disk() == disk_index && stream->mode() == MsuStream::Mode::kPlay) {
@@ -473,9 +697,21 @@ void Msu::OnStreamFinished(MsuStream* stream) {
                      stream->file_name(),
                  stream->start_time(), "stream " + std::to_string(stream->id()) + " quiesced");
   }
-  duty_cycle_.Release(stream->disk(), stream->rate_);
+  if (!stream->from_cache_) {
+    duty_cycle_.Release(stream->disk(), stream->rate_);
+  }
   buffer_pool_.Release();
   buffer_pool_.Release();
+
+  // A shared delivery stream ending (end of content, data loss) takes its
+  // remaining members with it: each gets its own termination note so the
+  // Coordinator releases the member holds and the clients learn.
+  if (stream->shared()) {
+    for (const SharedMemberState& member : stream->members_) {
+      EmitMemberTermination(*stream, member);
+    }
+    stream->members_.clear();
+  }
 
   // Group bookkeeping: drop this member; tear down the control connection
   // when the last member ends.
@@ -565,8 +801,18 @@ Task Msu::ProgressReporter() {
     StreamProgressReport report;
     report.msu_node = node_->name();
     for (const auto& [id, stream] : streams_) {
-      if (stream->mode() == MsuStream::Mode::kPlay &&
-          stream->state() != MsuStream::State::kStopped) {
+      if (stream->mode() != MsuStream::Mode::kPlay ||
+          stream->state() == MsuStream::State::kStopped) {
+        continue;
+      }
+      if (stream->shared()) {
+        // Report each member under its own stream id: failover resumes the
+        // members individually as unique streams, never the delivery stream.
+        for (const SharedMemberState& member : stream->members()) {
+          report.entries.push_back(
+              StreamProgressReport::Entry{member.stream, stream->CurrentMediaOffset()});
+        }
+      } else {
         report.entries.push_back(StreamProgressReport::Entry{id, stream->CurrentMediaOffset()});
       }
     }
@@ -595,6 +841,8 @@ void Msu::Crash() {
     finished_streams_[id] = std::move(stream);
   }
   streams_.clear();
+  // Cached pages lived in the dead process's memory.
+  page_cache_.Clear();
   for (auto& [id, group] : groups_) {
     (void)id;
     (void)group;  // conns break via the node going down
@@ -658,6 +906,7 @@ Co<Status> Msu::Restart(std::string coordinator_node) {
   for (const std::string& name : fs_.ListFiles()) {
     auto file = fs_.Lookup(name);
     if (file.ok() && !(*file)->committed()) {
+      page_cache_.InvalidateFile(name);
       (void)fs_.Delete(name);
     }
   }

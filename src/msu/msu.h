@@ -18,6 +18,7 @@
 
 #include "src/fs/msu_fs.h"
 #include "src/hw/machine.h"
+#include "src/msu/page_cache.h"
 #include "src/net/network.h"
 #include "src/obs/metrics.h"
 #include "src/obs/trace.h"
@@ -58,6 +59,30 @@ struct MediaDatagramPayload {
   std::vector<FlowRecord> flow_records;
 };
 
+// One viewer attached to a shared delivery stream (DESIGN §5.6). The
+// delivery stream reads each block once and fans every packet out to all
+// members; each member keeps its own client address, sequence space and
+// byte accounting so the client side is indistinguishable from a solo
+// stream until a VCR op splits the member off.
+struct SharedMemberState {
+  SharedMemberState() = default;
+  explicit SharedMemberState(const SharedMemberSpec& spec)
+      : stream(spec.stream),
+        group(spec.group),
+        client_node(spec.client_node),
+        client_udp_port(spec.client_udp_port),
+        client_control_port(spec.client_control_port) {}
+
+  StreamId stream = 0;
+  GroupId group = 0;  // the member's client-facing stream group
+  std::string client_node;
+  int client_udp_port = 0;
+  int client_control_port = 0;
+  int64_t seq = 0;
+  Bytes bytes_moved;
+  int64_t packets_sent = 0;
+};
+
 // One active stream on an MSU (one member of a stream group).
 class MsuStream {
  public:
@@ -95,6 +120,25 @@ class MsuStream {
 
   // Current delivery fidelity (see src/sim/fidelity.h and DESIGN.md §5.5).
   Fidelity fidelity() const { return fidelity_; }
+
+  // --- Stream sharing (DESIGN §5.6) ---
+  // True for a shared delivery stream: one disk stream fanning out to the
+  // members below. False for solo streams (the historical shape).
+  bool shared() const { return shared_; }
+  // True for a trailing viewer served read-through from the MSU page cache
+  // (no duty-cycle admission; misses spill to disk).
+  bool from_cache() const { return from_cache_; }
+  const std::vector<SharedMemberState>& members() const { return members_; }
+  SharedMemberState* FindMember(GroupId group);
+  SharedMemberState* FindMemberByStream(StreamId stream);
+  // Removes and returns the member for `group`. The caller must have settled
+  // any in-flight flow page first (NoteInteresting) so the member's byte
+  // accounting covers everything delivered before the split point.
+  SharedMemberState DetachMember(GroupId group);
+  // Blocks until no packet-path fan-out send is in flight. Detaching a member
+  // mid-fan-out would leave its resume offset one record behind the datagram
+  // already on the wire, duplicating that record after a split.
+  Co<void> SettleFanout();
 
  private:
   friend class Msu;
@@ -147,6 +191,14 @@ class MsuStream {
   int disk_ = 0;
   std::string client_node_;
   int client_udp_port_ = 0;
+
+  // Sharing state. A shared delivery stream has no client of its own; every
+  // viewer lives in members_ and the fan-out loops address them directly.
+  bool shared_ = false;
+  bool from_cache_ = false;
+  std::vector<SharedMemberState> members_;
+  bool fanout_in_flight_ = false;  // packet-path fan-out has a send on the wire
+  Condition fanout_settled_;
 
   // Playback state.
   MsuFile* file_ = nullptr;
@@ -208,6 +260,14 @@ struct MsuParams {
   // kFlow enables the hybrid: eligible steady-state streams promote to the
   // flow fast path after `fidelity.quiet_window` without interesting events.
   FidelityConfig fidelity;
+  // Interval/prefix page-cache budget (DESIGN §5.6). Zero (the default)
+  // disables the cache entirely, keeping default configurations byte-
+  // identical to the pre-sharing behavior. Also reported to the Coordinator
+  // at registration so its ledger can admit cache-fed trailing viewers.
+  Bytes cache_memory;
+  // Pages pinned per hot title when the Coordinator flags a start with
+  // pin_prefix (the popularity-EWMA prefix cache).
+  int64_t cache_prefix_pages = 4;
 };
 
 class Msu {
@@ -228,6 +288,7 @@ class Msu {
   Co<MessageBody> HandleVcr(VcrCommand command);
 
   MsuFileSystem& fs() { return fs_; }
+  MsuPageCache& page_cache() { return page_cache_; }
   Machine& machine() { return *machine_; }
   NetNode& node() { return *node_; }
   Simulator& sim() { return machine_->sim(); }
@@ -294,7 +355,25 @@ class Msu {
   // remembered host when no list is configured.
   std::string NextCoordinatorHost();
   Task QuitStaleStreams(std::vector<StreamId> stale);
-  Co<void> EnsureControlConn(Group& group, const MsuStartStream& request);
+  Co<void> EnsureControlConn(Group& group, std::string client_node, int control_port);
+  // Sends the per-member StreamGroupInfo that tells a client its group is
+  // live on this MSU (used for solo groups and each shared member's group).
+  Co<void> SendGroupInfo(Group& group);
+  // VCR op on a member of a shared stream with other members still attached:
+  // settles the fan-out, detaches the member and hands it to the Coordinator
+  // (SharedMemberSplit) to re-admit as a solo stream at the split offset.
+  Co<MessageBody> SplitSharedMember(MsuStream& stream, GroupId group, VcrCommand command);
+  // Detaches `group`'s member for a quit: emits its termination note and
+  // stops the delivery stream when the last member leaves.
+  Co<MessageBody> QuitSharedMember(MsuStream& stream, GroupId group);
+  Task SendSplitToCoordinator(SharedMemberSplit split);
+  // Termination bookkeeping for one shared member: its note to the
+  // Coordinator, its group entry and control connection.
+  void EmitMemberTermination(MsuStream& stream, const SharedMemberState& member);
+  // Page-cache access with metric accounting. Lookup returns nullptr on a
+  // miss (counted); Insert counts insertions and eviction deltas.
+  const DataPage* CacheLookup(const std::string& file, size_t page_index);
+  void CacheInsert(const std::string& file, size_t page_index, const DataPage* page);
   void OnMediaDatagram(const Datagram& datagram);
   // Interesting moment scoped to one disk (admission churn, disk fault):
   // demotes that disk's flow-mode streams back to the per-packet model.
@@ -304,6 +383,7 @@ class Msu {
   NetNode* node_;
   MsuParams params_;
   MsuFileSystem fs_;
+  MsuPageCache page_cache_;
   DutyCycleAllocator duty_cycle_;
   ProtocolRegistry protocols_;
   Semaphore buffer_pool_;
@@ -348,6 +428,13 @@ class Msu {
   Counter* flow_demotions_metric_ = nullptr;
   Counter* flow_promotions_metric_ = nullptr;
   Counter* flow_refills_metric_ = nullptr;
+  // sim.cache.* counters are cluster-global like sim.flow.*: the sharing
+  // suites assert on the aggregate interval/prefix hit mix.
+  Counter* cache_interval_hits_metric_ = nullptr;
+  Counter* cache_prefix_hits_metric_ = nullptr;
+  Counter* cache_misses_metric_ = nullptr;
+  Counter* cache_insertions_metric_ = nullptr;
+  Counter* cache_evictions_metric_ = nullptr;
 };
 
 }  // namespace calliope

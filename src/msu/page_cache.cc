@@ -1,0 +1,111 @@
+#include "src/msu/page_cache.h"
+
+namespace calliope {
+
+bool MsuPageCache::pinned_for(const std::string& file, size_t page_index) const {
+  auto it = prefix_pins_.find(file);
+  return it != prefix_pins_.end() && static_cast<int64_t>(page_index) < it->second;
+}
+
+MsuPageCache::LookupResult MsuPageCache::Lookup(const std::string& file,
+                                                size_t page_index) const {
+  if (!enabled()) {
+    return LookupResult();
+  }
+  auto it = entries_.find(Key(file, page_index));
+  if (it == entries_.end()) {
+    return LookupResult();
+  }
+  return LookupResult(it->second.page,
+                      it->second.pinned ? HitKind::kPrefix : HitKind::kInterval);
+}
+
+bool MsuPageCache::Insert(const std::string& file, size_t page_index, const DataPage* page) {
+  if (!enabled() || page == nullptr) {
+    return false;
+  }
+  const Key key(file, page_index);
+  auto existing = entries_.find(key);
+  if (existing != entries_.end()) {
+    // Refresh the ring position so a page two viewers straddle stays hot.
+    if (!existing->second.pinned) {
+      ring_.erase(existing->second.seq);
+      existing->second.seq = next_seq_++;
+      ring_[existing->second.seq] = key;
+    }
+    return true;
+  }
+  while (used_ + kDataPageSize > budget_ && !ring_.empty()) {
+    auto oldest = ring_.begin();
+    entries_.erase(oldest->second);
+    ring_.erase(oldest);
+    used_ -= kDataPageSize;
+    ++evictions_;
+  }
+  if (used_ + kDataPageSize > budget_) {
+    return false;  // everything left is pinned prefix
+  }
+  Entry entry;
+  entry.page = page;
+  entry.pinned = pinned_for(file, page_index);
+  entry.seq = next_seq_++;
+  if (!entry.pinned) {
+    ring_[entry.seq] = key;
+  }
+  entries_[key] = entry;
+  used_ += kDataPageSize;
+  return true;
+}
+
+void MsuPageCache::PinPrefix(const std::string& file, int64_t pages) {
+  if (!enabled()) {
+    return;
+  }
+  if (pages <= 0) {
+    prefix_pins_.erase(file);
+  } else {
+    prefix_pins_[file] = pages;
+  }
+  // Promote already-cached prefix pages out of the eviction ring (and demote
+  // pages a shrinking pin no longer covers back into it).
+  for (auto& [key, entry] : entries_) {
+    if (key.first != file) {
+      continue;
+    }
+    const bool want_pinned = pinned_for(file, key.second);
+    if (want_pinned == entry.pinned) {
+      continue;
+    }
+    if (want_pinned) {
+      ring_.erase(entry.seq);
+    } else {
+      entry.seq = next_seq_++;
+      ring_[entry.seq] = key;
+    }
+    entry.pinned = want_pinned;
+  }
+}
+
+void MsuPageCache::Clear() {
+  entries_.clear();
+  ring_.clear();
+  prefix_pins_.clear();
+  used_ = Bytes(0);
+}
+
+void MsuPageCache::InvalidateFile(const std::string& file) {
+  prefix_pins_.erase(file);
+  for (auto it = entries_.begin(); it != entries_.end();) {
+    if (it->first.first != file) {
+      ++it;
+      continue;
+    }
+    if (!it->second.pinned) {
+      ring_.erase(it->second.seq);
+    }
+    used_ -= kDataPageSize;
+    it = entries_.erase(it);
+  }
+}
+
+}  // namespace calliope

@@ -1,0 +1,96 @@
+// MsuPageCache: the per-MSU interval + prefix page cache behind stream
+// sharing (DESIGN §5.6, after Jayarekha & Nair's prefix+popularity interval
+// caching). The paper's file system deliberately has no LRU block cache
+// (§2.3.3: "multimedia workloads have no useful locality") — but *shared*
+// viewing creates exactly one kind of locality worth exploiting: a viewer
+// trailing another by seconds re-reads the pages the leader just delivered,
+// and every viewer of a hot title reads its first pages. So the cache is a
+// memory-budgeted ring of recently delivered pages (the interval cache) plus
+// pinned prefixes of hot titles, not a general-purpose block cache.
+//
+// Pages are the `const DataPage*` images MsuFileSystem::ReadPage returns;
+// they stay valid until the file is deleted, so the cache holds pointers and
+// only accounts bytes. InvalidateFile must be called before a file's pages
+// are freed. Keys are file *names* (not pointers) so iteration and eviction
+// order are deterministic across runs — the determinism contract covers
+// cache state.
+#ifndef CALLIOPE_SRC_MSU_PAGE_CACHE_H_
+#define CALLIOPE_SRC_MSU_PAGE_CACHE_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <utility>
+
+#include "src/ibtree/ibtree.h"
+#include "src/util/units.h"
+
+namespace calliope {
+
+class MsuPageCache {
+ public:
+  // What a successful Lookup hit: a pinned prefix page or the trailing
+  // interval ring. kMiss carries no page.
+  enum class HitKind { kMiss, kInterval, kPrefix };
+
+  struct LookupResult {
+    LookupResult() = default;
+    LookupResult(const DataPage* p, HitKind k) : page(p), kind(k) {}
+
+    const DataPage* page = nullptr;
+    HitKind kind = HitKind::kMiss;
+  };
+
+  explicit MsuPageCache(Bytes budget) : budget_(budget) {}
+
+  // A zero budget disables the cache entirely: no lookups, no accounting, so
+  // default configurations stay byte-identical to the pre-sharing behavior.
+  bool enabled() const { return budget_ > Bytes(0); }
+
+  LookupResult Lookup(const std::string& file, size_t page_index) const;
+
+  // Records a page just read from disk. Evicts the oldest unpinned pages to
+  // make room; if only pinned pages remain the insert is dropped. Returns
+  // true if the page ended up cached. Re-inserting a cached page refreshes
+  // its ring position.
+  bool Insert(const std::string& file, size_t page_index, const DataPage* page);
+
+  // Marks the first `pages` pages of `file` as prefix-pinned: once inserted
+  // they are never evicted (until the file is invalidated or the pin drops).
+  void PinPrefix(const std::string& file, int64_t pages);
+
+  // Drops every cached page and pin for `file` (file deleted or rewritten).
+  void InvalidateFile(const std::string& file);
+
+  // Drops everything (MSU crash: cached pages lived in the dead process).
+  void Clear();
+
+  Bytes bytes_used() const { return used_; }
+  Bytes budget() const { return budget_; }
+  int64_t evictions() const { return evictions_; }
+
+ private:
+  using Key = std::pair<std::string, size_t>;
+
+  struct Entry {
+    Entry() = default;
+
+    const DataPage* page = nullptr;
+    bool pinned = false;
+    uint64_t seq = 0;  // position in the eviction ring (unpinned entries)
+  };
+
+  bool pinned_for(const std::string& file, size_t page_index) const;
+
+  Bytes budget_;
+  Bytes used_;
+  uint64_t next_seq_ = 0;
+  int64_t evictions_ = 0;
+  std::map<Key, Entry> entries_;
+  std::map<uint64_t, Key> ring_;  // unpinned entries in insertion order
+  std::map<std::string, int64_t> prefix_pins_;
+};
+
+}  // namespace calliope
+
+#endif  // CALLIOPE_SRC_MSU_PAGE_CACHE_H_

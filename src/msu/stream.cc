@@ -19,10 +19,53 @@ MsuStream::MsuStream(Msu& msu, const MsuStartStream& request,
       rate_(request.rate),
       client_node_(request.client_node),
       client_udp_port_(request.client_udp_port),
+      shared_(request.shared),
+      from_cache_(request.from_cache),
       buffers_changed_(msu.sim()),
+      fanout_settled_(msu.sim()),
       last_interesting_(msu.sim().Now()),  // admission is an interesting moment
       record_pages_ready_(msu.sim()),
-      start_time_(msu.sim().Now()) {}
+      start_time_(msu.sim().Now()) {
+  members_.reserve(request.shared_members.size());
+  for (const SharedMemberSpec& spec : request.shared_members) {
+    members_.emplace_back(spec);
+  }
+}
+
+SharedMemberState* MsuStream::FindMember(GroupId group) {
+  for (SharedMemberState& member : members_) {
+    if (member.group == group) {
+      return &member;
+    }
+  }
+  return nullptr;
+}
+
+SharedMemberState* MsuStream::FindMemberByStream(StreamId stream) {
+  for (SharedMemberState& member : members_) {
+    if (member.stream == stream) {
+      return &member;
+    }
+  }
+  return nullptr;
+}
+
+SharedMemberState MsuStream::DetachMember(GroupId group) {
+  for (auto it = members_.begin(); it != members_.end(); ++it) {
+    if (it->group == group) {
+      SharedMemberState member = *it;
+      members_.erase(it);
+      return member;
+    }
+  }
+  return SharedMemberState();
+}
+
+Co<void> MsuStream::SettleFanout() {
+  while (fanout_in_flight_) {
+    co_await fanout_settled_.Wait();
+  }
+}
 
 bool MsuStream::NeedsDiskService() const {
   if (state_ == State::kStopped) {
@@ -46,6 +89,16 @@ Co<bool> MsuStream::ServiceDisk() {
   }
   if (mode_ == Mode::kPlay) {
     const size_t target = next_page_to_read_;
+    // Interval/prefix cache read-through: a hit skips the disk entirely —
+    // that is the capacity win for trailing viewers and hot-title starts.
+    const DataPage* cached = msu_->CacheLookup(file_->name(), target);
+    if (cached != nullptr) {
+      ++next_page_to_read_;
+      prefetched_.push_back(cached);
+      bytes_moved_ += kDataPageSize;
+      buffers_changed_.NotifyAll();
+      co_return true;
+    }
     const SimTime service_start = msu_->sim().Now();
     auto page = co_await msu_->fs().ReadPage(file_, target);
     if (!page.ok()) {
@@ -69,6 +122,7 @@ Co<bool> MsuStream::ServiceDisk() {
     if (state_ == State::kStopped || target != next_page_to_read_) {
       co_return true;
     }
+    msu_->CacheInsert(file_->name(), target, *page);
     ++next_page_to_read_;
     prefetched_.push_back(*page);
     bytes_moved_ += kDataPageSize;
@@ -181,7 +235,55 @@ Task MsuStream::PlaybackLoop() {
       continue;
     }
     const auto route = protocol_->RoutePlayback(record);
-    if (route.send) {
+    if (route.send && shared_) {
+      // Shared fan-out: one real UDP datagram per member, each in the
+      // member's own stream-id and sequence space. Iterate a snapshot of
+      // stream ids — a VCR split can mutate members_ while a send is on the
+      // wire — and re-find the member across every suspension point.
+      std::vector<StreamId> targets;
+      targets.reserve(members_.size());
+      for (const SharedMemberState& member : members_) {
+        targets.push_back(member.stream);
+      }
+      bool interrupted = false;
+      fanout_in_flight_ = true;
+      for (StreamId target : targets) {
+        SharedMemberState* member = FindMemberByStream(target);
+        if (member == nullptr) {
+          continue;  // split away while fanning out
+        }
+        auto payload = std::make_shared<MediaDatagramPayload>();
+        payload->stream = target;
+        payload->seq = member->seq;
+        payload->deadline = deadline;
+        payload->packet = record;
+        payload->is_control = route.to_control_port;
+        const std::string dst = member->client_node;
+        const int port =
+            route.to_control_port ? member->client_udp_port + 1 : member->client_udp_port;
+        const bool sent_ok =
+            co_await msu_->node().SendUdp(dst, port, record.size, std::move(payload));
+        if (state_ != State::kRunning || position_gen_ != gen_before) {
+          interrupted = true;
+          break;
+        }
+        member = FindMemberByStream(target);
+        if (member != nullptr) {
+          ++member->seq;
+          member->bytes_moved += record.size;
+          ++member->packets_sent;
+        }
+        if (!sent_ok) {
+          NoteInteresting();
+        }
+        AccountSentPacket(msu_->sim().Now() - deadline);
+      }
+      fanout_in_flight_ = false;
+      fanout_settled_.NotifyAll();
+      if (interrupted) {
+        continue;
+      }
+    } else if (route.send) {
       auto payload = std::make_shared<MediaDatagramPayload>();
       payload->stream = id_;
       payload->seq = send_seq_;

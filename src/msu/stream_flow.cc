@@ -98,6 +98,9 @@ std::shared_ptr<MediaDatagramPayload> MsuStream::BuildFlowChunk(size_t first, si
   payload->flow_sent_at = msu_->sim().Now();
   payload->flow_count = static_cast<int64_t>(limit - first);
   payload->flow_records.reserve(limit - first);
+  // Shared delivery accounts one sent packet per record per member — the
+  // same counts the packet-mode fan-out loop produces.
+  const size_t fanout = shared_ ? members_.size() : 1;
   Bytes total;
   for (size_t i = first; i < limit; ++i) {
     const MediaPacket& record = page->records[i];
@@ -108,7 +111,9 @@ std::shared_ptr<MediaDatagramPayload> MsuStream::BuildFlowChunk(size_t first, si
     payload->flow_records.push_back(
         MediaDatagramPayload::FlowRecord{deadline, record.delivery_offset, record.size});
     total += record.size;
-    AccountSentPacket(lateness);
+    for (size_t f = 0; f < fanout; ++f) {
+      AccountSentPacket(lateness);
+    }
   }
   payload->deadline = payload->flow_records.front().deadline;
   payload->packet = page->records[first];
@@ -142,6 +147,21 @@ void MsuStream::SettleFlowPage() {
   // Fire-and-forget: the records' delivery instants have already passed and
   // the caller (a VCR handler, the fault observer, StopInternal) must not
   // block on the chunk clearing the NIC.
+  if (shared_) {
+    for (SharedMemberState& member : members_) {
+      auto clone = std::make_shared<MediaDatagramPayload>(*payload);
+      clone->stream = member.stream;
+      clone->seq = member.seq;
+      member.seq += count;
+      member.bytes_moved += total;
+      member.packets_sent += count;
+      [](Msu* msu, std::string dst, int port, Bytes size, int64_t n,
+         std::shared_ptr<MediaDatagramPayload> chunk) -> Task {
+        co_await msu->node().SendUdpFlow(std::move(dst), port, size, n, std::move(chunk));
+      }(msu_, member.client_node, member.client_udp_port, total, count, std::move(clone));
+    }
+    return;
+  }
   [](Msu* msu, std::string dst, int port, Bytes size, int64_t n,
      std::shared_ptr<MediaDatagramPayload> chunk) -> Task {
     co_await msu->node().SendUdpFlow(std::move(dst), port, size, n, std::move(chunk));
@@ -161,6 +181,22 @@ Co<void> MsuStream::FlowStep() {
     }
     const size_t first = next_page_to_read_;
     const size_t want = std::min<size_t>(2, file_->image().page_count() - first);
+    // Cache read-through mirrors ServiceDisk: consume the run of cached pages
+    // from the cursor; the first miss falls back to one aggregate disk read.
+    size_t cached_count = 0;
+    while (cached_count < want) {
+      const DataPage* cached = msu_->CacheLookup(file_->name(), first + cached_count);
+      if (cached == nullptr) {
+        break;
+      }
+      prefetched_.push_back(cached);
+      ++cached_count;
+    }
+    if (cached_count > 0) {
+      next_page_to_read_ += cached_count;
+      bytes_moved_ += kDataPageSize * static_cast<int64_t>(cached_count);
+      co_return;  // loop re-enters with (partially) full buffers
+    }
     const SimTime service_start = msu_->sim().Now();
     auto pages = co_await msu_->fs().ReadPages(file_, first, want);
     if (state_ == State::kStopped) {
@@ -182,8 +218,9 @@ Co<void> MsuStream::FlowStep() {
       co_return;  // a seek moved the cursor while the read was in flight
     }
     next_page_to_read_ += want;
-    for (const DataPage* page : *pages) {
-      prefetched_.push_back(page);
+    for (size_t i = 0; i < pages->size(); ++i) {
+      msu_->CacheInsert(file_->name(), first + i, (*pages)[i]);
+      prefetched_.push_back((*pages)[i]);
     }
     bytes_moved_ += kDataPageSize * static_cast<int64_t>(want);
     if (msu_->blocks_read_metric_ != nullptr) {
@@ -263,6 +300,37 @@ Co<void> MsuStream::FlowStep() {
     if (msu_->flow_chunks_metric_ != nullptr) {
       msu_->flow_chunks_metric_->Add();
       msu_->flow_packets_metric_->Add(count);
+    }
+    if (shared_) {
+      // Fan the chunk out per member in its own stream-id/sequence space.
+      // Accounting commits before each send (the member pointer does not
+      // survive the suspension); a split mid-fan-out settles the remainder
+      // of the page through NoteInteresting, so nothing is double-sent.
+      std::vector<StreamId> targets;
+      targets.reserve(members_.size());
+      for (const SharedMemberState& member : members_) {
+        targets.push_back(member.stream);
+      }
+      for (StreamId target : targets) {
+        SharedMemberState* member = FindMemberByStream(target);
+        if (member == nullptr) {
+          continue;  // split away while fanning out
+        }
+        auto clone = std::make_shared<MediaDatagramPayload>(*payload);
+        clone->stream = target;
+        clone->seq = member->seq;
+        member->seq += count;
+        member->bytes_moved += total;
+        member->packets_sent += count;
+        const std::string dst = member->client_node;
+        const int port = member->client_udp_port;
+        co_await msu_->node().SendUdpFlow(dst, port, total, count, std::move(clone));
+        if (state_ != State::kRunning || position_gen_ != gen_before ||
+            fidelity_ != Fidelity::kFlow) {
+          break;
+        }
+      }
+      continue;
     }
     // Blocking admission: pacing is already folded into the refill schedule,
     // so an ENOBUFS retries every 1 ms rather than dropping a whole page.

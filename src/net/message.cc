@@ -50,9 +50,16 @@ struct SizeVisitor {
   }
   Bytes operator()(const SimpleResponse& m) const { return Bytes(16) + StringBytes(m.error); }
   Bytes operator()(const MsuStartStream& m) const {
-    return Bytes(104) + StringBytes(m.file) + StringBytes(m.protocol) +
-           StringBytes(m.client_node) + StringBytes(m.fast_forward_file) +
-           StringBytes(m.fast_backward_file);
+    Bytes size = Bytes(112) + StringBytes(m.file) + StringBytes(m.protocol) +
+                 StringBytes(m.client_node) + StringBytes(m.fast_forward_file) +
+                 StringBytes(m.fast_backward_file);
+    for (const SharedMemberSpec& member : m.shared_members) {
+      size += MemberBytes(member);
+    }
+    return size;
+  }
+  Bytes operator()(const SharedMemberSplit& m) const {
+    return Bytes(64) + StringBytes(m.msu_node);
   }
   Bytes operator()(const MsuStartStreamResponse& m) const {
     return Bytes(16) + StringBytes(m.error);
@@ -92,6 +99,9 @@ struct SizeVisitor {
   }
 
  private:
+  static Bytes MemberBytes(const SharedMemberSpec& member) {
+    return Bytes(32) + StringBytes(member.client_node);
+  }
   static Bytes PortBytes(const DisplayPortSpec& port) {
     Bytes size = Bytes(24) + StringBytes(port.name) + StringBytes(port.type_name) +
                  StringBytes(port.node);
@@ -101,8 +111,8 @@ struct SizeVisitor {
     return size;
   }
   static Bytes RequestBytes(const PendingPlayRequest& request) {
-    return Bytes(40) + StringBytes(request.content) + StringBytes(request.type_name) +
-           PortBytes(request.port) +
+    return Bytes(48) + StringBytes(request.content) + StringBytes(request.type_name) +
+           StringBytes(request.prefer_msu) + PortBytes(request.port) +
            Bytes(static_cast<int64_t>(request.start_offsets.size()) * 8);
   }
   static Bytes ReplRecordSize(const ReplRecord& record) {
@@ -165,6 +175,7 @@ struct NameVisitor {
   const char* operator()(const VcrAck&) const { return "VcrAck"; }
   const char* operator()(const MsuDeleteFile&) const { return "MsuDeleteFile"; }
   const char* operator()(const StreamGroupInfo&) const { return "StreamGroupInfo"; }
+  const char* operator()(const SharedMemberSplit&) const { return "SharedMemberSplit"; }
   const char* operator()(const ReplAppendRequest&) const { return "ReplAppendRequest"; }
   const char* operator()(const ReplAppendResponse&) const { return "ReplAppendResponse"; }
 };

@@ -184,6 +184,19 @@ struct SimpleResponse {
 
 // ---------- Coordinator -> MSU ----------
 
+// One viewer of a shared delivery group (DESIGN §5.6): the disk stream fans
+// its pages out to every member's display port, and each member keeps its own
+// client-facing stream id, group id and VCR control connection.
+struct SharedMemberSpec {
+  SharedMemberSpec() = default;
+
+  StreamId stream = 0;   // client-facing stream id minted for this member
+  GroupId group = 0;     // client-facing group id (one per Play request)
+  std::string client_node;
+  int client_udp_port = 0;
+  int client_control_port = 0;
+};
+
 struct MsuStartStream {
   MsuStartStream() = default;
 
@@ -208,6 +221,24 @@ struct MsuStartStream {
   // refuse commands whose epoch is older than the one they registered under,
   // fencing a deposed primary out of the data path.
   int64_t epoch = 0;
+  // ---- stream sharing (DESIGN §5.6) ----
+  // Shared delivery group: one disk stream, fanned out to `shared_members`'
+  // display ports. The client_* fields above are ignored in favor of the
+  // per-member endpoints, and `stream` names the delivery stream whose disk
+  // bandwidth the Coordinator reserved.
+  bool shared = false;
+  std::vector<SharedMemberSpec> shared_members;
+  // VCR-split resume: the solo stream a paused member splits into starts in
+  // the paused state so the member's later Resume picks up exactly where the
+  // shared group left it.
+  bool start_paused = false;
+  // The title is hot (popularity EWMA over threshold): pin its prefix pages
+  // in the MSU's page cache as they are read.
+  bool pin_prefix = false;
+  // Interval-cache admission: no disk bandwidth was reserved for this stream;
+  // its reads should be served from the MSU page cache (trailing another
+  // viewer by less than the cache horizon), falling back to disk on a miss.
+  bool from_cache = false;
 };
 
 struct MsuStartStreamResponse {
@@ -230,6 +261,9 @@ struct MsuRegisterRequest {
   // Outbound NIC capacity for network-path admission (0: unlimited, the
   // pre-NIC-budget behavior; also what minimal test harnesses send).
   DataRate nic_bandwidth;
+  // Interval/prefix page-cache budget (0: no cache). The Coordinator's ledger
+  // admits cache-served viewers against this instead of disk bandwidth.
+  Bytes cache_memory;
   // Warm re-registration: the MSU kept running (and kept its streams) while
   // it was disconnected from the Coordinator — e.g. the primary died and this
   // is the redial against the promoted standby. The Coordinator keeps the
@@ -359,6 +393,23 @@ struct VcrAck {
   std::string error;
 };
 
+// MSU -> Coordinator: a member of a shared delivery group issued a VCR op, so
+// the MSU detached it from the fan-out; the Coordinator re-admits the member
+// as a solo stream at `media_offset` through the failover/resume machinery
+// (paused if the op was kPause, at seek_to if it was kSeek).
+struct SharedMemberSplit {
+  SharedMemberSplit() = default;
+
+  std::string msu_node;
+  StreamId delivery_stream = 0;
+  StreamId member_stream = 0;
+  GroupId group = 0;            // the member's client-facing group
+  SimTime media_offset;         // shared group's position at the split
+  Bytes bytes_moved;            // bytes the member received while shared
+  VcrCommand::Op op = VcrCommand::Op::kPlay;
+  SimTime seek_to;
+};
+
 // ---------- Coordinator primary <-> standby (HA replication, Harp-style) ----------
 
 // Wire form of a registered display port — also the primary's oplog record
@@ -390,6 +441,12 @@ struct PendingPlayRequest {
   GroupId group = 0;
   // Failover resume offsets, one per component (empty: start at zero).
   std::vector<SimTime> start_offsets;
+  // VCR-split resume: the solo stream starts paused (the member paused the
+  // shared group, so its replacement must not run ahead of the Resume).
+  bool start_paused = false;
+  // Placement affinity: try this MSU first (VCR splits stay on the node whose
+  // page cache already holds the title; falls back to normal placement).
+  std::string prefer_msu;
 };
 
 // Oplog records. Each is a primitive state delta; the standby applies them
@@ -430,6 +487,7 @@ struct ReplMsuUp {
   int disk_count = 0;
   Bytes free_space;
   DataRate nic_budget;
+  Bytes cache_memory;
   // Mirror of the primary's ledger action: a warm re-registration reattaches
   // the account (holds survive); a cold one resets it (epoch bump).
   bool reattach = false;
@@ -543,8 +601,8 @@ using MessageBody =
                  RecordRequest, RecordResponse, DeleteContentRequest, LoadFastScanRequest,
                  SimpleResponse, MsuStartStream, MsuStartStreamResponse, MsuRegisterRequest,
                  MsuRegisterResponse, StreamTerminated, StreamProgressReport, PendingRequestFailed,
-                 VcrCommand, VcrAck, MsuDeleteFile, StreamGroupInfo, ReplAppendRequest,
-                 ReplAppendResponse>;
+                 VcrCommand, VcrAck, MsuDeleteFile, StreamGroupInfo, SharedMemberSplit,
+                 ReplAppendRequest, ReplAppendResponse>;
 
 struct Envelope {
   Envelope() = default;

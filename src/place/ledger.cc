@@ -12,6 +12,8 @@ DataRate MsuAccount::TotalLoad() const {
   return total;
 }
 
+DataRate MsuAccount::NicLoad() const { return TotalLoad() + shared_load; }
+
 int MsuAccount::TotalStreams() const {
   int total = 0;
   for (const DiskAccount& disk : disks) {
@@ -60,7 +62,8 @@ void ResourceLedger::Txn::Rollback() {
   }
   for (size_t i = 0; i < items_.size(); ++i) {
     if (!committed_[i]) {
-      ledger_->Refund(node_, epoch_, items_[i].disk, items_[i].rate, items_[i].space);
+      ledger_->Refund(node_, epoch_, items_[i].disk, items_[i].rate, items_[i].space,
+                      items_[i].cache);
     }
   }
   ledger_ = nullptr;
@@ -77,24 +80,34 @@ void ResourceLedger::Txn::Commit(size_t index, StreamId stream) {
   hold.disk = item.disk;
   hold.rate = item.rate;
   hold.space = item.space;
+  hold.cache = item.cache;
   hold.epoch = epoch_;
   ledger_->holds_[stream] = std::move(hold);
   auto it = ledger_->msus_.find(node_);
   if (it != ledger_->msus_.end() && it->second.epoch == epoch_) {
-    ++it->second.disks[static_cast<size_t>(item.disk)].streams;
+    if (item.disk == kSharedDisk) {
+      ++it->second.shared_streams;
+    } else {
+      ++it->second.disks[static_cast<size_t>(item.disk)].streams;
+    }
   }
 }
 
 // ---- ResourceLedger ----
 
 void ResourceLedger::RegisterMsu(const std::string& node, int disk_count,
-                                 Bytes free_space, DataRate nic_budget) {
+                                 Bytes free_space, DataRate nic_budget,
+                                 Bytes cache_memory) {
   MsuAccount& account = msus_[node];
   account.node = node;
   account.up = true;
   account.disk_count = disk_count;
   account.free_space = free_space;
   account.nic_budget = nic_budget;
+  account.cache_memory = cache_memory;
+  account.cache_used = Bytes(0);
+  account.shared_load = DataRate();
+  account.shared_streams = 0;
   account.disks.assign(static_cast<size_t>(disk_count), DiskAccount());
   ++account.epoch;
   // Holds from before the re-registration are stale: the MSU reported its
@@ -109,10 +122,11 @@ void ResourceLedger::RegisterMsu(const std::string& node, int disk_count,
 }
 
 void ResourceLedger::ReattachMsu(const std::string& node, int disk_count,
-                                 Bytes free_space, DataRate nic_budget) {
+                                 Bytes free_space, DataRate nic_budget,
+                                 Bytes cache_memory) {
   auto it = msus_.find(node);
   if (it == msus_.end() || it->second.disk_count != disk_count) {
-    RegisterMsu(node, disk_count, free_space, nic_budget);
+    RegisterMsu(node, disk_count, free_space, nic_budget, cache_memory);
     return;
   }
   // Keep the account's balances: the debits for the MSU's still-running
@@ -120,6 +134,7 @@ void ResourceLedger::ReattachMsu(const std::string& node, int disk_count,
   // report would double-count recording estimates not yet written to disk.
   it->second.up = true;
   it->second.nic_budget = nic_budget;
+  it->second.cache_memory = cache_memory;
 }
 
 void ResourceLedger::MarkDown(const std::string& node) {
@@ -159,12 +174,25 @@ Result<ResourceLedger::Txn> ResourceLedger::Reserve(const std::string& node,
     return UnavailableError("ledger: MSU unavailable: " + node);
   }
   MsuAccount& account = it->second;
+  Bytes cache_wanted;
   for (const ReserveItem& item : items) {
+    if (item.disk == kSharedDisk) {
+      cache_wanted += item.cache;
+      continue;
+    }
     if (item.disk < 0 || static_cast<size_t>(item.disk) >= account.disks.size()) {
       return InvalidArgumentError("ledger: bad disk index on " + node);
     }
   }
+  if (account.cache_used + cache_wanted > account.cache_memory) {
+    return ResourceExhaustedError("ledger: cache memory exhausted on " + node);
+  }
   for (const ReserveItem& item : items) {
+    if (item.disk == kSharedDisk) {
+      account.shared_load = account.shared_load + item.rate;
+      account.cache_used += item.cache;
+      continue;
+    }
     DiskAccount& disk = account.disks[static_cast<size_t>(item.disk)];
     disk.load = disk.load + item.rate;
     account.free_space -= item.space;
@@ -186,6 +214,18 @@ bool ResourceLedger::Release(StreamId stream, Bytes space_used) {
   auto msu_it = msus_.find(hold.msu);
   if (msu_it != msus_.end() && msu_it->second.epoch == hold.epoch) {
     MsuAccount& account = msu_it->second;
+    if (hold.disk == kSharedDisk) {
+      account.shared_load = account.shared_load - hold.rate;
+      if (account.shared_load < DataRate()) {
+        account.shared_load = DataRate();
+      }
+      account.cache_used -= hold.cache;
+      if (account.cache_used < Bytes(0)) {
+        account.cache_used = Bytes(0);
+      }
+      --account.shared_streams;
+      return true;
+    }
     DiskAccount& disk = account.disks[static_cast<size_t>(hold.disk)];
     disk.load = disk.load - hold.rate;
     if (disk.load < DataRate()) {
@@ -198,12 +238,23 @@ bool ResourceLedger::Release(StreamId stream, Bytes space_used) {
 }
 
 void ResourceLedger::Refund(const std::string& node, int64_t epoch, int disk,
-                            DataRate rate, Bytes space) {
+                            DataRate rate, Bytes space, Bytes cache) {
   auto it = msus_.find(node);
   if (it == msus_.end() || it->second.epoch != epoch) {
     return;
   }
   MsuAccount& account = it->second;
+  if (disk == kSharedDisk) {
+    account.shared_load = account.shared_load - rate;
+    if (account.shared_load < DataRate()) {
+      account.shared_load = DataRate();
+    }
+    account.cache_used -= cache;
+    if (account.cache_used < Bytes(0)) {
+      account.cache_used = Bytes(0);
+    }
+    return;
+  }
   DiskAccount& account_disk = account.disks[static_cast<size_t>(disk)];
   account_disk.load = account_disk.load - rate;
   if (account_disk.load < DataRate()) {
@@ -219,6 +270,43 @@ Status ResourceLedger::CheckInvariants() const {
     }
     if (account.free_space < Bytes(0)) {
       return InternalError("ledger: " + name + " free space is negative");
+    }
+    if (account.shared_load < DataRate()) {
+      return InternalError("ledger: " + name + " shared load is negative");
+    }
+    if (account.cache_used < Bytes(0)) {
+      return InternalError("ledger: " + name + " cache usage is negative");
+    }
+    if (account.cache_used > account.cache_memory) {
+      return InternalError("ledger: " + name + " cache usage exceeds its budget");
+    }
+    if (account.shared_streams < 0) {
+      return InternalError("ledger: " + name + " shared stream count is negative");
+    }
+    {
+      DataRate shared_committed;
+      Bytes cache_committed;
+      int shared_held = 0;
+      for (const auto& [stream, hold] : holds_) {
+        if (hold.msu == name && hold.epoch == account.epoch && hold.disk == kSharedDisk) {
+          shared_committed = shared_committed + hold.rate;
+          cache_committed += hold.cache;
+          ++shared_held;
+        }
+      }
+      if (shared_held != account.shared_streams) {
+        return InternalError("ledger: " + name + " counts " +
+                             std::to_string(account.shared_streams) +
+                             " shared streams but holds " + std::to_string(shared_held));
+      }
+      if (shared_committed > account.shared_load) {
+        return InternalError("ledger: " + name +
+                             " committed shared bandwidth exceeds shared load");
+      }
+      if (cache_committed > account.cache_used) {
+        return InternalError("ledger: " + name +
+                             " committed cache bytes exceed cache usage");
+      }
     }
     for (size_t d = 0; d < account.disks.size(); ++d) {
       const DiskAccount& disk = account.disks[d];
@@ -262,12 +350,12 @@ Status ResourceLedger::CheckInvariants() const {
       return InternalError("ledger: hold for stream " + std::to_string(stream) +
                            " is from a future epoch");
     }
-    if (hold.epoch == it->second.epoch &&
+    if (hold.epoch == it->second.epoch && hold.disk != kSharedDisk &&
         (hold.disk < 0 || static_cast<size_t>(hold.disk) >= it->second.disks.size())) {
       return InternalError("ledger: hold for stream " + std::to_string(stream) +
                            " references bad disk " + std::to_string(hold.disk));
     }
-    if (hold.rate < DataRate() || hold.space < Bytes(0)) {
+    if (hold.rate < DataRate() || hold.space < Bytes(0) || hold.cache < Bytes(0)) {
       return InternalError("ledger: hold for stream " + std::to_string(stream) +
                            " has a negative balance");
     }
@@ -278,12 +366,13 @@ Status ResourceLedger::CheckInvariants() const {
 namespace {
 
 ResourceLedger::HoldInfo MakeHoldInfo(const std::string& msu, int disk, DataRate rate,
-                                      Bytes space, bool current_epoch) {
+                                      Bytes space, Bytes cache, bool current_epoch) {
   ResourceLedger::HoldInfo info;
   info.msu = msu;
   info.disk = disk;
   info.rate = rate;
   info.space = space;
+  info.cache = cache;
   info.current_epoch = current_epoch;
   return info;
 }
@@ -298,7 +387,7 @@ std::optional<ResourceLedger::HoldInfo> ResourceLedger::FindHold(StreamId stream
   const StreamHold& hold = it->second;
   auto msu_it = msus_.find(hold.msu);
   const bool current = msu_it != msus_.end() && msu_it->second.epoch == hold.epoch;
-  return MakeHoldInfo(hold.msu, hold.disk, hold.rate, hold.space, current);
+  return MakeHoldInfo(hold.msu, hold.disk, hold.rate, hold.space, hold.cache, current);
 }
 
 void ResourceLedger::ForEachHold(
@@ -306,7 +395,7 @@ void ResourceLedger::ForEachHold(
   for (const auto& [stream, hold] : holds_) {
     auto msu_it = msus_.find(hold.msu);
     const bool current = msu_it != msus_.end() && msu_it->second.epoch == hold.epoch;
-    fn(stream, MakeHoldInfo(hold.msu, hold.disk, hold.rate, hold.space, current));
+    fn(stream, MakeHoldInfo(hold.msu, hold.disk, hold.rate, hold.space, hold.cache, current));
   }
 }
 

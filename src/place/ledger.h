@@ -49,26 +49,45 @@ struct MsuAccount {
   Bytes free_space;
   // Outbound NIC capacity (ROADMAP "network-path admission"). Zero means
   // unlimited; placement rejects groups whose aggregate rate would push
-  // TotalLoad() past a nonzero budget even when individual disks have room.
+  // NicLoad() past a nonzero budget even when individual disks have room.
   DataRate nic_budget;
+  // Interval/prefix cache budget (stream sharing, DESIGN §5.6). Zero means
+  // the MSU has no page cache; cache-served viewers reserve bytes here
+  // instead of disk bandwidth.
+  Bytes cache_memory;
+  Bytes cache_used;
+  // Rate reserved by cache-served viewers: consumes the NIC but no disk.
+  DataRate shared_load;
+  int shared_streams = 0;
   std::vector<DiskAccount> disks;
   int64_t epoch = 0;  // bumps on every (re-)registration
 
   DataRate TotalLoad() const;
+  // TotalLoad() plus the cache-served viewers' shared_load: what the
+  // outbound NIC actually carries, checked against nic_budget.
+  DataRate NicLoad() const;
   int TotalStreams() const;
 };
 
 class ResourceLedger {
  public:
+  // Disk index marking a cache-served (shared) reservation: the item's rate
+  // debits shared_load (NIC only) and its cache bytes debit cache_used; no
+  // disk bandwidth or space is touched.
+  static constexpr int kSharedDisk = -1;
+
   // One component's share of a group reservation.
   struct ReserveItem {
     ReserveItem() = default;
     ReserveItem(int disk_index, DataRate bandwidth, Bytes space_bytes)
         : disk(disk_index), rate(bandwidth), space(space_bytes) {}
+    ReserveItem(int disk_index, DataRate bandwidth, Bytes space_bytes, Bytes cache_bytes)
+        : disk(disk_index), rate(bandwidth), space(space_bytes), cache(cache_bytes) {}
 
     int disk = 0;
     DataRate rate;
     Bytes space;
+    Bytes cache;  // interval-cache bytes; only meaningful with disk == kSharedDisk
   };
 
   // A group reservation in flight. Move-only; uncommitted items are refunded
@@ -104,13 +123,13 @@ class ResourceLedger {
   // Registers (or re-registers) an MSU with fresh capacity numbers. Resets
   // the account and invalidates holds that predate the registration.
   void RegisterMsu(const std::string& node, int disk_count, Bytes free_space,
-                   DataRate nic_budget = DataRate());
+                   DataRate nic_budget = DataRate(), Bytes cache_memory = Bytes());
   // Warm re-registration: the MSU never stopped serving, only its control
   // connection moved (Coordinator failover). Marks the account up again but
   // keeps its balances, epoch and holds; falls back to RegisterMsu when the
   // account is unknown or its shape changed.
   void ReattachMsu(const std::string& node, int disk_count, Bytes free_space,
-                   DataRate nic_budget = DataRate());
+                   DataRate nic_budget = DataRate(), Bytes cache_memory = Bytes());
   void MarkDown(const std::string& node);
 
   bool IsUp(const std::string& node) const;
@@ -121,7 +140,10 @@ class ResourceLedger {
 
   // Debits every item's bandwidth (and space) on `node` at once. Fails with
   // kUnavailable if the MSU is unknown or down, kInvalidArgument on a bad
-  // disk index. Budget checks are the placement policy's job, not ours.
+  // disk index. Budget checks are the placement policy's job, not ours —
+  // except the cache budget, which no policy sees: a kSharedDisk item whose
+  // cache bytes would push cache_used past cache_memory fails with
+  // kResourceExhausted.
   Result<Txn> Reserve(const std::string& node, std::vector<ReserveItem> items);
 
   // Refunds `stream`'s hold: bandwidth in full, space minus `space_used`.
@@ -138,9 +160,10 @@ class ResourceLedger {
     HoldInfo() = default;
 
     std::string msu;
-    int disk = 0;
+    int disk = 0;  // kSharedDisk for cache-served holds
     DataRate rate;
     Bytes space;
+    Bytes cache;
     bool current_epoch = false;  // matches the account's registration epoch
   };
   std::optional<HoldInfo> FindHold(StreamId stream) const;
@@ -161,12 +184,13 @@ class ResourceLedger {
     int disk = 0;
     DataRate rate;
     Bytes space;
+    Bytes cache;
     int64_t epoch = 0;
   };
 
   // Refunds one item to its account; no-op if the account re-registered.
   void Refund(const std::string& node, int64_t epoch, int disk, DataRate rate,
-              Bytes space);
+              Bytes space, Bytes cache);
 
   std::map<std::string, MsuAccount> msus_;
   std::map<StreamId, StreamHold> holds_;

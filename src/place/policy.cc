@@ -30,7 +30,7 @@ std::optional<Placement> PlaceOnMsu(const MsuAccount& account, const PlacementSp
   // leaves through one NIC, so the whole group must fit under its budget no
   // matter how the components spread across disks.
   if (!account.nic_budget.is_zero() &&
-      account.TotalLoad() + spec.TotalRate() > account.nic_budget) {
+      account.NicLoad() + spec.TotalRate() > account.nic_budget) {
     return std::nullopt;
   }
   std::vector<DataRate> scratch(account.disks.size());
@@ -106,6 +106,21 @@ namespace {
 
 Status NoFit() { return ResourceExhaustedError("no MSU with resources for the group"); }
 
+// Cache affinity shared by every policy: when the spec names a preferred MSU
+// (it holds the title's cached prefix or a joinable delivery group) and that
+// MSU can host the group, take it before running the policy's own scan.
+std::optional<Placement> TryPreferred(const PlacementSpec& spec,
+                                      const ResourceLedger& ledger) {
+  if (spec.prefer_msu.empty()) {
+    return std::nullopt;
+  }
+  const MsuAccount* account = ledger.Find(spec.prefer_msu);
+  if (account == nullptr) {
+    return std::nullopt;
+  }
+  return PlaceOnMsu(*account, spec);
+}
+
 // Historical default: among feasible MSUs, the one with the least total
 // reserved bandwidth (strictly less; name order breaks ties).
 class LeastLoadedPolicy : public PlacementPolicy {
@@ -113,6 +128,9 @@ class LeastLoadedPolicy : public PlacementPolicy {
   const char* name() const override { return "least-loaded"; }
 
   Result<Placement> Place(const PlacementSpec& spec, const ResourceLedger& ledger) override {
+    if (std::optional<Placement> preferred = TryPreferred(spec, ledger)) {
+      return *std::move(preferred);
+    }
     std::optional<Placement> chosen;
     DataRate chosen_load = DataRate(std::numeric_limits<int64_t>::max());
     for (const auto& [msu_name, account] : ledger.msus()) {
@@ -134,6 +152,9 @@ class FirstFitPolicy : public PlacementPolicy {
   const char* name() const override { return "first-fit"; }
 
   Result<Placement> Place(const PlacementSpec& spec, const ResourceLedger& ledger) override {
+    if (std::optional<Placement> preferred = TryPreferred(spec, ledger)) {
+      return *std::move(preferred);
+    }
     for (const auto& [msu_name, account] : ledger.msus()) {
       std::optional<Placement> placement = PlaceOnMsu(account, spec, /*first_fit=*/true);
       if (placement.has_value()) {
@@ -155,6 +176,9 @@ class PowerOfTwoChoicesPolicy : public PlacementPolicy {
   const char* name() const override { return "power-of-two"; }
 
   Result<Placement> Place(const PlacementSpec& spec, const ResourceLedger& ledger) override {
+    if (std::optional<Placement> preferred = TryPreferred(spec, ledger)) {
+      return *std::move(preferred);
+    }
     std::vector<const MsuAccount*> up;
     for (const auto& [msu_name, account] : ledger.msus()) {
       if (account.up) {
@@ -197,6 +221,9 @@ class ReplicaAwarePolicy : public PlacementPolicy {
   const char* name() const override { return "replica-aware"; }
 
   Result<Placement> Place(const PlacementSpec& spec, const ResourceLedger& ledger) override {
+    if (std::optional<Placement> preferred = TryPreferred(spec, ledger)) {
+      return *std::move(preferred);
+    }
     std::optional<Placement> chosen;
     int chosen_streams = std::numeric_limits<int>::max();
     DataRate chosen_load = DataRate(std::numeric_limits<int64_t>::max());

@@ -62,6 +62,11 @@ struct PlacementSpec {
 
   bool record = false;
   DataRate disk_budget;  // per-disk admission ceiling
+  // Sharing affinity (DESIGN §5.6): the MSU whose page cache already holds
+  // this title's prefix or a joinable delivery group. Every policy tries it
+  // first when feasible, so followers land where the cached bytes are; empty
+  // means no preference and leaves historical behavior untouched.
+  std::string prefer_msu;
   std::vector<ComponentSpec> components;
 
   Bytes TotalSpace() const;

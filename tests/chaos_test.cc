@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "src/calliope/calliope.h"
+#include "src/obs/report_diff.h"
 #include "tests/test_util.h"
 
 namespace calliope {
@@ -118,6 +119,7 @@ struct ChaosResult {
 
   std::string trace;
   std::string report;  // ClusterReport::ToJson — part of the determinism contract
+  ClusterReport cluster_report;  // structural form, for DiffClusterReports
   FaultPlan plan;
 };
 
@@ -404,6 +406,7 @@ ChaosResult RunChaos(uint64_t seed) {
 
   const ClusterReport report = cluster.installation().BuildClusterReport();
   result.report = report.ToJson();
+  result.cluster_report = report;
 
   // Per-packet purity: chaos runs keep the default fidelity config, so the
   // flow fast path must never engage — every invariant above was checked
@@ -453,7 +456,12 @@ TEST(ChaosTest, IdenticalSeedsProduceIdenticalTraces) {
   const ChaosResult a = RunChaos(seed);
   const ChaosResult b = RunChaos(seed);
   ASSERT_EQ(a.trace, b.trace) << "same seed must replay bit-identically";
-  EXPECT_EQ(a.report, b.report) << "equal seeds must snapshot bit-identical ClusterReports";
+  // Structural comparison at zero tolerance: equivalent to byte equality but
+  // it names the first diverging stream/port/metric instead of dumping two
+  // multi-kilobyte JSON blobs at each other.
+  const ReportDiff diff = DiffClusterReports(a.cluster_report, b.cluster_report);
+  EXPECT_TRUE(diff.empty()) << "equal seeds must snapshot identical ClusterReports:\n"
+                            << diff.ToText();
   EXPECT_FALSE(a.trace.empty());
   EXPECT_FALSE(a.report.empty());
 }

@@ -314,6 +314,103 @@ TEST(FidelityDemotionTest, MsuCrashFailoverDemotesAndRecovers) {
   EXPECT_EQ(packet.admissions_rejected, flow.admissions_rejected);
 }
 
+// ---- stream sharing (DESIGN §5.6) -------------------------------------------
+// A shared delivery group must honor the same flow-vs-packet equivalence
+// contract as solo streams: the one disk stream promotes to flow mode and
+// fans chunks out to every member, and a per-member report diff against a
+// pure per-packet run stays inside the standard tolerances.
+
+WorkloadResult RunSharedWorkload(uint64_t seed, Fidelity mode, const MidScript& mid) {
+  WorkloadResult out;
+  InstallationConfig config = FidelityConfigFor(seed, 1, mode);
+  config.coordinator.sharing.enabled = true;
+  TestCluster cluster(config);
+  Simulator& sim = cluster.sim();
+  EXPECT_TRUE(cluster.Boot().ok());
+  EXPECT_TRUE(
+      cluster.installation().LoadMpegMovie("hot", SimTime::Seconds(10), 0, false).ok());
+  EXPECT_TRUE(
+      cluster.installation().LoadMpegMovie("cold", SimTime::Seconds(10), 0, false).ok());
+  auto added = cluster.AddConnectedClient("c");
+  EXPECT_TRUE(added.ok()) << added.status().ToString();
+  if (!added.ok()) {
+    return out;
+  }
+  CalliopeClient* client = *added;
+
+  // Three viewers coalesce onto one delivery stream for the hot title; one
+  // solo viewer keeps the cold title in the mix.
+  std::vector<GroupId> groups;
+  for (int i = 0; i < 4; ++i) {
+    auto play = PlayOn(sim, *client, i < 3 ? "hot" : "cold", "tv" + std::to_string(i));
+    EXPECT_TRUE(play.ok()) << play.status().ToString();
+    if (play.ok()) {
+      groups.push_back(play->group);
+    }
+  }
+  sim.RunFor(SimTime::Seconds(2));
+  if (mid) {
+    mid(cluster, *client, groups);
+  }
+
+  out.all_terminated = RunUntil(
+                           sim,
+                           [&] {
+                             for (GroupId group : groups) {
+                               if (!client->GroupTerminated(group)) {
+                                 return false;
+                               }
+                             }
+                             return true;
+                           },
+                           SimTime::Seconds(40)) &&
+                       cluster.WaitForIdle(SimTime::Seconds(10));
+  sim.RunFor(SimTime::Seconds(1));
+
+  out.report = cluster.installation().BuildClusterReport();
+  const MetricsSnapshot& snap = out.report.metrics;
+  out.flow_chunks = CounterOrZero(snap, "sim.flow.chunks");
+  out.flow_packets = CounterOrZero(snap, "sim.flow.packets");
+  out.flow_promotions = CounterOrZero(snap, "sim.flow.promotions");
+  out.flow_demotions = CounterOrZero(snap, "sim.flow.demotions");
+  out.admissions_accepted = CounterOrZero(snap, "coord.admissions.accepted");
+  out.admissions_rejected = CounterOrZero(snap, "coord.admissions.rejected");
+  out.admissions_queued = CounterOrZero(snap, "coord.admissions.queued");
+  EXPECT_EQ(CounterOrZero(snap, "coord.groups.formed"), 2) << "hot + cold batches";
+  return out;
+}
+
+TEST(FidelitySharingTest, SharedGroupFlowMatchesPacket) {
+  const uint64_t seed = SweepSeed(1996);
+  const WorkloadResult packet = RunSharedWorkload(seed, Fidelity::kPacket, MidScript());
+  const WorkloadResult flow = RunSharedWorkload(seed, Fidelity::kFlow, MidScript());
+  ExpectEquivalent(packet, flow, "shared group, 3 members + 1 solo");
+  // The fan-out path itself ran analytically: more flow packets were
+  // accounted than a page-by-page solo delivery could produce alone.
+  EXPECT_GT(flow.flow_packets, 0);
+}
+
+TEST(FidelitySharingTest, VcrSplitDemotesSharedDeliveryAndRunMatchesPacket) {
+  const uint64_t seed = SweepSeed(42);
+  const MidScript split_one = [](TestCluster& cluster, CalliopeClient& client,
+                                 std::vector<GroupId>& groups) {
+    ASSERT_GE(groups.size(), 2u);
+    // Member 1 pauses out of the shared group: the split settles the
+    // delivery stream's in-flight page and demotes it (membership churn is
+    // an interesting moment), then the member resumes solo.
+    EXPECT_TRUE(VcrOp(cluster.sim(), client, groups[1], VcrCommand::Op::kPause).ok());
+    cluster.sim().RunFor(SimTime::Seconds(2));
+    EXPECT_TRUE(VcrOp(cluster.sim(), client, groups[1], VcrCommand::Op::kPlay).ok());
+  };
+  const WorkloadResult packet = RunSharedWorkload(seed, Fidelity::kPacket, split_one);
+  const WorkloadResult flow = RunSharedWorkload(seed, Fidelity::kFlow, split_one);
+  // The split demoted the flow-mode delivery stream; it re-promoted after the
+  // membership settled.
+  EXPECT_GT(flow.flow_demotions, 0);
+  EXPECT_GT(flow.flow_promotions, flow.flow_demotions);
+  ExpectEquivalent(packet, flow, "shared group with VCR split");
+}
+
 // ---- purity: default config never leaves the per-packet model ---------------
 
 TEST(FidelityPurityTest, DefaultConfigStaysPerPacket) {

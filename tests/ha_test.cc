@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "src/calliope/calliope.h"
+#include "src/obs/report_diff.h"
 #include "tests/test_util.h"
 
 namespace calliope {
@@ -301,7 +302,7 @@ TEST(HaTest, KillPrimaryWhileMsuFailoverIsInFlight) {
 // One full soak pass: three streams play while the primaryship flips four
 // times (crash the current primary, wait for takeover, restart the corpse,
 // wait for it to rejoin as standby). Returns the final ClusterReport JSON.
-std::string RunPrimaryFlipSoak(uint64_t seed) {
+ClusterReport RunPrimaryFlipSoak(uint64_t seed) {
   InstallationConfig config;
   config.msu_count = 2;
   config.standby_coordinator = true;
@@ -366,20 +367,24 @@ std::string RunPrimaryFlipSoak(uint64_t seed) {
   EXPECT_EQ(primary->requests_lost(), 0);
   EXPECT_TRUE(primary->ledger().CheckInvariants().ok())
       << primary->ledger().CheckInvariants().ToString();
-  return cluster.installation().BuildClusterReport().ToJson();
+  return cluster.installation().BuildClusterReport();
 }
 
 TEST(HaTest, PrimaryFlipSoakKeepsStreamsAndIsDeterministic) {
-  const std::string one = RunPrimaryFlipSoak(1996);
-  const std::string two = RunPrimaryFlipSoak(1996);
-  EXPECT_EQ(one, two) << "equal seeds must produce byte-identical ClusterReports";
+  const ClusterReport one = RunPrimaryFlipSoak(1996);
+  const ClusterReport two = RunPrimaryFlipSoak(1996);
+  // Zero-tolerance structural diff: same strength as byte equality, but a
+  // regression names the first diverging field instead of two JSON blobs.
+  const ReportDiff diff = DiffClusterReports(one, two);
+  EXPECT_TRUE(diff.empty()) << "equal seeds must produce identical ClusterReports:\n"
+                            << diff.ToText();
 }
 
 // Seeded chaos with coordinator-crash faults in the mix: the fault injector
 // kills whichever coordinator is primary (possibly repeatedly) while link
 // faults and disk faults fire, then restarts it. Afterwards the cluster must
 // quiesce cleanly under ONE primary, with the fencing record intact.
-std::string RunHaChaos(uint64_t seed, int64_t* crashes_out) {
+ClusterReport RunHaChaos(uint64_t seed, int64_t* crashes_out) {
   InstallationConfig config;
   config.msu_count = 2;
   config.standby_coordinator = true;
@@ -458,7 +463,7 @@ std::string RunHaChaos(uint64_t seed, int64_t* crashes_out) {
   if (flow_chunks != report.metrics.counters.end()) {
     EXPECT_EQ(flow_chunks->second, 0) << "flow-mode chunks in an HA chaos run";
   }
-  return report.ToJson();
+  return report;
 }
 
 TEST(HaTest, ChaosWithCoordinatorCrashesPreservesInvariants) {
@@ -471,9 +476,10 @@ TEST(HaTest, ChaosIdenticalSeedsProduceIdenticalReports) {
   const uint64_t seed = HaChaosSeed();
   int64_t first_crashes = 0;
   int64_t second_crashes = 0;
-  const std::string one = RunHaChaos(seed, &first_crashes);
-  const std::string two = RunHaChaos(seed, &second_crashes);
-  EXPECT_EQ(one, two);
+  const ClusterReport one = RunHaChaos(seed, &first_crashes);
+  const ClusterReport two = RunHaChaos(seed, &second_crashes);
+  const ReportDiff diff = DiffClusterReports(one, two);
+  EXPECT_TRUE(diff.empty()) << diff.ToText();
   EXPECT_EQ(first_crashes, second_crashes);
 }
 

@@ -145,6 +145,33 @@ TEST(ReportDiffTest, MaxLatenessToleranceIsIndependent) {
   EXPECT_EQ(diff.entries[0].field, "streams[1].p99_lateness_us");
 }
 
+TEST(ReportDiffTest, NegativeDeltaConsumesTheSameBudget) {
+  // Tolerances are symmetric: rhs falling *below* lhs by more than abs+rel is
+  // just as much a divergence as rising above it — a budget can bound drift,
+  // never mask it.
+  ClusterReport a = MakeReport();
+  ClusterReport b = MakeReport();
+  b.ports[0].max_gap_us = a.ports[0].max_gap_us - 3000;
+  ReportDiffOptions options;
+  options.gap_us = {2999, 0.0};
+  ReportDiff diff = DiffClusterReports(a, b, options);
+  ASSERT_EQ(diff.entries.size(), 1u) << diff.ToText();
+  EXPECT_EQ(diff.entries[0].field, "ports[c/tv0].max_gap_us");
+  EXPECT_EQ(diff.entries[0].lhs, 12000);
+  EXPECT_EQ(diff.entries[0].rhs, 9000);
+  options.gap_us = {3000, 0.0};
+  EXPECT_TRUE(DiffClusterReports(a, b, options).empty());
+
+  // A generous gap budget does not spill into the ordering fields: with the
+  // packet tolerance at its exact default, a single out-of-order arrival
+  // (the fan-out's per-member sequence contract) still surfaces.
+  b.ports[0].out_of_order = 1;
+  options.gap_us = {1000000, 1.0};
+  diff = DiffClusterReports(a, b, options);
+  ASSERT_EQ(diff.entries.size(), 1u) << diff.ToText();
+  EXPECT_EQ(diff.entries[0].field, "ports[c/tv0].out_of_order");
+}
+
 TEST(ReportDiffTest, MissingEntriesReportedBothDirections) {
   ClusterReport a = MakeReport();
   ClusterReport b = MakeReport();
