@@ -498,8 +498,151 @@ SharingCapacityResult RunSharingSweep() {
   return result;
 }
 
+// ---- continuous telemetry: disk-slowdown fault as an SLO breach ------------
+//
+// One MSU serving a handful of streams with the MetricsSampler running; a
+// kDiskSlow fault window opens mid-play and the lateness-p99 SLO must go into
+// breach, with its first/last breach timestamps bracketed by the fault window.
+
+struct TelemetryResult {
+  TimelineReport timeline;
+  SimTime fault_start;
+  SimTime fault_end;
+  bool breached = false;
+  bool bracketed = false;
+};
+
+TelemetryResult RunTelemetryScenario(const std::string& csv_path) {
+  PrintHeader("Continuous telemetry: windowed QoS timelines and SLO monitors",
+              "DESIGN.md section 5.7 (beyond-paper observability)");
+  TelemetryResult result;
+
+  InstallationConfig config;
+  config.msu_count = 1;
+  config.msu_machine.disks_per_hba = {2};
+  config.sampler.period = SimTime::Millis(500);
+  SloSpec p99;
+  p99.name = "lateness-p99";
+  p99.signal = SloSpec::Signal::kLatenessP99;
+  p99.threshold = SimTime::Millis(25).micros();
+  // No debouncing: a slowed disk delivers late pages as discrete catch-up
+  // bursts, so breaching windows alternate with starved-empty ones and a
+  // consecutive-window filter would mask exactly the fault this scenario
+  // exists to localize.
+  p99.min_breach_windows = 1;
+  SloSpec gap;
+  gap.name = "delivery-gap";
+  gap.signal = SloSpec::Signal::kMaxGap;
+  gap.threshold = SimTime::Millis(500).micros();
+  config.slos = {p99, gap};
+  Installation calliope(config);
+  if (!calliope.Boot().ok()) {
+    return result;
+  }
+  const SimTime play_span = FastBenchMode() ? SimTime::Seconds(8) : SimTime::Seconds(12);
+  const int streams = 8;
+  for (int i = 0; i < streams; ++i) {
+    (void)calliope.LoadMpegMovie("t" + std::to_string(i), play_span + SimTime::Seconds(2), 0,
+                                 false, i % 2);
+  }
+
+  CalliopeClient& client = calliope.AddClient("viewers");
+  bool connected = false;
+  [](CalliopeClient* c, bool* flag) -> Task {
+    *flag = (co_await c->Connect("bob", "bob-key")).ok();
+  }(&client, &connected);
+  RunSimUntil(calliope.sim(), [&] { return connected; }, SimTime::Seconds(5));
+
+  std::vector<std::unique_ptr<PlaybackHandle>> handles;
+  for (int i = 0; i < streams; ++i) {
+    handles.push_back(std::make_unique<PlaybackHandle>());
+    StartPlayback(client, "t" + std::to_string(i), "tv" + std::to_string(i), "mpeg1",
+                  handles.back().get());
+  }
+  RunSimUntil(calliope.sim(), [&] { return handles.back()->done; }, SimTime::Seconds(10));
+
+  // The fault window opens a third of the way in and outlives the playbacks,
+  // so every breach window the catch-up tail produces still falls inside it.
+  FaultEvent fault;
+  fault.what = FaultClass::kDiskSlow;
+  fault.at = calliope.sim().Now() + play_span / 3;
+  fault.duration = play_span * 2;
+  fault.node = "msu0";
+  fault.disk = -1;
+  // Just above the per-page playback span (~1.37 s at MPEG-1 rates with
+  // 256 KB pages): the disk falls behind continuously, so lateness climbs
+  // and stays up for the rest of the fault window instead of collapsing
+  // into one catch-up burst.
+  fault.delay = SimTime::Millis(1600);
+  result.fault_start = fault.at;
+  result.fault_end = fault.end();
+  FaultPlan plan;
+  plan.events.push_back(fault);
+  (void)calliope.ApplyFaultPlan(std::move(plan));
+
+  calliope.sim().RunFor(play_span);
+  result.timeline = calliope.BuildClusterReport().timeline.value();
+
+  AsciiTable table({"SLO", "threshold (us)", "windows", "breached", "episodes",
+                    "first breach", "last breach", "worst value"});
+  for (const SloBreachReport& slo : result.timeline.slos) {
+    table.AddRow({slo.name, std::to_string(slo.threshold),
+                  std::to_string(slo.windows_evaluated), std::to_string(slo.breach_windows),
+                  std::to_string(slo.breach_episodes),
+                  SimTime::Micros(slo.first_breach_us).ToString(),
+                  SimTime::Micros(slo.last_breach_us).ToString(),
+                  std::to_string(slo.worst_value)});
+    if (slo.name == "lateness-p99" && slo.breach_windows > 0) {
+      result.breached = true;
+      result.bracketed = slo.first_breach_us >= result.fault_start.micros() &&
+                         slo.last_breach_us <= result.fault_end.micros();
+    }
+  }
+  std::printf("%s\n", table.Render().c_str());
+  std::printf("Disk slowdown window: %s .. %s; the lateness-p99 breach is %sbracketed\n",
+              result.fault_start.ToString().c_str(), result.fault_end.ToString().c_str(),
+              result.bracketed ? "" : "NOT ");
+  std::printf("by it — the SLO monitor localizes the fault in simulated time.\n\n");
+  if (!csv_path.empty()) {
+    const Status written = calliope.sampler()->WriteCsv(csv_path);
+    if (written.ok()) {
+      std::printf("(wrote %s)\n", csv_path.c_str());
+    } else {
+      std::fprintf(stderr, "%s\n", written.ToString().c_str());
+    }
+  }
+  return result;
+}
+
+void WriteTelemetryJson(std::FILE* file, const TelemetryResult& telemetry) {
+  const TimelineReport& t = telemetry.timeline;
+  std::fprintf(file,
+               "  \"telemetry\": {\"window_us\": %lld, \"windows\": %lld, "
+               "\"fault_start_us\": %lld, \"fault_end_us\": %lld, "
+               "\"breach_bracketed\": %s, \"slos\": [",
+               static_cast<long long>(t.window_us), static_cast<long long>(t.windows),
+               static_cast<long long>(telemetry.fault_start.micros()),
+               static_cast<long long>(telemetry.fault_end.micros()),
+               telemetry.bracketed ? "true" : "false");
+  for (size_t i = 0; i < t.slos.size(); ++i) {
+    const SloBreachReport& slo = t.slos[i];
+    std::fprintf(file,
+                 "%s{\"name\": \"%s\", \"threshold\": %lld, \"breach_windows\": %lld, "
+                 "\"breach_episodes\": %lld, \"first_breach_us\": %lld, "
+                 "\"last_breach_us\": %lld, \"worst_value\": %lld}",
+                 i > 0 ? ", " : "", slo.name.c_str(), static_cast<long long>(slo.threshold),
+                 static_cast<long long>(slo.breach_windows),
+                 static_cast<long long>(slo.breach_episodes),
+                 static_cast<long long>(slo.first_breach_us),
+                 static_cast<long long>(slo.last_breach_us),
+                 static_cast<long long>(slo.worst_value));
+  }
+  std::fprintf(file, "]},\n");
+}
+
 void WriteFidelityJson(const std::string& path, const std::vector<FidelityRunResult>& runs,
-                       double speedup_8msu, const SharingCapacityResult* sharing) {
+                       double speedup_8msu, const SharingCapacityResult* sharing,
+                       const TelemetryResult* telemetry) {
   std::FILE* file = std::fopen(path.c_str(), "w");
   if (file == nullptr) {
     std::fprintf(stderr, "cannot write %s\n", path.c_str());
@@ -524,6 +667,9 @@ void WriteFidelityJson(const std::string& path, const std::vector<FidelityRunRes
                  r.coordinator_cpu, i + 1 < runs.size() ? "," : "");
   }
   std::fprintf(file, "  ],\n");
+  if (telemetry != nullptr) {
+    WriteTelemetryJson(file, *telemetry);
+  }
   if (sharing != nullptr) {
     std::fprintf(file,
                  "  \"sharing\": {\"viewers_offered\": %d, \"titles\": %d, "
@@ -543,7 +689,8 @@ void WriteFidelityJson(const std::string& path, const std::vector<FidelityRunRes
   std::printf("(wrote %s)\n", path.c_str());
 }
 
-int RunFidelitySweep(const std::string& json_path, const SharingCapacityResult* sharing) {
+int RunFidelitySweep(const std::string& json_path, const SharingCapacityResult* sharing,
+                     const TelemetryResult* telemetry) {
   PrintHeader("Hybrid fidelity: simulator throughput, per-packet vs flow mode",
               "DESIGN.md section 5.5 (beyond-paper scale-out)");
   const SimTime window = FastBenchMode() ? SimTime::Seconds(5) : SimTime::Seconds(20);
@@ -589,9 +736,10 @@ int RunFidelitySweep(const std::string& json_path, const SharingCapacityResult* 
   std::printf("8-MSU Graph-1 working point one stream-second costs %.1fx fewer events\n",
               speedup);
   std::printf("(acceptance floor: 10x), which is what lets the 200-MSU row above exist.\n");
-  WriteFidelityJson(json_path, runs, speedup, sharing);
+  WriteFidelityJson(json_path, runs, speedup, sharing, telemetry);
   const bool sharing_ok = sharing == nullptr || sharing->ratio() >= 2.0;
-  return big.streams >= 10000 && speedup >= 10.0 && sharing_ok ? 0 : 1;
+  const bool telemetry_ok = telemetry == nullptr || telemetry->bracketed;
+  return big.streams >= 10000 && speedup >= 10.0 && sharing_ok && telemetry_ok ? 0 : 1;
 }
 
 }  // namespace
@@ -605,6 +753,8 @@ int main(int argc, char** argv) {
   bool fidelity = false;
   bool fidelity_only = false;
   bool sharing = false;
+  bool slo = false;
+  std::string timeline_csv;
   std::string json_path = "BENCH_scaleout.json";
   for (int i = 1; i < argc; ++i) {
     if (std::strncmp(argv[i], "--policy=", 9) == 0) {
@@ -619,21 +769,34 @@ int main(int argc, char** argv) {
       fidelity = fidelity_only = true;
     } else if (std::strcmp(argv[i], "--sharing") == 0) {
       sharing = true;
+    } else if (std::strcmp(argv[i], "--slo") == 0) {
+      slo = true;
+    } else if (std::strncmp(argv[i], "--timeline-csv=", 15) == 0) {
+      timeline_csv = argv[i] + 15;
+      slo = true;  // the CSV comes out of the SLO scenario
     } else if (std::strncmp(argv[i], "--json=", 7) == 0) {
       json_path = argv[i] + 7;
     } else {
       std::fprintf(stderr,
                    "usage: %s [--policy=<name|all>] [--failover-only] [--report]\n"
-                   "          [--fidelity | --fidelity-only] [--sharing] [--json=PATH]\n",
+                   "          [--fidelity | --fidelity-only] [--sharing] [--slo]\n"
+                   "          [--timeline-csv=PATH] [--json=PATH]\n",
                    argv[0]);
       return 2;
     }
+  }
+  // --slo alone runs just the telemetry scenario; combined with
+  // --fidelity(-only) its verdicts ride along in the JSON.
+  if (slo && !fidelity) {
+    const TelemetryResult result = RunTelemetryScenario(timeline_csv);
+    WriteFidelityJson(json_path, {}, 0.0, nullptr, &result);
+    return result.breached && result.bracketed ? 0 : 1;
   }
   // --sharing alone runs just the Zipf capacity sweep; combined with
   // --fidelity(-only) the shared-capacity section rides along in the JSON.
   if (sharing && !fidelity) {
     const SharingCapacityResult result = RunSharingSweep();
-    WriteFidelityJson(json_path, {}, 0.0, &result);
+    WriteFidelityJson(json_path, {}, 0.0, &result, nullptr);
     return result.ratio() >= 2.0 ? 0 : 1;
   }
   if (fidelity_only) {
@@ -641,7 +804,12 @@ int main(int argc, char** argv) {
     if (sharing) {
       sharing_result = RunSharingSweep();
     }
-    return RunFidelitySweep(json_path, sharing ? &sharing_result : nullptr);
+    TelemetryResult telemetry_result;
+    if (slo) {
+      telemetry_result = RunTelemetryScenario(timeline_csv);
+    }
+    return RunFidelitySweep(json_path, sharing ? &sharing_result : nullptr,
+                            slo ? &telemetry_result : nullptr);
   }
   std::vector<std::string> policies;
   if (policy_flag == "all") {
@@ -689,11 +857,13 @@ int main(int argc, char** argv) {
   std::printf("Every movie is mirrored on both MSUs; when one crashes, the Coordinator\n");
   std::printf("re-runs placement for its interrupted groups against the replicas and\n");
   std::printf("resumes each stream near its last reported media offset.\n");
-  // Each Installation writes the trace at destruction, so with several runs
-  // the file holds the last scenario (use --policy=<one> for a single run).
+  // Each Installation writes its own suffixed trace at destruction
+  // (out.json, out.2.json, ...), so multi-scenario runs keep every trace.
   if (const char* trace_env = std::getenv("CALLIOPE_TRACE");
       trace_env != nullptr && *trace_env != '\0') {
-    std::printf("\nChrome trace written to %s — open at https://ui.perfetto.dev\n", trace_env);
+    std::printf("\nChrome traces written to %s (one suffixed file per scenario) — open at "
+                "https://ui.perfetto.dev\n",
+                trace_env);
   }
   if (fidelity) {
     std::printf("\n");
@@ -701,7 +871,12 @@ int main(int argc, char** argv) {
     if (sharing) {
       sharing_result = RunSharingSweep();
     }
-    return RunFidelitySweep(json_path, sharing ? &sharing_result : nullptr);
+    TelemetryResult telemetry_result;
+    if (slo) {
+      telemetry_result = RunTelemetryScenario(timeline_csv);
+    }
+    return RunFidelitySweep(json_path, sharing ? &sharing_result : nullptr,
+                            slo ? &telemetry_result : nullptr);
   }
   return 0;
 }

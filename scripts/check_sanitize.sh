@@ -45,6 +45,11 @@ ctest --test-dir "${BUILD_DIR}" --output-on-failure -L '^fidelity$'
 # borrowed DataPage pointers — both prime use-after-free territory.
 ctest --test-dir "${BUILD_DIR}" --output-on-failure -L '^sharing$'
 
+# The continuous-telemetry suite: the sampler's self-rescheduling tick holds
+# raw instrument pointers and the QoS accumulator is fed from the delivery
+# hot paths — the places a dangling-pointer bug would live.
+ctest --test-dir "${BUILD_DIR}" --output-on-failure -L '^slo$'
+
 # The warm-standby coordinator suite gets an explicit pass under TSan: the
 # takeover path is where cross-coroutine state handoff concentrates. (The
 # label regex is anchored because "chaos" contains "ha".)

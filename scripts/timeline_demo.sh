@@ -1,0 +1,30 @@
+#!/usr/bin/env bash
+# Runs the scaleout bench's continuous-telemetry scenario — a disk-slowdown
+# fault window surfacing as a lateness-SLO breach — and prints where the
+# per-window timeline CSV landed, plus one-liners to plot it. Usage:
+#
+#   scripts/timeline_demo.sh [build-dir]
+#
+# Override the CSV path with CALLIOPE_TIMELINE_CSV=/path/to/timeline.csv.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build}"
+OUT="${CALLIOPE_TIMELINE_CSV:-${PWD}/timeline.csv}"
+
+cmake -B "${BUILD_DIR}" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo
+cmake --build "${BUILD_DIR}" -j "$(nproc)" --target scaleout
+
+CALLIOPE_BENCH_FAST=1 "${BUILD_DIR}/bench/scaleout" --slo --timeline-csv="${OUT}"
+
+echo
+echo "Per-window timeline CSV written to: ${OUT}"
+echo "One row per sampling window: QoS columns (lateness p50/p99/max, gap,"
+echo "pending depth, cache mix) then one slo.<name> value column per monitor."
+echo
+echo "Plot the lateness-p99 timeline with gnuplot:"
+echo "  gnuplot -e \"set datafile separator ','; set key autotitle columnhead;"
+echo "    plot '${OUT}' using 2:6 with lines\" -p"
+echo "or with python:"
+echo "  python3 -c \"import csv,sys; r=list(csv.DictReader(open('${OUT}')));"
+echo "    [print(x['end_us'], x['lateness_p99_us']) for x in r]\""

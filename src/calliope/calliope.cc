@@ -15,6 +15,19 @@ MachineParams DisklessHost() {
   return params;
 }
 
+std::string SuffixedTracePath(const std::string& path, int ordinal) {
+  if (ordinal <= 1) {
+    return path;
+  }
+  const size_t slash = path.find_last_of('/');
+  const size_t dot = path.find_last_of('.');
+  const std::string suffix = "." + std::to_string(ordinal);
+  if (dot == std::string::npos || (slash != std::string::npos && dot < slash)) {
+    return path + suffix;  // no extension: append
+  }
+  return path.substr(0, dot) + suffix + path.substr(dot);
+}
+
 Installation::Installation(InstallationConfig config)
     : config_(std::move(config)), network_(sim_, config_.network) {
   if (config_.colocate_coordinator) {
@@ -83,8 +96,19 @@ Installation::Installation(InstallationConfig config)
   if (standby_ != nullptr) {
     standby_->AttachObservability(&metrics_, &trace_, "coord2");
   }
+  if (config_.sampler.period > SimTime()) {
+    sampler_ = std::make_unique<MetricsSampler>(sim_, metrics_, &trace_, config_.sampler,
+                                                config_.slos);
+    for (auto& msu : msus_) {
+      msu->set_qos_sink(sampler_->qos());
+    }
+    sampler_->Start();
+  }
   if (const char* env = std::getenv("CALLIOPE_TRACE"); env != nullptr && *env != '\0') {
-    EnableTracing(env);
+    // Benches build several Installations in one process; each gets its own
+    // suffixed path so the later ones don't overwrite the first trace.
+    static int env_trace_ordinal = 0;
+    EnableTracing(SuffixedTracePath(env, ++env_trace_ordinal));
   }
 }
 
@@ -205,6 +229,9 @@ ClusterReport Installation::BuildClusterReport() {
             [](const PortQosReport& a, const PortQosReport& b) {
               return std::tie(a.client, a.port) < std::tie(b.client, b.port);
             });
+  if (sampler_ != nullptr) {
+    report.timeline = sampler_->BuildTimelineReport();
+  }
   return report;
 }
 
@@ -217,6 +244,9 @@ CalliopeClient& Installation::AddClient(const std::string& name) {
                                                       config_.coordinator.listen_port));
   if (standby_ != nullptr) {
     clients_.back()->set_coordinator_hosts({coordinator_host(), "coordinator2"});
+  }
+  if (sampler_ != nullptr) {
+    clients_.back()->set_qos_sink(sampler_->qos());
   }
   return *clients_.back();
 }

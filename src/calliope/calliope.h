@@ -29,6 +29,7 @@
 #include "src/net/network.h"
 #include "src/obs/metrics.h"
 #include "src/obs/report.h"
+#include "src/obs/sampler.h"
 #include "src/obs/trace.h"
 
 namespace calliope {
@@ -48,6 +49,13 @@ struct InstallationConfig {
   // primary death. MSUs and clients are configured to redial the pair.
   // Ignored when colocate_coordinator is set.
   bool standby_coordinator = false;
+  // Continuous telemetry: a nonzero sampler.period turns on the
+  // MetricsSampler — per-window metric timelines, windowed QoS aggregation
+  // from the MSU/client hot paths, and evaluation of `slos` at every tick.
+  // Left at the zero default, no sampler exists and reports are byte-
+  // identical to an installation without this feature.
+  SamplerConfig sampler;
+  std::vector<SloSpec> slos;
   uint64_t seed = 1996;
 };
 
@@ -119,6 +127,8 @@ class Installation {
   // full ClusterReport at any sim time.
   MetricsRegistry& metrics() { return metrics_; }
   TraceRecorder& trace() { return trace_; }
+  // Null unless config.sampler.period was nonzero.
+  MetricsSampler* sampler() { return sampler_.get(); }
   // Turns on span/instant recording; when `path` is nonempty the Chrome
   // trace-event JSON is written there at destruction. Setting the
   // CALLIOPE_TRACE environment variable to a path does the same at
@@ -156,10 +166,19 @@ class Installation {
   std::vector<std::unique_ptr<Machine>> client_machines_;
   std::vector<std::unique_ptr<CalliopeClient>> clients_;
   std::unique_ptr<FaultInjector> fault_injector_;
+  // Declared last: destroyed first, so its tick-event token is cancelled
+  // while sim_ (declared first) is still alive.
+  std::unique_ptr<MetricsSampler> sampler_;
 };
 
 // A diskless host profile for Coordinator and client machines.
 MachineParams DisklessHost();
+
+// Derives a per-installation trace path from `path`: ordinal 1 returns it
+// unchanged, ordinal N>1 inserts ".N" before the extension ("out.json" →
+// "out.2.json"). Used so benches that build several Installations under one
+// CALLIOPE_TRACE don't overwrite each other's traces.
+std::string SuffixedTracePath(const std::string& path, int ordinal);
 
 }  // namespace calliope
 

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "src/msu/msu.h"  // MediaDatagramPayload
+#include "src/obs/sampler.h"
 #include "src/util/backoff.h"
 #include "src/util/logging.h"
 
@@ -295,7 +296,11 @@ void CalliopeClient::OnMediaDatagram(ClientDisplayPort& port, const Datagram& da
       port.first_arrival_ = sim().Now();
     }
     if (port.last_arrival_ != SimTime()) {
-      port.max_arrival_gap_ = std::max(port.max_arrival_gap_, sim().Now() - port.last_arrival_);
+      const SimTime gap = sim().Now() - port.last_arrival_;
+      port.max_arrival_gap_ = std::max(port.max_arrival_gap_, gap);
+      if (qos_ != nullptr) {
+        qos_->RecordGap(gap);
+      }
     }
     port.last_arrival_ = sim().Now();
     ++port.packets_received_;
@@ -340,7 +345,11 @@ void CalliopeClient::OnFlowChunk(ClientDisplayPort& port, const MediaDatagramPay
       port.first_arrival_ = arrival;
     }
     if (port.last_arrival_ != SimTime()) {
-      port.max_arrival_gap_ = std::max(port.max_arrival_gap_, arrival - port.last_arrival_);
+      const SimTime gap = arrival - port.last_arrival_;
+      port.max_arrival_gap_ = std::max(port.max_arrival_gap_, gap);
+      if (qos_ != nullptr) {
+        qos_->RecordGap(gap);
+      }
     }
     port.last_arrival_ = arrival;
     ++port.packets_received_;

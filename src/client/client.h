@@ -27,6 +27,7 @@
 namespace calliope {
 
 struct MediaDatagramPayload;
+class QosAccumulator;
 
 // A registered media endpoint. The software behind it "can be a software
 // encoder/decoder that is part of the client application or a simple driver
@@ -168,6 +169,12 @@ class CalliopeClient {
   NetNode& node() { return *node_; }
   Simulator& sim() { return node_->machine().sim(); }
 
+  // Windowed QoS sink for the continuous-telemetry sampler (null = no
+  // sampler): every media inter-arrival gap is recorded through it, so a
+  // delivery stall shows up in the window it happened, not just as the
+  // end-of-run max_gap_us.
+  void set_qos_sink(QosAccumulator* qos) { qos_ = qos; }
+
  private:
   void OnMediaDatagram(ClientDisplayPort& port, const Datagram& datagram);
   // Flow-fidelity chunk: synthesizes the per-record arrival accounting the
@@ -200,6 +207,7 @@ class CalliopeClient {
   std::map<std::string, std::unique_ptr<ClientDisplayPort>> ports_;
   std::map<GroupId, GroupState> groups_;
   std::unique_ptr<Condition> group_events_;
+  QosAccumulator* qos_ = nullptr;
 };
 
 }  // namespace calliope

@@ -66,8 +66,10 @@ void Coordinator::AttachObservability(MetricsRegistry* metrics, TraceRecorder* t
   failover_groups_ = &metrics_->counter(metrics_prefix_ + ".failover.groups");
   recordings_lost_ = &metrics_->counter(metrics_prefix_ + ".failover.recordings_lost");
   requests_lost_metric_ = &metrics_->counter(metrics_prefix_ + ".requests_lost");
-  metrics_->SetGaugeCallback(metrics_prefix_ + ".requests.handled",
-                             [this] { return requests_handled_; });
+  // Monotonic tally: published as a counter so per-window deltas read as a
+  // request rate (the gauge shape it shipped with made deltas meaningless).
+  metrics_->SetCounterCallback(metrics_prefix_ + ".requests.handled",
+                               [this] { return requests_handled_; });
   metrics_->SetGaugeCallback(metrics_prefix_ + ".pending.depth",
                              [this] { return static_cast<int64_t>(pending_.size()); });
   metrics_->SetGaugeCallback(metrics_prefix_ + ".streams.active",

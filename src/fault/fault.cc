@@ -212,15 +212,19 @@ void FaultInjector::AttachObservability(MetricsRegistry* metrics, TraceRecorder*
   if (metrics_ == nullptr) {
     return;
   }
-  metrics_->SetGaugeCallback("fault.disk_errors", [this] { return disk_errors_; });
-  metrics_->SetGaugeCallback("fault.disk_slowdowns", [this] { return disk_slowdowns_; });
-  metrics_->SetGaugeCallback("fault.datagrams_dropped", [this] { return datagrams_dropped_; });
-  metrics_->SetGaugeCallback("fault.datagrams_delayed", [this] { return datagrams_delayed_; });
-  metrics_->SetGaugeCallback("fault.msu_crashes", [this] { return msu_crashes_; });
-  metrics_->SetGaugeCallback("fault.coordinator_restarts",
-                             [this] { return coordinator_restarts_; });
-  metrics_->SetGaugeCallback("fault.coordinator_crashes",
-                             [this] { return coordinator_crashes_; });
+  // Effect counters (they were always documented as counters): pull-mode
+  // counter callbacks mirroring the injector's accessors.
+  metrics_->SetCounterCallback("fault.disk_errors", [this] { return disk_errors_; });
+  metrics_->SetCounterCallback("fault.disk_slowdowns", [this] { return disk_slowdowns_; });
+  metrics_->SetCounterCallback("fault.datagrams_dropped",
+                               [this] { return datagrams_dropped_; });
+  metrics_->SetCounterCallback("fault.datagrams_delayed",
+                               [this] { return datagrams_delayed_; });
+  metrics_->SetCounterCallback("fault.msu_crashes", [this] { return msu_crashes_; });
+  metrics_->SetCounterCallback("fault.coordinator_restarts",
+                               [this] { return coordinator_restarts_; });
+  metrics_->SetCounterCallback("fault.coordinator_crashes",
+                               [this] { return coordinator_crashes_; });
 }
 
 void FaultInjector::Trace(const std::string& line) {

@@ -31,6 +31,7 @@
 namespace calliope {
 
 class Msu;
+class QosAccumulator;
 
 // Payload carried by every media UDP datagram; clients use it to measure
 // arrival lateness and feed software decoders.
@@ -314,6 +315,11 @@ class Msu {
   // into `trace`. Either may be null (standalone construction in unit tests).
   void AttachObservability(MetricsRegistry* metrics, TraceRecorder* trace);
 
+  // Windowed QoS sink for the continuous-telemetry sampler (null = no
+  // sampler): every sent packet's lateness is recorded through it, from both
+  // delivery fidelities.
+  void set_qos_sink(QosAccumulator* qos) { qos_ = qos; }
+
   // Highest Coordinator HA epoch this MSU has registered under (0 until the
   // first registration against an HA coordinator).
   int64_t coordinator_epoch() const { return last_epoch_; }
@@ -413,6 +419,7 @@ class Msu {
   // once at attach time so the per-packet path is a branch plus an add.
   MetricsRegistry* metrics_ = nullptr;
   TraceRecorder* trace_ = nullptr;
+  QosAccumulator* qos_ = nullptr;
   Counter* packets_sent_metric_ = nullptr;
   Counter* packets_late_metric_ = nullptr;
   Counter* buffer_stalls_metric_ = nullptr;

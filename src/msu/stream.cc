@@ -1,6 +1,7 @@
 #include <algorithm>
 
 #include "src/msu/msu.h"
+#include "src/obs/sampler.h"
 #include "src/util/logging.h"
 
 namespace calliope {
@@ -538,6 +539,9 @@ void MsuStream::AccountSentPacket(SimTime lateness) {
       msu_->packets_late_metric_->Add();
     }
     msu_->send_lateness_us_->Record(std::max<int64_t>(lateness.micros(), 0));
+  }
+  if (msu_->qos_ != nullptr) {
+    msu_->qos_->RecordLateness(lateness);
   }
 }
 

@@ -323,11 +323,14 @@ void Network::AttachObservability(MetricsRegistry* metrics, TraceRecorder* trace
     return;
   }
   datagrams_sent_ = &metrics_->counter("net.datagrams.sent");
-  metrics_->SetGaugeCallback("net.bytes.intra", [this] { return intra_bytes_.count(); });
-  metrics_->SetGaugeCallback("net.bytes.delivery", [this] { return delivery_bytes_.count(); });
-  metrics_->SetGaugeCallback("net.udp.dropped", [this] { return udp_dropped_; });
-  metrics_->SetGaugeCallback("net.fault.dropped", [this] { return fault_dropped_; });
-  metrics_->SetGaugeCallback("net.fault.delayed", [this] { return fault_delayed_; });
+  // All monotonic tallies: pull-mode counters, so the sampler's per-window
+  // deltas turn them into byte/drop rates.
+  metrics_->SetCounterCallback("net.bytes.intra", [this] { return intra_bytes_.count(); });
+  metrics_->SetCounterCallback("net.bytes.delivery",
+                               [this] { return delivery_bytes_.count(); });
+  metrics_->SetCounterCallback("net.udp.dropped", [this] { return udp_dropped_; });
+  metrics_->SetCounterCallback("net.fault.dropped", [this] { return fault_dropped_; });
+  metrics_->SetCounterCallback("net.fault.delayed", [this] { return fault_delayed_; });
 }
 
 NetNode* Network::AddNode(const std::string& name, Machine* machine, bool on_intra) {

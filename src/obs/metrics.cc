@@ -55,10 +55,17 @@ void MetricsRegistry::SetGaugeCallback(const std::string& name, std::function<in
   gauge_callbacks_[name] = std::move(fn);
 }
 
+void MetricsRegistry::SetCounterCallback(const std::string& name, std::function<int64_t()> fn) {
+  counter_callbacks_[name] = std::move(fn);
+}
+
 MetricsSnapshot MetricsRegistry::Snapshot() const {
   MetricsSnapshot snapshot;
   for (const auto& [name, counter] : counters_) {
     snapshot.counters[name] = counter->value();
+  }
+  for (const auto& [name, fn] : counter_callbacks_) {
+    snapshot.counters[name] = fn();
   }
   for (const auto& [name, gauge] : gauges_) {
     snapshot.gauges[name] = gauge->value();

@@ -86,6 +86,12 @@ class MetricsRegistry {
   // The callback must outlive the registry or be replaced before it dangles.
   void SetGaugeCallback(const std::string& name, std::function<int64_t()> fn);
 
+  // Pull-mode counter: like SetGaugeCallback but the value lands in the
+  // snapshot's counters section. For subsystems that already keep their own
+  // monotonic tallies — publishing them as counters (not gauges) is what
+  // makes per-window deltas meaningful to the MetricsSampler.
+  void SetCounterCallback(const std::string& name, std::function<int64_t()> fn);
+
   MetricsSnapshot Snapshot() const;
 
  private:
@@ -94,6 +100,7 @@ class MetricsRegistry {
   std::map<std::string, std::unique_ptr<Gauge>> gauges_;
   std::map<std::string, std::unique_ptr<Histogram>> histograms_;
   std::map<std::string, std::function<int64_t()>> gauge_callbacks_;
+  std::map<std::string, std::function<int64_t()>> counter_callbacks_;
 };
 
 }  // namespace calliope

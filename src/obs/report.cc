@@ -27,6 +27,77 @@ void AppendJsonString(std::string& out, const std::string& value) {
 
 }  // namespace
 
+std::string TimelineReport::ToText() const {
+  std::string out = "-- timeline: " + std::to_string(windows) + " windows x " +
+                    std::to_string(window_us) + "us --\n";
+  if (!slos.empty()) {
+    AsciiTable table({"slo", "threshold", "minwin", "evaluated", "breachwin", "episodes",
+                      "firstus", "lastus", "worstwin", "worstval", "breachedus"});
+    for (const auto& s : slos) {
+      table.AddRow({s.name, std::to_string(s.threshold), std::to_string(s.min_breach_windows),
+                    std::to_string(s.windows_evaluated), std::to_string(s.breach_windows),
+                    std::to_string(s.breach_episodes), std::to_string(s.first_breach_us),
+                    std::to_string(s.last_breach_us), std::to_string(s.worst_window),
+                    std::to_string(s.worst_value), std::to_string(s.breached_us)});
+    }
+    out += table.Render();
+  }
+  if (!qos.empty()) {
+    AsciiTable table({"win", "endus", "pkts", "late", "p50us", "p99us", "maxus", "gapus",
+                      "pending", "hits", "misses"});
+    for (const auto& w : qos) {
+      table.AddRow({std::to_string(w.window), std::to_string(w.end_us),
+                    std::to_string(w.packets), std::to_string(w.late_packets),
+                    std::to_string(w.lateness_p50_us), std::to_string(w.lateness_p99_us),
+                    std::to_string(w.lateness_max_us), std::to_string(w.max_gap_us),
+                    std::to_string(w.pending_depth), std::to_string(w.cache_hits),
+                    std::to_string(w.cache_misses)});
+    }
+    out += table.Render();
+  }
+  return out;
+}
+
+std::string TimelineReport::ToJson() const {
+  std::string out = "{\"window_us\":" + std::to_string(window_us) +
+                    ",\"windows\":" + std::to_string(windows) + ",\"qos\":[";
+  bool first = true;
+  for (const auto& w : qos) {
+    if (!first) out += ',';
+    first = false;
+    out += "{\"window\":" + std::to_string(w.window) + ",\"end_us\":" + std::to_string(w.end_us) +
+           ",\"packets\":" + std::to_string(w.packets) +
+           ",\"late_packets\":" + std::to_string(w.late_packets) +
+           ",\"lateness_p50_us\":" + std::to_string(w.lateness_p50_us) +
+           ",\"lateness_p99_us\":" + std::to_string(w.lateness_p99_us) +
+           ",\"lateness_max_us\":" + std::to_string(w.lateness_max_us) +
+           ",\"max_gap_us\":" + std::to_string(w.max_gap_us) +
+           ",\"pending_depth\":" + std::to_string(w.pending_depth) +
+           ",\"cache_hits\":" + std::to_string(w.cache_hits) +
+           ",\"cache_misses\":" + std::to_string(w.cache_misses) + "}";
+  }
+  out += "],\"slos\":[";
+  first = true;
+  for (const auto& s : slos) {
+    if (!first) out += ',';
+    first = false;
+    out += "{\"name\":";
+    AppendJsonString(out, s.name);
+    out += ",\"threshold\":" + std::to_string(s.threshold) +
+           ",\"min_breach_windows\":" + std::to_string(s.min_breach_windows) +
+           ",\"windows_evaluated\":" + std::to_string(s.windows_evaluated) +
+           ",\"breach_windows\":" + std::to_string(s.breach_windows) +
+           ",\"breach_episodes\":" + std::to_string(s.breach_episodes) +
+           ",\"first_breach_us\":" + std::to_string(s.first_breach_us) +
+           ",\"last_breach_us\":" + std::to_string(s.last_breach_us) +
+           ",\"worst_window\":" + std::to_string(s.worst_window) +
+           ",\"worst_value\":" + std::to_string(s.worst_value) +
+           ",\"breached_us\":" + std::to_string(s.breached_us) + "}";
+  }
+  out += "]}";
+  return out;
+}
+
 std::string ClusterReport::ToText() const {
   std::string out = "== cluster report ==\n";
   out += metrics.ToText();
@@ -50,6 +121,9 @@ std::string ClusterReport::ToText() const {
                     std::to_string(p.max_gap_us)});
     }
     out += table.Render();
+  }
+  if (timeline.has_value()) {
+    out += timeline->ToText();
   }
   return out;
 }
@@ -87,7 +161,11 @@ std::string ClusterReport::ToJson() const {
            ",\"glitches\":" + std::to_string(p.glitches) +
            ",\"max_gap_us\":" + std::to_string(p.max_gap_us) + "}";
   }
-  out += "]}";
+  out += "]";
+  if (timeline.has_value()) {
+    out += ",\"timeline\":" + timeline->ToJson();
+  }
+  out += "}";
   return out;
 }
 

@@ -9,6 +9,7 @@
 #define CALLIOPE_SRC_OBS_REPORT_H_
 
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -54,12 +55,75 @@ struct PortQosReport {
   bool operator==(const PortQosReport&) const = default;
 };
 
+// One sampler window's cluster-wide QoS aggregate (MetricsSampler,
+// src/obs/sampler.h). Lateness quantiles cover only the packets sent inside
+// this window (unlike the cumulative per-stream histograms above), so a
+// 10-second breach mid-run is visible even when the run as a whole looks
+// clean. All integer µs/counts for bit-identical equal-seed runs.
+struct QosWindowRow {
+  QosWindowRow() = default;
+
+  int64_t window = 0;  // 0-based window index
+  int64_t end_us = 0;  // simulated time the window closed
+  int64_t packets = 0;
+  int64_t late_packets = 0;  // send lateness strictly > 0
+  int64_t lateness_p50_us = 0;
+  int64_t lateness_p99_us = 0;
+  int64_t lateness_max_us = 0;   // clamped at 0 (early = on time)
+  int64_t max_gap_us = 0;        // largest client inter-arrival gap this window
+  int64_t pending_depth = 0;     // coord.pending.depth point sample at window end
+  int64_t cache_hits = 0;        // sim.cache interval+prefix hits this window
+  int64_t cache_misses = 0;
+
+  bool operator==(const QosWindowRow&) const = default;
+};
+
+// Accumulated breach log for one SloSpec. A breach episode is a run of
+// min_breach_windows or more consecutive windows whose signal exceeded the
+// threshold; only windows inside episodes count as breach windows.
+// Timestamps are window-end times (when the sampler observed the value).
+struct SloBreachReport {
+  SloBreachReport() = default;
+
+  std::string name;
+  int64_t threshold = 0;
+  int64_t min_breach_windows = 1;
+  int64_t windows_evaluated = 0;
+  int64_t breach_windows = 0;
+  int64_t breach_episodes = 0;
+  int64_t first_breach_us = 0;  // 0 when no episode ever qualified
+  int64_t last_breach_us = 0;
+  int64_t worst_window = -1;    // index of the worst breach window, -1 if none
+  int64_t worst_value = 0;
+  int64_t breached_us = 0;      // breach_windows * window length
+
+  bool operator==(const SloBreachReport&) const = default;
+};
+
+// The ClusterReport's optional continuous-telemetry section: one QoS row per
+// sampler window plus the SLO breach log. Absent (and absent from ToJson /
+// ToText) when no sampler was configured, so a sampler-free report is
+// byte-identical to one from a build that never had the feature.
+struct TimelineReport {
+  TimelineReport() = default;
+
+  int64_t window_us = 0;  // sampling period
+  int64_t windows = 0;
+  std::vector<QosWindowRow> qos;      // one row per window, in window order
+  std::vector<SloBreachReport> slos;  // sorted by name
+
+  std::string ToText() const;
+  std::string ToJson() const;
+  bool operator==(const TimelineReport&) const = default;
+};
+
 struct ClusterReport {
   ClusterReport() = default;
 
   MetricsSnapshot metrics;
   std::vector<StreamQosReport> streams;  // sorted by stream_id
   std::vector<PortQosReport> ports;      // sorted by (client, port)
+  std::optional<TimelineReport> timeline;  // present only when a sampler ran
 
   std::string ToText() const;
   std::string ToJson() const;

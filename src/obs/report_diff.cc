@@ -165,6 +165,80 @@ void DiffMetrics(const ClusterReport& lhs, const ClusterReport& rhs,
                  });
 }
 
+void DiffTimeline(const ClusterReport& lhs, const ClusterReport& rhs,
+                  const ReportDiffOptions& options, DiffBuilder& diff) {
+  if (lhs.timeline.has_value() != rhs.timeline.has_value()) {
+    diff.Missing("timeline", /*in_lhs=*/lhs.timeline.has_value());
+    return;
+  }
+  if (!lhs.timeline.has_value()) {
+    return;
+  }
+  const TimelineReport& a = *lhs.timeline;
+  const TimelineReport& b = *rhs.timeline;
+  diff.Exact("timeline.window_us", a.window_us, b.window_us);
+  diff.Exact("timeline.windows", a.windows, b.windows);
+  const size_t rows = std::min(a.qos.size(), b.qos.size());
+  if (a.qos.size() != b.qos.size()) {
+    diff.Exact("timeline.qos.size", static_cast<int64_t>(a.qos.size()),
+               static_cast<int64_t>(b.qos.size()));
+  }
+  for (size_t i = 0; i < rows; ++i) {
+    const QosWindowRow& wa = a.qos[i];
+    const QosWindowRow& wb = b.qos[i];
+    const std::string path = "timeline.qos[" + std::to_string(i) + "]";
+    diff.Exact(path + ".window", wa.window, wb.window);
+    diff.Exact(path + ".end_us", wa.end_us, wb.end_us);
+    diff.Field(path + ".packets", wa.packets, wb.packets, options.timeline_counts);
+    diff.Field(path + ".late_packets", wa.late_packets, wb.late_packets,
+               options.timeline_counts);
+    diff.Field(path + ".lateness_p50_us", wa.lateness_p50_us, wb.lateness_p50_us,
+               options.timeline_us);
+    diff.Field(path + ".lateness_p99_us", wa.lateness_p99_us, wb.lateness_p99_us,
+               options.timeline_us);
+    diff.Field(path + ".lateness_max_us", wa.lateness_max_us, wb.lateness_max_us,
+               options.timeline_us);
+    diff.Field(path + ".max_gap_us", wa.max_gap_us, wb.max_gap_us, options.timeline_us);
+    diff.Field(path + ".pending_depth", wa.pending_depth, wb.pending_depth,
+               options.timeline_counts);
+    diff.Field(path + ".cache_hits", wa.cache_hits, wb.cache_hits, options.timeline_counts);
+    diff.Field(path + ".cache_misses", wa.cache_misses, wb.cache_misses,
+               options.timeline_counts);
+  }
+  std::map<std::string, const SloBreachReport*> right;
+  for (const SloBreachReport& slo : b.slos) {
+    right[slo.name] = &slo;
+  }
+  for (const SloBreachReport& sa : a.slos) {
+    const std::string path = "timeline.slos[" + sa.name + "]";
+    auto it = right.find(sa.name);
+    if (it == right.end()) {
+      diff.Missing(path, /*in_lhs=*/true);
+      continue;
+    }
+    const SloBreachReport& sb = *it->second;
+    right.erase(it);
+    diff.Exact(path + ".threshold", sa.threshold, sb.threshold);
+    diff.Exact(path + ".min_breach_windows", sa.min_breach_windows, sb.min_breach_windows);
+    diff.Exact(path + ".windows_evaluated", sa.windows_evaluated, sb.windows_evaluated);
+    diff.Field(path + ".breach_windows", sa.breach_windows, sb.breach_windows,
+               options.timeline_counts);
+    diff.Field(path + ".breach_episodes", sa.breach_episodes, sb.breach_episodes,
+               options.timeline_counts);
+    diff.Field(path + ".first_breach_us", sa.first_breach_us, sb.first_breach_us,
+               options.timeline_us);
+    diff.Field(path + ".last_breach_us", sa.last_breach_us, sb.last_breach_us,
+               options.timeline_us);
+    diff.Field(path + ".worst_window", sa.worst_window, sb.worst_window,
+               options.timeline_counts);
+    diff.Field(path + ".worst_value", sa.worst_value, sb.worst_value, options.timeline_us);
+    diff.Field(path + ".breached_us", sa.breached_us, sb.breached_us, options.timeline_us);
+  }
+  for (const auto& [name, slo] : right) {
+    diff.Missing("timeline.slos[" + name + "]", /*in_lhs=*/false);
+  }
+}
+
 }  // namespace
 
 ReportDiff DiffClusterReports(const ClusterReport& lhs, const ClusterReport& rhs,
@@ -175,6 +249,9 @@ ReportDiff DiffClusterReports(const ClusterReport& lhs, const ClusterReport& rhs
   DiffPorts(lhs, rhs, options, diff);
   if (options.compare_metrics) {
     DiffMetrics(lhs, rhs, options, diff);
+  }
+  if (options.compare_timeline) {
+    DiffTimeline(lhs, rhs, options, diff);
   }
   return out;
 }

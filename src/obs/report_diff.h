@@ -45,6 +45,16 @@ struct ReportDiffOptions {
   Tolerance gap_us;               // port max_gap_us
   Tolerance metric_default;       // metrics-section values without a specific rule
   bool compare_metrics = true;    // false: diff only the streams/ports sections
+  // Timeline section (present only when a MetricsSampler ran). Structure is
+  // always exact — window size, window count, SLO identity (name, threshold,
+  // min_breach_windows) — while the per-window values get tolerances:
+  // `timeline_counts` budgets packet/depth/cache counts and breach-window
+  // tallies, `timeline_us` the µs-valued quantiles, gaps and breach
+  // timestamps. Zero defaults mean byte-exact, matching the chaos harness's
+  // equal-seed contract.
+  Tolerance timeline_counts;
+  Tolerance timeline_us;
+  bool compare_timeline = true;   // false: ignore the timeline section entirely
   // Metric names starting with any of these prefixes are skipped (e.g.
   // "sim.flow." when comparing across fidelity modes, or "cpu." where
   // scheduling noise is expected to differ).

@@ -130,6 +130,16 @@ ChaosResult RunChaos(uint64_t seed) {
   InstallationConfig config;
   config.seed = seed;
   config.msu_count = 3;
+  // Continuous telemetry rides along with every chaos run: the sampler is
+  // observer-only, so it must not perturb any invariant, and its timeline
+  // is part of the determinism contract checked below.
+  config.sampler.period = SimTime::Millis(250);
+  SloSpec slo;
+  slo.name = "chaos-lateness-p99";
+  slo.signal = SloSpec::Signal::kLatenessP99;
+  slo.threshold = SimTime::Millis(20).micros();
+  slo.min_breach_windows = 2;
+  config.slos.push_back(slo);
   TestCluster cluster(config);
   // Record spans for every run so a failing seed can dump a Chrome trace
   // (set_enabled directly: EnableTracing would clobber a CALLIOPE_TRACE path).
@@ -462,6 +472,11 @@ TEST(ChaosTest, IdenticalSeedsProduceIdenticalTraces) {
   const ReportDiff diff = DiffClusterReports(a.cluster_report, b.cluster_report);
   EXPECT_TRUE(diff.empty()) << "equal seeds must snapshot identical ClusterReports:\n"
                             << diff.ToText();
+  // The telemetry timeline is part of the contract too: equal seeds must
+  // produce byte-identical window rows and SLO verdicts.
+  ASSERT_TRUE(a.cluster_report.timeline.has_value());
+  ASSERT_TRUE(b.cluster_report.timeline.has_value());
+  EXPECT_EQ(a.cluster_report.timeline->ToJson(), b.cluster_report.timeline->ToJson());
   EXPECT_FALSE(a.trace.empty());
   EXPECT_FALSE(a.report.empty());
 }

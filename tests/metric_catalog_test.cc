@@ -1,0 +1,157 @@
+// Metric-catalog lint: every instrument a full-feature installation
+// publishes must have a row in docs/OBSERVABILITY.md's catalog tables with
+// the right kind, and every catalog row must match at least one published
+// instrument — so the doc can never silently drift from the code.
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <map>
+#include <regex>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/calliope/calliope.h"
+#include "tests/test_util.h"
+
+#ifndef CALLIOPE_SOURCE_DIR
+#error "CALLIOPE_SOURCE_DIR must point at the repo root"
+#endif
+
+namespace calliope {
+namespace {
+
+struct CatalogRow {
+  std::string pattern;  // documented name, placeholders intact
+  std::string kind;     // counter | gauge | histogram
+  std::regex regex;
+  bool matched = false;
+};
+
+// Parses every `| `name` | kind | meaning |` table row in the catalog.
+// Placeholders become regexes: <node> an MSU node name, <d>/<N> an integer,
+// <name> an SLO name.
+std::vector<CatalogRow> LoadCatalog(const std::string& path) {
+  std::ifstream in(path);
+  EXPECT_TRUE(in.good()) << "cannot read " << path;
+  std::vector<CatalogRow> rows;
+  const std::regex row_pattern(R"(^\| `([^`]+)` \| (counter|gauge|histogram) \|)");
+  std::string line;
+  while (std::getline(in, line)) {
+    std::smatch match;
+    if (!std::regex_search(line, match, row_pattern)) {
+      continue;
+    }
+    CatalogRow row;
+    row.pattern = match[1];
+    row.kind = match[2];
+    std::string regex_text;
+    for (size_t i = 0; i < row.pattern.size(); ++i) {
+      const char c = row.pattern[i];
+      if (c == '<') {
+        const size_t close = row.pattern.find('>', i);
+        EXPECT_NE(close, std::string::npos) << row.pattern;
+        const std::string placeholder = row.pattern.substr(i + 1, close - i - 1);
+        if (placeholder == "node") {
+          regex_text += "msu[0-9]+";
+        } else if (placeholder == "d" || placeholder == "N") {
+          regex_text += "[0-9]+";
+        } else if (placeholder == "name") {
+          regex_text += "[A-Za-z0-9_-]+";
+        } else {
+          ADD_FAILURE() << "unknown placeholder <" << placeholder << "> in " << row.pattern;
+        }
+        i = close;
+      } else if (c == '.') {
+        regex_text += "\\.";
+      } else {
+        regex_text += c;
+      }
+    }
+    row.regex = std::regex("^" + regex_text + "$");
+    rows.push_back(std::move(row));
+  }
+  EXPECT_GT(rows.size(), 30u) << "catalog parse came up nearly empty — format drift?";
+  return rows;
+}
+
+// The second HA coordinator republishes everything under coord2.*; the doc
+// documents that with one sentence, not duplicate rows.
+std::string Normalized(const std::string& name) {
+  if (name.rfind("coord2.", 0) == 0) {
+    return "coord." + name.substr(7);
+  }
+  return name;
+}
+
+void MergeSnapshot(const MetricsSnapshot& snapshot,
+                   std::map<std::string, std::string>& published) {
+  for (const auto& [name, value] : snapshot.counters) {
+    published[Normalized(name)] = "counter";
+  }
+  for (const auto& [name, value] : snapshot.gauges) {
+    published[Normalized(name)] = "gauge";
+  }
+  for (const auto& [name, stats] : snapshot.histograms) {
+    published[Normalized(name)] = "histogram";
+  }
+}
+
+TEST(MetricCatalogTest, EveryPublishedMetricIsDocumentedAndViceVersa) {
+  std::map<std::string, std::string> published;  // name -> kind
+
+  {
+    // Full-feature installation A: HA standby + faults + sampler + SLO.
+    InstallationConfig config;
+    config.msu_count = 2;
+    config.standby_coordinator = true;
+    config.sampler.period = SimTime::Millis(500);
+    SloSpec slo;
+    slo.name = "lateness-p99";
+    slo.signal = SloSpec::Signal::kLatenessP99;
+    slo.threshold = SimTime::Millis(50).micros();
+    config.slos.push_back(slo);
+    Installation calliope(config);
+    ASSERT_TRUE(calliope.Boot().ok());
+    ASSERT_TRUE(calliope.ApplyFaultPlan(FaultPlan()).ok());
+    calliope.sim().RunFor(SimTime::Seconds(1));
+    MergeSnapshot(calliope.metrics().Snapshot(), published);
+  }
+  {
+    // Installation B: stream sharing + interval cache (sharing is force-
+    // disabled under HA, so it needs its own installation).
+    InstallationConfig config;
+    config.msu_count = 1;
+    config.coordinator.sharing.enabled = true;
+    config.msu.cache_memory = Bytes::MiB(16);
+    Installation calliope(config);
+    ASSERT_TRUE(calliope.Boot().ok());
+    MergeSnapshot(calliope.metrics().Snapshot(), published);
+  }
+  ASSERT_GT(published.size(), 30u);
+
+  std::vector<CatalogRow> catalog =
+      LoadCatalog(std::string(CALLIOPE_SOURCE_DIR) + "/docs/OBSERVABILITY.md");
+
+  for (const auto& [name, kind] : published) {
+    bool documented = false;
+    for (CatalogRow& row : catalog) {
+      if (std::regex_match(name, row.regex)) {
+        row.matched = true;
+        documented = true;
+        EXPECT_EQ(kind, row.kind)
+            << name << " is published as a " << kind << " but documented as a " << row.kind
+            << " (row `" << row.pattern << "`)";
+      }
+    }
+    EXPECT_TRUE(documented) << name << " (" << kind
+                            << ") is published but has no docs/OBSERVABILITY.md catalog row";
+  }
+  for (const CatalogRow& row : catalog) {
+    EXPECT_TRUE(row.matched) << "stale catalog row `" << row.pattern << "` (" << row.kind
+                             << "): no full-feature installation publishes a matching metric";
+  }
+}
+
+}  // namespace
+}  // namespace calliope

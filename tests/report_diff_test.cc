@@ -216,6 +216,117 @@ TEST(ReportDiffTest, CompareMetricsOffDiffsStreamsAndPortsOnly) {
   EXPECT_FALSE(DiffClusterReports(a, b).empty());
 }
 
+TimelineReport MakeTimeline() {
+  TimelineReport timeline;
+  timeline.window_us = 500000;
+  timeline.windows = 2;
+  QosWindowRow row;
+  row.window = 0;
+  row.end_us = 500000;
+  row.packets = 800;
+  row.late_packets = 2;
+  row.lateness_p50_us = 3000;
+  row.lateness_p99_us = 8000;
+  row.lateness_max_us = 9000;
+  row.max_gap_us = 40000;
+  row.pending_depth = 1;
+  row.cache_hits = 10;
+  row.cache_misses = 5;
+  timeline.qos.push_back(row);
+  row.window = 1;
+  row.end_us = 1000000;
+  timeline.qos.push_back(row);
+  SloBreachReport slo;
+  slo.name = "lateness-p99";
+  slo.threshold = 25000;
+  slo.min_breach_windows = 2;
+  slo.windows_evaluated = 2;
+  slo.breach_windows = 2;
+  slo.breach_episodes = 1;
+  slo.first_breach_us = 500000;
+  slo.last_breach_us = 1000000;
+  slo.worst_window = 1;
+  slo.worst_value = 31000;
+  slo.breached_us = 1000000;
+  timeline.slos.push_back(slo);
+  return timeline;
+}
+
+TEST(ReportDiffTest, TimelinePresenceMismatchIsReported) {
+  ClusterReport a = MakeReport();
+  ClusterReport b = MakeReport();
+  a.timeline = MakeTimeline();
+  const ReportDiff diff = DiffClusterReports(a, b);
+  ASSERT_EQ(diff.entries.size(), 1u) << diff.ToText();
+  EXPECT_EQ(diff.entries[0].field, "timeline");
+  EXPECT_EQ(diff.entries[0].note, "missing in rhs");
+
+  // compare_timeline=false silences even the presence mismatch.
+  ReportDiffOptions options;
+  options.compare_timeline = false;
+  EXPECT_TRUE(DiffClusterReports(a, b, options).empty());
+}
+
+TEST(ReportDiffTest, TimelineTolerancesBudgetValuesNotStructure) {
+  ClusterReport a = MakeReport();
+  ClusterReport b = MakeReport();
+  a.timeline = MakeTimeline();
+  b.timeline = MakeTimeline();
+
+  // Zero-tolerance default is byte-exact (the chaos equal-seed contract).
+  EXPECT_TRUE(DiffClusterReports(a, b).empty());
+
+  // A value drift beyond the budget surfaces; within it, matches. The
+  // negative-tolerance regression: a budget one µs short still fails.
+  b.timeline->qos[1].lateness_p99_us += 700;
+  b.timeline->slos[0].last_breach_us += 400;
+  ReportDiff diff = DiffClusterReports(a, b);
+  ASSERT_EQ(diff.entries.size(), 2u) << diff.ToText();
+  EXPECT_EQ(diff.entries[0].field, "timeline.qos[1].lateness_p99_us");
+  EXPECT_EQ(diff.entries[1].field, "timeline.slos[lateness-p99].last_breach_us");
+  ReportDiffOptions tight;
+  tight.timeline_us = {699, 0.0};
+  diff = DiffClusterReports(a, b, tight);
+  ASSERT_EQ(diff.entries.size(), 1u) << diff.ToText();
+  EXPECT_EQ(diff.entries[0].field, "timeline.qos[1].lateness_p99_us");
+  ReportDiffOptions enough;
+  enough.timeline_us = {700, 0.0};
+  EXPECT_TRUE(DiffClusterReports(a, b, enough).empty());
+
+  // Counts use their own budget, and µs slack never spills into them.
+  b.timeline->qos[0].packets += 5;
+  diff = DiffClusterReports(a, b, enough);
+  ASSERT_EQ(diff.entries.size(), 1u) << diff.ToText();
+  EXPECT_EQ(diff.entries[0].field, "timeline.qos[0].packets");
+  enough.timeline_counts = {5, 0.0};
+  EXPECT_TRUE(DiffClusterReports(a, b, enough).empty());
+
+  // Structure stays exact no matter how generous the budgets are: window
+  // geometry and SLO identity never get slack.
+  b.timeline->windows = 3;
+  b.timeline->slos[0].threshold = 99;
+  enough.timeline_counts = {1000000, 1.0};
+  enough.timeline_us = {1000000, 1.0};
+  diff = DiffClusterReports(a, b, enough);
+  ASSERT_EQ(diff.entries.size(), 2u) << diff.ToText();
+  EXPECT_EQ(diff.entries[0].field, "timeline.windows");
+  EXPECT_EQ(diff.entries[1].field, "timeline.slos[lateness-p99].threshold");
+}
+
+TEST(ReportDiffTest, TimelineSlosMatchedByName) {
+  ClusterReport a = MakeReport();
+  ClusterReport b = MakeReport();
+  a.timeline = MakeTimeline();
+  b.timeline = MakeTimeline();
+  b.timeline->slos[0].name = "renamed";
+  const ReportDiff diff = DiffClusterReports(a, b);
+  ASSERT_EQ(diff.entries.size(), 2u) << diff.ToText();
+  EXPECT_EQ(diff.entries[0].field, "timeline.slos[lateness-p99]");
+  EXPECT_EQ(diff.entries[0].note, "missing in rhs");
+  EXPECT_EQ(diff.entries[1].field, "timeline.slos[renamed]");
+  EXPECT_EQ(diff.entries[1].note, "missing in lhs");
+}
+
 TEST(ReportDiffTest, HistogramStatsCompared) {
   ClusterReport a = MakeReport();
   ClusterReport b = MakeReport();
