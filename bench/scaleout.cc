@@ -498,6 +498,192 @@ SharingCapacityResult RunSharingSweep() {
   return result;
 }
 
+// ---- dynamic rebalancing: flash crowd, static vs dynamic replicas ----------
+//
+// The rebalancing claim (DESIGN.md §5.8): a flash crowd hits one title whose
+// only replica lives on one of two MSUs, oversubscribing that disk's duty
+// cycle. With the static replica set the overflow viewers stay queued for the
+// whole run; with background rebalancing enabled the planner copies the hot
+// title to the idle MSU over a rate-limited background stream and the queue
+// drains — convergence time is the copy install plus the admission retry.
+
+struct RebalanceCrowdResult {
+  bool rebalance = false;
+  int viewers = 0;
+  int admitted = 0;            // receiving immediately, before any copy
+  int queued = 0;              // parked in the admission queue at request time
+  int served = 0;              // ports receiving media at the checkpoint
+  int rejected = 0;            // still starved at the checkpoint
+  int64_t copies_started = 0;
+  int64_t copies_installed = 0;
+  int64_t demotions = 0;
+  int64_t convergence_us = -1;  // first sim instant every viewer is receiving
+  int64_t p50_lateness_us = 0;  // worst live-stream p50 at the checkpoint
+  int64_t p99_lateness_us = 0;  // worst live-stream p99 at the checkpoint
+};
+
+RebalanceCrowdResult RunFlashCrowd(bool rebalance, SimTime checkpoint) {
+  RebalanceCrowdResult result;
+  result.rebalance = rebalance;
+  result.viewers = 8;
+
+  InstallationConfig config;
+  config.msu_count = 2;
+  config.msu_machine.disks_per_hba = {1};
+  // 5 MPEG-1 streams per disk: a crowd of 8 oversubscribes the one replica.
+  config.coordinator.disk_budget = DataRate::MegabytesPerSec(1.0);
+  config.coordinator.rebalance.enabled = rebalance;
+  // 2x the stream rate: ~30 s to copy the 60 s title, and the copy's duty
+  // slot still fits on the source disk next to the 5 live streams.
+  config.coordinator.rebalance.copy_rate = DataRate::MegabitsPerSec(3);
+  // Fast popularity decay so the dynamic replica cools and demotes within
+  // the bench window once the crowd disperses.
+  config.coordinator.sharing.popularity_halflife = SimTime::Seconds(5);
+  Installation calliope(config);
+  if (!calliope.Boot().ok()) {
+    return result;
+  }
+  (void)calliope.LoadMpegMovie("hot", SimTime::Seconds(60), 0, false, 0);
+
+  CalliopeClient& client = calliope.AddClient("crowd");
+  bool connected = false;
+  [](CalliopeClient* c, bool* flag) -> Task {
+    *flag = (co_await c->Connect("bob", "bob-key")).ok();
+  }(&client, &connected);
+  RunSimUntil(calliope.sim(), [&] { return connected; }, SimTime::Seconds(5));
+
+  const SimTime crowd_at = calliope.sim().Now();
+  std::vector<std::unique_ptr<PlaybackHandle>> handles;
+  for (int i = 0; i < result.viewers; ++i) {
+    handles.push_back(std::make_unique<PlaybackHandle>());
+    StartPlayback(client, "hot", "ctv" + std::to_string(i), "mpeg1", handles.back().get());
+  }
+  RunSimUntil(calliope.sim(),
+              [&] {
+                for (const auto& handle : handles) {
+                  if (!handle->done) {
+                    return false;
+                  }
+                }
+                return true;
+              },
+              SimTime::Seconds(10));
+  for (const auto& handle : handles) {
+    if (handle->failed) {
+      continue;
+    }
+    ++(handle->queued ? result.queued : result.admitted);
+  }
+
+  // Convergence: the first instant the admission queue is empty and every
+  // viewer's port is receiving media.
+  const auto all_receiving = [&] {
+    if (calliope.coordinator().pending_request_count() > 0) {
+      return false;
+    }
+    for (int i = 0; i < result.viewers; ++i) {
+      ClientDisplayPort* port = client.FindPort("ctv" + std::to_string(i));
+      if (port == nullptr || port->packets_received() == 0) {
+        return false;
+      }
+    }
+    return true;
+  };
+  if (RunSimUntil(calliope.sim(), all_receiving, checkpoint, SimTime::Millis(100))) {
+    result.convergence_us = (calliope.sim().Now() - crowd_at).micros();
+  }
+  if (calliope.sim().Now() < crowd_at + checkpoint) {
+    calliope.sim().RunFor(crowd_at + checkpoint - calliope.sim().Now());
+  }
+
+  for (int i = 0; i < result.viewers; ++i) {
+    ClientDisplayPort* port = client.FindPort("ctv" + std::to_string(i));
+    ++(port != nullptr && port->packets_received() > 0 ? result.served : result.rejected);
+  }
+  const ClusterReport report = calliope.BuildClusterReport();
+  for (const StreamQosReport& stream : report.streams) {
+    if (stream.finished) {
+      continue;
+    }
+    result.p50_lateness_us = std::max(result.p50_lateness_us, stream.p50_lateness_us);
+    result.p99_lateness_us = std::max(result.p99_lateness_us, stream.p99_lateness_us);
+  }
+  result.copies_started = calliope.metrics().counter("coord.rebalance.copies_started").value();
+  result.copies_installed =
+      calliope.metrics().counter("coord.rebalance.copies_installed").value();
+
+  // Crowd disperses: quit everything, let the popularity EWMA cool, and the
+  // planner should demote the now-cold dynamic replica.
+  for (const auto& handle : handles) {
+    if (!handle->failed && !client.GroupTerminated(handle->group)) {
+      [](CalliopeClient* c, GroupId group) -> Task {
+        co_await c->Quit(group);
+      }(&client, handle->group);
+    }
+  }
+  RunSimUntil(calliope.sim(),
+              [&] { return calliope.coordinator().active_stream_count() == 0; },
+              SimTime::Seconds(10));
+  if (rebalance) {
+    RunSimUntil(calliope.sim(),
+                [&] {
+                  return calliope.metrics().counter("coord.rebalance.demotions").value() >= 1;
+                },
+                SimTime::Seconds(40), SimTime::Millis(250));
+    result.demotions = calliope.metrics().counter("coord.rebalance.demotions").value();
+  }
+  return result;
+}
+
+struct RebalanceSweepResult {
+  RebalanceCrowdResult off;  // static replica set
+  RebalanceCrowdResult on;   // background rebalancing enabled
+  bool accepted() const {
+    return off.rejected > 0 && on.rejected == 0 && on.convergence_us >= 0 &&
+           on.copies_installed >= 1 && on.p99_lateness_us < SimTime::Millis(50).micros();
+  }
+};
+
+RebalanceSweepResult RunRebalanceSweep() {
+  PrintHeader("Dynamic rebalancing: flash crowd, static vs dynamic replica sets",
+              "DESIGN.md section 5.8 (beyond-paper hot-title replication)");
+  RebalanceSweepResult result;
+  const SimTime checkpoint = SimTime::Seconds(45);  // copy installs ~32 s in
+  result.off = RunFlashCrowd(false, checkpoint);
+  result.on = RunFlashCrowd(true, checkpoint);
+
+  AsciiTable table({"replica set", "viewers", "admitted", "queued", "served @45s",
+                    "starved @45s", "copies", "converged", "p99 late"});
+  const auto add_row = [&](const RebalanceCrowdResult& r) {
+    char converged[32], late[32];
+    if (r.convergence_us >= 0) {
+      std::snprintf(converged, sizeof(converged), "%.1f s", r.convergence_us / 1e6);
+    } else {
+      std::snprintf(converged, sizeof(converged), "never");
+    }
+    std::snprintf(late, sizeof(late), "%.1f ms", r.p99_lateness_us / 1e3);
+    table.AddRow({r.rebalance ? "dynamic" : "static", std::to_string(r.viewers),
+                  std::to_string(r.admitted), std::to_string(r.queued),
+                  std::to_string(r.served), std::to_string(r.rejected),
+                  std::to_string(r.copies_installed), converged, late});
+  };
+  add_row(result.off);
+  add_row(result.on);
+  std::printf("%s\n", table.Render().c_str());
+  std::printf("One 1 MB/s disk admits 5 MPEG-1 streams; the crowd of %d oversubscribes\n",
+              result.on.viewers);
+  std::printf("the single replica. Static: %d viewers starve for the whole run. Dynamic:\n",
+              result.off.rejected);
+  std::printf("the planner copies the hot title to the idle MSU at 3 Mbit/s in the\n");
+  std::printf("background, the queue drains at %.1f s, and the cold replica is demoted\n",
+              result.on.convergence_us >= 0 ? result.on.convergence_us / 1e6 : -1.0);
+  std::printf("(%lld demotion%s) after the crowd disperses — all without pushing any\n",
+              static_cast<long long>(result.on.demotions), result.on.demotions == 1 ? "" : "s");
+  std::printf("live viewer past the 50 ms lateness SLO (worst p99: %.1f ms).\n\n",
+              result.on.p99_lateness_us / 1e3);
+  return result;
+}
+
 // ---- continuous telemetry: disk-slowdown fault as an SLO breach ------------
 //
 // One MSU serving a handful of streams with the MetricsSampler running; a
@@ -640,9 +826,35 @@ void WriteTelemetryJson(std::FILE* file, const TelemetryResult& telemetry) {
   std::fprintf(file, "]},\n");
 }
 
+void WriteRebalanceJson(std::FILE* file, const RebalanceSweepResult& rebalance) {
+  const auto write_run = [&](const char* key, const RebalanceCrowdResult& r, const char* tail) {
+    std::fprintf(file,
+                 "    \"%s\": {\"admitted\": %d, \"queued\": %d, \"served_at_checkpoint\": %d, "
+                 "\"rejected_at_checkpoint\": %d, \"convergence_us\": %lld, "
+                 "\"copies_started\": %lld, \"copies_installed\": %lld, \"demotions\": %lld, "
+                 "\"p50_lateness_us\": %lld, \"p99_lateness_us\": %lld}%s\n",
+                 key, r.admitted, r.queued, r.served, r.rejected,
+                 static_cast<long long>(r.convergence_us),
+                 static_cast<long long>(r.copies_started),
+                 static_cast<long long>(r.copies_installed),
+                 static_cast<long long>(r.demotions),
+                 static_cast<long long>(r.p50_lateness_us),
+                 static_cast<long long>(r.p99_lateness_us), tail);
+  };
+  std::fprintf(file,
+               "  \"rebalance\": {\"viewers\": %d, \"disk_capacity_streams\": 5, "
+               "\"checkpoint_us\": %lld, \"accepted\": %s,\n",
+               rebalance.on.viewers, static_cast<long long>(SimTime::Seconds(45).micros()),
+               rebalance.accepted() ? "true" : "false");
+  write_run("static", rebalance.off, ",");
+  write_run("dynamic", rebalance.on, "");
+  std::fprintf(file, "  },\n");
+}
+
 void WriteFidelityJson(const std::string& path, const std::vector<FidelityRunResult>& runs,
                        double speedup_8msu, const SharingCapacityResult* sharing,
-                       const TelemetryResult* telemetry) {
+                       const TelemetryResult* telemetry,
+                       const RebalanceSweepResult* rebalance) {
   std::FILE* file = std::fopen(path.c_str(), "w");
   if (file == nullptr) {
     std::fprintf(stderr, "cannot write %s\n", path.c_str());
@@ -670,6 +882,9 @@ void WriteFidelityJson(const std::string& path, const std::vector<FidelityRunRes
   if (telemetry != nullptr) {
     WriteTelemetryJson(file, *telemetry);
   }
+  if (rebalance != nullptr) {
+    WriteRebalanceJson(file, *rebalance);
+  }
   if (sharing != nullptr) {
     std::fprintf(file,
                  "  \"sharing\": {\"viewers_offered\": %d, \"titles\": %d, "
@@ -690,7 +905,7 @@ void WriteFidelityJson(const std::string& path, const std::vector<FidelityRunRes
 }
 
 int RunFidelitySweep(const std::string& json_path, const SharingCapacityResult* sharing,
-                     const TelemetryResult* telemetry) {
+                     const TelemetryResult* telemetry, const RebalanceSweepResult* rebalance) {
   PrintHeader("Hybrid fidelity: simulator throughput, per-packet vs flow mode",
               "DESIGN.md section 5.5 (beyond-paper scale-out)");
   const SimTime window = FastBenchMode() ? SimTime::Seconds(5) : SimTime::Seconds(20);
@@ -736,10 +951,13 @@ int RunFidelitySweep(const std::string& json_path, const SharingCapacityResult* 
   std::printf("8-MSU Graph-1 working point one stream-second costs %.1fx fewer events\n",
               speedup);
   std::printf("(acceptance floor: 10x), which is what lets the 200-MSU row above exist.\n");
-  WriteFidelityJson(json_path, runs, speedup, sharing, telemetry);
+  WriteFidelityJson(json_path, runs, speedup, sharing, telemetry, rebalance);
   const bool sharing_ok = sharing == nullptr || sharing->ratio() >= 2.0;
   const bool telemetry_ok = telemetry == nullptr || telemetry->bracketed;
-  return big.streams >= 10000 && speedup >= 10.0 && sharing_ok && telemetry_ok ? 0 : 1;
+  const bool rebalance_ok = rebalance == nullptr || rebalance->accepted();
+  return big.streams >= 10000 && speedup >= 10.0 && sharing_ok && telemetry_ok && rebalance_ok
+             ? 0
+             : 1;
 }
 
 }  // namespace
@@ -754,6 +972,7 @@ int main(int argc, char** argv) {
   bool fidelity_only = false;
   bool sharing = false;
   bool slo = false;
+  bool rebalance = false;
   std::string timeline_csv;
   std::string json_path = "BENCH_scaleout.json";
   for (int i = 1; i < argc; ++i) {
@@ -771,6 +990,8 @@ int main(int argc, char** argv) {
       sharing = true;
     } else if (std::strcmp(argv[i], "--slo") == 0) {
       slo = true;
+    } else if (std::strcmp(argv[i], "--rebalance") == 0) {
+      rebalance = true;
     } else if (std::strncmp(argv[i], "--timeline-csv=", 15) == 0) {
       timeline_csv = argv[i] + 15;
       slo = true;  // the CSV comes out of the SLO scenario
@@ -780,24 +1001,42 @@ int main(int argc, char** argv) {
       std::fprintf(stderr,
                    "usage: %s [--policy=<name|all>] [--failover-only] [--report]\n"
                    "          [--fidelity | --fidelity-only] [--sharing] [--slo]\n"
-                   "          [--timeline-csv=PATH] [--json=PATH]\n",
+                   "          [--rebalance] [--timeline-csv=PATH] [--json=PATH]\n",
                    argv[0]);
       return 2;
     }
   }
   // --slo alone runs just the telemetry scenario; combined with
   // --fidelity(-only) its verdicts ride along in the JSON.
-  if (slo && !fidelity) {
+  if (slo && !fidelity && !rebalance) {
     const TelemetryResult result = RunTelemetryScenario(timeline_csv);
-    WriteFidelityJson(json_path, {}, 0.0, nullptr, &result);
+    WriteFidelityJson(json_path, {}, 0.0, nullptr, &result, nullptr);
     return result.breached && result.bracketed ? 0 : 1;
   }
   // --sharing alone runs just the Zipf capacity sweep; combined with
   // --fidelity(-only) the shared-capacity section rides along in the JSON.
-  if (sharing && !fidelity) {
+  if (sharing && !fidelity && !rebalance) {
     const SharingCapacityResult result = RunSharingSweep();
-    WriteFidelityJson(json_path, {}, 0.0, &result, nullptr);
+    WriteFidelityJson(json_path, {}, 0.0, &result, nullptr, nullptr);
     return result.ratio() >= 2.0 ? 0 : 1;
+  }
+  // --rebalance alone runs just the flash-crowd sweep; combined with
+  // --fidelity(-only) the rebalance section rides along in the JSON.
+  if (rebalance && !fidelity) {
+    const RebalanceSweepResult result = RunRebalanceSweep();
+    SharingCapacityResult sharing_result;
+    TelemetryResult telemetry_result;
+    if (sharing) {
+      sharing_result = RunSharingSweep();
+    }
+    if (slo) {
+      telemetry_result = RunTelemetryScenario(timeline_csv);
+    }
+    WriteFidelityJson(json_path, {}, 0.0, sharing ? &sharing_result : nullptr,
+                      slo ? &telemetry_result : nullptr, &result);
+    const bool sharing_ok = !sharing || sharing_result.ratio() >= 2.0;
+    const bool telemetry_ok = !slo || (telemetry_result.breached && telemetry_result.bracketed);
+    return result.accepted() && sharing_ok && telemetry_ok ? 0 : 1;
   }
   if (fidelity_only) {
     SharingCapacityResult sharing_result;
@@ -808,8 +1047,13 @@ int main(int argc, char** argv) {
     if (slo) {
       telemetry_result = RunTelemetryScenario(timeline_csv);
     }
+    RebalanceSweepResult rebalance_result;
+    if (rebalance) {
+      rebalance_result = RunRebalanceSweep();
+    }
     return RunFidelitySweep(json_path, sharing ? &sharing_result : nullptr,
-                            slo ? &telemetry_result : nullptr);
+                            slo ? &telemetry_result : nullptr,
+                            rebalance ? &rebalance_result : nullptr);
   }
   std::vector<std::string> policies;
   if (policy_flag == "all") {
@@ -875,8 +1119,13 @@ int main(int argc, char** argv) {
     if (slo) {
       telemetry_result = RunTelemetryScenario(timeline_csv);
     }
+    RebalanceSweepResult rebalance_result;
+    if (rebalance) {
+      rebalance_result = RunRebalanceSweep();
+    }
     return RunFidelitySweep(json_path, sharing ? &sharing_result : nullptr,
-                            slo ? &telemetry_result : nullptr);
+                            slo ? &telemetry_result : nullptr,
+                            rebalance ? &rebalance_result : nullptr);
   }
   return 0;
 }

@@ -50,6 +50,12 @@ ctest --test-dir "${BUILD_DIR}" --output-on-failure -L '^sharing$'
 # hot paths — the places a dangling-pointer bug would live.
 ctest --test-dir "${BUILD_DIR}" --output-on-failure -L '^slo$'
 
+# The rebalancing suite: background copy ops are cancelled from three sides
+# (preemption, MSU crash, primary flip) while a pull coroutine is suspended
+# mid-transfer — exactly where a use-after-free or double-release of duty
+# slots / ledger holds would hide.
+ctest --test-dir "${BUILD_DIR}" --output-on-failure -L '^rebalance$'
+
 # The warm-standby coordinator suite gets an explicit pass under TSan: the
 # takeover path is where cross-coroutine state handoff concentrates. (The
 # label regex is anchored because "chaos" contains "ha".)

@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# Runs the scaleout bench's flash-crowd rebalancing sweep — the same crowd of
+# viewers against a static replica set (overflow starves) and against the
+# background rebalancer (hot title is copied to the idle MSU, the queue
+# drains) — and prints where the JSON verdicts landed. Usage:
+#
+#   scripts/rebalance_demo.sh [build-dir]
+#
+# Override the JSON output path with CALLIOPE_REBALANCE_JSON=/path/to/out.json.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build}"
+OUT="${CALLIOPE_REBALANCE_JSON:-${PWD}/BENCH_scaleout.json}"
+
+cmake -B "${BUILD_DIR}" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo
+cmake --build "${BUILD_DIR}" -j "$(nproc)" --target scaleout
+
+"${BUILD_DIR}/bench/scaleout" --rebalance --json="${OUT}"
+
+echo
+echo "Static-vs-dynamic flash-crowd verdicts written to: ${OUT}"
+echo "(rebalance section: admissions, rejections at the checkpoint,"
+echo "convergence time, copies installed/demoted, lateness quantiles)."
+echo
+echo "Watch the copy itself in a Chrome trace:"
+echo "  CALLIOPE_TRACE=rebalance_trace.json ${BUILD_DIR}/bench/scaleout --rebalance"
+echo "then open rebalance_trace.json at https://ui.perfetto.dev"

@@ -48,6 +48,11 @@ struct ContentLocation {
   // MSU file holding this copy when it differs from the record's file_name
   // (same-MSU replicas on other disks need distinct file names).
   std::string file_name;
+  // True for replicas installed online by the background rebalancer (DESIGN
+  // §5.8). Dynamic copies carry no fast-scan variants — streams they serve
+  // fall back to skip-mode scans — and they are the only copies the planner
+  // may demote when the title goes cold.
+  bool dynamic = false;
 };
 
 struct ContentRecord {

@@ -30,10 +30,14 @@ Coordinator::Coordinator(Machine& machine, NetNode& node, std::shared_ptr<Catalo
     // simply turns off rather than half-working.
     CALLIOPE_LOG(kWarning, "coord") << "stream sharing unsupported with HA; disabling sharing";
     params_.sharing.enabled = false;
+    sharing_disabled_ha_ = true;
   }
   (void)node_->ListenTcp(params_.listen_port, [this](TcpConn* conn) { OnAccept(conn); });
   if (params_.ha.enabled) {
     StartHa();
+  }
+  if (params_.rebalance.enabled) {
+    RebalanceLoop();
   }
 }
 
@@ -58,7 +62,18 @@ void Coordinator::AttachObservability(MetricsRegistry* metrics, TraceRecorder* t
     repl_batches_ = nullptr;
     repl_records_shipped_ = nullptr;
     takeover_gap_us_ = nullptr;
+    rebalance_ticks_ = nullptr;
+    rebalance_copies_started_ = nullptr;
+    rebalance_copies_installed_ = nullptr;
+    rebalance_copies_aborted_ = nullptr;
+    rebalance_preemptions_ = nullptr;
+    rebalance_demotions_ = nullptr;
     return;
+  }
+  if (sharing_disabled_ha_) {
+    // The constructor force-disabled sharing under HA: make the degradation
+    // explicit in the metrics instead of silently serving unique streams.
+    metrics_->counter(metrics_prefix_ + ".sharing.disabled_ha").Add();
   }
   admit_accepted_ = &metrics_->counter(metrics_prefix_ + ".admissions.accepted");
   admit_rejected_ = &metrics_->counter(metrics_prefix_ + ".admissions.rejected");
@@ -114,6 +129,18 @@ void Coordinator::AttachObservability(MetricsRegistry* metrics, TraceRecorder* t
                                [this] { return oplog_appended_ - oplog_acked_; });
     metrics_->SetGaugeCallback(metrics_prefix_ + ".repl.log_len", [this] {
       return static_cast<int64_t>(pending_records_.size());
+    });
+  }
+  if (params_.rebalance.enabled) {
+    rebalance_ticks_ = &metrics_->counter(metrics_prefix_ + ".rebalance.ticks");
+    rebalance_copies_started_ = &metrics_->counter(metrics_prefix_ + ".rebalance.copies_started");
+    rebalance_copies_installed_ =
+        &metrics_->counter(metrics_prefix_ + ".rebalance.copies_installed");
+    rebalance_copies_aborted_ = &metrics_->counter(metrics_prefix_ + ".rebalance.copies_aborted");
+    rebalance_preemptions_ = &metrics_->counter(metrics_prefix_ + ".rebalance.preemptions");
+    rebalance_demotions_ = &metrics_->counter(metrics_prefix_ + ".rebalance.demotions");
+    metrics_->SetGaugeCallback(metrics_prefix_ + ".rebalance.active_copies", [this] {
+      return static_cast<int64_t>(repl_ops_.size());
     });
   }
 }
@@ -202,6 +229,12 @@ Co<MessageBody> Coordinator::Dispatch(TcpConn* conn, MessageArg request) {
   } else if (const auto* report = std::get_if<StreamProgressReport>(&body)) {
     HandleProgressReport(*report);
     response = MessageBody{SimpleResponse{true, ""}};
+  } else if (const auto* installed = std::get_if<ReplicaInstalled>(&body)) {
+    HandleReplicaInstalled(*installed);
+    response = MessageBody{SimpleResponse{true, ""}};
+  } else if (const auto* copy_failed = std::get_if<ReplicaCopyFailed>(&body)) {
+    HandleReplicaCopyFailed(*copy_failed);
+    response = MessageBody{SimpleResponse{true, ""}};
   }
 
   // Synchronous log shipping: no externally visible state change leaves here
@@ -245,6 +278,7 @@ void Coordinator::Crash() {
   share_batches_.clear();
   popularity_.clear();
   popularity_bumped_.clear();
+  repl_ops_.clear();  // in-flight copies are orphaned; MSUs finish or abort alone
   ledger_ = ResourceLedger();
   // HA volatile state dies with the process.
   repl_conn_ = nullptr;
@@ -274,6 +308,9 @@ void Coordinator::Restart() {
       trace_->Instant(trace_track_, metrics_prefix_, "restart", "rejoining as standby");
     }
     BecomeStandby();
+    if (params_.rebalance.enabled) {
+      RebalanceLoop();  // the crash broke the loop; it idles until primary
+    }
     return;
   }
   // The catalog survived (the paper's durable database); scrub recordings
@@ -292,6 +329,9 @@ void Coordinator::Restart() {
   crashed_ = false;
   if (trace_ != nullptr) {
     trace_->Instant(trace_track_, metrics_prefix_, "restart");
+  }
+  if (params_.rebalance.enabled) {
+    RebalanceLoop();
   }
 }
 
@@ -572,6 +612,35 @@ Co<Status> Coordinator::TryStartGroup(const PendingRequest& request) {
     co_return spec.status();
   }
   auto placement = policy_->Place(*spec, ledger_);
+  if (!placement.ok() && placement.status().code() == StatusCode::kResourceExhausted &&
+      !repl_ops_.empty()) {
+    // Live admissions outrank background copies (DESIGN §5.8): abort every
+    // in-flight copy touching a candidate MSU, then re-run placement once
+    // against the freed bandwidth.
+    std::vector<int64_t> preempt;
+    for (const auto& [op_id, op] : repl_ops_) {
+      bool overlaps = spec->record;  // recordings may land on any MSU
+      for (const ComponentSpec& component : spec->components) {
+        for (const PlacementCandidate& candidate : component.candidates) {
+          if (candidate.msu == op.source_msu || candidate.msu == op.target_msu) {
+            overlaps = true;
+          }
+        }
+      }
+      if (overlaps) {
+        preempt.push_back(op_id);
+      }
+    }
+    if (!preempt.empty()) {
+      for (int64_t op_id : preempt) {
+        AbortReplication(op_id, "preempted by live admission");
+      }
+      if (rebalance_preemptions_ != nullptr) {
+        rebalance_preemptions_->Add(static_cast<int64_t>(preempt.size()));
+      }
+      placement = policy_->Place(*spec, ledger_);
+    }
+  }
   if (!placement.ok()) {
     co_return placement.status();
   }
@@ -620,8 +689,21 @@ Co<Status> Coordinator::TryStartGroup(const PendingRequest& request) {
     }
     if (!request.record) {
       auto content = catalog_->FindContent(component.item_name);
-      start.fast_forward_file = (*content)->fast_forward_file;
-      start.fast_backward_file = (*content)->fast_backward_file;
+      // Dynamic replicas carry no fast-scan variants (only the title's data
+      // file is copied); a stream served from one falls back to skip-mode
+      // scans rather than dangling file references (DESIGN §5.8).
+      bool dynamic_copy = false;
+      for (const ContentLocation& location : (*content)->locations) {
+        const std::string& copy_file =
+            location.file_name.empty() ? (*content)->file_name : location.file_name;
+        if (location.dynamic && location.msu_node == chosen_msu && copy_file == start.file) {
+          dynamic_copy = true;
+        }
+      }
+      if (!dynamic_copy) {
+        start.fast_forward_file = (*content)->fast_forward_file;
+        start.fast_backward_file = (*content)->fast_backward_file;
+      }
     }
 
     // The MSU may have died while earlier members were starting.
@@ -734,6 +816,12 @@ Co<MessageBody> Coordinator::HandlePlay(TcpConn* conn, const PlayRequest& reques
   pending.port = port->second;
   pending.group = next_group_++;
 
+  if (params_.rebalance.enabled && !params_.sharing.enabled) {
+    // Sharing normally owns the popularity EWMA; with it off (for instance
+    // force-disabled under HA) the rebalance planner still needs the signal.
+    BumpPopularity(pending.content);
+  }
+
   if (SharingEligible(pending)) {
     BumpPopularity(pending.content);
     const SimTime admit_start = machine_->sim().Now();
@@ -812,10 +900,10 @@ void Coordinator::BumpPopularity(const std::string& content) {
   popularity_bumped_[content] = now;
 }
 
-bool Coordinator::IsHot(const std::string& content) const {
+double Coordinator::DecayedPopularity(const std::string& content) const {
   auto it = popularity_.find(content);
   if (it == popularity_.end()) {
-    return false;
+    return 0.0;
   }
   double value = it->second;
   auto bumped = popularity_bumped_.find(content);
@@ -824,7 +912,11 @@ bool Coordinator::IsHot(const std::string& content) const {
                        params_.sharing.popularity_halflife.seconds();
     value *= std::exp2(-age);
   }
-  return value >= params_.sharing.hot_threshold;
+  return value;
+}
+
+bool Coordinator::IsHot(const std::string& content) const {
+  return DecayedPopularity(content) >= params_.sharing.hot_threshold;
 }
 
 const Coordinator::SharedGroup* Coordinator::FindAttachTarget(const std::string& content) const {
@@ -1157,6 +1249,347 @@ Co<MessageBody> Coordinator::HandleSharedMemberSplit(const SharedMemberSplit& sp
   co_return MessageBody{SimpleResponse{true, ""}};
 }
 
+// ---- background rebalancing (DESIGN §5.8) ----
+
+Task Coordinator::RebalanceLoop() {
+  if (rebalance_loop_running_ || !params_.rebalance.enabled) {
+    co_return;
+  }
+  rebalance_loop_running_ = true;
+  while (!crashed_) {
+    co_await machine_->sim().Delay(params_.rebalance.interval);
+    if (crashed_) {
+      break;
+    }
+    if (params_.ha.enabled && role_ != HaRole::kPrimary) {
+      continue;  // the standby mirrors in-flight ops but never plans
+    }
+    if (rebalance_ticks_ != nullptr) {
+      rebalance_ticks_->Add();
+    }
+    const int slots =
+        params_.rebalance.max_concurrent_copies - static_cast<int>(repl_ops_.size());
+    RebalancePlan plan = PlanRebalance(BuildRebalanceSnapshot(), params_.rebalance, slots);
+    for (const DemoteAction& demote : plan.demotes) {
+      if (crashed_ || (params_.ha.enabled && role_ != HaRole::kPrimary)) {
+        break;
+      }
+      co_await ExecuteDemotion(demote);
+    }
+    for (const CopyAction& copy : plan.copies) {
+      if (crashed_ || (params_.ha.enabled && role_ != HaRole::kPrimary)) {
+        break;
+      }
+      co_await StartReplication(copy);
+    }
+  }
+  rebalance_loop_running_ = false;
+}
+
+RebalanceSnapshot Coordinator::BuildRebalanceSnapshot() const {
+  RebalanceSnapshot snapshot;
+  snapshot.disk_budget = params_.disk_budget;
+  for (const auto& [name, account] : ledger_.msus()) {
+    MsuView view;
+    view.node = name;
+    view.up = account.up;
+    view.nic_budget = account.nic_budget;
+    view.nic_load = account.NicLoad();
+    view.free_space = account.free_space;
+    for (const DiskAccount& disk : account.disks) {
+      DiskView disk_view;
+      disk_view.load = disk.load + disk.replication_io;
+      view.disks.push_back(disk_view);
+    }
+    snapshot.msus.push_back(std::move(view));
+  }
+  // Titles in catalog (name) order, so the plan is a pure function of state.
+  for (const ContentRecord* record : catalog_->ListContent()) {
+    if (record->is_composite() || record->recording_in_progress || record->locations.empty()) {
+      continue;
+    }
+    TitleView title;
+    title.name = record->name;
+    title.popularity = DecayedPopularity(record->name);
+    for (const PendingRequest& request : pending_) {
+      if (!request.record && request.content == record->name) {
+        ++title.pending;
+      }
+    }
+    auto type = catalog_->FindType(record->type_name);
+    if (type.ok()) {
+      title.size = (*type)->storage_rate.BytesIn(record->duration);
+    }
+    for (const ContentLocation& location : record->locations) {
+      ReplicaView replica;
+      replica.msu = location.msu_node;
+      replica.disk = location.disk;
+      replica.file = location.file_name.empty() ? record->file_name : location.file_name;
+      replica.dynamic = location.dynamic;
+      for (const auto& [id, active] : active_streams_) {
+        if (active.content_item == record->name && active.msu == location.msu_node) {
+          ++replica.active_streams;
+        }
+      }
+      title.replicas.push_back(std::move(replica));
+    }
+    for (const auto& [op_id, op] : repl_ops_) {
+      if (op.content == record->name) {
+        title.inflight_targets.push_back(op.target_msu);
+      }
+    }
+    snapshot.titles.push_back(std::move(title));
+  }
+  return snapshot;
+}
+
+Co<void> Coordinator::StartReplication(CopyAction action) {
+  auto source_it = msus_.find(action.source_msu);
+  if (source_it == msus_.end() || source_it->second.conn == nullptr ||
+      !ledger_.IsUp(action.source_msu)) {
+    co_return;
+  }
+  const int64_t op_id = next_repl_op_++;
+  const DataRate rate = params_.rebalance.copy_rate;
+
+  // The source admits the copy against its duty cycle in PrepareCopy; a
+  // refusal (every slot serving viewers) just skips this copy until a later
+  // tick — background replication never displaces live work.
+  MsuPrepareCopy prepare;
+  prepare.op = op_id;
+  prepare.file = action.source_file;
+  prepare.rate = rate;
+  prepare.epoch = params_.ha.enabled ? epoch_ : 0;
+  auto prepared = co_await source_it->second.conn->Call(MessageBody{std::move(prepare)});
+  const auto* prep =
+      prepared.ok() ? std::get_if<MsuPrepareCopyResponse>(&prepared->body) : nullptr;
+  if (prep == nullptr || !prep->ok) {
+    co_return;
+  }
+  if (crashed_ || (params_.ha.enabled && role_ != HaRole::kPrimary)) {
+    SendAbortCopy(action.source_msu, op_id);  // release the source's slot
+    co_return;
+  }
+
+  ReplOp op;
+  op.op = op_id;
+  op.content = action.content;
+  op.source_msu = action.source_msu;
+  op.source_disk = prep->disk;
+  op.source_file = action.source_file;
+  op.target_msu = action.target_msu;
+  op.target_disk = action.target_disk;
+  op.replica_file = action.content + ".r" + std::to_string(op_id);
+  op.rate = rate;
+  op.space = prep->file_size.count() > 0 ? prep->file_size : action.space;
+
+  MsuBeginCopy begin;
+  begin.op = op_id;
+  begin.content = op.content;
+  begin.source_node = op.source_msu;
+  begin.source_port = prep->pull_port;
+  begin.source_file = op.source_file;
+  begin.replica_file = op.replica_file;
+  begin.rate = rate;
+  begin.page_count = prep->page_count;
+  begin.estimated_size = op.space;
+  begin.disk_hint = op.target_disk;
+  begin.epoch = params_.ha.enabled ? epoch_ : 0;
+  auto target_it = msus_.find(action.target_msu);
+  Result<Envelope> began = UnavailableError("target msu went down");
+  if (target_it != msus_.end() && target_it->second.conn != nullptr &&
+      ledger_.IsUp(action.target_msu)) {
+    began = co_await target_it->second.conn->Call(MessageBody{std::move(begin)});
+  }
+  const auto* ack = began.ok() ? std::get_if<SimpleResponse>(&began->body) : nullptr;
+  if (crashed_ || (params_.ha.enabled && role_ != HaRole::kPrimary) || ack == nullptr ||
+      !ack->ok) {
+    SendAbortCopy(action.source_msu, op_id);
+    SendAbortCopy(action.target_msu, op_id);
+    co_return;
+  }
+
+  // Both ends are running: account the copy's bandwidth (and the replica's
+  // space) so placement routes live admissions around it, and replicate the
+  // op so a standby takeover keeps the plan.
+  (void)ledger_.AddReplication(op_id, op.source_msu, op.source_disk, rate);
+  (void)ledger_.AddReplication(op_id, op.target_msu, op.target_disk, rate, op.space);
+  ReplReplicationStarted started;
+  started.op = op_id;
+  started.content = op.content;
+  started.source_msu = op.source_msu;
+  started.source_disk = op.source_disk;
+  started.source_file = op.source_file;
+  started.target_msu = op.target_msu;
+  started.target_disk = op.target_disk;
+  started.replica_file = op.replica_file;
+  started.rate = rate;
+  started.space = op.space;
+  LogRecord(ReplRecord{std::move(started)});
+  if (rebalance_copies_started_ != nullptr) {
+    rebalance_copies_started_->Add();
+  }
+  if (trace_ != nullptr) {
+    trace_->Instant(trace_track_, metrics_prefix_, "rebalance-copy",
+                    op.content + " " + op.source_msu + " -> " + op.target_msu + " op " +
+                        std::to_string(op_id));
+  }
+  repl_ops_[op_id] = std::move(op);
+}
+
+Co<void> Coordinator::ExecuteDemotion(DemoteAction action) {
+  auto record = catalog_->FindContent(action.content);
+  if (!record.ok()) {
+    co_return;
+  }
+  // Re-validate against live state (the plan came from a snapshot): the
+  // replica must still be dynamic and idle.
+  for (const auto& [id, active] : active_streams_) {
+    if (active.content_item == action.content && active.msu == action.msu) {
+      co_return;
+    }
+  }
+  auto& locations = (*record)->locations;
+  bool found = false;
+  for (auto it = locations.begin(); it != locations.end(); ++it) {
+    const std::string& copy_file =
+        it->file_name.empty() ? (*record)->file_name : it->file_name;
+    if (it->dynamic && it->msu_node == action.msu && copy_file == action.file) {
+      locations.erase(it);  // catalog first: no new admission lands on it
+      found = true;
+      break;
+    }
+  }
+  if (!found) {
+    co_return;
+  }
+  if (rebalance_demotions_ != nullptr) {
+    rebalance_demotions_->Add();
+  }
+  if (trace_ != nullptr) {
+    trace_->Instant(trace_track_, metrics_prefix_, "rebalance-demote",
+                    action.content + " off " + action.msu);
+  }
+  SendDeleteFile(action.msu, action.file);
+}
+
+void Coordinator::HandleReplicaInstalled(const ReplicaInstalled& note) {
+  auto it = repl_ops_.find(note.op);
+  const bool known = it != repl_ops_.end();
+  if (known) {
+    repl_ops_.erase(it);
+  }
+  (void)ledger_.ReleaseReplication(note.op, /*keep_space=*/true);
+  auto record = catalog_->FindContent(note.content);
+  if (!record.ok()) {
+    // The title was deleted while the copy ran; the fresh replica is orphaned.
+    SendDeleteFile(note.msu_node, note.file);
+    if (known) {
+      ReplReplicationEnded ended;
+      ended.op = note.op;
+      ended.installed = false;
+      LogRecord(ReplRecord{std::move(ended)});
+    }
+    return;
+  }
+  // Install the copy (idempotent: a note resent over a fresh connection, or
+  // one landing at a post-takeover primary, must not duplicate the location).
+  bool already = false;
+  for (const ContentLocation& location : (*record)->locations) {
+    if (location.msu_node == note.msu_node && location.file_name == note.file) {
+      already = true;
+    }
+  }
+  if (!already) {
+    ContentLocation location{note.msu_node, note.disk};
+    location.file_name = note.file;
+    location.dynamic = true;
+    (*record)->locations.push_back(std::move(location));
+  }
+  if (known) {
+    ReplReplicationEnded ended;
+    ended.op = note.op;
+    ended.installed = true;
+    LogRecord(ReplRecord{std::move(ended)});
+  }
+  if (rebalance_copies_installed_ != nullptr) {
+    rebalance_copies_installed_->Add();
+  }
+  if (trace_ != nullptr) {
+    trace_->Instant(trace_track_, metrics_prefix_, "rebalance-installed",
+                    note.content + " on " + note.msu_node + " op " + std::to_string(note.op));
+  }
+  // Queued requests — the flash crowd — can now land on the fresh replica.
+  RetryPendingQueue();
+}
+
+void Coordinator::HandleReplicaCopyFailed(const ReplicaCopyFailed& note) {
+  if (!repl_ops_.contains(note.op)) {
+    return;  // already aborted, or an orphan of a previous incarnation
+  }
+  CALLIOPE_LOG(kInfo, "coord") << "replica copy op " << note.op << " failed on "
+                               << note.msu_node << ": " << note.error;
+  AbortReplication(note.op, note.error);
+}
+
+void Coordinator::AbortReplication(int64_t op_id, const std::string& reason) {
+  auto it = repl_ops_.find(op_id);
+  if (it == repl_ops_.end()) {
+    return;
+  }
+  ReplOp op = std::move(it->second);
+  repl_ops_.erase(it);
+  (void)ledger_.ReleaseReplication(op_id, /*keep_space=*/false);
+  ReplReplicationEnded ended;
+  ended.op = op_id;
+  ended.installed = false;
+  LogRecord(ReplRecord{std::move(ended)});
+  if (rebalance_copies_aborted_ != nullptr) {
+    rebalance_copies_aborted_->Add();
+  }
+  if (trace_ != nullptr) {
+    trace_->Instant(trace_track_, metrics_prefix_, "rebalance-abort",
+                    op.content + " op " + std::to_string(op_id) + ": " + reason);
+  }
+  SendAbortCopy(op.source_msu, op_id);
+  SendAbortCopy(op.target_msu, op_id);
+}
+
+Task Coordinator::SendAbortCopy(std::string msu_node, int64_t op_id) {
+  auto it = msus_.find(msu_node);
+  if (crashed_ || it == msus_.end() || it->second.conn == nullptr || !ledger_.IsUp(msu_node)) {
+    co_return;
+  }
+  MsuAbortCopy abort;
+  abort.op = op_id;
+  abort.epoch = params_.ha.enabled ? epoch_ : 0;
+  auto response = co_await it->second.conn->Call(MessageBody{std::move(abort)});
+  (void)response;
+}
+
+Task Coordinator::SendDeleteFile(std::string msu_node, std::string file) {
+  auto it = msus_.find(msu_node);
+  if (crashed_ || it == msus_.end() || it->second.conn == nullptr || !ledger_.IsUp(msu_node)) {
+    co_return;
+  }
+  MsuDeleteFile erase_file{std::move(file)};
+  erase_file.epoch = params_.ha.enabled ? epoch_ : 0;
+  auto response = co_await it->second.conn->Call(MessageBody{std::move(erase_file)});
+  (void)response;
+}
+
+void Coordinator::AbortReplicationsTouching(const std::string& msu_node) {
+  std::vector<int64_t> doomed;
+  for (const auto& [op_id, op] : repl_ops_) {
+    if (op.source_msu == msu_node || op.target_msu == msu_node) {
+      doomed.push_back(op_id);
+    }
+  }
+  for (int64_t op_id : doomed) {
+    AbortReplication(op_id, "msu " + msu_node + " went down");
+  }
+}
+
 Co<MessageBody> Coordinator::HandleRecord(TcpConn* conn, const RecordRequest& request) {
   auto session = FindSession(request.session);
   if (!session.ok()) {
@@ -1224,6 +1657,16 @@ Co<MessageBody> Coordinator::HandleDelete(TcpConn* conn, const DeleteContentRequ
     }
   }
   for (const std::string& item_name : items) {
+    // Copies of the doomed title still in flight are pointless now.
+    std::vector<int64_t> doomed;
+    for (const auto& [op_id, op] : repl_ops_) {
+      if (op.content == item_name) {
+        doomed.push_back(op_id);
+      }
+    }
+    for (int64_t op_id : doomed) {
+      AbortReplication(op_id, "content deleted");
+    }
     auto item = catalog_->FindContent(item_name);
     if (!item.ok()) {
       continue;
@@ -1449,6 +1892,10 @@ void Coordinator::MarkMsuDown(MsuInfo& msu) {
       ++it;
     }
   }
+
+  // In-flight background copies reading from or writing to the dead MSU die
+  // with it; the surviving end is told to stop and the holds are refunded.
+  AbortReplicationsTouching(msu.node);
 
   // Partition the failed MSU's streams by group (every member of a group
   // lives on one MSU, so a group is lost whole or not at all).

@@ -31,6 +31,7 @@
 #include "src/obs/trace.h"
 #include "src/place/ledger.h"
 #include "src/place/policy.h"
+#include "src/rebalance/planner.h"
 #include "src/sim/condition.h"
 
 namespace calliope {
@@ -78,6 +79,10 @@ struct CoordinatorParams {
   // (shared-group state is not replicated; failover falls back to resuming
   // members as unique streams, which the non-HA path already provides).
   SharingConfig sharing;
+  // Background hot-title replication (DESIGN §5.8); disabled by default.
+  // Works with or without HA: in-flight copy ops are oplog-shipped, so a
+  // standby takeover keeps the plan.
+  RebalanceConfig rebalance;
 };
 
 class Coordinator {
@@ -116,6 +121,8 @@ class Coordinator {
   Bytes MsuFreeSpace(const std::string& msu) const;
   const ResourceLedger& ledger() const { return ledger_; }
   const char* placement_policy_name() const { return policy_->name(); }
+  // Background copies currently in flight (rebalancing, DESIGN §5.8).
+  size_t inflight_replication_count() const { return repl_ops_.size(); }
 
   // ---- HA introspection ----
   bool is_primary() const { return !params_.ha.enabled || role_ == HaRole::kPrimary; }
@@ -237,6 +244,47 @@ class Coordinator {
   // member's shared hold and re-admit it as a solo stream at the split offset.
   Co<MessageBody> HandleSharedMemberSplit(const SharedMemberSplit& split);
 
+  // ---- background rebalancing (DESIGN §5.8) ----
+  // One in-flight background copy, mirrored on the HA standby through
+  // ReplReplicationStarted/Ended records so takeover keeps the plan.
+  struct ReplOp {
+    ReplOp() = default;
+
+    int64_t op = 0;
+    std::string content;
+    std::string source_msu;
+    int source_disk = 0;
+    std::string source_file;
+    std::string target_msu;
+    int target_disk = -1;
+    std::string replica_file;
+    DataRate rate;
+    Bytes space;  // estimated replica size, held against the target
+  };
+
+  // Periodic planner tick: snapshot → PlanRebalance → execute. Runs on every
+  // coordinator with rebalancing enabled but only acts while primary.
+  Task RebalanceLoop();
+  RebalanceSnapshot BuildRebalanceSnapshot() const;
+  // The title's popularity EWMA decayed to now (same math as IsHot).
+  double DecayedPopularity(const std::string& content) const;
+  // Executes one planned copy: source PrepareCopy → target BeginCopy, then
+  // registers the op, takes its ledger holds and logs ReplReplicationStarted.
+  // Any refusal just skips the copy until a later tick.
+  Co<void> StartReplication(CopyAction action);
+  // Drops a cold dynamic replica: catalog first (no new admission lands on
+  // it), then the MSU file.
+  Co<void> ExecuteDemotion(DemoteAction action);
+  void HandleReplicaInstalled(const ReplicaInstalled& note);
+  void HandleReplicaCopyFailed(const ReplicaCopyFailed& note);
+  // Forgets op `op_id`: refunds its ledger holds, logs ReplReplicationEnded
+  // and tells both ends to stop (idempotent; dead MSUs are skipped).
+  void AbortReplication(int64_t op_id, const std::string& reason);
+  Task SendAbortCopy(std::string msu_node, int64_t op_id);
+  Task SendDeleteFile(std::string msu_node, std::string file);
+  // Every in-flight copy reading from or writing to `msu_node` dies with it.
+  void AbortReplicationsTouching(const std::string& msu_node);
+
   // ---- scheduling core ----
   // Starts all component streams of a (possibly composite) request on one
   // MSU. Returns kResourceExhausted when no MSU currently qualifies (the
@@ -317,6 +365,14 @@ class Coordinator {
   // has not been logged yet. Re-queued on takeover (zero-amnesia for a crash
   // mid-retry); always empty on a primary.
   std::vector<PendingRequest> repl_in_flight_;
+  // ---- rebalancing state (empty unless params_.rebalance.enabled) ----
+  std::map<int64_t, ReplOp> repl_ops_;  // in-flight background copies
+  int64_t next_repl_op_ = 1;
+  bool rebalance_loop_running_ = false;
+  // Set when HA forced sharing off at construction; surfaced as the
+  // `.sharing.disabled_ha` counter at attach time so the degradation is
+  // explicit rather than silent.
+  bool sharing_disabled_ha_ = false;
   SessionId next_session_ = 1;
   StreamId next_stream_ = 1;
   GroupId next_group_ = 1;
@@ -365,6 +421,12 @@ class Coordinator {
   Counter* repl_batches_ = nullptr;
   Counter* repl_records_shipped_ = nullptr;
   Histogram* takeover_gap_us_ = nullptr;
+  Counter* rebalance_ticks_ = nullptr;
+  Counter* rebalance_copies_started_ = nullptr;
+  Counter* rebalance_copies_installed_ = nullptr;
+  Counter* rebalance_copies_aborted_ = nullptr;
+  Counter* rebalance_preemptions_ = nullptr;
+  Counter* rebalance_demotions_ = nullptr;
 };
 
 }  // namespace calliope

@@ -403,6 +403,32 @@ void Coordinator::ApplyReplRecord(const ReplRecord& record) {
     }
     return;
   }
+  if (const auto* r = std::get_if<ReplReplicationStarted>(&record)) {
+    ReplOp op;
+    op.op = r->op;
+    op.content = r->content;
+    op.source_msu = r->source_msu;
+    op.source_disk = r->source_disk;
+    op.source_file = r->source_file;
+    op.target_msu = r->target_msu;
+    op.target_disk = r->target_disk;
+    op.replica_file = r->replica_file;
+    op.rate = r->rate;
+    op.space = r->space;
+    repl_ops_[r->op] = std::move(op);
+    if (r->op >= next_repl_op_) {
+      // Post-takeover mints must not collide with ops the MSUs still track.
+      next_repl_op_ = r->op + 1;
+    }
+    (void)ledger_.AddReplication(r->op, r->source_msu, r->source_disk, r->rate);
+    (void)ledger_.AddReplication(r->op, r->target_msu, r->target_disk, r->rate, r->space);
+    return;
+  }
+  if (const auto* r = std::get_if<ReplReplicationEnded>(&record)) {
+    (void)ledger_.ReleaseReplication(r->op, r->installed);
+    repl_ops_.erase(r->op);
+    return;
+  }
   if (const auto* r = std::get_if<ReplProgress>(&record)) {
     for (const ReplProgress::Entry& entry : r->entries) {
       auto it = active_streams_.find(entry.stream);
@@ -429,6 +455,13 @@ std::vector<ReplRecord> Coordinator::BuildSnapshotRecords() const {
         free += hold.space;
       }
     });
+    // Replication holds re-debit through the replayed ReplReplicationStarted.
+    ledger_.ForEachReplication(
+        [&](int64_t, const ResourceLedger::ReplicationHoldInfo& hold) {
+          if (hold.msu == name && hold.current_epoch) {
+            free += hold.space;
+          }
+        });
     up.free_space = free;
     up.nic_budget = account.nic_budget;
     up.cache_memory = account.cache_memory;
@@ -488,6 +521,20 @@ std::vector<ReplRecord> Coordinator::BuildSnapshotRecords() const {
     pushed.request = request;
     records.push_back(ReplRecord{std::move(pushed)});
   }
+  for (const auto& [op_id, op] : repl_ops_) {
+    ReplReplicationStarted started;
+    started.op = op_id;
+    started.content = op.content;
+    started.source_msu = op.source_msu;
+    started.source_disk = op.source_disk;
+    started.source_file = op.source_file;
+    started.target_msu = op.target_msu;
+    started.target_disk = op.target_disk;
+    started.replica_file = op.replica_file;
+    started.rate = op.rate;
+    started.space = op.space;
+    records.push_back(ReplRecord{std::move(started)});
+  }
   return records;
 }
 
@@ -500,6 +547,7 @@ void Coordinator::ResetVolatileState() {
   group_requests_.clear();
   pending_.clear();
   repl_in_flight_.clear();
+  repl_ops_.clear();
   ledger_ = ResourceLedger();
 }
 

@@ -43,6 +43,16 @@ Msu::Msu(Machine& machine, NetNode& node, MsuParams params)
   }
   (void)node_->BindUdp(params_.media_udp_port,
                        [this](const Datagram& datagram) { OnMediaDatagram(datagram); });
+  // Replica pull listener (DESIGN §5.8): copy targets dial this port and pull
+  // one page per request; the pull's duty slot was admitted at prepare time.
+  (void)node_->ListenTcp(params_.replica_pull_port, [this](TcpConn* conn) {
+    conn->set_request_handler([this](const MessageBody& body) -> Co<MessageBody> {
+      if (const auto* pull = std::get_if<ReplPullRequest>(&body)) {
+        co_return co_await ServeReplicaPull(*pull);
+      }
+      co_return MessageBody{SimpleResponse{false, "msu: not a replica pull"}};
+    });
+  });
   ProgressReporter();
 }
 
@@ -67,6 +77,11 @@ void Msu::AttachObservability(MetricsRegistry* metrics, TraceRecorder* trace) {
     cache_misses_metric_ = nullptr;
     cache_insertions_metric_ = nullptr;
     cache_evictions_metric_ = nullptr;
+    repl_pages_metric_ = nullptr;
+    repl_bytes_metric_ = nullptr;
+    repl_installs_metric_ = nullptr;
+    repl_aborts_metric_ = nullptr;
+    repl_preempts_metric_ = nullptr;
     return;
   }
   // Cluster-global fidelity counters (find-or-create: all MSUs share them).
@@ -81,6 +96,12 @@ void Msu::AttachObservability(MetricsRegistry* metrics, TraceRecorder* trace) {
   cache_misses_metric_ = &metrics_->counter("sim.cache.misses");
   cache_insertions_metric_ = &metrics_->counter("sim.cache.insertions");
   cache_evictions_metric_ = &metrics_->counter("sim.cache.evictions");
+  // Cluster-global background-replication counters (DESIGN §5.8).
+  repl_pages_metric_ = &metrics_->counter("repl.pages_copied");
+  repl_bytes_metric_ = &metrics_->counter("repl.bytes_copied");
+  repl_installs_metric_ = &metrics_->counter("repl.installs");
+  repl_aborts_metric_ = &metrics_->counter("repl.aborts");
+  repl_preempts_metric_ = &metrics_->counter("repl.preemptions");
   const std::string prefix = "msu." + node_->name() + ".";
   packets_sent_metric_ = &metrics_->counter(prefix + "packets_sent");
   packets_late_metric_ = &metrics_->counter(prefix + "packets_late");
@@ -203,6 +224,24 @@ Co<Status> Msu::RegisterWithCoordinator(std::string coordinator_node) {
           }
           co_return MessageBody{SimpleResponse{deleted.ok(), deleted.ok() ? "" : deleted.ToString()}};
         }
+        if (const auto* prepare = std::get_if<MsuPrepareCopy>(&body)) {
+          if (!AcceptEpoch(prepare->epoch, host)) {
+            co_return MessageBody{MsuPrepareCopyResponse{false, "stale epoch"}};
+          }
+          co_return HandlePrepareCopy(*prepare);
+        }
+        if (const auto* begin = std::get_if<MsuBeginCopy>(&body)) {
+          if (!AcceptEpoch(begin->epoch, host)) {
+            co_return MessageBody{SimpleResponse{false, "stale epoch"}};
+          }
+          co_return HandleBeginCopy(*begin);
+        }
+        if (const auto* abort = std::get_if<MsuAbortCopy>(&body)) {
+          if (!AcceptEpoch(abort->epoch, host)) {
+            co_return MessageBody{SimpleResponse{false, "stale epoch"}};
+          }
+          co_return HandleAbortCopy(*abort);
+        }
         co_return MessageBody{SimpleResponse{false, "msu: unexpected request"}};
       });
 
@@ -259,8 +298,9 @@ Co<Status> Msu::RegisterWithCoordinator(std::string coordinator_node) {
   }
   warm_eligible_ = true;
   // Terminations that went unacknowledged while no primary was reachable are
-  // owed to the new one.
+  // owed to the new one — and so are replica install/failure notes.
   FlushTerminationNotes();
+  FlushReplNotes();
   co_return OkStatus();
 }
 
@@ -358,7 +398,13 @@ Co<MessageBody> Msu::HandleStartStream(MsuStartStream request) {
   // viewers skip admission — their reads are meant to come out of the
   // interval cache; a miss spills to disk unadmitted (counted in sim.cache).
   if (!stream->from_cache_) {
-    if (Status admitted = duty_cycle_.Admit(stream->disk_, request.rate); !admitted.ok()) {
+    Status admitted = duty_cycle_.Admit(stream->disk_, request.rate);
+    if (!admitted.ok() && PreemptCopyOnDisk(stream->disk_)) {
+      // A background replica copy held the last slot: the live viewer wins
+      // (DESIGN §5.8 — replication must never displace real-time service).
+      admitted = duty_cycle_.Admit(stream->disk_, request.rate);
+    }
+    if (!admitted.ok()) {
       if (request.record) {
         (void)fs_.Delete(request.file);
       }
@@ -790,6 +836,406 @@ Task Msu::FlushTerminationNotes() {
   notes_flushing_ = false;
 }
 
+MessageBody Msu::HandlePrepareCopy(const MsuPrepareCopy& request) {
+  if (crashed_) {
+    return MessageBody{MsuPrepareCopyResponse{false, "msu down"}};
+  }
+  if (replica_sources_.count(request.op) != 0) {
+    return MessageBody{MsuPrepareCopyResponse{false, "op already prepared"}};
+  }
+  auto file = fs_.Lookup(request.file);
+  if (!file.ok()) {
+    return MessageBody{MsuPrepareCopyResponse{false, file.status().ToString()}};
+  }
+  if (!(*file)->committed()) {
+    return MessageBody{MsuPrepareCopyResponse{false, "content still recording"}};
+  }
+  const int disk = (*file)->home_disk();
+  // The copy reads like one extra viewer: it takes a real duty-cycle slot, so
+  // a source too busy to serve another stream refuses the copy too and the
+  // Coordinator retries from another replica (or next tick).
+  if (Status admitted = duty_cycle_.Admit(disk, request.rate); !admitted.ok()) {
+    return MessageBody{MsuPrepareCopyResponse{false, admitted.ToString()}};
+  }
+  ReplicaSourceOp source;
+  source.op = request.op;
+  source.file = request.file;
+  source.disk = disk;
+  source.rate = request.rate;
+  source.slot_held = true;
+  replica_sources_[request.op] = std::move(source);
+  MsuPrepareCopyResponse response(true, "");
+  response.disk = disk;
+  response.page_count = static_cast<int64_t>((*file)->pages_written());
+  // Block footprint, not payload: the target reserves whole 256 KB blocks.
+  response.file_size = kDataPageSize * response.page_count;
+  response.pull_port = params_.replica_pull_port;
+  return MessageBody{std::move(response)};
+}
+
+Co<MessageBody> Msu::ServeReplicaPull(ReplPullRequest request) {
+  ReplPullResponse response;
+  if (crashed_) {
+    response.error = "msu down";
+    co_return MessageBody{std::move(response)};
+  }
+  auto it = replica_sources_.find(request.op);
+  if (it == replica_sources_.end()) {
+    response.error = "unknown copy op";
+    co_return MessageBody{std::move(response)};
+  }
+  auto file = fs_.Lookup(it->second.file);
+  if (!file.ok()) {
+    response.error = file.status().ToString();
+    co_return MessageBody{std::move(response)};
+  }
+  auto page = co_await fs_.ReadPage(*file, static_cast<size_t>(request.page_index));
+  // The read may have raced an abort or crash; re-validate before answering.
+  it = replica_sources_.find(request.op);
+  if (crashed_ || it == replica_sources_.end()) {
+    response.error = "copy aborted";
+    co_return MessageBody{std::move(response)};
+  }
+  if (!page.ok()) {
+    response.error = page.status().ToString();
+    co_return MessageBody{std::move(response)};
+  }
+  response.ok = true;
+  response.page_bytes = kDataPageSize;
+  const int64_t page_total = static_cast<int64_t>((*file)->pages_written());
+  if (request.page_index + 1 >= page_total) {
+    response.last = true;
+    // Deep copy: the image must not dangle if the source deletes the file
+    // while the response is still on the wire.
+    response.image = std::make_shared<const IbTreeFile>((*file)->image());
+    // Source end done — the last page is served, free the read slot.
+    if (it->second.slot_held) {
+      duty_cycle_.Release(it->second.disk, it->second.rate);
+    }
+    replica_sources_.erase(it);
+  }
+  co_return MessageBody{std::move(response)};
+}
+
+MessageBody Msu::HandleBeginCopy(const MsuBeginCopy& request) {
+  if (crashed_) {
+    return MessageBody{SimpleResponse{false, "msu down"}};
+  }
+  if (replica_pulls_.count(request.op) != 0) {
+    return MessageBody{SimpleResponse{true, ""}};  // duplicate: already running
+  }
+  auto file = fs_.Create(request.replica_file, request.estimated_size, false, request.disk_hint);
+  if (!file.ok()) {
+    return MessageBody{SimpleResponse{false, file.status().ToString()}};
+  }
+  const int disk = (*file)->home_disk();
+  if (Status admitted = duty_cycle_.Admit(disk, request.rate); !admitted.ok()) {
+    (void)fs_.Delete(request.replica_file);
+    return MessageBody{SimpleResponse{false, admitted.ToString()}};
+  }
+  ReplicaPullOp pull;
+  pull.op = request.op;
+  pull.content = request.content;
+  pull.source_node = request.source_node;
+  pull.source_port = request.source_port;
+  pull.source_file = request.source_file;
+  pull.replica_file = request.replica_file;
+  pull.rate = request.rate;
+  pull.page_count = request.page_count;
+  pull.disk = disk;
+  pull.slot_held = true;
+  replica_pulls_[request.op] = std::move(pull);
+  RunReplicaPull(request.op);
+  return MessageBody{SimpleResponse{true, ""}};
+}
+
+MessageBody Msu::HandleAbortCopy(const MsuAbortCopy& request) {
+  auto pull_it = replica_pulls_.find(request.op);
+  if (pull_it != replica_pulls_.end()) {
+    AbortPull(pull_it->second, "aborted by coordinator");
+    return MessageBody{SimpleResponse{true, ""}};
+  }
+  auto source_it = replica_sources_.find(request.op);
+  if (source_it != replica_sources_.end()) {
+    if (source_it->second.slot_held) {
+      duty_cycle_.Release(source_it->second.disk, source_it->second.rate);
+    }
+    replica_sources_.erase(source_it);
+  }
+  return MessageBody{SimpleResponse{true, ""}};  // idempotent: unknown op acked
+}
+
+void Msu::AbortPull(ReplicaPullOp& pull, std::string reason) {
+  if (pull.aborted) {
+    return;
+  }
+  pull.aborted = true;
+  pull.abort_reason = std::move(reason);
+  if (pull.slot_held) {
+    duty_cycle_.Release(pull.disk, pull.rate);
+    pull.slot_held = false;
+  }
+  // A pending pull Call fails as the connection closes, waking the loop; a
+  // loop asleep at its pace point notices `aborted` when the timer fires.
+  if (pull.conn != nullptr && !pull.conn->closed()) {
+    pull.conn->Close();
+  }
+}
+
+bool Msu::PreemptCopyOnDisk(int disk_index) {
+  for (auto& [op, pull] : replica_pulls_) {
+    if (pull.disk == disk_index && pull.slot_held && !pull.aborted) {
+      if (trace_ != nullptr) {
+        trace_->Instant(node_->name(), "msu", "copy-preempt", "op " + std::to_string(op));
+      }
+      if (repl_preempts_metric_ != nullptr) {
+        repl_preempts_metric_->Add();
+      }
+      AbortPull(pull, "preempted by live admission");
+      return true;
+    }
+  }
+  for (auto it = replica_sources_.begin(); it != replica_sources_.end(); ++it) {
+    if (it->second.disk != disk_index || !it->second.slot_held) {
+      continue;
+    }
+    // Killing the source serve (not just its slot): an unaccounted read
+    // stream on a saturated disk is exactly what replication must never be.
+    duty_cycle_.Release(it->second.disk, it->second.rate);
+    if (trace_ != nullptr) {
+      trace_->Instant(node_->name(), "msu", "copy-preempt",
+                      "op " + std::to_string(it->first) + " (source)");
+    }
+    if (repl_preempts_metric_ != nullptr) {
+      repl_preempts_metric_->Add();
+    }
+    ReplicaCopyFailed note;
+    note.op = it->first;
+    note.msu_node = node_->name();
+    note.error = "preempted by live admission (copy source)";
+    replica_sources_.erase(it);
+    QueueReplNote(MessageBody{std::move(note)});
+    return true;
+  }
+  return false;
+}
+
+Task Msu::RunReplicaPull(int64_t op_id) {
+  // Immutable fields are copied out up front; everything mutable is
+  // re-fetched after every await, because aborts, preemptions and crashes
+  // mutate replica_pulls_ underneath the suspended loop.
+  std::string source_node;
+  int source_port = 0;
+  DataRate rate;
+  int64_t page_count = 0;
+  {
+    auto it = replica_pulls_.find(op_id);
+    if (it == replica_pulls_.end()) {
+      co_return;
+    }
+    source_node = it->second.source_node;
+    source_port = it->second.source_port;
+    rate = it->second.rate;
+    page_count = it->second.page_count;
+  }
+  auto conn = co_await node_->ConnectTcp(source_node, source_port);
+  {
+    auto it = replica_pulls_.find(op_id);
+    if (it == replica_pulls_.end()) {
+      // Crashed away mid-dial; Restart() reclaims the partial file.
+      if (conn.ok()) {
+        (*conn)->Close();
+      }
+      co_return;
+    }
+    if (!conn.ok()) {
+      it->second.aborted = true;
+      it->second.abort_reason = "source dial failed: " + conn.status().ToString();
+    } else {
+      it->second.conn = *conn;
+    }
+  }
+  const SimTime per_page = rate.TransferTime(kDataPageSize);
+  SimTime next_due = sim().Now();
+  for (int64_t page = 0; conn.ok() && page < page_count; ++page) {
+    {
+      auto it = replica_pulls_.find(op_id);
+      if (it == replica_pulls_.end()) {
+        co_return;
+      }
+      if (it->second.aborted) {
+        break;
+      }
+    }
+    ReplPullRequest pull_request;
+    pull_request.op = op_id;
+    pull_request.page_index = page;
+    auto response = co_await (*conn)->Call(MessageBody{std::move(pull_request)});
+    auto it = replica_pulls_.find(op_id);
+    if (it == replica_pulls_.end()) {
+      co_return;
+    }
+    if (it->second.aborted) {
+      break;
+    }
+    if (!response.ok()) {
+      it->second.aborted = true;
+      it->second.abort_reason = "pull failed: " + response.status().ToString();
+      break;
+    }
+    const auto* page_response = std::get_if<ReplPullResponse>(&response->body);
+    if (page_response == nullptr || !page_response->ok) {
+      it->second.aborted = true;
+      it->second.abort_reason =
+          page_response == nullptr ? "bad pull response" : page_response->error;
+      break;
+    }
+    if (page_response->last) {
+      it->second.image = page_response->image;
+    }
+    const Bytes page_bytes = page_response->page_bytes;
+    // Land the page on the local disk (allocates the block and charges a
+    // full-block write to the replica's home disk).
+    auto lookup = fs_.Lookup(it->second.replica_file);
+    if (!lookup.ok()) {
+      it->second.aborted = true;
+      it->second.abort_reason = lookup.status().ToString();
+      break;
+    }
+    Status written = co_await fs_.WriteNextPage(*lookup, page);
+    it = replica_pulls_.find(op_id);
+    if (it == replica_pulls_.end()) {
+      co_return;
+    }
+    if (it->second.aborted) {
+      break;
+    }
+    if (!written.ok()) {
+      it->second.aborted = true;
+      it->second.abort_reason = written.ToString();
+      break;
+    }
+    it->second.bytes_copied += page_bytes;
+    if (repl_pages_metric_ != nullptr) {
+      repl_pages_metric_->Add();
+    }
+    if (repl_bytes_metric_ != nullptr) {
+      repl_bytes_metric_->Add(page_bytes.count());
+    }
+    // Pace to the background rate: the wire charge happened in the pull
+    // response, this sleep keeps the long-run transfer at `rate` no matter
+    // how fast the network is.
+    next_due += per_page;
+    if (sim().Now() < next_due) {
+      const SimTime delay = next_due - sim().Now();
+      co_await sim().Delay(delay);
+    }
+  }
+
+  // Epilogue: install (image landed, not aborted) or roll the partial back.
+  auto it = replica_pulls_.find(op_id);
+  if (it == replica_pulls_.end()) {
+    co_return;
+  }
+  ReplicaPullOp done = std::move(it->second);
+  replica_pulls_.erase(it);
+  if (done.conn != nullptr && !done.conn->closed()) {
+    done.conn->Close();
+  }
+  if (done.slot_held) {
+    duty_cycle_.Release(done.disk, done.rate);
+  }
+  bool installed = false;
+  std::string error = done.abort_reason.empty() ? "copy failed" : done.abort_reason;
+  if (!done.aborted && done.image != nullptr) {
+    auto lookup = fs_.Lookup(done.replica_file);
+    if (lookup.ok()) {
+      IbTreeFile image = *std::static_pointer_cast<const IbTreeFile>(done.image);
+      const Status committed = fs_.CommitRecording(*lookup, std::move(image));
+      if (committed.ok()) {
+        installed = true;
+      } else {
+        error = committed.ToString();
+      }
+    } else {
+      error = lookup.status().ToString();
+    }
+  }
+  if (installed) {
+    FlushMetadataBehind();
+    if (trace_ != nullptr) {
+      trace_->Instant(node_->name(), "msu", "replica-install",
+                      done.content + " op " + std::to_string(done.op));
+    }
+    if (repl_installs_metric_ != nullptr) {
+      repl_installs_metric_->Add();
+    }
+    ReplicaInstalled note;
+    note.op = done.op;
+    note.msu_node = node_->name();
+    note.content = done.content;
+    note.file = done.replica_file;
+    note.disk = done.disk;
+    note.bytes_copied = done.bytes_copied;
+    QueueReplNote(MessageBody{std::move(note)});
+  } else {
+    page_cache_.InvalidateFile(done.replica_file);
+    (void)fs_.Delete(done.replica_file);
+    FlushMetadataBehind();
+    if (repl_aborts_metric_ != nullptr) {
+      repl_aborts_metric_->Add();
+    }
+    CALLIOPE_LOG(kWarning, "msu") << node_->name() << ": replica copy " << done.op
+                                  << " aborted: " << error;
+    ReplicaCopyFailed note;
+    note.op = done.op;
+    note.msu_node = node_->name();
+    note.error = error;
+    QueueReplNote(MessageBody{std::move(note)});
+  }
+}
+
+void Msu::QueueReplNote(MessageBody note) {
+  // Same queue-then-flush discipline as termination notes: a failover
+  // between the copy ending and the note arriving cannot orphan the result.
+  unsent_repl_notes_.push_back(std::move(note));
+  FlushReplNotes();
+}
+
+Task Msu::FlushReplNotes() {
+  if (repl_notes_flushing_) {
+    co_return;
+  }
+  repl_notes_flushing_ = true;
+  while (!unsent_repl_notes_.empty() && !crashed_ && coordinator_conn_ != nullptr &&
+         !coordinator_conn_->closed()) {
+    MessageBody note = unsent_repl_notes_.front();
+    auto response = co_await coordinator_conn_->Call(std::move(note));
+    if (!response.ok()) {
+      break;  // conn broke; the close handler's reconnect re-triggers a flush
+    }
+    const auto* ack = std::get_if<SimpleResponse>(&response->body);
+    if (ack == nullptr || !ack->ok) {
+      // "not primary": keep the note queued, drop the stale connection and
+      // redial until the new primary answers (it learned the op from the
+      // oplog shadow, or treats it as unknown and acks the cleanup).
+      TcpConn* stale = coordinator_conn_;
+      coordinator_conn_ = nullptr;
+      if (stale != nullptr && !stale->closed()) {
+        stale->Close();
+      }
+      ScheduleReconnect();
+      break;
+    }
+    unsent_repl_notes_.pop_front();
+  }
+  repl_notes_flushing_ = false;
+}
+
+int Msu::active_copy_count() const {
+  return static_cast<int>(replica_pulls_.size() + replica_sources_.size());
+}
+
 Task Msu::ProgressReporter() {
   // Periodically tells the Coordinator where each playback stream is in its
   // media, so failover can resume streams near the interruption point.
@@ -829,9 +1275,17 @@ void Msu::Crash() {
     trace_->Instant(node_->name(), "msu", "crash",
                     std::to_string(streams_.size()) + " streams cut");
   }
-  // Streams die with the process; content on disk survives.
+  // Streams die with the process; content on disk survives. Their duty-cycle
+  // slots and delivery buffers come back too — the allocator tables outlive
+  // the crash, and a restarted MSU serving zero streams must not inherit
+  // phantom slot holds (repeated crash cycles would strangle admission).
   for (auto& [id, stream] : streams_) {
     stream->StopInternal();
+    if (!stream->from_cache_) {
+      duty_cycle_.Release(stream->disk(), stream->rate_);
+    }
+    buffer_pool_.Release();
+    buffer_pool_.Release();
     if (trace_ != nullptr) {
       trace_->Span(node_->name(), "msu",
                    (stream->mode() == MsuStream::Mode::kRecord ? "record:" : "play:") +
@@ -850,6 +1304,25 @@ void Msu::Crash() {
   groups_.clear();
   node_->SetDown(true);
   coordinator_conn_ = nullptr;
+  // In-flight replica copies die with the process: free their duty slots so
+  // the restarted MSU's table starts clean for copies, and drop the op maps —
+  // resumed pull loops see the missing op and just exit. Partial replica
+  // files are uncommitted, so the Restart() sweep reclaims them.
+  for (auto& [op, pull] : replica_pulls_) {
+    (void)op;
+    if (pull.slot_held) {
+      duty_cycle_.Release(pull.disk, pull.rate);
+    }
+  }
+  replica_pulls_.clear();
+  for (auto& [op, source] : replica_sources_) {
+    (void)op;
+    if (source.slot_held) {
+      duty_cycle_.Release(source.disk, source.rate);
+    }
+  }
+  replica_sources_.clear();
+  unsent_repl_notes_.clear();
   // The process died: queued termination notes and warm-registration
   // eligibility are gone. epoch_hosts_ survives (a tiny durable epoch file),
   // so a restarted MSU still fences deposed primaries.

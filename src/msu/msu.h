@@ -249,6 +249,9 @@ struct MsuParams {
   bool elevator_scheduling = false;
   int coordinator_port = 5000;
   int media_udp_port = 7000;    // MSU-side recording receive port base
+  // TCP port serving ReplPullRequests for in-progress background replica
+  // copies (the rebalancer's MSU-to-MSU transfer path, DESIGN §5.8).
+  int replica_pull_port = 7100;
   // Coordinator nodes to cycle through when redialing (warm-standby HA).
   // Empty: only the host passed to RegisterWithCoordinator is retried.
   std::vector<std::string> coordinator_hosts;
@@ -287,6 +290,16 @@ class Msu {
   // group's client VCR connection).
   Co<MessageBody> HandleStartStream(MsuStartStream request);
   Co<MessageBody> HandleVcr(VcrCommand command);
+
+  // Background replica copy (rebalancing, DESIGN §5.8), driven by the
+  // Coordinator over the registration connection. Prepare admits a read
+  // slot on the source file's disk; Begin admits a write slot and starts
+  // the paced pull; Abort stops either end (idempotent, unknown ops ack).
+  MessageBody HandlePrepareCopy(const MsuPrepareCopy& request);
+  MessageBody HandleBeginCopy(const MsuBeginCopy& request);
+  MessageBody HandleAbortCopy(const MsuAbortCopy& request);
+  // Copy ends still live on this MSU (source serves plus target pulls).
+  int active_copy_count() const;
 
   MsuFileSystem& fs() { return fs_; }
   MsuPageCache& page_cache() { return page_cache_; }
@@ -385,6 +398,57 @@ class Msu {
   // demotes that disk's flow-mode streams back to the per-packet model.
   void NoteDiskInteresting(int disk_index);
 
+  // --- Background replica copies (DESIGN §5.8) ---
+  // Source end of one copy: serves ReplPullRequests while holding a
+  // duty-cycle slot on the file's disk, so live service is never oversold
+  // by replication reads.
+  struct ReplicaSourceOp {
+    ReplicaSourceOp() = default;
+
+    int64_t op = 0;
+    std::string file;
+    int disk = 0;
+    DataRate rate;
+    bool slot_held = false;
+  };
+  // Target end of one copy: a paced pull in progress.
+  struct ReplicaPullOp {
+    ReplicaPullOp() = default;
+
+    int64_t op = 0;
+    std::string content;
+    std::string source_node;
+    int source_port = 0;
+    std::string source_file;
+    std::string replica_file;
+    DataRate rate;
+    int64_t page_count = 0;
+    int disk = 0;
+    bool slot_held = false;
+    bool aborted = false;
+    std::string abort_reason;
+    TcpConn* conn = nullptr;
+    Bytes bytes_copied;
+    std::shared_ptr<const void> image;  // sealed IB-tree image off the last pull
+  };
+  // Paced pull loop for replica_pulls_[op_id]: one 256 KB page per
+  // rate.TransferTime(page), landed on the local disk as it arrives and
+  // committed via the deep-copied image on the last page. Re-looks the op
+  // up after every await — aborts and crashes mutate the map underneath it.
+  Task RunReplicaPull(int64_t op_id);
+  // Stops a target-end pull: frees its duty slot immediately (preempting
+  // callers need it synchronously) and flags the loop to roll back.
+  void AbortPull(ReplicaPullOp& pull, std::string reason);
+  // Frees the duty slot of one in-flight copy end on `disk_index` so a live
+  // admission can take it; the copy aborts and the Coordinator reschedules.
+  bool PreemptCopyOnDisk(int disk_index);
+  // Serves one ReplPullRequest on the replica pull listener.
+  Co<MessageBody> ServeReplicaPull(ReplPullRequest request);
+  // Install/failure notes use the same queue-then-flush discipline as
+  // unsent_notes_: queued until some primary acks, surviving failovers.
+  void QueueReplNote(MessageBody note);
+  Task FlushReplNotes();
+
   Machine* machine_;
   NetNode* node_;
   MsuParams params_;
@@ -413,6 +477,11 @@ class Msu {
   // (the MSU process died); otherwise drained by FlushTerminationNotes().
   std::deque<StreamTerminated> unsent_notes_;
   bool notes_flushing_ = false;
+  // Background replica-copy state (DESIGN §5.8), keyed by Coordinator op id.
+  std::map<int64_t, ReplicaSourceOp> replica_sources_;
+  std::map<int64_t, ReplicaPullOp> replica_pulls_;
+  std::deque<MessageBody> unsent_repl_notes_;
+  bool repl_notes_flushing_ = false;
   StreamId next_local_stream_id_ = 1000000;  // for locally-initiated streams
 
   // Observability (null when not attached). Instrument pointers are cached
@@ -442,6 +511,13 @@ class Msu {
   Counter* cache_misses_metric_ = nullptr;
   Counter* cache_insertions_metric_ = nullptr;
   Counter* cache_evictions_metric_ = nullptr;
+  // repl.* counters are cluster-global like sim.flow.*: the rebalance suites
+  // assert on aggregate copy traffic across the whole fleet.
+  Counter* repl_pages_metric_ = nullptr;
+  Counter* repl_bytes_metric_ = nullptr;
+  Counter* repl_installs_metric_ = nullptr;
+  Counter* repl_aborts_metric_ = nullptr;
+  Counter* repl_preempts_metric_ = nullptr;
 };
 
 }  // namespace calliope

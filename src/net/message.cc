@@ -87,6 +87,27 @@ struct SizeVisitor {
     return Bytes(24) + StringBytes(m.msu_node) +
            Bytes(static_cast<int64_t>(m.members.size()) * 16);
   }
+  Bytes operator()(const MsuPrepareCopy& m) const { return Bytes(32) + StringBytes(m.file); }
+  Bytes operator()(const MsuPrepareCopyResponse& m) const {
+    return Bytes(40) + StringBytes(m.error);
+  }
+  Bytes operator()(const MsuBeginCopy& m) const {
+    return Bytes(64) + StringBytes(m.content) + StringBytes(m.source_node) +
+           StringBytes(m.source_file) + StringBytes(m.replica_file);
+  }
+  Bytes operator()(const MsuAbortCopy&) const { return Bytes(24); }
+  Bytes operator()(const ReplPullRequest&) const { return Bytes(24); }
+  Bytes operator()(const ReplPullResponse& m) const {
+    // The bulk page payload rides in `page_bytes` — this is what makes a
+    // replica copy cost real simulated network time.
+    return Bytes(32) + StringBytes(m.error) + m.page_bytes;
+  }
+  Bytes operator()(const ReplicaInstalled& m) const {
+    return Bytes(40) + StringBytes(m.msu_node) + StringBytes(m.content) + StringBytes(m.file);
+  }
+  Bytes operator()(const ReplicaCopyFailed& m) const {
+    return Bytes(16) + StringBytes(m.msu_node) + StringBytes(m.error);
+  }
   Bytes operator()(const ReplAppendRequest& m) const {
     Bytes size(48);
     for (const ReplRecord& record : m.records) {
@@ -142,6 +163,12 @@ struct SizeVisitor {
         return Bytes(8) + RequestBytes(r.request);
       }
       Bytes operator()(const ReplPendingPopped&) const { return Bytes(16); }
+      Bytes operator()(const ReplReplicationStarted& r) const {
+        return Bytes(48) + StringBytes(r.content) + StringBytes(r.source_msu) +
+               StringBytes(r.source_file) + StringBytes(r.target_msu) +
+               StringBytes(r.replica_file);
+      }
+      Bytes operator()(const ReplReplicationEnded&) const { return Bytes(24); }
       Bytes operator()(const ReplProgress& r) const {
         return Bytes(8) + Bytes(static_cast<int64_t>(r.entries.size()) * 16);
       }
@@ -176,6 +203,14 @@ struct NameVisitor {
   const char* operator()(const MsuDeleteFile&) const { return "MsuDeleteFile"; }
   const char* operator()(const StreamGroupInfo&) const { return "StreamGroupInfo"; }
   const char* operator()(const SharedMemberSplit&) const { return "SharedMemberSplit"; }
+  const char* operator()(const MsuPrepareCopy&) const { return "MsuPrepareCopy"; }
+  const char* operator()(const MsuPrepareCopyResponse&) const { return "MsuPrepareCopyResponse"; }
+  const char* operator()(const MsuBeginCopy&) const { return "MsuBeginCopy"; }
+  const char* operator()(const MsuAbortCopy&) const { return "MsuAbortCopy"; }
+  const char* operator()(const ReplPullRequest&) const { return "ReplPullRequest"; }
+  const char* operator()(const ReplPullResponse&) const { return "ReplPullResponse"; }
+  const char* operator()(const ReplicaInstalled&) const { return "ReplicaInstalled"; }
+  const char* operator()(const ReplicaCopyFailed&) const { return "ReplicaCopyFailed"; }
   const char* operator()(const ReplAppendRequest&) const { return "ReplAppendRequest"; }
   const char* operator()(const ReplAppendResponse&) const { return "ReplAppendResponse"; }
 };

@@ -10,6 +10,7 @@
 #define CALLIOPE_SRC_NET_MESSAGE_H_
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <utility>
 #include <variant>
@@ -333,6 +334,108 @@ struct MsuDeleteFile {
   int64_t epoch = 0;  // HA epoch fence, as on MsuStartStream
 };
 
+// ---------- background replica copies (rebalancing, DESIGN §5.8) ----------
+
+// Coordinator -> source MSU: admit a rate-limited background read stream
+// serving a replica copy of `file`. The source takes a duty-cycle slot on the
+// file's home disk (exactly like one extra viewer at `rate`); the target then
+// pulls pages over the source's replica pull port. Fails if the disk has no
+// free slot — background copies never displace live streams.
+struct MsuPrepareCopy {
+  MsuPrepareCopy() = default;
+
+  int64_t op = 0;
+  std::string file;
+  DataRate rate;
+  int64_t epoch = 0;  // HA epoch fence, as on MsuStartStream
+};
+
+struct MsuPrepareCopyResponse {
+  MsuPrepareCopyResponse() = default;
+  MsuPrepareCopyResponse(bool success, std::string error_message)
+      : ok(success), error(std::move(error_message)) {}
+
+  bool ok = false;
+  std::string error;
+  int disk = -1;           // source disk the copy reads from
+  int64_t page_count = 0;  // data pages the target must pull
+  Bytes file_size;         // payload estimate for target space accounting
+  int pull_port = 0;       // TCP port the target dials with ReplPullRequests
+};
+
+// Coordinator -> target MSU: pull `source_file` from `source_node` into a
+// local `replica_file`, paced to `rate` (one 256 KB page per transfer), and
+// commit it as installed content when the last page lands.
+struct MsuBeginCopy {
+  MsuBeginCopy() = default;
+
+  int64_t op = 0;
+  std::string content;  // catalog name, echoed in the install note
+  std::string source_node;
+  int source_port = 0;
+  std::string source_file;
+  std::string replica_file;
+  DataRate rate;
+  int64_t page_count = 0;
+  Bytes estimated_size;
+  int disk_hint = -1;
+  int64_t epoch = 0;
+};
+
+// Coordinator -> either end of a copy: stop it (a live admission preempted
+// the slot, or the other end died). Idempotent — unknown ops are acked.
+struct MsuAbortCopy {
+  MsuAbortCopy() = default;
+
+  int64_t op = 0;
+  int64_t epoch = 0;
+};
+
+// Target MSU -> source MSU, over the source's replica pull port: read one
+// page of an in-progress copy.
+struct ReplPullRequest {
+  ReplPullRequest() = default;
+
+  int64_t op = 0;
+  int64_t page_index = 0;
+};
+
+struct ReplPullResponse {
+  ReplPullResponse() = default;
+
+  bool ok = false;
+  std::string error;
+  Bytes page_bytes;  // payload bytes charged to the wire
+  bool last = false;
+  // With `last`: the file's sealed IB-tree image, deep-copied so it cannot
+  // dangle if the source deletes the file mid-flight. Opaque to the fabric
+  // (net does not depend on ibtree; both ends are MSU code and cast it),
+  // same idiom as Datagram::payload.
+  std::shared_ptr<const void> image;
+};
+
+// Target MSU -> Coordinator: the replica is committed and ready to serve.
+struct ReplicaInstalled {
+  ReplicaInstalled() = default;
+
+  int64_t op = 0;
+  std::string msu_node;
+  std::string content;
+  std::string file;
+  int disk = -1;
+  Bytes bytes_copied;
+};
+
+// MSU -> Coordinator: the copy died (source crash, duty-cycle preemption by
+// a live admission, pull error). Any partial file has been deleted.
+struct ReplicaCopyFailed {
+  ReplicaCopyFailed() = default;
+
+  int64_t op = 0;
+  std::string msu_node;
+  std::string error;
+};
+
 // ---------- Coordinator -> client (over the session connection) ----------
 
 // A queued play/record request failed permanently during a retry or failover
@@ -548,6 +651,35 @@ struct ReplPendingPopped {
   GroupId group = 0;
 };
 
+// A background replica copy launched by the rebalancer: the standby mirrors
+// the ledger's replication_io holds (source + target disks) and keeps an op
+// shadow so a takeover can adopt — or clean up — in-flight copies. The
+// catalog location install itself needs no record: the catalog is the shared
+// durable database, and the install note redials the promoted primary.
+struct ReplReplicationStarted {
+  ReplReplicationStarted() = default;
+
+  int64_t op = 0;
+  std::string content;
+  std::string source_msu;
+  int source_disk = 0;
+  std::string source_file;
+  std::string target_msu;
+  int target_disk = 0;
+  std::string replica_file;
+  DataRate rate;
+  Bytes space;  // estimated replica size, held against the target
+};
+
+struct ReplReplicationEnded {
+  ReplReplicationEnded() = default;
+
+  int64_t op = 0;
+  // True: the replica committed, so the target's space stays debited; false:
+  // the copy aborted and the space hold is refunded.
+  bool installed = false;
+};
+
 struct ReplProgress {
   ReplProgress() = default;
 
@@ -566,7 +698,8 @@ struct ReplProgress {
 using ReplRecord =
     std::variant<ReplSessionOpened, ReplSessionClosed, ReplPortRegistered, ReplPortUnregistered,
                  ReplMsuUp, ReplMsuDown, ReplGroupStarted, ReplStreamEnded, ReplGroupEnded,
-                 ReplPendingPushed, ReplPendingPopped, ReplProgress>;
+                 ReplPendingPushed, ReplPendingPopped, ReplReplicationStarted,
+                 ReplReplicationEnded, ReplProgress>;
 
 // One log-shipping batch (doubles as the lease heartbeat when `records` is
 // empty). `snapshot` marks a full state install: the standby clears its
@@ -602,6 +735,8 @@ using MessageBody =
                  SimpleResponse, MsuStartStream, MsuStartStreamResponse, MsuRegisterRequest,
                  MsuRegisterResponse, StreamTerminated, StreamProgressReport, PendingRequestFailed,
                  VcrCommand, VcrAck, MsuDeleteFile, StreamGroupInfo, SharedMemberSplit,
+                 MsuPrepareCopy, MsuPrepareCopyResponse, MsuBeginCopy, MsuAbortCopy,
+                 ReplPullRequest, ReplPullResponse, ReplicaInstalled, ReplicaCopyFailed,
                  ReplAppendRequest, ReplAppendResponse>;
 
 struct Envelope {

@@ -1,5 +1,6 @@
 #include "src/place/ledger.h"
 
+#include <iterator>
 #include <utility>
 
 namespace calliope {
@@ -12,7 +13,15 @@ DataRate MsuAccount::TotalLoad() const {
   return total;
 }
 
-DataRate MsuAccount::NicLoad() const { return TotalLoad() + shared_load; }
+DataRate MsuAccount::ReplicationLoad() const {
+  DataRate total;
+  for (const DiskAccount& disk : disks) {
+    total = total + disk.replication_io;
+  }
+  return total;
+}
+
+DataRate MsuAccount::NicLoad() const { return TotalLoad() + shared_load + ReplicationLoad(); }
 
 int MsuAccount::TotalStreams() const {
   int total = 0;
@@ -118,6 +127,19 @@ void ResourceLedger::RegisterMsu(const std::string& node, int disk_count,
     } else {
       ++it;
     }
+  }
+  // Likewise replication holds touching this MSU: the crashed end's copy is
+  // gone, and the Coordinator separately aborts the op itself.
+  for (auto it = repl_holds_.begin(); it != repl_holds_.end();) {
+    auto& ends = it->second;
+    for (auto end = ends.begin(); end != ends.end();) {
+      if (end->msu == node && end->epoch != account.epoch) {
+        end = ends.erase(end);
+      } else {
+        ++end;
+      }
+    }
+    it = ends.empty() ? repl_holds_.erase(it) : std::next(it);
   }
 }
 
@@ -237,6 +259,75 @@ bool ResourceLedger::Release(StreamId stream, Bytes space_used) {
   return true;
 }
 
+Status ResourceLedger::AddReplication(int64_t op, const std::string& node, int disk,
+                                      DataRate rate, Bytes space) {
+  auto it = msus_.find(node);
+  if (it == msus_.end() || !it->second.up) {
+    return UnavailableError("ledger: MSU unavailable: " + node);
+  }
+  MsuAccount& account = it->second;
+  if (disk < 0 || static_cast<size_t>(disk) >= account.disks.size()) {
+    return InvalidArgumentError("ledger: bad disk index on " + node);
+  }
+  std::vector<ReplicationHold>& ends = repl_holds_[op];
+  for (const ReplicationHold& end : ends) {
+    if (end.msu == node) {
+      return InvalidArgumentError("ledger: duplicate replication hold on " + node);
+    }
+  }
+  account.disks[static_cast<size_t>(disk)].replication_io =
+      account.disks[static_cast<size_t>(disk)].replication_io + rate;
+  account.free_space -= space;
+  ReplicationHold hold;
+  hold.msu = node;
+  hold.disk = disk;
+  hold.rate = rate;
+  hold.space = space;
+  hold.epoch = account.epoch;
+  ends.push_back(std::move(hold));
+  return OkStatus();
+}
+
+bool ResourceLedger::ReleaseReplication(int64_t op, bool keep_space) {
+  auto it = repl_holds_.find(op);
+  if (it == repl_holds_.end()) {
+    return false;
+  }
+  for (const ReplicationHold& end : it->second) {
+    auto msu_it = msus_.find(end.msu);
+    if (msu_it == msus_.end() || msu_it->second.epoch != end.epoch) {
+      continue;  // the account re-registered; its numbers are fresh
+    }
+    MsuAccount& account = msu_it->second;
+    DiskAccount& disk = account.disks[static_cast<size_t>(end.disk)];
+    disk.replication_io = disk.replication_io - end.rate;
+    if (disk.replication_io < DataRate()) {
+      disk.replication_io = DataRate();
+    }
+    if (!keep_space) {
+      account.free_space += end.space;
+    }
+  }
+  repl_holds_.erase(it);
+  return true;
+}
+
+void ResourceLedger::ForEachReplication(
+    const std::function<void(int64_t, const ReplicationHoldInfo&)>& fn) const {
+  for (const auto& [op, ends] : repl_holds_) {
+    for (const ReplicationHold& end : ends) {
+      auto msu_it = msus_.find(end.msu);
+      ReplicationHoldInfo info;
+      info.msu = end.msu;
+      info.disk = end.disk;
+      info.rate = end.rate;
+      info.space = end.space;
+      info.current_epoch = msu_it != msus_.end() && msu_it->second.epoch == end.epoch;
+      fn(op, info);
+    }
+  }
+}
+
 void ResourceLedger::Refund(const std::string& node, int64_t epoch, int disk,
                             DataRate rate, Bytes space, Bytes cache) {
   auto it = msus_.find(node);
@@ -337,6 +428,44 @@ Status ResourceLedger::CheckInvariants() const {
       if (committed > disk.load) {
         return InternalError("ledger: " + name + " disk " + std::to_string(d) +
                              " committed bandwidth exceeds reserved load");
+      }
+      if (disk.replication_io < DataRate()) {
+        return InternalError("ledger: " + name + " disk " + std::to_string(d) +
+                             " replication bandwidth is negative");
+      }
+      // Every unit of replication_io is backed by a current-epoch copy hold.
+      DataRate repl_held;
+      for (const auto& [op, ends] : repl_holds_) {
+        for (const ReplicationHold& end : ends) {
+          if (end.msu == name && end.epoch == account.epoch &&
+              end.disk == static_cast<int>(d)) {
+            repl_held = repl_held + end.rate;
+          }
+        }
+      }
+      if (repl_held != disk.replication_io) {
+        return InternalError("ledger: " + name + " disk " + std::to_string(d) +
+                             " replication bandwidth does not match its copy holds");
+      }
+    }
+  }
+  for (const auto& [op, ends] : repl_holds_) {
+    if (ends.empty()) {
+      return InternalError("ledger: copy op " + std::to_string(op) + " holds nothing");
+    }
+    for (const ReplicationHold& end : ends) {
+      auto it = msus_.find(end.msu);
+      if (it == msus_.end()) {
+        return InternalError("ledger: copy op " + std::to_string(op) +
+                             " references unknown MSU " + end.msu);
+      }
+      if (end.epoch > it->second.epoch) {
+        return InternalError("ledger: copy op " + std::to_string(op) +
+                             " is from a future epoch");
+      }
+      if (end.rate < DataRate() || end.space < Bytes(0)) {
+        return InternalError("ledger: copy op " + std::to_string(op) +
+                             " has a negative balance");
       }
     }
   }

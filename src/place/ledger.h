@@ -38,6 +38,10 @@ struct DiskAccount {
 
   DataRate load;    // reserved bandwidth
   int streams = 0;  // committed streams served from this disk
+  // Bandwidth held by background replica copies (rebalancing, DESIGN §5.8).
+  // Placement counts it as load — live admissions route around a copy-busy
+  // disk — but it is tracked separately so the planner can preempt it.
+  DataRate replication_io;
 };
 
 struct MsuAccount {
@@ -63,8 +67,11 @@ struct MsuAccount {
   int64_t epoch = 0;  // bumps on every (re-)registration
 
   DataRate TotalLoad() const;
-  // TotalLoad() plus the cache-served viewers' shared_load: what the
-  // outbound NIC actually carries, checked against nic_budget.
+  // Sum of the disks' replication_io: bandwidth serving background copies.
+  DataRate ReplicationLoad() const;
+  // TotalLoad() plus the cache-served viewers' shared_load plus replication
+  // traffic: what the outbound NIC actually carries, checked against
+  // nic_budget.
   DataRate NicLoad() const;
   int TotalStreams() const;
 };
@@ -169,6 +176,36 @@ class ResourceLedger {
   std::optional<HoldInfo> FindHold(StreamId stream) const;
   void ForEachHold(const std::function<void(StreamId, const HoldInfo&)>& fn) const;
 
+  // ---- background replica copies (rebalancing, DESIGN §5.8) ----
+  //
+  // A copy op holds replication_io bandwidth on the source's and the target's
+  // disks (debiting each NIC through NicLoad) plus the replica's estimated
+  // space on the target. Holds are epoch-stamped like stream holds: an MSU
+  // re-registration silently invalidates them.
+
+  // Adds one end of copy op `op` (at most one hold per (op, msu) pair).
+  // Fails with kUnavailable if the MSU is unknown or down, kInvalidArgument
+  // on a bad disk index or a duplicate hold.
+  Status AddReplication(int64_t op, const std::string& node, int disk, DataRate rate,
+                        Bytes space = Bytes());
+  // Releases every hold of `op`. With keep_space (the replica committed) the
+  // target's space stays debited; otherwise it is refunded. Safe to call for
+  // unknown ops (no-op, returns false).
+  bool ReleaseReplication(int64_t op, bool keep_space = false);
+  size_t outstanding_replications() const { return repl_holds_.size(); }
+
+  struct ReplicationHoldInfo {
+    ReplicationHoldInfo() = default;
+
+    std::string msu;
+    int disk = 0;
+    DataRate rate;
+    Bytes space;
+    bool current_epoch = false;
+  };
+  void ForEachReplication(
+      const std::function<void(int64_t, const ReplicationHoldInfo&)>& fn) const;
+
   // Structural consistency check for tests and the chaos harness: no negative
   // balances, every current-epoch hold referencing a real account and disk,
   // per-disk stream counts equal to the number of current-epoch holds, and
@@ -188,12 +225,24 @@ class ResourceLedger {
     int64_t epoch = 0;
   };
 
+  struct ReplicationHold {
+    ReplicationHold() = default;
+
+    std::string msu;
+    int disk = 0;
+    DataRate rate;
+    Bytes space;
+    int64_t epoch = 0;
+  };
+
   // Refunds one item to its account; no-op if the account re-registered.
   void Refund(const std::string& node, int64_t epoch, int disk, DataRate rate,
               Bytes space, Bytes cache);
 
   std::map<std::string, MsuAccount> msus_;
   std::map<StreamId, StreamHold> holds_;
+  // Replica-copy holds: op id -> the op's per-MSU holds (source + target).
+  std::map<int64_t, std::vector<ReplicationHold>> repl_holds_;
 };
 
 }  // namespace calliope

@@ -35,7 +35,10 @@ std::optional<Placement> PlaceOnMsu(const MsuAccount& account, const PlacementSp
   }
   std::vector<DataRate> scratch(account.disks.size());
   for (size_t d = 0; d < account.disks.size(); ++d) {
-    scratch[d] = account.disks[d].load;
+    // Background replica copies count as load: live admissions route around
+    // a copy-busy disk, and the Coordinator preempts the copy when nothing
+    // fits anywhere.
+    scratch[d] = account.disks[d].load + account.disks[d].replication_io;
   }
   Placement placement;
   placement.msu = account.node;

@@ -101,10 +101,14 @@ TEST(MetricCatalogTest, EveryPublishedMetricIsDocumentedAndViceVersa) {
   std::map<std::string, std::string> published;  // name -> kind
 
   {
-    // Full-feature installation A: HA standby + faults + sampler + SLO.
+    // Full-feature installation A: HA standby + rebalancing + faults +
+    // sampler + SLO. Sharing is requested so the explicit HA force-disable
+    // (coord.sharing.disabled_ha) is published too.
     InstallationConfig config;
     config.msu_count = 2;
     config.standby_coordinator = true;
+    config.coordinator.sharing.enabled = true;
+    config.coordinator.rebalance.enabled = true;
     config.sampler.period = SimTime::Millis(500);
     SloSpec slo;
     slo.name = "lateness-p99";
