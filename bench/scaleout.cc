@@ -27,6 +27,7 @@
 #include <vector>
 
 #include "bench/bench_util.h"
+#include "src/load/workload.h"
 #include "src/util/rng.h"
 #include "src/util/table.h"
 
@@ -684,6 +685,205 @@ RebalanceSweepResult RunRebalanceSweep() {
   return result;
 }
 
+// ---- overload control: saturation sweep, shedding on vs off ----------------
+//
+// The overload-control claim (DESIGN.md §5.9): offered load at ~2x the disk's
+// duty-cycle capacity. With traffic control off the pending queue grows
+// unchecked and the pending-depth SLO breaches. With it on, the saturation
+// governor sheds standard/bulk queued load (explicit notices, never
+// interactive) and interactive sessions keep their lateness SLO.
+
+struct LoadRunResult {
+  bool shedding = false;
+  int64_t offered = 0;             // sessions the generator launched
+  int64_t started = 0;             // requests that reached a served stream
+  int64_t refused_interactive = 0;
+  int64_t refused_standard = 0;
+  int64_t refused_bulk = 0;
+  int64_t shed_interactive = 0;    // governor + queue-cap sheds, per class
+  int64_t shed_standard = 0;
+  int64_t shed_bulk = 0;
+  int64_t shed_episodes = 0;
+  int64_t breach_episodes = 0;     // pending-depth SLO
+  int64_t worst_depth = 0;
+  int64_t interactive_started = 0;
+  int64_t interactive_p99_us = 0;  // worst interactive stream p99 lateness
+  double goodput_pct() const {
+    return offered > 0 ? 100.0 * static_cast<double>(started) / static_cast<double>(offered)
+                       : 0.0;
+  }
+};
+
+LoadRunResult RunSaturatedWorkload(bool shedding, uint64_t seed) {
+  LoadRunResult result;
+  result.shedding = shedding;
+
+  InstallationConfig config;
+  config.seed = seed;
+  config.msu_count = 1;
+  config.msu_machine.disks_per_hba = {1};
+  // Five concurrent MPEG-1 viewers fit on the single disk.
+  config.coordinator.disk_budget = DataRate::MegabytesPerSec(1.0);
+  config.sampler.period = SimTime::Millis(250);
+  SloSpec depth;
+  depth.name = "queue-depth";
+  depth.signal = SloSpec::Signal::kPendingDepth;
+  depth.threshold = 3;
+  depth.min_breach_windows = 2;
+  config.slos.push_back(depth);
+  if (shedding) {
+    config.coordinator.traffic.enabled = true;
+    // Long queue deadlines: the governor's shedding, not expiry, bounds the
+    // backlog, so the comparison isolates the policy.
+    config.coordinator.traffic.interactive_deadline = SimTime::Seconds(120);
+    config.coordinator.traffic.standard_deadline = SimTime::Seconds(120);
+    config.coordinator.traffic.bulk_deadline = SimTime::Seconds(120);
+  }
+  Installation calliope(config);
+  if (!calliope.Boot().ok()) {
+    return result;
+  }
+
+  // ~1.7 arrivals/s x ~6 s mean hold ~= 10 concurrent stream-equivalents
+  // against 5 slots: saturated, not just busy.
+  WorkloadConfig workload;
+  workload.seed = seed;
+  workload.titles = 3;
+  workload.archive_titles = 1;
+  workload.client_hosts = 3;
+  workload.phases = {WorkloadPhase(SimTime::Seconds(18), 1.7)};
+  workload.viewer_hold_mean = SimTime::Seconds(6);
+  workload.surfer_hold_mean = SimTime::Seconds(4);
+  workload.recording_length = SimTime::Seconds(2);
+  workload.ready_timeout = SimTime::Seconds(25);
+  WorkloadDriver driver(calliope, workload);
+  if (!driver.Prepare().ok()) {
+    return result;
+  }
+  driver.Start();
+  RunSimUntil(calliope.sim(), [&] { return driver.done(); }, SimTime::Seconds(120));
+
+  const WorkloadStats& stats = driver.stats();
+  result.offered = stats.arrivals;
+  result.started = stats.started;
+  const size_t interactive = static_cast<size_t>(AdmissionClass::kInteractive);
+  const size_t standard = static_cast<size_t>(AdmissionClass::kStandard);
+  const size_t bulk = static_cast<size_t>(AdmissionClass::kBulk);
+  result.refused_interactive = stats.refused_by_class[interactive];
+  result.refused_standard = stats.refused_by_class[standard];
+  result.refused_bulk = stats.refused_by_class[bulk];
+  result.interactive_started = stats.started_by_class[interactive];
+  if (shedding) {
+    result.shed_interactive =
+        calliope.metrics().counter("coord.admission.interactive.shed").value();
+    result.shed_standard = calliope.metrics().counter("coord.admission.standard.shed").value();
+    result.shed_bulk = calliope.metrics().counter("coord.admission.bulk.shed").value();
+    result.shed_episodes = calliope.metrics().counter("coord.shed.episodes").value();
+  }
+  const ClusterReport report = calliope.BuildClusterReport();
+  if (report.timeline.has_value()) {
+    for (const SloBreachReport& slo : report.timeline->slos) {
+      if (slo.name == "queue-depth") {
+        result.breach_episodes = slo.breach_episodes;
+        result.worst_depth = slo.worst_value;
+      }
+    }
+  }
+  for (GroupId group : driver.started_groups(AdmissionClass::kInteractive)) {
+    for (const StreamQosReport& stream : report.streams) {
+      if (stream.group_id == group && stream.p99_lateness_us > result.interactive_p99_us) {
+        result.interactive_p99_us = stream.p99_lateness_us;
+      }
+    }
+  }
+  return result;
+}
+
+struct LoadSweepResult {
+  LoadRunResult off;  // traffic control disabled: backlog grows, SLO breaches
+  LoadRunResult on;   // shedding: interactive protected, lower classes shed
+  bool accepted() const {
+    return on.shed_episodes >= 1 && on.shed_interactive == 0 &&
+           on.shed_standard + on.shed_bulk > 0 && on.refused_interactive == 0 &&
+           on.interactive_started > 0 &&
+           on.interactive_p99_us <= SimTime::Millis(20).micros() && off.breach_episodes >= 1 &&
+           off.worst_depth > on.worst_depth;
+  }
+};
+
+LoadSweepResult RunLoadSweep() {
+  PrintHeader("Overload control: saturated workload, shedding on vs off",
+              "DESIGN.md section 5.9 (beyond-paper traffic control)");
+  LoadSweepResult result;
+  const uint64_t seed = 1;
+  result.off = RunSaturatedWorkload(false, seed);
+  result.on = RunSaturatedWorkload(true, seed);
+
+  AsciiTable table({"mode", "offered", "started", "goodput", "refused i/s/b", "shed i/s/b",
+                    "depth breaches", "worst depth", "interactive p99"});
+  const auto add_row = [&](const LoadRunResult& r) {
+    char goodput[32], refused[48], shed[48], late[32];
+    std::snprintf(goodput, sizeof(goodput), "%.0f%%", r.goodput_pct());
+    std::snprintf(refused, sizeof(refused), "%lld/%lld/%lld",
+                  static_cast<long long>(r.refused_interactive),
+                  static_cast<long long>(r.refused_standard),
+                  static_cast<long long>(r.refused_bulk));
+    std::snprintf(shed, sizeof(shed), "%lld/%lld/%lld",
+                  static_cast<long long>(r.shed_interactive),
+                  static_cast<long long>(r.shed_standard),
+                  static_cast<long long>(r.shed_bulk));
+    std::snprintf(late, sizeof(late), "%.1f ms", r.interactive_p99_us / 1e3);
+    table.AddRow({r.shedding ? "shed" : "off", std::to_string(r.offered),
+                  std::to_string(r.started), goodput, refused, shed,
+                  std::to_string(r.breach_episodes), std::to_string(r.worst_depth), late});
+  };
+  add_row(result.off);
+  add_row(result.on);
+  std::printf("%s\n", table.Render().c_str());
+  std::printf("A 1 MB/s disk serves 5 MPEG-1 streams; the generator offers ~2x that.\n");
+  std::printf("Off: the pending queue grows to %lld and the depth SLO breaches %lld\n",
+              static_cast<long long>(result.off.worst_depth),
+              static_cast<long long>(result.off.breach_episodes));
+  std::printf("time(s). Shed: the governor fires (%lld episode%s), refuses only\n",
+              static_cast<long long>(result.on.shed_episodes),
+              result.on.shed_episodes == 1 ? "" : "s");
+  std::printf("standard/bulk load with explicit notices (%lld shed, interactive: 0),\n",
+              static_cast<long long>(result.on.shed_standard + result.on.shed_bulk));
+  std::printf("and every interactive session stays within the lateness SLO\n");
+  std::printf("(worst p99: %.1f ms).\n\n", result.on.interactive_p99_us / 1e3);
+  return result;
+}
+
+void WriteLoadJson(std::FILE* file, const LoadSweepResult& load) {
+  const auto write_run = [&](const char* key, const LoadRunResult& r, const char* tail) {
+    std::fprintf(file,
+                 "    \"%s\": {\"offered\": %lld, \"started\": %lld, \"goodput_pct\": %.1f, "
+                 "\"refused_interactive\": %lld, \"refused_standard\": %lld, "
+                 "\"refused_bulk\": %lld, \"shed_interactive\": %lld, \"shed_standard\": %lld, "
+                 "\"shed_bulk\": %lld, \"shed_episodes\": %lld, \"depth_breach_episodes\": %lld, "
+                 "\"worst_depth\": %lld, \"interactive_started\": %lld, "
+                 "\"interactive_p99_lateness_us\": %lld}%s\n",
+                 key, static_cast<long long>(r.offered), static_cast<long long>(r.started),
+                 r.goodput_pct(), static_cast<long long>(r.refused_interactive),
+                 static_cast<long long>(r.refused_standard),
+                 static_cast<long long>(r.refused_bulk),
+                 static_cast<long long>(r.shed_interactive),
+                 static_cast<long long>(r.shed_standard), static_cast<long long>(r.shed_bulk),
+                 static_cast<long long>(r.shed_episodes),
+                 static_cast<long long>(r.breach_episodes),
+                 static_cast<long long>(r.worst_depth),
+                 static_cast<long long>(r.interactive_started),
+                 static_cast<long long>(r.interactive_p99_us), tail);
+  };
+  std::fprintf(file,
+               "  \"load\": {\"disk_capacity_streams\": 5, \"offered_multiple\": 2.0, "
+               "\"accepted\": %s,\n",
+               load.accepted() ? "true" : "false");
+  write_run("unshed", load.off, ",");
+  write_run("shed", load.on, "");
+  std::fprintf(file, "  },\n");
+}
+
 // ---- continuous telemetry: disk-slowdown fault as an SLO breach ------------
 //
 // One MSU serving a handful of streams with the MetricsSampler running; a
@@ -854,7 +1054,8 @@ void WriteRebalanceJson(std::FILE* file, const RebalanceSweepResult& rebalance) 
 void WriteFidelityJson(const std::string& path, const std::vector<FidelityRunResult>& runs,
                        double speedup_8msu, const SharingCapacityResult* sharing,
                        const TelemetryResult* telemetry,
-                       const RebalanceSweepResult* rebalance) {
+                       const RebalanceSweepResult* rebalance,
+                       const LoadSweepResult* load = nullptr) {
   std::FILE* file = std::fopen(path.c_str(), "w");
   if (file == nullptr) {
     std::fprintf(stderr, "cannot write %s\n", path.c_str());
@@ -885,6 +1086,9 @@ void WriteFidelityJson(const std::string& path, const std::vector<FidelityRunRes
   if (rebalance != nullptr) {
     WriteRebalanceJson(file, *rebalance);
   }
+  if (load != nullptr) {
+    WriteLoadJson(file, *load);
+  }
   if (sharing != nullptr) {
     std::fprintf(file,
                  "  \"sharing\": {\"viewers_offered\": %d, \"titles\": %d, "
@@ -905,7 +1109,8 @@ void WriteFidelityJson(const std::string& path, const std::vector<FidelityRunRes
 }
 
 int RunFidelitySweep(const std::string& json_path, const SharingCapacityResult* sharing,
-                     const TelemetryResult* telemetry, const RebalanceSweepResult* rebalance) {
+                     const TelemetryResult* telemetry, const RebalanceSweepResult* rebalance,
+                     const LoadSweepResult* load = nullptr) {
   PrintHeader("Hybrid fidelity: simulator throughput, per-packet vs flow mode",
               "DESIGN.md section 5.5 (beyond-paper scale-out)");
   const SimTime window = FastBenchMode() ? SimTime::Seconds(5) : SimTime::Seconds(20);
@@ -951,11 +1156,13 @@ int RunFidelitySweep(const std::string& json_path, const SharingCapacityResult* 
   std::printf("8-MSU Graph-1 working point one stream-second costs %.1fx fewer events\n",
               speedup);
   std::printf("(acceptance floor: 10x), which is what lets the 200-MSU row above exist.\n");
-  WriteFidelityJson(json_path, runs, speedup, sharing, telemetry, rebalance);
+  WriteFidelityJson(json_path, runs, speedup, sharing, telemetry, rebalance, load);
   const bool sharing_ok = sharing == nullptr || sharing->ratio() >= 2.0;
   const bool telemetry_ok = telemetry == nullptr || telemetry->bracketed;
   const bool rebalance_ok = rebalance == nullptr || rebalance->accepted();
-  return big.streams >= 10000 && speedup >= 10.0 && sharing_ok && telemetry_ok && rebalance_ok
+  const bool load_ok = load == nullptr || load->accepted();
+  return big.streams >= 10000 && speedup >= 10.0 && sharing_ok && telemetry_ok &&
+                 rebalance_ok && load_ok
              ? 0
              : 1;
 }
@@ -973,6 +1180,7 @@ int main(int argc, char** argv) {
   bool sharing = false;
   bool slo = false;
   bool rebalance = false;
+  bool load_sweep = false;
   std::string timeline_csv;
   std::string json_path = "BENCH_scaleout.json";
   for (int i = 1; i < argc; ++i) {
@@ -992,6 +1200,8 @@ int main(int argc, char** argv) {
       slo = true;
     } else if (std::strcmp(argv[i], "--rebalance") == 0) {
       rebalance = true;
+    } else if (std::strcmp(argv[i], "--load") == 0) {
+      load_sweep = true;
     } else if (std::strncmp(argv[i], "--timeline-csv=", 15) == 0) {
       timeline_csv = argv[i] + 15;
       slo = true;  // the CSV comes out of the SLO scenario
@@ -1001,10 +1211,17 @@ int main(int argc, char** argv) {
       std::fprintf(stderr,
                    "usage: %s [--policy=<name|all>] [--failover-only] [--report]\n"
                    "          [--fidelity | --fidelity-only] [--sharing] [--slo]\n"
-                   "          [--rebalance] [--timeline-csv=PATH] [--json=PATH]\n",
+                   "          [--rebalance] [--load] [--timeline-csv=PATH] [--json=PATH]\n",
                    argv[0]);
       return 2;
     }
+  }
+  // --load alone runs just the saturation sweep; combined with
+  // --fidelity(-only) the overload section rides along in the JSON.
+  if (load_sweep && !fidelity && !rebalance && !sharing && !slo) {
+    const LoadSweepResult result = RunLoadSweep();
+    WriteFidelityJson(json_path, {}, 0.0, nullptr, nullptr, nullptr, &result);
+    return result.accepted() ? 0 : 1;
   }
   // --slo alone runs just the telemetry scenario; combined with
   // --fidelity(-only) its verdicts ride along in the JSON.
@@ -1051,9 +1268,14 @@ int main(int argc, char** argv) {
     if (rebalance) {
       rebalance_result = RunRebalanceSweep();
     }
+    LoadSweepResult load_result;
+    if (load_sweep) {
+      load_result = RunLoadSweep();
+    }
     return RunFidelitySweep(json_path, sharing ? &sharing_result : nullptr,
                             slo ? &telemetry_result : nullptr,
-                            rebalance ? &rebalance_result : nullptr);
+                            rebalance ? &rebalance_result : nullptr,
+                            load_sweep ? &load_result : nullptr);
   }
   std::vector<std::string> policies;
   if (policy_flag == "all") {
@@ -1123,9 +1345,14 @@ int main(int argc, char** argv) {
     if (rebalance) {
       rebalance_result = RunRebalanceSweep();
     }
+    LoadSweepResult load_result;
+    if (load_sweep) {
+      load_result = RunLoadSweep();
+    }
     return RunFidelitySweep(json_path, sharing ? &sharing_result : nullptr,
                             slo ? &telemetry_result : nullptr,
-                            rebalance ? &rebalance_result : nullptr);
+                            rebalance ? &rebalance_result : nullptr,
+                            load_sweep ? &load_result : nullptr);
   }
   return 0;
 }

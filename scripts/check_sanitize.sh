@@ -56,6 +56,13 @@ ctest --test-dir "${BUILD_DIR}" --output-on-failure -L '^slo$'
 # slots / ledger holds would hide.
 ctest --test-dir "${BUILD_DIR}" --output-on-failure -L '^rebalance$'
 
+# The overload-control suite: the shed governor erases pending requests and
+# aborts replication ops while retry/expiry coroutines may be suspended over
+# the same deque, and the workload driver runs hundreds of short-lived
+# session coroutines against it — prime iterator-invalidation and
+# use-after-free territory under all three sanitizers.
+ctest --test-dir "${BUILD_DIR}" --output-on-failure -L '^load$'
+
 # The warm-standby coordinator suite gets an explicit pass under TSan: the
 # takeover path is where cross-coroutine state handoff concentrates. (The
 # label regex is anchored because "chaos" contains "ha".)

@@ -1,0 +1,30 @@
+#!/usr/bin/env bash
+# Runs the scaleout bench's overload-control sweep — the same ~2x-capacity
+# workload (Zipf titles, channel surfers, archive pulls, record-while-play)
+# with traffic control off (the pending queue balloons and the depth SLO
+# breaches) and on (the SLO-driven governor sheds standard/bulk load with
+# explicit notices while interactive sessions hold their lateness SLO) —
+# and prints where the JSON verdicts landed. Usage:
+#
+#   scripts/load_demo.sh [build-dir]
+#
+# Override the JSON output path with CALLIOPE_LOAD_JSON=/path/to/out.json.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build}"
+OUT="${CALLIOPE_LOAD_JSON:-${PWD}/BENCH_scaleout.json}"
+
+cmake -B "${BUILD_DIR}" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo
+cmake --build "${BUILD_DIR}" -j "$(nproc)" --target scaleout
+
+"${BUILD_DIR}/bench/scaleout" --load --json="${OUT}"
+
+echo
+echo "Shed-on/off saturation verdicts written to: ${OUT}"
+echo "(load section: goodput, per-class refusal and shed counts, queue-depth"
+echo "SLO breach episodes, interactive p99 lateness)."
+echo
+echo "Watch the shed/clear episodes in a Chrome trace:"
+echo "  CALLIOPE_TRACE=load_trace.json ${BUILD_DIR}/bench/scaleout --load"
+echo "then open load_trace.json at https://ui.perfetto.dev"

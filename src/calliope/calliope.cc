@@ -103,6 +103,15 @@ Installation::Installation(InstallationConfig config)
       msu->set_qos_sink(sampler_->qos());
     }
     sampler_->Start();
+    if (config_.coordinator.traffic.enabled) {
+      // The saturation governor watches the sampler's live SLO verdicts: any
+      // configured monitor inside a breach episode means "overloaded".
+      MetricsSampler* sampler = sampler_.get();
+      coordinator_->SetOverloadProbe([sampler] { return sampler->AnySloBreaching(); });
+      if (standby_ != nullptr) {
+        standby_->SetOverloadProbe([sampler] { return sampler->AnySloBreaching(); });
+      }
+    }
   }
   if (const char* env = std::getenv("CALLIOPE_TRACE"); env != nullptr && *env != '\0') {
     // Benches build several Installations in one process; each gets its own

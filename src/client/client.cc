@@ -32,6 +32,7 @@ void CalliopeClient::WireSessionConn() {
       }
       GroupState& group = GroupFor(failed->group);
       group.terminated = true;
+      group.failure_reason = failed->error;
       group_events_->NotifyAll();
     }
   });
@@ -398,13 +399,15 @@ CalliopeClient::GroupState& CalliopeClient::GroupFor(GroupId group) {
 }
 
 Co<Result<CalliopeClient::StartResult>> CalliopeClient::Play(std::string content,
-                                                             std::string port_name) {
+                                                             std::string port_name,
+                                                             AdmissionClass klass) {
   using Out = Result<StartResult>;
   if (!connected()) {
     co_return Out(FailedPreconditionError("not connected"));
   }
-  auto response =
-      co_await conn_->Call(MessageBody{PlayRequest{session_, content, port_name}});
+  PlayRequest play_request{session_, content, port_name};
+  play_request.admission_class = klass;
+  auto response = co_await conn_->Call(MessageBody{std::move(play_request)});
   if (!response.ok()) {
     co_return Out(response.status());
   }
@@ -422,13 +425,15 @@ Co<Result<CalliopeClient::StartResult>> CalliopeClient::Play(std::string content
 Co<Result<CalliopeClient::StartResult>> CalliopeClient::Record(std::string content_name,
                                                                std::string type_name,
                                                                std::string port_name,
-                                                               SimTime estimated_length) {
+                                                               SimTime estimated_length,
+                                                               AdmissionClass klass) {
   using Out = Result<StartResult>;
   if (!connected()) {
     co_return Out(FailedPreconditionError("not connected"));
   }
-  auto response = co_await conn_->Call(
-      MessageBody{RecordRequest{session_, content_name, type_name, port_name, estimated_length}});
+  RecordRequest record_request{session_, content_name, type_name, port_name, estimated_length};
+  record_request.admission_class = klass;
+  auto response = co_await conn_->Call(MessageBody{std::move(record_request)});
   if (!response.ok()) {
     co_return Out(response.status());
   }
@@ -498,6 +503,11 @@ Co<Status> CalliopeClient::WaitForGroupReady(GroupId group, SimTime timeout) {
 bool CalliopeClient::GroupTerminated(GroupId group) const {
   auto it = groups_.find(group);
   return it != groups_.end() && it->second.terminated;
+}
+
+std::string CalliopeClient::GroupFailure(GroupId group) const {
+  auto it = groups_.find(group);
+  return it != groups_.end() ? it->second.failure_reason : std::string();
 }
 
 Co<Status> CalliopeClient::Vcr(GroupId group, VcrCommand::Op op, SimTime seek_to) {

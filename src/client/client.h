@@ -97,6 +97,10 @@ class CalliopeClient {
     StreamGroupInfo info;
     bool info_received = false;
     bool terminated = false;
+    // Non-empty when the Coordinator explicitly failed the request
+    // (PendingRequestFailed): queue deadline expiry, load shedding, a
+    // failover that found no capacity.
+    std::string failure_reason;
   };
 
   CalliopeClient(NetNode& node, std::string coordinator_node, int coordinator_port = 5000);
@@ -143,9 +147,13 @@ class CalliopeClient {
     GroupId group = 0;
     bool queued = false;
   };
-  Co<Result<StartResult>> Play(std::string content, std::string port_name);
+  // `klass` tags the request for the Coordinator's traffic control (DESIGN
+  // §5.9); with traffic control disabled it is carried but ignored.
+  Co<Result<StartResult>> Play(std::string content, std::string port_name,
+                               AdmissionClass klass = AdmissionClass::kStandard);
   Co<Result<StartResult>> Record(std::string content_name, std::string type_name,
-                                 std::string port_name, SimTime estimated_length);
+                                 std::string port_name, SimTime estimated_length,
+                                 AdmissionClass klass = AdmissionClass::kBulk);
   Co<Status> DeleteContent(std::string content);
   Co<Status> LoadFastScan(std::string content, std::string ff_file, std::string fb_file);
 
@@ -160,6 +168,9 @@ class CalliopeClient {
   Co<Status> WaitForGroupReady(GroupId group, SimTime timeout = SimTime::Seconds(60));
   // True once the MSU closed the group's control connection (stream over).
   bool GroupTerminated(GroupId group) const;
+  // The Coordinator's explicit failure notice for the group, or empty if the
+  // group never received one (still live, or ended normally).
+  std::string GroupFailure(GroupId group) const;
 
   // Recording source: feeds `packets` (delivery offsets relative to start)
   // to the group's component `index` in real time. Returns packets sent.

@@ -39,6 +39,9 @@ Coordinator::Coordinator(Machine& machine, NetNode& node, std::shared_ptr<Catalo
   if (params_.rebalance.enabled) {
     RebalanceLoop();
   }
+  if (params_.traffic.enabled) {
+    ShedGovernorLoop();
+  }
 }
 
 void Coordinator::AttachObservability(MetricsRegistry* metrics, TraceRecorder* trace,
@@ -68,6 +71,17 @@ void Coordinator::AttachObservability(MetricsRegistry* metrics, TraceRecorder* t
     rebalance_copies_aborted_ = nullptr;
     rebalance_preemptions_ = nullptr;
     rebalance_demotions_ = nullptr;
+    requests_expired_metric_ = nullptr;
+    for (int c = 0; c < kAdmissionClassCount; ++c) {
+      class_accepted_[c] = nullptr;
+      class_queued_[c] = nullptr;
+      class_shed_[c] = nullptr;
+      class_expired_[c] = nullptr;
+    }
+    shed_episodes_ = nullptr;
+    shed_rejected_ = nullptr;
+    shed_degraded_ = nullptr;
+    shed_rebalance_paused_ = nullptr;
     return;
   }
   if (sharing_disabled_ha_) {
@@ -78,6 +92,7 @@ void Coordinator::AttachObservability(MetricsRegistry* metrics, TraceRecorder* t
   admit_accepted_ = &metrics_->counter(metrics_prefix_ + ".admissions.accepted");
   admit_rejected_ = &metrics_->counter(metrics_prefix_ + ".admissions.rejected");
   admit_queued_ = &metrics_->counter(metrics_prefix_ + ".admissions.queued");
+  requests_expired_metric_ = &metrics_->counter(metrics_prefix_ + ".requests.expired");
   failover_groups_ = &metrics_->counter(metrics_prefix_ + ".failover.groups");
   recordings_lost_ = &metrics_->counter(metrics_prefix_ + ".failover.recordings_lost");
   requests_lost_metric_ = &metrics_->counter(metrics_prefix_ + ".requests_lost");
@@ -143,15 +158,42 @@ void Coordinator::AttachObservability(MetricsRegistry* metrics, TraceRecorder* t
       return static_cast<int64_t>(repl_ops_.size());
     });
   }
+  if (params_.traffic.enabled) {
+    for (int c = 0; c < kAdmissionClassCount; ++c) {
+      const AdmissionClass klass = static_cast<AdmissionClass>(c);
+      const std::string stem =
+          metrics_prefix_ + ".admission." + AdmissionClassName(klass);
+      class_accepted_[c] = &metrics_->counter(stem + ".accepted");
+      class_queued_[c] = &metrics_->counter(stem + ".queued");
+      class_shed_[c] = &metrics_->counter(stem + ".shed");
+      class_expired_[c] = &metrics_->counter(stem + ".expired");
+      metrics_->SetGaugeCallback(stem + ".depth", [this, klass] {
+        return static_cast<int64_t>(pending_count_for(klass));
+      });
+    }
+    shed_episodes_ = &metrics_->counter(metrics_prefix_ + ".shed.episodes");
+    shed_rejected_ = &metrics_->counter(metrics_prefix_ + ".shed.rejected");
+    shed_degraded_ = &metrics_->counter(metrics_prefix_ + ".shed.degraded");
+    shed_rebalance_paused_ = &metrics_->counter(metrics_prefix_ + ".shed.rebalance_paused");
+    metrics_->SetGaugeCallback(metrics_prefix_ + ".shed.active",
+                               [this] { return shed_active_ ? int64_t{1} : int64_t{0}; });
+  }
 }
 
 void Coordinator::RecordAdmission(const char* kind, const PendingRequest& request,
                                   const Status& outcome, SimTime start) {
   if (metrics_ != nullptr) {
+    const size_t klass = static_cast<size_t>(request.admission_class);
     if (outcome.ok()) {
       admit_accepted_->Add();
+      if (klass < kAdmissionClassCount && class_accepted_[klass] != nullptr) {
+        class_accepted_[klass]->Add();
+      }
     } else if (outcome.code() == StatusCode::kResourceExhausted) {
       admit_queued_->Add();
+      if (klass < kAdmissionClassCount && class_queued_[klass] != nullptr) {
+        class_queued_[klass]->Add();
+      }
     } else {
       admit_rejected_->Add();
     }
@@ -274,6 +316,10 @@ void Coordinator::Crash() {
   groups_.clear();
   group_requests_.clear();
   pending_.clear();
+  expiry_token_.Cancel();
+  expiry_armed_at_ = SimTime();
+  shed_active_ = false;
+  rebalance_paused_ = false;
   shared_groups_.clear();
   share_batches_.clear();
   popularity_.clear();
@@ -311,6 +357,9 @@ void Coordinator::Restart() {
     if (params_.rebalance.enabled) {
       RebalanceLoop();  // the crash broke the loop; it idles until primary
     }
+    if (params_.traffic.enabled) {
+      ShedGovernorLoop();  // likewise: idles until this node is primary
+    }
     return;
   }
   // The catalog survived (the paper's durable database); scrub recordings
@@ -332,6 +381,9 @@ void Coordinator::Restart() {
   }
   if (params_.rebalance.enabled) {
     RebalanceLoop();
+  }
+  if (params_.traffic.enabled) {
+    ShedGovernorLoop();
   }
 }
 
@@ -815,6 +867,7 @@ Co<MessageBody> Coordinator::HandlePlay(TcpConn* conn, const PlayRequest& reques
   pending.content = request.content;
   pending.port = port->second;
   pending.group = next_group_++;
+  pending.admission_class = request.admission_class;
 
   if (params_.rebalance.enabled && !params_.sharing.enabled) {
     // Sharing normally owns the popularity EWMA; with it off (for instance
@@ -855,6 +908,13 @@ Co<MessageBody> Coordinator::HandlePlay(TcpConn* conn, const PlayRequest& reques
 
   const SimTime admit_start = machine_->sim().Now();
   const Status started = co_await TryStartGroup(pending);
+  if (started.code() == StatusCode::kResourceExhausted && !EnqueuePending(pending)) {
+    // The class queue is full: reject-newest, explicitly, rather than
+    // deepening a backlog that already exceeds what the deadline can clear.
+    const Status rejected = UnavailableError("admission queue full");
+    RecordAdmission("play", pending, rejected, admit_start);
+    co_return MessageBody{PlayResponse{false, rejected.ToString(), 0, false}};
+  }
   RecordAdmission("play", pending, started, admit_start);
   if (started.ok()) {
     co_return MessageBody{PlayResponse{true, "", pending.group, false}};
@@ -862,10 +922,6 @@ Co<MessageBody> Coordinator::HandlePlay(TcpConn* conn, const PlayRequest& reques
   if (started.code() == StatusCode::kResourceExhausted) {
     // "If a client's request cannot be satisfied, the Coordinator queues the
     // request until an MSU with the necessary resources becomes available."
-    pending_.push_back(pending);
-    ReplPendingPushed pushed;
-    pushed.request = pending;
-    LogRecord(ReplRecord{std::move(pushed)});
     co_return MessageBody{PlayResponse{true, "", pending.group, true}};
   }
   co_return MessageBody{PlayResponse{false, started.ToString(), 0, false}};
@@ -1044,10 +1100,10 @@ Co<void> Coordinator::StartSharedGroup(std::string content,
   // unique stream through the historical path.
   auto queue_all = [this, &live] {
     for (PendingRequest& request : live) {
-      ReplPendingPushed pushed;
-      pushed.request = request;
-      LogRecord(ReplRecord{std::move(pushed)});
-      pending_.push_back(std::move(request));
+      if (!EnqueuePending(request)) {
+        CountRequestLost();
+        NotifyRequestFailed(std::move(request), UnavailableError("admission queue full"));
+      }
     }
     RetryPendingQueue();
   };
@@ -1234,10 +1290,10 @@ Co<MessageBody> Coordinator::HandleSharedMemberSplit(const SharedMemberSplit& sp
   const Status started = co_await TryStartGroup(resume);
   RecordAdmission("split", resume, started, admit_start);
   if (started.code() == StatusCode::kResourceExhausted) {
-    ReplPendingPushed pushed;
-    pushed.request = resume;
-    LogRecord(ReplRecord{std::move(pushed)});
-    pending_.push_back(std::move(resume));
+    if (!EnqueuePending(resume)) {
+      CountRequestLost();
+      NotifyRequestFailed(std::move(resume), UnavailableError("admission queue full"));
+    }
     co_return MessageBody{SimpleResponse{true, ""}};
   }
   if (!started.ok()) {
@@ -1289,6 +1345,9 @@ Task Coordinator::RebalanceLoop() {
 RebalanceSnapshot Coordinator::BuildRebalanceSnapshot() const {
   RebalanceSnapshot snapshot;
   snapshot.disk_budget = params_.disk_budget;
+  // While the shed governor is active, the plan may still demote cold
+  // replicas (frees space for free) but must not start new copies.
+  snapshot.allow_copies = !rebalance_paused_;
   for (const auto& [name, account] : ledger_.msus()) {
     MsuView view;
     view.node = name;
@@ -1617,18 +1676,20 @@ Co<MessageBody> Coordinator::HandleRecord(TcpConn* conn, const RecordRequest& re
   pending.estimated_length = request.estimated_length;
   pending.port = port->second;
   pending.group = next_group_++;
+  pending.admission_class = request.admission_class;
 
   const SimTime admit_start = machine_->sim().Now();
   const Status started = co_await TryStartGroup(pending);
+  if (started.code() == StatusCode::kResourceExhausted && !EnqueuePending(pending)) {
+    const Status rejected = UnavailableError("admission queue full");
+    RecordAdmission("record", pending, rejected, admit_start);
+    co_return MessageBody{RecordResponse{false, rejected.ToString(), 0, false}};
+  }
   RecordAdmission("record", pending, started, admit_start);
   if (started.ok()) {
     co_return MessageBody{RecordResponse{true, "", pending.group, false}};
   }
   if (started.code() == StatusCode::kResourceExhausted) {
-    pending_.push_back(pending);
-    ReplPendingPushed pushed;
-    pushed.request = pending;
-    LogRecord(ReplRecord{std::move(pushed)});
     co_return MessageBody{RecordResponse{true, "", pending.group, true}};
   }
   co_return MessageBody{RecordResponse{false, started.ToString(), 0, false}};
@@ -1993,10 +2054,10 @@ Task Coordinator::FailoverGroup(PendingRequest request) {
   if (started.code() == StatusCode::kResourceExhausted) {
     // No survivor holds a copy with bandwidth headroom right now; wait in
     // the pending queue like any other unsatisfiable request.
-    ReplPendingPushed pushed;
-    pushed.request = request;
-    pending_.push_back(std::move(request));
-    LogRecord(ReplRecord{std::move(pushed)});
+    if (!EnqueuePending(request)) {
+      CountRequestLost();
+      NotifyRequestFailed(std::move(request), UnavailableError("admission queue full"));
+    }
     co_return;
   }
   CALLIOPE_LOG(kWarning, "coord") << "group " << request.group
@@ -2026,6 +2087,14 @@ Task Coordinator::RetryPendingQueue() {
   // because the loop re-reads pending_, which may grow meanwhile.
   retry_scheduled_ = true;
   co_await machine_->sim().Yield();  // run after the triggering event settles
+  if (params_.traffic.enabled) {
+    // Interactive outranks standard outranks bulk when freed capacity is
+    // handed out; stable within a class, so FIFO fairness survives.
+    std::stable_sort(pending_.begin(), pending_.end(),
+                     [](const PendingRequest& a, const PendingRequest& b) {
+                       return a.admission_class < b.admission_class;
+                     });
+  }
   std::deque<PendingRequest> still_waiting;
   while (!pending_.empty()) {
     if (crashed_) {
@@ -2059,14 +2128,273 @@ Task Coordinator::RetryPendingQueue() {
       NotifyRequestFailed(std::move(request), started);
     }
   }
-  // Re-queue this pass's failures behind anything newly queued.
+  // Re-queue this pass's failures behind anything newly queued. A re-queue
+  // keeps its original enqueue stamp and never re-checks the class cap: the
+  // request already holds its queue slot.
   for (PendingRequest& request : still_waiting) {
-    ReplPendingPushed pushed;
-    pushed.request = request;
-    LogRecord(ReplRecord{std::move(pushed)});
-    pending_.push_back(std::move(request));
+    (void)EnqueuePending(std::move(request), /*requeue=*/true);
   }
+  ScheduleExpirySweep();  // cancels the armed sweep if the queue drained
   retry_scheduled_ = false;
+}
+
+// ---- pending-queue bounds, deadlines and shedding (DESIGN §5.9) ----
+
+bool Coordinator::EnqueuePending(PendingRequest request, bool requeue) {
+  if (!requeue && params_.traffic.enabled) {
+    const int cap = QueueCapFor(request.admission_class);
+    if (cap > 0 && pending_count_for(request.admission_class) >= static_cast<size_t>(cap)) {
+      const size_t klass = static_cast<size_t>(request.admission_class);
+      if (klass < kAdmissionClassCount && class_shed_[klass] != nullptr) {
+        class_shed_[klass]->Add();
+      }
+      if (trace_ != nullptr) {
+        trace_->Instant(trace_track_, metrics_prefix_, "queue-full",
+                        std::string(AdmissionClassName(request.admission_class)) + " " +
+                            request.content + " group " + std::to_string(request.group));
+      }
+      return false;
+    }
+  }
+  if (request.enqueued_at == SimTime()) {
+    request.enqueued_at = machine_->sim().Now();
+  }
+  ReplPendingPushed pushed;
+  pushed.request = request;
+  LogRecord(ReplRecord{std::move(pushed)});
+  pending_.push_back(std::move(request));
+  ScheduleExpirySweep();
+  return true;
+}
+
+SimTime Coordinator::QueueDeadlineFor(AdmissionClass klass) const {
+  if (params_.traffic.enabled) {
+    SimTime deadline;
+    switch (klass) {
+      case AdmissionClass::kInteractive:
+        deadline = params_.traffic.interactive_deadline;
+        break;
+      case AdmissionClass::kStandard:
+        deadline = params_.traffic.standard_deadline;
+        break;
+      case AdmissionClass::kBulk:
+        deadline = params_.traffic.bulk_deadline;
+        break;
+    }
+    if (deadline > SimTime()) {
+      return deadline;
+    }
+  }
+  return params_.pending_deadline;
+}
+
+int Coordinator::QueueCapFor(AdmissionClass klass) const {
+  switch (klass) {
+    case AdmissionClass::kInteractive:
+      return params_.traffic.interactive_queue_cap;
+    case AdmissionClass::kStandard:
+      return params_.traffic.standard_queue_cap;
+    case AdmissionClass::kBulk:
+      return params_.traffic.bulk_queue_cap;
+  }
+  return 0;
+}
+
+size_t Coordinator::pending_count_for(AdmissionClass klass) const {
+  size_t count = 0;
+  for (const PendingRequest& request : pending_) {
+    if (request.admission_class == klass) {
+      ++count;
+    }
+  }
+  return count;
+}
+
+void Coordinator::ScheduleExpirySweep() {
+  SimTime earliest;
+  bool any = false;
+  for (const PendingRequest& request : pending_) {
+    const SimTime deadline = QueueDeadlineFor(request.admission_class);
+    if (request.enqueued_at == SimTime() || !(deadline > SimTime())) {
+      continue;  // no stamp (replicated legacy state) or deadline disabled
+    }
+    const SimTime expires = request.enqueued_at + deadline;
+    if (!any || expires < earliest) {
+      earliest = expires;
+      any = true;
+    }
+  }
+  if (!any) {
+    expiry_token_.Cancel();
+    expiry_armed_at_ = SimTime();
+    return;
+  }
+  const SimTime fire_at = std::max(earliest, machine_->sim().Now());
+  if (expiry_armed_at_ != SimTime() && expiry_armed_at_ <= fire_at) {
+    return;  // an armed sweep already fires no later than needed
+  }
+  expiry_token_.Cancel();
+  expiry_armed_at_ = fire_at;
+  expiry_token_ = machine_->sim().ScheduleCancelableAt(fire_at, [this] { RunExpirySweep(); });
+}
+
+void Coordinator::RunExpirySweep() {
+  expiry_armed_at_ = SimTime();
+  if (crashed_ || (params_.ha.enabled && role_ != HaRole::kPrimary)) {
+    return;  // re-armed on restart/takeover
+  }
+  const SimTime now = machine_->sim().Now();
+  std::vector<PendingRequest> expired;
+  for (auto it = pending_.begin(); it != pending_.end();) {
+    const SimTime deadline = QueueDeadlineFor(it->admission_class);
+    if (it->enqueued_at != SimTime() && deadline > SimTime() &&
+        now >= it->enqueued_at + deadline) {
+      expired.push_back(std::move(*it));
+      it = pending_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  for (PendingRequest& request : expired) {
+    ReplPendingPopped popped;
+    popped.group = request.group;
+    LogRecord(ReplRecord{std::move(popped)});
+    ++requests_expired_count_;
+    if (requests_expired_metric_ != nullptr) {
+      requests_expired_metric_->Add();
+    }
+    const size_t klass = static_cast<size_t>(request.admission_class);
+    if (klass < kAdmissionClassCount && class_expired_[klass] != nullptr) {
+      class_expired_[klass]->Add();
+    }
+    CountRequestLost();
+    if (trace_ != nullptr) {
+      trace_->Instant(trace_track_, metrics_prefix_, "pending-expired",
+                      request.content + " group " + std::to_string(request.group));
+    }
+    CALLIOPE_LOG(kWarning, "coord")
+        << "queued request for '" << request.content << "' (group " << request.group
+        << ") expired after its queue deadline";
+    NotifyRequestFailed(std::move(request), DeadlineExceededError("queued past deadline"));
+  }
+  ScheduleExpirySweep();
+}
+
+Task Coordinator::ShedGovernorLoop() {
+  if (governor_loop_running_ || !params_.traffic.enabled) {
+    co_return;
+  }
+  governor_loop_running_ = true;
+  while (!crashed_) {
+    co_await machine_->sim().Delay(params_.traffic.governor_interval);
+    if (crashed_) {
+      break;
+    }
+    if (params_.ha.enabled && role_ != HaRole::kPrimary) {
+      continue;  // only the primary owns the queue
+    }
+    const bool overloaded = overload_probe_ != nullptr && overload_probe_();
+    if (!overloaded) {
+      if (shed_active_) {
+        shed_active_ = false;
+        rebalance_paused_ = false;
+        if (trace_ != nullptr) {
+          trace_->Instant(trace_track_, metrics_prefix_, "shed-clear");
+        }
+      }
+      continue;
+    }
+    if (!shed_active_) {
+      shed_active_ = true;
+      if (shed_episodes_ != nullptr) {
+        shed_episodes_->Add();
+      }
+      if (trace_ != nullptr) {
+        trace_->Instant(trace_track_, metrics_prefix_, "shed-start");
+      }
+    }
+    // Bulk replication is the first casualty: pause the planner and abort
+    // in-flight copies so their disk and NIC bandwidth serves viewers.
+    if (params_.rebalance.enabled && !rebalance_paused_) {
+      rebalance_paused_ = true;
+      if (shed_rebalance_paused_ != nullptr) {
+        shed_rebalance_paused_->Add();
+      }
+      std::vector<int64_t> inflight;
+      for (const auto& [op_id, op] : repl_ops_) {
+        inflight.push_back(op_id);
+      }
+      for (int64_t op_id : inflight) {
+        AbortReplication(op_id, "load shedding");
+      }
+      if (!inflight.empty()) {
+        continue;  // see whether the freed bandwidth clears the breach first
+      }
+    }
+    // Shed queued requests newest-first, bulk before standard; interactive
+    // traffic is never shed.
+    int budget = params_.traffic.shed_per_tick;
+    for (AdmissionClass klass : {AdmissionClass::kBulk, AdmissionClass::kStandard}) {
+      while (budget > 0) {
+        auto victim = pending_.end();
+        for (auto it = pending_.begin(); it != pending_.end(); ++it) {
+          if (it->admission_class == klass) {
+            victim = it;  // the last match is the newest arrival
+          }
+        }
+        if (victim == pending_.end()) {
+          break;
+        }
+        PendingRequest request = std::move(*victim);
+        pending_.erase(victim);
+        ReplPendingPopped popped;
+        popped.group = request.group;
+        LogRecord(ReplRecord{std::move(popped)});
+        --budget;
+        co_await ShedRequest(std::move(request));
+        if (crashed_ || (params_.ha.enabled && role_ != HaRole::kPrimary)) {
+          break;
+        }
+      }
+    }
+    ScheduleExpirySweep();
+  }
+  governor_loop_running_ = false;
+}
+
+Co<void> Coordinator::ShedRequest(PendingRequest request) {
+  if (params_.traffic.degrade_to_attach && SharingEligible(request)) {
+    // Graceful degradation: a viewer within a live group's cache horizon can
+    // ride the interval cache with no disk reservation at all.
+    const SharedGroup* target = FindAttachTarget(request.content);
+    if (target != nullptr) {
+      const Status attached = co_await StartCacheAttach(request, *target);
+      if (attached.ok()) {
+        if (shed_degraded_ != nullptr) {
+          shed_degraded_->Add();
+        }
+        if (trace_ != nullptr) {
+          trace_->Instant(trace_track_, metrics_prefix_, "shed-degrade",
+                          request.content + " group " + std::to_string(request.group));
+        }
+        co_return;
+      }
+    }
+  }
+  const size_t klass = static_cast<size_t>(request.admission_class);
+  if (klass < kAdmissionClassCount && class_shed_[klass] != nullptr) {
+    class_shed_[klass]->Add();
+  }
+  if (shed_rejected_ != nullptr) {
+    shed_rejected_->Add();
+  }
+  CountRequestLost();
+  if (trace_ != nullptr) {
+    trace_->Instant(trace_track_, metrics_prefix_, "shed",
+                    std::string(AdmissionClassName(request.admission_class)) + " " +
+                        request.content + " group " + std::to_string(request.group));
+  }
+  NotifyRequestFailed(std::move(request), UnavailableError("shed under overload"));
 }
 
 bool Coordinator::MsuUp(const std::string& node) const { return ledger_.IsUp(node); }

@@ -17,6 +17,7 @@
 #define CALLIOPE_SRC_COORD_COORDINATOR_H_
 
 #include <deque>
+#include <functional>
 #include <map>
 #include <memory>
 #include <string>
@@ -33,6 +34,7 @@
 #include "src/place/policy.h"
 #include "src/rebalance/planner.h"
 #include "src/sim/condition.h"
+#include "src/sim/simulator.h"
 
 namespace calliope {
 
@@ -59,6 +61,42 @@ struct SharingConfig {
   double hot_threshold = 3.0;
 };
 
+// SLO-driven traffic control (DESIGN §5.9). Disabled by default: with
+// `enabled == false` the pending queue stays one classless FIFO and no
+// governor runs, byte-identical to the pre-traffic-control admission path.
+// Enabled, each request's AdmissionClass buys it a bounded queue slot, a
+// class deadline, retry priority (interactive > standard > bulk) and
+// shedding protection — the saturation governor never sheds interactive
+// traffic and pauses background rebalancing before touching any viewer.
+struct TrafficControlConfig {
+  TrafficControlConfig() = default;
+
+  bool enabled = false;
+  // Bounded per-class pending queues: a request arriving to a full class
+  // queue is rejected immediately (reject-newest) instead of deepening the
+  // backlog. Zero = unbounded.
+  int interactive_queue_cap = 64;
+  int standard_queue_cap = 32;
+  int bulk_queue_cap = 8;
+  // Per-class queue deadlines; zero falls back to
+  // CoordinatorParams::pending_deadline. Interactive waits the least: a
+  // channel surfer who has not seen frames in 10 s has already surfed away.
+  SimTime interactive_deadline = SimTime::Seconds(10);
+  SimTime standard_deadline = SimTime::Seconds(30);
+  SimTime bulk_deadline = SimTime::Seconds(120);
+  // Saturation-governor cadence. Each tick consults the overload probe
+  // (Installation wires it to a MetricsSampler SLO monitor) and sheds while
+  // the probe reports a breach.
+  SimTime governor_interval = SimTime::Millis(500);
+  // Queued requests shed per governor tick, newest-first, bulk before
+  // standard. Bounded so one long breach degrades gradually rather than
+  // emptying the queue in a single burst.
+  int shed_per_tick = 4;
+  // Before rejecting a shed viewer outright, try re-admitting it as a
+  // cache-horizon attach (no disk bandwidth; needs sharing enabled).
+  bool degrade_to_attach = true;
+};
+
 struct CoordinatorParams {
   int listen_port = 5000;
   // CPU cost of handling one scheduling request (authentication, catalog
@@ -83,6 +121,15 @@ struct CoordinatorParams {
   // Works with or without HA: in-flight copy ops are oplog-shipped, so a
   // standby takeover keeps the plan.
   RebalanceConfig rebalance;
+  // How long a request may sit in the pending queue before it is expired
+  // with an explicit PendingRequestFailed notification (zero disables
+  // expiry). On by default with a generous allowance: the historical
+  // behavior — a client waiting forever for a title that stays saturated,
+  // with no notification — was a bug, not a feature.
+  SimTime pending_deadline = SimTime::Seconds(600);
+  // SLO-driven admission classes + load shedding (DESIGN §5.9); disabled by
+  // default.
+  TrafficControlConfig traffic;
 };
 
 class Coordinator {
@@ -132,6 +179,19 @@ class Coordinator {
   int64_t takeover_count() const { return takeovers_count_; }
   // Queued requests dropped for good (client notified where possible).
   int64_t requests_lost() const { return requests_lost_count_; }
+  // Queued requests expired past their queue deadline (subset of lost).
+  int64_t requests_expired() const { return requests_expired_count_; }
+
+  // ---- traffic control (DESIGN §5.9) ----
+  // Saturation probe consulted by the shedding governor: returns true while
+  // the watched SLO monitor is breaching. Installation wires this to
+  // MetricsSampler::SloBreaching; unset, the governor never sheds.
+  void SetOverloadProbe(std::function<bool()> probe) { overload_probe_ = std::move(probe); }
+  // True while the governor is actively shedding (between an overload
+  // episode's first breaching tick and its clear).
+  bool shedding_active() const { return shed_active_; }
+  // Queued requests currently waiting in `klass`.
+  size_t pending_count_for(AdmissionClass klass) const;
 
   // Publishes admission/failover/ledger instruments into `metrics` and
   // scheduling events into `trace`. Either may be null (standalone
@@ -291,6 +351,31 @@ class Coordinator {
   // caller queues the request).
   Co<Status> TryStartGroup(const PendingRequest& request);
   Task RetryPendingQueue();
+  // The single entrance to the pending queue: stamps the first enqueue time,
+  // enforces the per-class queue cap, logs ReplPendingPushed and arms the
+  // expiry sweep. Returns false when the class queue is full (the caller
+  // rejects the request explicitly — nothing was queued). Re-queues after a
+  // failed retry pass `requeue` so they keep the original stamp and bypass
+  // the cap (the request already held a slot this pass).
+  bool EnqueuePending(PendingRequest request, bool requeue = false);
+  // Queue deadline for a class: the per-class override when traffic control
+  // is on, else CoordinatorParams::pending_deadline. Zero = no deadline.
+  SimTime QueueDeadlineFor(AdmissionClass klass) const;
+  int QueueCapFor(AdmissionClass klass) const;
+  // (Re)arms the one-shot expiry event at the earliest pending deadline;
+  // cancels it when the queue is empty or expiry is disabled.
+  void ScheduleExpirySweep();
+  // Expires every request past its deadline: explicit PendingRequestFailed,
+  // `coord.requests.expired`, then re-arms for the next deadline.
+  void RunExpirySweep();
+  // Saturation governor (traffic control only): while the overload probe
+  // reports an SLO breach, pause/abort background rebalancing first, then
+  // shed queued bulk/standard requests newest-first. Interactive requests
+  // are never shed.
+  Task ShedGovernorLoop();
+  // Sheds one queued request: with degrade_to_attach, tries a cache-horizon
+  // attach before the explicit rejection.
+  Co<void> ShedRequest(PendingRequest request);
   // Replica-aware failover: re-places one interrupted playback group on the
   // surviving MSUs, resuming near the last known media offsets.
   Task FailoverGroup(PendingRequest request);
@@ -369,6 +454,14 @@ class Coordinator {
   std::map<int64_t, ReplOp> repl_ops_;  // in-flight background copies
   int64_t next_repl_op_ = 1;
   bool rebalance_loop_running_ = false;
+  // ---- traffic-control state (DESIGN §5.9) ----
+  std::function<bool()> overload_probe_;
+  bool governor_loop_running_ = false;
+  bool shed_active_ = false;        // an overload episode is in progress
+  bool rebalance_paused_ = false;   // governor paused background copies
+  EventToken expiry_token_;         // one-shot queue-deadline sweep
+  SimTime expiry_armed_at_;         // when it fires (zero: not armed)
+  int64_t requests_expired_count_ = 0;
   // Set when HA forced sharing off at construction; surfaced as the
   // `.sharing.disabled_ha` counter at attach time so the degradation is
   // explicit rather than silent.
@@ -427,6 +520,17 @@ class Coordinator {
   Counter* rebalance_copies_aborted_ = nullptr;
   Counter* rebalance_preemptions_ = nullptr;
   Counter* rebalance_demotions_ = nullptr;
+  Counter* requests_expired_metric_ = nullptr;
+  // Per-class admission counters, indexed by AdmissionClass value; null
+  // unless traffic control is enabled.
+  Counter* class_accepted_[kAdmissionClassCount] = {};
+  Counter* class_queued_[kAdmissionClassCount] = {};
+  Counter* class_shed_[kAdmissionClassCount] = {};
+  Counter* class_expired_[kAdmissionClassCount] = {};
+  Counter* shed_episodes_ = nullptr;
+  Counter* shed_rejected_ = nullptr;
+  Counter* shed_degraded_ = nullptr;
+  Counter* shed_rebalance_paused_ = nullptr;
 };
 
 }  // namespace calliope

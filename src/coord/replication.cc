@@ -683,7 +683,10 @@ void Coordinator::TakeOver(int64_t new_epoch) {
     group_requests_.erase(request.group);
     FailoverGroup(std::move(request));
   }
-  // Queued requests survived the failover; try them against our ledger.
+  // Queued requests survived the failover; try them against our ledger. The
+  // replicated enqueue stamps survive too, so the new primary re-arms the
+  // queue-deadline sweep over the inherited queue.
+  ScheduleExpirySweep();
   RetryPendingQueue();
 }
 

@@ -2,6 +2,18 @@
 
 namespace calliope {
 
+const char* AdmissionClassName(AdmissionClass klass) {
+  switch (klass) {
+    case AdmissionClass::kInteractive:
+      return "interactive";
+    case AdmissionClass::kStandard:
+      return "standard";
+    case AdmissionClass::kBulk:
+      return "bulk";
+  }
+  return "standard";
+}
+
 namespace {
 
 Bytes StringBytes(const std::string& s) { return Bytes(static_cast<int64_t>(s.size())); }
@@ -33,7 +45,7 @@ struct SizeVisitor {
     return Bytes(16) + StringBytes(m.port_name);
   }
   Bytes operator()(const PlayRequest& m) const {
-    return Bytes(16) + StringBytes(m.content) + StringBytes(m.display_port);
+    return Bytes(17) + StringBytes(m.content) + StringBytes(m.display_port);
   }
   Bytes operator()(const PlayResponse& m) const { return Bytes(32) + StringBytes(m.error); }
   Bytes operator()(const RecordRequest& m) const {
@@ -132,7 +144,8 @@ struct SizeVisitor {
     return size;
   }
   static Bytes RequestBytes(const PendingPlayRequest& request) {
-    return Bytes(48) + StringBytes(request.content) + StringBytes(request.type_name) +
+    // +9: the admission class byte and the enqueue stamp.
+    return Bytes(57) + StringBytes(request.content) + StringBytes(request.type_name) +
            StringBytes(request.prefer_msu) + PortBytes(request.port) +
            Bytes(static_cast<int64_t>(request.start_offsets.size()) * 8);
   }

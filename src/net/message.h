@@ -24,6 +24,22 @@ using SessionId = int64_t;
 using StreamId = int64_t;
 using GroupId = int64_t;
 
+// Admission class a play/record request is tagged with (DESIGN §5.9).
+// Interactive traffic (VCR-heavy viewers) outranks standard playback, which
+// outranks bulk transfers (archive pulls, fleet recordings); the Coordinator's
+// traffic-control layer retries queues in class order and sheds from the
+// bottom up. The numeric values are wire/ordering contract: lower = higher
+// priority.
+enum class AdmissionClass : uint8_t {
+  kInteractive = 0,
+  kStandard = 1,
+  kBulk = 2,
+};
+inline constexpr int kAdmissionClassCount = 3;
+
+// Stable lowercase name ("interactive" / "standard" / "bulk") — metric keys.
+const char* AdmissionClassName(AdmissionClass klass);
+
 // ---------- client -> Coordinator ----------
 
 struct OpenSessionRequest {
@@ -107,6 +123,9 @@ struct PlayRequest {
   SessionId session = 0;
   std::string content;
   std::string display_port;
+  // Traffic-control class (DESIGN §5.9); ignored unless the Coordinator has
+  // traffic control enabled.
+  AdmissionClass admission_class = AdmissionClass::kStandard;
 };
 
 struct PlayResponse {
@@ -135,6 +154,9 @@ struct RecordRequest {
   std::string type_name;
   std::string display_port;
   SimTime estimated_length;
+  // Traffic-control class; recordings default to bulk (a lost recording slot
+  // is rescheduleable, a glitched live viewer is not).
+  AdmissionClass admission_class = AdmissionClass::kBulk;
 };
 
 struct RecordResponse {
@@ -550,6 +572,13 @@ struct PendingPlayRequest {
   // Placement affinity: try this MSU first (VCR splits stay on the node whose
   // page cache already holds the title; falls back to normal placement).
   std::string prefer_msu;
+  // Traffic-control class (DESIGN §5.9). Shipped on the oplog so the standby
+  // sheds/retries queued requests in the same order the primary would have.
+  AdmissionClass admission_class = AdmissionClass::kStandard;
+  // When this request first joined the pending queue (zero: never queued).
+  // The queue-deadline sweep expires requests older than the per-class
+  // deadline; re-queues after a failed retry keep the original stamp.
+  SimTime enqueued_at;
 };
 
 // Oplog records. Each is a primitive state delta; the standby applies them

@@ -194,6 +194,24 @@ void MetricsSampler::EvaluateSlo(const SloSpec& spec, SloState& state, const Qos
   }
 }
 
+bool MetricsSampler::SloBreaching(const std::string& name) const {
+  for (size_t i = 0; i < slos_.size(); ++i) {
+    if (slos_[i].name == name) {
+      return states_[i].breaching;
+    }
+  }
+  return false;
+}
+
+bool MetricsSampler::AnySloBreaching() const {
+  for (const SloState& state : states_) {
+    if (state.breaching) {
+      return true;
+    }
+  }
+  return false;
+}
+
 TimelineReport MetricsSampler::BuildTimelineReport() const {
   TimelineReport timeline;
   timeline.window_us = config_.period.micros();

@@ -151,6 +151,13 @@ class MetricsSampler {
   const std::vector<SloSpec>& slos() const { return slos_; }
   const std::vector<int64_t>& slo_values(size_t i) const { return states_.at(i).values; }
 
+  // Live breach probe: true while the named SLO monitor is inside a breach
+  // episode (run >= min_breach_windows, not yet cleared). Unknown names read
+  // as false. This is what the Coordinator's saturation governor polls.
+  bool SloBreaching(const std::string& name) const;
+  // True if any configured SLO monitor is currently breaching.
+  bool AnySloBreaching() const;
+
   // The ClusterReport timeline section: QoS rows plus the accumulated breach
   // log per SLO, sorted by name.
   TimelineReport BuildTimelineReport() const;

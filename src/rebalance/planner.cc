@@ -144,7 +144,7 @@ RebalancePlan PlanRebalance(const RebalanceSnapshot& snapshot, const RebalanceCo
   });
 
   for (const TitleView* title : order) {
-    if (copy_slots <= 0) {
+    if (!snapshot.allow_copies || copy_slots <= 0) {
       break;
     }
     const int have =

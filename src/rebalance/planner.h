@@ -93,6 +93,10 @@ struct RebalanceSnapshot {
   // Per-disk live-stream admission budget (CoordinatorParams::disk_budget):
   // copies only land on target disks that keep this much headroom.
   DataRate disk_budget;
+  // False while the saturation governor sheds load (DESIGN §5.9): the plan
+  // still demotes cold replicas (frees space, costs no bandwidth) but starts
+  // no new copies — bulk replication yields to viewers first.
+  bool allow_copies = true;
 };
 
 struct CopyAction {

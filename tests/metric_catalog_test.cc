@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "src/calliope/calliope.h"
+#include "src/load/workload.h"
 #include "tests/test_util.h"
 
 #ifndef CALLIOPE_SOURCE_DIR
@@ -58,6 +59,8 @@ std::vector<CatalogRow> LoadCatalog(const std::string& path) {
           regex_text += "[0-9]+";
         } else if (placeholder == "name") {
           regex_text += "[A-Za-z0-9_-]+";
+        } else if (placeholder == "class") {
+          regex_text += "(interactive|standard|bulk)";
         } else {
           ADD_FAILURE() << "unknown placeholder <" << placeholder << "> in " << row.pattern;
         }
@@ -130,6 +133,26 @@ TEST(MetricCatalogTest, EveryPublishedMetricIsDocumentedAndViceVersa) {
     config.msu.cache_memory = Bytes::MiB(16);
     Installation calliope(config);
     ASSERT_TRUE(calliope.Boot().ok());
+    MergeSnapshot(calliope.metrics().Snapshot(), published);
+  }
+  {
+    // Installation C: traffic control (admission classes + shedding) and the
+    // workload generator's load.* instruments.
+    InstallationConfig config;
+    config.msu_count = 1;
+    config.coordinator.traffic.enabled = true;
+    config.sampler.period = SimTime::Millis(500);
+    Installation calliope(config);
+    ASSERT_TRUE(calliope.Boot().ok());
+    WorkloadConfig workload;
+    workload.titles = 1;
+    workload.archive_titles = 1;
+    workload.client_hosts = 1;
+    workload.phases = {WorkloadPhase(SimTime::Seconds(1), 1.0)};
+    WorkloadDriver driver(calliope, workload);
+    ASSERT_TRUE(driver.Prepare().ok());
+    driver.Start();
+    calliope.sim().RunFor(SimTime::Seconds(2));
     MergeSnapshot(calliope.metrics().Snapshot(), published);
   }
   ASSERT_GT(published.size(), 30u);
